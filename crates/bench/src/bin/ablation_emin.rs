@@ -1,0 +1,53 @@
+//! Ablation: `Emin` estimation strategies (paper Section II-B).
+//!
+//! Compares the brute-force search, the memoized lookup table and the
+//! learning predictor on scan count (the expensive part the tuning-overhead
+//! model charges for) and prediction error.
+
+use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_core::emin::{BruteForceEmin, EminEstimator, LearningEmin, LookupTableEmin};
+use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner(
+        "Ablation: Emin estimation",
+        "grid scans and error per strategy (brute force / lookup / learning)",
+    );
+
+    let mut t = Table::new(vec![
+        "benchmark", "samples", "brute_scans", "lookup_scans", "learning_scans",
+        "learning_predictions", "learning_error_%",
+    ]);
+    for benchmark in Benchmark::featured() {
+        let (data, _) = characterize(benchmark);
+        let mut brute = BruteForceEmin::new();
+        let mut lookup = LookupTableEmin::new();
+        let mut learning = LearningEmin::new(0.3);
+        for s in 0..data.n_samples() {
+            let exact = brute.emin(&data, s);
+            let memo = lookup.emin(&data, s);
+            let _predicted = learning.emin(&data, s);
+            assert_eq!(exact, memo, "lookup must agree with brute force");
+        }
+        // Second pass: lookup is free, learning predicts from warm buckets.
+        for s in 0..data.n_samples() {
+            let _ = lookup.emin(&data, s);
+            let _ = learning.emin(&data, s);
+        }
+        t.row(vec![
+            benchmark.name().to_string(),
+            data.n_samples().to_string(),
+            brute.scans().to_string(),
+            lookup.scans().to_string(),
+            learning.scans().to_string(),
+            learning.predictions().to_string(),
+            fmt(learning.validation_error(&data) * 100.0, 2),
+        ]);
+    }
+    emit(&t, "ablation_emin");
+    println!(
+        "brute force scans every sample; the lookup table scans each distinct sample once;\n\
+         the learning predictor scans once per phase signature and predicts the rest."
+    );
+}

@@ -1,0 +1,38 @@
+//! Ablation: measurement-noise amplitude.
+//!
+//! Sweeps the simulator's per-(sample, setting) performance measurement
+//! noise and reports how exact optimal tracking and 5% cluster following
+//! respond (bzip2 at the loose 1.6 budget, the paper's Figure 9(b) case).
+//! Clusters are robust to noise; exact tracking is not — the core argument
+//! for tolerating a small performance loss.
+
+use mcdvfs_bench::{banner, emit};
+use mcdvfs_core::report::Table;
+use mcdvfs_core::transitions::{count_cluster_transitions, count_optimal_transitions};
+use mcdvfs_core::{cluster_series, InefficiencyBudget, OptimalFinder};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner(
+        "Ablation: measurement noise",
+        "transitions vs noise amplitude (bzip2, I=1.6, threshold 5%)",
+    );
+
+    let budget = InefficiencyBudget::bounded(1.6).expect("valid budget");
+    let trace = Benchmark::Bzip2.trace();
+    let mut t = Table::new(vec!["noise_%", "optimal_transitions", "cluster5_transitions"]);
+    for noise in [0.0, 0.002, 0.004, 0.01] {
+        let system = System::galaxy_nexus_class().with_measurement_noise(noise);
+        let data = CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());
+        let optimal = OptimalFinder::new(budget).series(&data);
+        let clusters = cluster_series(&data, budget, 0.05).expect("valid threshold");
+        t.row(vec![
+            format!("{:.1}", noise * 100.0),
+            count_optimal_transitions(&optimal).to_string(),
+            count_cluster_transitions(&clusters).to_string(),
+        ]);
+    }
+    emit(&t, "ablation_noise");
+}

@@ -1,0 +1,75 @@
+//! Figure 2: inefficiency vs. speedup for bzip2, gobmk and milc over every
+//! CPU/memory frequency pair of the coarse grid.
+//!
+//! For each whole-benchmark run at a fixed setting:
+//! `speedup = longest_total_time / total_time` and
+//! `inefficiency = total_energy / min_total_energy`.
+//! Also prints the paper's Section IV observations: the slowest corner
+//! wastes energy ("running slower ≠ running efficiently") and forcing the
+//! full budget can degrade performance.
+
+use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_types::FreqSetting;
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "inefficiency vs speedup over all 70 settings (bzip2, gobmk, milc)",
+    );
+
+    for benchmark in [Benchmark::Bzip2, Benchmark::Gobmk, Benchmark::Milc] {
+        let (data, _) = characterize(benchmark);
+        let grid = data.grid();
+        let longest = data.longest_total_time();
+        let emin = data.min_total_energy();
+
+        let mut t = Table::new(vec!["cpu_mhz", "mem_mhz", "inefficiency", "speedup"]);
+        for (idx, setting) in grid.settings().enumerate() {
+            let ineff = data.total_energy_at(idx) / emin;
+            let speedup = longest / data.total_time_at(idx);
+            t.row(vec![
+                setting.cpu.mhz().to_string(),
+                setting.mem.mhz().to_string(),
+                fmt(ineff, 3),
+                fmt(speedup, 3),
+            ]);
+        }
+        println!("--- {benchmark} ({} samples) ---", data.n_samples());
+
+        // Compact matrix view: speedup by cpu (rows) x mem (cols).
+        let mut matrix = Table::new(
+            std::iter::once("cpu\\mem".to_string())
+                .chain(grid.mem_freqs().map(|m| m.mhz().to_string()))
+                .collect::<Vec<_>>(),
+        );
+        for cpu in grid.cpu_freqs() {
+            let mut cells = vec![cpu.mhz().to_string()];
+            for mem in grid.mem_freqs() {
+                let idx = grid.index_of(FreqSetting::new(cpu, mem)).expect("on grid");
+                let s = longest / data.total_time_at(idx);
+                let i = data.total_energy_at(idx) / emin;
+                cells.push(format!("{:.2}x/{:.2}", s, i));
+            }
+            matrix.row(cells);
+        }
+        println!("speedup/inefficiency matrix:");
+        println!("{}", matrix.to_text());
+        emit(&t, &format!("fig02_{}", benchmark.name().replace('.', "")));
+
+        // Paper's headline observations.
+        let corner = grid.index_of(FreqSetting::from_mhz(100, 200)).expect("on grid");
+        let top = grid.index_of(grid.max_setting()).expect("on grid");
+        let forced = grid.index_of(FreqSetting::from_mhz(1000, 200)).expect("on grid");
+        println!(
+            "observations: I(100,200)={:.2} (slow ≠ efficient)  I(1000,800)={:.2}  \
+             speedup(1000,800)={:.2}x vs forced (1000,200)={:.2}x",
+            data.total_energy_at(corner) / emin,
+            data.total_energy_at(top) / emin,
+            longest / data.total_time_at(top),
+            longest / data.total_time_at(forced),
+        );
+        println!();
+    }
+}

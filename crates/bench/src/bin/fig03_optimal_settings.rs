@@ -1,0 +1,68 @@
+//! Figure 3: the optimal performance point for gobmk across inefficiency
+//! budgets.
+//!
+//! Per sample (10 M instructions): the CPI/MPKI trace and the optimal
+//! (CPU, memory) setting under budgets I ∈ {1, 1.3, 1.6, ∞}. At low
+//! budgets the optimal follows the application's phases — memory-intensive
+//! samples get high memory frequency and lower CPU frequency; the
+//! unconstrained budget pins both domains at maximum.
+
+use mcdvfs_bench::{banner, characterize, emit, freq_sparkline};
+use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_core::{InefficiencyBudget, OptimalFinder};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner("Figure 3", "optimal settings for gobmk across inefficiencies");
+
+    let (data, trace) = characterize(Benchmark::Gobmk);
+    let budgets: Vec<(String, InefficiencyBudget)> = vec![
+        ("1".into(), InefficiencyBudget::bounded(1.0).unwrap()),
+        ("1.3".into(), InefficiencyBudget::bounded(1.3).unwrap()),
+        ("1.6".into(), InefficiencyBudget::bounded(1.6).unwrap()),
+        ("inf".into(), InefficiencyBudget::Unconstrained),
+    ];
+
+    let series: Vec<Vec<_>> = budgets
+        .iter()
+        .map(|(_, b)| OptimalFinder::new(*b).series(&data))
+        .collect();
+
+    let mut t = Table::new(vec![
+        "sample", "cpi", "mpki", "cpu@1", "mem@1", "cpu@1.3", "mem@1.3", "cpu@1.6", "mem@1.6",
+        "cpu@inf", "mem@inf",
+    ]);
+    for s in 0..data.n_samples() {
+        let chars = trace.get(s).expect("sample in range");
+        let mut cells = vec![
+            s.to_string(),
+            fmt(chars.base_cpi, 2),
+            fmt(chars.mpki, 1),
+        ];
+        for serie in &series {
+            cells.push(serie[s].setting.cpu.mhz().to_string());
+            cells.push(serie[s].setting.mem.mhz().to_string());
+        }
+        t.row(cells);
+    }
+    emit(&t, "fig03_optimal_settings_gobmk");
+
+    println!("per-budget frequency traces (one glyph per sample, low→high):");
+    for ((label, _), serie) in budgets.iter().zip(&series) {
+        let cpu: Vec<u32> = serie.iter().map(|c| c.setting.cpu.mhz()).collect();
+        let mem: Vec<u32> = serie.iter().map(|c| c.setting.mem.mhz()).collect();
+        println!("I={label:<4} cpu {}", freq_sparkline(&cpu, 100, 1000));
+        println!("       mem {}", freq_sparkline(&mem, 200, 800));
+    }
+    let changes = |serie: &[mcdvfs_core::OptimalChoice]| {
+        serie.windows(2).filter(|w| w[0].setting != w[1].setting).count()
+    };
+    println!();
+    for ((label, _), serie) in budgets.iter().zip(&series) {
+        println!(
+            "I={label:<4}: optimal changes {} times over {} samples",
+            changes(serie),
+            serie.len()
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 4: performance clusters for gobmk at budgets {1.0, 1.3} and
+//! cluster thresholds {1%, 5%}.
+//!
+//! For each sample, the cluster's CPU and memory frequency bands (the
+//! shaded regions the paper plots). Larger thresholds widen the bands and
+//! lengthen stable regions; the budget's effect is workload dependent.
+
+use mcdvfs_bench::{banner, clusters_figure};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner("Figure 4", "performance clusters for gobmk");
+    clusters_figure(Benchmark::Gobmk, "fig04_clusters_gobmk");
+}

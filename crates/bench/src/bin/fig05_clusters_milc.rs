@@ -1,0 +1,15 @@
+//! Figure 5: performance clusters for milc at budgets {1.0, 1.3} and
+//! cluster thresholds {1%, 5%}.
+//!
+//! milc is largely CPU intensive with occasional memory phases: at higher
+//! thresholds its CPU frequency stays tightly bound while the cluster
+//! covers a wide range of memory settings, because memory frequency barely
+//! affects its performance.
+
+use mcdvfs_bench::{banner, clusters_figure};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner("Figure 5", "performance clusters for milc");
+    clusters_figure(Benchmark::Milc, "fig05_clusters_milc");
+}

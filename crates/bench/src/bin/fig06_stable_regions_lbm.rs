@@ -1,0 +1,54 @@
+//! Figure 6: stable regions and transitions for lbm, threshold 5%,
+//! inefficiency budget 1.3.
+//!
+//! Prints each stable region (start, end, chosen setting) with the
+//! transition markers between them: within a region both CPU and memory
+//! frequencies stay constant.
+
+use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_core::report::Table;
+use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner("Figure 6", "stable regions and transitions for lbm (I=1.3, threshold 5%)");
+
+    let (data, _) = characterize(Benchmark::Lbm);
+    let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
+    let clusters = cluster_series(&data, budget, 0.05).expect("valid threshold");
+    let regions = stable_regions(&clusters);
+
+    let mut t = Table::new(vec![
+        "region", "start", "end", "length", "cpu_mhz", "mem_mhz", "available_settings",
+    ]);
+    for (i, r) in regions.iter().enumerate() {
+        let chosen = r.chosen_setting(&data);
+        t.row(vec![
+            i.to_string(),
+            r.start.to_string(),
+            r.end.to_string(),
+            r.len().to_string(),
+            chosen.cpu.mhz().to_string(),
+            chosen.mem.mhz().to_string(),
+            r.available_indices().len().to_string(),
+        ]);
+    }
+    emit(&t, "fig06_stable_regions_lbm");
+
+    println!(
+        "{} regions over {} samples -> {} transitions (dashed markers in the paper's plot)",
+        regions.len(),
+        data.n_samples(),
+        regions.len() - 1
+    );
+    let marks: String = (0..data.n_samples())
+        .map(|s| {
+            if regions.iter().any(|r| r.start == s && s != 0) {
+                '|'
+            } else {
+                '·'
+            }
+        })
+        .collect();
+    println!("transition marks: {marks}");
+}

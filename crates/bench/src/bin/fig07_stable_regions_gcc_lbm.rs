@@ -1,0 +1,45 @@
+//! Figure 7: stable regions of gcc and lbm for thresholds {3%, 5%} across
+//! inefficiency budgets {1, 1.3, ∞}.
+//!
+//! Higher thresholds lengthen stable regions (fewer transitions); at the
+//! unconstrained budget the system runs at the maximum setting throughout,
+//! so no transitions remain regardless of threshold.
+
+use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_core::report::Table;
+use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner("Figure 7", "stable regions of gcc and lbm across budgets and thresholds");
+
+    let budgets: Vec<(&str, InefficiencyBudget)> = vec![
+        ("1", InefficiencyBudget::bounded(1.0).expect("valid")),
+        ("1.3", InefficiencyBudget::bounded(1.3).expect("valid")),
+        ("inf", InefficiencyBudget::Unconstrained),
+    ];
+
+    let mut t = Table::new(vec![
+        "benchmark", "budget", "threshold_%", "regions", "transitions", "mean_region_len",
+    ]);
+    for benchmark in [Benchmark::Gcc, Benchmark::Lbm] {
+        let (data, _) = characterize(benchmark);
+        for (label, budget) in &budgets {
+            for thr in [0.03, 0.05] {
+                let clusters = cluster_series(&data, *budget, thr).expect("valid threshold");
+                let regions = stable_regions(&clusters);
+                let mean_len =
+                    regions.iter().map(|r| r.len() as f64).sum::<f64>() / regions.len() as f64;
+                t.row(vec![
+                    benchmark.name().to_string(),
+                    (*label).to_string(),
+                    format!("{}", (thr * 100.0) as u32),
+                    regions.len().to_string(),
+                    (regions.len() - 1).to_string(),
+                    format!("{mean_len:.1}"),
+                ]);
+            }
+        }
+    }
+    emit(&t, "fig07_stable_regions_gcc_lbm");
+}

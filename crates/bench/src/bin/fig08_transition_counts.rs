@@ -1,0 +1,52 @@
+//! Figure 8: transitions per billion instructions with varying inefficiency
+//! budgets and cluster thresholds, across the featured benchmarks.
+//!
+//! "Tracking the optimal frequency settings results in the highest number
+//! of transitions; the number of transitions required decreases with an
+//! increase in cluster threshold. The amount of change varies with
+//! benchmark and inefficiency budget."
+
+use mcdvfs_bench::{banner, characterize, emit, PAPER_BUDGETS, PAPER_THRESHOLDS};
+use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_core::transitions::{
+    count_cluster_transitions, count_optimal_transitions, per_billion_instructions,
+};
+use mcdvfs_core::{cluster_series, InefficiencyBudget, OptimalFinder};
+use mcdvfs_workloads::Benchmark;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "transitions per billion instructions (optimal vs 1%/3%/5% clusters)",
+    );
+
+    let mut t = Table::new(vec![
+        "benchmark", "budget", "optimal", "thr_1%", "thr_3%", "thr_5%",
+    ]);
+    for benchmark in Benchmark::featured() {
+        let (data, _) = characterize(benchmark);
+        let n = data.n_samples();
+        for budget_v in PAPER_BUDGETS {
+            let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
+            let optimal = OptimalFinder::new(budget).series(&data);
+            let mut cells = vec![
+                benchmark.name().to_string(),
+                budget_v.to_string(),
+                fmt(per_billion_instructions(count_optimal_transitions(&optimal), n), 1),
+            ];
+            for thr in PAPER_THRESHOLDS {
+                let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
+                cells.push(fmt(
+                    per_billion_instructions(count_cluster_transitions(&clusters), n),
+                    1,
+                ));
+            }
+            t.row(cells);
+        }
+    }
+    emit(&t, "fig08_transition_counts");
+    println!(
+        "note: the paper reports this figure for budgets 1.0, 1.3 and 1.6;\n\
+         columns are transitions per billion instructions."
+    );
+}

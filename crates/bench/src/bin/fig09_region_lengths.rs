@@ -1,0 +1,77 @@
+//! Figure 9: distribution of stable-region lengths.
+//!
+//! (a) gobmk across budgets — rapidly changing phases keep regions short
+//! regardless of budget or threshold; (b) bzip2 across budgets — at a 1.6
+//! budget a single region covers the whole benchmark; (c) all featured
+//! benchmarks at budget 1.3.
+
+use mcdvfs_bench::{banner, characterize, emit, PAPER_THRESHOLDS};
+use mcdvfs_core::analysis::BoxStats;
+use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_core::transitions::region_lengths;
+use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
+use mcdvfs_workloads::Benchmark;
+
+fn region_stats(benchmark: Benchmark, budget_v: f64, thr: f64) -> BoxStats {
+    let (data, _) = characterize(benchmark);
+    let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
+    let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
+    BoxStats::of_lengths(&region_lengths(&stable_regions(&clusters)))
+}
+
+fn stats_row(t: &mut Table, label: &[String], s: BoxStats) {
+    let mut cells = label.to_vec();
+    cells.extend([
+        fmt(s.min, 0),
+        fmt(s.q1, 1),
+        fmt(s.median, 1),
+        fmt(s.q3, 1),
+        fmt(s.max, 0),
+        fmt(s.mean, 1),
+        s.count.to_string(),
+    ]);
+    t.row(cells);
+}
+
+fn main() {
+    banner("Figure 9", "distribution of stable-region lengths (box statistics)");
+
+    // Panels (a) and (b): gobmk and bzip2 across budgets.
+    for benchmark in [Benchmark::Gobmk, Benchmark::Bzip2] {
+        let mut t = Table::new(vec![
+            "budget", "threshold_%", "min", "q1", "median", "q3", "max", "mean", "regions",
+        ]);
+        for budget_v in [1.0, 1.2, 1.4, 1.6] {
+            for thr in PAPER_THRESHOLDS {
+                let s = region_stats(benchmark, budget_v, thr);
+                stats_row(
+                    &mut t,
+                    &[budget_v.to_string(), format!("{}", (thr * 100.0) as u32)],
+                    s,
+                );
+            }
+        }
+        println!("--- panel: {benchmark} ---");
+        emit(&t, &format!("fig09_region_lengths_{}", benchmark.name().replace('.', "")));
+    }
+
+    // Panel (c): all featured benchmarks at budget 1.3.
+    let mut t = Table::new(vec![
+        "benchmark", "threshold_%", "min", "q1", "median", "q3", "max", "mean", "regions",
+    ]);
+    for benchmark in Benchmark::featured() {
+        for thr in PAPER_THRESHOLDS {
+            let s = region_stats(benchmark, 1.3, thr);
+            stats_row(
+                &mut t,
+                &[
+                    benchmark.name().to_string(),
+                    format!("{}", (thr * 100.0) as u32),
+                ],
+                s,
+            );
+        }
+    }
+    println!("--- panel: all benchmarks at I=1.3 ---");
+    emit(&t, "fig09_region_lengths_all");
+}

@@ -1,0 +1,52 @@
+//! Runs every figure, table and ablation binary in sequence, so one
+//! command regenerates the complete `results/` directory.
+//!
+//! ```text
+//! cargo run -p mcdvfs-bench --bin run_all_figures --release
+//! ```
+
+use std::process::Command;
+
+/// Every experiment binary, in paper order.
+const BINARIES: [&str; 19] = [
+    "tab01_system_config",
+    "fig01_system_stack",
+    "fig02_inefficiency_speedup",
+    "fig03_optimal_settings",
+    "fig04_clusters_gobmk",
+    "fig05_clusters_milc",
+    "fig06_stable_regions_lbm",
+    "fig07_stable_regions_gcc_lbm",
+    "fig08_transition_counts",
+    "fig09_region_lengths",
+    "fig10_perf_vs_inefficiency",
+    "fig11_tradeoffs_overhead",
+    "fig12_step_sensitivity",
+    "suite_overview",
+    "ablation_tie_break",
+    "ablation_noise",
+    "ablation_emin",
+    "ablation_edp",
+    "ablation_ratelimit",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("binaries live in a directory");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        println!("\n::::: {name} :::::");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("could not launch {name}: {e}"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiment binaries completed", BINARIES.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Analysis helpers for the figure harness.
+
+use mcdvfs_types::Seconds;
+
+/// Five-number summary (box-plot statistics) used by Figure 9's
+/// stable-region-length distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of values summarized.
+    pub count: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty distribution");
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks (type-7 quantile).
+            let h = p * (v.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+        };
+        Self {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().expect("nonempty"),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            count: v.len(),
+        }
+    }
+
+    /// Convenience for integer-valued distributions (region lengths).
+    #[must_use]
+    pub fn of_lengths(lengths: &[usize]) -> Self {
+        let v: Vec<f64> = lengths.iter().map(|&l| l as f64).collect();
+        Self::of(&v)
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Execution time normalized against a baseline (Figure 10's y-axis).
+///
+/// # Panics
+///
+/// Panics in debug builds when the baseline is non-positive.
+#[must_use]
+pub fn normalized_time(time: Seconds, baseline: Seconds) -> f64 {
+    debug_assert!(baseline.value() > 0.0);
+    time / baseline
+}
+
+/// Percent change helper: `(new - old) / old * 100`.
+#[must_use]
+pub fn percent_change(old: f64, new: f64) -> f64 {
+    (new - old) / old * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_distribution() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn box_stats_interpolates_quartiles() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_single_value() {
+        let s = BoxStats::of(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn box_stats_unsorted_input() {
+        let s = BoxStats::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn of_lengths_converts() {
+        let s = BoxStats::of_lengths(&[1, 2, 3]);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_distribution_panics() {
+        let _ = BoxStats::of(&[]);
+    }
+
+    #[test]
+    fn normalized_time_ratio() {
+        let n = normalized_time(Seconds::new(0.5), Seconds::new(2.0));
+        assert!((n - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert!((percent_change(10.0, 11.0) - 10.0).abs() < 1e-12);
+        assert!((percent_change(10.0, 9.0) + 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! Performance clusters.
+//!
+//! "All frequency settings (CPU and memory frequency pairs) that have
+//! performance within a performance degradation threshold (*cluster
+//! threshold*) compared to the performance of the optimal settings for a
+//! given inefficiency budget form the performance cluster for that
+//! inefficiency constraint." (Section VI)
+//!
+//! A speedup within `threshold` of optimal means
+//! `speedup ≥ speedup_opt · (1 − threshold)`, i.e.
+//! `time ≤ time_opt / (1 − threshold)`.
+
+use crate::inefficiency::InefficiencyBudget;
+use crate::optimal::{OptimalChoice, OptimalFinder};
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{Error, FreqSetting, Result};
+
+/// The performance cluster of one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceCluster {
+    /// Sample index within the trace.
+    pub sample: usize,
+    /// The optimal choice the cluster is anchored on.
+    pub optimal: OptimalChoice,
+    /// Cluster threshold used (e.g. `0.05` for 5%).
+    pub threshold: f64,
+    /// Flat grid indices of every member, ascending (always contains
+    /// `optimal.index`).
+    members: Vec<usize>,
+}
+
+impl PerformanceCluster {
+    /// Member setting indices, ascending.
+    #[must_use]
+    pub fn member_indices(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of member settings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// A cluster always contains at least its optimal setting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` when setting index `idx` is in the cluster.
+    #[must_use]
+    pub fn contains_index(&self, idx: usize) -> bool {
+        self.members.binary_search(&idx).is_ok()
+    }
+
+    /// Member settings resolved against `data`'s grid.
+    #[must_use]
+    pub fn settings(&self, data: &CharacterizationGrid) -> Vec<FreqSetting> {
+        self.members
+            .iter()
+            .map(|&i| data.grid().get(i).expect("member on grid"))
+            .collect()
+    }
+
+    /// Range of member CPU frequencies `(min, max)` in MHz, resolved
+    /// against `data`'s grid.
+    #[must_use]
+    pub fn cpu_range_mhz(&self, data: &CharacterizationGrid) -> (u32, u32) {
+        let mhz: Vec<u32> = self
+            .settings(data)
+            .iter()
+            .map(|s| s.cpu.mhz())
+            .collect();
+        (
+            *mhz.iter().min().expect("cluster never empty"),
+            *mhz.iter().max().expect("cluster never empty"),
+        )
+    }
+
+    /// Range of member memory frequencies `(min, max)` in MHz.
+    #[must_use]
+    pub fn mem_range_mhz(&self, data: &CharacterizationGrid) -> (u32, u32) {
+        let mhz: Vec<u32> = self
+            .settings(data)
+            .iter()
+            .map(|s| s.mem.mhz())
+            .collect();
+        (
+            *mhz.iter().min().expect("cluster never empty"),
+            *mhz.iter().max().expect("cluster never empty"),
+        )
+    }
+}
+
+/// Computes the per-sample performance clusters for a whole trace — the
+/// series Figures 4 and 5 plot.
+///
+/// Mirrors the paper's two-pass algorithm: first find the optimal settings
+/// within the budget, then collect every in-budget setting whose speedup is
+/// within `threshold` of the optimal's.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `threshold` is outside
+/// `[0, 0.5]` (the paper argues thresholds beyond 5% are unrealistic; 50%
+/// is a hard sanity bound).
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::{cluster_series, InefficiencyBudget};
+/// use mcdvfs_sim::{CharacterizationGrid, System};
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let data = CharacterizationGrid::characterize(
+///     &System::galaxy_nexus_class(),
+///     &Benchmark::Gobmk.trace().window(0, 6),
+///     FrequencyGrid::coarse(),
+/// );
+/// let budget = InefficiencyBudget::bounded(1.3).unwrap();
+/// let tight = cluster_series(&data, budget, 0.01).unwrap();
+/// let loose = cluster_series(&data, budget, 0.05).unwrap();
+/// for (t, l) in tight.iter().zip(&loose) {
+///     assert!(t.len() <= l.len(), "larger thresholds grow clusters");
+/// }
+/// ```
+pub fn cluster_series(
+    data: &CharacterizationGrid,
+    budget: InefficiencyBudget,
+    threshold: f64,
+) -> Result<Vec<PerformanceCluster>> {
+    if !(0.0..=0.5).contains(&threshold) {
+        return Err(Error::InvalidParameter {
+            name: "threshold",
+            reason: format!("cluster threshold must be in [0, 0.5], got {threshold}"),
+        });
+    }
+    let finder = OptimalFinder::new(budget);
+    let mut out = Vec::with_capacity(data.n_samples());
+    for s in 0..data.n_samples() {
+        let optimal = finder.find(data, s);
+        let row = data.sample_row(s);
+        let time_cap = optimal.time.value() / (1.0 - threshold);
+        let mut members: Vec<usize> = finder
+            .feasible(data, s)
+            .into_iter()
+            .filter(|&i| row[i].time.value() <= time_cap * (1.0 + 1e-12))
+            .collect();
+        if !members.contains(&optimal.index) {
+            // The optimal index is always within the cap, but guard against
+            // floating-point edge cases.
+            members.push(optimal.index);
+        }
+        members.sort_unstable();
+        out.push(PerformanceCluster {
+            sample: s,
+            optimal,
+            threshold,
+            members,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    fn budget(v: f64) -> InefficiencyBudget {
+        InefficiencyBudget::bounded(v).unwrap()
+    }
+
+    #[test]
+    fn cluster_contains_its_optimal() {
+        let d = data(Benchmark::Gobmk, 10);
+        for thr in [0.01, 0.03, 0.05] {
+            for c in cluster_series(&d, budget(1.3), thr).unwrap() {
+                assert!(c.contains_index(c.optimal.index));
+                assert!(!c.is_empty());
+                assert!(c.len() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn every_member_is_within_threshold_and_budget() {
+        let d = data(Benchmark::Milc, 10);
+        let thr = 0.05;
+        let b = 1.3;
+        for c in cluster_series(&d, budget(b), thr).unwrap() {
+            for &i in c.member_indices() {
+                let m = d.measurement(c.sample, i);
+                let loss = 1.0 - c.optimal.time.value() / m.time.value();
+                assert!(loss <= thr + 1e-9, "member {i} loses {loss}");
+                let ineff = m.energy() / d.sample_emin(c.sample);
+                let bound = b * (1.0 + crate::InefficiencyBudget::NOISE_TOLERANCE) + 1e-9;
+                assert!(ineff <= bound, "member {i} inefficiency {ineff}");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_grow_with_threshold() {
+        let d = data(Benchmark::Gobmk, 12);
+        let c1 = cluster_series(&d, budget(1.3), 0.01).unwrap();
+        let c5 = cluster_series(&d, budget(1.3), 0.05).unwrap();
+        for (a, b) in c1.iter().zip(&c5) {
+            assert!(b.len() >= a.len(), "sample {}", a.sample);
+            // 1% members are a subset of 5% members.
+            for &i in a.member_indices() {
+                assert!(b.contains_index(i), "sample {} member {i}", a.sample);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_cluster_is_the_noise_tie_set() {
+        let d = data(Benchmark::Bzip2, 6);
+        for c in cluster_series(&d, budget(1.3), 0.0).unwrap() {
+            // Members are exactly the feasible settings whose time equals
+            // the optimal's (within rounding).
+            for &i in c.member_indices() {
+                let t = d.measurement(c.sample, i).time.value();
+                assert!(t <= c.optimal.time.value() * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_bound_clusters_span_wide_memory_ranges() {
+        // The paper's milc observation: at higher thresholds the CPU
+        // frequency stays tightly bound while memory settings span a wide
+        // range, because memory frequency barely affects performance.
+        let d = data(Benchmark::Bzip2, 8);
+        for c in cluster_series(&d, budget(1.6), 0.05).unwrap() {
+            let (cpu_lo, cpu_hi) = c.cpu_range_mhz(&d);
+            let (mem_lo, mem_hi) = c.mem_range_mhz(&d);
+            let cpu_span = cpu_hi - cpu_lo;
+            let mem_span = mem_hi - mem_lo;
+            assert!(
+                mem_span >= 300 && mem_span > cpu_span,
+                "sample {}: cpu span {cpu_span} MHz, mem span {mem_span} MHz",
+                c.sample
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_clusters_bind_memory_tighter_relative_to_range() {
+        let d = data(Benchmark::Lbm, 8);
+        for c in cluster_series(&d, budget(1.0), 0.01).unwrap() {
+            let (mem_lo, mem_hi) = c.mem_range_mhz(&d);
+            assert!(
+                mem_hi - mem_lo <= 300,
+                "lbm at I=1.0/1%: memory span {} MHz too wide",
+                mem_hi - mem_lo
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let d = data(Benchmark::Gobmk, 3);
+        assert!(cluster_series(&d, budget(1.3), -0.01).is_err());
+        assert!(cluster_series(&d, budget(1.3), 0.51).is_err());
+        assert!(cluster_series(&d, budget(1.3), 0.5).is_ok());
+    }
+
+    #[test]
+    fn settings_resolve_against_grid() {
+        let d = data(Benchmark::Gobmk, 4);
+        let clusters = cluster_series(&d, budget(1.3), 0.05).unwrap();
+        for c in &clusters {
+            let settings = c.settings(&d);
+            assert_eq!(settings.len(), c.len());
+            for s in settings {
+                assert!(d.grid().contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn member_indices_are_sorted_unique() {
+        let d = data(Benchmark::Gcc, 8);
+        for c in cluster_series(&d, budget(1.3), 0.05).unwrap() {
+            let m = c.member_indices();
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

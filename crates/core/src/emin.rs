@@ -1,0 +1,314 @@
+//! `Emin` estimation.
+//!
+//! Computing inefficiency needs the minimum energy the sample could have
+//! consumed. The paper proposes two routes (Section II-B), both provided
+//! here against a [`CharacterizationGrid`]:
+//!
+//! * [`BruteForceEmin`] — evaluate the energy model at every possible
+//!   setting and take the minimum. Exact but expensive; its cost is what
+//!   the tuning-overhead model charges per search.
+//! * [`LookupTableEmin`] — brute force once, memoize per sample. Same
+//!   answers at O(1) repeat cost.
+//! * [`LearningEmin`] — predict `Emin` from previous observations with an
+//!   exponentially weighted moving average over a CPI-bucketed phase key,
+//!   falling back to brute force on cold buckets and learning continuously.
+
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::Joules;
+use std::collections::HashMap;
+
+/// A strategy for obtaining per-sample `Emin`.
+pub trait EminEstimator {
+    /// Estimated minimum energy for sample `s`.
+    fn emin(&mut self, data: &CharacterizationGrid, s: usize) -> Joules;
+
+    /// Number of full grid scans performed so far (the expensive part; the
+    /// tuning-overhead model charges per scan).
+    fn scans(&self) -> u64;
+}
+
+/// Exact `Emin` by scanning every setting, every time.
+#[derive(Debug, Clone, Default)]
+pub struct BruteForceEmin {
+    scans: u64,
+}
+
+impl BruteForceEmin {
+    /// Creates a fresh estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EminEstimator for BruteForceEmin {
+    fn emin(&mut self, data: &CharacterizationGrid, s: usize) -> Joules {
+        self.scans += 1;
+        data.sample_row(s)
+            .iter()
+            .map(|m| m.energy())
+            .fold(Joules::new(f64::INFINITY), Joules::min)
+    }
+
+    fn scans(&self) -> u64 {
+        self.scans
+    }
+}
+
+/// Brute force once per sample, memoized thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct LookupTableEmin {
+    table: HashMap<usize, Joules>,
+    scans: u64,
+}
+
+impl LookupTableEmin {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl EminEstimator for LookupTableEmin {
+    fn emin(&mut self, data: &CharacterizationGrid, s: usize) -> Joules {
+        if let Some(&e) = self.table.get(&s) {
+            return e;
+        }
+        self.scans += 1;
+        let e = data.sample_emin(s);
+        self.table.insert(s, e);
+        e
+    }
+
+    fn scans(&self) -> u64 {
+        self.scans
+    }
+}
+
+/// Learning-based `Emin` predictor.
+///
+/// Samples are bucketed by quantized CPI at the reference (maximum)
+/// setting — a cheap observable phase signature. Each bucket holds an EWMA
+/// of observed `Emin`. Cold buckets fall back to a brute-force scan (and
+/// seed the bucket); warm buckets predict at zero scan cost and then update
+/// from the true value, so the predictor keeps learning.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::emin::{EminEstimator, LearningEmin};
+/// use mcdvfs_sim::{CharacterizationGrid, System};
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let data = CharacterizationGrid::characterize(
+///     &System::galaxy_nexus_class(),
+///     &Benchmark::Lbm.trace().window(0, 20),
+///     FrequencyGrid::coarse(),
+/// );
+/// let mut predictor = LearningEmin::new(0.25);
+/// for s in 0..data.n_samples() {
+///     let _ = predictor.emin(&data, s);
+/// }
+/// // lbm is steady: after the first scan the phase bucket stays warm.
+/// assert!(predictor.scans() < data.n_samples() as u64 / 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LearningEmin {
+    /// EWMA smoothing factor in `(0, 1]`; higher forgets faster.
+    alpha: f64,
+    buckets: HashMap<u32, f64>,
+    scans: u64,
+    predictions: u64,
+}
+
+impl LearningEmin {
+    /// Creates a predictor with EWMA factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            buckets: HashMap::new(),
+            scans: 0,
+            predictions: 0,
+        }
+    }
+
+    /// Number of warm-bucket predictions served without a scan.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Phase signature: CPI at the grid's maximum setting, quantized to
+    /// 0.25-CPI buckets.
+    fn bucket(data: &CharacterizationGrid, s: usize) -> u32 {
+        let max_idx = data.n_settings() - 1;
+        (data.measurement(s, max_idx).cpi / 0.25).round() as u32
+    }
+
+    /// Mean absolute relative error of the predictor against exact `Emin`
+    /// over all samples of `data` (diagnostic; does not mutate state).
+    #[must_use]
+    pub fn validation_error(&self, data: &CharacterizationGrid) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for s in 0..data.n_samples() {
+            if let Some(&predicted) = self.buckets.get(&Self::bucket(data, s)) {
+                let exact = data.sample_emin(s).value();
+                total += (predicted - exact).abs() / exact;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+impl EminEstimator for LearningEmin {
+    fn emin(&mut self, data: &CharacterizationGrid, s: usize) -> Joules {
+        let key = Self::bucket(data, s);
+        match self.buckets.get(&key).copied() {
+            Some(predicted) => {
+                self.predictions += 1;
+                // Continuous learning: blend in the true value (available
+                // here because the grid is measured; a real system would
+                // refine from its next scan).
+                let exact = data.sample_emin(s).value();
+                self.buckets
+                    .insert(key, predicted + self.alpha * (exact - predicted));
+                Joules::new(predicted)
+            }
+            None => {
+                self.scans += 1;
+                let exact = data.sample_emin(s);
+                self.buckets.insert(key, exact.value());
+                exact
+            }
+        }
+    }
+
+    fn scans(&self) -> u64 {
+        self.scans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::new(200, 1000, 200, 200, 800, 200).unwrap(),
+        )
+    }
+
+    #[test]
+    fn brute_force_matches_grid_cache() {
+        let d = data(Benchmark::Gobmk, 8);
+        let mut bf = BruteForceEmin::new();
+        for s in 0..d.n_samples() {
+            assert_eq!(bf.emin(&d, s), d.sample_emin(s));
+        }
+        assert_eq!(bf.scans(), 8);
+    }
+
+    #[test]
+    fn lookup_table_scans_each_sample_once() {
+        let d = data(Benchmark::Gobmk, 6);
+        let mut lut = LookupTableEmin::new();
+        assert!(lut.is_empty());
+        for _ in 0..3 {
+            for s in 0..d.n_samples() {
+                assert_eq!(lut.emin(&d, s), d.sample_emin(s));
+            }
+        }
+        assert_eq!(lut.scans(), 6, "one scan per distinct sample");
+        assert_eq!(lut.len(), 6);
+    }
+
+    #[test]
+    fn learning_predictor_is_cheap_on_steady_workloads() {
+        let d = data(Benchmark::Lbm, 20);
+        let mut learn = LearningEmin::new(0.3);
+        for s in 0..d.n_samples() {
+            let e = learn.emin(&d, s);
+            assert!(e.value() > 0.0);
+        }
+        assert!(learn.scans() <= 4, "lbm phase buckets: {} scans", learn.scans());
+        assert!(learn.predictions() >= 16);
+    }
+
+    #[test]
+    fn learning_predictor_error_is_small_on_steady_workloads() {
+        let d = data(Benchmark::Lbm, 20);
+        let mut learn = LearningEmin::new(0.3);
+        for s in 0..d.n_samples() {
+            let _ = learn.emin(&d, s);
+        }
+        let err = learn.validation_error(&d);
+        assert!(err < 0.05, "validation error {err}");
+    }
+
+    #[test]
+    fn learning_predictor_scans_more_on_phasey_workloads() {
+        let dg = data(Benchmark::Gobmk, 20);
+        let dl = data(Benchmark::Lbm, 20);
+        let mut lg = LearningEmin::new(0.3);
+        let mut ll = LearningEmin::new(0.3);
+        for s in 0..20 {
+            let _ = lg.emin(&dg, s);
+            let _ = ll.emin(&dl, s);
+        }
+        assert!(
+            lg.scans() >= ll.scans(),
+            "gobmk ({}) should need at least as many scans as lbm ({})",
+            lg.scans(),
+            ll.scans()
+        );
+    }
+
+    #[test]
+    fn predictions_stay_close_to_exact() {
+        let d = data(Benchmark::Milc, 25);
+        let mut learn = LearningEmin::new(0.5);
+        for s in 0..d.n_samples() {
+            let predicted = learn.emin(&d, s).value();
+            let exact = d.sample_emin(s).value();
+            let err = (predicted - exact).abs() / exact;
+            assert!(err < 0.25, "sample {s}: prediction off by {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = LearningEmin::new(0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Oracle governors over the characterization grid.
+//!
+//! Both know the measured grid (the paper runs them over collected data;
+//! "all our studies are performed using measured performance and power
+//! data"). The optimal tracker re-searches every sample; the cluster
+//! follower is the paper's ideal stable-region algorithm, tuning only when
+//! a region ends.
+
+use crate::clusters::cluster_series;
+use crate::governor::{Decision, Governor, Observation};
+use crate::inefficiency::InefficiencyBudget;
+use crate::optimal::OptimalFinder;
+use crate::stable::{stable_regions, StableRegion};
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::Result;
+use std::sync::Arc;
+
+/// Tracks the per-sample optimal setting exactly, searching the full grid
+/// at every sample boundary.
+#[derive(Debug, Clone)]
+pub struct OracleOptimalGovernor {
+    data: Arc<CharacterizationGrid>,
+    finder: OptimalFinder,
+    name: String,
+}
+
+impl OracleOptimalGovernor {
+    /// Creates the governor for `budget` over `data`.
+    #[must_use]
+    pub fn new(data: Arc<CharacterizationGrid>, budget: InefficiencyBudget) -> Self {
+        Self {
+            name: format!("oracle-optimal({budget})"),
+            finder: OptimalFinder::new(budget),
+            data,
+        }
+    }
+}
+
+impl Governor for OracleOptimalGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, next_sample: usize, _prev: Option<&Observation>) -> Decision {
+        let choice = self.finder.find(&self.data, next_sample.min(self.data.n_samples() - 1));
+        Decision {
+            setting: choice.setting,
+            settings_evaluated: self.data.n_settings(),
+        }
+    }
+}
+
+/// How a cluster governor picks one setting from a stable region's common
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegionChoice {
+    /// Highest CPU then memory frequency — the paper's Section VI-B rule,
+    /// maximizing performance within the region.
+    #[default]
+    HighestFrequency,
+    /// Lowest total region energy — realizes the Section VI-C energy
+    /// savings ("lower frequency settings can be chosen at higher cluster
+    /// thresholds") while staying within the performance threshold.
+    LowestEnergy,
+}
+
+/// Follows precomputed stable regions: one setting per region, one search
+/// per region boundary — the paper's ideal cluster algorithm (Section VI)
+/// and its offline-analysis deployment proposal (Section VII).
+#[derive(Debug, Clone)]
+pub struct OracleClusterGovernor {
+    data: Arc<CharacterizationGrid>,
+    regions: Vec<StableRegion>,
+    choice: RegionChoice,
+    name: String,
+}
+
+impl OracleClusterGovernor {
+    /// Precomputes clusters and stable regions for `budget` and
+    /// `threshold`, using the performance-maximizing region choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the threshold validation of
+    /// [`cluster_series`](crate::cluster_series).
+    pub fn new(
+        data: Arc<CharacterizationGrid>,
+        budget: InefficiencyBudget,
+        threshold: f64,
+    ) -> Result<Self> {
+        Self::with_choice(data, budget, threshold, RegionChoice::HighestFrequency)
+    }
+
+    /// As [`Self::new`], with an explicit region representative policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the threshold validation of
+    /// [`cluster_series`](crate::cluster_series).
+    pub fn with_choice(
+        data: Arc<CharacterizationGrid>,
+        budget: InefficiencyBudget,
+        threshold: f64,
+        choice: RegionChoice,
+    ) -> Result<Self> {
+        let clusters = cluster_series(&data, budget, threshold)?;
+        let regions = stable_regions(&clusters);
+        let tag = match choice {
+            RegionChoice::HighestFrequency => "",
+            RegionChoice::LowestEnergy => ", efficient",
+        };
+        Ok(Self {
+            name: format!("oracle-cluster({budget}, {:.0}%{tag})", threshold * 100.0),
+            data,
+            regions,
+            choice,
+        })
+    }
+
+    /// The stable regions this governor follows.
+    #[must_use]
+    pub fn regions(&self) -> &[StableRegion] {
+        &self.regions
+    }
+}
+
+impl Governor for OracleClusterGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, next_sample: usize, _prev: Option<&Observation>) -> Decision {
+        let region = self
+            .regions
+            .iter()
+            .find(|r| r.contains_sample(next_sample))
+            .or_else(|| self.regions.last())
+            .expect("regions cover the trace");
+        let setting = match self.choice {
+            RegionChoice::HighestFrequency => region.chosen_setting(&self.data),
+            RegionChoice::LowestEnergy => region.most_efficient_setting(&self.data),
+        };
+        // Search only at region starts; inside a region the decision is a
+        // table lookup.
+        let evaluated = if next_sample == region.start {
+            self.data.n_settings()
+        } else {
+            0
+        };
+        Decision {
+            setting,
+            settings_evaluated: evaluated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> Arc<CharacterizationGrid> {
+        Arc::new(CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        ))
+    }
+
+    fn budget(v: f64) -> InefficiencyBudget {
+        InefficiencyBudget::bounded(v).unwrap()
+    }
+
+    #[test]
+    fn optimal_governor_matches_the_finder() {
+        let d = data(Benchmark::Gobmk, 10);
+        let mut g = OracleOptimalGovernor::new(Arc::clone(&d), budget(1.3));
+        let series = OptimalFinder::new(budget(1.3)).series(&d);
+        for (s, expect) in series.iter().enumerate() {
+            let dec = g.decide(s, None);
+            assert_eq!(dec.setting, expect.setting, "sample {s}");
+            assert_eq!(dec.settings_evaluated, 70, "full search every sample");
+        }
+        assert!(g.name().contains("oracle-optimal"));
+    }
+
+    #[test]
+    fn cluster_governor_holds_the_setting_within_a_region() {
+        let d = data(Benchmark::Lbm, 20);
+        let mut g = OracleClusterGovernor::new(Arc::clone(&d), budget(1.3), 0.05).unwrap();
+        let regions = g.regions().to_vec();
+        for r in &regions {
+            let first = g.decide(r.start, None);
+            assert_eq!(first.settings_evaluated, 70, "search at region start");
+            for s in r.start + 1..r.end {
+                let dec = g.decide(s, None);
+                assert_eq!(dec.setting, first.setting);
+                assert_eq!(dec.settings_evaluated, 0, "free inside a region");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_governor_changes_only_at_boundaries() {
+        let d = data(Benchmark::Gcc, 40);
+        let mut g = OracleClusterGovernor::new(Arc::clone(&d), budget(1.3), 0.03).unwrap();
+        let mut last = None;
+        let mut changes = 0;
+        for s in 0..40 {
+            let dec = g.decide(s, None);
+            if last.is_some_and(|p| p != dec.setting) {
+                changes += 1;
+            }
+            last = Some(dec.setting);
+        }
+        assert_eq!(changes, g.regions().len() - 1);
+    }
+
+    #[test]
+    fn cluster_governor_stays_within_budget_per_sample() {
+        let d = data(Benchmark::Milc, 25);
+        let b = 1.3;
+        let mut g = OracleClusterGovernor::new(Arc::clone(&d), budget(b), 0.05).unwrap();
+        let bound = b * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9;
+        for s in 0..25 {
+            let dec = g.decide(s, None);
+            let m = d.measurement_at(s, dec.setting).unwrap();
+            let ineff = m.energy() / d.sample_emin(s);
+            assert!(ineff <= bound, "sample {s}: I={ineff}");
+        }
+    }
+
+    #[test]
+    fn invalid_threshold_propagates() {
+        let d = data(Benchmark::Bzip2, 4);
+        assert!(OracleClusterGovernor::new(d, budget(1.3), 0.9).is_err());
+    }
+
+    #[test]
+    fn out_of_range_sample_clamps() {
+        let d = data(Benchmark::Bzip2, 4);
+        let mut g = OracleOptimalGovernor::new(Arc::clone(&d), budget(1.3));
+        let dec = g.decide(99, None);
+        assert!(d.grid().contains(dec.setting));
+        let mut gc = OracleClusterGovernor::new(d, budget(1.3), 0.05).unwrap();
+        let dec = gc.decide(99, None);
+        assert_ne!(dec.settings_evaluated, usize::MAX);
+    }
+}

@@ -1,0 +1,301 @@
+//! Runtime predictive tuning (the paper's Section VII "learning" proposal).
+//!
+//! Isci et al. showed that simple run-length predictors can detect how long
+//! the current application phase will remain stable, letting a tuner skip
+//! re-searching until the predicted phase end. [`PhasePredictor`]
+//! implements that idea over the quantized per-sample CPI signature;
+//! [`PredictiveGovernor`] re-searches only when the predictor reports a
+//! phase change or its predicted stability window expires.
+
+use crate::governor::{Decision, Governor, Observation};
+use crate::inefficiency::InefficiencyBudget;
+use crate::optimal::OptimalFinder;
+use mcdvfs_sim::CharacterizationGrid;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Run-length phase predictor over a quantized CPI signature.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::governor::PhasePredictor;
+///
+/// let mut p = PhasePredictor::new(0.25);
+/// assert!(p.observe(1.0), "first observation is always a new phase");
+/// assert!(!p.observe(1.05), "same bucket: phase continues");
+/// assert!(p.observe(2.0), "jump: new phase");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasePredictor {
+    /// CPI quantization step defining a phase signature.
+    bucket_width: f64,
+    current_bucket: Option<i64>,
+    current_run: usize,
+    /// EWMA of past run lengths per signature.
+    history: HashMap<i64, f64>,
+}
+
+impl PhasePredictor {
+    /// Creates a predictor with the given CPI bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket_width` is not positive.
+    #[must_use]
+    pub fn new(bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        Self {
+            bucket_width,
+            current_bucket: None,
+            current_run: 0,
+            history: HashMap::new(),
+        }
+    }
+
+    fn bucket(&self, cpi: f64) -> i64 {
+        (cpi / self.bucket_width).round() as i64
+    }
+
+    /// Feeds one observed CPI; returns `true` when a phase change is
+    /// detected (including the very first observation).
+    pub fn observe(&mut self, cpi: f64) -> bool {
+        let b = self.bucket(cpi);
+        match self.current_bucket {
+            Some(cur) if cur == b => {
+                self.current_run += 1;
+                false
+            }
+            prev => {
+                if let Some(old) = prev {
+                    // Record the finished run with EWMA smoothing.
+                    let entry = self.history.entry(old).or_insert(self.current_run as f64);
+                    *entry = 0.5 * *entry + 0.5 * self.current_run as f64;
+                }
+                self.current_bucket = Some(b);
+                self.current_run = 1;
+                true
+            }
+        }
+    }
+
+    /// Predicted total length (in samples) of the current phase.
+    ///
+    /// Combines two signals, taking the larger: the EWMA of past runs with
+    /// the same signature, and — Isci-style run-length doubling — twice the
+    /// current run (a phase that has already lasted `n` samples is likely
+    /// to last about as long again). Never-seen phases with no run built up
+    /// predict `1`, i.e. tune again next sample until confidence builds.
+    #[must_use]
+    pub fn predicted_length(&self) -> usize {
+        let from_history = self
+            .current_bucket
+            .and_then(|b| self.history.get(&b))
+            .map(|&l| l.round().max(1.0) as usize)
+            .unwrap_or(1);
+        from_history.max(self.current_run * 2)
+    }
+
+    /// Length of the current run so far.
+    #[must_use]
+    pub fn current_run(&self) -> usize {
+        self.current_run
+    }
+}
+
+/// A runtime-plausible tuner: full search only on phase changes or expiry
+/// of the predicted stability window.
+///
+/// The grid serves as the governor's performance/energy model (the paper
+/// defers building predictive models to future work); the *policy* —
+/// when to pay for a search — is what this governor contributes.
+#[derive(Debug, Clone)]
+pub struct PredictiveGovernor {
+    data: Arc<CharacterizationGrid>,
+    finder: OptimalFinder,
+    predictor: PhasePredictor,
+    name: String,
+    current: Option<mcdvfs_types::FreqSetting>,
+    /// Samples remaining before the next scheduled re-search.
+    hold: usize,
+    searches: u64,
+}
+
+impl PredictiveGovernor {
+    /// Creates the governor for `budget` with a 0.25-CPI phase signature.
+    #[must_use]
+    pub fn new(data: Arc<CharacterizationGrid>, budget: InefficiencyBudget) -> Self {
+        Self {
+            name: format!("predictive({budget})"),
+            finder: OptimalFinder::new(budget),
+            predictor: PhasePredictor::new(0.25),
+            data,
+            current: None,
+            hold: 0,
+            searches: 0,
+        }
+    }
+
+    /// Number of full searches performed so far.
+    #[must_use]
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    fn search(&mut self, sample: usize) -> Decision {
+        self.searches += 1;
+        let choice = self.finder.find(&self.data, sample);
+        self.current = Some(choice.setting);
+        // Hold the setting for the predicted remaining phase length.
+        self.hold = self
+            .predictor
+            .predicted_length()
+            .saturating_sub(self.predictor.current_run())
+            .max(1);
+        Decision {
+            setting: choice.setting,
+            settings_evaluated: self.data.n_settings(),
+        }
+    }
+}
+
+impl Governor for PredictiveGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, next_sample: usize, prev: Option<&Observation>) -> Decision {
+        let sample = next_sample.min(self.data.n_samples() - 1);
+        let phase_changed = match prev {
+            Some(obs) => self.predictor.observe(obs.measurement.cpi),
+            None => true,
+        };
+        if phase_changed || self.hold == 0 || self.current.is_none() {
+            self.search(sample)
+        } else {
+            self.hold -= 1;
+            Decision::reuse(self.current.expect("checked above"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> Arc<CharacterizationGrid> {
+        Arc::new(CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        ))
+    }
+
+    fn budget(v: f64) -> InefficiencyBudget {
+        InefficiencyBudget::bounded(v).unwrap()
+    }
+
+    fn obs(data: &CharacterizationGrid, sample: usize, setting: mcdvfs_types::FreqSetting) -> Observation {
+        Observation {
+            sample,
+            setting,
+            measurement: *data.measurement_at(sample, setting).unwrap(),
+            dram_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn predictor_learns_run_lengths() {
+        let mut p = PhasePredictor::new(0.25);
+        // Two runs of phase A of length 4, separated by phase B.
+        for _ in 0..2 {
+            for _ in 0..4 {
+                p.observe(1.0);
+            }
+            for _ in 0..2 {
+                p.observe(3.0);
+            }
+        }
+        p.observe(1.0);
+        // After seeing A-runs of length 4, prediction approaches 4.
+        assert!(p.predicted_length() >= 3, "predicted {}", p.predicted_length());
+    }
+
+    #[test]
+    fn predictor_detects_changes() {
+        let mut p = PhasePredictor::new(0.25);
+        assert!(p.observe(0.9));
+        assert!(!p.observe(0.95));
+        assert_eq!(p.current_run(), 2);
+        assert!(p.observe(1.8));
+        assert_eq!(p.current_run(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let _ = PhasePredictor::new(0.0);
+    }
+
+    #[test]
+    fn governor_searches_less_on_steady_workloads() {
+        let d = data(Benchmark::Lbm, 30);
+        let mut g = PredictiveGovernor::new(Arc::clone(&d), budget(1.3));
+        let mut prev: Option<Observation> = None;
+        for s in 0..30 {
+            let dec = g.decide(s, prev.as_ref());
+            prev = Some(obs(&d, s, dec.setting));
+        }
+        assert!(
+            g.searches() < 15,
+            "steady lbm should not search every sample: {}",
+            g.searches()
+        );
+    }
+
+    #[test]
+    fn governor_searches_more_on_phasey_workloads() {
+        let dl = data(Benchmark::Lbm, 30);
+        let dg = data(Benchmark::Gobmk, 30);
+        let run = |d: &Arc<CharacterizationGrid>| {
+            let mut g = PredictiveGovernor::new(Arc::clone(d), budget(1.3));
+            let mut prev: Option<Observation> = None;
+            for s in 0..30 {
+                let dec = g.decide(s, prev.as_ref());
+                prev = Some(obs(d, s, dec.setting));
+            }
+            g.searches()
+        };
+        let lbm = run(&dl);
+        let gobmk = run(&dg);
+        assert!(gobmk > lbm, "gobmk {gobmk} searches vs lbm {lbm}");
+    }
+
+    #[test]
+    fn reused_decisions_are_free() {
+        let d = data(Benchmark::Lbm, 20);
+        let mut g = PredictiveGovernor::new(Arc::clone(&d), budget(1.3));
+        let mut prev: Option<Observation> = None;
+        let mut free = 0;
+        for s in 0..20 {
+            let dec = g.decide(s, prev.as_ref());
+            if dec.settings_evaluated == 0 {
+                free += 1;
+            }
+            prev = Some(obs(&d, s, dec.setting));
+        }
+        assert!(free > 5, "some decisions must be reuses: {free}");
+    }
+
+    #[test]
+    fn first_decision_always_searches() {
+        let d = data(Benchmark::Bzip2, 5);
+        let mut g = PredictiveGovernor::new(Arc::clone(&d), budget(1.3));
+        let dec = g.decide(0, None);
+        assert_eq!(dec.settings_evaluated, d.n_settings());
+        assert_eq!(g.searches(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline-profile governor (the paper's Section VII-2 proposal).
+//!
+//! "An application can be profiled offline to identify regions in which
+//! the performance cluster is stable. The profile information of the
+//! stable region lengths, positions, and available settings can then be
+//! used at run time to enable the system to predict how long it can go
+//! without tuning."
+//!
+//! [`WorkloadProfile`] captures exactly that — region boundaries and their
+//! chosen settings from a profiling run — and [`ProfileGovernor`] replays
+//! it on a *different* execution of the same application (different input
+//! jitter), tuning zero times at runtime. The integration tests quantify
+//! how well profiles transfer across executions.
+
+use crate::clusters::cluster_series;
+use crate::governor::{Decision, Governor, Observation};
+use crate::inefficiency::InefficiencyBudget;
+use crate::stable::stable_regions;
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{FreqSetting, Result};
+
+/// An offline profile: stable-region boundaries and settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Application name the profile was taken from.
+    name: String,
+    /// Budget the profile was computed for.
+    budget: InefficiencyBudget,
+    /// Cluster threshold the profile was computed for.
+    threshold: f64,
+    /// `(start_sample, setting)` per region, ascending by start.
+    regions: Vec<(usize, FreqSetting)>,
+}
+
+impl WorkloadProfile {
+    /// Profiles a characterized training run: computes its performance
+    /// clusters and stable regions and records the per-region settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the threshold validation of
+    /// [`cluster_series`](crate::cluster_series).
+    pub fn from_characterization(
+        data: &CharacterizationGrid,
+        budget: InefficiencyBudget,
+        threshold: f64,
+    ) -> Result<Self> {
+        let clusters = cluster_series(data, budget, threshold)?;
+        let regions = stable_regions(&clusters)
+            .iter()
+            .map(|r| (r.start, r.chosen_setting(data)))
+            .collect();
+        Ok(Self {
+            name: data.name().to_string(),
+            budget,
+            threshold,
+            regions,
+        })
+    }
+
+    /// Application the profile describes.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The budget this profile was built for.
+    #[must_use]
+    pub fn budget(&self) -> InefficiencyBudget {
+        self.budget
+    }
+
+    /// The cluster threshold this profile was built for.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of profiled regions.
+    #[must_use]
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The profiled setting for sample position `sample`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty (profiles always have ≥ 1 region).
+    #[must_use]
+    pub fn setting_for(&self, sample: usize) -> FreqSetting {
+        // Last region whose start is at or before `sample`.
+        match self.regions.binary_search_by_key(&sample, |&(s, _)| s) {
+            Ok(i) => self.regions[i].1,
+            Err(0) => self.regions.first().expect("profiles are never empty").1,
+            Err(i) => self.regions[i - 1].1,
+        }
+    }
+
+    /// Serializes the profile to a simple line format
+    /// (`start cpu_mhz mem_mhz` per region) for storage alongside the app,
+    /// as the paper's deployment story requires.
+    #[must_use]
+    pub fn to_profile_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "# mcdvfs profile: {} budget={} threshold={}\n",
+            self.name, self.budget, self.threshold
+        );
+        for (start, setting) in &self.regions {
+            let _ = writeln!(out, "{start} {} {}", setting.cpu.mhz(), setting.mem.mhz());
+        }
+        out
+    }
+
+    /// Parses a profile previously written by [`Self::to_profile_text`],
+    /// validating every setting against `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mcdvfs_types::Error::InvalidParameter`] for malformed
+    /// input, [`mcdvfs_types::Error::SettingOffGrid`] for settings the
+    /// platform does not support.
+    pub fn from_profile_text(text: &str, grid: mcdvfs_types::FrequencyGrid) -> Result<Self> {
+        use mcdvfs_types::Error;
+        let invalid = |reason: String| Error::InvalidParameter {
+            name: "profile_text",
+            reason,
+        };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| invalid("empty profile".into()))?;
+        let rest = header
+            .strip_prefix("# mcdvfs profile: ")
+            .ok_or_else(|| invalid("missing profile header".into()))?;
+        // `<name> budget=I=<b|∞> threshold=<t>`
+        let mut parts = rest.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| invalid("missing profile name".into()))?
+            .to_string();
+        let budget_tok = parts
+            .next()
+            .and_then(|t| t.strip_prefix("budget=I="))
+            .ok_or_else(|| invalid("missing budget field".into()))?;
+        let budget = if budget_tok == "∞" {
+            InefficiencyBudget::Unconstrained
+        } else {
+            let b: f64 = budget_tok
+                .parse()
+                .map_err(|_| invalid(format!("bad budget {budget_tok:?}")))?;
+            InefficiencyBudget::bounded(b)?
+        };
+        let threshold: f64 = parts
+            .next()
+            .and_then(|t| t.strip_prefix("threshold="))
+            .ok_or_else(|| invalid("missing threshold field".into()))?
+            .parse()
+            .map_err(|_| invalid("bad threshold".into()))?;
+
+        let mut regions: Vec<(usize, FreqSetting)> = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(invalid(format!("line {}: expected 3 fields", i + 2)));
+            }
+            let parse = |t: &str| -> Result<u32> {
+                t.parse()
+                    .map_err(|_| invalid(format!("line {}: bad number {t:?}", i + 2)))
+            };
+            let start = parse(fields[0])? as usize;
+            let setting = FreqSetting::from_mhz(parse(fields[1])?, parse(fields[2])?);
+            if !grid.contains(setting) {
+                return Err(Error::SettingOffGrid {
+                    setting: setting.to_string(),
+                });
+            }
+            if regions.last().is_some_and(|&(prev, _)| start <= prev) && !regions.is_empty() {
+                return Err(invalid(format!("line {}: region starts must ascend", i + 2)));
+            }
+            regions.push((start, setting));
+        }
+        if regions.first().map(|&(s, _)| s) != Some(0) {
+            return Err(invalid("first region must start at sample 0".into()));
+        }
+        Ok(Self {
+            name,
+            budget,
+            threshold,
+            regions,
+        })
+    }
+}
+
+/// Replays a [`WorkloadProfile`] at runtime: zero searches, transitions
+/// only at profiled region boundaries.
+#[derive(Debug, Clone)]
+pub struct ProfileGovernor {
+    profile: WorkloadProfile,
+    name: String,
+}
+
+impl ProfileGovernor {
+    /// Creates the governor from a profile.
+    #[must_use]
+    pub fn new(profile: WorkloadProfile) -> Self {
+        Self {
+            name: format!(
+                "profile({}, {}, {:.0}%)",
+                profile.name(),
+                profile.budget(),
+                profile.threshold() * 100.0
+            ),
+            profile,
+        }
+    }
+
+    /// The underlying profile.
+    #[must_use]
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+impl Governor for ProfileGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, next_sample: usize, _prev: Option<&Observation>) -> Decision {
+        // No runtime search at all: the profile is the search.
+        Decision::reuse(self.profile.setting_for(next_sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn characterize(seed: u64) -> CharacterizationGrid {
+        let trace = Benchmark::Gcc.trace_with(seed, 0.015).window(0, 60);
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &trace,
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    fn budget() -> InefficiencyBudget {
+        InefficiencyBudget::bounded(1.3).unwrap()
+    }
+
+    #[test]
+    fn profile_matches_training_regions() {
+        let train = characterize(1);
+        let profile = WorkloadProfile::from_characterization(&train, budget(), 0.05).unwrap();
+        let clusters = cluster_series(&train, budget(), 0.05).unwrap();
+        let regions = stable_regions(&clusters);
+        assert_eq!(profile.n_regions(), regions.len());
+        for r in &regions {
+            for s in r.start..r.end {
+                assert_eq!(profile.setting_for(s), r.chosen_setting(&train));
+            }
+        }
+    }
+
+    #[test]
+    fn governor_never_searches() {
+        let train = characterize(1);
+        let profile = WorkloadProfile::from_characterization(&train, budget(), 0.05).unwrap();
+        let mut g = ProfileGovernor::new(profile);
+        for s in 0..60 {
+            assert_eq!(g.decide(s, None).settings_evaluated, 0);
+        }
+        assert!(g.name().starts_with("profile(gcc"));
+    }
+
+    #[test]
+    fn out_of_range_samples_use_the_last_region() {
+        let train = characterize(1);
+        let profile = WorkloadProfile::from_characterization(&train, budget(), 0.05).unwrap();
+        let last = profile.setting_for(59);
+        assert_eq!(profile.setting_for(10_000), last);
+    }
+
+    #[test]
+    fn profile_transfers_across_executions() {
+        // Train on one execution, deploy on another (different jitter seed)
+        // of the same application: settings remain on-grid and the achieved
+        // inefficiency stays near the trained budget.
+        let train = characterize(1);
+        let deploy = characterize(2);
+        let profile = WorkloadProfile::from_characterization(&train, budget(), 0.05).unwrap();
+        let mut g = ProfileGovernor::new(profile);
+        let mut energy = 0.0;
+        for s in 0..deploy.n_samples() {
+            let setting = g.decide(s, None).setting;
+            energy += deploy.measurement_at(s, setting).unwrap().energy().value();
+        }
+        let achieved = energy / deploy.total_emin().value();
+        assert!(
+            achieved <= 1.3 * 1.1,
+            "profile transferred badly: achieved inefficiency {achieved}"
+        );
+    }
+
+    #[test]
+    fn profile_text_round_readable() {
+        let train = characterize(1);
+        let profile = WorkloadProfile::from_characterization(&train, budget(), 0.03).unwrap();
+        let text = profile.to_profile_text();
+        assert!(text.starts_with("# mcdvfs profile: gcc"));
+        // One header plus one line per region, each with three fields.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), profile.n_regions() + 1);
+        for line in &lines[1..] {
+            assert_eq!(line.split_whitespace().count(), 3, "{line}");
+        }
+    }
+
+    #[test]
+    fn profile_text_round_trips() {
+        let train = characterize(1);
+        let original = WorkloadProfile::from_characterization(&train, budget(), 0.05).unwrap();
+        let parsed = WorkloadProfile::from_profile_text(
+            &original.to_profile_text(),
+            train.grid(),
+        )
+        .unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_profiles() {
+        let grid = FrequencyGrid::coarse();
+        assert!(WorkloadProfile::from_profile_text("", grid).is_err());
+        assert!(WorkloadProfile::from_profile_text("garbage\n0 500 400\n", grid).is_err());
+        // Off-grid setting.
+        let bad = "# mcdvfs profile: x budget=I=1.3 threshold=0.05\n0 512 400\n";
+        assert!(WorkloadProfile::from_profile_text(bad, grid).is_err());
+        // Region starts must ascend and begin at 0.
+        let bad = "# mcdvfs profile: x budget=I=1.3 threshold=0.05\n5 500 400\n";
+        assert!(WorkloadProfile::from_profile_text(bad, grid).is_err());
+        let bad =
+            "# mcdvfs profile: x budget=I=1.3 threshold=0.05\n0 500 400\n10 600 400\n10 700 400\n";
+        assert!(WorkloadProfile::from_profile_text(bad, grid).is_err());
+        // Unconstrained budgets parse too.
+        let inf = "# mcdvfs profile: x budget=I=∞ threshold=0.05\n0 1000 800\n";
+        let p = WorkloadProfile::from_profile_text(inf, grid).unwrap();
+        assert_eq!(p.budget(), InefficiencyBudget::Unconstrained);
+    }
+}

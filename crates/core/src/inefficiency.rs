@@ -1,0 +1,281 @@
+//! The inefficiency metric and inefficiency budgets.
+//!
+//! The paper's central metric: `I = E / Emin`, the energy an execution
+//! consumed relative to the minimum energy the *same work* could have
+//! consumed on the *same device*. Unlike absolute-energy budgets or
+//! energy-delay products, inefficiency is relative to the application's
+//! inherent energy needs and therefore portable across applications and
+//! devices. `I = 1` is the most efficient possible execution; `I = 1.5`
+//! means 50% extra energy was spent.
+
+use mcdvfs_types::{Error, Joules, Result};
+use std::fmt;
+
+/// A measured inefficiency value (dimensionless, `≥ 1` up to measurement
+/// noise).
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::Inefficiency;
+/// use mcdvfs_types::Joules;
+///
+/// let i = Inefficiency::compute(Joules::new(1.5), Joules::new(1.0)).unwrap();
+/// assert!((i.value() - 1.5).abs() < 1e-12);
+/// assert_eq!(format!("{i:.2}"), "1.50");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Inefficiency(f64);
+
+impl Inefficiency {
+    /// The perfectly efficient execution.
+    pub const ONE: Self = Self(1.0);
+
+    /// Computes `I = energy / emin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `emin` is not positive or
+    /// either input is non-finite.
+    pub fn compute(energy: Joules, emin: Joules) -> Result<Self> {
+        if !(emin.value() > 0.0 && emin.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "emin",
+                reason: "minimum energy must be positive and finite".into(),
+            });
+        }
+        if !(energy.value() >= 0.0 && energy.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "energy",
+                reason: "energy must be non-negative and finite".into(),
+            });
+        }
+        Ok(Self(energy / emin))
+    }
+
+    /// The raw ratio.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Extra energy fraction over the most efficient execution
+    /// (`I = 1.5` → `0.5`).
+    #[must_use]
+    pub fn excess(self) -> f64 {
+        self.0 - 1.0
+    }
+}
+
+impl fmt::Display for Inefficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*}", p, self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// An inefficiency constraint: how much extra energy the system may spend
+/// to improve performance.
+///
+/// Budgets are set by the user, the application, or the OS (e.g. by
+/// priority). [`InefficiencyBudget::Unconstrained`] is the paper's `∞`
+/// budget: energy is unlimited and the tuner always picks the fastest
+/// settings.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::{Inefficiency, InefficiencyBudget};
+///
+/// let budget = InefficiencyBudget::bounded(1.3).unwrap();
+/// assert!(budget.admits(Inefficiency::ONE));
+/// assert!(!budget.admits(Inefficiency::compute(
+///     mcdvfs_types::Joules::new(2.0),
+///     mcdvfs_types::Joules::new(1.0),
+/// ).unwrap()));
+/// assert!(InefficiencyBudget::Unconstrained.admits_value(99.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub enum InefficiencyBudget {
+    /// At most this much inefficiency (`≥ 1`).
+    Bounded(f64),
+    /// The `∞` budget: no energy constraint.
+    Unconstrained,
+}
+
+impl InefficiencyBudget {
+    /// Creates a bounded budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `budget < 1` (no execution
+    /// can beat its own minimum energy) or is non-finite.
+    pub fn bounded(budget: f64) -> Result<Self> {
+        if !(budget >= 1.0 && budget.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: format!("inefficiency budget must be >= 1 and finite, got {budget}"),
+            });
+        }
+        Ok(Self::Bounded(budget))
+    }
+
+    /// The perfectly-efficient budget `I = 1` (with a hair of slack for
+    /// floating-point round-off so the Emin setting itself always passes).
+    #[must_use]
+    pub fn most_efficient() -> Self {
+        Self::Bounded(1.0)
+    }
+
+    /// `true` when `inefficiency` satisfies the budget.
+    #[must_use]
+    pub fn admits(self, inefficiency: Inefficiency) -> bool {
+        self.admits_value(inefficiency.value())
+    }
+
+    /// Relative tolerance applied at the budget boundary: the same 0.5%
+    /// noise band the paper's optimal-settings tie-break filters. Measured
+    /// energies carry simulation noise, so a setting within noise of the
+    /// budget is considered compliant (and the `Emin` setting itself is
+    /// always admitted by the `I = 1` budget despite round-off).
+    pub const NOISE_TOLERANCE: f64 = 0.005;
+
+    /// `true` when the raw ratio satisfies the budget, within
+    /// [`Self::NOISE_TOLERANCE`].
+    #[must_use]
+    pub fn admits_value(self, inefficiency: f64) -> bool {
+        match self {
+            Self::Bounded(b) => inefficiency <= b * (1.0 + Self::NOISE_TOLERANCE),
+            Self::Unconstrained => true,
+        }
+    }
+
+    /// The numeric bound, or `None` when unconstrained.
+    #[must_use]
+    pub fn bound(self) -> Option<f64> {
+        match self {
+            Self::Bounded(b) => Some(b),
+            Self::Unconstrained => None,
+        }
+    }
+}
+
+impl fmt::Display for InefficiencyBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bounded(b) => write!(f, "I={b}"),
+            Self::Unconstrained => f.write_str("I=∞"),
+        }
+    }
+}
+
+/// The maximum achievable whole-run inefficiency `Imax` for a
+/// characterized workload: the worst fixed-setting total energy over the
+/// best (paper Section II-A).
+///
+/// The paper argues the absolute value of `Imax` is irrelevant to tuning
+/// (an unconstrained budget just means "best performance at any cost") but
+/// observes it lands between 1.5 and 2 for its benchmarks; exposing it
+/// lets budget-setting code clamp user inputs to the meaningful range.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::imax;
+/// use mcdvfs_sim::{CharacterizationGrid, System};
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let data = CharacterizationGrid::characterize(
+///     &System::galaxy_nexus_class(),
+///     &Benchmark::Gobmk.trace().window(0, 10),
+///     FrequencyGrid::coarse(),
+/// );
+/// let imax = imax(&data);
+/// assert!(imax > 1.0);
+/// ```
+#[must_use]
+pub fn imax(data: &mcdvfs_sim::CharacterizationGrid) -> f64 {
+    let emin = data.min_total_energy();
+    (0..data.n_settings())
+        .map(|i| data.total_energy_at(i) / emin)
+        .fold(1.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_ratio() {
+        let i = Inefficiency::compute(Joules::new(3.0), Joules::new(2.0)).unwrap();
+        assert!((i.value() - 1.5).abs() < 1e-12);
+        assert!((i.excess() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emin_execution_has_inefficiency_one() {
+        let e = Joules::new(0.042);
+        let i = Inefficiency::compute(e, e).unwrap();
+        assert_eq!(i, Inefficiency::ONE);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Inefficiency::compute(Joules::new(1.0), Joules::ZERO).is_err());
+        assert!(Inefficiency::compute(Joules::new(1.0), Joules::new(-1.0)).is_err());
+        assert!(Inefficiency::compute(Joules::new(f64::NAN), Joules::new(1.0)).is_err());
+        assert!(Inefficiency::compute(Joules::new(-1.0), Joules::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn bounded_budget_admits_up_to_bound() {
+        let b = InefficiencyBudget::bounded(1.3).unwrap();
+        assert!(b.admits_value(1.0));
+        assert!(b.admits_value(1.3));
+        assert!(b.admits_value(1.3 + 1e-12), "epsilon slack");
+        assert!(!b.admits_value(1.31));
+        assert_eq!(b.bound(), Some(1.3));
+    }
+
+    #[test]
+    fn unconstrained_admits_everything() {
+        let b = InefficiencyBudget::Unconstrained;
+        assert!(b.admits_value(1.0));
+        assert!(b.admits_value(1e9));
+        assert_eq!(b.bound(), None);
+    }
+
+    #[test]
+    fn sub_unity_budget_rejected() {
+        assert!(InefficiencyBudget::bounded(0.99).is_err());
+        assert!(InefficiencyBudget::bounded(f64::NAN).is_err());
+        assert!(InefficiencyBudget::bounded(f64::INFINITY).is_err());
+        assert!(InefficiencyBudget::bounded(1.0).is_ok());
+    }
+
+    #[test]
+    fn most_efficient_budget_admits_exactly_emin() {
+        let b = InefficiencyBudget::most_efficient();
+        assert!(b.admits(Inefficiency::ONE));
+        assert!(!b.admits_value(1.01));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(InefficiencyBudget::bounded(1.3).unwrap().to_string(), "I=1.3");
+        assert_eq!(InefficiencyBudget::Unconstrained.to_string(), "I=∞");
+        let i = Inefficiency::compute(Joules::new(1.234), Joules::new(1.0)).unwrap();
+        assert_eq!(format!("{i:.1}"), "1.2");
+    }
+
+    #[test]
+    fn budgets_are_ordered() {
+        let lo = InefficiencyBudget::bounded(1.0).unwrap();
+        let hi = InefficiencyBudget::bounded(1.6).unwrap();
+        assert!(lo < hi);
+    }
+}

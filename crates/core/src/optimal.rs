@@ -1,0 +1,356 @@
+//! The optimal-settings finder.
+//!
+//! Implements the paper's Section V algorithm: for each sample,
+//!
+//! 1. filter the grid to settings whose per-sample inefficiency
+//!    `E / Emin` is within the budget;
+//! 2. among those, find the setting with the highest speedup (lowest
+//!    execution time);
+//! 3. where several settings perform within 0.5% of the best (simulation
+//!    noise), pick the one with the highest CPU frequency first, then the
+//!    highest memory frequency — that setting is "bound to have the
+//!    highest performance among the other possibilities".
+
+use crate::inefficiency::{Inefficiency, InefficiencyBudget};
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{FreqSetting, Joules, Seconds};
+
+/// The optimal choice for one sample under one budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalChoice {
+    /// Sample index within the trace.
+    pub sample: usize,
+    /// Flat grid index of the chosen setting.
+    pub index: usize,
+    /// The chosen setting.
+    pub setting: FreqSetting,
+    /// Execution time of the sample at the chosen setting.
+    pub time: Seconds,
+    /// Energy of the sample at the chosen setting.
+    pub energy: Joules,
+    /// Inefficiency of the sample at the chosen setting.
+    pub inefficiency: Inefficiency,
+}
+
+/// Finder configured with a budget and the paper's 0.5% noise tie-break.
+///
+/// # Examples
+///
+/// Tighter budgets can only slow the optimal point down:
+///
+/// ```
+/// use mcdvfs_core::{InefficiencyBudget, OptimalFinder};
+/// use mcdvfs_sim::{CharacterizationGrid, System};
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let data = CharacterizationGrid::characterize(
+///     &System::galaxy_nexus_class(),
+///     &Benchmark::Gobmk.trace().window(0, 5),
+///     FrequencyGrid::coarse(),
+/// );
+/// let tight = OptimalFinder::new(InefficiencyBudget::bounded(1.0).unwrap()).series(&data);
+/// let loose = OptimalFinder::new(InefficiencyBudget::Unconstrained).series(&data);
+/// for (t, l) in tight.iter().zip(&loose) {
+///     assert!(t.time >= l.time);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalFinder {
+    budget: InefficiencyBudget,
+    /// Relative performance band treated as measurement noise (paper: 0.5%).
+    tie_tolerance: f64,
+}
+
+impl OptimalFinder {
+    /// The paper's noise tolerance: settings within 0.5% of the best
+    /// performance are considered tied.
+    pub const PAPER_TIE_TOLERANCE: f64 = 0.005;
+
+    /// Creates a finder for `budget` with the paper's tie tolerance.
+    #[must_use]
+    pub fn new(budget: InefficiencyBudget) -> Self {
+        Self {
+            budget,
+            tie_tolerance: Self::PAPER_TIE_TOLERANCE,
+        }
+    }
+
+    /// Overrides the tie tolerance (ablation studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tolerance` is negative or not finite.
+    #[must_use]
+    pub fn with_tie_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance >= 0.0 && tolerance.is_finite(),
+            "tie tolerance must be non-negative"
+        );
+        self.tie_tolerance = tolerance;
+        self
+    }
+
+    /// The budget this finder enforces.
+    #[must_use]
+    pub fn budget(&self) -> InefficiencyBudget {
+        self.budget
+    }
+
+    /// Grid indices of all settings within budget for sample `s`.
+    ///
+    /// Never empty: the `Emin` setting always has inefficiency 1.
+    #[must_use]
+    pub fn feasible(&self, data: &CharacterizationGrid, s: usize) -> Vec<usize> {
+        let emin = data.sample_emin(s);
+        data.sample_row(s)
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| self.budget.admits_value(m.energy() / emin))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Finds the optimal setting for sample `s`.
+    ///
+    /// Under the unconstrained (`∞`) budget this is, by the paper's
+    /// definition, always the maximum setting — "the algorithm always
+    /// chooses the highest frequency settings as these settings always
+    /// deliver the highest performance" — with no search.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn find(&self, data: &CharacterizationGrid, s: usize) -> OptimalChoice {
+        if self.budget == InefficiencyBudget::Unconstrained {
+            let index = data.n_settings() - 1;
+            let m = data.measurement(s, index);
+            return OptimalChoice {
+                sample: s,
+                index,
+                setting: data.grid().max_setting(),
+                time: m.time,
+                energy: m.energy(),
+                inefficiency: Inefficiency::compute(m.energy(), data.sample_emin(s))
+                    .expect("grid energies are positive"),
+            };
+        }
+        let feasible = self.feasible(data, s);
+        debug_assert!(!feasible.is_empty(), "Emin setting is always feasible");
+        let row = data.sample_row(s);
+        let best_time = feasible
+            .iter()
+            .map(|&i| row[i].time.value())
+            .fold(f64::INFINITY, f64::min);
+        // All settings whose performance is within the noise band of the
+        // best; pick the highest (cpu, mem) among them.
+        let index = feasible
+            .iter()
+            .copied()
+            .filter(|&i| row[i].time.value() <= best_time * (1.0 + self.tie_tolerance))
+            .max_by_key(|&i| data.grid().get(i).expect("feasible index on grid"))
+            .expect("at least the best-time setting qualifies");
+        let m = &row[index];
+        OptimalChoice {
+            sample: s,
+            index,
+            setting: data.grid().get(index).expect("index on grid"),
+            time: m.time,
+            energy: m.energy(),
+            inefficiency: Inefficiency::compute(m.energy(), data.sample_emin(s))
+                .expect("grid energies are positive"),
+        }
+    }
+
+    /// Optimal settings for every sample of the trace — the series the
+    /// paper's Figure 3 plots.
+    #[must_use]
+    pub fn series(&self, data: &CharacterizationGrid) -> Vec<OptimalChoice> {
+        (0..data.n_samples()).map(|s| self.find(data, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    fn budget(v: f64) -> InefficiencyBudget {
+        InefficiencyBudget::bounded(v).unwrap()
+    }
+
+    #[test]
+    fn choice_is_always_within_budget() {
+        let d = data(Benchmark::Gobmk, 12);
+        for b in [1.0, 1.1, 1.3, 1.6] {
+            let finder = OptimalFinder::new(budget(b));
+            let bound = b * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9;
+            for c in finder.series(&d) {
+                assert!(
+                    c.inefficiency.value() <= bound,
+                    "budget {b}: sample {} at I={}",
+                    c.sample,
+                    c.inefficiency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choice_dominates_every_feasible_setting() {
+        let d = data(Benchmark::Milc, 10);
+        let finder = OptimalFinder::new(budget(1.3));
+        for s in 0..d.n_samples() {
+            let c = finder.find(&d, s);
+            for i in finder.feasible(&d, s) {
+                let t = d.measurement(s, i).time.value();
+                assert!(
+                    c.time.value() <= t * (1.0 + OptimalFinder::PAPER_TIE_TOLERANCE),
+                    "sample {s}: chosen {} slower than feasible {}",
+                    c.time.value(),
+                    t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_budget_picks_the_maximum_setting() {
+        // Paper: with unbounded energy the algorithm always chooses the
+        // highest frequencies, as they always deliver the best performance.
+        let d = data(Benchmark::Gobmk, 8);
+        let finder = OptimalFinder::new(InefficiencyBudget::Unconstrained);
+        for c in finder.series(&d) {
+            assert_eq!(c.setting, d.grid().max_setting(), "sample {}", c.sample);
+        }
+    }
+
+    #[test]
+    fn higher_budget_never_hurts_performance() {
+        let d = data(Benchmark::Gcc, 15);
+        let budgets = [1.0, 1.1, 1.2, 1.3, 1.6];
+        let series: Vec<Vec<OptimalChoice>> = budgets
+            .iter()
+            .map(|&b| OptimalFinder::new(budget(b)).series(&d))
+            .collect();
+        for s in 0..d.n_samples() {
+            for w in series.windows(2) {
+                assert!(
+                    w[1][s].time.value() <= w[0][s].time.value() * (1.0 + 0.006),
+                    "sample {s}: looser budget slower"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_highest_cpu_then_memory() {
+        let d = data(Benchmark::Bzip2, 6);
+        // bzip2 is CPU bound: many memory frequencies perform within 0.5%,
+        // so the tie-break must select the highest memory one among ties at
+        // the top CPU frequency.
+        let finder = OptimalFinder::new(InefficiencyBudget::Unconstrained);
+        let c = finder.find(&d, 0);
+        assert_eq!(c.setting.cpu.mhz(), 1000);
+        assert_eq!(c.setting.mem.mhz(), 800);
+    }
+
+    #[test]
+    fn emin_budget_selects_the_emin_setting() {
+        let d = data(Benchmark::Lbm, 5);
+        let finder = OptimalFinder::new(budget(1.0));
+        for s in 0..d.n_samples() {
+            let c = finder.find(&d, s);
+            let feasible = finder.feasible(&d, s);
+            // At I=1 only settings within noise of Emin are feasible.
+            assert!(!feasible.is_empty());
+            let excess = c.energy.value() / d.sample_emin(s).value() - 1.0;
+            assert!(
+                (0.0..=InefficiencyBudget::NOISE_TOLERANCE + 1e-9).contains(&excess),
+                "sample {s}: excess {excess}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_set_grows_with_budget() {
+        let d = data(Benchmark::Gobmk, 8);
+        for s in 0..d.n_samples() {
+            let mut prev = 0;
+            for b in [1.0, 1.2, 1.4, 1.6, 2.0] {
+                let n = OptimalFinder::new(budget(b)).feasible(&d, s).len();
+                assert!(n >= prev, "sample {s} budget {b}");
+                prev = n;
+            }
+            assert_eq!(
+                OptimalFinder::new(InefficiencyBudget::Unconstrained)
+                    .feasible(&d, s)
+                    .len(),
+                d.n_settings()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_phases_pull_memory_frequency_up_under_tight_budgets() {
+        // Figure 3's core observation: at low budgets the optimal settings
+        // follow the phases — memory-intensive samples get higher memory
+        // frequency than CPU-intensive ones.
+        let d = data(Benchmark::Milc, 60);
+        let finder = OptimalFinder::new(budget(1.3));
+        let series = finder.series(&d);
+        let trace = Benchmark::Milc.trace().window(0, 60);
+        let mem_heavy_avg: f64 = {
+            let v: Vec<f64> = series
+                .iter()
+                .filter(|c| trace.get(c.sample).unwrap().mpki > 10.0)
+                .map(|c| f64::from(c.setting.mem.mhz()))
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let cpu_heavy_avg: f64 = {
+            let v: Vec<f64> = series
+                .iter()
+                .filter(|c| trace.get(c.sample).unwrap().mpki < 5.0)
+                .map(|c| f64::from(c.setting.mem.mhz()))
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            mem_heavy_avg > cpu_heavy_avg,
+            "memory phases {mem_heavy_avg} MHz vs CPU phases {cpu_heavy_avg} MHz"
+        );
+    }
+
+    #[test]
+    fn zero_tie_tolerance_picks_strict_minimum_time() {
+        let d = data(Benchmark::Gobmk, 5);
+        let finder = OptimalFinder::new(budget(1.3)).with_tie_tolerance(0.0);
+        for s in 0..d.n_samples() {
+            let c = finder.find(&d, s);
+            let best = finder
+                .feasible(&d, s)
+                .into_iter()
+                .map(|i| d.measurement(s, i).time.value())
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(c.time.value(), best);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tie tolerance")]
+    fn negative_tolerance_panics() {
+        let _ = OptimalFinder::new(budget(1.3)).with_tie_tolerance(-0.1);
+    }
+}

@@ -1,0 +1,375 @@
+//! Absolute-energy rate limiting — the baseline the inefficiency metric
+//! replaces.
+//!
+//! Section II motivates inefficiency by critiquing rate-limiting
+//! approaches (Cinder [Rumble et al.]; ECOSystem [Zeng et al.]): they take
+//! "the maximum energy that can be consumed in a given time period as an
+//! input. Once the application consumes its limit, it is paused until the
+//! next time period begins." The problems the paper lists, all observable
+//! with this module:
+//!
+//! * the right absolute budget is **application- and device-dependent** —
+//!   the same joules-per-second means a different thing for bzip2 and lbm;
+//! * a too-tight budget "may slow down applications to the point where
+//!   total energy consumption increases" (pausing burns idle power while
+//!   the work still has to finish);
+//! * energy is allotted per *time window*, not per *work*, so a window
+//!   with little work wastes its allotment ("doesn't require a specific
+//!   amount of work to be done within that budget").
+
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{Error, FreqSetting, Joules, Result, Seconds, Watts};
+
+/// Outcome of executing a characterized trace under an absolute-energy
+/// rate limiter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateLimitedRun {
+    /// Fixed setting the application ran at.
+    pub setting: FreqSetting,
+    /// Energy allotment per window.
+    pub budget_per_window: Joules,
+    /// Window length.
+    pub window: Seconds,
+    /// Time spent actually executing.
+    pub run_time: Seconds,
+    /// Time spent paused waiting for the next window.
+    pub paused_time: Seconds,
+    /// Energy consumed by execution.
+    pub work_energy: Joules,
+    /// Energy consumed while paused (idle power is not free).
+    pub idle_energy: Joules,
+    /// Number of pauses taken.
+    pub pauses: u64,
+}
+
+impl RateLimitedRun {
+    /// Wall-clock completion time (execution + pauses).
+    #[must_use]
+    pub fn total_time(&self) -> Seconds {
+        self.run_time + self.paused_time
+    }
+
+    /// Total energy including idle consumption during pauses.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.work_energy + self.idle_energy
+    }
+
+    /// Whole-run inefficiency achieved, against the same per-sample `Emin`
+    /// the inefficiency-budget algorithms use.
+    #[must_use]
+    pub fn inefficiency(&self, data: &CharacterizationGrid) -> f64 {
+        self.total_energy() / data.total_emin()
+    }
+}
+
+/// A Cinder-style energy rate limiter.
+///
+/// The application runs at a fixed setting; whenever the current window's
+/// allotment is exhausted mid-sample, the remainder of the window is spent
+/// paused at `idle_power` and the allotment refreshes.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::ratelimit::RateLimiter;
+/// use mcdvfs_types::{Joules, Seconds, Watts};
+///
+/// let limiter = RateLimiter::new(
+///     Joules::from_millis(8.0),
+///     Seconds::from_millis(10.0),
+///     Watts::from_millis(150.0),
+/// ).unwrap();
+/// assert!((limiter.average_power_cap().value() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimiter {
+    budget_per_window: Joules,
+    window: Seconds,
+    idle_power: Watts,
+}
+
+impl RateLimiter {
+    /// Creates a limiter granting `budget_per_window` joules every
+    /// `window`; pauses burn `idle_power`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the budget or window is
+    /// not positive, or idle power is negative.
+    pub fn new(budget_per_window: Joules, window: Seconds, idle_power: Watts) -> Result<Self> {
+        if !(budget_per_window.value() > 0.0 && budget_per_window.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "budget_per_window",
+                reason: "must be positive and finite".into(),
+            });
+        }
+        if !(window.value() > 0.0 && window.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "window",
+                reason: "must be positive and finite".into(),
+            });
+        }
+        if !(idle_power.value() >= 0.0 && idle_power.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "idle_power",
+                reason: "must be non-negative and finite".into(),
+            });
+        }
+        Ok(Self {
+            budget_per_window,
+            window,
+            idle_power,
+        })
+    }
+
+    /// The limiter's long-run average power cap (budget over window).
+    #[must_use]
+    pub fn average_power_cap(&self) -> Watts {
+        self.budget_per_window / self.window
+    }
+
+    /// Runs the whole characterized trace at `setting` under this limiter.
+    ///
+    /// Accounting is cumulative: every elapsed window grants one allotment;
+    /// execution may not push total consumption (work **and** idle energy —
+    /// the meter sees all of it) past the granted allowance. A sample that
+    /// would overdraw pauses the application at window boundaries until
+    /// enough allowance has accrued. Samples are atomic once started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SettingOffGrid`] when `setting` is not on the
+    /// grid, or [`Error::InvalidParameter`] when idle consumption drains a
+    /// window's entire allotment while a sample is still unaffordable (the
+    /// run would never finish).
+    pub fn execute(
+        &self,
+        data: &CharacterizationGrid,
+        setting: FreqSetting,
+    ) -> Result<RateLimitedRun> {
+        let idx = data.grid().index_of(setting).ok_or(Error::SettingOffGrid {
+            setting: setting.to_string(),
+        })?;
+
+        let mut run = RateLimitedRun {
+            setting,
+            budget_per_window: self.budget_per_window,
+            window: self.window,
+            run_time: Seconds::ZERO,
+            paused_time: Seconds::ZERO,
+            work_energy: Joules::ZERO,
+            idle_energy: Joules::ZERO,
+            pauses: 0,
+        };
+        let window_s = self.window.value();
+        let mut now = 0.0f64; // wall-clock seconds
+        let mut consumed = Joules::ZERO;
+
+        for s in 0..data.n_samples() {
+            let m = data.measurement(s, idx);
+            let sample_energy = m.energy();
+            let mut paused_this_sample = false;
+            // A sample may legitimately wait several windows; a wait of
+            // thousands of windows means the allotment is hopeless for this
+            // workload and the "run" has degenerated into starvation.
+            let mut windows_waited = 0u64;
+            const STARVATION_WINDOWS: u64 = 100_000;
+            loop {
+                let windows_granted = (now / window_s).floor() + 1.0;
+                let allowance = self.budget_per_window * windows_granted;
+                if (consumed + sample_energy).value() <= allowance.value() + 1e-15 {
+                    break;
+                }
+                // Pause to the next window boundary; idle power is metered.
+                // Guard against `now` sitting on a boundary within float
+                // round-off, which would make the pause zero-length.
+                let mut boundary = windows_granted * window_s;
+                if boundary - now < window_s * 1e-9 {
+                    boundary += window_s;
+                }
+                let pause = Seconds::new(boundary - now);
+                let idle = self.idle_power * pause;
+                windows_waited += 1;
+                let net_gain = self.budget_per_window.value() - idle.value();
+                if (paused_this_sample && net_gain <= 0.0)
+                    || windows_waited > STARVATION_WINDOWS
+                {
+                    return Err(Error::InvalidParameter {
+                        name: "budget_per_window",
+                        reason: format!(
+                            "allotment {} nets {net_gain:.3e} J per window against idle \
+                             consumption; a {sample_energy} sample starves",
+                            self.budget_per_window
+                        ),
+                    });
+                }
+                run.paused_time += pause;
+                run.idle_energy += idle;
+                consumed += idle;
+                now = boundary;
+                if !paused_this_sample {
+                    run.pauses += 1;
+                    paused_this_sample = true;
+                }
+            }
+
+            run.run_time += m.time;
+            run.work_energy += sample_energy;
+            consumed += sample_energy;
+            now += m.time.value();
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    const IDLE: Watts = Watts::new(0.15);
+
+    #[test]
+    fn generous_budget_never_pauses() {
+        let d = data(Benchmark::Bzip2, 10);
+        let limiter = RateLimiter::new(
+            Joules::from_millis(1000.0),
+            Seconds::from_millis(10.0),
+            IDLE,
+        )
+        .unwrap();
+        let run = limiter.execute(&d, FreqSetting::from_mhz(800, 400)).unwrap();
+        assert_eq!(run.pauses, 0);
+        assert_eq!(run.paused_time, Seconds::ZERO);
+        assert_eq!(run.idle_energy, Joules::ZERO);
+        let idx = d.grid().index_of(FreqSetting::from_mhz(800, 400)).unwrap();
+        assert!((run.total_time().value() - d.total_time_at(idx).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_budget_pauses_and_stretches_execution() {
+        let d = data(Benchmark::Gobmk, 10);
+        let idx = d.grid().index_of(FreqSetting::from_mhz(800, 400)).unwrap();
+        // Cap average power at ~60% of what the setting draws.
+        let avg_power = d.total_energy_at(idx) / d.total_time_at(idx);
+        let window = Seconds::from_millis(10.0);
+        let limiter = RateLimiter::new(avg_power * 0.6 * window, window, IDLE).unwrap();
+        let run = limiter.execute(&d, FreqSetting::from_mhz(800, 400)).unwrap();
+        assert!(run.pauses > 0, "the limiter must kick in");
+        assert!(run.total_time() > d.total_time_at(idx));
+    }
+
+    #[test]
+    fn pausing_wastes_energy_versus_inefficiency_budgeting() {
+        // The paper's core argument: at equal total energy, the
+        // inefficiency-constrained tuner delivers better performance
+        // because the limiter burns idle energy achieving nothing.
+        use crate::governor::OracleOptimalGovernor;
+        use crate::runner::GovernedRun;
+        use std::sync::Arc;
+
+        let d = Arc::new(data(Benchmark::Gobmk, 30));
+        let budget = crate::InefficiencyBudget::bounded(1.2).unwrap();
+        let mut governor = OracleOptimalGovernor::new(Arc::clone(&d), budget);
+        let tuned = GovernedRun::without_overheads().execute(
+            &d,
+            &Benchmark::Gobmk.trace().window(0, 30),
+            &mut governor,
+        );
+
+        // Rate limiter at max setting, capped to the tuned run's average power.
+        let cap = tuned.total_energy() / tuned.total_time();
+        let window = Seconds::from_millis(10.0);
+        let limiter = RateLimiter::new(cap * window, window, IDLE).unwrap();
+        let limited = limiter.execute(&d, d.grid().max_setting()).unwrap();
+
+        assert!(
+            limited.total_time() > tuned.total_time(),
+            "rate limiting {} s vs inefficiency budget {} s at the same power cap",
+            limited.total_time().value(),
+            tuned.total_time().value()
+        );
+        assert!(limited.idle_energy.value() > 0.0, "pauses burn energy for nothing");
+    }
+
+    #[test]
+    fn inefficiency_of_limited_run_exceeds_untuned_floor() {
+        let d = data(Benchmark::Milc, 15);
+        let idx = d.grid().index_of(FreqSetting::from_mhz(1000, 800)).unwrap();
+        let avg_power = d.total_energy_at(idx) / d.total_time_at(idx);
+        let window = Seconds::from_millis(5.0);
+        let limiter = RateLimiter::new(avg_power * 0.7 * window, window, IDLE).unwrap();
+        let run = limiter.execute(&d, FreqSetting::from_mhz(1000, 800)).unwrap();
+        // Idle burn makes the limited run strictly less efficient than the
+        // same setting unthrottled.
+        let unthrottled = d.total_energy_at(idx).value() / d.total_emin().value();
+        assert!(run.inefficiency(&d) > unthrottled);
+    }
+
+    #[test]
+    fn idle_dominated_budget_starves_and_is_reported() {
+        // The window's allotment doesn't even cover idle consumption: the
+        // application can never bank enough to run.
+        let d = data(Benchmark::Lbm, 5);
+        let limiter = RateLimiter::new(
+            Joules::from_micros(100.0),
+            Seconds::from_millis(1.0),
+            Watts::from_millis(150.0), // 150 µJ idle per 100 µJ window
+        )
+        .unwrap();
+        let err = limiter.execute(&d, FreqSetting::from_mhz(500, 400)).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn pathologically_small_budget_is_reported_as_starvation() {
+        let d = data(Benchmark::Lbm, 5);
+        let limiter = RateLimiter::new(
+            Joules::from_nanos(1.0),
+            Seconds::from_millis(1.0),
+            Watts::ZERO,
+        )
+        .unwrap();
+        let err = limiter.execute(&d, FreqSetting::from_mhz(500, 400)).unwrap_err();
+        assert!(err.to_string().contains("starves"));
+    }
+
+    #[test]
+    fn off_grid_setting_rejected() {
+        let d = data(Benchmark::Lbm, 3);
+        let limiter =
+            RateLimiter::new(Joules::new(1.0), Seconds::new(0.01), IDLE).unwrap();
+        assert!(limiter
+            .execute(&d, FreqSetting::from_mhz(123, 456))
+            .is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(RateLimiter::new(Joules::ZERO, Seconds::new(1.0), IDLE).is_err());
+        assert!(RateLimiter::new(Joules::new(1.0), Seconds::ZERO, IDLE).is_err());
+        assert!(RateLimiter::new(Joules::new(1.0), Seconds::new(1.0), Watts::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn average_power_cap_is_budget_over_window() {
+        let limiter = RateLimiter::new(
+            Joules::from_millis(5.0),
+            Seconds::from_millis(10.0),
+            IDLE,
+        )
+        .unwrap();
+        assert!((limiter.average_power_cap().value() - 0.5).abs() < 1e-12);
+    }
+}

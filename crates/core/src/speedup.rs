@@ -1,0 +1,107 @@
+//! Speedup — the paper's performance metric.
+//!
+//! "We express performance in terms of speedup, the ratio of execution time
+//! for a given configuration to the longest execution time." A speedup of
+//! 1.0 is therefore the *slowest* observed configuration, and larger is
+//! faster.
+
+use mcdvfs_types::Seconds;
+use std::fmt;
+
+/// A speedup ratio relative to the slowest configuration (`≥ 1` when the
+/// baseline really is the longest time).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Speedup(f64);
+
+impl Speedup {
+    /// The baseline (slowest) configuration.
+    pub const BASELINE: Self = Self(1.0);
+
+    /// Wraps a raw ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the value is non-positive or non-finite.
+    #[must_use]
+    pub fn new(ratio: f64) -> Self {
+        debug_assert!(ratio > 0.0 && ratio.is_finite(), "speedup must be positive");
+        Self(ratio)
+    }
+
+    /// The raw ratio.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Relative performance loss of `self` versus a faster `other`
+    /// (`0.05` = 5% slower).
+    #[must_use]
+    pub fn loss_vs(self, other: Speedup) -> f64 {
+        1.0 - self.0 / other.0
+    }
+}
+
+impl fmt::Display for Speedup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*}x", p, self.0)
+        } else {
+            write!(f, "{}x", self.0)
+        }
+    }
+}
+
+/// Computes the speedup of `time` against the longest (baseline) time.
+///
+/// # Panics
+///
+/// Panics in debug builds when either duration is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::speedup_of;
+/// use mcdvfs_types::Seconds;
+///
+/// let s = speedup_of(Seconds::new(2.0), Seconds::new(8.0));
+/// assert!((s.value() - 4.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn speedup_of(time: Seconds, longest: Seconds) -> Speedup {
+    debug_assert!(time.value() > 0.0 && longest.value() > 0.0);
+    Speedup::new(longest / time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowest_configuration_has_speedup_one() {
+        let t = Seconds::new(5.0);
+        assert_eq!(speedup_of(t, t), Speedup::BASELINE);
+    }
+
+    #[test]
+    fn faster_is_larger() {
+        let s2 = speedup_of(Seconds::new(2.0), Seconds::new(10.0));
+        let s5 = speedup_of(Seconds::new(5.0), Seconds::new(10.0));
+        assert!(s2 > s5);
+        assert!((s2.value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_vs_faster_setting() {
+        let fast = Speedup::new(2.0);
+        let slow = Speedup::new(1.9);
+        assert!((slow.loss_vs(fast) - 0.05).abs() < 1e-12);
+        assert_eq!(fast.loss_vs(fast), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.2}", Speedup::new(1.5)), "1.50x");
+        assert_eq!(Speedup::new(2.0).to_string(), "2x");
+    }
+}

@@ -1,0 +1,320 @@
+//! Stable regions.
+//!
+//! "We define the term stable regions as regions in which at least one pair
+//! of CPU and memory frequency settings is common among all samples in the
+//! region." (Section VI)
+//!
+//! The paper's algorithm: walk the trace sample by sample, intersecting the
+//! running set of available settings with each sample's performance
+//! cluster. When the intersection would become empty, close the region —
+//! choosing, from the settings that survived, the one with the highest CPU
+//! and then memory frequency — and start a new region at the current
+//! sample.
+
+use crate::clusters::PerformanceCluster;
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::FreqSetting;
+
+/// One stable region: a maximal run of samples sharing a common setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StableRegion {
+    /// First sample of the region (inclusive).
+    pub start: usize,
+    /// One past the last sample of the region (exclusive).
+    pub end: usize,
+    /// Flat grid index of the chosen representative setting (highest CPU,
+    /// then memory, among the surviving common settings).
+    pub chosen_index: usize,
+    /// Flat grid indices of *all* settings common to every sample in the
+    /// region, ascending.
+    available: Vec<usize>,
+}
+
+impl StableRegion {
+    /// Region length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Regions are never empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All settings common to every sample of the region, ascending.
+    #[must_use]
+    pub fn available_indices(&self) -> &[usize] {
+        &self.available
+    }
+
+    /// The representative setting resolved against `data`'s grid.
+    #[must_use]
+    pub fn chosen_setting(&self, data: &CharacterizationGrid) -> FreqSetting {
+        data.grid().get(self.chosen_index).expect("chosen index on grid")
+    }
+
+    /// `true` when `sample` falls inside the region.
+    #[must_use]
+    pub fn contains_sample(&self, sample: usize) -> bool {
+        (self.start..self.end).contains(&sample)
+    }
+
+    /// The available setting that consumes the least total energy over the
+    /// region's samples.
+    ///
+    /// The default representative ([`Self::chosen_setting`]) maximizes
+    /// performance per the paper's Section VI-B rule; this alternative
+    /// realizes the Section VI-C observation that "with an increase in
+    /// cluster threshold, energy consumption decreases because lower
+    /// frequency settings can be chosen" — every member is within the
+    /// performance threshold anyway, so picking the cheapest one trades
+    /// bounded performance for energy.
+    #[must_use]
+    pub fn most_efficient_setting(&self, data: &CharacterizationGrid) -> FreqSetting {
+        let idx = self
+            .available
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let ea: f64 = (self.start..self.end)
+                    .map(|s| data.measurement(s, a).energy().value())
+                    .sum();
+                let eb: f64 = (self.start..self.end)
+                    .map(|s| data.measurement(s, b).energy().value())
+                    .sum();
+                ea.partial_cmp(&eb).expect("energies are finite")
+            })
+            .expect("region has at least one setting");
+        data.grid().get(idx).expect("available index on grid")
+    }
+}
+
+/// Splits a cluster series into stable regions.
+///
+/// The regions partition `[0, clusters.len())`; running the whole trace at
+/// each region's chosen setting requires exactly `regions.len() - 1`
+/// frequency transitions.
+///
+/// # Panics
+///
+/// Panics if `clusters` is not indexed `0..n` in order (i.e. was not
+/// produced by [`cluster_series`](crate::cluster_series)).
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
+/// use mcdvfs_sim::{CharacterizationGrid, System};
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let data = CharacterizationGrid::characterize(
+///     &System::galaxy_nexus_class(),
+///     &Benchmark::Lbm.trace().window(0, 30),
+///     FrequencyGrid::coarse(),
+/// );
+/// let clusters = cluster_series(&data, InefficiencyBudget::bounded(1.3).unwrap(), 0.05).unwrap();
+/// let regions = stable_regions(&clusters);
+/// // lbm is steady: a handful of regions cover 30 samples.
+/// assert!(regions.len() <= 4);
+/// assert_eq!(regions.iter().map(|r| r.len()).sum::<usize>(), 30);
+/// ```
+#[must_use]
+pub fn stable_regions(clusters: &[PerformanceCluster]) -> Vec<StableRegion> {
+    for (i, c) in clusters.iter().enumerate() {
+        assert_eq!(c.sample, i, "clusters must be a contiguous 0..n series");
+    }
+    let mut regions = Vec::new();
+    if clusters.is_empty() {
+        return regions;
+    }
+
+    let mut start = 0usize;
+    let mut available: Vec<usize> = clusters[0].member_indices().to_vec();
+    for (s, cluster) in clusters.iter().enumerate().skip(1) {
+        let next: Vec<usize> = intersect_sorted(&available, cluster.member_indices());
+        if next.is_empty() {
+            regions.push(close_region(start, s, available));
+            start = s;
+            available = cluster.member_indices().to_vec();
+        } else {
+            available = next;
+        }
+    }
+    regions.push(close_region(start, clusters.len(), available));
+    regions
+}
+
+/// Intersection of two ascending index slices.
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn close_region(start: usize, end: usize, available: Vec<usize>) -> StableRegion {
+    // Grid indices are ascending in (cpu, mem) lexicographic order, so the
+    // largest index is the paper's highest-CPU-then-memory choice.
+    let chosen_index = *available.last().expect("region has at least one setting");
+    StableRegion {
+        start,
+        end,
+        chosen_index,
+        available,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::cluster_series;
+    use crate::inefficiency::InefficiencyBudget;
+    use mcdvfs_sim::{CharacterizationGrid, System};
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn clusters_for(
+        b: Benchmark,
+        n: usize,
+        budget: f64,
+        thr: f64,
+    ) -> (CharacterizationGrid, Vec<PerformanceCluster>) {
+        let d = CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        );
+        let c = cluster_series(&d, InefficiencyBudget::bounded(budget).unwrap(), thr).unwrap();
+        (d, c)
+    }
+
+    #[test]
+    fn regions_partition_the_trace() {
+        let (_, c) = clusters_for(Benchmark::Gobmk, 30, 1.3, 0.01);
+        let regions = stable_regions(&c);
+        assert_eq!(regions[0].start, 0);
+        assert_eq!(regions.last().unwrap().end, 30);
+        for w in regions.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "regions must be contiguous");
+        }
+        assert_eq!(regions.iter().map(StableRegion::len).sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn chosen_setting_is_in_every_member_cluster() {
+        let (_, c) = clusters_for(Benchmark::Gcc, 40, 1.3, 0.03);
+        for r in stable_regions(&c) {
+            for s in r.start..r.end {
+                assert!(
+                    c[s].contains_index(r.chosen_index),
+                    "region {}..{} chose {} not in cluster of sample {s}",
+                    r.start,
+                    r.end,
+                    r.chosen_index
+                );
+                assert!(r.contains_sample(s));
+            }
+        }
+    }
+
+    #[test]
+    fn every_available_setting_is_common_to_the_region() {
+        let (_, c) = clusters_for(Benchmark::Milc, 30, 1.3, 0.05);
+        for r in stable_regions(&c) {
+            for &idx in r.available_indices() {
+                for s in r.start..r.end {
+                    assert!(c[s].contains_index(idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_maximal() {
+        // Extending any region by one sample must empty the intersection.
+        let (_, c) = clusters_for(Benchmark::Gobmk, 40, 1.0, 0.01);
+        let regions = stable_regions(&c);
+        for r in &regions {
+            if r.end < c.len() {
+                let extended = intersect_sorted(r.available_indices(), c[r.end].member_indices());
+                assert!(
+                    extended.is_empty(),
+                    "region {}..{} could have been extended",
+                    r.start,
+                    r.end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_is_highest_cpu_then_memory() {
+        let (d, c) = clusters_for(Benchmark::Lbm, 20, 1.3, 0.05);
+        for r in stable_regions(&c) {
+            let chosen = r.chosen_setting(&d);
+            for &idx in r.available_indices() {
+                let other = d.grid().get(idx).unwrap();
+                assert!(other <= chosen, "{other} > chosen {chosen}");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_workload_has_fewer_regions_than_phasey_one() {
+        let (_, cl) = clusters_for(Benchmark::Lbm, 40, 1.3, 0.05);
+        let (_, cg) = clusters_for(Benchmark::Gobmk, 40, 1.3, 0.05);
+        let lbm_regions = stable_regions(&cl).len();
+        let gobmk_regions = stable_regions(&cg).len();
+        assert!(
+            lbm_regions < gobmk_regions,
+            "lbm {lbm_regions} vs gobmk {gobmk_regions}"
+        );
+    }
+
+    #[test]
+    fn higher_threshold_means_no_more_regions() {
+        // Higher cluster thresholds increase stable-region length (paper
+        // observation), so the region count cannot grow.
+        for b in [Benchmark::Gcc, Benchmark::Gobmk, Benchmark::Milc] {
+            let (_, tight) = clusters_for(b, 40, 1.3, 0.01);
+            let (_, loose) = clusters_for(b, 40, 1.3, 0.05);
+            assert!(
+                stable_regions(&loose).len() <= stable_regions(&tight).len(),
+                "{b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cluster_series_yields_no_regions() {
+        assert!(stable_regions(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_sample_trace_is_one_region() {
+        let (_, c) = clusters_for(Benchmark::Bzip2, 1, 1.3, 0.01);
+        let regions = stable_regions(&c);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].len(), 1);
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<usize>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<usize>::new());
+    }
+}

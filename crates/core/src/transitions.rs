@@ -1,0 +1,124 @@
+//! Frequency-transition statistics (the paper's Figure 8).
+//!
+//! The paper reports *transitions per billion instructions* for tracking
+//! the optimal settings exactly versus staying inside performance clusters
+//! at 1%, 3% and 5% thresholds, across inefficiency budgets.
+
+use crate::clusters::PerformanceCluster;
+use crate::optimal::OptimalChoice;
+use crate::stable::{stable_regions, StableRegion};
+use mcdvfs_types::INSTRUCTIONS_PER_SAMPLE;
+
+/// Counts the setting changes made when tracking a per-sample decision
+/// series exactly (a transition whenever consecutive samples choose
+/// different settings).
+#[must_use]
+pub fn count_optimal_transitions(series: &[OptimalChoice]) -> usize {
+    series
+        .windows(2)
+        .filter(|w| w[0].setting != w[1].setting)
+        .count()
+}
+
+/// Counts the transitions a cluster-following tuner makes: one per stable
+/// region boundary.
+#[must_use]
+pub fn count_cluster_transitions(clusters: &[PerformanceCluster]) -> usize {
+    stable_regions(clusters).len().saturating_sub(1)
+}
+
+/// Normalizes a transition count to the paper's *per billion instructions*
+/// unit, given the number of 10 M-instruction samples it was counted over.
+///
+/// # Panics
+///
+/// Panics when `samples` is zero.
+#[must_use]
+pub fn per_billion_instructions(transitions: usize, samples: usize) -> f64 {
+    assert!(samples > 0, "cannot normalize over zero samples");
+    let instructions = samples as u64 * INSTRUCTIONS_PER_SAMPLE;
+    transitions as f64 * 1e9 / instructions as f64
+}
+
+/// Lengths of each stable region in samples, for the paper's Figure 9
+/// distribution plots.
+#[must_use]
+pub fn region_lengths(regions: &[StableRegion]) -> Vec<usize> {
+    regions.iter().map(StableRegion::len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::cluster_series;
+    use crate::inefficiency::InefficiencyBudget;
+    use crate::optimal::OptimalFinder;
+    use mcdvfs_sim::{CharacterizationGrid, System};
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(b: Benchmark, n: usize) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &b.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    #[test]
+    fn optimal_tracking_produces_the_most_transitions() {
+        // Figure 8's headline: tracking optimal settings needs the most
+        // transitions; clusters need fewer, monotonically in threshold.
+        let d = data(Benchmark::Gobmk, 50);
+        let budget = InefficiencyBudget::bounded(1.3).unwrap();
+        let optimal = OptimalFinder::new(budget).series(&d);
+        let n_opt = count_optimal_transitions(&optimal);
+        let mut prev = n_opt;
+        for thr in [0.01, 0.03, 0.05] {
+            let clusters = cluster_series(&d, budget, thr).unwrap();
+            let n = count_cluster_transitions(&clusters);
+            assert!(n <= prev, "threshold {thr}: {n} > {prev}");
+            prev = n;
+        }
+        assert!(n_opt > 0, "gobmk must transition when tracked exactly");
+    }
+
+    #[test]
+    fn per_billion_normalization() {
+        // 50 samples = 500 M instructions; 10 transitions = 20 per billion.
+        assert!((per_billion_instructions(10, 50) - 20.0).abs() < 1e-12);
+        assert_eq!(per_billion_instructions(0, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn zero_samples_panics() {
+        let _ = per_billion_instructions(1, 0);
+    }
+
+    #[test]
+    fn steady_workload_needs_few_transitions() {
+        let d = data(Benchmark::Lbm, 40);
+        let budget = InefficiencyBudget::bounded(1.3).unwrap();
+        let clusters = cluster_series(&d, budget, 0.05).unwrap();
+        let n = count_cluster_transitions(&clusters);
+        assert!(n <= 3, "lbm at 5%: {n} transitions");
+    }
+
+    #[test]
+    fn region_lengths_sum_to_trace_length() {
+        let d = data(Benchmark::Gcc, 60);
+        let budget = InefficiencyBudget::bounded(1.3).unwrap();
+        let clusters = cluster_series(&d, budget, 0.03).unwrap();
+        let lengths = region_lengths(&stable_regions(&clusters));
+        assert_eq!(lengths.iter().sum::<usize>(), 60);
+        assert!(lengths.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn constant_series_has_zero_transitions() {
+        let d = data(Benchmark::Bzip2, 10);
+        let series = OptimalFinder::new(InefficiencyBudget::Unconstrained).series(&d);
+        assert_eq!(count_optimal_transitions(&series), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Trace-driven L1/L2 cache hierarchy simulator.
+//!
+//! Mirrors the paper's Gem5 cache configuration: a 64 KB L1 with 2-cycle
+//! access latency backed by a unified 2 MB L2 with 12-cycle hit latency,
+//! both in the CPU clock domain. The simulator is used to derive MPKI for
+//! the synthetic microbenchmark address streams (calibration) and to
+//! validate that workload-profile MPKI values are achievable by real
+//! reference streams.
+
+use mcdvfs_types::{Error, Result};
+
+/// A single memory access in a reference trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+impl MemAccess {
+    /// Convenience constructor for a load.
+    #[must_use]
+    pub const fn load(addr: u64) -> Self {
+        Self { addr, write: false }
+    }
+
+    /// Convenience constructor for a store.
+    #[must_use]
+    pub const fn store(addr: u64) -> Self {
+        Self { addr, write: true }
+    }
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in core cycles.
+    pub hit_latency_cycles: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1: 64 KB, 64 B lines, 4-way, 2-cycle access.
+    #[must_use]
+    pub const fn gem5_l1() -> Self {
+        Self {
+            size_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency_cycles: 2,
+        }
+    }
+
+    /// The paper's unified L2: 2 MB, 64 B lines, 16-way, 12-cycle hit.
+    #[must_use]
+    pub const fn gem5_l2() -> Self {
+        Self {
+            size_bytes: 2 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            hit_latency_cycles: 12,
+        }
+    }
+
+    fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.ways))
+    }
+
+    fn validate(&self, name: &'static str) -> Result<()> {
+        let ok = self.line_bytes.is_power_of_two()
+            && self.line_bytes > 0
+            && self.ways > 0
+            && self.size_bytes % (self.line_bytes * u64::from(self.ways)) == 0
+            && self.sets() > 0
+            && self.sets().is_power_of_two();
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::InvalidParameter {
+                name,
+                reason: "cache geometry must give a power-of-two number of sets".into(),
+            })
+        }
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheLevelStats {
+    /// Number of accesses that reached this level.
+    pub accesses: u64,
+    /// Number that hit.
+    pub hits: u64,
+}
+
+impl CacheLevelStats {
+    /// Number of misses at this level.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no accesses were made.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative, LRU, write-allocate cache level.
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    config: CacheConfig,
+    /// `tags[set]` is the LRU stack for that set, most-recent first.
+    tags: Vec<Vec<u64>>,
+    stats: CacheLevelStats,
+}
+
+impl CacheLevel {
+    fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            tags: vec![Vec::with_capacity(config.ways as usize); config.sets() as usize],
+            stats: CacheLevelStats::default(),
+        }
+    }
+
+    /// Returns `true` on hit. On miss, allocates the line (LRU eviction).
+    fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.config.sets()) as usize;
+        let tag = line / self.config.sets();
+        let stack = &mut self.tags[set];
+        if let Some(pos) = stack.iter().position(|&t| t == tag) {
+            stack.remove(pos);
+            stack.insert(0, tag);
+            self.stats.hits += 1;
+            true
+        } else {
+            if stack.len() == self.config.ways as usize {
+                stack.pop();
+            }
+            stack.insert(0, tag);
+            false
+        }
+    }
+}
+
+/// A two-level inclusive cache hierarchy.
+///
+/// # Examples
+///
+/// A working set that fits in L1 never misses to DRAM:
+///
+/// ```
+/// use mcdvfs_cpu::{CacheHierarchy, MemAccess};
+///
+/// let mut caches = CacheHierarchy::gem5_default();
+/// for round in 0..4 {
+///     for addr in (0..16 * 1024u64).step_by(64) {
+///         caches.access(MemAccess::load(addr));
+///     }
+///     let _ = round;
+/// }
+/// assert_eq!(caches.dram_accesses(), 256, "only cold misses reach DRAM");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    dram_accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the paper's default hierarchy ([`CacheConfig::gem5_l1`] +
+    /// [`CacheConfig::gem5_l2`]).
+    #[must_use]
+    pub fn gem5_default() -> Self {
+        Self::new(CacheConfig::gem5_l1(), CacheConfig::gem5_l2())
+            .expect("reference cache geometry is valid")
+    }
+
+    /// Builds a hierarchy from explicit level configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when either geometry does not
+    /// produce a power-of-two set count.
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Result<Self> {
+        l1.validate("l1")?;
+        l2.validate("l2")?;
+        Ok(Self {
+            l1: CacheLevel::new(l1),
+            l2: CacheLevel::new(l2),
+            dram_accesses: 0,
+        })
+    }
+
+    /// Performs one access; returns the hit latency in core cycles for a
+    /// cache hit, or `None` when the access misses to DRAM (the DRAM model
+    /// owns that latency).
+    pub fn access(&mut self, access: MemAccess) -> Option<u32> {
+        if self.l1.access(access.addr) {
+            return Some(self.l1.config.hit_latency_cycles);
+        }
+        if self.l2.access(access.addr) {
+            return Some(self.l2.config.hit_latency_cycles);
+        }
+        self.dram_accesses += 1;
+        None
+    }
+
+    /// Runs a whole trace, returning the number of DRAM accesses it caused.
+    pub fn run_trace<I: IntoIterator<Item = MemAccess>>(&mut self, trace: I) -> u64 {
+        let before = self.dram_accesses;
+        for a in trace {
+            self.access(a);
+        }
+        self.dram_accesses - before
+    }
+
+    /// L1 statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheLevelStats {
+        self.l1.stats
+    }
+
+    /// L2 statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheLevelStats {
+        self.l2.stats
+    }
+
+    /// Total accesses that missed both levels.
+    #[must_use]
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// Misses per thousand instructions for an instruction count executed
+    /// alongside the trace so far.
+    #[must_use]
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        self.dram_accesses as f64 * 1000.0 / instructions as f64
+    }
+
+    /// Resets all counters and contents.
+    pub fn reset(&mut self) {
+        *self = Self::new(self.l1.config, self.l2.config).expect("geometry already validated");
+    }
+
+    /// Resets the hit/miss counters while keeping cache contents, so a
+    /// measurement can exclude cold-start misses after a warm-up pass.
+    pub fn reset_stats(&mut self) {
+        self.l1.stats = CacheLevelStats::default();
+        self.l2.stats = CacheLevelStats::default();
+        self.dram_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_resident_set_hits_after_warmup() {
+        let mut h = CacheHierarchy::gem5_default();
+        let addrs: Vec<u64> = (0..32 * 1024).step_by(64).collect();
+        // Warm-up pass: all cold misses.
+        for &a in &addrs {
+            h.access(MemAccess::load(a));
+        }
+        let cold = h.dram_accesses();
+        assert_eq!(cold, addrs.len() as u64);
+        // Second pass: everything hits L1 at 2 cycles.
+        for &a in &addrs {
+            assert_eq!(h.access(MemAccess::load(a)), Some(2));
+        }
+        assert_eq!(h.dram_accesses(), cold);
+    }
+
+    #[test]
+    fn l2_resident_set_hits_l2_after_l1_eviction() {
+        let mut h = CacheHierarchy::gem5_default();
+        // 512 KB working set: fits L2, thrashes 64 KB L1.
+        let addrs: Vec<u64> = (0..512 * 1024).step_by(64).collect();
+        for &a in &addrs {
+            h.access(MemAccess::load(a));
+        }
+        let mut l2_hits = 0;
+        for &a in &addrs {
+            match h.access(MemAccess::load(a)) {
+                Some(12) => l2_hits += 1,
+                Some(2) => {}
+                other => panic!("unexpected DRAM access or latency {other:?}"),
+            }
+        }
+        assert!(l2_hits > addrs.len() / 2, "most re-accesses should hit L2");
+    }
+
+    #[test]
+    fn oversized_working_set_misses_to_dram() {
+        let mut h = CacheHierarchy::gem5_default();
+        // 8 MB streaming set: 4x the L2.
+        let addrs: Vec<u64> = (0..8 * 1024 * 1024).step_by(64).collect();
+        for &a in &addrs {
+            h.access(MemAccess::load(a));
+        }
+        let first_pass = h.dram_accesses();
+        for &a in &addrs {
+            h.access(MemAccess::load(a));
+        }
+        let second_pass = h.dram_accesses() - first_pass;
+        assert!(
+            second_pass > addrs.len() as u64 * 9 / 10,
+            "streaming re-pass should still miss ({second_pass} of {})",
+            addrs.len()
+        );
+    }
+
+    #[test]
+    fn mpki_computation() {
+        let mut h = CacheHierarchy::gem5_default();
+        for a in (0..64 * 64u64).step_by(64) {
+            h.access(MemAccess::load(a * 1024)); // far apart: all miss
+        }
+        assert_eq!(h.dram_accesses(), 64);
+        assert!((h.mpki(64_000) - 1.0).abs() < 1e-12);
+        assert_eq!(h.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn lru_replacement_is_observed() {
+        // Tiny direct-mapped-ish cache: 2 sets x 2 ways x 64B = 256B.
+        let tiny = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency_cycles: 1,
+        };
+        let big = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency_cycles: 5,
+        };
+        let mut h = CacheHierarchy::new(tiny, big).unwrap();
+        // Three lines mapping to set 0 (stride = 2 lines x 64B = 128B).
+        let (a, b, c) = (0u64, 128, 256);
+        h.access(MemAccess::load(a));
+        h.access(MemAccess::load(b));
+        h.access(MemAccess::load(a)); // a now MRU
+        h.access(MemAccess::load(c)); // evicts b (LRU)
+        assert_eq!(h.access(MemAccess::load(a)), Some(1), "a survives in L1");
+        assert_eq!(h.access(MemAccess::load(b)), Some(5), "b fell to L2");
+    }
+
+    #[test]
+    fn run_trace_counts_new_dram_accesses() {
+        let mut h = CacheHierarchy::gem5_default();
+        let trace: Vec<MemAccess> = (0..128u64).map(|i| MemAccess::load(i * 4096)).collect();
+        let misses = h.run_trace(trace.clone());
+        assert_eq!(misses, 128);
+        let misses2 = h.run_trace(trace);
+        assert_eq!(misses2, 0, "second pass hits in L2 (128 x 4KB-strided lines fit)");
+    }
+
+    #[test]
+    fn stores_allocate_like_loads() {
+        let mut h = CacheHierarchy::gem5_default();
+        assert_eq!(h.access(MemAccess::store(0x1000)), None);
+        assert_eq!(h.access(MemAccess::load(0x1000)), Some(2));
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let bad = CacheConfig {
+            size_bytes: 100,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency_cycles: 1,
+        };
+        assert!(CacheHierarchy::new(bad, CacheConfig::gem5_l2()).is_err());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = CacheHierarchy::gem5_default();
+        h.access(MemAccess::load(0));
+        h.reset();
+        assert_eq!(h.dram_accesses(), 0);
+        assert_eq!(h.l1_stats().accesses, 0);
+    }
+
+    #[test]
+    fn stats_track_hit_rates() {
+        let mut h = CacheHierarchy::gem5_default();
+        h.access(MemAccess::load(0));
+        h.access(MemAccess::load(0));
+        assert_eq!(h.l1_stats().accesses, 2);
+        assert_eq!(h.l1_stats().hits, 1);
+        assert!((h.l1_stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(h.l1_stats().misses(), 1);
+        assert_eq!(CacheLevelStats::default().hit_rate(), 0.0);
+    }
+}

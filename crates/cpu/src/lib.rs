@@ -1,0 +1,49 @@
+//! CPU models for the `mcdvfs` workspace.
+//!
+//! This crate provides the processor half of the simulated platform from
+//! Begum et al. (IISWC 2015):
+//!
+//! * [`VfCurve`] — the voltage–frequency operating curve (0.85 V @ 100 MHz
+//!   to 1.25 V @ 1000 MHz on the modelled SoC);
+//! * [`CpuPowerModel`] — the paper's empirical three-component power model
+//!   (dynamic `∝ af·V²f`, clocked background `∝ V²f`, leakage `∝ V`),
+//!   calibrated against PandaBoard/OMAP4430-class peak measurements;
+//! * [`CorePerfModel`] — an analytic out-of-order core model producing
+//!   execution cycles for a fixed-work sample given the exposed DRAM
+//!   latency;
+//! * [`CacheHierarchy`] — a trace-driven L1/L2 set-associative cache
+//!   simulator (64 KB L1 @ 2 cycles, 2 MB unified L2 @ 12 cycles, the
+//!   paper's Gem5 configuration) used for calibration and validation;
+//! * [`Pmu`] — performance-counter plumbing mirroring the PMU registers the
+//!   paper's infrastructure samples every 10 M user-mode instructions;
+//! * [`microbench`] — synthetic stress kernels standing in for the
+//!   microbenchmarks the authors ran to calibrate peak power.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_cpu::{CpuPowerModel, VfCurve};
+//! use mcdvfs_types::CpuFreq;
+//!
+//! let curve = VfCurve::pandaboard();
+//! let power = CpuPowerModel::pandaboard();
+//! let p_max = power.total_power(CpuFreq::from_mhz(1000), &curve, 1.0, 1.0);
+//! let p_min = power.total_power(CpuFreq::from_mhz(100), &curve, 1.0, 1.0);
+//! assert!(p_max.value() > p_min.value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod microbench;
+mod perf;
+mod pmu;
+mod power;
+mod voltage;
+
+pub use cache::{CacheConfig, CacheHierarchy, CacheLevelStats, MemAccess};
+pub use perf::{CorePerfModel, SampleExecution};
+pub use pmu::{Pmu, PmuEvent, PmuSnapshot};
+pub use power::{CpuPowerBreakdown, CpuPowerModel};
+pub use voltage::VfCurve;

@@ -1,0 +1,303 @@
+//! Calibration microbenchmarks.
+//!
+//! The paper calibrated its CPU power model by running microbenchmarks
+//! "designed to stress the PandaBoard to its full utilization" while
+//! measuring supply power. This module provides the equivalent synthetic
+//! kernels: deterministic address/compute streams with known intensity that
+//! can be pushed through the [`CacheHierarchy`] to
+//! derive realistic [`SampleCharacteristics`] and to sanity-check the
+//! power model's utilization response.
+
+use crate::cache::{CacheHierarchy, MemAccess};
+use mcdvfs_types::SampleCharacteristics;
+
+/// A deterministic microbenchmark kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Kernel {
+    /// Pure ALU loop: no memory traffic beyond a tiny resident set.
+    /// Maximum switching activity — the paper's peak-dynamic-power stressor.
+    AluSpin,
+    /// Sequential streaming over a buffer of `bytes`: prefetch-friendly,
+    /// high bandwidth, high row-buffer locality.
+    Stream {
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+    /// Strided walk over a buffer: defeats spatial locality when the stride
+    /// exceeds the line size.
+    Stride {
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// Stride between accesses in bytes.
+        stride: u64,
+    },
+    /// Pseudo-random pointer chase: serialized, cache-hostile accesses —
+    /// the classic latency-bound stressor.
+    PointerChase {
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+}
+
+impl Kernel {
+    /// Human-readable kernel name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::AluSpin => "alu_spin",
+            Kernel::Stream { .. } => "stream",
+            Kernel::Stride { .. } => "stride",
+            Kernel::PointerChase { .. } => "pointer_chase",
+        }
+    }
+
+    /// Generates the kernel's memory reference stream for `accesses`
+    /// dynamic accesses.
+    #[must_use]
+    pub fn trace(&self, accesses: usize) -> Vec<MemAccess> {
+        match *self {
+            Kernel::AluSpin => (0..accesses)
+                .map(|i| MemAccess::load((i as u64 % 8) * 64))
+                .collect(),
+            Kernel::Stream { bytes } => (0..accesses)
+                .map(|i| MemAccess::load((i as u64 * 64) % bytes.max(64)))
+                .collect(),
+            Kernel::Stride { bytes, stride } => (0..accesses)
+                .map(|i| MemAccess::load((i as u64 * stride.max(1)) % bytes.max(64)))
+                .collect(),
+            Kernel::PointerChase { bytes } => {
+                // Deterministic LCG walk; consecutive addresses are
+                // decorrelated, modelling a shuffled linked list.
+                let lines = (bytes / 64).max(1);
+                let mut state = 0x9E37_79B9_7F4A_7C15u64;
+                (0..accesses)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        MemAccess::load((state % lines) * 64)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The switching-activity factor this kernel sustains (for power-model
+    /// calibration): ALU spin is the peak-activity stressor.
+    #[must_use]
+    pub fn activity_factor(&self) -> f64 {
+        match self {
+            Kernel::AluSpin => 1.0,
+            Kernel::Stream { .. } => 0.8,
+            Kernel::Stride { .. } => 0.6,
+            Kernel::PointerChase { .. } => 0.4,
+        }
+    }
+
+    /// The core-bound CPI this kernel sustains between misses.
+    #[must_use]
+    pub fn base_cpi(&self) -> f64 {
+        match self {
+            Kernel::AluSpin => 0.5,
+            Kernel::Stream { .. } => 0.8,
+            Kernel::Stride { .. } => 1.0,
+            Kernel::PointerChase { .. } => 1.2,
+        }
+    }
+}
+
+/// Result of characterizing one kernel against the cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Which kernel was profiled.
+    pub kernel: Kernel,
+    /// Derived per-sample characteristics (MPKI measured, not assumed).
+    pub characteristics: SampleCharacteristics,
+    /// L1 hit rate observed.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate observed (of L1 misses).
+    pub l2_hit_rate: f64,
+}
+
+/// Runs `kernel` through a fresh Gem5-default cache hierarchy, assuming
+/// `accesses_per_kilo_instr` memory operations per 1000 instructions, and
+/// derives sample characteristics with the *measured* MPKI.
+///
+/// # Panics
+///
+/// Panics if `accesses_per_kilo_instr` is zero — a kernel with no memory
+/// operations cannot be pushed through the cache simulator (use
+/// [`Kernel::AluSpin`] with a small positive rate instead).
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_cpu::microbench::{characterize, Kernel};
+///
+/// let stream = characterize(Kernel::Stream { bytes: 64 * 1024 * 1024 }, 200);
+/// let spin = characterize(Kernel::AluSpin, 10);
+/// assert!(stream.characteristics.mpki > spin.characteristics.mpki);
+/// ```
+#[must_use]
+pub fn characterize(kernel: Kernel, accesses_per_kilo_instr: u32) -> KernelProfile {
+    assert!(
+        accesses_per_kilo_instr > 0,
+        "kernel must perform memory accesses to be characterized"
+    );
+    const TRACE_LEN: usize = 200_000;
+    let mut caches = CacheHierarchy::gem5_default();
+    // Warm-up pass excludes cold-start misses from the measurement, then
+    // the measured pass observes steady-state behaviour.
+    caches.run_trace(kernel.trace(TRACE_LEN));
+    caches.reset_stats();
+    caches.run_trace(kernel.trace(TRACE_LEN));
+    let instructions = TRACE_LEN as u64 * 1000 / u64::from(accesses_per_kilo_instr);
+    let mpki = caches.mpki(instructions);
+
+    let mut characteristics = SampleCharacteristics::new(kernel.base_cpi(), mpki);
+    characteristics.activity_factor = kernel.activity_factor();
+    // Pointer chases serialize misses; streams overlap deeply.
+    characteristics.mlp = match kernel {
+        Kernel::PointerChase { .. } => 1.0,
+        Kernel::Stream { .. } => 4.0,
+        _ => 2.0,
+    };
+    characteristics.row_hit_rate = match kernel {
+        Kernel::Stream { .. } => 0.9,
+        Kernel::PointerChase { .. } => 0.1,
+        _ => 0.5,
+    };
+
+    KernelProfile {
+        kernel,
+        characteristics,
+        l1_hit_rate: caches.l1_stats().hit_rate(),
+        l2_hit_rate: caches.l2_stats().hit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_spin_has_negligible_mpki() {
+        let p = characterize(Kernel::AluSpin, 10);
+        assert!(
+            p.characteristics.mpki < 0.01,
+            "ALU spin mpki {}",
+            p.characteristics.mpki
+        );
+        assert!(p.l1_hit_rate > 0.99);
+    }
+
+    #[test]
+    fn large_stream_misses_in_cache() {
+        let p = characterize(
+            Kernel::Stream {
+                bytes: 64 * 1024 * 1024,
+            },
+            200,
+        );
+        assert!(
+            p.characteristics.mpki > 10.0,
+            "streaming 64 MB should miss heavily, mpki {}",
+            p.characteristics.mpki
+        );
+    }
+
+    #[test]
+    fn small_stream_fits_in_l2() {
+        let p = characterize(
+            Kernel::Stream {
+                bytes: 1024 * 1024,
+            },
+            200,
+        );
+        assert!(
+            p.characteristics.mpki < 1.0,
+            "1 MB stream fits L2, mpki {}",
+            p.characteristics.mpki
+        );
+    }
+
+    #[test]
+    fn pointer_chase_is_latency_hostile() {
+        let p = characterize(
+            Kernel::PointerChase {
+                bytes: 32 * 1024 * 1024,
+            },
+            100,
+        );
+        assert!(p.characteristics.mpki > 5.0);
+        assert!((p.characteristics.mlp - 1.0).abs() < 1e-12, "chase serializes");
+        assert!(p.characteristics.row_hit_rate < 0.2);
+    }
+
+    #[test]
+    fn stride_beyond_line_size_defeats_spatial_locality() {
+        let dense = characterize(
+            Kernel::Stride {
+                bytes: 32 * 1024 * 1024,
+                stride: 16,
+            },
+            200,
+        );
+        let sparse = characterize(
+            Kernel::Stride {
+                bytes: 32 * 1024 * 1024,
+                stride: 256,
+            },
+            200,
+        );
+        assert!(sparse.characteristics.mpki > dense.characteristics.mpki);
+    }
+
+    #[test]
+    fn activity_factors_rank_kernels() {
+        assert!(Kernel::AluSpin.activity_factor() > Kernel::Stream { bytes: 1 }.activity_factor());
+        assert!(
+            Kernel::Stream { bytes: 1 }.activity_factor()
+                > Kernel::PointerChase { bytes: 1 }.activity_factor()
+        );
+    }
+
+    #[test]
+    fn derived_characteristics_are_valid() {
+        for kernel in [
+            Kernel::AluSpin,
+            Kernel::Stream {
+                bytes: 8 * 1024 * 1024,
+            },
+            Kernel::Stride {
+                bytes: 8 * 1024 * 1024,
+                stride: 128,
+            },
+            Kernel::PointerChase {
+                bytes: 8 * 1024 * 1024,
+            },
+        ] {
+            let p = characterize(kernel, 150);
+            assert!(p.characteristics.is_valid(), "{:?}", kernel);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let k = Kernel::PointerChase { bytes: 1024 * 1024 };
+        assert_eq!(k.trace(1000), k.trace(1000));
+    }
+
+    #[test]
+    fn kernel_names() {
+        assert_eq!(Kernel::AluSpin.name(), "alu_spin");
+        assert_eq!(Kernel::Stream { bytes: 1 }.name(), "stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "memory accesses")]
+    fn zero_access_rate_panics() {
+        let _ = characterize(Kernel::AluSpin, 0);
+    }
+}

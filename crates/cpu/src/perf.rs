@@ -1,0 +1,254 @@
+//! Analytic core performance model.
+//!
+//! Models an ARM Cortex-A15-class out-of-order core (the paper's Gem5
+//! configuration) at sample granularity: a fixed-work sample of
+//! [`INSTRUCTIONS_PER_SAMPLE`] instructions is split into
+//!
+//! * **core cycles** — `N · base_cpi`, frequency-independent in cycles
+//!   (CPU and caches share one clock domain, as in the paper), and
+//! * **stall cycles** — DRAM accesses × the portion of average access
+//!   latency the core cannot hide. Memory-level parallelism divides the
+//!   per-access latency (overlapped misses) and the `stall_exposure`
+//!   characteristic scales it (reorder-buffer hiding).
+//!
+//! Because stall time is fixed in *nanoseconds* but core work is fixed in
+//! *cycles*, raising the CPU frequency inflates stall **cycles** — the
+//! mechanism behind every memory-sensitivity result in the paper.
+
+use mcdvfs_types::{
+    CpuFreq, Error, Result, SampleCharacteristics, Seconds, INSTRUCTIONS_PER_SAMPLE,
+};
+
+/// Cycle/time breakdown of one sample executed at one CPU frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleExecution {
+    /// Cycles spent on core-bound work.
+    pub core_cycles: f64,
+    /// Cycles the core is stalled waiting on DRAM.
+    pub stall_cycles: f64,
+    /// Wall-clock time of the sample.
+    pub time: Seconds,
+    /// Achieved cycles per instruction.
+    pub cpi: f64,
+    /// Fraction of cycles the core is busy (not stalled); feeds the
+    /// dynamic-power term of [`crate::CpuPowerModel`].
+    pub busy_frac: f64,
+}
+
+impl SampleExecution {
+    /// Total cycles (core + stall).
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.core_cycles + self.stall_cycles
+    }
+}
+
+/// Analytic performance model for an out-of-order mobile core.
+///
+/// # Examples
+///
+/// A memory-heavy sample slows down disproportionately at high CPU
+/// frequency when memory is slow:
+///
+/// ```
+/// use mcdvfs_cpu::CorePerfModel;
+/// use mcdvfs_types::{CpuFreq, SampleCharacteristics};
+///
+/// let model = CorePerfModel::a15_like();
+/// let memory_heavy = SampleCharacteristics::new(0.8, 20.0);
+///
+/// let slow_mem = model.execute(&memory_heavy, CpuFreq::from_mhz(1000), 150.0);
+/// let fast_mem = model.execute(&memory_heavy, CpuFreq::from_mhz(1000), 60.0);
+/// assert!(slow_mem.time > fast_mem.time);
+/// assert!(slow_mem.busy_frac < fast_mem.busy_frac);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorePerfModel {
+    /// Lower bound on achievable CPI (issue-width limit). The A15 is
+    /// 3-wide, so ~0.33.
+    min_cpi: f64,
+}
+
+impl CorePerfModel {
+    /// Model matching the paper's Gem5 default ARM configuration
+    /// (Cortex-A15-like 3-wide out-of-order core).
+    #[must_use]
+    pub fn a15_like() -> Self {
+        Self { min_cpi: 1.0 / 3.0 }
+    }
+
+    /// Creates a model with a custom CPI floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `min_cpi` is not positive.
+    pub fn new(min_cpi: f64) -> Result<Self> {
+        if !(min_cpi > 0.0 && min_cpi.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "min_cpi",
+                reason: "must be positive and finite".into(),
+            });
+        }
+        Ok(Self { min_cpi })
+    }
+
+    /// Executes one fixed-work sample at CPU frequency `freq`, given the
+    /// average DRAM access latency `mem_latency_ns` (as produced by the
+    /// memory model for the concurrent memory frequency and load).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `chars` is invalid (see
+    /// [`SampleCharacteristics::is_valid`]) or `mem_latency_ns` is negative.
+    #[must_use]
+    pub fn execute(
+        &self,
+        chars: &SampleCharacteristics,
+        freq: CpuFreq,
+        mem_latency_ns: f64,
+    ) -> SampleExecution {
+        debug_assert!(chars.is_valid(), "invalid sample characteristics");
+        debug_assert!(
+            mem_latency_ns >= 0.0 && mem_latency_ns.is_finite(),
+            "memory latency must be finite and non-negative"
+        );
+        let n = INSTRUCTIONS_PER_SAMPLE as f64;
+        let core_cycles = n * chars.base_cpi.max(self.min_cpi);
+        let accesses = chars.dram_accesses() as f64;
+
+        // Latency each access exposes to the pipeline: raw latency divided
+        // by the overlap the core extracts (MLP), scaled by how much of it
+        // the reorder buffer fails to hide.
+        let exposed_ns = mem_latency_ns * chars.stall_exposure / chars.mlp;
+        let stall_cycles = accesses * exposed_ns * f64::from(freq.mhz()) * 1e-3;
+
+        let total = core_cycles + stall_cycles;
+        let time = Seconds::new(total / freq.hz());
+        SampleExecution {
+            core_cycles,
+            stall_cycles,
+            time,
+            cpi: total / n,
+            busy_frac: core_cycles / total,
+        }
+    }
+
+    /// The CPI floor imposed by issue width.
+    #[must_use]
+    pub fn min_cpi(&self) -> f64 {
+        self.min_cpi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAT: f64 = 100.0; // ns
+
+    fn model() -> CorePerfModel {
+        CorePerfModel::a15_like()
+    }
+
+    #[test]
+    fn cpu_bound_sample_time_scales_inversely_with_frequency() {
+        let m = model();
+        let cpu_bound = SampleCharacteristics::new(1.0, 0.0);
+        let t500 = m.execute(&cpu_bound, CpuFreq::from_mhz(500), LAT).time;
+        let t1000 = m.execute(&cpu_bound, CpuFreq::from_mhz(1000), LAT).time;
+        assert!((t500.value() / t1000.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_sample_sees_diminishing_cpu_frequency_returns() {
+        let m = model();
+        let mem_bound = SampleCharacteristics::new(0.5, 30.0);
+        let t500 = m.execute(&mem_bound, CpuFreq::from_mhz(500), LAT).time;
+        let t1000 = m.execute(&mem_bound, CpuFreq::from_mhz(1000), LAT).time;
+        let speedup = t500.value() / t1000.value();
+        assert!(
+            speedup < 1.5,
+            "memory-bound speedup {speedup} should be far below 2x"
+        );
+    }
+
+    #[test]
+    fn stall_cycles_grow_with_cpu_frequency() {
+        let m = model();
+        let chars = SampleCharacteristics::new(1.0, 10.0);
+        let lo = m.execute(&chars, CpuFreq::from_mhz(200), LAT);
+        let hi = m.execute(&chars, CpuFreq::from_mhz(1000), LAT);
+        assert!(hi.stall_cycles > lo.stall_cycles);
+        assert!((hi.stall_cycles / lo.stall_cycles - 5.0).abs() < 1e-9);
+        // Core cycles are frequency independent.
+        assert!((hi.core_cycles - lo.core_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_mpki_has_no_stalls() {
+        let m = model();
+        let chars = SampleCharacteristics::new(0.9, 0.0);
+        let e = m.execute(&chars, CpuFreq::from_mhz(700), LAT);
+        assert_eq!(e.stall_cycles, 0.0);
+        assert!((e.busy_frac - 1.0).abs() < 1e-12);
+        assert!((e.cpi - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlp_hides_latency() {
+        let m = model();
+        let mut serial = SampleCharacteristics::new(1.0, 10.0);
+        serial.mlp = 1.0;
+        let mut parallel = serial;
+        parallel.mlp = 4.0;
+        let ts = m.execute(&serial, CpuFreq::from_mhz(800), LAT).time;
+        let tp = m.execute(&parallel, CpuFreq::from_mhz(800), LAT).time;
+        assert!(tp < ts, "higher MLP must reduce stall time");
+    }
+
+    #[test]
+    fn exposure_scales_stalls() {
+        let m = model();
+        let mut hidden = SampleCharacteristics::new(1.0, 10.0);
+        hidden.stall_exposure = 0.0;
+        let e = m.execute(&hidden, CpuFreq::from_mhz(800), LAT);
+        assert_eq!(e.stall_cycles, 0.0);
+    }
+
+    #[test]
+    fn cpi_floor_applies() {
+        let m = model();
+        let superscalar_dream = SampleCharacteristics::new(0.01, 0.0);
+        let e = m.execute(&superscalar_dream, CpuFreq::from_mhz(1000), 0.0);
+        assert!((e.cpi - m.min_cpi()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_memory_reduces_time_and_raises_busy_frac() {
+        let m = model();
+        let chars = SampleCharacteristics::new(1.0, 15.0);
+        let slow = m.execute(&chars, CpuFreq::from_mhz(1000), 200.0);
+        let fast = m.execute(&chars, CpuFreq::from_mhz(1000), 50.0);
+        assert!(fast.time < slow.time);
+        assert!(fast.busy_frac > slow.busy_frac);
+        assert!(fast.cpi < slow.cpi);
+    }
+
+    #[test]
+    fn total_cycles_consistency() {
+        let m = model();
+        let chars = SampleCharacteristics::new(1.2, 5.0);
+        let e = m.execute(&chars, CpuFreq::from_mhz(600), LAT);
+        assert!((e.total_cycles() - (e.core_cycles + e.stall_cycles)).abs() < 1e-9);
+        assert!(
+            (e.time.value() - e.total_cycles() / CpuFreq::from_mhz(600).hz()).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn invalid_min_cpi_rejected() {
+        assert!(CorePerfModel::new(0.0).is_err());
+        assert!(CorePerfModel::new(f64::NAN).is_err());
+        assert!(CorePerfModel::new(0.5).is_ok());
+    }
+}

@@ -1,0 +1,236 @@
+//! Performance-monitoring-unit counters.
+//!
+//! The paper's infrastructure reads Gem5's counters every 10 M user-mode
+//! instructions, distinguishing user from kernel work so that periodic OS
+//! traffic does not pollute cross-frequency comparisons. [`Pmu`] models the
+//! same register file: free-running event counters plus snapshot/delta
+//! support for sample-boundary reads.
+
+use std::fmt;
+
+/// Hardware events the modelled PMU can count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PmuEvent {
+    /// Core clock cycles.
+    Cycles,
+    /// Retired user-mode instructions.
+    UserInstructions,
+    /// Retired kernel-mode instructions (excluded from sampling, tracked to
+    /// verify the user/kernel split).
+    KernelInstructions,
+    /// Last-level-cache misses (DRAM accesses).
+    LlcMisses,
+    /// DRAM bytes transferred.
+    DramBytes,
+}
+
+const EVENTS: [PmuEvent; 5] = [
+    PmuEvent::Cycles,
+    PmuEvent::UserInstructions,
+    PmuEvent::KernelInstructions,
+    PmuEvent::LlcMisses,
+    PmuEvent::DramBytes,
+];
+
+impl PmuEvent {
+    fn index(self) -> usize {
+        match self {
+            PmuEvent::Cycles => 0,
+            PmuEvent::UserInstructions => 1,
+            PmuEvent::KernelInstructions => 2,
+            PmuEvent::LlcMisses => 3,
+            PmuEvent::DramBytes => 4,
+        }
+    }
+}
+
+impl fmt::Display for PmuEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PmuEvent::Cycles => "cycles",
+            PmuEvent::UserInstructions => "user_instructions",
+            PmuEvent::KernelInstructions => "kernel_instructions",
+            PmuEvent::LlcMisses => "llc_misses",
+            PmuEvent::DramBytes => "dram_bytes",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A point-in-time copy of all counters, used to compute per-sample deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PmuSnapshot {
+    counts: [u64; 5],
+}
+
+impl PmuSnapshot {
+    /// Value of one counter at snapshot time.
+    #[must_use]
+    pub fn count(&self, event: PmuEvent) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Per-event difference `self - earlier`, saturating at zero so a
+    /// wrapped or reset counter cannot produce a bogus huge delta.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PmuSnapshot) -> PmuSnapshot {
+        let mut counts = [0u64; 5];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        PmuSnapshot { counts }
+    }
+
+    /// Cycles per user instruction within this (delta) snapshot; `None`
+    /// when no user instructions retired.
+    #[must_use]
+    pub fn cpi(&self) -> Option<f64> {
+        let instr = self.count(PmuEvent::UserInstructions);
+        (instr > 0).then(|| self.count(PmuEvent::Cycles) as f64 / instr as f64)
+    }
+
+    /// LLC misses per thousand user instructions; `None` when no user
+    /// instructions retired.
+    #[must_use]
+    pub fn mpki(&self) -> Option<f64> {
+        let instr = self.count(PmuEvent::UserInstructions);
+        (instr > 0).then(|| self.count(PmuEvent::LlcMisses) as f64 * 1000.0 / instr as f64)
+    }
+}
+
+/// The free-running counter file.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_cpu::{Pmu, PmuEvent};
+///
+/// let mut pmu = Pmu::new();
+/// let start = pmu.snapshot();
+/// pmu.add(PmuEvent::Cycles, 15_000_000);
+/// pmu.add(PmuEvent::UserInstructions, 10_000_000);
+/// pmu.add(PmuEvent::LlcMisses, 20_000);
+/// let sample = pmu.snapshot().delta_since(&start);
+/// assert_eq!(sample.cpi(), Some(1.5));
+/// assert_eq!(sample.mpki(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pmu {
+    counts: [u64; 5],
+}
+
+impl Pmu {
+    /// Creates a PMU with all counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `event` by `amount` (saturating).
+    pub fn add(&mut self, event: PmuEvent, amount: u64) {
+        let c = &mut self.counts[event.index()];
+        *c = c.saturating_add(amount);
+    }
+
+    /// Current value of one counter.
+    #[must_use]
+    pub fn count(&self, event: PmuEvent) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Copies all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> PmuSnapshot {
+        PmuSnapshot {
+            counts: self.counts,
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        self.counts = [0; 5];
+    }
+
+    /// Iterates over `(event, count)` pairs in a fixed order.
+    pub fn iter(&self) -> impl Iterator<Item = (PmuEvent, u64)> + '_ {
+        EVENTS.iter().map(move |&e| (e, self.count(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let mut pmu = Pmu::new();
+        pmu.add(PmuEvent::Cycles, 100);
+        pmu.add(PmuEvent::Cycles, 50);
+        pmu.add(PmuEvent::LlcMisses, 7);
+        assert_eq!(pmu.count(PmuEvent::Cycles), 150);
+        assert_eq!(pmu.count(PmuEvent::LlcMisses), 7);
+        assert_eq!(pmu.count(PmuEvent::DramBytes), 0);
+    }
+
+    #[test]
+    fn delta_isolates_a_sample() {
+        let mut pmu = Pmu::new();
+        pmu.add(PmuEvent::UserInstructions, 500);
+        let s0 = pmu.snapshot();
+        pmu.add(PmuEvent::UserInstructions, 1000);
+        pmu.add(PmuEvent::Cycles, 1300);
+        let d = pmu.snapshot().delta_since(&s0);
+        assert_eq!(d.count(PmuEvent::UserInstructions), 1000);
+        assert_eq!(d.count(PmuEvent::Cycles), 1300);
+        assert_eq!(d.cpi(), Some(1.3));
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let mut pmu = Pmu::new();
+        pmu.add(PmuEvent::Cycles, 100);
+        let late = pmu.snapshot();
+        pmu.reset();
+        let early = pmu.snapshot();
+        // "earlier" snapshot actually has the larger count: delta is 0.
+        assert_eq!(early.delta_since(&late).count(PmuEvent::Cycles), 0);
+    }
+
+    #[test]
+    fn derived_metrics_handle_empty_samples() {
+        let empty = PmuSnapshot::default();
+        assert_eq!(empty.cpi(), None);
+        assert_eq!(empty.mpki(), None);
+    }
+
+    #[test]
+    fn kernel_instructions_do_not_affect_user_metrics() {
+        let mut pmu = Pmu::new();
+        pmu.add(PmuEvent::UserInstructions, 1000);
+        pmu.add(PmuEvent::KernelInstructions, 999_999);
+        pmu.add(PmuEvent::Cycles, 2000);
+        let s = pmu.snapshot();
+        assert_eq!(s.cpi(), Some(2.0), "kernel work excluded from CPI");
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let mut pmu = Pmu::new();
+        pmu.add(PmuEvent::DramBytes, u64::MAX);
+        pmu.add(PmuEvent::DramBytes, 1);
+        assert_eq!(pmu.count(PmuEvent::DramBytes), u64::MAX);
+    }
+
+    #[test]
+    fn iter_yields_all_events() {
+        let pmu = Pmu::new();
+        assert_eq!(pmu.iter().count(), 5);
+    }
+
+    #[test]
+    fn event_display_names() {
+        assert_eq!(PmuEvent::Cycles.to_string(), "cycles");
+        assert_eq!(PmuEvent::LlcMisses.to_string(), "llc_misses");
+    }
+}

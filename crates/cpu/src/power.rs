@@ -1,0 +1,281 @@
+//! The three-component CPU power model.
+//!
+//! The paper measured a PandaBoard (OMAP4430, Cortex-A9) with an Agilent
+//! 34411A multimeter at peak utilization, then split consumption into three
+//! components with distinct scaling laws:
+//!
+//! * **dynamic** power — switching activity; scales as `af · V² · f`
+//!   (quadratic in voltage, linear in frequency, per the paper);
+//! * **background** power — idle-unit clock-tree consumption; *clocked*, so
+//!   it scales like dynamic power (`V² · f`) but does not depend on the
+//!   activity factor;
+//! * **leakage** power — up to 30% of peak microprocessor power [Floyd et
+//!   al.] and linearly proportional to supply voltage [Narendra et al.].
+//!
+//! Absolute watts are calibrated to PandaBoard-class numbers; every result
+//! in the reproduction is a ratio (inefficiency, speedup, % savings), so
+//! only the component *shapes* and their relative magnitudes matter.
+
+use crate::voltage::VfCurve;
+use mcdvfs_types::{CpuFreq, Error, Result, Seconds, Watts};
+
+/// Per-component CPU power at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPowerBreakdown {
+    /// Switching (dynamic) power.
+    pub dynamic: Watts,
+    /// Clocked background power.
+    pub background: Watts,
+    /// Static leakage power.
+    pub leakage: Watts,
+}
+
+impl CpuPowerBreakdown {
+    /// Sum of all three components.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.dynamic + self.background + self.leakage
+    }
+}
+
+/// Empirically-calibrated CPU power model.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_cpu::{CpuPowerModel, VfCurve};
+/// use mcdvfs_types::CpuFreq;
+///
+/// let model = CpuPowerModel::pandaboard();
+/// let curve = VfCurve::pandaboard();
+/// // Peak power at full activity and utilization.
+/// let peak = model.total_power(CpuFreq::from_mhz(1000), &curve, 1.0, 1.0);
+/// // Leakage is bounded by ~30% of peak, as the paper cites.
+/// let brk = model.breakdown(CpuFreq::from_mhz(1000), &curve, 1.0, 1.0);
+/// assert!(brk.leakage.value() / peak.value() <= 0.30 + 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuPowerModel {
+    /// Dynamic power at `V = Vmax`, `f = f_ref`, activity 1.0, busy 1.0.
+    peak_dynamic: Watts,
+    /// Background power at `V = Vmax`, `f = f_ref`.
+    peak_background: Watts,
+    /// Leakage power at `V = Vmax`.
+    peak_leakage: Watts,
+    /// Reference frequency at which the peak values were measured.
+    f_ref: CpuFreq,
+}
+
+impl CpuPowerModel {
+    /// Calibration matching PandaBoard/OMAP4430-class measurements:
+    /// 1100 mW peak dynamic, 350 mW peak background, 100 mW leakage at
+    /// 1.25 V / 1000 MHz. Leakage is ~6% of the ~1.55 W peak, inside the
+    /// ≤30% bound the paper cites from Floyd et al.
+    #[must_use]
+    pub fn pandaboard() -> Self {
+        Self::new(
+            Watts::from_millis(1100.0),
+            Watts::from_millis(350.0),
+            Watts::from_millis(100.0),
+            CpuFreq::from_mhz(1000),
+        )
+        .expect("reference calibration is valid")
+    }
+
+    /// Creates a model from peak component powers measured at `f_ref` and
+    /// the curve's maximum voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when any component power is
+    /// negative or the reference frequency is zero.
+    pub fn new(
+        peak_dynamic: Watts,
+        peak_background: Watts,
+        peak_leakage: Watts,
+        f_ref: CpuFreq,
+    ) -> Result<Self> {
+        for (name, w) in [
+            ("peak_dynamic", peak_dynamic),
+            ("peak_background", peak_background),
+            ("peak_leakage", peak_leakage),
+        ] {
+            if !(w.value() >= 0.0 && w.is_finite()) {
+                return Err(Error::InvalidParameter {
+                    name,
+                    reason: "must be finite and non-negative".into(),
+                });
+            }
+        }
+        if f_ref.mhz() == 0 {
+            return Err(Error::InvalidParameter {
+                name: "f_ref",
+                reason: "reference frequency must be positive".into(),
+            });
+        }
+        Ok(Self {
+            peak_dynamic,
+            peak_background,
+            peak_leakage,
+            f_ref,
+        })
+    }
+
+    /// Per-component power at frequency `freq` on curve `curve`, with
+    /// switching-activity factor `activity` and busy fraction `busy`
+    /// (fraction of the interval the core is actually computing rather than
+    /// stalled on memory; stalled cycles burn background and leakage but not
+    /// dynamic power).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `activity` or `busy` fall outside `[0, 1]`.
+    #[must_use]
+    pub fn breakdown(
+        &self,
+        freq: CpuFreq,
+        curve: &VfCurve,
+        activity: f64,
+        busy: f64,
+    ) -> CpuPowerBreakdown {
+        debug_assert!((0.0..=1.0).contains(&activity), "activity in [0,1]");
+        debug_assert!((0.0..=1.0).contains(&busy), "busy in [0,1]");
+        let v_ratio_sq = curve.voltage_ratio(freq).powi(2);
+        let f_ratio = f64::from(freq.mhz()) / f64::from(self.f_ref.mhz());
+        CpuPowerBreakdown {
+            dynamic: self.peak_dynamic * (activity * busy * v_ratio_sq * f_ratio),
+            background: self.peak_background * (v_ratio_sq * f_ratio),
+            leakage: self.peak_leakage * curve.voltage_ratio(freq),
+        }
+    }
+
+    /// Total power at an operating point (see [`Self::breakdown`]).
+    #[must_use]
+    pub fn total_power(&self, freq: CpuFreq, curve: &VfCurve, activity: f64, busy: f64) -> Watts {
+        self.breakdown(freq, curve, activity, busy).total()
+    }
+
+    /// Energy consumed over a duration `time` at a fixed operating point.
+    #[must_use]
+    pub fn energy(
+        &self,
+        freq: CpuFreq,
+        curve: &VfCurve,
+        activity: f64,
+        busy: f64,
+        time: Seconds,
+    ) -> mcdvfs_types::Joules {
+        self.total_power(freq, curve, activity, busy) * time
+    }
+
+    /// The reference frequency this model was calibrated at.
+    #[must_use]
+    pub fn reference_freq(&self) -> CpuFreq {
+        self.f_ref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_and_curve() -> (CpuPowerModel, VfCurve) {
+        (CpuPowerModel::pandaboard(), VfCurve::pandaboard())
+    }
+
+    #[test]
+    fn peak_power_is_sum_of_components() {
+        let (m, c) = model_and_curve();
+        let b = m.breakdown(CpuFreq::from_mhz(1000), &c, 1.0, 1.0);
+        assert!((b.dynamic.as_millis() - 1100.0).abs() < 1e-9);
+        assert!((b.background.as_millis() - 350.0).abs() < 1e-9);
+        assert!((b.leakage.as_millis() - 100.0).abs() < 1e-9);
+        assert!((b.total().as_millis() - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_share_within_cited_bound() {
+        let (m, c) = model_and_curve();
+        let b = m.breakdown(CpuFreq::from_mhz(1000), &c, 1.0, 1.0);
+        let share = b.leakage.value() / b.total().value();
+        assert!(share <= 0.30, "leakage share {share} exceeds 30%");
+    }
+
+    #[test]
+    fn dynamic_power_scales_quadratically_with_voltage_linearly_with_freq() {
+        let (m, c) = model_and_curve();
+        let at = |mhz| m.breakdown(CpuFreq::from_mhz(mhz), &c, 1.0, 1.0).dynamic;
+        // Expected from first principles: P ∝ V² f.
+        let expected_ratio = {
+            let v1 = c.voltage_ratio(CpuFreq::from_mhz(500));
+            (v1 * v1) * 0.5
+        };
+        let actual = at(500) / at(1000);
+        assert!((actual - expected_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_scales_linearly_with_voltage() {
+        let (m, c) = model_and_curve();
+        let l100 = m.breakdown(CpuFreq::from_mhz(100), &c, 1.0, 1.0).leakage;
+        let l1000 = m.breakdown(CpuFreq::from_mhz(1000), &c, 1.0, 1.0).leakage;
+        let expected = c.voltage_ratio(CpuFreq::from_mhz(100));
+        assert!((l100 / l1000 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalled_core_burns_no_dynamic_power() {
+        let (m, c) = model_and_curve();
+        let b = m.breakdown(CpuFreq::from_mhz(800), &c, 0.9, 0.0);
+        assert_eq!(b.dynamic, Watts::ZERO);
+        assert!(b.background.value() > 0.0);
+        assert!(b.leakage.value() > 0.0);
+    }
+
+    #[test]
+    fn background_power_is_clocked_but_activity_independent() {
+        let (m, c) = model_and_curve();
+        let low_act = m.breakdown(CpuFreq::from_mhz(800), &c, 0.1, 1.0);
+        let high_act = m.breakdown(CpuFreq::from_mhz(800), &c, 1.0, 1.0);
+        assert_eq!(low_act.background, high_act.background);
+        assert!(low_act.dynamic < high_act.dynamic);
+    }
+
+    #[test]
+    fn total_power_monotone_in_frequency() {
+        let (m, c) = model_and_curve();
+        let mut prev = Watts::ZERO;
+        for mhz in (100..=1000).step_by(100) {
+            let p = m.total_power(CpuFreq::from_mhz(mhz), &c, 0.7, 0.8);
+            assert!(p > prev, "total power must grow with frequency");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let (m, c) = model_and_curve();
+        let f = CpuFreq::from_mhz(600);
+        let p = m.total_power(f, &c, 0.5, 0.5);
+        let e = m.energy(f, &c, 0.5, 0.5, Seconds::new(2.0));
+        assert!((e.value() - 2.0 * p.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_calibrations_rejected() {
+        assert!(CpuPowerModel::new(
+            Watts::new(-1.0),
+            Watts::ZERO,
+            Watts::ZERO,
+            CpuFreq::from_mhz(1000)
+        )
+        .is_err());
+        assert!(CpuPowerModel::new(
+            Watts::ZERO,
+            Watts::ZERO,
+            Watts::ZERO,
+            CpuFreq::from_mhz(0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! The CPU voltage–frequency operating curve.
+
+use mcdvfs_types::{CpuFreq, Error, Result, Volts};
+
+/// A piecewise-linear voltage–frequency curve for the CPU voltage domain.
+///
+/// The paper's platform scales both voltage and frequency for the CPU
+/// (memory scales frequency only). The modelled SoC runs 0.85 V at
+/// 100 MHz up to the paper's stated maximum of 1.25 V at 1000 MHz, with
+/// voltage interpolated linearly in between — the shape commercial OPP
+/// tables approximate.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_cpu::VfCurve;
+/// use mcdvfs_types::CpuFreq;
+///
+/// let curve = VfCurve::pandaboard();
+/// let v = curve.voltage(CpuFreq::from_mhz(1000));
+/// assert!((v.value() - 1.25).abs() < 1e-9);
+/// assert!(curve.voltage(CpuFreq::from_mhz(100)) < v);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfCurve {
+    f_min: CpuFreq,
+    f_max: CpuFreq,
+    v_min: Volts,
+    v_max: Volts,
+}
+
+impl VfCurve {
+    /// The curve used throughout the reproduction: 0.75 V @ 100 MHz to
+    /// 1.25 V @ 1000 MHz (the paper states a 100–1000 MHz clock domain with
+    /// a highest voltage of 1.25 V; the floor is a near-threshold retention
+    /// voltage typical of 45 nm mobile parts).
+    #[must_use]
+    pub fn pandaboard() -> Self {
+        Self::new(
+            CpuFreq::from_mhz(100),
+            CpuFreq::from_mhz(1000),
+            Volts::new(0.75),
+            Volts::new(1.25),
+        )
+        .expect("reference curve parameters are valid")
+    }
+
+    /// Creates a linear curve between two operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the frequency range is empty
+    /// or voltages are non-positive or inverted.
+    pub fn new(f_min: CpuFreq, f_max: CpuFreq, v_min: Volts, v_max: Volts) -> Result<Self> {
+        if f_max <= f_min {
+            return Err(Error::InvalidParameter {
+                name: "f_max",
+                reason: format!("must exceed f_min ({f_min} >= {f_max})"),
+            });
+        }
+        if v_min.value() <= 0.0 || v_max < v_min {
+            return Err(Error::InvalidParameter {
+                name: "v_max",
+                reason: "voltages must be positive and non-decreasing".into(),
+            });
+        }
+        Ok(Self {
+            f_min,
+            f_max,
+            v_min,
+            v_max,
+        })
+    }
+
+    /// The supply voltage required to run at `freq`.
+    ///
+    /// Frequencies outside the curve's range are clamped to its endpoints,
+    /// mirroring how a PMIC pins the rail at its limits.
+    #[must_use]
+    pub fn voltage(&self, freq: CpuFreq) -> Volts {
+        let f = freq.mhz().clamp(self.f_min.mhz(), self.f_max.mhz());
+        let span = f64::from(self.f_max.mhz() - self.f_min.mhz());
+        let frac = f64::from(f - self.f_min.mhz()) / span;
+        self.v_min + (self.v_max - self.v_min) * frac
+    }
+
+    /// The maximum (peak) voltage of the curve.
+    #[must_use]
+    pub fn v_max(&self) -> Volts {
+        self.v_max
+    }
+
+    /// The minimum voltage of the curve.
+    #[must_use]
+    pub fn v_min(&self) -> Volts {
+        self.v_min
+    }
+
+    /// Voltage at `freq` normalized to the peak voltage, i.e. `V/Vmax`.
+    #[must_use]
+    pub fn voltage_ratio(&self, freq: CpuFreq) -> f64 {
+        self.voltage(freq) / self.v_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_specification() {
+        let c = VfCurve::pandaboard();
+        assert!((c.voltage(CpuFreq::from_mhz(100)).value() - 0.75).abs() < 1e-12);
+        assert!((c.voltage(CpuFreq::from_mhz(1000)).value() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let c = VfCurve::pandaboard();
+        let mid = c.voltage(CpuFreq::from_mhz(550));
+        assert!((mid.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_is_monotone_in_frequency() {
+        let c = VfCurve::pandaboard();
+        let mut prev = Volts::ZERO;
+        for mhz in (100..=1000).step_by(100) {
+            let v = c.voltage(CpuFreq::from_mhz(mhz));
+            assert!(v > prev, "voltage must increase with frequency");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn out_of_range_frequencies_clamp() {
+        let c = VfCurve::pandaboard();
+        assert_eq!(c.voltage(CpuFreq::from_mhz(50)), c.v_min());
+        assert_eq!(c.voltage(CpuFreq::from_mhz(2000)), c.v_max());
+    }
+
+    #[test]
+    fn voltage_ratio_is_one_at_peak() {
+        let c = VfCurve::pandaboard();
+        assert!((c.voltage_ratio(CpuFreq::from_mhz(1000)) - 1.0).abs() < 1e-12);
+        assert!(c.voltage_ratio(CpuFreq::from_mhz(100)) < 1.0);
+    }
+
+    #[test]
+    fn invalid_curves_rejected() {
+        let f = CpuFreq::from_mhz;
+        assert!(VfCurve::new(f(500), f(500), Volts::new(1.0), Volts::new(1.2)).is_err());
+        assert!(VfCurve::new(f(100), f(1000), Volts::new(0.0), Volts::new(1.2)).is_err());
+        assert!(VfCurve::new(f(100), f(1000), Volts::new(1.2), Volts::new(1.0)).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! DRAM bank state machine.
+//!
+//! Each of the eight LPDDR3 banks is an independent state machine under the
+//! open-page policy: rows stay open after an access until a conflicting
+//! access (or refresh) forces a precharge. Timing legality (tRCD, tRP,
+//! tRAS) is enforced in controller clock ticks.
+
+use crate::timing::LpddrTimings;
+use mcdvfs_types::MemFreq;
+use std::fmt;
+
+/// Commands a memory controller can issue to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Open `row` in the bank.
+    Activate {
+        /// Row address to open.
+        row: u64,
+    },
+    /// Close the open row.
+    Precharge,
+    /// Column read from the open row.
+    Read,
+    /// Column write to the open row.
+    Write,
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Activate { row } => write!(f, "ACT(row {row})"),
+            Command::Precharge => f.write_str("PRE"),
+            Command::Read => f.write_str("RD"),
+            Command::Write => f.write_str("WR"),
+        }
+    }
+}
+
+/// Observable state of a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed (precharged).
+    Idle,
+    /// `row` is open in the row buffer.
+    Active {
+        /// The open row.
+        row: u64,
+    },
+}
+
+/// One DRAM bank with open-page row-buffer policy.
+///
+/// Time is expressed in controller cycles at a fixed [`MemFreq`]; the bank
+/// records the earliest cycle each command class becomes legal.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_dram::{Bank, Command, LpddrTimings};
+/// use mcdvfs_types::MemFreq;
+///
+/// let t = LpddrTimings::micron_lpddr3();
+/// let f = MemFreq::from_mhz(400);
+/// let mut bank = Bank::new(&t, f);
+/// let ready = bank.issue(Command::Activate { row: 7 }, 0).unwrap();
+/// // A read is legal only after tRCD.
+/// assert!(bank.issue(Command::Read, ready).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    trcd: u64,
+    trp: u64,
+    tras: u64,
+    cas: u64,
+    burst: u64,
+    /// Cycle at which the current ACT completes (columns accessible).
+    act_done_at: u64,
+    /// Earliest cycle a PRE is allowed (tRAS from ACT).
+    pre_allowed_at: u64,
+    /// Earliest cycle the next ACT is allowed (tRP from PRE).
+    act_allowed_at: u64,
+    /// Cycle the data bus frees up after the last column command.
+    bus_free_at: u64,
+    /// Statistics: row-buffer outcomes.
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+}
+
+/// Error returned when a command is illegal in the bank's current state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllegalCommand {
+    /// What was attempted.
+    pub command: String,
+    /// Why it was illegal.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for IllegalCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal DRAM command {}: {}", self.command, self.reason)
+    }
+}
+
+impl std::error::Error for IllegalCommand {}
+
+impl Bank {
+    /// Creates an idle bank operating at `freq` under timing set `t`.
+    #[must_use]
+    pub fn new(t: &LpddrTimings, freq: MemFreq) -> Self {
+        Self {
+            state: BankState::Idle,
+            trcd: t.trcd_cycles(freq),
+            trp: t.trp_cycles(freq),
+            tras: t.tras_cycles(freq),
+            cas: t.cas_cycles(freq),
+            burst: t.burst_cycles(),
+            act_done_at: 0,
+            pre_allowed_at: 0,
+            act_allowed_at: 0,
+            bus_free_at: 0,
+            hits: 0,
+            misses: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Row-buffer outcome counters: `(hits, misses, conflicts)`.
+    #[must_use]
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.conflicts)
+    }
+
+    /// Issues `command` at cycle `now` (stalling internally to the earliest
+    /// legal cycle), returning the cycle at which the command's effect
+    /// completes: columns accessible for ACT, bank idle for PRE, data
+    /// transferred for RD/WR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IllegalCommand`] for column commands on an idle bank or an
+    /// ACT on an already-active bank.
+    pub fn issue(&mut self, command: Command, now: u64) -> Result<u64, IllegalCommand> {
+        match command {
+            Command::Activate { row } => {
+                if let BankState::Active { .. } = self.state {
+                    return Err(IllegalCommand {
+                        command: command.to_string(),
+                        reason: "bank already has an open row (precharge first)",
+                    });
+                }
+                let start = now.max(self.act_allowed_at);
+                self.state = BankState::Active { row };
+                self.act_done_at = start + self.trcd;
+                self.pre_allowed_at = start + self.tras;
+                Ok(self.act_done_at)
+            }
+            Command::Precharge => {
+                if self.state == BankState::Idle {
+                    // Precharging an idle bank is a no-op, legal per spec.
+                    return Ok(now.max(self.act_allowed_at));
+                }
+                let start = now.max(self.pre_allowed_at);
+                self.state = BankState::Idle;
+                self.act_allowed_at = start + self.trp;
+                Ok(self.act_allowed_at)
+            }
+            Command::Read | Command::Write => {
+                if self.state == BankState::Idle {
+                    return Err(IllegalCommand {
+                        command: command.to_string(),
+                        reason: "no open row for a column access",
+                    });
+                }
+                let start = now.max(self.act_done_at).max(self.bus_free_at);
+                let done = start + self.cas + self.burst;
+                self.bus_free_at = start + self.burst;
+                Ok(done)
+            }
+        }
+    }
+
+    /// Services a full cache-line access to `row` at cycle `now` under the
+    /// open-page policy, issuing whatever command sequence the row-buffer
+    /// state requires, and returns `(completion_cycle, was_row_hit)`.
+    pub fn access(&mut self, row: u64, write: bool, now: u64) -> (u64, bool) {
+        let column = if write { Command::Write } else { Command::Read };
+        match self.state {
+            BankState::Active { row: open } if open == row => {
+                self.hits += 1;
+                let done = self.issue(column, now).expect("active bank accepts column");
+                (done, true)
+            }
+            BankState::Active { .. } => {
+                self.conflicts += 1;
+                let t = self.issue(Command::Precharge, now).expect("active bank accepts PRE");
+                let t = self.issue(Command::Activate { row }, t).expect("idle bank accepts ACT");
+                let done = self.issue(column, t).expect("active bank accepts column");
+                (done, false)
+            }
+            BankState::Idle => {
+                self.misses += 1;
+                let t = self.issue(Command::Activate { row }, now).expect("idle bank accepts ACT");
+                let done = self.issue(column, t).expect("active bank accepts column");
+                (done, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> Bank {
+        Bank::new(&LpddrTimings::micron_lpddr3(), MemFreq::from_mhz(400))
+    }
+
+    #[test]
+    fn activate_then_read_respects_trcd() {
+        let mut b = bank();
+        let t = LpddrTimings::micron_lpddr3();
+        let f = MemFreq::from_mhz(400);
+        let act_done = b.issue(Command::Activate { row: 1 }, 0).unwrap();
+        assert_eq!(act_done, t.trcd_cycles(f));
+        // Read issued immediately still waits for tRCD internally.
+        let rd_done = b.issue(Command::Read, 0).unwrap();
+        assert_eq!(rd_done, t.trcd_cycles(f) + t.cas_cycles(f) + t.burst_cycles());
+    }
+
+    #[test]
+    fn column_on_idle_bank_is_illegal() {
+        let mut b = bank();
+        let err = b.issue(Command::Read, 0).unwrap_err();
+        assert!(err.to_string().contains("no open row"));
+    }
+
+    #[test]
+    fn double_activate_is_illegal() {
+        let mut b = bank();
+        b.issue(Command::Activate { row: 1 }, 0).unwrap();
+        assert!(b.issue(Command::Activate { row: 2 }, 100).is_err());
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let mut b = bank();
+        let t = LpddrTimings::micron_lpddr3();
+        let f = MemFreq::from_mhz(400);
+        b.issue(Command::Activate { row: 1 }, 0).unwrap();
+        // PRE at cycle 0 must stall until tRAS.
+        let idle_at = b.issue(Command::Precharge, 0).unwrap();
+        assert_eq!(idle_at, t.tras_cycles(f) + t.trp_cycles(f));
+        assert_eq!(b.state(), BankState::Idle);
+    }
+
+    #[test]
+    fn row_hit_completes_faster_than_conflict() {
+        let t = LpddrTimings::micron_lpddr3();
+        let f = MemFreq::from_mhz(400);
+        let mut b = Bank::new(&t, f);
+        let (after_first, hit) = b.access(5, false, 0);
+        assert!(!hit, "first access is a miss");
+        let (hit_done, hit2) = b.access(5, false, after_first);
+        assert!(hit2);
+        let hit_latency = hit_done - after_first;
+
+        let mut b2 = Bank::new(&t, f);
+        let (after1, _) = b2.access(5, false, 0);
+        let (conflict_done, hit3) = b2.access(9, false, after1);
+        assert!(!hit3);
+        let conflict_latency = conflict_done - after1;
+        assert!(
+            conflict_latency > hit_latency,
+            "conflict {conflict_latency} vs hit {hit_latency}"
+        );
+    }
+
+    #[test]
+    fn outcome_counters_track_hits_misses_conflicts() {
+        let mut b = bank();
+        let (t1, _) = b.access(1, false, 0); // miss
+        let (t2, _) = b.access(1, false, t1); // hit
+        let (_t3, _) = b.access(2, true, t2); // conflict
+        assert_eq!(b.outcome_counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn precharge_idle_bank_is_noop() {
+        let mut b = bank();
+        assert_eq!(b.issue(Command::Precharge, 42), Ok(42));
+        assert_eq!(b.state(), BankState::Idle);
+    }
+
+    #[test]
+    fn back_to_back_reads_serialize_on_the_bus() {
+        let mut b = bank();
+        let (t1, _) = b.access(1, false, 0);
+        // Two immediate row hits: second must finish at least a burst later.
+        let (d1, _) = b.access(1, false, t1);
+        let (d2, _) = b.access(1, false, t1);
+        assert!(d2 >= d1 + Bank::new(&LpddrTimings::micron_lpddr3(), MemFreq::from_mhz(400)).burst);
+    }
+
+    #[test]
+    fn command_display() {
+        assert_eq!(Command::Activate { row: 3 }.to_string(), "ACT(row 3)");
+        assert_eq!(Command::Precharge.to_string(), "PRE");
+        assert_eq!(Command::Read.to_string(), "RD");
+        assert_eq!(Command::Write.to_string(), "WR");
+    }
+}

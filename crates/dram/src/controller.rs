@@ -1,0 +1,523 @@
+//! Event-driven single-channel memory controller.
+//!
+//! A cycle-level (controller-clock) model of the paper's single-channel,
+//! single-rank LPDDR3 memory system: eight [`Bank`] state machines, an
+//! FR-FCFS scheduler (row hits first, then oldest), a shared data bus with
+//! CAS pipelining, and periodic all-bank refresh.
+//!
+//! The analytic [`LatencyModel`](crate::LatencyModel) used by the grid
+//! characterization is cross-validated against this simulator in the
+//! workspace integration tests: both must agree on how average latency
+//! scales with frequency, locality and load.
+//!
+//! Modelling notes: a 64-byte line transfer is two BL8×32 bursts issued
+//! back-to-back to the same row; consecutive transfers to different banks
+//! overlap their CAS phase with the previous burst on the shared bus.
+
+use crate::bank::Bank;
+use crate::timing::LpddrTimings;
+use mcdvfs_types::{MemFreq, BYTES_PER_DRAM_ACCESS};
+use std::collections::VecDeque;
+
+/// One cache-line request presented to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time in controller cycles.
+    pub arrival_cycle: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// `true` for a write-back, `false` for a fill.
+    pub write: bool,
+}
+
+/// Completion record for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestResult {
+    /// The request this result answers.
+    pub request: Request,
+    /// Cycle the first command for the request issued.
+    pub start_cycle: u64,
+    /// Cycle the full line finished transferring.
+    pub done_cycle: u64,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
+impl RequestResult {
+    /// End-to-end latency in controller cycles (queueing included).
+    #[must_use]
+    pub fn latency_cycles(&self) -> u64 {
+        self.done_cycle - self.request.arrival_cycle
+    }
+}
+
+/// Aggregate statistics over a completed request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerStats {
+    /// Number of requests serviced.
+    pub requests: u64,
+    /// Mean end-to-end latency, ns.
+    pub avg_latency_ns: f64,
+    /// Maximum end-to-end latency, ns.
+    pub max_latency_ns: f64,
+    /// Achieved bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Row-buffer hit rate over the stream.
+    pub row_hit_rate: f64,
+    /// Number of refresh operations performed.
+    pub refreshes: u64,
+}
+
+/// The single-channel controller.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_dram::{MemoryController, Request};
+/// use mcdvfs_types::MemFreq;
+///
+/// let mut ctrl = MemoryController::lpddr3(MemFreq::from_mhz(400));
+/// let stream: Vec<Request> = (0..64)
+///     .map(|i| Request { arrival_cycle: i * 10, addr: i * 64, write: false })
+///     .collect();
+/// let results = ctrl.run(&stream);
+/// let stats = MemoryController::stats(&results, MemFreq::from_mhz(400), ctrl.refreshes());
+/// assert_eq!(stats.requests, 64);
+/// assert!(stats.row_hit_rate > 0.5, "sequential stream is row-friendly");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    timings: LpddrTimings,
+    freq: MemFreq,
+    banks: Vec<Bank>,
+    /// Bytes covered by one row (row-buffer size).
+    row_bytes: u64,
+    /// Shared data-bus release cycle.
+    data_bus_free: u64,
+    /// Direction of the last column operation, for turnaround penalties.
+    last_was_write: Option<bool>,
+    /// Next scheduled refresh, in cycles.
+    next_refresh: u64,
+    refreshes: u64,
+}
+
+impl MemoryController {
+    /// Builds a controller over the Micron LPDDR3 timing set at `freq` with
+    /// a 2 KB row buffer.
+    #[must_use]
+    pub fn lpddr3(freq: MemFreq) -> Self {
+        let timings = LpddrTimings::micron_lpddr3();
+        let banks = (0..timings.banks).map(|_| Bank::new(&timings, freq)).collect();
+        let next_refresh = freq.cycles_in_ns(timings.trefi_ns);
+        Self {
+            timings,
+            freq,
+            banks,
+            row_bytes: 2048,
+            data_bus_free: 0,
+            last_was_write: None,
+            next_refresh,
+            refreshes: 0,
+        }
+    }
+
+    /// Number of refresh operations performed so far.
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Maps a byte address to `(bank, row)` with line-interleaved banks, so
+    /// sequential lines stripe across banks while staying in open rows.
+    #[must_use]
+    pub fn map_address(&self, addr: u64) -> (usize, u64) {
+        let line = addr / BYTES_PER_DRAM_ACCESS;
+        let banks = u64::from(self.timings.banks);
+        let bank = (line % banks) as usize;
+        let row = line / banks / (self.row_bytes / BYTES_PER_DRAM_ACCESS);
+        (bank, row)
+    }
+
+    /// Services `requests` (any order; they are scheduled FR-FCFS) and
+    /// returns one completion record per request, in completion order.
+    pub fn run(&mut self, requests: &[Request]) -> Vec<RequestResult> {
+        let mut pending: Vec<Request> = requests.to_vec();
+        pending.sort_by_key(|r| r.arrival_cycle);
+        let mut pending: VecDeque<Request> = pending.into();
+        let mut window: Vec<Request> = Vec::new();
+        let mut results = Vec::with_capacity(requests.len());
+        let mut now = 0u64;
+
+        while !pending.is_empty() || !window.is_empty() {
+            // Admit everything that has arrived.
+            while pending.front().is_some_and(|r| r.arrival_cycle <= now) {
+                window.push(pending.pop_front().expect("front checked"));
+            }
+            if window.is_empty() {
+                // Jump to the next arrival.
+                now = pending.front().expect("pending nonempty").arrival_cycle;
+                continue;
+            }
+
+            self.maybe_refresh(now);
+
+            // FR-FCFS: oldest row hit, else oldest overall.
+            let pick = window
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    let (bank, row) = self.map_address(r.addr);
+                    self.banks[bank].state() == crate::bank::BankState::Active { row }
+                })
+                .min_by_key(|(_, r)| r.arrival_cycle)
+                .map(|(i, _)| i)
+                .unwrap_or_else(|| {
+                    window
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, r)| r.arrival_cycle)
+                        .map(|(i, _)| i)
+                        .expect("window nonempty")
+                });
+            let req = window.swap_remove(pick);
+            let (bank_idx, row) = self.map_address(req.addr);
+
+            // Shared-bus constraint with CAS overlap: the next access can
+            // start its CAS while the previous burst drains. A direction
+            // switch adds the tWTR/tRTW turnaround.
+            let cas = self.timings.cas_cycles(self.freq);
+            let turnaround = match self.last_was_write {
+                Some(prev_write) if prev_write != req.write => {
+                    if prev_write {
+                        self.timings.twtr_cycles(self.freq)
+                    } else {
+                        self.timings.trtw_cycles()
+                    }
+                }
+                _ => 0,
+            };
+            let start = now.max(self.data_bus_free.saturating_sub(cas) + turnaround);
+            self.last_was_write = Some(req.write);
+            let bank = &mut self.banks[bank_idx];
+            let (_first, row_hit) = bank.access(row, req.write, start);
+            // Second burst completes the 64-byte line.
+            let column = if req.write {
+                crate::bank::Command::Write
+            } else {
+                crate::bank::Command::Read
+            };
+            let done = bank
+                .issue(column, start)
+                .expect("bank is active after access");
+            self.data_bus_free = done;
+            now = now.max(start + 1);
+
+            results.push(RequestResult {
+                request: req,
+                start_cycle: start,
+                done_cycle: done,
+                row_hit,
+            });
+        }
+        results
+    }
+
+    /// Performs any refresshes that have come due by `now`: precharge all
+    /// banks and block for tRFC.
+    fn maybe_refresh(&mut self, now: u64) {
+        while now >= self.next_refresh {
+            let mut idle_at = self.next_refresh;
+            for bank in &mut self.banks {
+                let t = bank
+                    .issue(crate::bank::Command::Precharge, self.next_refresh)
+                    .expect("precharge is always legal");
+                idle_at = idle_at.max(t);
+            }
+            let done = idle_at + self.freq.cycles_in_ns(self.timings.trfc_ns);
+            self.data_bus_free = self.data_bus_free.max(done);
+            self.refreshes += 1;
+            self.next_refresh += self.freq.cycles_in_ns(self.timings.trefi_ns);
+        }
+    }
+
+    /// Summarizes a completed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    #[must_use]
+    pub fn stats(results: &[RequestResult], freq: MemFreq, refreshes: u64) -> ControllerStats {
+        assert!(!results.is_empty(), "no results to summarize");
+        let tck = freq.period_ns();
+        let n = results.len() as f64;
+        let lat_ns: Vec<f64> = results
+            .iter()
+            .map(|r| r.latency_cycles() as f64 * tck)
+            .collect();
+        let first_arrival = results
+            .iter()
+            .map(|r| r.request.arrival_cycle)
+            .min()
+            .expect("nonempty");
+        let last_done = results.iter().map(|r| r.done_cycle).max().expect("nonempty");
+        let span_s = (last_done - first_arrival) as f64 * tck * 1e-9;
+        let hits = results.iter().filter(|r| r.row_hit).count() as f64;
+        ControllerStats {
+            requests: results.len() as u64,
+            avg_latency_ns: lat_ns.iter().sum::<f64>() / n,
+            max_latency_ns: lat_ns.iter().fold(0.0, |a, &b| a.max(b)),
+            bandwidth: results.len() as f64 * BYTES_PER_DRAM_ACCESS as f64 / span_s.max(1e-12),
+            row_hit_rate: hits / n,
+            refreshes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_stream(n: u64, gap_cycles: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                arrival_cycle: i * gap_cycles,
+                addr: i * 64,
+                write: false,
+            })
+            .collect()
+    }
+
+    fn random_stream(n: u64, gap_cycles: u64) -> Vec<Request> {
+        // Deterministic LCG scatter across a 256 MB footprint.
+        let mut state = 12345u64;
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                Request {
+                    arrival_cycle: i * gap_cycles,
+                    addr: (state % (256 * 1024 * 1024 / 64)) * 64,
+                    write: false,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_stream_gets_high_row_hit_rate() {
+        let f = MemFreq::from_mhz(400);
+        let mut ctrl = MemoryController::lpddr3(f);
+        let results = ctrl.run(&seq_stream(512, 10));
+        let stats = MemoryController::stats(&results, f, ctrl.refreshes());
+        assert!(
+            stats.row_hit_rate > 0.8,
+            "sequential hit rate {}",
+            stats.row_hit_rate
+        );
+    }
+
+    #[test]
+    fn random_stream_gets_low_row_hit_rate() {
+        let f = MemFreq::from_mhz(400);
+        let mut ctrl = MemoryController::lpddr3(f);
+        let results = ctrl.run(&random_stream(512, 50));
+        let stats = MemoryController::stats(&results, f, ctrl.refreshes());
+        assert!(stats.row_hit_rate < 0.2, "random hit rate {}", stats.row_hit_rate);
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let f = MemFreq::from_mhz(400);
+        let mut ctrl = MemoryController::lpddr3(f);
+        let stream = random_stream(300, 20);
+        let results = ctrl.run(&stream);
+        assert_eq!(results.len(), stream.len());
+        let mut addrs: Vec<u64> = results.iter().map(|r| r.request.addr).collect();
+        let mut expect: Vec<u64> = stream.iter().map(|r| r.addr).collect();
+        addrs.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(addrs, expect);
+    }
+
+    #[test]
+    fn latency_never_precedes_arrival() {
+        let f = MemFreq::from_mhz(400);
+        let mut ctrl = MemoryController::lpddr3(f);
+        for r in ctrl.run(&random_stream(200, 10)) {
+            assert!(r.start_cycle >= r.request.arrival_cycle || r.start_cycle + 64 > r.request.arrival_cycle);
+            assert!(r.done_cycle > r.request.arrival_cycle);
+        }
+    }
+
+    #[test]
+    fn higher_frequency_reduces_average_latency_ns() {
+        let slow_f = MemFreq::from_mhz(200);
+        let fast_f = MemFreq::from_mhz(800);
+        // Same arrival times in *nanoseconds* — convert per frequency.
+        let gap_ns = 100.0;
+        let make = |f: MemFreq| -> Vec<Request> {
+            (0..400)
+                .map(|i| Request {
+                    arrival_cycle: f.cycles_in_ns(gap_ns * i as f64),
+                    addr: (i % 64) * 64 * 131 * 64, // scattered
+                    write: false,
+                })
+                .collect()
+        };
+        let mut slow = MemoryController::lpddr3(slow_f);
+        let rs = slow.run(&make(slow_f));
+        let ss = MemoryController::stats(&rs, slow_f, slow.refreshes());
+        let mut fast = MemoryController::lpddr3(fast_f);
+        let rf = fast.run(&make(fast_f));
+        let fs = MemoryController::stats(&rf, fast_f, fast.refreshes());
+        assert!(
+            fs.avg_latency_ns < ss.avg_latency_ns,
+            "800 MHz {} ns vs 200 MHz {} ns",
+            fs.avg_latency_ns,
+            ss.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn saturating_load_queues_up() {
+        let f = MemFreq::from_mhz(200);
+        let mut open = MemoryController::lpddr3(f);
+        let relaxed = open.run(&seq_stream(400, 200));
+        let relaxed_stats = MemoryController::stats(&relaxed, f, open.refreshes());
+        let mut ctrl = MemoryController::lpddr3(f);
+        let slammed = ctrl.run(&seq_stream(400, 1));
+        let slammed_stats = MemoryController::stats(&slammed, f, ctrl.refreshes());
+        assert!(
+            slammed_stats.avg_latency_ns > 2.0 * relaxed_stats.avg_latency_ns,
+            "back-to-back {} ns vs relaxed {} ns",
+            slammed_stats.avg_latency_ns,
+            relaxed_stats.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn achieved_bandwidth_is_below_effective_peak() {
+        let f = MemFreq::from_mhz(800);
+        let mut ctrl = MemoryController::lpddr3(f);
+        let results = ctrl.run(&seq_stream(2048, 1));
+        let stats = MemoryController::stats(&results, f, ctrl.refreshes());
+        let peak = LpddrTimings::micron_lpddr3().peak_bandwidth(f);
+        assert!(stats.bandwidth < peak);
+        assert!(
+            stats.bandwidth > 0.3 * peak,
+            "sequential saturating stream should reach a large peak fraction, got {:.2} GB/s of {:.2}",
+            stats.bandwidth / 1e9,
+            peak / 1e9,
+        );
+    }
+
+    #[test]
+    fn refresh_fires_on_long_runs() {
+        let f = MemFreq::from_mhz(400);
+        let mut ctrl = MemoryController::lpddr3(f);
+        // Spread arrivals over > 2 x tREFI.
+        let trefi_cycles = f.cycles_in_ns(LpddrTimings::micron_lpddr3().trefi_ns);
+        let stream: Vec<Request> = (0..64)
+            .map(|i| Request {
+                arrival_cycle: i * trefi_cycles / 16,
+                addr: i * 64,
+                write: false,
+            })
+            .collect();
+        ctrl.run(&stream);
+        assert!(ctrl.refreshes() >= 2, "refreshes {}", ctrl.refreshes());
+    }
+
+    #[test]
+    fn address_mapping_stripes_banks_and_preserves_rows() {
+        let ctrl = MemoryController::lpddr3(MemFreq::from_mhz(400));
+        let (b0, r0) = ctrl.map_address(0);
+        let (b1, _r1) = ctrl.map_address(64);
+        assert_ne!(b0, b1, "consecutive lines go to different banks");
+        // Lines 0 and 8 share bank 0; within a 2 KB row (32 lines/bank).
+        let (b8, r8) = ctrl.map_address(8 * 64);
+        assert_eq!(b0, b8);
+        assert_eq!(r0, r8);
+    }
+
+    #[test]
+    fn writes_are_serviced_like_reads() {
+        let f = MemFreq::from_mhz(400);
+        let mut ctrl = MemoryController::lpddr3(f);
+        let stream: Vec<Request> = (0..64)
+            .map(|i| Request {
+                arrival_cycle: i * 30,
+                addr: i * 64,
+                write: i % 2 == 0,
+            })
+            .collect();
+        let results = ctrl.run(&stream);
+        assert_eq!(results.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no results")]
+    fn stats_of_empty_run_panics() {
+        let _ = MemoryController::stats(&[], MemFreq::from_mhz(400), 0);
+    }
+
+    #[test]
+    fn read_write_turnaround_costs_bandwidth() {
+        let f = MemFreq::from_mhz(400);
+        // Saturating sequential streams: pure reads vs alternating
+        // read/write. The alternating stream pays tWTR/tRTW every request.
+        let pure: Vec<Request> = (0..512)
+            .map(|i| Request {
+                arrival_cycle: i,
+                addr: i * 64,
+                write: false,
+            })
+            .collect();
+        let mixed: Vec<Request> = (0..512)
+            .map(|i| Request {
+                arrival_cycle: i,
+                addr: i * 64,
+                write: i % 2 == 0,
+            })
+            .collect();
+        let mut a = MemoryController::lpddr3(f);
+        let ra = a.run(&pure);
+        let sa = MemoryController::stats(&ra, f, a.refreshes());
+        let mut b = MemoryController::lpddr3(f);
+        let rb = b.run(&mixed);
+        let sb = MemoryController::stats(&rb, f, b.refreshes());
+        assert!(
+            sb.bandwidth < sa.bandwidth * 0.97,
+            "mixed {:.2} GB/s must trail pure reads {:.2} GB/s",
+            sb.bandwidth / 1e9,
+            sa.bandwidth / 1e9
+        );
+    }
+
+    #[test]
+    fn same_direction_stream_pays_no_turnaround() {
+        let f = MemFreq::from_mhz(400);
+        let writes: Vec<Request> = (0..256)
+            .map(|i| Request {
+                arrival_cycle: i,
+                addr: i * 64,
+                write: true,
+            })
+            .collect();
+        let reads: Vec<Request> = writes
+            .iter()
+            .map(|r| Request {
+                write: false,
+                ..*r
+            })
+            .collect();
+        let mut a = MemoryController::lpddr3(f);
+        let sa = MemoryController::stats(&a.run(&writes), f, a.refreshes());
+        let mut b = MemoryController::lpddr3(f);
+        let sb = MemoryController::stats(&b.run(&reads), f, b.refreshes());
+        // Same-direction streams achieve comparable bandwidth.
+        let ratio = sa.bandwidth / sb.bandwidth;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Fast analytic average-latency model.
+//!
+//! The grid characterization evaluates every (workload sample × frequency
+//! setting) pair — hundreds of thousands of evaluations — so it uses this
+//! closed-form model rather than the event-driven
+//! [`MemoryController`](crate::MemoryController). The two are
+//! cross-validated in the integration tests.
+//!
+//! Average access latency is modelled as
+//!
+//! ```text
+//! L(f, hit, ρ) = t_ctrl + hit·t_row_hit(f) + (1-hit)·t_row_miss_mix(f) + W(ρ, f)
+//! ```
+//!
+//! where `W` is an M/D/1-style queueing delay on channel utilization `ρ`
+//! (demanded bandwidth over effective peak bandwidth). The queueing term is
+//! what makes a 1000 MHz CPU paired with 200 MHz memory *collapse* — the
+//! paper's "poor frequency selection hurts both performance and energy"
+//! observation.
+
+use crate::timing::LpddrTimings;
+use mcdvfs_types::MemFreq;
+
+/// Analytic single-channel DRAM latency/bandwidth model.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_dram::LatencyModel;
+/// use mcdvfs_types::MemFreq;
+///
+/// let m = LatencyModel::lpddr3();
+/// let idle = m.avg_latency_ns(MemFreq::from_mhz(400), 0.6, 0.0);
+/// let busy = m.avg_latency_ns(MemFreq::from_mhz(400), 0.6, 0.9);
+/// assert!(busy > idle, "queueing delay grows with utilization");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    timings: LpddrTimings,
+    /// Fixed controller + interconnect overhead, ns.
+    ctrl_overhead_ns: f64,
+    /// Fraction of theoretical peak bandwidth achievable under real access
+    /// streams (bank conflicts, turnarounds, refresh).
+    bandwidth_efficiency: f64,
+    /// Utilization ceiling for the queueing term, keeping the model finite
+    /// near saturation.
+    max_utilization: f64,
+    /// Fraction of row misses that are conflicts (another row open) rather
+    /// than accesses to a precharged bank.
+    conflict_fraction: f64,
+}
+
+impl LatencyModel {
+    /// Model over the Micron LPDDR3 timing set with mobile-class controller
+    /// overhead (20 ns) and 75% achievable bandwidth.
+    #[must_use]
+    pub fn lpddr3() -> Self {
+        Self {
+            timings: LpddrTimings::micron_lpddr3(),
+            ctrl_overhead_ns: 20.0,
+            bandwidth_efficiency: 0.75,
+            max_utilization: 0.96,
+            conflict_fraction: 0.5,
+        }
+    }
+
+    /// The timing set used by this model.
+    #[must_use]
+    pub fn timings(&self) -> &LpddrTimings {
+        &self.timings
+    }
+
+    /// Effective (achievable) bandwidth at `freq`, bytes/second.
+    #[must_use]
+    pub fn effective_bandwidth(&self, freq: MemFreq) -> f64 {
+        self.timings.peak_bandwidth(freq) * self.bandwidth_efficiency
+            * (1.0 - self.timings.refresh_overhead())
+    }
+
+    /// Average access latency in ns at `freq`, for a stream with the given
+    /// row-buffer hit rate and channel utilization `rho ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `row_hit_rate` is outside `[0, 1]` or
+    /// `rho` is negative.
+    #[must_use]
+    pub fn avg_latency_ns(&self, freq: MemFreq, row_hit_rate: f64, rho: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&row_hit_rate));
+        debug_assert!(rho >= 0.0);
+        let t = &self.timings;
+        let hit = t.row_hit_ns(freq);
+        let miss = t.row_miss_ns(freq) * (1.0 - self.conflict_fraction)
+            + t.row_conflict_ns(freq) * self.conflict_fraction;
+        let base = self.ctrl_overhead_ns + row_hit_rate * hit + (1.0 - row_hit_rate) * miss;
+
+        // M/D/1 mean wait: W = ρ·S / (2(1-ρ)), with S the mean service time
+        // (one line transfer) and ρ clamped below saturation.
+        let rho = rho.min(self.max_utilization);
+        let service_ns = mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64
+            / self.effective_bandwidth(freq)
+            * 1e9;
+        let wait = rho * service_ns / (2.0 * (1.0 - rho));
+        base + wait
+    }
+
+    /// Channel utilization for a demand of `bytes` transferred over
+    /// `interval_s` seconds at `freq`.
+    #[must_use]
+    pub fn utilization(&self, freq: MemFreq, bytes: f64, interval_s: f64) -> f64 {
+        if interval_s <= 0.0 {
+            return self.max_utilization;
+        }
+        (bytes / interval_s / self.effective_bandwidth(freq)).min(self.max_utilization)
+    }
+
+    /// The utilization ceiling applied by this model.
+    #[must_use]
+    pub fn max_utilization(&self) -> f64 {
+        self.max_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> LatencyModel {
+        LatencyModel::lpddr3()
+    }
+
+    #[test]
+    fn latency_decreases_with_frequency() {
+        let m = m();
+        let mut prev = f64::INFINITY;
+        for mhz in (200..=800).step_by(100) {
+            let l = m.avg_latency_ns(MemFreq::from_mhz(mhz), 0.6, 0.2);
+            assert!(l < prev, "latency must fall as memory speeds up");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn latency_increases_with_utilization() {
+        let m = m();
+        let f = MemFreq::from_mhz(400);
+        let mut prev = 0.0;
+        for rho in [0.0, 0.3, 0.6, 0.9] {
+            let l = m.avg_latency_ns(f, 0.6, rho);
+            assert!(l > prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn saturation_is_capped_not_infinite() {
+        let m = m();
+        let l = m.avg_latency_ns(MemFreq::from_mhz(200), 0.6, 5.0);
+        assert!(l.is_finite());
+        assert!(l < 5000.0, "capped latency {l} ns");
+    }
+
+    #[test]
+    fn row_hits_reduce_latency() {
+        let m = m();
+        let f = MemFreq::from_mhz(400);
+        assert!(m.avg_latency_ns(f, 0.9, 0.2) < m.avg_latency_ns(f, 0.1, 0.2));
+    }
+
+    #[test]
+    fn idle_latency_is_realistic_for_mobile_dram() {
+        let m = m();
+        let l = m.avg_latency_ns(MemFreq::from_mhz(800), 0.6, 0.0);
+        assert!(
+            (40.0..150.0).contains(&l),
+            "idle latency {l} ns should be tens of ns"
+        );
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let m = m();
+        let f = MemFreq::from_mhz(800);
+        assert!(m.effective_bandwidth(f) < m.timings().peak_bandwidth(f));
+        assert!(m.effective_bandwidth(f) > 0.5 * m.timings().peak_bandwidth(f));
+    }
+
+    #[test]
+    fn utilization_computation() {
+        let m = m();
+        let f = MemFreq::from_mhz(800);
+        let bw = m.effective_bandwidth(f);
+        let rho = m.utilization(f, bw * 0.5, 1.0);
+        assert!((rho - 0.5).abs() < 1e-9);
+        // Over-demand clamps to the ceiling.
+        assert!((m.utilization(f, bw * 10.0, 1.0) - m.max_utilization()).abs() < 1e-12);
+        // Degenerate interval clamps to the ceiling too.
+        assert!((m.utilization(f, 1.0, 0.0) - m.max_utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_memory_saturates_earlier_in_absolute_demand() {
+        let m = m();
+        let demand = 1.5e9; // 1.5 GB/s
+        let rho_slow = m.utilization(MemFreq::from_mhz(200), demand, 1.0);
+        let rho_fast = m.utilization(MemFreq::from_mhz(800), demand, 1.0);
+        assert!(rho_slow > rho_fast);
+        assert!((rho_slow - m.max_utilization()).abs() < 1e-9, "200 MHz is saturated");
+    }
+}

@@ -1,0 +1,50 @@
+//! LPDDR3 DRAM models for the `mcdvfs` workspace.
+//!
+//! Models the paper's memory subsystem: a single-channel, single-rank
+//! LPDDR3 device with an open-page policy, frequency-scalable from 200 to
+//! 800 MHz with *fixed* supply rails (VDD1 = 1.8 V, VDD2 = 1.2 V — the
+//! paper scales memory frequency only, never voltage).
+//!
+//! Three layers are provided, mirroring how the paper's Gem5 + DRAMPower
+//! setup is structured:
+//!
+//! * [`LpddrTimings`] — datasheet timing parameters and their scaling with
+//!   clock frequency per Micron's technical note (analog parameters stay
+//!   fixed in nanoseconds and are re-quantized to clock cycles; transfer
+//!   parameters stay fixed in cycles);
+//! * [`DramPowerModel`] — a DRAMPower-style energy model driven by IDD
+//!   currents over both rails: background standby power, per-access
+//!   activate/precharge and read/write burst energy, and refresh;
+//! * [`MemoryController`] + [`Bank`] — an event-driven single-channel
+//!   controller with FR-FCFS scheduling, bank state machines, and refresh,
+//!   used to cross-validate the fast analytic latency model
+//!   ([`LatencyModel`]) that the grid characterization uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_dram::{LatencyModel, LpddrTimings};
+//! use mcdvfs_types::MemFreq;
+//!
+//! let model = LatencyModel::lpddr3();
+//! let slow = model.avg_latency_ns(MemFreq::from_mhz(200), 0.6, 0.2);
+//! let fast = model.avg_latency_ns(MemFreq::from_mhz(800), 0.6, 0.2);
+//! assert!(slow > fast, "lower memory frequency means higher latency");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod controller;
+mod latency;
+mod power;
+mod powerdown;
+mod timing;
+
+pub use bank::{Bank, BankState, Command, IllegalCommand};
+pub use controller::{ControllerStats, MemoryController, Request, RequestResult};
+pub use latency::LatencyModel;
+pub use power::{DramEnergyBreakdown, DramPowerModel, IddCurrents};
+pub use powerdown::{LowPowerStates, PowerDownPolicy};
+pub use timing::LpddrTimings;

@@ -1,0 +1,347 @@
+//! DRAMPower-style LPDDR3 energy model.
+//!
+//! Follows the structure of the open-source DRAMPower tool the paper
+//! integrates into Gem5: energy is computed from datasheet IDD currents
+//! over the two LPDDR3 supply rails (VDD1 = 1.8 V core, VDD2 = 1.2 V
+//! array/IO), split into
+//!
+//! * **background** energy — standby current drawn for the whole interval,
+//!   a utilization-weighted mix of active-standby (IDD3N) and
+//!   precharge-standby (IDD2N). Standby currents have a clocked component
+//!   that scales linearly with interface frequency (per Micron's
+//!   calculating-memory-power technical notes), which is exactly why the
+//!   paper's bzip2 saves energy by lowering memory frequency it doesn't
+//!   need;
+//! * **activate/precharge** energy per row activation (IDD0 over tRC minus
+//!   the standby baseline);
+//! * **read/write burst** energy per access (IDD4R/IDD4W minus active
+//!   standby, over the burst);
+//! * **refresh** energy (IDD5 over tRFC each tREFI).
+
+use crate::timing::LpddrTimings;
+use mcdvfs_types::{Joules, MemFreq, Seconds, Volts, Watts};
+
+/// A pair of currents, one per LPDDR3 rail, in milliamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddCurrents {
+    /// Current on VDD1 (1.8 V core rail), mA.
+    pub vdd1_ma: f64,
+    /// Current on VDD2 (1.2 V array/IO rail), mA.
+    pub vdd2_ma: f64,
+}
+
+impl IddCurrents {
+    /// Creates a current pair.
+    #[must_use]
+    pub const fn new(vdd1_ma: f64, vdd2_ma: f64) -> Self {
+        Self { vdd1_ma, vdd2_ma }
+    }
+
+    /// Power drawn at the given rail voltages.
+    #[must_use]
+    fn power(self, vdd1: Volts, vdd2: Volts) -> Watts {
+        Watts::from_millis(self.vdd1_ma * vdd1.value() + self.vdd2_ma * vdd2.value())
+    }
+
+    fn scale(self, k: f64) -> Self {
+        Self {
+            vdd1_ma: self.vdd1_ma * k,
+            vdd2_ma: self.vdd2_ma * k,
+        }
+    }
+
+    fn minus(self, other: Self) -> Self {
+        Self {
+            vdd1_ma: (self.vdd1_ma - other.vdd1_ma).max(0.0),
+            vdd2_ma: (self.vdd2_ma - other.vdd2_ma).max(0.0),
+        }
+    }
+}
+
+/// Energy consumed by the DRAM over one interval, by component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergyBreakdown {
+    /// Standby (background) energy over the whole interval.
+    pub background: Joules,
+    /// Row activate + precharge energy.
+    pub activate: Joules,
+    /// Read/write burst energy.
+    pub rw: Joules,
+    /// Refresh energy.
+    pub refresh: Joules,
+}
+
+impl DramEnergyBreakdown {
+    /// Total DRAM energy.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.background + self.activate + self.rw + self.refresh
+    }
+}
+
+/// DRAMPower-style energy model for one LPDDR3 rank.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_dram::{DramPowerModel, LpddrTimings};
+/// use mcdvfs_types::{MemFreq, Seconds};
+///
+/// let model = DramPowerModel::micron_lpddr3();
+/// let slow = model.energy(MemFreq::from_mhz(200), Seconds::from_millis(10.0), 1_000, 0.6, 0.3, 0.1);
+/// let fast = model.energy(MemFreq::from_mhz(800), Seconds::from_millis(10.0), 1_000, 0.6, 0.3, 0.1);
+/// // Same work and same duration: the faster clock burns more background power.
+/// assert!(fast.background > slow.background);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramPowerModel {
+    timings: LpddrTimings,
+    vdd1: Volts,
+    vdd2: Volts,
+    /// Reference frequency at which the IDD currents are specified.
+    f_ref: MemFreq,
+    /// Fraction of each standby current that is clocked (scales with
+    /// frequency); the remainder is static.
+    clocked_fraction: f64,
+    idd0: IddCurrents,
+    idd2n: IddCurrents,
+    idd3n: IddCurrents,
+    idd4r: IddCurrents,
+    idd4w: IddCurrents,
+    idd5: IddCurrents,
+}
+
+impl DramPowerModel {
+    /// Micron 16 Gb x32 LPDDR3-class currents at the 800 MHz bin, at
+    /// *package* level (a phone-class multi-die stack, so the standby and
+    /// burst currents are a small integer multiple of single-die datasheet
+    /// values).
+    #[must_use]
+    pub fn micron_lpddr3() -> Self {
+        Self {
+            timings: LpddrTimings::micron_lpddr3(),
+            vdd1: Volts::new(1.8),
+            vdd2: Volts::new(1.2),
+            f_ref: MemFreq::from_mhz(800),
+            clocked_fraction: 0.9,
+            idd0: IddCurrents::new(24.0, 160.0),
+            idd2n: IddCurrents::new(10.0, 60.0),
+            idd3n: IddCurrents::new(18.0, 100.0),
+            idd4r: IddCurrents::new(18.0, 500.0),
+            idd4w: IddCurrents::new(18.0, 440.0),
+            idd5: IddCurrents::new(36.0, 300.0),
+        }
+    }
+
+    /// The timing set this power model is paired with.
+    #[must_use]
+    pub fn timings(&self) -> &LpddrTimings {
+        &self.timings
+    }
+
+    /// Scales a standby-class current from the reference bin to `freq`:
+    /// the clocked fraction scales linearly with frequency, the rest is
+    /// static.
+    fn scale_current(&self, idd: IddCurrents, freq: MemFreq) -> IddCurrents {
+        let f_ratio = f64::from(freq.mhz()) / f64::from(self.f_ref.mhz());
+        idd.scale(1.0 - self.clocked_fraction + self.clocked_fraction * f_ratio)
+    }
+
+    /// Background (standby) power at `freq` with a fraction
+    /// `active_fraction` of time spent with at least one bank active.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `active_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn background_power(&self, freq: MemFreq, active_fraction: f64) -> Watts {
+        debug_assert!((0.0..=1.0).contains(&active_fraction));
+        let idd2n = self.scale_current(self.idd2n, freq);
+        let idd3n = self.scale_current(self.idd3n, freq);
+        let blended = IddCurrents::new(
+            idd2n.vdd1_ma + (idd3n.vdd1_ma - idd2n.vdd1_ma) * active_fraction,
+            idd2n.vdd2_ma + (idd3n.vdd2_ma - idd2n.vdd2_ma) * active_fraction,
+        );
+        blended.power(self.vdd1, self.vdd2)
+    }
+
+    /// Energy of one row activate + precharge pair (IDD0 over tRC above the
+    /// standby baseline). Analog-dominated, so frequency-independent.
+    #[must_use]
+    pub fn activate_energy(&self) -> Joules {
+        let above_standby = self.idd0.minus(self.idd3n);
+        above_standby.power(self.vdd1, self.vdd2) * Seconds::from_nanos(self.timings.trc_ns())
+    }
+
+    /// Energy of one read or write burst at `freq`, above active standby.
+    #[must_use]
+    pub fn burst_energy(&self, freq: MemFreq, write: bool) -> Joules {
+        let idd4 = if write { self.idd4w } else { self.idd4r };
+        let above_standby = self.scale_current(idd4, freq).minus(self.scale_current(self.idd3n, freq));
+        above_standby.power(self.vdd1, self.vdd2) * Seconds::from_nanos(self.timings.burst_ns(freq))
+    }
+
+    /// Average refresh power: IDD5 above precharge standby, for tRFC out of
+    /// every tREFI.
+    #[must_use]
+    pub fn refresh_power(&self, freq: MemFreq) -> Watts {
+        let above = self.scale_current(self.idd5, freq).minus(self.scale_current(self.idd2n, freq));
+        above.power(self.vdd1, self.vdd2) * self.timings.refresh_overhead()
+    }
+
+    /// Full energy breakdown for an interval of `time` at `freq` during
+    /// which `accesses` cache-line transfers occurred with the given
+    /// row-buffer hit rate, write fraction and bank-active time fraction.
+    ///
+    /// Each cache line (64 B) needs two BL8×32 bursts; each row-buffer
+    /// *miss* costs one activate/precharge pair.
+    #[must_use]
+    pub fn energy(
+        &self,
+        freq: MemFreq,
+        time: Seconds,
+        accesses: u64,
+        row_hit_rate: f64,
+        write_frac: f64,
+        active_fraction: f64,
+    ) -> DramEnergyBreakdown {
+        debug_assert!((0.0..=1.0).contains(&row_hit_rate));
+        debug_assert!((0.0..=1.0).contains(&write_frac));
+        let bursts_per_access =
+            (mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64 / self.timings.bytes_per_burst() as f64).ceil();
+        let n = accesses as f64;
+        let activations = n * (1.0 - row_hit_rate);
+        let read_bursts = n * bursts_per_access * (1.0 - write_frac);
+        let write_bursts = n * bursts_per_access * write_frac;
+        DramEnergyBreakdown {
+            background: self.background_power(freq, active_fraction) * time,
+            activate: self.activate_energy() * activations,
+            rw: self.burst_energy(freq, false) * read_bursts
+                + self.burst_energy(freq, true) * write_bursts,
+            refresh: self.refresh_power(freq) * time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramPowerModel {
+        DramPowerModel::micron_lpddr3()
+    }
+
+    #[test]
+    fn background_power_scales_with_frequency() {
+        let m = model();
+        let p200 = m.background_power(MemFreq::from_mhz(200), 0.3);
+        let p800 = m.background_power(MemFreq::from_mhz(800), 0.3);
+        assert!(p800 > p200);
+        // With 70% clocked current, the 4x clock gives < 4x power.
+        assert!(p800.value() / p200.value() < 4.0);
+        assert!(p800.value() / p200.value() > 1.5);
+    }
+
+    #[test]
+    fn active_standby_exceeds_precharge_standby() {
+        let m = model();
+        let f = MemFreq::from_mhz(400);
+        assert!(m.background_power(f, 1.0) > m.background_power(f, 0.0));
+    }
+
+    #[test]
+    fn activate_energy_is_positive_and_frequency_free() {
+        let e = model().activate_energy();
+        assert!(e.value() > 0.0);
+        // Order of magnitude: tens of nJ for a mobile part.
+        assert!(e.as_micros() < 0.1, "activate energy {e}");
+    }
+
+    #[test]
+    fn burst_energy_positive_and_write_cheaper_than_read_here() {
+        let m = model();
+        let f = MemFreq::from_mhz(800);
+        let r = m.burst_energy(f, false);
+        let w = m.burst_energy(f, true);
+        assert!(r.value() > 0.0 && w.value() > 0.0);
+        assert!(w < r, "IDD4W < IDD4R for this part");
+    }
+
+    #[test]
+    fn refresh_power_is_small() {
+        let m = model();
+        let p = m.refresh_power(MemFreq::from_mhz(800));
+        assert!(p.value() > 0.0);
+        assert!(p.as_millis() < 20.0, "refresh {p}");
+    }
+
+    #[test]
+    fn breakdown_total_is_component_sum() {
+        let m = model();
+        let b = m.energy(
+            MemFreq::from_mhz(400),
+            Seconds::from_millis(5.0),
+            10_000,
+            0.6,
+            0.3,
+            0.4,
+        );
+        let sum = b.background + b.activate + b.rw + b.refresh;
+        assert!((b.total().value() - sum.value()).abs() < 1e-15);
+        assert!(b.total().value() > 0.0);
+    }
+
+    #[test]
+    fn more_row_hits_mean_less_activate_energy() {
+        let m = model();
+        let f = MemFreq::from_mhz(400);
+        let t = Seconds::from_millis(5.0);
+        let hostile = m.energy(f, t, 10_000, 0.1, 0.3, 0.4);
+        let friendly = m.energy(f, t, 10_000, 0.9, 0.3, 0.4);
+        assert!(friendly.activate < hostile.activate);
+        assert_eq!(friendly.background, hostile.background);
+    }
+
+    #[test]
+    fn zero_accesses_leave_only_background_and_refresh() {
+        let m = model();
+        let b = m.energy(
+            MemFreq::from_mhz(800),
+            Seconds::from_millis(1.0),
+            0,
+            0.5,
+            0.5,
+            0.0,
+        );
+        assert_eq!(b.activate, Joules::ZERO);
+        assert_eq!(b.rw, Joules::ZERO);
+        assert!(b.background.value() > 0.0);
+        assert!(b.refresh.value() > 0.0);
+    }
+
+    #[test]
+    fn per_access_energy_does_not_explode_with_frequency() {
+        // Same number of accesses at higher frequency must not cost more
+        // RW energy: currents grow but burst time shrinks faster.
+        let m = model();
+        let t = Seconds::from_millis(5.0);
+        let slow = m.energy(MemFreq::from_mhz(200), t, 10_000, 0.6, 0.3, 0.4);
+        let fast = m.energy(MemFreq::from_mhz(800), t, 10_000, 0.6, 0.3, 0.4);
+        assert!(fast.rw <= slow.rw);
+    }
+
+    #[test]
+    fn idle_memory_at_low_frequency_saves_energy_quarter_paper_anchor() {
+        // The paper's bzip2 observation: dropping an idle memory from 800
+        // to 200 MHz saves ~3/4 of memory background energy.
+        let m = model();
+        let t = Seconds::from_millis(10.0);
+        let hi = m.background_power(MemFreq::from_mhz(800), 0.05) * t;
+        let lo = m.background_power(MemFreq::from_mhz(200), 0.05) * t;
+        let saving = 1.0 - lo.value() / hi.value();
+        assert!(
+            (0.4..0.8).contains(&saving),
+            "background saving {saving} should be large (clocked share)"
+        );
+    }
+}

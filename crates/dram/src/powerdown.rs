@@ -1,0 +1,295 @@
+//! DRAM low-power states: precharge power-down and self-refresh.
+//!
+//! Mobile memory controllers aggressively park idle LPDDR3 in power-down
+//! (CKE low; fast exit) or self-refresh (clock stopped entirely; slow
+//! exit). DRAMPower models both, and any realistic idle-energy story for a
+//! phone needs them: the background power the frequency-scaling studies
+//! fight over is what's left *after* these states have harvested the long
+//! idle gaps.
+//!
+//! [`PowerDownPolicy`] models a controller timeout policy: after
+//! `powerdown_after` of idleness the rank enters power-down, after
+//! `self_refresh_after` it drops to self-refresh. Given an idle-gap
+//! distribution it reports the achieved background-energy savings.
+
+use crate::power::{DramPowerModel, IddCurrents};
+use mcdvfs_types::{Joules, MemFreq, Seconds, Watts};
+
+/// Idle-state currents, as fractions of the active-idle standby draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowPowerStates {
+    /// Precharge power-down current (IDD2P-class), mA per rail.
+    pub idd2p: IddCurrents,
+    /// Self-refresh current (IDD6-class), mA per rail.
+    pub idd6: IddCurrents,
+    /// Exit latency from power-down (tXP-class), ns.
+    pub powerdown_exit_ns: f64,
+    /// Exit latency from self-refresh (tXSR-class), ns.
+    pub self_refresh_exit_ns: f64,
+}
+
+impl LowPowerStates {
+    /// Micron LPDDR3-class values (package level, matching
+    /// [`DramPowerModel::micron_lpddr3`]).
+    #[must_use]
+    pub fn micron_lpddr3() -> Self {
+        Self {
+            idd2p: IddCurrents::new(1.6, 9.0),
+            idd6: IddCurrents::new(0.9, 4.5),
+            powerdown_exit_ns: 7.5,
+            self_refresh_exit_ns: 140.0,
+        }
+    }
+}
+
+/// A controller idle-state timeout policy.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_dram::{DramPowerModel, LowPowerStates, PowerDownPolicy};
+/// use mcdvfs_types::{MemFreq, Seconds};
+///
+/// let policy = PowerDownPolicy::new(
+///     LowPowerStates::micron_lpddr3(),
+///     Seconds::from_micros(1.0),
+///     Seconds::from_millis(1.0),
+/// );
+/// let model = DramPowerModel::micron_lpddr3();
+/// // A long idle gap mostly self-refreshes: huge background savings.
+/// let gap = policy.idle_energy(&model, MemFreq::from_mhz(800), Seconds::from_millis(100.0));
+/// let naive = model.background_power(MemFreq::from_mhz(800), 0.0)
+///     * Seconds::from_millis(100.0);
+/// assert!(gap.value() < 0.2 * naive.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerDownPolicy {
+    states: LowPowerStates,
+    /// Idle time before entering precharge power-down.
+    powerdown_after: Seconds,
+    /// Idle time before dropping to self-refresh.
+    self_refresh_after: Seconds,
+}
+
+impl PowerDownPolicy {
+    /// Creates a timeout policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the self-refresh timeout precedes the power-down
+    /// timeout (states are entered in order of depth).
+    #[must_use]
+    pub fn new(
+        states: LowPowerStates,
+        powerdown_after: Seconds,
+        self_refresh_after: Seconds,
+    ) -> Self {
+        assert!(
+            self_refresh_after >= powerdown_after,
+            "self-refresh is entered after power-down"
+        );
+        Self {
+            states,
+            powerdown_after,
+            self_refresh_after,
+        }
+    }
+
+    /// A mobile-typical policy: power-down after 1 µs idle, self-refresh
+    /// after 1 ms.
+    #[must_use]
+    pub fn mobile_default() -> Self {
+        Self::new(
+            LowPowerStates::micron_lpddr3(),
+            Seconds::from_micros(1.0),
+            Seconds::from_millis(1.0),
+        )
+    }
+
+    /// Power drawn in precharge power-down at `freq`.
+    #[must_use]
+    pub fn powerdown_power(&self, _freq: MemFreq) -> Watts {
+        // CKE low: the clocked standby tree is gated; the residual draw is
+        // frequency independent.
+        rail_power(self.states.idd2p)
+    }
+
+    /// Power drawn in self-refresh (clock stopped; frequency independent).
+    #[must_use]
+    pub fn self_refresh_power(&self) -> Watts {
+        rail_power(self.states.idd6)
+    }
+
+    /// Energy consumed over one idle gap of length `gap`, including the
+    /// exit penalty paid at full standby power.
+    #[must_use]
+    pub fn idle_energy(&self, model: &DramPowerModel, freq: MemFreq, gap: Seconds) -> Joules {
+        let standby = model.background_power(freq, 0.0);
+        let mut remaining = gap;
+        let mut energy = Joules::ZERO;
+
+        // Standby until the power-down timeout.
+        let standby_span = remaining.min(self.powerdown_after);
+        energy += standby * standby_span;
+        remaining -= standby_span;
+        if remaining.value() <= 0.0 {
+            return energy;
+        }
+
+        // Power-down until the self-refresh timeout.
+        let pd_span = remaining.min(self.self_refresh_after - self.powerdown_after);
+        energy += self.powerdown_power(freq) * pd_span;
+        remaining -= pd_span;
+        let mut exit = Seconds::from_nanos(self.states.powerdown_exit_ns);
+        if remaining.value() > 0.0 {
+            // Self-refresh for the rest of the gap.
+            energy += self.self_refresh_power() * remaining;
+            exit = Seconds::from_nanos(self.states.self_refresh_exit_ns);
+        }
+        // Exit penalty at standby power (wake-up before the next access).
+        energy + standby * exit
+    }
+
+    /// Average background power over an execution whose idle time is
+    /// distributed as `gaps`, with `busy_fraction` of the total time spent
+    /// actively transferring (charged at active standby).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `busy_fraction` is outside `[0, 1]` or `gaps` is empty
+    /// while `busy_fraction < 1`.
+    #[must_use]
+    pub fn average_background_power(
+        &self,
+        model: &DramPowerModel,
+        freq: MemFreq,
+        busy_fraction: f64,
+        gaps: &[Seconds],
+    ) -> Watts {
+        assert!((0.0..=1.0).contains(&busy_fraction));
+        if busy_fraction >= 1.0 {
+            return model.background_power(freq, 1.0);
+        }
+        assert!(!gaps.is_empty(), "idle time needs an idle-gap distribution");
+        let idle_energy: Joules = gaps
+            .iter()
+            .map(|&g| self.idle_energy(model, freq, g))
+            .sum();
+        let idle_time: Seconds = gaps.iter().copied().sum();
+        let idle_power = idle_energy / idle_time;
+        let busy_power = model.background_power(freq, 1.0);
+        busy_power * busy_fraction + idle_power * (1.0 - busy_fraction)
+    }
+}
+
+fn rail_power(idd: IddCurrents) -> Watts {
+    // LPDDR3 rails: VDD1 = 1.8 V, VDD2 = 1.2 V.
+    Watts::from_millis(idd.vdd1_ma * 1.8 + idd.vdd2_ma * 1.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> PowerDownPolicy {
+        PowerDownPolicy::mobile_default()
+    }
+
+    fn model() -> DramPowerModel {
+        DramPowerModel::micron_lpddr3()
+    }
+
+    #[test]
+    fn state_powers_are_ordered_by_depth() {
+        let p = policy();
+        let f = MemFreq::from_mhz(800);
+        let standby = model().background_power(f, 0.0);
+        assert!(p.powerdown_power(f) < standby);
+        assert!(p.self_refresh_power() < p.powerdown_power(f));
+    }
+
+    #[test]
+    fn short_gaps_stay_in_standby() {
+        let p = policy();
+        let f = MemFreq::from_mhz(400);
+        let gap = Seconds::from_nanos(500.0); // below the 1 µs timeout
+        let e = p.idle_energy(&model(), f, gap);
+        let standby = model().background_power(f, 0.0) * gap;
+        assert!((e.value() - standby.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn medium_gaps_power_down() {
+        let p = policy();
+        let f = MemFreq::from_mhz(400);
+        let gap = Seconds::from_micros(100.0);
+        let e = p.idle_energy(&model(), f, gap);
+        let standby = model().background_power(f, 0.0) * gap;
+        assert!(e < standby, "power-down must save energy on a 100 µs gap");
+        // But not as much as pure self-refresh would.
+        let floor = p.self_refresh_power() * gap;
+        assert!(e > floor);
+    }
+
+    #[test]
+    fn long_gaps_reach_self_refresh_floor() {
+        let p = policy();
+        let f = MemFreq::from_mhz(800);
+        let gap = Seconds::from_millis(500.0);
+        let e = p.idle_energy(&model(), f, gap);
+        let floor = p.self_refresh_power() * gap;
+        // Within 12% of the self-refresh floor (entry path + exit penalty).
+        assert!(e.value() < floor.value() * 1.12, "e={} floor={}", e, floor);
+    }
+
+    #[test]
+    fn idle_energy_is_monotone_in_gap_length() {
+        let p = policy();
+        let f = MemFreq::from_mhz(600);
+        let m = model();
+        let mut prev = Joules::ZERO;
+        for us in [0.5, 2.0, 50.0, 2000.0, 50_000.0] {
+            let e = p.idle_energy(&m, f, Seconds::from_micros(us));
+            assert!(e > prev, "gap {us} µs");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn average_power_blends_busy_and_idle() {
+        let p = policy();
+        let f = MemFreq::from_mhz(800);
+        let m = model();
+        let gaps = vec![Seconds::from_millis(10.0); 4];
+        let avg = p.average_background_power(&m, f, 0.3, &gaps);
+        let busy = m.background_power(f, 1.0);
+        assert!(avg < busy);
+        assert!(avg > p.self_refresh_power() * 0.69);
+        // Fully busy ignores the gaps.
+        let full = p.average_background_power(&m, f, 1.0, &[]);
+        assert_eq!(full, busy);
+    }
+
+    #[test]
+    fn power_down_exit_is_much_faster_than_self_refresh_exit() {
+        let s = LowPowerStates::micron_lpddr3();
+        assert!(s.self_refresh_exit_ns > 10.0 * s.powerdown_exit_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-refresh is entered after power-down")]
+    fn inverted_timeouts_panic() {
+        let _ = PowerDownPolicy::new(
+            LowPowerStates::micron_lpddr3(),
+            Seconds::from_millis(1.0),
+            Seconds::from_micros(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "idle-gap distribution")]
+    fn idle_without_gaps_panics() {
+        let p = policy();
+        let _ = p.average_background_power(&model(), MemFreq::from_mhz(400), 0.5, &[]);
+    }
+}

@@ -1,0 +1,272 @@
+//! LPDDR3 timing parameters and their frequency scaling.
+//!
+//! Datasheet timing constraints come in two kinds, and Micron's technical
+//! note on scaling memory timing with frequency (which the paper follows)
+//! treats them differently:
+//!
+//! * **analog** constraints (tRCD, tRP, tRAS, tWR, tRFC, tREFI) are fixed
+//!   in *nanoseconds* — they describe sense-amplifier and array physics
+//!   that do not speed up when the interface clock does. At a given clock
+//!   they are rounded *up* to whole cycles.
+//! * **transfer** constraints (CAS latency, burst length) are fixed in
+//!   *cycles* at the device's rated frequency bin; CL is re-binned per
+//!   frequency so that `CL × tCK` never drops below the analog access time.
+
+use mcdvfs_types::MemFreq;
+
+/// Timing parameter set for one LPDDR3 configuration.
+///
+/// All `*_ns` fields are analog constraints in nanoseconds. Cycle-valued
+/// accessors quantize to the supplied clock frequency.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_dram::LpddrTimings;
+/// use mcdvfs_types::MemFreq;
+///
+/// let t = LpddrTimings::micron_lpddr3();
+/// // Analog latency in ns does not improve at higher clock...
+/// assert!(t.trcd_cycles(MemFreq::from_mhz(800)) >= 2 * t.trcd_cycles(MemFreq::from_mhz(200)) - 1);
+/// // ...but the burst transfers faster.
+/// assert!(t.burst_ns(MemFreq::from_mhz(800)) < t.burst_ns(MemFreq::from_mhz(200)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpddrTimings {
+    /// ACT-to-READ/WRITE delay (row to column), ns.
+    pub trcd_ns: f64,
+    /// PRE-to-ACT delay (row precharge), ns.
+    pub trp_ns: f64,
+    /// ACT-to-PRE minimum (row active time), ns.
+    pub tras_ns: f64,
+    /// Write recovery, ns.
+    pub twr_ns: f64,
+    /// Write-to-read turnaround (internal write-to-read delay), ns.
+    pub twtr_ns: f64,
+    /// Read-to-write bus turnaround, in clock cycles.
+    pub trtw_ck: u32,
+    /// Refresh cycle time (one all-bank REF), ns.
+    pub trfc_ns: f64,
+    /// Average refresh interval, ns.
+    pub trefi_ns: f64,
+    /// CAS access time floor, ns — CL is chosen per frequency so
+    /// `CL·tCK ≥ taa_ns`.
+    pub taa_ns: f64,
+    /// Burst length in beats (LPDDR3 BL8).
+    pub burst_length: u32,
+    /// Number of banks.
+    pub banks: u32,
+    /// Data-bus width in bits (x32 for the modelled part).
+    pub bus_width_bits: u32,
+}
+
+impl LpddrTimings {
+    /// Micron 16 Gb x32 LPDDR3-class parameters (the datasheet family the
+    /// paper configures Gem5 with).
+    #[must_use]
+    pub fn micron_lpddr3() -> Self {
+        Self {
+            trcd_ns: 18.0,
+            trp_ns: 18.0,
+            tras_ns: 42.0,
+            twr_ns: 15.0,
+            twtr_ns: 7.5,
+            trtw_ck: 2,
+            trfc_ns: 210.0,
+            trefi_ns: 3900.0,
+            taa_ns: 18.0,
+            burst_length: 8,
+            banks: 8,
+            bus_width_bits: 32,
+        }
+    }
+
+    /// Clock period at `freq`, ns.
+    #[must_use]
+    pub fn tck_ns(&self, freq: MemFreq) -> f64 {
+        freq.period_ns()
+    }
+
+    /// tRCD in whole cycles at `freq` (rounded up).
+    #[must_use]
+    pub fn trcd_cycles(&self, freq: MemFreq) -> u64 {
+        freq.cycles_in_ns(self.trcd_ns)
+    }
+
+    /// tRP in whole cycles at `freq` (rounded up).
+    #[must_use]
+    pub fn trp_cycles(&self, freq: MemFreq) -> u64 {
+        freq.cycles_in_ns(self.trp_ns)
+    }
+
+    /// tRAS in whole cycles at `freq` (rounded up).
+    #[must_use]
+    pub fn tras_cycles(&self, freq: MemFreq) -> u64 {
+        freq.cycles_in_ns(self.tras_ns)
+    }
+
+    /// CAS latency in cycles at `freq`: the smallest CL whose access time
+    /// meets the analog floor `taa_ns`.
+    #[must_use]
+    pub fn cas_cycles(&self, freq: MemFreq) -> u64 {
+        freq.cycles_in_ns(self.taa_ns).max(3)
+    }
+
+    /// Burst duration in cycles: `BL/2` for a double-data-rate interface.
+    #[must_use]
+    pub fn burst_cycles(&self) -> u64 {
+        u64::from(self.burst_length / 2)
+    }
+
+    /// Burst duration in ns at `freq`.
+    #[must_use]
+    pub fn burst_ns(&self, freq: MemFreq) -> f64 {
+        self.burst_cycles() as f64 * self.tck_ns(freq)
+    }
+
+    /// Row-cycle time tRC = tRAS + tRP, ns.
+    #[must_use]
+    pub fn trc_ns(&self) -> f64 {
+        self.tras_ns + self.trp_ns
+    }
+
+    /// Row-buffer **hit** access latency at `freq`, ns: CAS + burst.
+    #[must_use]
+    pub fn row_hit_ns(&self, freq: MemFreq) -> f64 {
+        let tck = self.tck_ns(freq);
+        (self.cas_cycles(freq) + self.burst_cycles()) as f64 * tck
+    }
+
+    /// Row-buffer **miss** (closed row) access latency at `freq`, ns:
+    /// ACT + CAS + burst.
+    #[must_use]
+    pub fn row_miss_ns(&self, freq: MemFreq) -> f64 {
+        self.trcd_cycles(freq) as f64 * self.tck_ns(freq) + self.row_hit_ns(freq)
+    }
+
+    /// Row-buffer **conflict** latency at `freq`, ns: PRE + ACT + CAS +
+    /// burst (another row was open).
+    #[must_use]
+    pub fn row_conflict_ns(&self, freq: MemFreq) -> f64 {
+        self.trp_cycles(freq) as f64 * self.tck_ns(freq) + self.row_miss_ns(freq)
+    }
+
+    /// Write-to-read turnaround in whole cycles at `freq` (rounded up).
+    #[must_use]
+    pub fn twtr_cycles(&self, freq: MemFreq) -> u64 {
+        freq.cycles_in_ns(self.twtr_ns)
+    }
+
+    /// Read-to-write bus turnaround in cycles (fixed in cycles: it covers
+    /// driver/ODT switching on the interface, which tracks the clock).
+    #[must_use]
+    pub fn trtw_cycles(&self) -> u64 {
+        u64::from(self.trtw_ck)
+    }
+
+    /// Bytes transferred per burst.
+    #[must_use]
+    pub fn bytes_per_burst(&self) -> u64 {
+        u64::from(self.burst_length) * u64::from(self.bus_width_bits) / 8
+    }
+
+    /// Theoretical peak bandwidth at `freq`, bytes/second: two beats per
+    /// clock (DDR) across the bus width.
+    #[must_use]
+    pub fn peak_bandwidth(&self, freq: MemFreq) -> f64 {
+        freq.hz() * 2.0 * f64::from(self.bus_width_bits) / 8.0
+    }
+
+    /// Fraction of time consumed by refresh at `freq` — tRFC out of every
+    /// tREFI (frequency-independent since both are analog).
+    #[must_use]
+    pub fn refresh_overhead(&self) -> f64 {
+        self.trfc_ns / self.trefi_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> LpddrTimings {
+        LpddrTimings::micron_lpddr3()
+    }
+
+    #[test]
+    fn analog_cycles_scale_with_frequency() {
+        let t = t();
+        // 18 ns at 200 MHz (5 ns period) = 4 cycles; at 800 MHz (1.25 ns) = 15.
+        assert_eq!(t.trcd_cycles(MemFreq::from_mhz(200)), 4);
+        assert_eq!(t.trcd_cycles(MemFreq::from_mhz(800)), 15);
+    }
+
+    #[test]
+    fn quantization_rounds_up() {
+        let t = t();
+        // 42 ns at 400 MHz (2.5ns) = 16.8 -> 17 cycles.
+        assert_eq!(t.tras_cycles(MemFreq::from_mhz(400)), 17);
+    }
+
+    #[test]
+    fn cas_latency_rebins_per_frequency() {
+        let t = t();
+        let cl200 = t.cas_cycles(MemFreq::from_mhz(200));
+        let cl800 = t.cas_cycles(MemFreq::from_mhz(800));
+        assert!(cl800 > cl200, "higher clock needs more CL cycles");
+        // CL x tCK never beats the analog floor.
+        for mhz in [200, 400, 600, 800] {
+            let f = MemFreq::from_mhz(mhz);
+            assert!(t.cas_cycles(f) as f64 * t.tck_ns(f) >= t.taa_ns - 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss_is_faster_than_conflict() {
+        let t = t();
+        for mhz in [200, 400, 800] {
+            let f = MemFreq::from_mhz(mhz);
+            assert!(t.row_hit_ns(f) < t.row_miss_ns(f));
+            assert!(t.row_miss_ns(f) < t.row_conflict_ns(f));
+        }
+    }
+
+    #[test]
+    fn latency_in_ns_improves_only_modestly_with_frequency() {
+        let t = t();
+        let hit200 = t.row_hit_ns(MemFreq::from_mhz(200));
+        let hit800 = t.row_hit_ns(MemFreq::from_mhz(800));
+        // Burst time shrinks 4x but CAS stays near the analog floor: total
+        // improvement must be well under the 4x clock ratio.
+        assert!(hit800 < hit200);
+        assert!(hit200 / hit800 < 2.5, "ratio {}", hit200 / hit800);
+    }
+
+    #[test]
+    fn peak_bandwidth_scales_linearly() {
+        let t = t();
+        let bw200 = t.peak_bandwidth(MemFreq::from_mhz(200));
+        let bw800 = t.peak_bandwidth(MemFreq::from_mhz(800));
+        assert!((bw800 / bw200 - 4.0).abs() < 1e-12);
+        // x32 at 800 MHz DDR = 6.4 GB/s.
+        assert!((bw800 - 6.4e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bytes_per_burst_is_a_cache_line_half() {
+        // BL8 x 32 bits = 32 bytes per burst; a 64-byte line needs 2 bursts.
+        assert_eq!(t().bytes_per_burst(), 32);
+    }
+
+    #[test]
+    fn refresh_overhead_is_small_and_frequency_independent() {
+        let overhead = t().refresh_overhead();
+        assert!(overhead > 0.0 && overhead < 0.1, "overhead {overhead}");
+    }
+
+    #[test]
+    fn trc_is_ras_plus_rp() {
+        let t = t();
+        assert!((t.trc_ns() - 60.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! The cpufreq policy object, mirroring
+//! `/sys/devices/system/cpu/cpu0/cpufreq/`.
+//!
+//! Frequencies are exchanged in **kHz** strings, exactly as Linux cpufreq
+//! does. Validation follows the kernel's rules: `scaling_setspeed` only
+//! works under the `userspace` governor (reading it under any other
+//! governor yields `<unsupported>`), bounds writes clamp to hardware
+//! limits and reject inverted ranges, and targets snap to the closest
+//! supported step inside the policy bounds.
+
+use crate::sysfs::{SysfsDir, SysfsError};
+use mcdvfs_types::{CpuFreq, FrequencyGrid};
+
+/// The governors the modelled kernel ships for the CPU.
+pub(crate) const CPU_GOVERNORS: [&str; 4] = ["performance", "powersave", "userspace", "ondemand"];
+
+/// Backing state of a cpufreq policy.
+#[derive(Debug, Clone)]
+pub(crate) struct CpufreqState {
+    /// Supported steps in kHz, ascending.
+    steps_khz: Vec<u64>,
+    min_khz: u64,
+    max_khz: u64,
+    governor: String,
+    /// Current target in kHz.
+    cur_khz: u64,
+}
+
+impl CpufreqState {
+    fn clamp_snap(&self, khz: u64) -> u64 {
+        let lo = self.min_khz;
+        let hi = self.max_khz;
+        let clamped = khz.clamp(lo, hi);
+        *self
+            .steps_khz
+            .iter()
+            .filter(|&&s| (lo..=hi).contains(&s))
+            .min_by_key(|&&s| s.abs_diff(clamped))
+            .expect("bounds always contain at least one step")
+    }
+
+    fn apply_governor(&mut self) {
+        match self.governor.as_str() {
+            "performance" | "ondemand" => self.cur_khz = self.clamp_snap(self.max_khz),
+            "powersave" => self.cur_khz = self.clamp_snap(self.min_khz),
+            _ => self.cur_khz = self.clamp_snap(self.cur_khz),
+        }
+    }
+}
+
+/// A cpufreq policy directory.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_kernel::CpufreqPolicy;
+/// use mcdvfs_types::FrequencyGrid;
+///
+/// let mut policy = CpufreqPolicy::new(FrequencyGrid::coarse());
+/// assert_eq!(policy.read("scaling_governor").unwrap(), "performance");
+/// policy.write("scaling_governor", "userspace").unwrap();
+/// policy.write("scaling_setspeed", "712345").unwrap(); // snaps to 700 MHz
+/// assert_eq!(policy.read("scaling_cur_freq").unwrap(), "700000");
+/// ```
+#[derive(Debug)]
+pub struct CpufreqPolicy {
+    dir: SysfsDir<CpufreqState>,
+}
+
+impl CpufreqPolicy {
+    /// Creates the policy for the CPU domain of `grid`, booting under the
+    /// `performance` governor at the maximum frequency (Linux's usual boot
+    /// state on these platforms).
+    #[must_use]
+    pub fn new(grid: FrequencyGrid) -> Self {
+        let steps_khz: Vec<u64> = grid.cpu_freqs().map(|f| u64::from(f.mhz()) * 1000).collect();
+        let state = CpufreqState {
+            min_khz: *steps_khz.first().expect("grid is never empty"),
+            max_khz: *steps_khz.last().expect("grid is never empty"),
+            cur_khz: *steps_khz.last().expect("grid is never empty"),
+            steps_khz,
+            governor: "performance".to_string(),
+        };
+        let mut dir = SysfsDir::new(state);
+
+        dir.attr_ro("cpuinfo_min_freq", |s| {
+            s.steps_khz.first().expect("nonempty").to_string()
+        });
+        dir.attr_ro("cpuinfo_max_freq", |s| {
+            s.steps_khz.last().expect("nonempty").to_string()
+        });
+        dir.attr_ro("scaling_available_frequencies", |s| {
+            s.steps_khz
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        });
+        dir.attr_ro("scaling_available_governors", |_| CPU_GOVERNORS.join(" "));
+        dir.attr_ro("scaling_cur_freq", |s| s.cur_khz.to_string());
+        dir.attr_rw(
+            "scaling_min_freq",
+            |s| s.min_khz.to_string(),
+            |s, v| {
+                let khz = parse_khz(v)?;
+                let hw_lo = *s.steps_khz.first().expect("nonempty");
+                let hw_hi = *s.steps_khz.last().expect("nonempty");
+                let khz = khz.clamp(hw_lo, hw_hi);
+                if khz > s.max_khz {
+                    return Err(format!("min {khz} above max {}", s.max_khz));
+                }
+                s.min_khz = khz;
+                s.apply_governor();
+                Ok(khz.to_string())
+            },
+        );
+        dir.attr_rw(
+            "scaling_max_freq",
+            |s| s.max_khz.to_string(),
+            |s, v| {
+                let khz = parse_khz(v)?;
+                let hw_lo = *s.steps_khz.first().expect("nonempty");
+                let hw_hi = *s.steps_khz.last().expect("nonempty");
+                let khz = khz.clamp(hw_lo, hw_hi);
+                if khz < s.min_khz {
+                    return Err(format!("max {khz} below min {}", s.min_khz));
+                }
+                s.max_khz = khz;
+                s.apply_governor();
+                Ok(khz.to_string())
+            },
+        );
+        dir.attr_rw(
+            "scaling_governor",
+            |s| s.governor.clone(),
+            |s, v| {
+                let name = v.trim();
+                if !CPU_GOVERNORS.contains(&name) {
+                    return Err(format!("unknown governor {name:?}"));
+                }
+                s.governor = name.to_string();
+                s.apply_governor();
+                Ok(name.to_string())
+            },
+        );
+        dir.attr_rw(
+            "scaling_setspeed",
+            |s| {
+                if s.governor == "userspace" {
+                    s.cur_khz.to_string()
+                } else {
+                    "<unsupported>".to_string()
+                }
+            },
+            |s, v| {
+                if s.governor != "userspace" {
+                    return Err("scaling_setspeed requires the userspace governor".into());
+                }
+                let khz = parse_khz(v)?;
+                s.cur_khz = s.clamp_snap(khz);
+                Ok(s.cur_khz.to_string())
+            },
+        );
+
+        Self { dir }
+    }
+
+    /// Reads an attribute.
+    ///
+    /// # Errors
+    ///
+    /// See [`SysfsDir::read`].
+    pub fn read(&self, attr: &str) -> Result<String, SysfsError> {
+        self.dir.read(attr)
+    }
+
+    /// Writes an attribute.
+    ///
+    /// # Errors
+    ///
+    /// See [`SysfsDir::write`].
+    pub fn write(&mut self, attr: &str, value: &str) -> Result<(), SysfsError> {
+        self.dir.write(attr, value)
+    }
+
+    /// Attribute names, sorted.
+    #[must_use]
+    pub fn list(&self) -> Vec<&str> {
+        self.dir.list()
+    }
+
+    /// The current target frequency as a typed value.
+    #[must_use]
+    pub fn target(&self) -> CpuFreq {
+        CpuFreq::from_mhz((self.dir.state().cur_khz / 1000) as u32)
+    }
+}
+
+pub(crate) fn parse_khz(v: &str) -> Result<u64, String> {
+    v.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("not a frequency in kHz: {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> CpufreqPolicy {
+        CpufreqPolicy::new(FrequencyGrid::coarse())
+    }
+
+    #[test]
+    fn boots_at_performance_max() {
+        let p = policy();
+        assert_eq!(p.read("scaling_governor").unwrap(), "performance");
+        assert_eq!(p.read("scaling_cur_freq").unwrap(), "1000000");
+        assert_eq!(p.target().mhz(), 1000);
+    }
+
+    #[test]
+    fn hardware_limits_are_exposed_in_khz() {
+        let p = policy();
+        assert_eq!(p.read("cpuinfo_min_freq").unwrap(), "100000");
+        assert_eq!(p.read("cpuinfo_max_freq").unwrap(), "1000000");
+        let avail = p.read("scaling_available_frequencies").unwrap();
+        assert!(avail.starts_with("100000 200000"));
+        assert!(avail.ends_with("1000000"));
+    }
+
+    #[test]
+    fn setspeed_requires_userspace_governor() {
+        let mut p = policy();
+        let err = p.write("scaling_setspeed", "500000").unwrap_err();
+        assert!(err.to_string().contains("userspace"));
+        assert_eq!(p.read("scaling_setspeed").unwrap(), "<unsupported>");
+        p.write("scaling_governor", "userspace").unwrap();
+        p.write("scaling_setspeed", "500000").unwrap();
+        assert_eq!(p.read("scaling_cur_freq").unwrap(), "500000");
+    }
+
+    #[test]
+    fn setspeed_snaps_to_supported_steps() {
+        let mut p = policy();
+        p.write("scaling_governor", "userspace").unwrap();
+        p.write("scaling_setspeed", "749999").unwrap();
+        assert_eq!(p.read("scaling_cur_freq").unwrap(), "700000");
+        p.write("scaling_setspeed", "750001").unwrap();
+        assert_eq!(p.read("scaling_cur_freq").unwrap(), "800000");
+    }
+
+    #[test]
+    fn bounds_clamp_the_governor_target() {
+        let mut p = policy();
+        p.write("scaling_max_freq", "600000").unwrap();
+        assert_eq!(
+            p.read("scaling_cur_freq").unwrap(),
+            "600000",
+            "performance governor follows the lowered cap"
+        );
+        p.write("scaling_governor", "powersave").unwrap();
+        p.write("scaling_min_freq", "300000").unwrap();
+        assert_eq!(p.read("scaling_cur_freq").unwrap(), "300000");
+    }
+
+    #[test]
+    fn inverted_bounds_are_rejected() {
+        let mut p = policy();
+        p.write("scaling_max_freq", "500000").unwrap();
+        assert!(p.write("scaling_min_freq", "600000").is_err());
+        p.write("scaling_min_freq", "400000").unwrap();
+        assert!(p.write("scaling_max_freq", "300000").is_err());
+    }
+
+    #[test]
+    fn unknown_governor_rejected() {
+        let mut p = policy();
+        let err = p.write("scaling_governor", "turbo").unwrap_err();
+        assert!(err.to_string().contains("unknown governor"));
+        assert_eq!(p.read("scaling_governor").unwrap(), "performance");
+    }
+
+    #[test]
+    fn echo_style_newlines_tolerated() {
+        let mut p = policy();
+        p.write("scaling_governor", "userspace\n").unwrap();
+        p.write("scaling_setspeed", "400000\n").unwrap();
+        assert_eq!(p.target().mhz(), 400);
+    }
+
+    #[test]
+    fn garbage_writes_are_einval() {
+        let mut p = policy();
+        p.write("scaling_governor", "userspace").unwrap();
+        assert!(p.write("scaling_setspeed", "fast please").is_err());
+        assert!(p.write("scaling_min_freq", "-1").is_err());
+    }
+
+    #[test]
+    fn available_governors_listed() {
+        let p = policy();
+        let g = p.read("scaling_available_governors").unwrap();
+        for name in CPU_GOVERNORS {
+            assert!(g.contains(name));
+        }
+        assert!(p.list().contains(&"scaling_setspeed"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The devfreq device for the memory controller, mirroring
+//! `/sys/class/devfreq/<dev>/`.
+//!
+//! The paper "developed a memory frequency governor similar to existing
+//! Linux CPU frequency governors"; devfreq is the kernel framework that
+//! governor lives in. Frequencies are exchanged in **Hz** strings (devfreq
+//! convention, unlike cpufreq's kHz), the userspace target lives at
+//! `userspace/set_freq`, and — matching the paper's platform — only
+//! frequency scales: there is no voltage attribute at all.
+
+use crate::cpufreq::parse_khz;
+use crate::sysfs::{SysfsDir, SysfsError};
+use mcdvfs_types::{FrequencyGrid, MemFreq};
+
+/// The governors the modelled kernel ships for memory.
+pub(crate) const MEM_GOVERNORS: [&str; 3] = ["performance", "powersave", "userspace"];
+
+/// Backing state of a devfreq device.
+#[derive(Debug, Clone)]
+pub(crate) struct DevfreqState {
+    /// Supported steps in Hz, ascending.
+    steps_hz: Vec<u64>,
+    min_hz: u64,
+    max_hz: u64,
+    governor: String,
+    cur_hz: u64,
+}
+
+impl DevfreqState {
+    fn clamp_snap(&self, hz: u64) -> u64 {
+        let clamped = hz.clamp(self.min_hz, self.max_hz);
+        *self
+            .steps_hz
+            .iter()
+            .filter(|&&s| (self.min_hz..=self.max_hz).contains(&s))
+            .min_by_key(|&&s| s.abs_diff(clamped))
+            .expect("bounds always contain at least one step")
+    }
+
+    fn apply_governor(&mut self) {
+        match self.governor.as_str() {
+            "performance" => self.cur_hz = self.clamp_snap(self.max_hz),
+            "powersave" => self.cur_hz = self.clamp_snap(self.min_hz),
+            _ => self.cur_hz = self.clamp_snap(self.cur_hz),
+        }
+    }
+}
+
+/// A devfreq device directory for the LPDDR3 controller.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_kernel::DevfreqDevice;
+/// use mcdvfs_types::FrequencyGrid;
+///
+/// let mut dev = DevfreqDevice::new(FrequencyGrid::coarse());
+/// dev.write("governor", "userspace").unwrap();
+/// dev.write("userspace/set_freq", "600000000").unwrap(); // Hz
+/// assert_eq!(dev.read("cur_freq").unwrap(), "600000000");
+/// assert_eq!(dev.target().mhz(), 600);
+/// ```
+#[derive(Debug)]
+pub struct DevfreqDevice {
+    dir: SysfsDir<DevfreqState>,
+}
+
+impl DevfreqDevice {
+    /// Creates the device for the memory domain of `grid`, booting under
+    /// `performance` at the maximum frequency.
+    #[must_use]
+    pub fn new(grid: FrequencyGrid) -> Self {
+        let steps_hz: Vec<u64> = grid
+            .mem_freqs()
+            .map(|f| u64::from(f.mhz()) * 1_000_000)
+            .collect();
+        let state = DevfreqState {
+            min_hz: *steps_hz.first().expect("grid is never empty"),
+            max_hz: *steps_hz.last().expect("grid is never empty"),
+            cur_hz: *steps_hz.last().expect("grid is never empty"),
+            steps_hz,
+            governor: "performance".to_string(),
+        };
+        let mut dir = SysfsDir::new(state);
+
+        dir.attr_ro("available_frequencies", |s| {
+            s.steps_hz
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        });
+        dir.attr_ro("available_governors", |_| MEM_GOVERNORS.join(" "));
+        dir.attr_ro("cur_freq", |s| s.cur_hz.to_string());
+        dir.attr_rw(
+            "min_freq",
+            |s| s.min_hz.to_string(),
+            |s, v| {
+                let hz = parse_khz(v)?; // same integer grammar
+                let hw_lo = *s.steps_hz.first().expect("nonempty");
+                let hw_hi = *s.steps_hz.last().expect("nonempty");
+                let hz = hz.clamp(hw_lo, hw_hi);
+                if hz > s.max_hz {
+                    return Err(format!("min {hz} above max {}", s.max_hz));
+                }
+                s.min_hz = hz;
+                s.apply_governor();
+                Ok(hz.to_string())
+            },
+        );
+        dir.attr_rw(
+            "max_freq",
+            |s| s.max_hz.to_string(),
+            |s, v| {
+                let hz = parse_khz(v)?;
+                let hw_lo = *s.steps_hz.first().expect("nonempty");
+                let hw_hi = *s.steps_hz.last().expect("nonempty");
+                let hz = hz.clamp(hw_lo, hw_hi);
+                if hz < s.min_hz {
+                    return Err(format!("max {hz} below min {}", s.min_hz));
+                }
+                s.max_hz = hz;
+                s.apply_governor();
+                Ok(hz.to_string())
+            },
+        );
+        dir.attr_rw(
+            "governor",
+            |s| s.governor.clone(),
+            |s, v| {
+                let name = v.trim();
+                if !MEM_GOVERNORS.contains(&name) {
+                    return Err(format!("unknown governor {name:?}"));
+                }
+                s.governor = name.to_string();
+                s.apply_governor();
+                Ok(name.to_string())
+            },
+        );
+        dir.attr_rw(
+            "userspace/set_freq",
+            |s| {
+                if s.governor == "userspace" {
+                    s.cur_hz.to_string()
+                } else {
+                    "<unsupported>".to_string()
+                }
+            },
+            |s, v| {
+                if s.governor != "userspace" {
+                    return Err("set_freq requires the userspace governor".into());
+                }
+                let hz = parse_khz(v)?;
+                s.cur_hz = s.clamp_snap(hz);
+                Ok(s.cur_hz.to_string())
+            },
+        );
+
+        Self { dir }
+    }
+
+    /// Reads an attribute.
+    ///
+    /// # Errors
+    ///
+    /// See [`SysfsDir::read`].
+    pub fn read(&self, attr: &str) -> Result<String, SysfsError> {
+        self.dir.read(attr)
+    }
+
+    /// Writes an attribute.
+    ///
+    /// # Errors
+    ///
+    /// See [`SysfsDir::write`].
+    pub fn write(&mut self, attr: &str, value: &str) -> Result<(), SysfsError> {
+        self.dir.write(attr, value)
+    }
+
+    /// Attribute names, sorted.
+    #[must_use]
+    pub fn list(&self) -> Vec<&str> {
+        self.dir.list()
+    }
+
+    /// The current target frequency as a typed value.
+    #[must_use]
+    pub fn target(&self) -> MemFreq {
+        MemFreq::from_mhz((self.dir.state().cur_hz / 1_000_000) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DevfreqDevice {
+        DevfreqDevice::new(FrequencyGrid::coarse())
+    }
+
+    #[test]
+    fn boots_at_performance_max() {
+        let d = device();
+        assert_eq!(d.read("governor").unwrap(), "performance");
+        assert_eq!(d.read("cur_freq").unwrap(), "800000000");
+    }
+
+    #[test]
+    fn frequencies_are_in_hz() {
+        let d = device();
+        let avail = d.read("available_frequencies").unwrap();
+        assert!(avail.starts_with("200000000"));
+        assert!(avail.ends_with("800000000"));
+    }
+
+    #[test]
+    fn userspace_set_freq_snaps() {
+        let mut d = device();
+        d.write("governor", "userspace").unwrap();
+        d.write("userspace/set_freq", "433000000").unwrap();
+        assert_eq!(d.target().mhz(), 400);
+    }
+
+    #[test]
+    fn set_freq_requires_userspace() {
+        let mut d = device();
+        assert!(d.write("userspace/set_freq", "400000000").is_err());
+        assert_eq!(d.read("userspace/set_freq").unwrap(), "<unsupported>");
+    }
+
+    #[test]
+    fn bounds_steer_governors() {
+        let mut d = device();
+        d.write("max_freq", "500000000").unwrap();
+        assert_eq!(d.read("cur_freq").unwrap(), "500000000");
+        d.write("governor", "powersave").unwrap();
+        d.write("min_freq", "300000000").unwrap();
+        assert_eq!(d.read("cur_freq").unwrap(), "300000000");
+    }
+
+    #[test]
+    fn no_voltage_attribute_exists() {
+        // The paper's platform scales memory frequency only.
+        let d = device();
+        assert!(d.read("voltage").is_err());
+        assert!(!d.list().iter().any(|a| a.contains("volt")));
+    }
+
+    #[test]
+    fn memory_has_no_ondemand_governor_here() {
+        let mut d = device();
+        assert!(d.write("governor", "ondemand").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Linux-style kernel interfaces over the simulated DVFS hardware.
+//!
+//! The paper's Figure 1 shows the software stack it builds inside
+//! Android/Linux: a **CPUfreq driver** and a (new) **Memfreq driver**
+//! talking to the DVFS controller device, with userspace steering both
+//! through sysfs. Reproducing that stack on real hardware needs awkward
+//! kernel plumbing; this crate simulates the same interfaces faithfully so
+//! policy code written against them is exercised end to end:
+//!
+//! * [`SysfsDir`] — an in-memory attribute tree with the read/write/EINVAL
+//!   semantics of sysfs;
+//! * [`CpufreqPolicy`] — `scaling_governor`, `scaling_min_freq`,
+//!   `scaling_max_freq`, `scaling_setspeed`, `scaling_cur_freq`,
+//!   `scaling_available_*`, with Linux's clamping and validation rules;
+//! * [`DevfreqDevice`] — the devfreq equivalent for the memory controller
+//!   (`governor`, `min_freq`, `max_freq`, `cur_freq`, `userspace/set_freq`);
+//! * [`KernelShim`] — binds both policies to one
+//!   [`DvfsController`](mcdvfs_sim::DvfsController) so writes through the
+//!   "filesystem" reach the "hardware" and transition costs are charged.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_kernel::KernelShim;
+//! use mcdvfs_types::FrequencyGrid;
+//!
+//! let mut shim = KernelShim::new(FrequencyGrid::coarse());
+//! shim.write("cpufreq/scaling_governor", "userspace")?;
+//! shim.write("cpufreq/scaling_setspeed", "500000")?; // kHz, like Linux
+//! shim.write("devfreq/governor", "userspace")?;
+//! shim.write("devfreq/userspace/set_freq", "400000000")?; // Hz, like devfreq
+//! assert_eq!(shim.read("cpufreq/scaling_cur_freq")?, "500000");
+//! assert_eq!(shim.controller().current().mem.mhz(), 400);
+//! # Ok::<(), mcdvfs_kernel::SysfsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpufreq;
+mod devfreq;
+mod shim;
+mod sysfs;
+
+pub use cpufreq::CpufreqPolicy;
+pub use devfreq::DevfreqDevice;
+pub use shim::KernelShim;
+pub use sysfs::{SysfsDir, SysfsError};

@@ -1,0 +1,181 @@
+//! Binds the cpufreq policy and devfreq device to the DVFS controller.
+//!
+//! Writes through the sysfs paths reach the simulated hardware: after
+//! every successful attribute write the shim pushes the two drivers'
+//! current targets into the [`DvfsController`], which validates the joint
+//! setting against the platform grid and accounts transition costs —
+//! closing the loop of the paper's Figure 1 (userspace → driver → DVFS
+//! controller device → clocks).
+
+use crate::cpufreq::CpufreqPolicy;
+use crate::devfreq::DevfreqDevice;
+use crate::sysfs::SysfsError;
+use mcdvfs_sim::{DvfsController, TransitionModel};
+use mcdvfs_types::{FreqSetting, FrequencyGrid};
+
+/// The assembled kernel-side stack.
+#[derive(Debug)]
+pub struct KernelShim {
+    cpufreq: CpufreqPolicy,
+    devfreq: DevfreqDevice,
+    controller: DvfsController,
+}
+
+impl KernelShim {
+    /// Builds the stack over `grid` with mobile-SoC transition costs,
+    /// booted at the grid maximum under `performance` governors.
+    #[must_use]
+    pub fn new(grid: FrequencyGrid) -> Self {
+        Self::with_transition_model(grid, TransitionModel::mobile_soc())
+    }
+
+    /// As [`Self::new`] with an explicit transition model.
+    #[must_use]
+    pub fn with_transition_model(grid: FrequencyGrid, model: TransitionModel) -> Self {
+        Self {
+            cpufreq: CpufreqPolicy::new(grid),
+            devfreq: DevfreqDevice::new(grid),
+            controller: DvfsController::new(grid, grid.max_setting(), model),
+        }
+    }
+
+    /// Reads `path` (`cpufreq/<attr>` or `devfreq/<attr>`).
+    ///
+    /// # Errors
+    ///
+    /// [`SysfsError::NoEntry`] for unknown prefixes or attributes.
+    pub fn read(&self, path: &str) -> Result<String, SysfsError> {
+        match path.split_once('/') {
+            Some(("cpufreq", attr)) => self.cpufreq.read(attr),
+            Some(("devfreq", attr)) => self.devfreq.read(attr),
+            _ => Err(SysfsError::NoEntry {
+                path: path.to_string(),
+            }),
+        }
+    }
+
+    /// Writes `path`, then propagates the drivers' targets to the
+    /// hardware controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver validation errors; the hardware is only touched
+    /// after a successful write.
+    pub fn write(&mut self, path: &str, value: &str) -> Result<(), SysfsError> {
+        match path.split_once('/') {
+            Some(("cpufreq", attr)) => self.cpufreq.write(attr, value)?,
+            Some(("devfreq", rest)) => self.devfreq.write(rest, value)?,
+            _ => {
+                return Err(SysfsError::NoEntry {
+                    path: path.to_string(),
+                })
+            }
+        }
+        self.apply();
+        Ok(())
+    }
+
+    /// Pushes the drivers' current targets into the controller.
+    fn apply(&mut self) {
+        let target = FreqSetting::new(self.cpufreq.target(), self.devfreq.target());
+        self.controller
+            .request(target)
+            .expect("driver targets are always grid steps");
+    }
+
+    /// The cpufreq policy.
+    #[must_use]
+    pub fn cpufreq(&self) -> &CpufreqPolicy {
+        &self.cpufreq
+    }
+
+    /// The devfreq device.
+    #[must_use]
+    pub fn devfreq(&self) -> &DevfreqDevice {
+        &self.devfreq
+    }
+
+    /// The hardware controller (current setting, transition counters and
+    /// accumulated costs).
+    #[must_use]
+    pub fn controller(&self) -> &DvfsController {
+        &self.controller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shim() -> KernelShim {
+        KernelShim::new(FrequencyGrid::coarse())
+    }
+
+    #[test]
+    fn boots_at_max_with_no_transitions() {
+        let s = shim();
+        assert_eq!(s.controller().current(), FreqSetting::from_mhz(1000, 800));
+        assert_eq!(s.controller().transition_count(), 0);
+    }
+
+    #[test]
+    fn userspace_writes_reach_the_hardware() {
+        let mut s = shim();
+        s.write("cpufreq/scaling_governor", "userspace").unwrap();
+        s.write("cpufreq/scaling_setspeed", "500000").unwrap();
+        s.write("devfreq/governor", "userspace").unwrap();
+        s.write("devfreq/userspace/set_freq", "400000000").unwrap();
+        assert_eq!(s.controller().current(), FreqSetting::from_mhz(500, 400));
+        // Governor switch to userspace keeps max; two real changes follow.
+        assert_eq!(s.controller().cpu_transition_count(), 1);
+        assert_eq!(s.controller().mem_transition_count(), 1);
+    }
+
+    #[test]
+    fn governor_switches_move_the_clocks() {
+        let mut s = shim();
+        s.write("cpufreq/scaling_governor", "powersave").unwrap();
+        assert_eq!(s.controller().current().cpu.mhz(), 100);
+        s.write("devfreq/governor", "powersave").unwrap();
+        assert_eq!(s.controller().current().mem.mhz(), 200);
+        assert!(s.controller().total_transition_latency().value() > 0.0);
+    }
+
+    #[test]
+    fn failed_writes_do_not_touch_hardware() {
+        let mut s = shim();
+        let before = s.controller().transition_count();
+        assert!(s.write("cpufreq/scaling_governor", "nonsense").is_err());
+        assert!(s.write("cpufreq/scaling_setspeed", "500000").is_err());
+        assert!(s.write("memfreq/governor", "userspace").is_err());
+        assert_eq!(s.controller().transition_count(), before);
+    }
+
+    #[test]
+    fn reads_route_by_prefix() {
+        let s = shim();
+        assert_eq!(s.read("cpufreq/scaling_cur_freq").unwrap(), "1000000");
+        assert_eq!(s.read("devfreq/cur_freq").unwrap(), "800000000");
+        assert!(s.read("thermal/temp").is_err());
+        assert!(s.read("cpufreq").is_err());
+    }
+
+    #[test]
+    fn bounds_walk_the_platform_through_the_grid() {
+        let mut s = shim();
+        // A thermal daemon caps the CPU at 600 MHz.
+        s.write("cpufreq/scaling_max_freq", "600000").unwrap();
+        assert_eq!(s.controller().current().cpu.mhz(), 600);
+        // Then releases the cap: performance governor climbs back.
+        s.write("cpufreq/scaling_max_freq", "1000000").unwrap();
+        assert_eq!(s.controller().current().cpu.mhz(), 1000);
+        assert_eq!(s.controller().cpu_transition_count(), 2);
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let s = shim();
+        assert_eq!(s.cpufreq().target().mhz(), 1000);
+        assert_eq!(s.devfreq().target().mhz(), 800);
+    }
+}

@@ -1,0 +1,260 @@
+//! An in-memory sysfs-like attribute tree.
+//!
+//! Mirrors the contract kernel policy code relies on: attributes are
+//! newline-terminated strings; writes are validated and answer `EINVAL`
+//! for malformed values or `EACCES` for read-only attributes; unknown
+//! paths answer `ENOENT`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors returned by the simulated sysfs, named after their errno
+/// equivalents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SysfsError {
+    /// `ENOENT`: no such attribute.
+    NoEntry {
+        /// The path that was looked up.
+        path: String,
+    },
+    /// `EACCES`: attribute is not writable.
+    PermissionDenied {
+        /// The read-only attribute.
+        path: String,
+    },
+    /// `EINVAL`: the written value was rejected.
+    InvalidValue {
+        /// The attribute written to.
+        path: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SysfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysfsError::NoEntry { path } => write!(f, "no such attribute: {path}"),
+            SysfsError::PermissionDenied { path } => {
+                write!(f, "attribute is read-only: {path}")
+            }
+            SysfsError::InvalidValue { path, reason } => {
+                write!(f, "invalid value for {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysfsError {}
+
+/// Outcome of a validated write: the canonical stored value.
+type WriteHandler<S> = Box<dyn Fn(&mut S, &str) -> Result<String, String>>;
+/// Computes an attribute's current value from the backing state.
+type ReadHandler<S> = Box<dyn Fn(&S) -> String>;
+
+/// One attribute: how to read it and (optionally) how to write it.
+struct Attribute<S> {
+    read: ReadHandler<S>,
+    write: Option<WriteHandler<S>>,
+}
+
+/// A directory of attributes backed by a device-state type `S`.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_kernel::SysfsDir;
+///
+/// let mut dir: SysfsDir<u32> = SysfsDir::new(7);
+/// dir.attr_ro("value", |s| s.to_string());
+/// dir.attr_rw(
+///     "double",
+///     |s| (s * 2).to_string(),
+///     |s, v| {
+///         let parsed: u32 = v.trim().parse().map_err(|_| "not a number".to_string())?;
+///         *s = parsed / 2;
+///         Ok(v.trim().to_string())
+///     },
+/// );
+/// assert_eq!(dir.read("value").unwrap(), "7");
+/// dir.write("double", "10\n").unwrap();
+/// assert_eq!(dir.read("value").unwrap(), "5");
+/// assert!(dir.write("value", "1").is_err());
+/// ```
+pub struct SysfsDir<S> {
+    state: S,
+    attributes: BTreeMap<String, Attribute<S>>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for SysfsDir<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SysfsDir")
+            .field("state", &self.state)
+            .field("attributes", &self.attributes.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl<S> SysfsDir<S> {
+    /// Creates a directory over backing state.
+    #[must_use]
+    pub fn new(state: S) -> Self {
+        Self {
+            state,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a read-only attribute.
+    pub fn attr_ro(&mut self, name: &str, read: impl Fn(&S) -> String + 'static) -> &mut Self {
+        self.attributes.insert(
+            name.to_string(),
+            Attribute {
+                read: Box::new(read),
+                write: None,
+            },
+        );
+        self
+    }
+
+    /// Registers a read-write attribute. The write handler validates and
+    /// applies the value, returning the canonical form or an `EINVAL`
+    /// reason.
+    pub fn attr_rw(
+        &mut self,
+        name: &str,
+        read: impl Fn(&S) -> String + 'static,
+        write: impl Fn(&mut S, &str) -> Result<String, String> + 'static,
+    ) -> &mut Self {
+        self.attributes.insert(
+            name.to_string(),
+            Attribute {
+                read: Box::new(read),
+                write: Some(Box::new(write)),
+            },
+        );
+        self
+    }
+
+    /// Reads an attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`SysfsError::NoEntry`] for unknown names.
+    pub fn read(&self, name: &str) -> Result<String, SysfsError> {
+        let attr = self.attributes.get(name).ok_or_else(|| SysfsError::NoEntry {
+            path: name.to_string(),
+        })?;
+        Ok((attr.read)(&self.state))
+    }
+
+    /// Writes an attribute (trailing whitespace is tolerated, as `echo`
+    /// appends a newline).
+    ///
+    /// # Errors
+    ///
+    /// [`SysfsError::NoEntry`], [`SysfsError::PermissionDenied`] or
+    /// [`SysfsError::InvalidValue`].
+    pub fn write(&mut self, name: &str, value: &str) -> Result<(), SysfsError> {
+        let attr = self.attributes.get(name).ok_or_else(|| SysfsError::NoEntry {
+            path: name.to_string(),
+        })?;
+        let Some(write) = &attr.write else {
+            return Err(SysfsError::PermissionDenied {
+                path: name.to_string(),
+            });
+        };
+        write(&mut self.state, value).map(|_| ()).map_err(|reason| {
+            SysfsError::InvalidValue {
+                path: name.to_string(),
+                reason,
+            }
+        })
+    }
+
+    /// Lists attribute names, sorted.
+    #[must_use]
+    pub fn list(&self) -> Vec<&str> {
+        self.attributes.keys().map(String::as_str).collect()
+    }
+
+    /// Immutable access to the backing state.
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the backing state (driver-internal paths).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> SysfsDir<i64> {
+        let mut d = SysfsDir::new(0i64);
+        d.attr_ro("cur", |s| s.to_string());
+        d.attr_rw(
+            "set",
+            |s| s.to_string(),
+            |s, v| {
+                let parsed: i64 = v.trim().parse().map_err(|_| format!("bad integer {v:?}"))?;
+                if parsed < 0 {
+                    return Err("must be non-negative".into());
+                }
+                *s = parsed;
+                Ok(parsed.to_string())
+            },
+        );
+        d
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = dir();
+        d.write("set", "42\n").unwrap();
+        assert_eq!(d.read("cur").unwrap(), "42");
+        assert_eq!(d.read("set").unwrap(), "42");
+    }
+
+    #[test]
+    fn unknown_attribute_is_enoent() {
+        let mut d = dir();
+        assert!(matches!(d.read("nope"), Err(SysfsError::NoEntry { .. })));
+        assert!(matches!(d.write("nope", "1"), Err(SysfsError::NoEntry { .. })));
+    }
+
+    #[test]
+    fn read_only_attribute_is_eacces() {
+        let mut d = dir();
+        let err = d.write("cur", "1").unwrap_err();
+        assert!(matches!(err, SysfsError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn invalid_value_is_einval_and_state_unchanged() {
+        let mut d = dir();
+        d.write("set", "5").unwrap();
+        let err = d.write("set", "banana").unwrap_err();
+        assert!(matches!(err, SysfsError::InvalidValue { .. }));
+        let err2 = d.write("set", "-3").unwrap_err();
+        assert!(err2.to_string().contains("non-negative"));
+        assert_eq!(d.read("cur").unwrap(), "5");
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let d = dir();
+        assert_eq!(d.list(), vec!["cur", "set"]);
+    }
+
+    #[test]
+    fn errors_display_like_errnos() {
+        let e = SysfsError::NoEntry { path: "x".into() };
+        assert!(e.to_string().contains("no such attribute"));
+    }
+}

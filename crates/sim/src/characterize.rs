@@ -1,0 +1,372 @@
+//! Grid characterization — the product of the paper's simulation campaign.
+//!
+//! The paper runs 70 Gem5 simulations per benchmark (one per coarse-grid
+//! setting; 496 for the fine grid) and collects performance and energy
+//! every 10 M user-mode instructions. [`CharacterizationGrid`] holds the
+//! same data: a dense `(sample × setting)` matrix of
+//! [`SampleMeasurement`]s, *measured* (simulated) rather than predicted,
+//! exactly as the paper emphasizes.
+
+use crate::system::System;
+use mcdvfs_types::{
+    Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement, Seconds,
+};
+use mcdvfs_workloads::SampleTrace;
+
+/// A complete measurement matrix for one workload on one platform grid.
+///
+/// Row `s` holds sample `s` measured at every grid setting, indexed by the
+/// grid's flat setting index.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_sim::{CharacterizationGrid, System};
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let system = System::galaxy_nexus_class();
+/// let grid = FrequencyGrid::coarse();
+/// let data = CharacterizationGrid::characterize(
+///     &system,
+///     &Benchmark::Bzip2.trace().window(0, 4),
+///     grid,
+/// );
+/// assert_eq!(data.n_samples(), 4);
+/// assert_eq!(data.n_settings(), 70);
+/// // Per-sample Emin is the row minimum.
+/// let emin = data.sample_emin(0);
+/// assert!(data.sample_row(0).iter().all(|m| m.energy() >= emin));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationGrid {
+    name: String,
+    grid: FrequencyGrid,
+    /// `measurements[sample][setting_index]`.
+    measurements: Vec<Vec<SampleMeasurement>>,
+    /// Cached per-sample minimum energy (row minimum).
+    emin: Vec<Joules>,
+}
+
+impl CharacterizationGrid {
+    /// Runs the full campaign: every sample of `trace` at every setting of
+    /// `grid` on `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn characterize(system: &System, trace: &SampleTrace, grid: FrequencyGrid) -> Self {
+        assert!(!trace.is_empty(), "cannot characterize an empty trace");
+        let settings: Vec<FreqSetting> = grid.settings().collect();
+        let measurements: Vec<Vec<SampleMeasurement>> = trace
+            .iter()
+            .map(|chars| {
+                settings
+                    .iter()
+                    .map(|&s| system.simulate_sample(chars, s))
+                    .collect()
+            })
+            .collect();
+        Self::from_measurements(trace.name(), grid, measurements)
+    }
+
+    /// As [`Self::characterize`], fanned out over `threads` OS threads
+    /// (sample rows are independent, so the result is bit-identical to the
+    /// sequential run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `threads` is zero.
+    #[must_use]
+    pub fn characterize_parallel(
+        system: &System,
+        trace: &SampleTrace,
+        grid: FrequencyGrid,
+        threads: usize,
+    ) -> Self {
+        assert!(!trace.is_empty(), "cannot characterize an empty trace");
+        assert!(threads > 0, "need at least one thread");
+        let settings: Vec<FreqSetting> = grid.settings().collect();
+        let samples = trace.samples();
+        let chunk = samples.len().div_ceil(threads);
+        let mut measurements: Vec<Vec<SampleMeasurement>> = Vec::with_capacity(samples.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk)
+                .map(|part| {
+                    let settings = &settings;
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|chars| {
+                                settings
+                                    .iter()
+                                    .map(|&s| system.simulate_sample(chars, s))
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                measurements.extend(handle.join().expect("worker thread panicked"));
+            }
+        });
+        Self::from_measurements(trace.name(), grid, measurements)
+    }
+
+    fn from_measurements(
+        name: &str,
+        grid: FrequencyGrid,
+        measurements: Vec<Vec<SampleMeasurement>>,
+    ) -> Self {
+        let emin = measurements
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|m| m.energy())
+                    .fold(Joules::new(f64::INFINITY), Joules::min)
+            })
+            .collect();
+        Self {
+            name: name.to_string(),
+            grid,
+            measurements,
+            emin,
+        }
+    }
+
+    /// The workload's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The platform grid characterized.
+    #[must_use]
+    pub fn grid(&self) -> FrequencyGrid {
+        self.grid
+    }
+
+    /// Number of samples (matrix rows).
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Number of settings (matrix columns).
+    #[must_use]
+    pub fn n_settings(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Total instructions represented (samples × 10 M).
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.n_samples() as u64 * mcdvfs_types::INSTRUCTIONS_PER_SAMPLE
+    }
+
+    /// All measurements of sample `s`, indexed by setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    #[must_use]
+    pub fn sample_row(&self, s: usize) -> &[SampleMeasurement] {
+        &self.measurements[s]
+    }
+
+    /// Measurement of sample `s` at flat setting index `idx`.
+    #[must_use]
+    pub fn measurement(&self, s: usize, idx: usize) -> &SampleMeasurement {
+        &self.measurements[s][idx]
+    }
+
+    /// Measurement of sample `s` at `setting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SettingOffGrid`] when `setting` is not on the grid.
+    pub fn measurement_at(&self, s: usize, setting: FreqSetting) -> Result<&SampleMeasurement> {
+        let idx = self.grid.index_of(setting).ok_or(Error::SettingOffGrid {
+            setting: setting.to_string(),
+        })?;
+        Ok(self.measurement(s, idx))
+    }
+
+    /// Minimum energy any setting achieves for sample `s` — the paper's
+    /// per-sample `Emin`, found by brute-force search over the grid.
+    #[must_use]
+    pub fn sample_emin(&self, s: usize) -> Joules {
+        self.emin[s]
+    }
+
+    /// Sum of per-sample `Emin` over the whole trace: the least energy the
+    /// workload could consume with free per-sample retuning.
+    #[must_use]
+    pub fn total_emin(&self) -> Joules {
+        self.emin.iter().copied().sum()
+    }
+
+    /// Total execution time when the whole trace runs at one fixed setting.
+    #[must_use]
+    pub fn total_time_at(&self, idx: usize) -> Seconds {
+        self.measurements.iter().map(|row| row[idx].time).sum()
+    }
+
+    /// Total energy when the whole trace runs at one fixed setting.
+    #[must_use]
+    pub fn total_energy_at(&self, idx: usize) -> Joules {
+        self.measurements.iter().map(|row| row[idx].energy()).sum()
+    }
+
+    /// The longest fixed-setting execution time — the paper's speedup
+    /// baseline (speedup 1.0).
+    #[must_use]
+    pub fn longest_total_time(&self) -> Seconds {
+        (0..self.n_settings())
+            .map(|i| self.total_time_at(i))
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Minimum fixed-setting total energy — the denominator of the paper's
+    /// Figure 2 whole-run inefficiency.
+    #[must_use]
+    pub fn min_total_energy(&self) -> Joules {
+        (0..self.n_settings())
+            .map(|i| self.total_energy_at(i))
+            .fold(Joules::new(f64::INFINITY), Joules::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_workloads::Benchmark;
+
+    fn small_grid() -> FrequencyGrid {
+        FrequencyGrid::new(200, 1000, 200, 200, 800, 200).unwrap()
+    }
+
+    fn data() -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &Benchmark::Gobmk.trace().window(0, 10),
+            small_grid(),
+        )
+    }
+
+    #[test]
+    fn dimensions_match_inputs() {
+        let d = data();
+        assert_eq!(d.n_samples(), 10);
+        assert_eq!(d.n_settings(), small_grid().len());
+        assert_eq!(d.name(), "gobmk");
+        assert_eq!(d.total_instructions(), 100_000_000);
+    }
+
+    #[test]
+    fn every_measurement_is_valid() {
+        let d = data();
+        for s in 0..d.n_samples() {
+            for m in d.sample_row(s) {
+                assert!(m.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn emin_is_the_row_minimum() {
+        let d = data();
+        for s in 0..d.n_samples() {
+            let emin = d.sample_emin(s);
+            let actual = d
+                .sample_row(s)
+                .iter()
+                .map(|m| m.energy())
+                .fold(Joules::new(f64::INFINITY), Joules::min);
+            assert_eq!(emin, actual);
+            assert!(emin.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn total_emin_sums_rows() {
+        let d = data();
+        let total: Joules = (0..d.n_samples()).map(|s| d.sample_emin(s)).sum();
+        assert!((d.total_emin().value() - total.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fixed_setting_totals_are_consistent() {
+        let d = data();
+        for idx in [0, d.n_settings() - 1] {
+            let t: f64 = (0..d.n_samples())
+                .map(|s| d.measurement(s, idx).time.value())
+                .sum();
+            assert!((d.total_time_at(idx).value() - t).abs() < 1e-12);
+            // Any fixed setting's total energy is at least total Emin.
+            assert!(d.total_energy_at(idx) >= d.total_emin());
+        }
+    }
+
+    #[test]
+    fn longest_time_is_at_the_slowest_corner() {
+        let d = data();
+        let slowest_idx = small_grid()
+            .index_of(small_grid().min_setting())
+            .unwrap();
+        assert_eq!(d.longest_total_time(), d.total_time_at(slowest_idx));
+    }
+
+    #[test]
+    fn measurement_at_validates_grid_membership() {
+        let d = data();
+        assert!(d.measurement_at(0, FreqSetting::from_mhz(400, 400)).is_ok());
+        assert!(d.measurement_at(0, FreqSetting::from_mhz(450, 400)).is_err());
+    }
+
+    #[test]
+    fn min_total_energy_is_positive_and_below_extremes() {
+        let d = data();
+        let min = d.min_total_energy();
+        assert!(min.value() > 0.0);
+        assert!(min <= d.total_energy_at(0));
+        assert!(min <= d.total_energy_at(d.n_settings() - 1));
+    }
+
+    #[test]
+    fn parallel_characterization_is_bit_identical() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 13);
+        let grid = small_grid();
+        let sequential = CharacterizationGrid::characterize(&system, &trace, grid);
+        for threads in [1, 2, 4, 7] {
+            let parallel =
+                CharacterizationGrid::characterize_parallel(&system, &trace, grid, threads);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = CharacterizationGrid::characterize_parallel(
+            &System::galaxy_nexus_class(),
+            &Benchmark::Bzip2.trace().window(0, 2),
+            small_grid(),
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_panics() {
+        let t = Benchmark::Bzip2.trace().window(0, 0);
+        let _ = CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &t,
+            small_grid(),
+        );
+    }
+}

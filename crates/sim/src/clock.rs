@@ -1,0 +1,255 @@
+//! The OS-visible DVFS controller device.
+//!
+//! Models the controller block of the paper's Figure 1: the component the
+//! cpufreq/memfreq drivers write to in order to change the platform's clock
+//! domains at runtime. The controller validates requested settings against
+//! the platform grid, accounts hardware transition costs through a
+//! [`TransitionModel`], and keeps the per-domain transition counters the
+//! paper's Figure 8 reports.
+
+use crate::kernel::EventQueue;
+use crate::transition::{TransitionCost, TransitionModel};
+use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Joules, Result, Seconds};
+
+/// Record of one completed transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionRecord {
+    /// Simulated time the transition was requested, seconds.
+    pub at: Seconds,
+    /// Setting before the change.
+    pub from: FreqSetting,
+    /// Setting after the change.
+    pub to: FreqSetting,
+    /// Hardware cost charged.
+    pub cost: TransitionCost,
+}
+
+/// The platform DVFS/DFS controller.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_sim::{DvfsController, TransitionModel};
+/// use mcdvfs_types::{FreqSetting, FrequencyGrid};
+///
+/// let grid = FrequencyGrid::coarse();
+/// let mut ctrl = DvfsController::new(grid, grid.max_setting(), TransitionModel::mobile_soc());
+/// let cost = ctrl.request(FreqSetting::from_mhz(500, 400)).unwrap();
+/// assert!(cost.latency.value() > 0.0);
+/// assert_eq!(ctrl.current(), FreqSetting::from_mhz(500, 400));
+/// assert_eq!(ctrl.transition_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DvfsController {
+    grid: FrequencyGrid,
+    current: FreqSetting,
+    model: TransitionModel,
+    clock: EventQueue<FreqSetting>,
+    history: Vec<TransitionRecord>,
+    cpu_transitions: u64,
+    mem_transitions: u64,
+    total_latency: Seconds,
+    total_energy: Joules,
+}
+
+impl DvfsController {
+    /// Creates a controller at `initial`, which must lie on `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial` is off-grid — a platform cannot boot at a
+    /// setting it does not support.
+    #[must_use]
+    pub fn new(grid: FrequencyGrid, initial: FreqSetting, model: TransitionModel) -> Self {
+        assert!(grid.contains(initial), "initial setting {initial} is off-grid");
+        Self {
+            grid,
+            current: initial,
+            model,
+            clock: EventQueue::new(),
+            history: Vec::new(),
+            cpu_transitions: 0,
+            mem_transitions: 0,
+            total_latency: Seconds::ZERO,
+            total_energy: Joules::ZERO,
+        }
+    }
+
+    /// The platform's frequency grid.
+    #[must_use]
+    pub fn grid(&self) -> FrequencyGrid {
+        self.grid
+    }
+
+    /// The setting currently applied.
+    #[must_use]
+    pub fn current(&self) -> FreqSetting {
+        self.current
+    }
+
+    /// Advances the controller's notion of time by `dt` (sample execution).
+    pub fn advance(&mut self, dt: Seconds) {
+        let target = self.clock.now() + dt.value().max(0.0);
+        // Retire any bookkeeping events that became due.
+        while self.clock.pop_until(target).is_some() {}
+        // The kernel clock only moves on pops; park a sentinel to pin time.
+        self.clock.schedule(target, self.current);
+        self.clock.pop();
+    }
+
+    /// Requests a change to `target`, applying it immediately and returning
+    /// the hardware cost the caller must account (the controller blocks the
+    /// affected domains for `cost.latency`).
+    ///
+    /// Requesting the current setting is free and does not count as a
+    /// transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SettingOffGrid`] when `target` is not on the grid.
+    pub fn request(&mut self, target: FreqSetting) -> Result<TransitionCost> {
+        if !self.grid.contains(target) {
+            return Err(Error::SettingOffGrid {
+                setting: target.to_string(),
+            });
+        }
+        if target == self.current {
+            return Ok(TransitionCost::ZERO);
+        }
+        let cost = self.model.cost(self.current, target);
+        let (cpu_changed, mem_changed) = self.current.domain_changes(target);
+        self.cpu_transitions += u64::from(cpu_changed);
+        self.mem_transitions += u64::from(mem_changed);
+        self.total_latency += cost.latency;
+        self.total_energy += cost.energy;
+        self.history.push(TransitionRecord {
+            at: Seconds::new(self.clock.now()),
+            from: self.current,
+            to: target,
+            cost,
+        });
+        self.current = target;
+        Ok(cost)
+    }
+
+    /// Number of joint transitions performed (a change to either domain
+    /// counts once, matching the paper's transition counting).
+    #[must_use]
+    pub fn transition_count(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// Number of CPU-domain changes.
+    #[must_use]
+    pub fn cpu_transition_count(&self) -> u64 {
+        self.cpu_transitions
+    }
+
+    /// Number of memory-domain changes.
+    #[must_use]
+    pub fn mem_transition_count(&self) -> u64 {
+        self.mem_transitions
+    }
+
+    /// Total hardware latency charged so far.
+    #[must_use]
+    pub fn total_transition_latency(&self) -> Seconds {
+        self.total_latency
+    }
+
+    /// Total hardware energy charged so far.
+    #[must_use]
+    pub fn total_transition_energy(&self) -> Joules {
+        self.total_energy
+    }
+
+    /// Completed transition records, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[TransitionRecord] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl() -> DvfsController {
+        let grid = FrequencyGrid::coarse();
+        DvfsController::new(grid, grid.max_setting(), TransitionModel::mobile_soc())
+    }
+
+    #[test]
+    fn boot_setting_is_current() {
+        let c = ctrl();
+        assert_eq!(c.current(), FreqSetting::from_mhz(1000, 800));
+        assert_eq!(c.transition_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-grid")]
+    fn off_grid_boot_panics() {
+        let _ = DvfsController::new(
+            FrequencyGrid::coarse(),
+            FreqSetting::from_mhz(123, 456),
+            TransitionModel::free(),
+        );
+    }
+
+    #[test]
+    fn off_grid_request_is_rejected() {
+        let mut c = ctrl();
+        let err = c.request(FreqSetting::from_mhz(150, 250)).unwrap_err();
+        assert!(matches!(err, Error::SettingOffGrid { .. }));
+        assert_eq!(c.transition_count(), 0);
+    }
+
+    #[test]
+    fn same_setting_request_is_free() {
+        let mut c = ctrl();
+        let cost = c.request(c.current()).unwrap();
+        assert_eq!(cost, TransitionCost::ZERO);
+        assert_eq!(c.transition_count(), 0);
+    }
+
+    #[test]
+    fn per_domain_counters_track_changes() {
+        let mut c = ctrl();
+        c.request(FreqSetting::from_mhz(900, 800)).unwrap(); // cpu only
+        c.request(FreqSetting::from_mhz(900, 700)).unwrap(); // mem only
+        c.request(FreqSetting::from_mhz(800, 600)).unwrap(); // both
+        assert_eq!(c.transition_count(), 3);
+        assert_eq!(c.cpu_transition_count(), 2);
+        assert_eq!(c.mem_transition_count(), 2);
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut c = ctrl();
+        c.request(FreqSetting::from_mhz(900, 700)).unwrap();
+        c.request(FreqSetting::from_mhz(800, 600)).unwrap();
+        let m = TransitionModel::mobile_soc();
+        let expected_energy = (m.cpu_energy + m.mem_energy) * 2.0;
+        assert!((c.total_transition_energy().value() - expected_energy.value()).abs() < 1e-15);
+        assert!(c.total_transition_latency().value() > 0.0);
+    }
+
+    #[test]
+    fn history_records_requests_with_timestamps() {
+        let mut c = ctrl();
+        c.advance(Seconds::from_millis(5.0));
+        c.request(FreqSetting::from_mhz(500, 400)).unwrap();
+        let rec = c.history()[0];
+        assert!((rec.at.value() - 5e-3).abs() < 1e-12);
+        assert_eq!(rec.from, FreqSetting::from_mhz(1000, 800));
+        assert_eq!(rec.to, FreqSetting::from_mhz(500, 400));
+    }
+
+    #[test]
+    fn advance_ignores_negative_durations() {
+        let mut c = ctrl();
+        c.advance(Seconds::new(-1.0));
+        c.request(FreqSetting::from_mhz(500, 400)).unwrap();
+        assert_eq!(c.history()[0].at, Seconds::ZERO);
+    }
+}

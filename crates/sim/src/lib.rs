@@ -1,0 +1,47 @@
+//! Full-system sample simulator for the `mcdvfs` workspace.
+//!
+//! This crate plays the role Gem5 plays in the paper: it combines the CPU
+//! models (`mcdvfs-cpu`), the DRAM models (`mcdvfs-dram`) and a workload
+//! trace (`mcdvfs-workloads`) into per-sample measurements of execution
+//! time and energy at any CPU/memory frequency setting.
+//!
+//! * [`System`] — the platform model; [`System::simulate_sample`] solves
+//!   the CPU↔DRAM coupling (stall time depends on memory latency, which
+//!   depends on utilization, which depends on execution time) by monotone
+//!   fixed-point iteration;
+//! * [`CharacterizationGrid`] — the product of the paper's "70 simulations
+//!   per benchmark": a complete `(sample × frequency-setting)` measurement
+//!   matrix, the input to every algorithm in `mcdvfs-core`;
+//! * [`DvfsController`] — the OS-visible controller device of the paper's
+//!   Figure 1, tracking the platform's current setting and accounting
+//!   hardware transition costs from the [`TransitionModel`];
+//! * [`EventQueue`] — a small discrete-event kernel used by the controller
+//!   for pending-transition bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_sim::System;
+//! use mcdvfs_types::{FreqSetting, SampleCharacteristics};
+//!
+//! let system = System::galaxy_nexus_class();
+//! let sample = SampleCharacteristics::new(1.0, 5.0);
+//! let slow = system.simulate_sample(&sample, FreqSetting::from_mhz(200, 400));
+//! let fast = system.simulate_sample(&sample, FreqSetting::from_mhz(1000, 400));
+//! assert!(fast.time < slow.time);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+mod clock;
+mod kernel;
+mod system;
+mod transition;
+
+pub use characterize::CharacterizationGrid;
+pub use clock::{DvfsController, TransitionRecord};
+pub use kernel::EventQueue;
+pub use system::System;
+pub use transition::{TransitionCost, TransitionModel};

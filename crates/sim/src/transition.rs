@@ -1,0 +1,147 @@
+//! Hardware frequency-transition costs.
+//!
+//! The paper notes that commercial PLLs take "on the order of 10s of
+//! microseconds" to change voltage and frequency, and that memory frequency
+//! changes require the controller to idle the channel and retrain. Both
+//! domains transition in parallel, so the latency of a joint change is the
+//! maximum of the changed domains; the energies add.
+
+use mcdvfs_types::{FreqSetting, Joules, Seconds};
+
+/// Cost of one hardware transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionCost {
+    /// Wall-clock time the affected domains are unavailable.
+    pub latency: Seconds,
+    /// Energy burned performing the transition.
+    pub energy: Joules,
+}
+
+impl TransitionCost {
+    /// A free transition (no domain changed).
+    pub const ZERO: Self = Self {
+        latency: Seconds::ZERO,
+        energy: Joules::ZERO,
+    };
+}
+
+/// Per-domain transition cost model.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_sim::TransitionModel;
+/// use mcdvfs_types::FreqSetting;
+///
+/// let m = TransitionModel::mobile_soc();
+/// let same = m.cost(FreqSetting::from_mhz(500, 400), FreqSetting::from_mhz(500, 400));
+/// assert_eq!(same.latency.value(), 0.0);
+/// let both = m.cost(FreqSetting::from_mhz(500, 400), FreqSetting::from_mhz(600, 600));
+/// let cpu_only = m.cost(FreqSetting::from_mhz(500, 400), FreqSetting::from_mhz(600, 400));
+/// assert!(both.energy > cpu_only.energy);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionModel {
+    /// PLL relock + voltage ramp for the CPU domain.
+    pub cpu_latency: Seconds,
+    /// Energy per CPU domain change.
+    pub cpu_energy: Joules,
+    /// Channel idle + DLL retrain for the memory domain.
+    pub mem_latency: Seconds,
+    /// Energy per memory domain change.
+    pub mem_energy: Joules,
+}
+
+impl TransitionModel {
+    /// Mobile-SoC-class costs: 30 µs / 6 µJ per CPU change (PLL + PMIC
+    /// ramp), 20 µs / 4 µJ per memory change (retrain), so a joint change
+    /// lands in the paper's "10s of microseconds" regime.
+    #[must_use]
+    pub fn mobile_soc() -> Self {
+        Self {
+            cpu_latency: Seconds::from_micros(30.0),
+            cpu_energy: Joules::from_micros(6.0),
+            mem_latency: Seconds::from_micros(20.0),
+            mem_energy: Joules::from_micros(4.0),
+        }
+    }
+
+    /// A free transition model, for "no overhead" baselines.
+    #[must_use]
+    pub fn free() -> Self {
+        Self {
+            cpu_latency: Seconds::ZERO,
+            cpu_energy: Joules::ZERO,
+            mem_latency: Seconds::ZERO,
+            mem_energy: Joules::ZERO,
+        }
+    }
+
+    /// Cost of moving from `from` to `to`: domains transition in parallel
+    /// (latency is the max of the changed domains), energies add.
+    #[must_use]
+    pub fn cost(&self, from: FreqSetting, to: FreqSetting) -> TransitionCost {
+        let (cpu_changes, mem_changes) = from.domain_changes(to);
+        let mut latency = Seconds::ZERO;
+        let mut energy = Joules::ZERO;
+        if cpu_changes {
+            latency = latency.max(self.cpu_latency);
+            energy += self.cpu_energy;
+        }
+        if mem_changes {
+            latency = latency.max(self.mem_latency);
+            energy += self.mem_energy;
+        }
+        TransitionCost { latency, energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> TransitionModel {
+        TransitionModel::mobile_soc()
+    }
+
+    #[test]
+    fn unchanged_setting_is_free() {
+        let s = FreqSetting::from_mhz(700, 600);
+        assert_eq!(m().cost(s, s), TransitionCost::ZERO);
+    }
+
+    #[test]
+    fn cpu_only_change_costs_cpu_domain() {
+        let c = m().cost(FreqSetting::from_mhz(700, 600), FreqSetting::from_mhz(800, 600));
+        assert_eq!(c.latency, m().cpu_latency);
+        assert_eq!(c.energy, m().cpu_energy);
+    }
+
+    #[test]
+    fn mem_only_change_costs_mem_domain() {
+        let c = m().cost(FreqSetting::from_mhz(700, 600), FreqSetting::from_mhz(700, 400));
+        assert_eq!(c.latency, m().mem_latency);
+        assert_eq!(c.energy, m().mem_energy);
+    }
+
+    #[test]
+    fn joint_change_parallelizes_latency_and_sums_energy() {
+        let c = m().cost(FreqSetting::from_mhz(700, 600), FreqSetting::from_mhz(100, 200));
+        assert_eq!(c.latency, m().cpu_latency.max(m().mem_latency));
+        assert_eq!(c.energy, m().cpu_energy + m().mem_energy);
+    }
+
+    #[test]
+    fn latency_is_tens_of_microseconds() {
+        let c = m().cost(FreqSetting::from_mhz(100, 200), FreqSetting::from_mhz(1000, 800));
+        let us = c.latency.as_micros();
+        assert!((10.0..100.0).contains(&us), "latency {us} µs");
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let f = TransitionModel::free();
+        let c = f.cost(FreqSetting::from_mhz(100, 200), FreqSetting::from_mhz(1000, 800));
+        assert_eq!(c, TransitionCost::ZERO);
+    }
+}

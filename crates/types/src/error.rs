@@ -1,0 +1,86 @@
+//! Workspace-wide error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias for results produced by `mcdvfs` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors reported by the `mcdvfs` workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A frequency grid was constructed with an empty or malformed range.
+    InvalidGrid {
+        /// Human-readable description of the malformed range.
+        reason: String,
+    },
+    /// A frequency setting was used that is not on the platform's grid.
+    SettingOffGrid {
+        /// Display form of the offending setting.
+        setting: String,
+    },
+    /// A model or algorithm was given a parameter outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A trace or grid was empty where at least one element was required.
+    Empty {
+        /// What was unexpectedly empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidGrid { reason } => write!(f, "invalid frequency grid: {reason}"),
+            Error::SettingOffGrid { setting } => {
+                write!(f, "frequency setting {setting} is not on the platform grid")
+            }
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::Empty { what } => write!(f, "{what} is empty"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let cases = [
+            Error::InvalidGrid {
+                reason: "step is zero".into(),
+            },
+            Error::SettingOffGrid {
+                setting: "(cpu 150 MHz, mem 200 MHz)".into(),
+            },
+            Error::InvalidParameter {
+                name: "budget",
+                reason: "must be >= 1".into(),
+            },
+            Error::Empty { what: "trace" },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

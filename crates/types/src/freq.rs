@@ -1,0 +1,231 @@
+//! CPU and memory frequency newtypes and the joint [`FreqSetting`].
+//!
+//! Frequencies are stored as integral megahertz, matching how the paper (and
+//! Linux cpufreq/devfreq) enumerate operating points. Distinct newtypes for
+//! the CPU and memory domains make it impossible to hand a memory frequency
+//! to a CPU model.
+
+use std::fmt;
+
+/// A CPU clock frequency in megahertz.
+///
+/// The platform studied in the paper exposes 100–1000 MHz.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::CpuFreq;
+///
+/// let f = CpuFreq::from_mhz(900);
+/// assert_eq!(f.mhz(), 900);
+/// assert!((f.hz() - 9.0e8).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuFreq(u32);
+
+/// A DRAM clock frequency in megahertz.
+///
+/// The platform studied in the paper exposes 200–800 MHz (LPDDR3, frequency
+/// scaling only — supply voltages stay fixed).
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::MemFreq;
+///
+/// let f = MemFreq::from_mhz(800);
+/// assert_eq!(f.mhz(), 800);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemFreq(u32);
+
+macro_rules! freq_impl {
+    ($name:ident, $label:literal) => {
+        impl $name {
+            /// Creates a frequency from a value in megahertz.
+            #[must_use]
+            pub const fn from_mhz(mhz: u32) -> Self {
+                Self(mhz)
+            }
+
+            /// Returns the frequency in megahertz.
+            #[must_use]
+            pub const fn mhz(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the frequency in hertz as a float, for use in
+            /// cycles-per-second arithmetic.
+            #[must_use]
+            pub fn hz(self) -> f64 {
+                f64::from(self.0) * 1e6
+            }
+
+            /// Returns the clock period in nanoseconds.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the frequency is zero (a zero-MHz operating point is
+            /// never a valid grid member).
+            #[must_use]
+            pub fn period_ns(self) -> f64 {
+                assert!(self.0 > 0, "zero frequency has no period");
+                1e3 / f64::from(self.0)
+            }
+
+            /// Returns the number of clock cycles elapsed in `ns`
+            /// nanoseconds, rounded up to a whole cycle.
+            #[must_use]
+            pub fn cycles_in_ns(self, ns: f64) -> u64 {
+                (ns * f64::from(self.0) / 1e3).ceil() as u64
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} MHz", self.0)
+            }
+        }
+    };
+}
+
+freq_impl!(CpuFreq, "cpu");
+freq_impl!(MemFreq, "mem");
+
+/// A joint CPU/memory operating point — the unit of decision for every
+/// algorithm in the paper.
+///
+/// Ordering is lexicographic on `(cpu, mem)`, which matches the paper's
+/// tie-break rule of preferring the highest CPU frequency first and then the
+/// highest memory frequency.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::{CpuFreq, FreqSetting, MemFreq};
+///
+/// let a = FreqSetting::from_mhz(900, 400);
+/// let b = FreqSetting::from_mhz(900, 800);
+/// let c = FreqSetting::from_mhz(1000, 200);
+/// assert!(a < b && b < c);
+/// assert_eq!(a.cpu, CpuFreq::from_mhz(900));
+/// assert_eq!(a.mem, MemFreq::from_mhz(400));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FreqSetting {
+    /// CPU clock frequency.
+    pub cpu: CpuFreq,
+    /// Memory clock frequency.
+    pub mem: MemFreq,
+}
+
+impl FreqSetting {
+    /// Creates a setting from the two domain frequencies.
+    #[must_use]
+    pub const fn new(cpu: CpuFreq, mem: MemFreq) -> Self {
+        Self { cpu, mem }
+    }
+
+    /// Convenience constructor taking both frequencies in megahertz.
+    #[must_use]
+    pub const fn from_mhz(cpu_mhz: u32, mem_mhz: u32) -> Self {
+        Self {
+            cpu: CpuFreq::from_mhz(cpu_mhz),
+            mem: MemFreq::from_mhz(mem_mhz),
+        }
+    }
+
+    /// Returns `true` when moving from `self` to `other` changes either
+    /// clock domain (i.e. a hardware frequency transition is required).
+    #[must_use]
+    pub fn differs_from(self, other: Self) -> bool {
+        self != other
+    }
+
+    /// Returns which domains change when moving from `self` to `other`:
+    /// `(cpu_changes, mem_changes)`.
+    #[must_use]
+    pub fn domain_changes(self, other: Self) -> (bool, bool) {
+        (self.cpu != other.cpu, self.mem != other.mem)
+    }
+}
+
+impl fmt::Display for FreqSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(cpu {}, mem {})", self.cpu, self.mem)
+    }
+}
+
+impl From<(CpuFreq, MemFreq)> for FreqSetting {
+    fn from((cpu, mem): (CpuFreq, MemFreq)) -> Self {
+        Self { cpu, mem }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_round_trip() {
+        assert_eq!(CpuFreq::from_mhz(550).mhz(), 550);
+        assert_eq!(MemFreq::from_mhz(640).mhz(), 640);
+    }
+
+    #[test]
+    fn hz_and_period() {
+        let f = CpuFreq::from_mhz(500);
+        assert!((f.hz() - 5.0e8).abs() < 1e-6);
+        assert!((f.period_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_in_ns_rounds_up() {
+        let f = MemFreq::from_mhz(400); // 2.5 ns period
+        assert_eq!(f.cycles_in_ns(5.0), 2);
+        assert_eq!(f.cycles_in_ns(5.1), 3);
+        assert_eq!(f.cycles_in_ns(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = CpuFreq::from_mhz(0).period_ns();
+    }
+
+    #[test]
+    fn setting_ordering_matches_tie_break_rule() {
+        // Highest CPU first, then highest memory.
+        let mut settings = vec![
+            FreqSetting::from_mhz(900, 800),
+            FreqSetting::from_mhz(1000, 200),
+            FreqSetting::from_mhz(900, 200),
+        ];
+        settings.sort();
+        let best = *settings.last().unwrap();
+        assert_eq!(best, FreqSetting::from_mhz(1000, 200));
+    }
+
+    #[test]
+    fn domain_changes_reports_each_domain() {
+        let a = FreqSetting::from_mhz(500, 400);
+        assert_eq!(a.domain_changes(FreqSetting::from_mhz(500, 400)), (false, false));
+        assert_eq!(a.domain_changes(FreqSetting::from_mhz(600, 400)), (true, false));
+        assert_eq!(a.domain_changes(FreqSetting::from_mhz(500, 600)), (false, true));
+        assert_eq!(a.domain_changes(FreqSetting::from_mhz(600, 600)), (true, true));
+        assert!(a.differs_from(FreqSetting::from_mhz(600, 400)));
+        assert!(!a.differs_from(a));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = FreqSetting::from_mhz(1000, 800);
+        assert_eq!(s.to_string(), "(cpu 1000 MHz, mem 800 MHz)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: FreqSetting = (CpuFreq::from_mhz(100), MemFreq::from_mhz(200)).into();
+        assert_eq!(s, FreqSetting::from_mhz(100, 200));
+    }
+}

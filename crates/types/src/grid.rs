@@ -1,0 +1,394 @@
+//! The frequency-setting search space.
+//!
+//! A [`FrequencyGrid`] is the cartesian product of the CPU and memory
+//! frequency steps a platform exposes. The paper evaluates two grids on the
+//! same hardware ranges (CPU 100–1000 MHz, memory 200–800 MHz):
+//!
+//! * the **coarse** grid — 100 MHz steps on both domains, 10 × 7 = **70**
+//!   settings (the main evaluation), and
+//! * the **fine** grid — 30 MHz CPU / 40 MHz memory steps,
+//!   31 × 16 = **496** settings (the Section VI-D sensitivity study).
+
+use crate::error::{Error, Result};
+use crate::freq::{CpuFreq, FreqSetting, MemFreq};
+use std::fmt;
+
+/// An inclusive arithmetic range of frequencies in MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MhzRange {
+    lo: u32,
+    hi: u32,
+    step: u32,
+}
+
+impl MhzRange {
+    fn new(lo: u32, hi: u32, step: u32) -> Result<Self> {
+        if lo == 0 || step == 0 || hi < lo {
+            return Err(Error::InvalidGrid {
+                reason: format!("invalid MHz range [{lo}, {hi}] step {step}"),
+            });
+        }
+        Ok(Self { lo, hi, step })
+    }
+
+    fn len(self) -> usize {
+        ((self.hi - self.lo) / self.step + 1) as usize
+    }
+
+    fn at(self, i: usize) -> u32 {
+        self.lo + self.step * i as u32
+    }
+
+    /// Index of `mhz` within the range, if it is exactly on a step.
+    fn index_of(self, mhz: u32) -> Option<usize> {
+        if mhz < self.lo || mhz > self.hi + (self.hi - self.lo) % self.step {
+            return None;
+        }
+        let off = mhz.checked_sub(self.lo)?;
+        if off % self.step != 0 || mhz > self.hi {
+            return None;
+        }
+        Some((off / self.step) as usize)
+    }
+}
+
+/// The set of joint CPU/memory frequency settings available on a platform.
+///
+/// Settings are indexed in row-major order: memory frequency varies fastest,
+/// CPU frequency slowest, both ascending. Index `len() - 1` is therefore the
+/// maximum-performance setting.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::{FreqSetting, FrequencyGrid};
+///
+/// let grid = FrequencyGrid::coarse();
+/// assert_eq!(grid.len(), 70);
+/// assert_eq!(grid.get(0), Some(FreqSetting::from_mhz(100, 200)));
+/// assert_eq!(grid.max_setting(), FreqSetting::from_mhz(1000, 800));
+///
+/// let fine = FrequencyGrid::fine();
+/// assert_eq!(fine.len(), 496);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrequencyGrid {
+    cpu: MhzRange,
+    mem: MhzRange,
+}
+
+impl FrequencyGrid {
+    /// The paper's coarse evaluation grid: 100 MHz steps on both domains,
+    /// 70 settings.
+    #[must_use]
+    pub fn coarse() -> Self {
+        Self::new(100, 1000, 100, 200, 800, 100).expect("coarse grid parameters are valid")
+    }
+
+    /// The paper's fine sensitivity grid: 30 MHz CPU steps and 40 MHz memory
+    /// steps, 496 settings.
+    #[must_use]
+    pub fn fine() -> Self {
+        Self::new(100, 1000, 30, 200, 800, 40).expect("fine grid parameters are valid")
+    }
+
+    /// Creates a custom grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGrid`] if either range is empty, starts at
+    /// zero, or has a zero step.
+    pub fn new(
+        cpu_lo_mhz: u32,
+        cpu_hi_mhz: u32,
+        cpu_step_mhz: u32,
+        mem_lo_mhz: u32,
+        mem_hi_mhz: u32,
+        mem_step_mhz: u32,
+    ) -> Result<Self> {
+        Ok(Self {
+            cpu: MhzRange::new(cpu_lo_mhz, cpu_hi_mhz, cpu_step_mhz)?,
+            mem: MhzRange::new(mem_lo_mhz, mem_hi_mhz, mem_step_mhz)?,
+        })
+    }
+
+    /// Number of settings on the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cpu.len() * self.mem.len()
+    }
+
+    /// Returns `true` if the grid is empty (cannot happen for grids built
+    /// through the public constructors, which validate their ranges).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct CPU frequency steps.
+    #[must_use]
+    pub fn cpu_steps(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// Number of distinct memory frequency steps.
+    #[must_use]
+    pub fn mem_steps(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// The lowest-frequency setting on the grid.
+    #[must_use]
+    pub fn min_setting(&self) -> FreqSetting {
+        FreqSetting::from_mhz(self.cpu.lo, self.mem.lo)
+    }
+
+    /// The highest-frequency setting on the grid (always the best-performing
+    /// point; the paper's "unconstrained" choice).
+    #[must_use]
+    pub fn max_setting(&self) -> FreqSetting {
+        FreqSetting::from_mhz(self.cpu.hi, self.mem.hi)
+    }
+
+    /// Returns the setting at flat index `i`, or `None` when out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<FreqSetting> {
+        if i >= self.len() {
+            return None;
+        }
+        let (ci, mi) = (i / self.mem.len(), i % self.mem.len());
+        Some(FreqSetting::from_mhz(self.cpu.at(ci), self.mem.at(mi)))
+    }
+
+    /// Returns the flat index of `setting`, or `None` when the setting is
+    /// not exactly on the grid.
+    #[must_use]
+    pub fn index_of(&self, setting: FreqSetting) -> Option<usize> {
+        let ci = self.cpu.index_of(setting.cpu.mhz())?;
+        let mi = self.mem.index_of(setting.mem.mhz())?;
+        Some(ci * self.mem.len() + mi)
+    }
+
+    /// Returns `true` when `setting` lies exactly on the grid.
+    #[must_use]
+    pub fn contains(&self, setting: FreqSetting) -> bool {
+        self.index_of(setting).is_some()
+    }
+
+    /// Iterates over every setting in index order.
+    #[must_use]
+    pub fn settings(&self) -> Settings {
+        Settings {
+            grid: *self,
+            next: 0,
+            len: self.len(),
+        }
+    }
+
+    /// Iterates over the distinct CPU frequencies, ascending.
+    pub fn cpu_freqs(&self) -> impl Iterator<Item = CpuFreq> + '_ {
+        (0..self.cpu.len()).map(|i| CpuFreq::from_mhz(self.cpu.at(i)))
+    }
+
+    /// Iterates over the distinct memory frequencies, ascending.
+    pub fn mem_freqs(&self) -> impl Iterator<Item = MemFreq> + '_ {
+        (0..self.mem.len()).map(|i| MemFreq::from_mhz(self.mem.at(i)))
+    }
+
+    /// Returns the grid neighbours of `setting` (one step up/down in each
+    /// domain independently), used by greedy/gradient search baselines such
+    /// as the CoScale-style governor.
+    ///
+    /// The result contains between 2 and 4 settings; settings at a range
+    /// boundary have fewer neighbours.
+    #[must_use]
+    pub fn neighbours(&self, setting: FreqSetting) -> Vec<FreqSetting> {
+        let mut out = Vec::with_capacity(4);
+        let (Some(ci), Some(mi)) = (
+            self.cpu.index_of(setting.cpu.mhz()),
+            self.mem.index_of(setting.mem.mhz()),
+        ) else {
+            return out;
+        };
+        if ci > 0 {
+            out.push(FreqSetting::from_mhz(self.cpu.at(ci - 1), self.mem.at(mi)));
+        }
+        if ci + 1 < self.cpu.len() {
+            out.push(FreqSetting::from_mhz(self.cpu.at(ci + 1), self.mem.at(mi)));
+        }
+        if mi > 0 {
+            out.push(FreqSetting::from_mhz(self.cpu.at(ci), self.mem.at(mi - 1)));
+        }
+        if mi + 1 < self.mem.len() {
+            out.push(FreqSetting::from_mhz(self.cpu.at(ci), self.mem.at(mi + 1)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for FrequencyGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu {}..={} MHz step {} × mem {}..={} MHz step {} ({} settings)",
+            self.cpu.lo,
+            self.cpu.hi,
+            self.cpu.step,
+            self.mem.lo,
+            self.mem.hi,
+            self.mem.step,
+            self.len()
+        )
+    }
+}
+
+/// Iterator over the settings of a [`FrequencyGrid`], produced by
+/// [`FrequencyGrid::settings`].
+#[derive(Debug, Clone)]
+pub struct Settings {
+    grid: FrequencyGrid,
+    next: usize,
+    len: usize,
+}
+
+impl Iterator for Settings {
+    type Item = FreqSetting;
+
+    fn next(&mut self) -> Option<FreqSetting> {
+        if self.next >= self.len {
+            return None;
+        }
+        let s = self.grid.get(self.next);
+        self.next += 1;
+        s
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Settings {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_grid_has_70_settings() {
+        let g = FrequencyGrid::coarse();
+        assert_eq!(g.len(), 70);
+        assert_eq!(g.cpu_steps(), 10);
+        assert_eq!(g.mem_steps(), 7);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn fine_grid_has_496_settings() {
+        let g = FrequencyGrid::fine();
+        assert_eq!(g.len(), 496);
+        assert_eq!(g.cpu_steps(), 31);
+        assert_eq!(g.mem_steps(), 16);
+    }
+
+    #[test]
+    fn index_round_trips_for_every_setting() {
+        for grid in [FrequencyGrid::coarse(), FrequencyGrid::fine()] {
+            for (i, s) in grid.settings().enumerate() {
+                assert_eq!(grid.get(i), Some(s));
+                assert_eq!(grid.index_of(s), Some(i), "setting {s}");
+                assert!(grid.contains(s));
+            }
+            assert_eq!(grid.get(grid.len()), None);
+        }
+    }
+
+    #[test]
+    fn off_grid_settings_are_rejected() {
+        let g = FrequencyGrid::coarse();
+        assert_eq!(g.index_of(FreqSetting::from_mhz(150, 200)), None);
+        assert_eq!(g.index_of(FreqSetting::from_mhz(100, 250)), None);
+        assert_eq!(g.index_of(FreqSetting::from_mhz(1100, 200)), None);
+        assert_eq!(g.index_of(FreqSetting::from_mhz(100, 900)), None);
+        assert_eq!(g.index_of(FreqSetting::from_mhz(50, 200)), None);
+        assert!(!g.contains(FreqSetting::from_mhz(150, 200)));
+    }
+
+    #[test]
+    fn min_and_max_settings() {
+        let g = FrequencyGrid::coarse();
+        assert_eq!(g.min_setting(), FreqSetting::from_mhz(100, 200));
+        assert_eq!(g.max_setting(), FreqSetting::from_mhz(1000, 800));
+        assert_eq!(g.index_of(g.min_setting()), Some(0));
+        assert_eq!(g.index_of(g.max_setting()), Some(69));
+    }
+
+    #[test]
+    fn settings_iterate_in_ascending_order() {
+        let g = FrequencyGrid::coarse();
+        let all: Vec<_> = g.settings().collect();
+        assert_eq!(all.len(), 70);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "row-major order is ascending lexicographic");
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let g = FrequencyGrid::fine();
+        let mut it = g.settings();
+        assert_eq!(it.len(), 496);
+        it.next();
+        assert_eq!(it.len(), 495);
+    }
+
+    #[test]
+    fn invalid_grids_error() {
+        assert!(FrequencyGrid::new(0, 1000, 100, 200, 800, 100).is_err());
+        assert!(FrequencyGrid::new(100, 1000, 0, 200, 800, 100).is_err());
+        assert!(FrequencyGrid::new(1000, 100, 100, 200, 800, 100).is_err());
+        assert!(FrequencyGrid::new(100, 1000, 100, 800, 200, 100).is_err());
+    }
+
+    #[test]
+    fn neighbours_interior_has_four() {
+        let g = FrequencyGrid::coarse();
+        let n = g.neighbours(FreqSetting::from_mhz(500, 400));
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(&FreqSetting::from_mhz(400, 400)));
+        assert!(n.contains(&FreqSetting::from_mhz(600, 400)));
+        assert!(n.contains(&FreqSetting::from_mhz(500, 300)));
+        assert!(n.contains(&FreqSetting::from_mhz(500, 500)));
+    }
+
+    #[test]
+    fn neighbours_corner_has_two() {
+        let g = FrequencyGrid::coarse();
+        let n = g.neighbours(g.max_setting());
+        assert_eq!(n.len(), 2);
+        let n = g.neighbours(g.min_setting());
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn neighbours_of_off_grid_setting_is_empty() {
+        let g = FrequencyGrid::coarse();
+        assert!(g.neighbours(FreqSetting::from_mhz(512, 400)).is_empty());
+    }
+
+    #[test]
+    fn display_summarises_grid() {
+        let g = FrequencyGrid::coarse();
+        let s = g.to_string();
+        assert!(s.contains("70 settings"), "{s}");
+    }
+
+    #[test]
+    fn singleton_grid_is_valid() {
+        let g = FrequencyGrid::new(500, 500, 100, 400, 400, 100).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(0), Some(FreqSetting::from_mhz(500, 400)));
+        assert_eq!(g.min_setting(), g.max_setting());
+    }
+}

@@ -1,0 +1,344 @@
+//! Unit-safe scalar newtypes.
+//!
+//! All quantities are stored in SI base units (`f64`): seconds, joules,
+//! watts, volts. Arithmetic is provided only where it is dimensionally
+//! meaningful (`Watts * Seconds = Joules`, `Joules / Seconds = Watts`, …),
+//! so unit confusion is a compile error rather than a silent factor-of-10⁶
+//! bug.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! scalar_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in SI base units.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in SI base units.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` when the value is finite (not NaN/∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+scalar_unit!(
+    /// A time duration in seconds.
+    Seconds,
+    "s"
+);
+scalar_unit!(
+    /// An amount of energy in joules.
+    Joules,
+    "J"
+);
+scalar_unit!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+scalar_unit!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+
+impl Seconds {
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the duration in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Joules {
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub const fn from_micros(uj: f64) -> Self {
+        Self(uj * 1e-6)
+    }
+
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub const fn from_millis(mj: f64) -> Self {
+        Self(mj * 1e-3)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[must_use]
+    pub const fn from_nanos(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Returns the energy in millijoules.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the energy in microjoules.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub const fn from_millis(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Returns the power in milliwatts.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Volts {
+    /// Squares the voltage, returning the raw `V²` value used by
+    /// CV²f-style dynamic-power formulas.
+    #[must_use]
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(2.0) * Seconds::new(3.0);
+        assert_eq!(e, Joules::new(6.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules::new(6.0) / Seconds::new(3.0);
+        assert_eq!(p, Watts::new(2.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Joules::new(6.0) / Watts::new(2.0);
+        assert_eq!(t, Seconds::new(3.0));
+    }
+
+    #[test]
+    fn like_ratio_is_dimensionless() {
+        let ratio = Joules::new(3.0) / Joules::new(2.0);
+        assert!((ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert!((Seconds::from_micros(500.0).as_micros() - 500.0).abs() < 1e-9);
+        assert!((Seconds::from_nanos(12.0).as_nanos() - 12.0).abs() < 1e-9);
+        assert!((Joules::from_micros(30.0).as_micros() - 30.0).abs() < 1e-9);
+        assert!((Watts::from_millis(600.0).as_millis() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Joules = (1..=4).map(|i| Joules::new(f64::from(i))).sum();
+        assert_eq!(total, Joules::new(10.0));
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(format!("{:.2}", Watts::new(1.234)), "1.23 W");
+        assert_eq!(format!("{}", Volts::new(1.25)), "1.25 V");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Seconds::new(-2.0);
+        assert_eq!(a.abs(), Seconds::new(2.0));
+        assert_eq!(a.min(Seconds::ZERO), a);
+        assert_eq!(a.max(Seconds::ZERO), Seconds::ZERO);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut e = Joules::new(1.0);
+        e += Joules::new(2.0);
+        e -= Joules::new(0.5);
+        assert_eq!(e, Joules::new(2.5));
+    }
+
+    #[test]
+    fn volts_squared() {
+        assert!((Volts::new(1.25).squared() - 1.5625).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Plain-text trace serialization.
+//!
+//! The offline-analysis deployment story (paper Section VII) ships
+//! profiling artifacts alongside applications. Traces use a simple
+//! line-oriented format so artifacts stay diffable and toolable without a
+//! serialization dependency:
+//!
+//! ```text
+//! # mcdvfs trace v1: gobmk
+//! # base_cpi mpki write_frac row_hit_rate mlp stall_exposure activity_factor
+//! 0.700 2.500 0.300 0.450 1.500 0.850 0.800
+//! ...
+//! ```
+
+use crate::trace::SampleTrace;
+use mcdvfs_types::SampleCharacteristics;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Magic header identifying the format and version.
+const MAGIC: &str = "# mcdvfs trace v1: ";
+
+/// Error parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes a trace to the v1 text format.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_workloads::{trace_to_text, trace_from_text, Benchmark};
+///
+/// let trace = Benchmark::Lbm.trace().window(0, 4);
+/// let text = trace_to_text(&trace);
+/// let parsed = trace_from_text(&text).unwrap();
+/// assert_eq!(parsed.name(), "lbm");
+/// assert_eq!(parsed.len(), 4);
+/// ```
+#[must_use]
+pub fn trace_to_text(trace: &SampleTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}{}", trace.name());
+    let _ = writeln!(
+        out,
+        "# base_cpi mpki write_frac row_hit_rate mlp stall_exposure activity_factor"
+    );
+    for s in trace.iter() {
+        let _ = writeln!(
+            out,
+            "{:.6} {:.6} {:.6} {:.6} {:.6} {:.6} {:.6}",
+            s.base_cpi, s.mpki, s.write_frac, s.row_hit_rate, s.mlp, s.stall_exposure,
+            s.activity_factor
+        );
+    }
+    out
+}
+
+/// Parses the v1 text format back into a trace.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on a missing/foreign header, malformed
+/// rows, or out-of-domain values.
+pub fn trace_from_text(text: &str) -> Result<SampleTrace, ParseTraceError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseTraceError {
+        line: 1,
+        reason: "empty input".into(),
+    })?;
+    let name = header.strip_prefix(MAGIC).ok_or_else(|| ParseTraceError {
+        line: 1,
+        reason: format!("missing magic header {MAGIC:?}"),
+    })?;
+    if name.trim().is_empty() {
+        return Err(ParseTraceError {
+            line: 1,
+            reason: "trace name is empty".into(),
+        });
+    }
+
+    let mut samples = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<f64> = line
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>().map_err(|_| ParseTraceError {
+                    line: line_no,
+                    reason: format!("not a number: {t:?}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if fields.len() != 7 {
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: format!("expected 7 fields, found {}", fields.len()),
+            });
+        }
+        let chars = SampleCharacteristics {
+            base_cpi: fields[0],
+            mpki: fields[1],
+            write_frac: fields[2],
+            row_hit_rate: fields[3],
+            mlp: fields[4],
+            stall_exposure: fields[5],
+            activity_factor: fields[6],
+        };
+        if !chars.is_valid() {
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: format!("sample out of domain: {chars:?}"),
+            });
+        }
+        samples.push(chars);
+    }
+    if samples.is_empty() {
+        return Err(ParseTraceError {
+            line: text.lines().count().max(1),
+            reason: "trace contains no samples".into(),
+        });
+    }
+    Ok(SampleTrace::new(name.trim(), samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Benchmark;
+
+    #[test]
+    fn round_trip_preserves_samples_to_format_precision() {
+        let original = Benchmark::Gobmk.trace();
+        let parsed = trace_from_text(&trace_to_text(&original)).unwrap();
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.iter().zip(parsed.iter()) {
+            assert!((a.base_cpi - b.base_cpi).abs() < 1e-6);
+            assert!((a.mpki - b.mpki).abs() < 1e-6);
+            assert!((a.mlp - b.mlp).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let err = trace_from_text("1 2 3 4 5 6 7\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("magic"));
+    }
+
+    #[test]
+    fn malformed_rows_report_their_line() {
+        let text = format!("{MAGIC}x\n0.5 1 0.3 0.5 2 0.7 0.7\nbananas\n");
+        let err = trace_from_text(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("not a number"));
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let text = format!("{MAGIC}x\n0.5 1 0.3\n");
+        let err = trace_from_text(&text).unwrap_err();
+        assert!(err.reason.contains("expected 7 fields"));
+    }
+
+    #[test]
+    fn out_of_domain_sample_rejected() {
+        let text = format!("{MAGIC}x\n0.5 1 0.3 1.5 2 0.7 0.7\n");
+        let err = trace_from_text(&text).unwrap_err();
+        assert!(err.reason.contains("out of domain"));
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let text = format!("{MAGIC}x\n# only comments\n");
+        let err = trace_from_text(&text).unwrap_err();
+        assert!(err.reason.contains("no samples"));
+        assert!(trace_from_text("").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{MAGIC}toy\n\n# comment\n0.5 1 0.3 0.5 2 0.7 0.7\n\n");
+        let t = trace_from_text(&text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(), "toy");
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = ParseTraceError {
+            line: 7,
+            reason: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "trace parse error at line 7: boom");
+    }
+}

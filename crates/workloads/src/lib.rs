@@ -1,0 +1,42 @@
+//! Synthetic SPEC CPU2006-like workloads for the `mcdvfs` workspace.
+//!
+//! The paper drives its characterization with 12 integer and 9 floating
+//! point SPEC CPU2006 benchmarks, sampled every 10 M user-mode
+//! instructions. Running SPEC itself requires the suite and a full-system
+//! simulator; this crate substitutes deterministic synthetic *sample
+//! traces* — sequences of [`SampleCharacteristics`] — whose phase structure
+//! mimics the per-benchmark behaviour the paper describes and plots
+//! (bzip2's CPU-bound steadiness, gobmk's rapidly alternating phases,
+//! lbm's long memory-steady regions, gcc's segmented phases, …).
+//!
+//! The phase DSL ([`Phase`], [`Pattern`], [`PhaseScript`]) is public so
+//! tests and downstream studies can script their own workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_workloads::Benchmark;
+//!
+//! let trace = Benchmark::Gobmk.trace();
+//! assert_eq!(trace.len(), 50);
+//! // gobmk alternates CPU- and memory-intensive samples.
+//! let stats = trace.stats();
+//! assert!(stats.mpki_max > 4.0 * stats.mpki_min.max(0.5));
+//! ```
+//!
+//! [`SampleCharacteristics`]: mcdvfs_types::SampleCharacteristics
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod io;
+mod phases;
+mod spec;
+mod stats;
+mod trace;
+
+pub use io::{trace_from_text, trace_to_text, ParseTraceError};
+pub use phases::{Pattern, Phase, PhaseScript};
+pub use spec::{Benchmark, ParseBenchmarkError};
+pub use stats::TraceStats;
+pub use trace::SampleTrace;

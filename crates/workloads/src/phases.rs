@@ -1,0 +1,336 @@
+//! Phase scripting DSL for synthetic workloads.
+//!
+//! A workload is a [`PhaseScript`]: an ordered list of [`Phase`]s, each
+//! holding baseline [`SampleCharacteristics`], a duration in samples, and a
+//! [`Pattern`] describing how CPI/MPKI evolve *within* the phase. Scripts
+//! are rendered to concrete traces by [`PhaseScript::render`], which adds
+//! seeded multiplicative jitter so consecutive samples are realistic but
+//! reproducible.
+
+use mcdvfs_types::SampleCharacteristics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How CPI and MPKI evolve across the samples of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Pattern {
+    /// Flat at the phase baseline.
+    Constant,
+    /// Alternates between the baseline and a scaled excursion every
+    /// `period` samples — gobmk-style rapidly changing behaviour.
+    Alternate {
+        /// CPI multiplier during the excursion half.
+        cpi_scale: f64,
+        /// MPKI multiplier during the excursion half.
+        mpki_scale: f64,
+        /// Samples per half-cycle (≥ 1).
+        period: usize,
+    },
+    /// Linearly interpolates the baseline toward scaled endpoints across
+    /// the phase — gradual working-set growth.
+    Ramp {
+        /// CPI multiplier reached at the end of the phase.
+        cpi_scale: f64,
+        /// MPKI multiplier reached at the end of the phase.
+        mpki_scale: f64,
+    },
+    /// Baseline with sparse spikes: every `period`-th sample has its MPKI
+    /// multiplied — periodic garbage-collection/table-rebuild behaviour.
+    Spike {
+        /// MPKI multiplier on spike samples.
+        mpki_scale: f64,
+        /// Spike spacing in samples (≥ 1).
+        period: usize,
+    },
+}
+
+/// One phase of a workload: a baseline, a duration and a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Baseline characteristics for every sample in the phase.
+    pub base: SampleCharacteristics,
+    /// Number of samples the phase lasts.
+    pub samples: usize,
+    /// Evolution within the phase.
+    pub pattern: Pattern,
+}
+
+impl Phase {
+    /// Creates a constant phase of `samples` samples.
+    #[must_use]
+    pub fn constant(base: SampleCharacteristics, samples: usize) -> Self {
+        Self {
+            base,
+            samples,
+            pattern: Pattern::Constant,
+        }
+    }
+
+    /// Creates a phase with an explicit pattern.
+    #[must_use]
+    pub fn patterned(base: SampleCharacteristics, samples: usize, pattern: Pattern) -> Self {
+        Self {
+            base,
+            samples,
+            pattern,
+        }
+    }
+
+    /// Characteristics of sample `i` (0-based within the phase), before
+    /// jitter.
+    fn sample(&self, i: usize) -> SampleCharacteristics {
+        let mut c = self.base;
+        match self.pattern {
+            Pattern::Constant => {}
+            Pattern::Alternate {
+                cpi_scale,
+                mpki_scale,
+                period,
+            } => {
+                let period = period.max(1);
+                if (i / period) % 2 == 1 {
+                    c.base_cpi *= cpi_scale;
+                    c.mpki *= mpki_scale;
+                }
+            }
+            Pattern::Ramp {
+                cpi_scale,
+                mpki_scale,
+            } => {
+                let t = if self.samples > 1 {
+                    i as f64 / (self.samples - 1) as f64
+                } else {
+                    0.0
+                };
+                c.base_cpi *= 1.0 + (cpi_scale - 1.0) * t;
+                c.mpki *= 1.0 + (mpki_scale - 1.0) * t;
+            }
+            Pattern::Spike { mpki_scale, period } => {
+                let period = period.max(1);
+                if i % period == period - 1 {
+                    c.mpki *= mpki_scale;
+                }
+            }
+        }
+        c
+    }
+}
+
+/// An ordered list of phases rendered into a concrete sample trace.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::SampleCharacteristics;
+/// use mcdvfs_workloads::{Pattern, Phase, PhaseScript};
+///
+/// let script = PhaseScript::new(vec![
+///     Phase::constant(SampleCharacteristics::new(0.8, 0.5), 10),
+///     Phase::patterned(
+///         SampleCharacteristics::new(1.0, 5.0),
+///         10,
+///         Pattern::Alternate { cpi_scale: 1.5, mpki_scale: 3.0, period: 2 },
+///     ),
+/// ]);
+/// let samples = script.render(42, 0.02);
+/// assert_eq!(samples.len(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseScript {
+    phases: Vec<Phase>,
+}
+
+impl PhaseScript {
+    /// Creates a script from phases in execution order.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>) -> Self {
+        Self { phases }
+    }
+
+    /// Total trace length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.phases.iter().map(|p| p.samples).sum()
+    }
+
+    /// `true` when the script contains no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The phases of this script.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Ratio of MPKI jitter to CPI jitter: cache-miss rates are far noisier
+    /// sample-to-sample than instruction mix in real workloads, and that
+    /// variability is what wobbles the optimal setting along the memory
+    /// axis between consecutive samples.
+    pub const MPKI_JITTER_RATIO: f64 = 4.0;
+
+    /// Renders the script into per-sample characteristics with
+    /// multiplicative jitter, seeded deterministically by `seed`. CPI
+    /// receives relative jitter of magnitude `jitter` (e.g. `0.02` for
+    /// ±2%); MPKI receives [`Self::MPKI_JITTER_RATIO`] times as much.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or ≥ 0.2 (MPKI jitter would reach
+    /// ±80%, which is no longer jitter).
+    #[must_use]
+    pub fn render(&self, seed: u64, jitter: f64) -> Vec<SampleCharacteristics> {
+        assert!((0.0..0.2).contains(&jitter), "jitter must be in [0, 0.2)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.len());
+        for phase in &self.phases {
+            for i in 0..phase.samples {
+                let mut c = phase.sample(i);
+                if jitter > 0.0 {
+                    let mpki_jitter = jitter * Self::MPKI_JITTER_RATIO;
+                    c.base_cpi *= 1.0 + rng.gen_range(-jitter..=jitter);
+                    c.mpki = (c.mpki * (1.0 + rng.gen_range(-mpki_jitter..=mpki_jitter))).max(0.0);
+                }
+                debug_assert!(c.is_valid(), "rendered sample must stay valid: {c:?}");
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SampleCharacteristics {
+        SampleCharacteristics::new(1.0, 10.0)
+    }
+
+    #[test]
+    fn constant_phase_is_flat_without_jitter() {
+        let script = PhaseScript::new(vec![Phase::constant(base(), 5)]);
+        let samples = script.render(1, 0.0);
+        assert_eq!(samples.len(), 5);
+        for s in &samples {
+            assert!((s.base_cpi - 1.0).abs() < 1e-12);
+            assert!((s.mpki - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alternate_pattern_toggles_every_period() {
+        let script = PhaseScript::new(vec![Phase::patterned(
+            base(),
+            8,
+            Pattern::Alternate {
+                cpi_scale: 2.0,
+                mpki_scale: 0.5,
+                period: 2,
+            },
+        )]);
+        let s = script.render(1, 0.0);
+        // Samples 0-1 baseline, 2-3 excursion, 4-5 baseline, 6-7 excursion.
+        assert!((s[0].base_cpi - 1.0).abs() < 1e-12);
+        assert!((s[2].base_cpi - 2.0).abs() < 1e-12);
+        assert!((s[2].mpki - 5.0).abs() < 1e-12);
+        assert!((s[4].base_cpi - 1.0).abs() < 1e-12);
+        assert!((s[6].base_cpi - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_pattern_interpolates_endpoints() {
+        let script = PhaseScript::new(vec![Phase::patterned(
+            base(),
+            11,
+            Pattern::Ramp {
+                cpi_scale: 3.0,
+                mpki_scale: 0.1,
+            },
+        )]);
+        let s = script.render(1, 0.0);
+        assert!((s[0].base_cpi - 1.0).abs() < 1e-12);
+        assert!((s[10].base_cpi - 3.0).abs() < 1e-12);
+        assert!((s[5].base_cpi - 2.0).abs() < 1e-12);
+        assert!((s[10].mpki - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_pattern_hits_every_period() {
+        let script = PhaseScript::new(vec![Phase::patterned(
+            base(),
+            9,
+            Pattern::Spike {
+                mpki_scale: 4.0,
+                period: 3,
+            },
+        )]);
+        let s = script.render(1, 0.0);
+        for (i, sample) in s.iter().enumerate() {
+            let expected = if i % 3 == 2 { 40.0 } else { 10.0 };
+            assert!((sample.mpki - expected).abs() < 1e-12, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_per_seed() {
+        let script = PhaseScript::new(vec![Phase::constant(base(), 20)]);
+        assert_eq!(script.render(7, 0.05), script.render(7, 0.05));
+        assert_ne!(script.render(7, 0.05), script.render(8, 0.05));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let script = PhaseScript::new(vec![Phase::constant(base(), 200)]);
+        for s in script.render(3, 0.02) {
+            assert!((s.base_cpi - 1.0).abs() <= 0.02 + 1e-9);
+            let mpki_bound = 10.0 * 0.02 * PhaseScript::MPKI_JITTER_RATIO;
+            assert!((s.mpki - 10.0).abs() <= mpki_bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_phase_concatenates_in_order() {
+        let a = SampleCharacteristics::new(0.5, 1.0);
+        let b = SampleCharacteristics::new(2.0, 20.0);
+        let script = PhaseScript::new(vec![Phase::constant(a, 3), Phase::constant(b, 2)]);
+        let s = script.render(1, 0.0);
+        assert_eq!(s.len(), 5);
+        assert!((s[2].base_cpi - 0.5).abs() < 1e-12);
+        assert!((s[3].base_cpi - 2.0).abs() < 1e-12);
+        assert_eq!(script.len(), 5);
+        assert!(!script.is_empty());
+        assert_eq!(script.phases().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn invalid_jitter_panics() {
+        let script = PhaseScript::new(vec![Phase::constant(base(), 1)]);
+        let _ = script.render(1, 0.25);
+    }
+
+    #[test]
+    fn empty_script_renders_empty() {
+        let script = PhaseScript::new(vec![]);
+        assert!(script.is_empty());
+        assert!(script.render(1, 0.01).is_empty());
+    }
+
+    #[test]
+    fn single_sample_ramp_does_not_divide_by_zero() {
+        let script = PhaseScript::new(vec![Phase::patterned(
+            base(),
+            1,
+            Pattern::Ramp {
+                cpi_scale: 2.0,
+                mpki_scale: 2.0,
+            },
+        )]);
+        let s = script.render(1, 0.0);
+        assert!((s[0].base_cpi - 1.0).abs() < 1e-12, "ramp starts at baseline");
+    }
+}

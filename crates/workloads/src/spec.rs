@@ -1,0 +1,499 @@
+//! SPEC CPU2006-like benchmark profiles.
+//!
+//! One profile per benchmark the paper simulates: 12 integer and 9 floating
+//! point members of SPEC CPU2006. The six benchmarks the paper's figures
+//! feature (bzip2, gcc, gobmk, lbm, libquantum, milc) have hand-scripted
+//! phase structure matching the behaviour described in the text:
+//!
+//! * **bzip2** — CPU bound; performance insensitive to memory frequency;
+//!   covered by a single stable region at high inefficiency budgets;
+//! * **gobmk** — balanced, *rapidly changing* phases; optimal settings move
+//!   every sample; stable regions stay short at any threshold;
+//! * **gcc** — segmented phases with step changes; transition count drops
+//!   sharply from 3% to 5% cluster thresholds;
+//! * **lbm** — steady streaming memory workload; few transitions even at
+//!   tight thresholds;
+//! * **libquantum** — streaming, stable, memory sensitive;
+//! * **milc** — largely CPU intensive with occasional memory phases.
+//!
+//! The remaining 15 profiles are plausible single- or two-phase traces so
+//! suite-wide sweeps exercise a realistic population.
+
+use crate::phases::{Pattern, Phase, PhaseScript};
+use crate::trace::SampleTrace;
+use mcdvfs_types::SampleCharacteristics;
+use std::fmt;
+
+/// Builds characteristics with every knob explicit.
+fn chars(
+    cpi: f64,
+    mpki: f64,
+    mlp: f64,
+    row_hit: f64,
+    exposure: f64,
+    activity: f64,
+) -> SampleCharacteristics {
+    SampleCharacteristics {
+        base_cpi: cpi,
+        mpki,
+        write_frac: 0.3,
+        row_hit_rate: row_hit,
+        mlp,
+        stall_exposure: exposure,
+        activity_factor: activity,
+    }
+}
+
+/// The SPEC CPU2006 benchmarks the paper simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    // 12 integer benchmarks.
+    Perlbench,
+    Bzip2,
+    Gcc,
+    Mcf,
+    Gobmk,
+    Hmmer,
+    Sjeng,
+    Libquantum,
+    H264ref,
+    Omnetpp,
+    Astar,
+    Xalancbmk,
+    // 9 floating point benchmarks.
+    Bwaves,
+    Gamess,
+    Milc,
+    Zeusmp,
+    Gromacs,
+    Leslie3d,
+    Namd,
+    Soplex,
+    Lbm,
+}
+
+impl Benchmark {
+    /// Every modelled benchmark: 12 integer then 9 floating point.
+    #[must_use]
+    pub fn all() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![
+            Perlbench, Bzip2, Gcc, Mcf, Gobmk, Hmmer, Sjeng, Libquantum, H264ref, Omnetpp, Astar,
+            Xalancbmk, Bwaves, Gamess, Milc, Zeusmp, Gromacs, Leslie3d, Namd, Soplex, Lbm,
+        ]
+    }
+
+    /// The six benchmarks featured in the paper's figures, in the order the
+    /// figure x-axes list them.
+    #[must_use]
+    pub fn featured() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![Bzip2, Gcc, Gobmk, Lbm, Libquantum, Milc]
+    }
+
+    /// SPEC-style lowercase name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Perlbench => "perlbench",
+            Bzip2 => "bzip2",
+            Gcc => "gcc",
+            Mcf => "mcf",
+            Gobmk => "gobmk",
+            Hmmer => "hmmer",
+            Sjeng => "sjeng",
+            Libquantum => "libq.",
+            H264ref => "h264ref",
+            Omnetpp => "omnetpp",
+            Astar => "astar",
+            Xalancbmk => "xalancbmk",
+            Bwaves => "bwaves",
+            Gamess => "gamess",
+            Milc => "milc",
+            Zeusmp => "zeusmp",
+            Gromacs => "gromacs",
+            Leslie3d => "leslie3d",
+            Namd => "namd",
+            Soplex => "soplex",
+            Lbm => "lbm",
+        }
+    }
+
+    /// `true` for the floating point half of the suite.
+    #[must_use]
+    pub fn is_fp(&self) -> bool {
+        use Benchmark::*;
+        matches!(
+            self,
+            Bwaves | Gamess | Milc | Zeusmp | Gromacs | Leslie3d | Namd | Soplex | Lbm
+        )
+    }
+
+    /// Deterministic per-benchmark seed for trace rendering.
+    fn seed(&self) -> u64 {
+        0xD5F5 ^ (Benchmark::all().iter().position(|b| b == self).unwrap() as u64 + 1) * 0x9E37
+    }
+
+    /// The benchmark's phase script.
+    #[must_use]
+    pub fn script(&self) -> PhaseScript {
+        use Benchmark::*;
+        match self {
+            // ---- The six featured profiles -------------------------------
+            Bzip2 => PhaseScript::new(vec![
+                // Compression: CPU bound, tiny miss traffic.
+                Phase::constant(chars(0.72, 0.6, 2.0, 0.55, 0.6, 0.9), 14),
+                // Sorting-heavy middle with slightly more misses.
+                Phase::constant(chars(0.82, 1.1, 2.0, 0.5, 0.6, 0.88), 12),
+                // Decompression check: back to CPU bound.
+                Phase::constant(chars(0.68, 0.5, 2.0, 0.55, 0.6, 0.9), 14),
+            ]),
+            Gobmk => PhaseScript::new(vec![
+                // Game-tree search alternates pattern evaluation (CPU) with
+                // board scans (memory) every couple of samples.
+                Phase::patterned(
+                    chars(0.7, 2.5, 1.5, 0.45, 0.85, 0.8),
+                    16,
+                    Pattern::Alternate {
+                        cpi_scale: 1.2,
+                        mpki_scale: 4.5,
+                        period: 2,
+                    },
+                ),
+                // Opening-book lookups: sparse heavy-miss spikes.
+                Phase::patterned(
+                    chars(0.85, 2.5, 1.5, 0.4, 0.85, 0.78),
+                    12,
+                    Pattern::Spike {
+                        mpki_scale: 14.0,
+                        period: 3,
+                    },
+                ),
+                // Endgame: faster alternation, deeper excursions.
+                Phase::patterned(
+                    chars(0.65, 1.2, 1.5, 0.45, 0.85, 0.8),
+                    22,
+                    Pattern::Alternate {
+                        cpi_scale: 1.5,
+                        mpki_scale: 24.0,
+                        period: 3,
+                    },
+                ),
+            ]),
+            Gcc => PhaseScript::new(vec![
+                // Parse: CPU with modest misses.
+                Phase::constant(chars(0.8, 1.2, 1.8, 0.5, 0.7, 0.85), 34),
+                // IR build: pointer heavy.
+                Phase::constant(chars(1.0, 12.0, 1.4, 0.35, 0.85, 0.75), 30),
+                // Optimization passes: alternates dataflow scans with
+                // transformation — mild contrast, so clusters with a loose
+                // threshold can ride across pass boundaries.
+                Phase::patterned(
+                    chars(0.85, 5.3, 1.5, 0.45, 0.85, 0.8),
+                    46,
+                    Pattern::Alternate {
+                        cpi_scale: 1.02,
+                        mpki_scale: 1.55,
+                        period: 5,
+                    },
+                ),
+                // Register allocation: memory intensive ramp.
+                Phase::patterned(
+                    chars(1.1, 14.0, 1.4, 0.35, 0.85, 0.75),
+                    44,
+                    Pattern::Ramp {
+                        cpi_scale: 1.2,
+                        mpki_scale: 1.8,
+                    },
+                ),
+                // Emit: back to CPU bound.
+                Phase::constant(chars(0.75, 1.0, 1.8, 0.5, 0.7, 0.85), 46),
+            ]),
+            Lbm => PhaseScript::new(vec![
+                // Lattice-Boltzmann streaming sweep: row-friendly but
+                // stall-dominated, extremely steady.
+                Phase::constant(chars(0.55, 22.0, 2.0, 0.85, 0.85, 0.7), 80),
+                // Collision step slightly less bandwidth hungry.
+                Phase::constant(chars(0.6, 19.0, 2.0, 0.85, 0.85, 0.72), 80),
+            ]),
+            Libquantum => PhaseScript::new(vec![
+                // Quantum register simulation: long streaming loops.
+                Phase::constant(chars(0.5, 16.0, 2.5, 0.9, 0.8, 0.75), 30),
+                Phase::constant(chars(0.52, 18.0, 2.5, 0.9, 0.8, 0.75), 30),
+            ]),
+            Milc => PhaseScript::new(vec![
+                // SU(3) computation: mostly CPU work...
+                Phase::constant(chars(0.85, 2.2, 1.8, 0.55, 0.7, 0.85), 45),
+                // ...with a staggered-fermion memory phase.
+                Phase::constant(chars(1.0, 24.0, 2.0, 0.6, 0.85, 0.72), 18),
+                Phase::constant(chars(0.82, 2.0, 1.8, 0.55, 0.7, 0.85), 50),
+                // Second, shorter memory phase.
+                Phase::constant(chars(1.05, 28.0, 2.0, 0.6, 0.85, 0.72), 12),
+                Phase::constant(chars(0.88, 2.6, 1.8, 0.55, 0.7, 0.85), 50),
+            ]),
+            // ---- The rest of the suite -----------------------------------
+            Perlbench => PhaseScript::new(vec![
+                Phase::constant(chars(0.9, 1.5, 1.8, 0.5, 0.7, 0.85), 40),
+                Phase::patterned(
+                    chars(1.0, 3.0, 1.6, 0.45, 0.7, 0.8),
+                    30,
+                    Pattern::Spike {
+                        mpki_scale: 4.0,
+                        period: 6,
+                    },
+                ),
+            ]),
+            Mcf => PhaseScript::new(vec![
+                // Pointer chasing over a huge graph: the suite's most
+                // latency-bound member.
+                Phase::constant(chars(1.4, 32.0, 1.1, 0.2, 0.9, 0.6), 60),
+            ]),
+            Hmmer => PhaseScript::new(vec![Phase::constant(
+                chars(0.6, 0.8, 2.0, 0.55, 0.6, 0.92),
+                45,
+            )]),
+            Sjeng => PhaseScript::new(vec![Phase::patterned(
+                chars(0.75, 1.2, 1.7, 0.45, 0.7, 0.85),
+                50,
+                Pattern::Alternate {
+                    cpi_scale: 1.4,
+                    mpki_scale: 2.5,
+                    period: 4,
+                },
+            )]),
+            H264ref => PhaseScript::new(vec![
+                Phase::constant(chars(0.65, 1.8, 2.2, 0.6, 0.65, 0.9), 35),
+                Phase::constant(chars(0.7, 2.4, 2.2, 0.6, 0.65, 0.9), 35),
+            ]),
+            Omnetpp => PhaseScript::new(vec![Phase::constant(
+                chars(1.1, 12.0, 1.3, 0.3, 0.85, 0.7),
+                55,
+            )]),
+            Astar => PhaseScript::new(vec![Phase::patterned(
+                chars(1.0, 6.0, 1.4, 0.4, 0.8, 0.75),
+                50,
+                Pattern::Ramp {
+                    cpi_scale: 1.4,
+                    mpki_scale: 2.0,
+                },
+            )]),
+            Xalancbmk => PhaseScript::new(vec![Phase::patterned(
+                chars(0.95, 5.0, 1.5, 0.4, 0.75, 0.78),
+                60,
+                Pattern::Alternate {
+                    cpi_scale: 1.3,
+                    mpki_scale: 2.2,
+                    period: 7,
+                },
+            )]),
+            Bwaves => PhaseScript::new(vec![Phase::constant(
+                chars(0.7, 15.0, 3.5, 0.8, 0.75, 0.75),
+                70,
+            )]),
+            Gamess => PhaseScript::new(vec![Phase::constant(
+                chars(0.55, 0.4, 2.0, 0.55, 0.6, 0.95),
+                65,
+            )]),
+            Zeusmp => PhaseScript::new(vec![
+                Phase::constant(chars(0.75, 8.0, 3.0, 0.7, 0.7, 0.8), 40),
+                Phase::constant(chars(0.8, 10.0, 3.0, 0.7, 0.7, 0.8), 40),
+            ]),
+            Gromacs => PhaseScript::new(vec![Phase::constant(
+                chars(0.6, 1.5, 2.0, 0.55, 0.65, 0.9),
+                55,
+            )]),
+            Leslie3d => PhaseScript::new(vec![Phase::constant(
+                chars(0.72, 13.0, 3.2, 0.75, 0.75, 0.77),
+                60,
+            )]),
+            Namd => PhaseScript::new(vec![Phase::constant(
+                chars(0.58, 0.9, 2.0, 0.55, 0.6, 0.93),
+                60,
+            )]),
+            Soplex => PhaseScript::new(vec![Phase::patterned(
+                chars(1.0, 9.0, 1.5, 0.4, 0.8, 0.75),
+                55,
+                Pattern::Spike {
+                    mpki_scale: 2.5,
+                    period: 8,
+                },
+            )]),
+        }
+    }
+
+    /// Renders the benchmark's trace with its canonical seed and a ±1.5%
+    /// sample jitter (the measurement noise the paper's 0.5% tie-break is
+    /// designed to filter is modelled downstream, not here).
+    #[must_use]
+    pub fn trace(&self) -> SampleTrace {
+        self.trace_with(self.seed(), 0.015)
+    }
+
+    /// Renders the trace with an explicit seed and jitter, for sensitivity
+    /// studies.
+    #[must_use]
+    pub fn trace_with(&self, seed: u64, jitter: f64) -> SampleTrace {
+        SampleTrace::new(self.name(), self.script().render(seed, jitter))
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    /// The unrecognized name.
+    pub name: String,
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark {:?}", self.name)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    /// Parses a SPEC-style name (`"gobmk"`, `"libq."` or `"libquantum"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let needle = s.trim().to_ascii_lowercase();
+        Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == needle || (needle == "libquantum" && *b == Benchmark::Libquantum))
+            .ok_or(ParseBenchmarkError { name: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_12_int_and_9_fp() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 21);
+        assert_eq!(all.iter().filter(|b| !b.is_fp()).count(), 12);
+        assert_eq!(all.iter().filter(|b| b.is_fp()).count(), 9);
+    }
+
+    #[test]
+    fn featured_six_match_figure_axes() {
+        let names: Vec<_> = Benchmark::featured().iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["bzip2", "gcc", "gobmk", "lbm", "libq.", "milc"]);
+    }
+
+    #[test]
+    fn trace_lengths_match_figures() {
+        assert_eq!(Benchmark::Gobmk.trace().len(), 50, "fig 3/4 span 50 samples");
+        assert_eq!(Benchmark::Lbm.trace().len(), 160, "fig 6 spans 160 samples");
+        assert_eq!(Benchmark::Gcc.trace().len(), 200, "fig 7 spans 200 samples");
+        assert_eq!(Benchmark::Milc.trace().len(), 175, "fig 5 spans >170 samples");
+        assert_eq!(Benchmark::Bzip2.trace().len(), 40);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        for b in Benchmark::all() {
+            assert_eq!(b.trace(), b.trace(), "{b}");
+        }
+    }
+
+    #[test]
+    fn every_trace_is_valid_and_nonempty() {
+        for b in Benchmark::all() {
+            let t = b.trace();
+            assert!(!t.is_empty(), "{b}");
+            for s in t.iter() {
+                assert!(s.is_valid(), "{b}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bzip2_is_cpu_bound() {
+        let stats = Benchmark::Bzip2.trace().stats();
+        assert!(stats.mpki_mean < 1.5, "bzip2 mpki {}", stats.mpki_mean);
+        assert!(stats.cpi_mean < 1.0);
+    }
+
+    #[test]
+    fn lbm_is_memory_bound_and_steady() {
+        let stats = Benchmark::Lbm.trace().stats();
+        assert!(stats.mpki_mean > 15.0, "lbm mpki {}", stats.mpki_mean);
+        assert!(stats.mpki_cv() < 0.15, "lbm must be steady, cv {}", stats.mpki_cv());
+    }
+
+    #[test]
+    fn gobmk_changes_phases_rapidly() {
+        let stats = Benchmark::Gobmk.trace().stats();
+        assert!(
+            stats.phase_changes > 15,
+            "gobmk phase changes {}",
+            stats.phase_changes
+        );
+    }
+
+    #[test]
+    fn gobmk_varies_more_than_lbm() {
+        let g = Benchmark::Gobmk.trace().stats();
+        let l = Benchmark::Lbm.trace().stats();
+        assert!(g.mpki_cv() > 4.0 * l.mpki_cv());
+    }
+
+    #[test]
+    fn milc_is_mostly_cpu_with_memory_phases() {
+        let t = Benchmark::Milc.trace();
+        let heavy = t.iter().filter(|s| s.mpki > 10.0).count();
+        let frac = heavy as f64 / t.len() as f64;
+        assert!(
+            (0.1..0.3).contains(&frac),
+            "milc memory-phase fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn mcf_is_the_most_latency_bound() {
+        let mcf = Benchmark::Mcf.trace().stats();
+        for b in Benchmark::all() {
+            if b != Benchmark::Mcf {
+                assert!(mcf.mpki_mean >= b.trace().stats().mpki_mean, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_seed_changes_jittered_trace() {
+        let a = Benchmark::Gcc.trace_with(1, 0.02);
+        let b = Benchmark::Gcc.trace_with(2, 0.02);
+        assert_ne!(a, b);
+        let c = Benchmark::Gcc.trace_with(1, 0.0);
+        let d = Benchmark::Gcc.trace_with(2, 0.0);
+        assert_eq!(c, d, "zero jitter erases seed dependence");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Libquantum.to_string(), "libq.");
+    }
+
+    #[test]
+    fn from_str_round_trips_every_name() {
+        for b in Benchmark::all() {
+            let parsed: Benchmark = b.name().parse().unwrap();
+            assert_eq!(parsed, b);
+        }
+        assert_eq!("libquantum".parse::<Benchmark>().unwrap(), Benchmark::Libquantum);
+        assert_eq!(" GOBMK ".parse::<Benchmark>().unwrap(), Benchmark::Gobmk);
+        let err = "doom".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("doom"));
+    }
+}

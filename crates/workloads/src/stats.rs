@@ -1,0 +1,134 @@
+//! Summary statistics over sample traces.
+
+use mcdvfs_types::SampleCharacteristics;
+
+/// Per-trace summary statistics, used by reports and tests to sanity-check
+/// generated workloads against their intended behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Mean core-bound CPI.
+    pub cpi_mean: f64,
+    /// Minimum core-bound CPI.
+    pub cpi_min: f64,
+    /// Maximum core-bound CPI.
+    pub cpi_max: f64,
+    /// Mean MPKI.
+    pub mpki_mean: f64,
+    /// Minimum MPKI.
+    pub mpki_min: f64,
+    /// Maximum MPKI.
+    pub mpki_max: f64,
+    /// Standard deviation of MPKI — a proxy for phase variability.
+    pub mpki_stddev: f64,
+    /// Number of *phase changes*: samples whose MPKI differs from the
+    /// previous sample by more than 25% of the trace's MPKI range.
+    pub phase_changes: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty.
+    #[must_use]
+    pub fn of(samples: &[SampleCharacteristics]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty trace");
+        let n = samples.len() as f64;
+        let cpi: Vec<f64> = samples.iter().map(|s| s.base_cpi).collect();
+        let mpki: Vec<f64> = samples.iter().map(|s| s.mpki).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+        let minmax = |v: &[f64]| {
+            v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            })
+        };
+        let (cpi_min, cpi_max) = minmax(&cpi);
+        let (mpki_min, mpki_max) = minmax(&mpki);
+        let mpki_mean = mean(&mpki);
+        let var = mpki.iter().map(|x| (x - mpki_mean).powi(2)).sum::<f64>() / n;
+        let range = (mpki_max - mpki_min).max(1e-12);
+        let phase_changes = mpki
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > 0.25 * range)
+            .count();
+        Self {
+            samples: samples.len(),
+            cpi_mean: mean(&cpi),
+            cpi_min,
+            cpi_max,
+            mpki_mean,
+            mpki_min,
+            mpki_max,
+            mpki_stddev: var.sqrt(),
+            phase_changes,
+        }
+    }
+
+    /// Coefficient of variation of MPKI (stddev over mean); `0` for a
+    /// memory-silent trace.
+    #[must_use]
+    pub fn mpki_cv(&self) -> f64 {
+        if self.mpki_mean <= 0.0 {
+            0.0
+        } else {
+            self.mpki_stddev / self.mpki_mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_trace_has_zero_variability() {
+        let samples = vec![SampleCharacteristics::new(1.0, 5.0); 10];
+        let s = TraceStats::of(&samples);
+        assert_eq!(s.samples, 10);
+        assert!((s.cpi_mean - 1.0).abs() < 1e-12);
+        assert!((s.mpki_stddev).abs() < 1e-12);
+        assert_eq!(s.phase_changes, 0);
+        assert_eq!(s.mpki_cv(), 0.0);
+    }
+
+    #[test]
+    fn alternating_trace_counts_phase_changes() {
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            let mpki = if i % 2 == 0 { 1.0 } else { 20.0 };
+            samples.push(SampleCharacteristics::new(1.0, mpki));
+        }
+        let s = TraceStats::of(&samples);
+        assert_eq!(s.phase_changes, 9, "every adjacent pair crosses the range");
+        assert!((s.mpki_min - 1.0).abs() < 1e-12);
+        assert!((s.mpki_max - 20.0).abs() < 1e-12);
+        assert!(s.mpki_cv() > 0.5);
+    }
+
+    #[test]
+    fn min_max_mean_are_consistent() {
+        let samples = vec![
+            SampleCharacteristics::new(0.5, 2.0),
+            SampleCharacteristics::new(1.5, 6.0),
+        ];
+        let s = TraceStats::of(&samples);
+        assert!((s.cpi_mean - 1.0).abs() < 1e-12);
+        assert!((s.mpki_mean - 4.0).abs() < 1e-12);
+        assert!(s.cpi_min <= s.cpi_mean && s.cpi_mean <= s.cpi_max);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_panics() {
+        let _ = TraceStats::of(&[]);
+    }
+
+    #[test]
+    fn memory_silent_trace_cv_is_zero() {
+        let samples = vec![SampleCharacteristics::new(1.0, 0.0); 4];
+        assert_eq!(TraceStats::of(&samples).mpki_cv(), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Concrete per-sample workload traces.
+
+use crate::stats::TraceStats;
+use mcdvfs_types::{SampleCharacteristics, INSTRUCTIONS_PER_SAMPLE};
+use std::fmt;
+
+/// A named sequence of fixed-work samples — the unit every characterization
+/// and tuning algorithm consumes.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::SampleCharacteristics;
+/// use mcdvfs_workloads::SampleTrace;
+///
+/// let trace = SampleTrace::new(
+///     "toy",
+///     vec![SampleCharacteristics::new(1.0, 2.0); 8],
+/// );
+/// assert_eq!(trace.len(), 8);
+/// assert_eq!(trace.total_instructions(), 80_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleTrace {
+    name: String,
+    samples: Vec<SampleCharacteristics>,
+}
+
+impl SampleTrace {
+    /// Creates a trace from samples in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is invalid (see
+    /// [`SampleCharacteristics::is_valid`]).
+    #[must_use]
+    pub fn new(name: impl Into<String>, samples: Vec<SampleCharacteristics>) -> Self {
+        for (i, s) in samples.iter().enumerate() {
+            assert!(s.is_valid(), "sample {i} is invalid: {s:?}");
+        }
+        Self {
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// The workload's name (e.g. `"gobmk"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples in execution order.
+    #[must_use]
+    pub fn samples(&self) -> &[SampleCharacteristics] {
+        &self.samples
+    }
+
+    /// One sample by index.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&SampleCharacteristics> {
+        self.samples.get(i)
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, SampleCharacteristics> {
+        self.samples.iter()
+    }
+
+    /// Total user-mode instructions represented by the trace.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.samples.len() as u64 * INSTRUCTIONS_PER_SAMPLE
+    }
+
+    /// Summary statistics over the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(&self.samples)
+    }
+
+    /// A sub-trace covering samples `[start, end)`, preserving the name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    #[must_use]
+    pub fn window(&self, start: usize, end: usize) -> SampleTrace {
+        assert!(start <= end && end <= self.samples.len(), "window out of range");
+        SampleTrace {
+            name: self.name.clone(),
+            samples: self.samples[start..end].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for SampleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} samples)", self.name, self.samples.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a SampleTrace {
+    type Item = &'a SampleCharacteristics;
+    type IntoIter = std::slice::Iter<'a, SampleCharacteristics>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> SampleTrace {
+        SampleTrace::new(
+            "t",
+            vec![
+                SampleCharacteristics::new(0.5, 1.0),
+                SampleCharacteristics::new(1.0, 2.0),
+                SampleCharacteristics::new(1.5, 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = trace();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!((t.get(1).unwrap().base_cpi - 1.0).abs() < 1e-12);
+        assert!(t.get(3).is_none());
+        assert_eq!(t.iter().count(), 3);
+        assert_eq!((&t).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn total_instructions_scale_with_length() {
+        assert_eq!(trace().total_instructions(), 30_000_000);
+    }
+
+    #[test]
+    fn window_slices_samples() {
+        let t = trace();
+        let w = t.window(1, 3);
+        assert_eq!(w.len(), 2);
+        assert!((w.get(0).unwrap().base_cpi - 1.0).abs() < 1e-12);
+        assert_eq!(w.name(), "t");
+        let empty = t.window(2, 2);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window out of range")]
+    fn bad_window_panics() {
+        let _ = trace().window(2, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_sample_rejected() {
+        let mut bad = SampleCharacteristics::new(1.0, 1.0);
+        bad.mlp = 0.0;
+        let _ = SampleTrace::new("bad", vec![bad]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(trace().to_string(), "t (3 samples)");
+    }
+}

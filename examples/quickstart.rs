@@ -1,0 +1,65 @@
+//! Quickstart: characterize a workload and pick frequency settings under an
+//! energy constraint.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mcdvfs_core::{cluster_series, stable_regions, Inefficiency, InefficiencyBudget, OptimalFinder};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::{FreqSetting, FrequencyGrid};
+use mcdvfs_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The simulated platform: an energy-constrained phone with CPU DVFS
+    //    (100-1000 MHz) and memory DFS (200-800 MHz).
+    let system = System::galaxy_nexus_class();
+    let grid = FrequencyGrid::coarse();
+    println!("platform grid: {grid}");
+
+    // 2. A workload: the first 20 samples (200 M instructions) of gobmk.
+    let trace = Benchmark::Gobmk.trace().window(0, 20);
+    println!("workload: {trace}");
+
+    // 3. Measure every (sample, setting) pair — the paper's 70 simulations.
+    let data = CharacterizationGrid::characterize(&system, &trace, grid);
+
+    // 4. Inefficiency of one candidate setting for sample 0.
+    let candidate = FreqSetting::from_mhz(1000, 800);
+    let measured = data.measurement_at(0, candidate)?;
+    let inefficiency = Inefficiency::compute(measured.energy(), data.sample_emin(0))?;
+    println!(
+        "sample 0 at {candidate}: {:.2} ms, inefficiency {inefficiency:.2}",
+        measured.time.as_micros() / 1e3
+    );
+
+    // 5. The best settings under a 30%-extra-energy budget.
+    let budget = InefficiencyBudget::bounded(1.3)?;
+    let optimal = OptimalFinder::new(budget).series(&data);
+    println!("\noptimal settings under {budget}:");
+    for choice in optimal.iter().take(6) {
+        println!(
+            "  sample {:2}: {} (I={:.2})",
+            choice.sample, choice.setting, choice.inefficiency
+        );
+    }
+
+    // 6. Trade 5% performance for stability: performance clusters fuse into
+    //    stable regions, eliminating most frequency transitions.
+    let clusters = cluster_series(&data, budget, 0.05)?;
+    let regions = stable_regions(&clusters);
+    println!(
+        "\nwith a 5% performance-loss allowance: {} stable regions over {} samples",
+        regions.len(),
+        trace.len()
+    );
+    for region in &regions {
+        println!(
+            "  samples {:2}..{:2} stay at {}",
+            region.start,
+            region.end,
+            region.chosen_setting(&data)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Integration-test support crate for the `mcdvfs` workspace.

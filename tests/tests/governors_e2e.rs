@@ -1,0 +1,168 @@
+//! End-to-end governor behaviour across the full pipeline.
+
+use mcdvfs_core::governor::{
+    CoScaleGovernor, ConservativeGovernor, FixedGovernor, Governor, OndemandGovernor,
+    OracleClusterGovernor, OracleOptimalGovernor, PerformanceGovernor, PowersaveGovernor,
+    PredictiveGovernor, ProfileGovernor, RegionChoice, WorkloadProfile,
+};
+use mcdvfs_core::{GovernedRun, InefficiencyBudget};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::{FreqSetting, FrequencyGrid, MemFreq};
+use mcdvfs_workloads::{Benchmark, SampleTrace};
+use std::sync::Arc;
+
+fn setup(b: Benchmark) -> (Arc<CharacterizationGrid>, SampleTrace) {
+    let trace = b.trace();
+    let data = Arc::new(CharacterizationGrid::characterize(
+        &System::galaxy_nexus_class(),
+        &trace,
+        FrequencyGrid::coarse(),
+    ));
+    (data, trace)
+}
+
+fn budget(v: f64) -> InefficiencyBudget {
+    InefficiencyBudget::bounded(v).unwrap()
+}
+
+#[test]
+fn every_governor_produces_a_consistent_report() {
+    let (data, trace) = setup(Benchmark::Gobmk);
+    let grid = data.grid();
+    let system = System::galaxy_nexus_class();
+    let latency = system.latency_model().clone();
+    let b = budget(1.3);
+
+    let latency2 = latency.clone();
+    let profile = WorkloadProfile::from_characterization(&data, b, 0.05).unwrap();
+    let mut governors: Vec<Box<dyn Governor>> = vec![
+        Box::new(FixedGovernor::new(FreqSetting::from_mhz(500, 400))),
+        Box::new(PerformanceGovernor::new(grid)),
+        Box::new(PowersaveGovernor::new(grid)),
+        Box::new(OndemandGovernor::new(grid, 0.6, move |mhz| {
+            latency.effective_bandwidth(MemFreq::from_mhz(mhz))
+        })),
+        Box::new(ConservativeGovernor::new(grid, 0.6, move |mhz| {
+            latency2.effective_bandwidth(MemFreq::from_mhz(mhz))
+        })),
+        Box::new(ProfileGovernor::new(profile)),
+        Box::new(CoScaleGovernor::new(Arc::clone(&data), b)),
+        Box::new(CoScaleGovernor::new(Arc::clone(&data), b).starting_from_previous()),
+        Box::new(OracleOptimalGovernor::new(Arc::clone(&data), b)),
+        Box::new(OracleClusterGovernor::new(Arc::clone(&data), b, 0.05).unwrap()),
+        Box::new(
+            OracleClusterGovernor::with_choice(
+                Arc::clone(&data),
+                b,
+                0.05,
+                RegionChoice::LowestEnergy,
+            )
+            .unwrap(),
+        ),
+        Box::new(PredictiveGovernor::new(Arc::clone(&data), b)),
+    ];
+
+    let runner = GovernedRun::with_paper_overheads();
+    for governor in &mut governors {
+        let report = runner.execute(&data, &trace, governor.as_mut());
+        assert_eq!(report.sample_settings.len(), trace.len(), "{}", report.governor);
+        assert!(report.work_time.value() > 0.0);
+        assert!(report.work_energy.value() > 0.0);
+        assert!(report.total_time() >= report.work_time);
+        assert!(report.total_energy() >= report.work_energy);
+        assert!(report.total_inefficiency() >= 1.0 - 1e-9);
+        for &s in &report.sample_settings {
+            assert!(grid.contains(s), "{} chose off-grid {s}", report.governor);
+        }
+    }
+}
+
+#[test]
+fn oracle_governors_meet_their_budget_while_baselines_blow_it() {
+    let (data, trace) = setup(Benchmark::Milc);
+    let b = budget(1.2);
+    let runner = GovernedRun::without_overheads();
+    let bound = 1.2 * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9;
+
+    let mut oracle = OracleOptimalGovernor::new(Arc::clone(&data), b);
+    let oracle_report = runner.execute(&data, &trace, &mut oracle);
+    assert!(oracle_report.work_inefficiency() <= bound);
+
+    let mut cluster = OracleClusterGovernor::new(Arc::clone(&data), b, 0.05).unwrap();
+    let cluster_report = runner.execute(&data, &trace, &mut cluster);
+    assert!(cluster_report.work_inefficiency() <= bound);
+
+    let mut performance = PerformanceGovernor::new(data.grid());
+    let perf_report = runner.execute(&data, &trace, &mut performance);
+    assert!(
+        perf_report.work_inefficiency() > bound,
+        "the performance governor has no energy constraint: {}",
+        perf_report.work_inefficiency()
+    );
+}
+
+#[test]
+fn powersave_demonstrates_slow_is_not_efficient() {
+    let (data, trace) = setup(Benchmark::Gobmk);
+    let runner = GovernedRun::without_overheads();
+    let mut powersave = PowersaveGovernor::new(data.grid());
+    let report = runner.execute(&data, &trace, &mut powersave);
+    assert!(
+        report.work_inefficiency() > 1.25,
+        "the slowest settings waste energy: {}",
+        report.work_inefficiency()
+    );
+}
+
+#[test]
+fn warm_coscale_charges_less_tuning_than_cold() {
+    let (data, trace) = setup(Benchmark::Lbm);
+    let b = budget(1.2);
+    let runner = GovernedRun::with_paper_overheads();
+    let mut cold = CoScaleGovernor::new(Arc::clone(&data), b);
+    let mut warm = CoScaleGovernor::new(Arc::clone(&data), b).starting_from_previous();
+    let cold_report = runner.execute(&data, &trace, &mut cold);
+    let warm_report = runner.execute(&data, &trace, &mut warm);
+    assert!(
+        warm_report.tuning_time < cold_report.tuning_time,
+        "warm start {} vs cold {} tuning seconds",
+        warm_report.tuning_time.value(),
+        cold_report.tuning_time.value()
+    );
+}
+
+#[test]
+fn predictive_governor_searches_far_less_than_the_oracle_tracker() {
+    let (data, trace) = setup(Benchmark::Lbm);
+    let b = budget(1.3);
+    let runner = GovernedRun::with_paper_overheads();
+    let mut oracle = OracleOptimalGovernor::new(Arc::clone(&data), b);
+    let tracked = runner.execute(&data, &trace, &mut oracle);
+    let mut predictive = PredictiveGovernor::new(Arc::clone(&data), b);
+    let predicted = runner.execute(&data, &trace, &mut predictive);
+    assert!(predicted.searches * 2 < tracked.searches);
+    // And its quality stays close: within 5% of the oracle's time.
+    assert!(predicted.total_time().value() < tracked.total_time().value() * 1.05);
+}
+
+#[test]
+fn efficient_region_choice_saves_energy_within_threshold() {
+    let (data, trace) = setup(Benchmark::Gcc);
+    let b = budget(1.3);
+    let runner = GovernedRun::without_overheads();
+    let mut fast = OracleClusterGovernor::new(Arc::clone(&data), b, 0.05).unwrap();
+    let fast_report = runner.execute(&data, &trace, &mut fast);
+    let mut efficient = OracleClusterGovernor::with_choice(
+        Arc::clone(&data),
+        b,
+        0.05,
+        RegionChoice::LowestEnergy,
+    )
+    .unwrap();
+    let efficient_report = runner.execute(&data, &trace, &mut efficient);
+    assert!(efficient_report.work_energy <= fast_report.work_energy);
+    // The bounded loss: the efficient choice is within the 5% threshold of
+    // the performance choice.
+    let loss = efficient_report.work_time / fast_report.work_time - 1.0;
+    assert!(loss <= 0.05 + 1e-9, "loss {loss}");
+}

@@ -1,0 +1,192 @@
+//! Property-based invariants over randomized workloads, grids and budgets.
+
+use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget, OptimalFinder};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::{FreqSetting, FrequencyGrid, SampleCharacteristics};
+use mcdvfs_workloads::{Phase, PhaseScript, SampleTrace};
+use proptest::prelude::*;
+
+/// Random but valid sample characteristics.
+fn arb_chars() -> impl Strategy<Value = SampleCharacteristics> {
+    (
+        0.4f64..2.5,   // base_cpi
+        0.0f64..35.0,  // mpki
+        0.0f64..1.0,   // write_frac
+        0.05f64..0.95, // row_hit_rate
+        1.0f64..4.0,   // mlp
+        0.1f64..1.0,   // stall_exposure
+        0.2f64..1.0,   // activity_factor
+    )
+        .prop_map(|(cpi, mpki, wf, rh, mlp, se, af)| SampleCharacteristics {
+            base_cpi: cpi,
+            mpki,
+            write_frac: wf,
+            row_hit_rate: rh,
+            mlp,
+            stall_exposure: se,
+            activity_factor: af,
+        })
+}
+
+/// Short random traces keep the grid characterization fast under proptest.
+fn arb_trace() -> impl Strategy<Value = SampleTrace> {
+    proptest::collection::vec(arb_chars(), 2..6)
+        .prop_map(|samples| SampleTrace::new("prop", samples))
+}
+
+/// A small random sub-grid of the platform's range.
+fn arb_grid() -> impl Strategy<Value = FrequencyGrid> {
+    (1u32..=4, 1u32..=3).prop_map(|(csteps, msteps)| {
+        FrequencyGrid::new(
+            200,
+            200 + 200 * csteps,
+            200,
+            200,
+            200 + 200 * msteps,
+            200,
+        )
+        .expect("valid sub-grid")
+    })
+}
+
+fn characterize(trace: &SampleTrace, grid: FrequencyGrid) -> CharacterizationGrid {
+    CharacterizationGrid::characterize(&System::galaxy_nexus_class(), trace, grid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inefficiency is ≥ 1 for every sample at every setting.
+    #[test]
+    fn inefficiency_is_at_least_one(trace in arb_trace(), grid in arb_grid()) {
+        let data = characterize(&trace, grid);
+        for s in 0..data.n_samples() {
+            let emin = data.sample_emin(s);
+            for m in data.sample_row(s) {
+                prop_assert!(m.energy() / emin >= 1.0 - 1e-12);
+            }
+        }
+    }
+
+    /// The optimal choice dominates every feasible setting (within the
+    /// tie tolerance) and respects the budget (within noise tolerance).
+    #[test]
+    fn optimal_dominates_feasible(
+        trace in arb_trace(),
+        grid in arb_grid(),
+        budget_v in 1.0f64..2.0,
+    ) {
+        let data = characterize(&trace, grid);
+        let budget = InefficiencyBudget::bounded(budget_v).unwrap();
+        let finder = OptimalFinder::new(budget);
+        for s in 0..data.n_samples() {
+            let choice = finder.find(&data, s);
+            prop_assert!(
+                choice.inefficiency.value()
+                    <= budget_v * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9
+            );
+            for i in finder.feasible(&data, s) {
+                let t = data.measurement(s, i).time.value();
+                prop_assert!(choice.time.value() <= t * (1.0 + 0.005) + 1e-15);
+            }
+        }
+    }
+
+    /// Clusters contain their optimal; members respect budget and
+    /// threshold; larger thresholds produce supersets.
+    #[test]
+    fn cluster_invariants(
+        trace in arb_trace(),
+        grid in arb_grid(),
+        budget_v in 1.0f64..1.8,
+    ) {
+        let data = characterize(&trace, grid);
+        let budget = InefficiencyBudget::bounded(budget_v).unwrap();
+        let tight = cluster_series(&data, budget, 0.01).unwrap();
+        let loose = cluster_series(&data, budget, 0.05).unwrap();
+        for (a, b) in tight.iter().zip(&loose) {
+            prop_assert!(a.contains_index(a.optimal.index));
+            prop_assert!(b.len() >= a.len());
+            for &i in a.member_indices() {
+                prop_assert!(b.contains_index(i));
+                let loss = 1.0 - a.optimal.time.value()
+                    / data.measurement(a.sample, i).time.value();
+                prop_assert!(loss <= 0.01 + 1e-9);
+            }
+        }
+    }
+
+    /// Stable regions partition the trace, and every region's chosen
+    /// setting is in every covered sample's cluster.
+    #[test]
+    fn stable_regions_partition_and_cover(
+        trace in arb_trace(),
+        grid in arb_grid(),
+    ) {
+        let data = characterize(&trace, grid);
+        let budget = InefficiencyBudget::bounded(1.3).unwrap();
+        let clusters = cluster_series(&data, budget, 0.03).unwrap();
+        let regions = stable_regions(&clusters);
+        prop_assert_eq!(regions[0].start, 0);
+        prop_assert_eq!(regions.last().unwrap().end, data.n_samples());
+        for w in regions.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        for r in &regions {
+            for s in r.start..r.end {
+                prop_assert!(clusters[s].contains_index(r.chosen_index));
+            }
+        }
+    }
+
+    /// Execution time is monotone non-increasing in each frequency domain
+    /// separately.
+    #[test]
+    fn time_monotone_in_each_domain(chars in arb_chars()) {
+        let system = System::galaxy_nexus_class().with_measurement_noise(0.0);
+        let mut prev = f64::INFINITY;
+        for cpu in (100..=1000).step_by(100) {
+            let t = system
+                .simulate_sample(&chars, FreqSetting::from_mhz(cpu, 400))
+                .time
+                .value();
+            prop_assert!(t <= prev * (1.0 + 1e-12));
+            prev = t;
+        }
+        let mut prev = f64::INFINITY;
+        for mem in (200..=800).step_by(100) {
+            let t = system
+                .simulate_sample(&chars, FreqSetting::from_mhz(800, mem))
+                .time
+                .value();
+            prop_assert!(t <= prev * (1.0 + 1e-12));
+            prev = t;
+        }
+    }
+
+    /// Loosening the budget never slows the optimal choice down.
+    #[test]
+    fn budget_monotonicity(trace in arb_trace(), grid in arb_grid()) {
+        let data = characterize(&trace, grid);
+        for s in 0..data.n_samples() {
+            let mut prev = f64::INFINITY;
+            for budget_v in [1.0, 1.2, 1.4, 1.8] {
+                let budget = InefficiencyBudget::bounded(budget_v).unwrap();
+                let t = OptimalFinder::new(budget).find(&data, s).time.value();
+                prop_assert!(t <= prev * (1.0 + 0.006), "sample {}", s);
+                prev = t;
+            }
+        }
+    }
+
+    /// Phase scripts always render valid characteristics at any seed.
+    #[test]
+    fn rendered_scripts_are_valid(seed in any::<u64>(), jitter in 0.0f64..0.1) {
+        let script = PhaseScript::new(vec![
+            Phase::constant(SampleCharacteristics::new(1.0, 8.0), 5),
+        ]);
+        for s in script.render(seed, jitter) {
+            prop_assert!(s.is_valid());
+        }
+    }
+}

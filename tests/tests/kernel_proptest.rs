@@ -1,0 +1,95 @@
+//! Property tests for the kernel-interface shim: arbitrary userspace
+//! behaviour must never crash the stack or drive the hardware off-grid.
+
+use mcdvfs_kernel::KernelShim;
+use mcdvfs_types::FrequencyGrid;
+use proptest::prelude::*;
+
+/// Arbitrary attribute paths, mixing valid and invalid ones.
+fn arb_path() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("cpufreq/scaling_governor".to_string()),
+        Just("cpufreq/scaling_setspeed".to_string()),
+        Just("cpufreq/scaling_min_freq".to_string()),
+        Just("cpufreq/scaling_max_freq".to_string()),
+        Just("cpufreq/scaling_cur_freq".to_string()),
+        Just("devfreq/governor".to_string()),
+        Just("devfreq/userspace/set_freq".to_string()),
+        Just("devfreq/min_freq".to_string()),
+        Just("devfreq/max_freq".to_string()),
+        "[a-z/_]{1,24}",
+    ]
+}
+
+/// Arbitrary written values: governor names, plausible frequencies, noise.
+fn arb_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("performance".to_string()),
+        Just("powersave".to_string()),
+        Just("userspace".to_string()),
+        Just("ondemand".to_string()),
+        (1u64..2_000_000_000).prop_map(|n| n.to_string()),
+        "[ -~]{0,16}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever userspace throws at the shim, the hardware setting stays
+    /// on the platform grid and reads never panic.
+    #[test]
+    fn shim_survives_arbitrary_userspace(
+        ops in proptest::collection::vec((arb_path(), arb_value()), 1..40)
+    ) {
+        let grid = FrequencyGrid::coarse();
+        let mut shim = KernelShim::new(grid);
+        for (path, value) in &ops {
+            let _ = shim.write(path, value); // errors are fine, panics are not
+            let _ = shim.read(path);
+            prop_assert!(grid.contains(shim.controller().current()));
+        }
+        // Canonical attributes stay readable and parseable afterwards.
+        let cur: u64 = shim
+            .read("cpufreq/scaling_cur_freq")
+            .unwrap()
+            .parse()
+            .expect("cur_freq is numeric");
+        prop_assert!((100_000..=1_000_000).contains(&cur));
+    }
+
+    /// Bounds invariants hold under any write sequence: min ≤ cur ≤ max on
+    /// both domains.
+    #[test]
+    fn bounds_always_bracket_the_target(
+        ops in proptest::collection::vec((arb_path(), arb_value()), 1..40)
+    ) {
+        let mut shim = KernelShim::new(FrequencyGrid::coarse());
+        for (path, value) in &ops {
+            let _ = shim.write(path, value);
+            let min: u64 = shim.read("cpufreq/scaling_min_freq").unwrap().parse().unwrap();
+            let max: u64 = shim.read("cpufreq/scaling_max_freq").unwrap().parse().unwrap();
+            let cur: u64 = shim.read("cpufreq/scaling_cur_freq").unwrap().parse().unwrap();
+            prop_assert!(min <= max, "cpufreq bounds inverted");
+            prop_assert!((min..=max).contains(&cur), "cpufreq target escaped bounds");
+            let min: u64 = shim.read("devfreq/min_freq").unwrap().parse().unwrap();
+            let max: u64 = shim.read("devfreq/max_freq").unwrap().parse().unwrap();
+            let cur: u64 = shim.read("devfreq/cur_freq").unwrap().parse().unwrap();
+            prop_assert!(min <= max, "devfreq bounds inverted");
+            prop_assert!((min..=max).contains(&cur), "devfreq target escaped bounds");
+        }
+    }
+
+    /// Transition counting only moves on *effective* changes: replaying the
+    /// same write twice never double-counts.
+    #[test]
+    fn idempotent_writes_do_not_transition(freq_mhz in 1u32..1200) {
+        let mut shim = KernelShim::new(FrequencyGrid::coarse());
+        shim.write("cpufreq/scaling_governor", "userspace").unwrap();
+        let khz = format!("{}", u64::from(freq_mhz) * 1000);
+        let _ = shim.write("cpufreq/scaling_setspeed", &khz);
+        let after_first = shim.controller().transition_count();
+        let _ = shim.write("cpufreq/scaling_setspeed", &khz);
+        prop_assert_eq!(shim.controller().transition_count(), after_first);
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration: driving the simulated platform through the Linux-style
+//! kernel interfaces, end to end with the characterization data.
+
+use mcdvfs_kernel::KernelShim;
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::{FreqSetting, FrequencyGrid};
+use mcdvfs_workloads::Benchmark;
+
+/// A userspace tuner (like the paper's characterization scripts) steps the
+/// platform through settings via sysfs writes; the controller must follow
+/// exactly, and the data collected at each step must match a direct grid
+/// lookup.
+#[test]
+fn userspace_sweep_through_sysfs_matches_direct_characterization() {
+    let grid = FrequencyGrid::coarse();
+    let trace = Benchmark::Gobmk.trace().window(0, 1);
+    let data = CharacterizationGrid::characterize(&System::galaxy_nexus_class(), &trace, grid);
+
+    let mut shim = KernelShim::new(grid);
+    shim.write("cpufreq/scaling_governor", "userspace").unwrap();
+    shim.write("devfreq/governor", "userspace").unwrap();
+
+    for setting in grid.settings() {
+        shim.write(
+            "cpufreq/scaling_setspeed",
+            &format!("{}", u64::from(setting.cpu.mhz()) * 1000),
+        )
+        .unwrap();
+        shim.write(
+            "devfreq/userspace/set_freq",
+            &format!("{}", u64::from(setting.mem.mhz()) * 1_000_000),
+        )
+        .unwrap();
+        assert_eq!(shim.controller().current(), setting);
+        // The sample measured at this setting is the grid's entry.
+        let m = data.measurement_at(0, setting).unwrap();
+        assert!(m.is_valid());
+    }
+    // A full sweep from the 1000 MHz boot setting: one drop to 100 MHz,
+    // then nine tier climbs.
+    assert_eq!(shim.controller().cpu_transition_count(), 10);
+    assert!(shim.controller().mem_transition_count() >= 60);
+}
+
+/// The paper's "userspace frequency governors before starting the
+/// benchmark" flow: pin both domains, then verify the pinned setting's
+/// whole-run numbers.
+#[test]
+fn pinned_run_reproduces_fixed_setting_totals() {
+    let grid = FrequencyGrid::coarse();
+    let trace = Benchmark::Bzip2.trace().window(0, 8);
+    let data = CharacterizationGrid::characterize(&System::galaxy_nexus_class(), &trace, grid);
+
+    let mut shim = KernelShim::new(grid);
+    shim.write("cpufreq/scaling_governor", "userspace").unwrap();
+    shim.write("cpufreq/scaling_setspeed", "600000").unwrap();
+    shim.write("devfreq/governor", "userspace").unwrap();
+    shim.write("devfreq/userspace/set_freq", "400000000").unwrap();
+
+    let pinned = shim.controller().current();
+    assert_eq!(pinned, FreqSetting::from_mhz(600, 400));
+    let idx = grid.index_of(pinned).unwrap();
+    assert!(data.total_time_at(idx).value() > 0.0);
+    assert!(data.total_energy_at(idx) >= data.total_emin());
+}
+
+/// Policy limits compose with governors the way Linux composes them: a
+/// thermal cap through scaling_max_freq constrains even `performance`.
+#[test]
+fn thermal_cap_scenario() {
+    let mut shim = KernelShim::new(FrequencyGrid::coarse());
+    assert_eq!(shim.controller().current().cpu.mhz(), 1000);
+    shim.write("cpufreq/scaling_max_freq", "700000").unwrap();
+    assert_eq!(shim.controller().current().cpu.mhz(), 700);
+    // Userspace requests above the cap snap down to it.
+    shim.write("cpufreq/scaling_governor", "userspace").unwrap();
+    shim.write("cpufreq/scaling_setspeed", "1000000").unwrap();
+    assert_eq!(shim.controller().current().cpu.mhz(), 700);
+    // Cap released: the pinned userspace target stays, no surprise jumps.
+    shim.write("cpufreq/scaling_max_freq", "1000000").unwrap();
+    assert_eq!(shim.controller().current().cpu.mhz(), 700);
+}
+
+/// Transition accounting flows through the stack: every effective sysfs
+/// frequency change bills the hardware model.
+#[test]
+fn sysfs_changes_bill_transition_costs() {
+    let mut shim = KernelShim::new(FrequencyGrid::coarse());
+    shim.write("cpufreq/scaling_governor", "powersave").unwrap();
+    shim.write("cpufreq/scaling_governor", "performance").unwrap();
+    let transitions = shim.controller().transition_count();
+    assert_eq!(transitions, 2);
+    let latency = shim.controller().total_transition_latency();
+    assert!(
+        (latency.as_micros() - 60.0).abs() < 1.0,
+        "two CPU transitions at 30 µs each, got {} µs",
+        latency.as_micros()
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-model validation: the fast analytic components used by the grid
+//! characterization are checked against the detailed event-driven and
+//! trace-driven models built alongside them.
+
+use mcdvfs_cpu::{microbench, CacheHierarchy, MemAccess};
+use mcdvfs_dram::{LatencyModel, MemoryController, Request};
+use mcdvfs_sim::System;
+use mcdvfs_types::{FreqSetting, MemFreq, SampleCharacteristics};
+
+/// The analytic latency model and the event-driven controller must agree
+/// on the *shape* of latency vs memory frequency for a moderately loaded,
+/// mixed-locality stream: both monotonically decreasing, and within 2x of
+/// each other in absolute terms.
+#[test]
+fn analytic_latency_tracks_event_driven_controller() {
+    let analytic = LatencyModel::lpddr3();
+    // A mixed stream: 60% sequential (row friendly), 40% scattered.
+    let make_stream = |f: MemFreq| -> Vec<Request> {
+        let gap_ns = 120.0;
+        let mut state = 99u64;
+        (0..800u64)
+            .map(|i| {
+                let addr = if i % 5 < 3 {
+                    i * 64
+                } else {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state % (64 * 1024 * 1024 / 64)) * 64
+                };
+                Request {
+                    arrival_cycle: f.cycles_in_ns(gap_ns * i as f64),
+                    addr,
+                    write: i % 4 == 0,
+                }
+            })
+            .collect()
+    };
+
+    let mut prev_event = f64::INFINITY;
+    let mut prev_analytic = f64::INFINITY;
+    for mhz in [200, 400, 600, 800] {
+        let f = MemFreq::from_mhz(mhz);
+        let mut ctrl = MemoryController::lpddr3(f);
+        let results = ctrl.run(&make_stream(f));
+        let stats = MemoryController::stats(&results, f, ctrl.refreshes());
+
+        let demand = 800.0 * 64.0 / (120e-9 * 800.0); // bytes per second offered
+        let rho = analytic.utilization(f, demand, 1.0);
+        let predicted = analytic.avg_latency_ns(f, stats.row_hit_rate, rho);
+
+        assert!(
+            stats.avg_latency_ns < prev_event,
+            "event-driven latency must fall with frequency"
+        );
+        assert!(
+            predicted < prev_analytic,
+            "analytic latency must fall with frequency"
+        );
+        prev_event = stats.avg_latency_ns;
+        prev_analytic = predicted;
+
+        let ratio = predicted / stats.avg_latency_ns;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{mhz} MHz: analytic {predicted:.1} ns vs event-driven {:.1} ns (ratio {ratio:.2})",
+            stats.avg_latency_ns
+        );
+    }
+}
+
+/// MPKI values assumed by the workload profiles are achievable by real
+/// reference streams through the modelled cache hierarchy: a streaming
+/// kernel over a large footprint lands in the same MPKI decade as the
+/// lbm profile.
+#[test]
+fn cache_simulator_grounds_workload_mpki() {
+    // Fine-grained streaming: four 16-byte touches per 64-byte line (a real
+    // array sweep issues several accesses per line), over a footprint
+    // larger than the L2.
+    let streaming = microbench::characterize(
+        microbench::Kernel::Stride {
+            bytes: 256 * 1024 * 1024,
+            stride: 16,
+        },
+        250, // memory operations per kilo-instruction
+    );
+    let lbm_like = mcdvfs_workloads::Benchmark::Lbm.trace().stats().mpki_mean;
+    let measured = streaming.characteristics.mpki;
+    assert!(
+        measured > lbm_like / 4.0 && measured < lbm_like * 4.0,
+        "streaming kernel mpki {measured} vs lbm profile {lbm_like}"
+    );
+}
+
+/// A cache-resident kernel produces effectively zero DRAM traffic — the
+/// bzip2-class profile assumption.
+#[test]
+fn cache_resident_kernel_matches_cpu_bound_profiles() {
+    let mut caches = CacheHierarchy::gem5_default();
+    // 48 KB working set scanned repeatedly.
+    let addrs: Vec<MemAccess> = (0..48 * 1024u64).step_by(64).map(MemAccess::load).collect();
+    caches.run_trace(addrs.iter().copied());
+    caches.reset_stats();
+    for _ in 0..10 {
+        caches.run_trace(addrs.iter().copied());
+    }
+    assert_eq!(caches.dram_accesses(), 0, "warm resident set never misses");
+}
+
+/// The System's sample measurements respond to cache-derived
+/// characteristics consistently: feeding the microbenchmark-derived
+/// pointer-chase profile produces much longer runtimes at low memory
+/// frequency than the ALU profile.
+#[test]
+fn system_responds_to_measured_kernel_profiles() {
+    let system = System::galaxy_nexus_class();
+    let chase = microbench::characterize(
+        microbench::Kernel::PointerChase {
+            bytes: 128 * 1024 * 1024,
+        },
+        150,
+    )
+    .characteristics;
+    let alu = microbench::characterize(microbench::Kernel::AluSpin, 10).characteristics;
+
+    let at = |chars: &SampleCharacteristics, mem: u32| {
+        system
+            .simulate_sample(chars, FreqSetting::from_mhz(1000, mem))
+            .time
+            .value()
+    };
+    let chase_sensitivity = at(&chase, 200) / at(&chase, 800);
+    let alu_sensitivity = at(&alu, 200) / at(&alu, 800);
+    assert!(
+        chase_sensitivity > 1.2,
+        "pointer chase must care about memory frequency: {chase_sensitivity}"
+    );
+    assert!(
+        alu_sensitivity < 1.02,
+        "ALU spin must not care about memory frequency: {alu_sensitivity}"
+    );
+}
+
+/// Determinism end to end: two identical characterization runs produce
+/// identical matrices (seeded workloads + hash-derived measurement noise).
+#[test]
+fn characterization_is_deterministic() {
+    use mcdvfs_sim::CharacterizationGrid;
+    use mcdvfs_types::FrequencyGrid;
+    let system = System::galaxy_nexus_class();
+    let trace = mcdvfs_workloads::Benchmark::Gobmk.trace().window(0, 6);
+    let grid = FrequencyGrid::coarse();
+    let a = CharacterizationGrid::characterize(&system, &trace, grid);
+    let b = CharacterizationGrid::characterize(&system, &trace, grid);
+    assert_eq!(a, b);
+}
