@@ -1,36 +1,27 @@
 //! Benchmarks the simulator: one sample at one setting (the fixed-point
 //! solve) and a full coarse-grid characterization of a short trace.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcdvfs_bench::quickbench::QuickBench;
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::{FreqSetting, FrequencyGrid, SampleCharacteristics};
 use mcdvfs_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_characterize(c: &mut Criterion) {
+fn main() {
     let system = System::galaxy_nexus_class();
     let chars = SampleCharacteristics::new(1.0, 8.0);
 
-    c.bench_function("simulate_sample/balanced", |b| {
-        b.iter(|| {
-            black_box(system.simulate_sample(black_box(&chars), FreqSetting::from_mhz(700, 500)))
-        })
+    let qb = QuickBench::new();
+    qb.bench("simulate_sample/balanced", || {
+        black_box(system.simulate_sample(black_box(&chars), FreqSetting::from_mhz(700, 500)))
     });
 
     let trace = Benchmark::Gobmk.trace().window(0, 8);
-    c.bench_function("characterize/8_samples_x_70_settings", |b| {
-        b.iter(|| {
-            black_box(CharacterizationGrid::characterize(
-                &system,
-                &trace,
-                FrequencyGrid::coarse(),
-            ))
-        })
+    qb.bench("characterize/8_samples_x_70_settings", || {
+        black_box(CharacterizationGrid::characterize(
+            &system,
+            &trace,
+            FrequencyGrid::coarse(),
+        ))
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_characterize);
-criterion_main!(benches);

@@ -1,29 +1,22 @@
 //! Benchmarks performance-cluster computation over a whole trace.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdvfs_bench::quickbench::QuickBench;
 use mcdvfs_core::{cluster_series, InefficiencyBudget};
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_clusters(c: &mut Criterion) {
+fn main() {
     let trace = Benchmark::Gobmk.trace();
     let system = System::galaxy_nexus_class();
     let data = CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());
     let budget = InefficiencyBudget::bounded(1.3).unwrap();
 
-    let mut group = c.benchmark_group("cluster_series");
+    let qb = QuickBench::new();
     for thr in [0.01, 0.05] {
-        group.bench_function(BenchmarkId::from_parameter(format!("thr_{thr}")), |b| {
-            b.iter(|| black_box(cluster_series(&data, budget, black_box(thr)).unwrap()))
+        qb.bench(&format!("cluster_series/thr_{thr}"), || {
+            black_box(cluster_series(&data, budget, black_box(thr)).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_clusters);
-criterion_main!(benches);

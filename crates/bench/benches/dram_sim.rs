@@ -1,7 +1,7 @@
 //! Benchmarks the event-driven DRAM controller against the analytic
 //! latency model it cross-validates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcdvfs_bench::quickbench::QuickBench;
 use mcdvfs_dram::{LatencyModel, MemoryController, Request};
 use mcdvfs_types::MemFreq;
 use std::hint::black_box;
@@ -16,24 +16,18 @@ fn stream(n: u64) -> Vec<Request> {
         .collect()
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn main() {
     let f = MemFreq::from_mhz(400);
     let requests = stream(2048);
-    c.bench_function("dram/event_driven_2048_requests", |b| {
-        b.iter(|| {
-            let mut ctrl = MemoryController::lpddr3(f);
-            black_box(ctrl.run(black_box(&requests)))
-        })
+
+    let qb = QuickBench::new();
+    qb.bench("dram/event_driven_2048_requests", || {
+        let mut ctrl = MemoryController::lpddr3(f);
+        black_box(ctrl.run(black_box(&requests)))
     });
 
     let model = LatencyModel::lpddr3();
-    c.bench_function("dram/analytic_latency", |b| {
-        b.iter(|| black_box(model.avg_latency_ns(black_box(f), 0.6, 0.4)))
+    qb.bench("dram/analytic_latency", || {
+        black_box(model.avg_latency_ns(black_box(f), 0.6, 0.4))
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_dram);
-criterion_main!(benches);

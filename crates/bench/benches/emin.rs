@@ -1,47 +1,34 @@
 //! Benchmarks the Emin estimation strategies (paper Section II-B).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcdvfs_bench::quickbench::QuickBench;
 use mcdvfs_core::emin::{BruteForceEmin, EminEstimator, LearningEmin, LookupTableEmin};
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_emin(c: &mut Criterion) {
+fn main() {
     let trace = Benchmark::Milc.trace().window(0, 40);
     let system = System::galaxy_nexus_class();
     let data = CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());
 
-    let mut group = c.benchmark_group("emin");
-    group.bench_function("brute_force_40_samples", |b| {
-        b.iter(|| {
-            let mut e = BruteForceEmin::new();
-            for s in 0..data.n_samples() {
-                black_box(e.emin(&data, s));
-            }
-        })
+    let qb = QuickBench::new();
+    qb.bench("emin/brute_force_40_samples", || {
+        let mut e = BruteForceEmin::new();
+        for s in 0..data.n_samples() {
+            black_box(e.emin(&data, s));
+        }
     });
-    group.bench_function("lookup_table_40_samples", |b| {
-        b.iter(|| {
-            let mut e = LookupTableEmin::new();
-            for s in 0..data.n_samples() {
-                black_box(e.emin(&data, s));
-            }
-        })
+    qb.bench("emin/lookup_table_40_samples", || {
+        let mut e = LookupTableEmin::new();
+        for s in 0..data.n_samples() {
+            black_box(e.emin(&data, s));
+        }
     });
-    group.bench_function("learning_40_samples", |b| {
-        b.iter(|| {
-            let mut e = LearningEmin::new(0.3);
-            for s in 0..data.n_samples() {
-                black_box(e.emin(&data, s));
-            }
-        })
+    qb.bench("emin/learning_40_samples", || {
+        let mut e = LearningEmin::new(0.3);
+        for s in 0..data.n_samples() {
+            black_box(e.emin(&data, s));
+        }
     });
-    group.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_emin);
-criterion_main!(benches);

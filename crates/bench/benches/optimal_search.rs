@@ -1,31 +1,27 @@
 //! Benchmarks the optimal-settings search — the operation whose cost the
 //! paper calibrates at ~500 µs per tuning event over 70 settings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdvfs_bench::quickbench::QuickBench;
 use mcdvfs_core::{InefficiencyBudget, OptimalFinder};
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_optimal_search(c: &mut Criterion) {
+fn main() {
     let trace = Benchmark::Gobmk.trace().window(0, 16);
     let system = System::galaxy_nexus_class();
     let budget = InefficiencyBudget::bounded(1.3).unwrap();
     let finder = OptimalFinder::new(budget);
 
-    let mut group = c.benchmark_group("optimal_search");
-    for (label, grid) in [("70_settings", FrequencyGrid::coarse()), ("496_settings", FrequencyGrid::fine())] {
+    let qb = QuickBench::new();
+    for (label, grid) in [
+        ("70_settings", FrequencyGrid::coarse()),
+        ("496_settings", FrequencyGrid::fine()),
+    ] {
         let data = CharacterizationGrid::characterize(&system, &trace, grid);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| black_box(finder.find(&data, black_box(7))))
+        qb.bench(&format!("optimal_search/{label}"), || {
+            black_box(finder.find(&data, black_box(7)))
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_optimal_search);
-criterion_main!(benches);

@@ -1,26 +1,20 @@
 //! Benchmarks the stable-region scan (running cluster intersection).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcdvfs_bench::quickbench::QuickBench;
 use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_stable_regions(c: &mut Criterion) {
+fn main() {
     let trace = Benchmark::Gcc.trace();
     let system = System::galaxy_nexus_class();
     let data = CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());
     let budget = InefficiencyBudget::bounded(1.3).unwrap();
     let clusters = cluster_series(&data, budget, 0.05).unwrap();
 
-    c.bench_function("stable_regions/gcc_200_samples", |b| {
-        b.iter(|| black_box(stable_regions(black_box(&clusters))))
+    QuickBench::new().bench("stable_regions/gcc_200_samples", || {
+        black_box(stable_regions(black_box(&clusters)))
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_stable_regions);
-criterion_main!(benches);

@@ -16,8 +16,13 @@ fn main() {
     );
 
     let mut t = Table::new(vec![
-        "benchmark", "samples", "brute_scans", "lookup_scans", "learning_scans",
-        "learning_predictions", "learning_error_%",
+        "benchmark",
+        "samples",
+        "brute_scans",
+        "lookup_scans",
+        "learning_scans",
+        "learning_predictions",
+        "learning_error_%",
     ]);
     for benchmark in Benchmark::featured() {
         let (data, _) = characterize(benchmark);

@@ -22,7 +22,11 @@ fn main() {
 
     let budget = InefficiencyBudget::bounded(1.6).expect("valid budget");
     let trace = Benchmark::Bzip2.trace();
-    let mut t = Table::new(vec!["noise_%", "optimal_transitions", "cluster5_transitions"]);
+    let mut t = Table::new(vec![
+        "noise_%",
+        "optimal_transitions",
+        "cluster5_transitions",
+    ]);
     for noise in [0.0, 0.002, 0.004, 0.01] {
         let system = System::galaxy_nexus_class().with_measurement_noise(noise);
         let data = CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());

@@ -44,8 +44,7 @@ fn main() {
         let tuned = runner.execute(&data, &trace, &mut governor);
 
         let cap = tuned.total_energy() / tuned.total_time();
-        let limiter =
-            RateLimiter::new(cap * window, window, idle_power).expect("valid limiter");
+        let limiter = RateLimiter::new(cap * window, window, idle_power).expect("valid limiter");
         let limited = limiter
             .execute(&data, data.grid().max_setting())
             .expect("limiter completes");

@@ -21,7 +21,12 @@ fn main() {
 
     let tolerances = [0.0, 0.0025, 0.005, 0.02];
     let mut t = Table::new(vec![
-        "benchmark", "budget", "tol_0%", "tol_0.25%", "tol_0.5%", "tol_2%",
+        "benchmark",
+        "budget",
+        "tol_0%",
+        "tol_0.25%",
+        "tol_0.5%",
+        "tol_2%",
     ]);
     for benchmark in Benchmark::featured() {
         let (data, _) = characterize(benchmark);
@@ -29,7 +34,9 @@ fn main() {
             let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
             let mut cells = vec![benchmark.name().to_string(), budget_v.to_string()];
             for tol in tolerances {
-                let series = OptimalFinder::new(budget).with_tie_tolerance(tol).series(&data);
+                let series = OptimalFinder::new(budget)
+                    .with_tie_tolerance(tol)
+                    .series(&data);
                 cells.push(count_optimal_transitions(&series).to_string());
             }
             t.row(cells);

@@ -12,17 +12,26 @@ use mcdvfs_kernel::KernelShim;
 use mcdvfs_types::FrequencyGrid;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("Figure 1", "system block diagram: OS drivers over the DVFS controller");
+    banner(
+        "Figure 1",
+        "system block diagram: OS drivers over the DVFS controller",
+    );
 
     let mut shim = KernelShim::new(FrequencyGrid::coarse());
 
     println!("cpufreq attributes:");
     for attr in shim.cpufreq().list() {
-        println!("  /sys/devices/system/cpu/cpu0/cpufreq/{attr} = {}", shim.read(&format!("cpufreq/{attr}"))?);
+        println!(
+            "  /sys/devices/system/cpu/cpu0/cpufreq/{attr} = {}",
+            shim.read(&format!("cpufreq/{attr}"))?
+        );
     }
     println!("devfreq attributes:");
     for attr in shim.devfreq().list() {
-        println!("  /sys/class/devfreq/memctrl/{attr} = {}", shim.read(&format!("devfreq/{attr}"))?);
+        println!(
+            "  /sys/class/devfreq/memctrl/{attr} = {}",
+            shim.read(&format!("devfreq/{attr}"))?
+        );
     }
 
     println!("\nthe paper's benchmark setup procedure (Section III-C):");

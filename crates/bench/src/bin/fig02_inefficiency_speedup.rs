@@ -59,9 +59,13 @@ fn main() {
         emit(&t, &format!("fig02_{}", benchmark.name().replace('.', "")));
 
         // Paper's headline observations.
-        let corner = grid.index_of(FreqSetting::from_mhz(100, 200)).expect("on grid");
+        let corner = grid
+            .index_of(FreqSetting::from_mhz(100, 200))
+            .expect("on grid");
         let top = grid.index_of(grid.max_setting()).expect("on grid");
-        let forced = grid.index_of(FreqSetting::from_mhz(1000, 200)).expect("on grid");
+        let forced = grid
+            .index_of(FreqSetting::from_mhz(1000, 200))
+            .expect("on grid");
         println!(
             "observations: I(100,200)={:.2} (slow ≠ efficient)  I(1000,800)={:.2}  \
              speedup(1000,800)={:.2}x vs forced (1000,200)={:.2}x",

@@ -13,7 +13,10 @@ use mcdvfs_core::{InefficiencyBudget, OptimalFinder};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
-    banner("Figure 3", "optimal settings for gobmk across inefficiencies");
+    banner(
+        "Figure 3",
+        "optimal settings for gobmk across inefficiencies",
+    );
 
     let (data, trace) = characterize(Benchmark::Gobmk);
     let budgets: Vec<(String, InefficiencyBudget)> = vec![
@@ -34,11 +37,7 @@ fn main() {
     ]);
     for s in 0..data.n_samples() {
         let chars = trace.get(s).expect("sample in range");
-        let mut cells = vec![
-            s.to_string(),
-            fmt(chars.base_cpi, 2),
-            fmt(chars.mpki, 1),
-        ];
+        let mut cells = vec![s.to_string(), fmt(chars.base_cpi, 2), fmt(chars.mpki, 1)];
         for serie in &series {
             cells.push(serie[s].setting.cpu.mhz().to_string());
             cells.push(serie[s].setting.mem.mhz().to_string());
@@ -55,7 +54,10 @@ fn main() {
         println!("       mem {}", freq_sparkline(&mem, 200, 800));
     }
     let changes = |serie: &[mcdvfs_core::OptimalChoice]| {
-        serie.windows(2).filter(|w| w[0].setting != w[1].setting).count()
+        serie
+            .windows(2)
+            .filter(|w| w[0].setting != w[1].setting)
+            .count()
     };
     println!();
     for ((label, _), serie) in budgets.iter().zip(&series) {

@@ -11,7 +11,10 @@ use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
-    banner("Figure 6", "stable regions and transitions for lbm (I=1.3, threshold 5%)");
+    banner(
+        "Figure 6",
+        "stable regions and transitions for lbm (I=1.3, threshold 5%)",
+    );
 
     let (data, _) = characterize(Benchmark::Lbm);
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
@@ -19,7 +22,13 @@ fn main() {
     let regions = stable_regions(&clusters);
 
     let mut t = Table::new(vec![
-        "region", "start", "end", "length", "cpu_mhz", "mem_mhz", "available_settings",
+        "region",
+        "start",
+        "end",
+        "length",
+        "cpu_mhz",
+        "mem_mhz",
+        "available_settings",
     ]);
     for (i, r) in regions.iter().enumerate() {
         let chosen = r.chosen_setting(&data);

@@ -11,7 +11,10 @@ use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
-    banner("Figure 7", "stable regions of gcc and lbm across budgets and thresholds");
+    banner(
+        "Figure 7",
+        "stable regions of gcc and lbm across budgets and thresholds",
+    );
 
     let budgets: Vec<(&str, InefficiencyBudget)> = vec![
         ("1", InefficiencyBudget::bounded(1.0).expect("valid")),
@@ -20,7 +23,12 @@ fn main() {
     ];
 
     let mut t = Table::new(vec![
-        "benchmark", "budget", "threshold_%", "regions", "transitions", "mean_region_len",
+        "benchmark",
+        "budget",
+        "threshold_%",
+        "regions",
+        "transitions",
+        "mean_region_len",
     ]);
     for benchmark in [Benchmark::Gcc, Benchmark::Lbm] {
         let (data, _) = characterize(benchmark);

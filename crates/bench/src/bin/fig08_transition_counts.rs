@@ -7,12 +7,15 @@
 //! benchmark and inefficiency budget."
 
 use mcdvfs_bench::{banner, characterize, emit, PAPER_BUDGETS, PAPER_THRESHOLDS};
+use mcdvfs_core::governor::{OracleClusterGovernor, OracleOptimalGovernor};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::transitions::{
     count_cluster_transitions, count_optimal_transitions, per_billion_instructions,
 };
-use mcdvfs_core::{cluster_series, InefficiencyBudget, OptimalFinder};
+use mcdvfs_core::{cluster_series, GovernedRun, InefficiencyBudget, OptimalFinder};
+use mcdvfs_obs::RunLedger;
 use mcdvfs_workloads::Benchmark;
+use std::sync::Arc;
 
 fn main() {
     banner(
@@ -21,7 +24,12 @@ fn main() {
     );
 
     let mut t = Table::new(vec![
-        "benchmark", "budget", "optimal", "thr_1%", "thr_3%", "thr_5%",
+        "benchmark",
+        "budget",
+        "optimal",
+        "thr_1%",
+        "thr_3%",
+        "thr_5%",
     ]);
     for benchmark in Benchmark::featured() {
         let (data, _) = characterize(benchmark);
@@ -32,7 +40,10 @@ fn main() {
             let mut cells = vec![
                 benchmark.name().to_string(),
                 budget_v.to_string(),
-                fmt(per_billion_instructions(count_optimal_transitions(&optimal), n), 1),
+                fmt(
+                    per_billion_instructions(count_optimal_transitions(&optimal), n),
+                    1,
+                ),
             ];
             for thr in PAPER_THRESHOLDS {
                 let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
@@ -49,4 +60,52 @@ fn main() {
         "note: the paper reports this figure for budgets 1.0, 1.3 and 1.6;\n\
          columns are transitions per billion instructions."
     );
+
+    // Governed-run cross-check: replay each benchmark end to end with a run
+    // ledger attached and report the transitions the hardware *actually*
+    // performed, split by domain, with the median time between them. Every
+    // ledger is verified to replay into the run report's totals exactly.
+    let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
+    let runner = GovernedRun::with_paper_overheads();
+    let mut lt = Table::new(vec![
+        "benchmark",
+        "governor",
+        "joint",
+        "cpu",
+        "mem",
+        "median_gap_ms",
+    ]);
+    for benchmark in Benchmark::featured() {
+        let (data, trace) = characterize(benchmark);
+        let mut governors: Vec<Box<dyn mcdvfs_core::governor::Governor>> = vec![
+            Box::new(OracleOptimalGovernor::new(Arc::clone(&data), budget)),
+            Box::new(
+                OracleClusterGovernor::new(Arc::clone(&data), budget, 0.05)
+                    .expect("valid threshold"),
+            ),
+        ];
+        for governor in &mut governors {
+            let mut ledger = RunLedger::unbounded();
+            let report = runner.execute_recorded(&data, &trace, governor.as_mut(), &mut ledger);
+            report
+                .verify_ledger(&ledger)
+                .expect("ledger replay must match the report exactly");
+            let counts = ledger.domain_transition_counts();
+            let mut gaps = ledger.transition_interarrivals();
+            gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+            let median_ms = gaps
+                .get(gaps.len() / 2)
+                .map_or_else(|| "-".to_string(), |g| fmt(g * 1e3, 3));
+            lt.row(vec![
+                benchmark.name().to_string(),
+                report.governor.clone(),
+                counts.joint.to_string(),
+                counts.cpu.to_string(),
+                counts.mem.to_string(),
+                median_ms,
+            ]);
+        }
+    }
+    println!("--- governed-run ledger: per-domain transitions (budget 1.3) ---");
+    emit(&lt, "fig08_transition_counts_governed");
 }

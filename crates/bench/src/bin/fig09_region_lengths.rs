@@ -34,12 +34,23 @@ fn stats_row(t: &mut Table, label: &[String], s: BoxStats) {
 }
 
 fn main() {
-    banner("Figure 9", "distribution of stable-region lengths (box statistics)");
+    banner(
+        "Figure 9",
+        "distribution of stable-region lengths (box statistics)",
+    );
 
     // Panels (a) and (b): gobmk and bzip2 across budgets.
     for benchmark in [Benchmark::Gobmk, Benchmark::Bzip2] {
         let mut t = Table::new(vec![
-            "budget", "threshold_%", "min", "q1", "median", "q3", "max", "mean", "regions",
+            "budget",
+            "threshold_%",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+            "mean",
+            "regions",
         ]);
         for budget_v in [1.0, 1.2, 1.4, 1.6] {
             for thr in PAPER_THRESHOLDS {
@@ -52,12 +63,23 @@ fn main() {
             }
         }
         println!("--- panel: {benchmark} ---");
-        emit(&t, &format!("fig09_region_lengths_{}", benchmark.name().replace('.', "")));
+        emit(
+            &t,
+            &format!("fig09_region_lengths_{}", benchmark.name().replace('.', "")),
+        );
     }
 
     // Panel (c): all featured benchmarks at budget 1.3.
     let mut t = Table::new(vec![
-        "benchmark", "threshold_%", "min", "q1", "median", "q3", "max", "mean", "regions",
+        "benchmark",
+        "threshold_%",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "mean",
+        "regions",
     ]);
     for benchmark in Benchmark::featured() {
         for thr in PAPER_THRESHOLDS {

@@ -13,13 +13,19 @@ use mcdvfs_workloads::Benchmark;
 use std::sync::Arc;
 
 fn main() {
-    banner("Figure 10", "normalized execution time vs inefficiency budget");
+    banner(
+        "Figure 10",
+        "normalized execution time vs inefficiency budget",
+    );
 
     let budgets = [1.0, 1.1, 1.2, 1.3, 1.6];
     let runner = GovernedRun::without_overheads();
 
     let mut t = Table::new(vec![
-        "benchmark", "budget", "normalized_time", "achieved_inefficiency",
+        "benchmark",
+        "budget",
+        "normalized_time",
+        "achieved_inefficiency",
     ]);
     let mut all_compliant = true;
     for benchmark in Benchmark::featured() {
@@ -45,6 +51,10 @@ fn main() {
     emit(&t, "fig10_perf_vs_inefficiency");
     println!(
         "budget compliance across all runs: {}",
-        if all_compliant { "VERIFIED" } else { "VIOLATED" }
+        if all_compliant {
+            "VERIFIED"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -13,6 +13,7 @@ use mcdvfs_bench::{banner, characterize, emit, PAPER_THRESHOLDS};
 use mcdvfs_core::governor::{OracleClusterGovernor, OracleOptimalGovernor, RegionChoice};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::{GovernedRun, InefficiencyBudget};
+use mcdvfs_obs::RunLedger;
 use mcdvfs_workloads::Benchmark;
 use std::sync::Arc;
 
@@ -24,8 +25,16 @@ fn main() {
 
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
     for (label, runner, csv) in [
-        ("(a) no tuning overhead", GovernedRun::without_overheads(), "fig11a_no_overhead"),
-        ("(b) with tuning overhead", GovernedRun::with_paper_overheads(), "fig11b_with_overhead"),
+        (
+            "(a) no tuning overhead",
+            GovernedRun::without_overheads(),
+            "fig11a_no_overhead",
+        ),
+        (
+            "(b) with tuning overhead",
+            GovernedRun::with_paper_overheads(),
+            "fig11b_with_overhead",
+        ),
     ] {
         let mut t = Table::new(vec![
             "benchmark",
@@ -34,6 +43,8 @@ fn main() {
             "energy_savings_%",
             "searches",
             "transitions",
+            "mean_search_evals",
+            "overhead_time_%",
         ]);
         for benchmark in Benchmark::featured() {
             let (data, trace) = characterize(benchmark);
@@ -50,7 +61,15 @@ fn main() {
                     RegionChoice::LowestEnergy,
                 )
                 .expect("valid threshold");
-                let report = runner.execute(&data, &trace, &mut governor);
+                // Attach a run ledger so the overhead columns come from the
+                // observed event stream, cross-checked against the report.
+                let mut ledger = RunLedger::unbounded();
+                let report = runner.execute_recorded(&data, &trace, &mut governor, &mut ledger);
+                report
+                    .verify_ledger(&ledger)
+                    .expect("ledger replay must match the report exactly");
+                let search = ledger.search_breakdown();
+                let overhead_time = report.tuning_time.value() + report.transition_time.value();
                 t.row(vec![
                     benchmark.name().to_string(),
                     format!("{}", (thr * 100.0) as u32),
@@ -58,6 +77,8 @@ fn main() {
                     fmt(report.energy_savings_vs(&reference) * 100.0, 2),
                     report.searches.to_string(),
                     report.transitions.to_string(),
+                    fmt(search.mean_evaluated(), 1),
+                    fmt(overhead_time / report.total_time().value() * 100.0, 3),
                 ]);
             }
         }

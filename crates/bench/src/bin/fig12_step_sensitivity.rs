@@ -33,7 +33,10 @@ fn main() {
         "total_time_s",
     ]);
     let mut times = Vec::new();
-    for (label, grid) in [("coarse", FrequencyGrid::coarse()), ("fine", FrequencyGrid::fine())] {
+    for (label, grid) in [
+        ("coarse", FrequencyGrid::coarse()),
+        ("fine", FrequencyGrid::fine()),
+    ] {
         let (data, trace) = characterize_on(Benchmark::Gobmk, grid);
         let clusters = cluster_series(&data, budget, 0.01).expect("valid threshold");
         let regions = stable_regions(&clusters);

@@ -15,7 +15,10 @@ use mcdvfs_core::{imax, InefficiencyBudget, OptimalFinder};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
-    banner("Suite overview", "all 21 modelled benchmarks on the 70-setting grid");
+    banner(
+        "Suite overview",
+        "all 21 modelled benchmarks on the 70-setting grid",
+    );
 
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
     let mut t = Table::new(vec![

@@ -9,7 +9,10 @@ use mcdvfs_dram::LpddrTimings;
 use mcdvfs_types::{CpuFreq, FrequencyGrid, MemFreq};
 
 fn main() {
-    banner("Table I", "simulated system configuration (paper Section III)");
+    banner(
+        "Table I",
+        "simulated system configuration (paper Section III)",
+    );
 
     let coarse = FrequencyGrid::coarse();
     let fine = FrequencyGrid::fine();
@@ -20,7 +23,11 @@ fn main() {
     let mut row = |c: &str, p: &str, v: String| {
         t.row(vec![c.into(), p.into(), v]);
     };
-    row("CPU", "core model", "ARM Cortex-A15-like, 3-wide out-of-order".into());
+    row(
+        "CPU",
+        "core model",
+        "ARM Cortex-A15-like, 3-wide out-of-order".into(),
+    );
     row("CPU", "clock domain", "100-1000 MHz (DVFS)".into());
     row(
         "CPU",
@@ -31,21 +38,59 @@ fn main() {
             vf.voltage(CpuFreq::from_mhz(1000)).value()
         ),
     );
-    row("L1 cache", "geometry", "64 KB, 4-way, 64 B lines, 2-cycle access".into());
-    row("L2 cache", "geometry", "2 MB unified, 16-way, 64 B lines, 12-cycle hit".into());
-    row("DRAM", "device", "LPDDR3 x32, single channel, single rank, open page".into());
-    row("DRAM", "clock domain", "200-800 MHz (DFS, fixed VDD1=1.8 V / VDD2=1.2 V)".into());
-    row("DRAM", "tRCD/tRP/tRAS", format!("{}/{}/{} ns", timings.trcd_ns, timings.trp_ns, timings.tras_ns));
-    row("DRAM", "tRFC/tREFI", format!("{}/{} ns", timings.trfc_ns, timings.trefi_ns));
+    row(
+        "L1 cache",
+        "geometry",
+        "64 KB, 4-way, 64 B lines, 2-cycle access".into(),
+    );
+    row(
+        "L2 cache",
+        "geometry",
+        "2 MB unified, 16-way, 64 B lines, 12-cycle hit".into(),
+    );
+    row(
+        "DRAM",
+        "device",
+        "LPDDR3 x32, single channel, single rank, open page".into(),
+    );
+    row(
+        "DRAM",
+        "clock domain",
+        "200-800 MHz (DFS, fixed VDD1=1.8 V / VDD2=1.2 V)".into(),
+    );
+    row(
+        "DRAM",
+        "tRCD/tRP/tRAS",
+        format!(
+            "{}/{}/{} ns",
+            timings.trcd_ns, timings.trp_ns, timings.tras_ns
+        ),
+    );
+    row(
+        "DRAM",
+        "tRFC/tREFI",
+        format!("{}/{} ns", timings.trfc_ns, timings.trefi_ns),
+    );
     row(
         "DRAM",
         "peak bandwidth @800 MHz",
-        format!("{:.1} GB/s", timings.peak_bandwidth(MemFreq::from_mhz(800)) / 1e9),
+        format!(
+            "{:.1} GB/s",
+            timings.peak_bandwidth(MemFreq::from_mhz(800)) / 1e9
+        ),
     );
     row("grid", "coarse (main evaluation)", format!("{coarse}"));
     row("grid", "fine (Section VI-D)", format!("{fine}"));
-    row("sampling", "granularity", "10 M user-mode instructions per sample".into());
-    row("workloads", "suite", "12 INT + 9 FP SPEC CPU2006-like synthetic traces".into());
+    row(
+        "sampling",
+        "granularity",
+        "10 M user-mode instructions per sample".into(),
+    );
+    row(
+        "workloads",
+        "suite",
+        "12 INT + 9 FP SPEC CPU2006-like synthetic traces".into(),
+    );
 
     emit(&t, "tab01_system_config");
 }

@@ -1,5 +1,5 @@
-//! Shared harness for the figure-regeneration binaries and Criterion
-//! benches.
+//! Shared harness for the figure-regeneration binaries and the
+//! wall-clock benches under `benches/` (see [`quickbench`]).
 //!
 //! Every figure and table of the paper's evaluation has a binary under
 //! `src/bin/` that prints the same rows/series the paper reports and writes
@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod quickbench;
 
 use mcdvfs_core::report::Table;
 use mcdvfs_sim::{CharacterizationGrid, System};

@@ -1,0 +1,133 @@
+//! A dependency-free wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so the Criterion dependency was replaced
+//! with this minimal runner: each bench warms up briefly, sizes an
+//! iteration batch to the measurement window, and reports min/mean/max
+//! per-iteration time. The `benches/*.rs` targets declare
+//! `harness = false` and drive it from a plain `main`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_bench::quickbench::QuickBench;
+//!
+//! let qb = QuickBench::smoke(); // tiny windows, for tests/doctests
+//! qb.bench("noop", || std::hint::black_box(1 + 1));
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock bench runner with fixed warm-up and measurement windows.
+#[derive(Debug, Clone)]
+pub struct QuickBench {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for QuickBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuickBench {
+    /// Default windows: 200 ms warm-up, 600 ms measurement.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(600),
+        }
+    }
+
+    /// Tiny windows for smoke-testing the harness itself.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    /// Runs `f` repeatedly and prints per-iteration statistics.
+    ///
+    /// Returns the mean per-iteration time so callers (and tests) can make
+    /// assertions about it.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
+        // Warm-up, also yielding a first per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed() / warm_iters;
+
+        // Size batches so each one is ~1/20th of the measurement window.
+        let per_batch = (self.measure.as_nanos() / 20).max(1);
+        let batch: u32 = (per_batch / est.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure || samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed() / batch);
+        }
+
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<44} min {:>12}  mean {:>12}  max {:>12}  ({} batches x {batch} iters)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len(),
+        );
+        mean
+    }
+}
+
+/// Human formatting with an adaptive unit (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean() {
+        let qb = QuickBench::smoke();
+        let mean = qb.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

@@ -261,7 +261,11 @@ mod tests {
             let e = learn.emin(&d, s);
             assert!(e.value() > 0.0);
         }
-        assert!(learn.scans() <= 4, "lbm phase buckets: {} scans", learn.scans());
+        assert!(
+            learn.scans() <= 4,
+            "lbm phase buckets: {} scans",
+            learn.scans()
+        );
         assert!(learn.predictions() >= 16);
     }
 

@@ -80,9 +80,9 @@ impl CoScaleGovernor {
                 let ineff = self.inefficiency(sample, idx);
                 if ineff < self.inefficiency(sample, current) {
                     let time = self.data.measurement(sample, idx).time.value();
-                    if best.is_none_or(|(b, _)| {
-                        time < self.data.measurement(sample, b).time.value()
-                    }) {
+                    if best
+                        .is_none_or(|(b, _)| time < self.data.measurement(sample, b).time.value())
+                    {
                         best = Some((idx, ineff));
                     }
                 }
@@ -114,10 +114,7 @@ impl Governor for CoScaleGovernor {
         let (idx, evaluated) = self.search(sample, start);
         let setting = grid.get(idx).expect("index on grid");
         self.previous = Some(setting);
-        Decision {
-            setting,
-            settings_evaluated: evaluated,
-        }
+        Decision::searched(setting, evaluated)
     }
 }
 

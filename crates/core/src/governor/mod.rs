@@ -73,6 +73,12 @@ pub struct Decision {
     /// Number of candidate settings the governor evaluated to decide
     /// (drives the tuning-overhead charge; `0` = reused a prior decision).
     pub settings_evaluated: usize,
+    /// `true` when this decision opens a new control region — the governor
+    /// crossed a stable-region boundary, invalidated its previous plan, or
+    /// otherwise started planning afresh. Drives the
+    /// [`RegionBoundary`](mcdvfs_obs::Event::RegionBoundary) events the
+    /// run ledger aggregates into region-length distributions.
+    pub region_start: bool,
 }
 
 impl Decision {
@@ -82,6 +88,18 @@ impl Decision {
         Self {
             setting,
             settings_evaluated: 0,
+            region_start: false,
+        }
+    }
+
+    /// A decision reached by a fresh search over `settings_evaluated`
+    /// candidates, opening a new control region.
+    #[must_use]
+    pub const fn searched(setting: FreqSetting, settings_evaluated: usize) -> Self {
+        Self {
+            setting,
+            settings_evaluated,
+            region_start: true,
         }
     }
 }
@@ -200,7 +218,11 @@ impl OndemandGovernor {
     ///
     /// Panics when `mem_target` is outside `(0, 1]`.
     #[must_use]
-    pub fn new(grid: FrequencyGrid, mem_target: f64, mem_bandwidth_of: impl Fn(u32) -> f64) -> Self {
+    pub fn new(
+        grid: FrequencyGrid,
+        mem_target: f64,
+        mem_bandwidth_of: impl Fn(u32) -> f64,
+    ) -> Self {
         assert!(mem_target > 0.0 && mem_target <= 1.0, "target in (0, 1]");
         let mem_bandwidths = grid
             .mem_freqs()
@@ -240,10 +262,10 @@ impl Governor for OndemandGovernor {
         Decision {
             setting,
             settings_evaluated: evaluated,
+            region_start: evaluated > 0,
         }
     }
 }
-
 
 /// Linux's `conservative` governor pattern: like [`OndemandGovernor`] but
 /// stepping one frequency step per interval instead of jumping, trading
@@ -290,7 +312,10 @@ impl ConservativeGovernor {
         let cpu_steps: Vec<u32> = self.grid.cpu_freqs().map(|f| f.mhz()).collect();
         let mem_steps: Vec<u32> = self.grid.mem_freqs().map(|f| f.mhz()).collect();
         let step = |steps: &[u32], cur: u32, want: u32| -> u32 {
-            let i = steps.iter().position(|&s| s == cur).expect("current on grid");
+            let i = steps
+                .iter()
+                .position(|&s| s == cur)
+                .expect("current on grid");
             match want.cmp(&cur) {
                 std::cmp::Ordering::Greater => steps[(i + 1).min(steps.len() - 1)],
                 std::cmp::Ordering::Less => steps[i.saturating_sub(1)],
@@ -330,6 +355,7 @@ impl Governor for ConservativeGovernor {
         Decision {
             setting: next,
             settings_evaluated: evaluated,
+            region_start: evaluated > 0,
         }
     }
 }
@@ -410,7 +436,6 @@ mod tests {
         let d = g.decide(2, Some(&o));
         assert_eq!(d.settings_evaluated, 0, "unchanged decision is free");
     }
-
 
     #[test]
     fn conservative_climbs_one_step_at_a_time() {

@@ -42,11 +42,11 @@ impl Governor for OracleOptimalGovernor {
     }
 
     fn decide(&mut self, next_sample: usize, _prev: Option<&Observation>) -> Decision {
-        let choice = self.finder.find(&self.data, next_sample.min(self.data.n_samples() - 1));
-        Decision {
-            setting: choice.setting,
-            settings_evaluated: self.data.n_settings(),
-        }
+        let choice = self
+            .finder
+            .find(&self.data, next_sample.min(self.data.n_samples() - 1));
+        // Exact tracking re-plans every sample: each is its own region.
+        Decision::searched(choice.setting, self.data.n_settings())
     }
 }
 
@@ -142,14 +142,10 @@ impl Governor for OracleClusterGovernor {
         };
         // Search only at region starts; inside a region the decision is a
         // table lookup.
-        let evaluated = if next_sample == region.start {
-            self.data.n_settings()
+        if next_sample == region.start {
+            Decision::searched(setting, self.data.n_settings())
         } else {
-            0
-        };
-        Decision {
-            setting,
-            settings_evaluated: evaluated,
+            Decision::reuse(setting)
         }
     }
 }

@@ -152,10 +152,7 @@ impl PredictiveGovernor {
             .predicted_length()
             .saturating_sub(self.predictor.current_run())
             .max(1);
-        Decision {
-            setting: choice.setting,
-            settings_evaluated: self.data.n_settings(),
-        }
+        Decision::searched(choice.setting, self.data.n_settings())
     }
 }
 
@@ -170,11 +167,12 @@ impl Governor for PredictiveGovernor {
             Some(obs) => self.predictor.observe(obs.measurement.cpi),
             None => true,
         };
-        if phase_changed || self.hold == 0 || self.current.is_none() {
-            self.search(sample)
-        } else {
-            self.hold -= 1;
-            Decision::reuse(self.current.expect("checked above"))
+        match self.current {
+            Some(setting) if !phase_changed && self.hold > 0 => {
+                self.hold -= 1;
+                Decision::reuse(setting)
+            }
+            _ => self.search(sample),
         }
     }
 }
@@ -198,7 +196,11 @@ mod tests {
         InefficiencyBudget::bounded(v).unwrap()
     }
 
-    fn obs(data: &CharacterizationGrid, sample: usize, setting: mcdvfs_types::FreqSetting) -> Observation {
+    fn obs(
+        data: &CharacterizationGrid,
+        sample: usize,
+        setting: mcdvfs_types::FreqSetting,
+    ) -> Observation {
         Observation {
             sample,
             setting,
@@ -221,7 +223,11 @@ mod tests {
         }
         p.observe(1.0);
         // After seeing A-runs of length 4, prediction approaches 4.
-        assert!(p.predicted_length() >= 3, "predicted {}", p.predicted_length());
+        assert!(
+            p.predicted_length() >= 3,
+            "predicted {}",
+            p.predicted_length()
+        );
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl WorkloadProfile {
         self.threshold
     }
 
+    /// `true` when a profiled region starts exactly at `sample`.
+    #[must_use]
+    pub fn is_region_start(&self, sample: usize) -> bool {
+        self.regions
+            .binary_search_by_key(&sample, |&(s, _)| s)
+            .is_ok()
+    }
+
     /// Number of profiled regions.
     #[must_use]
     pub fn n_regions(&self) -> usize {
@@ -128,7 +136,9 @@ impl WorkloadProfile {
             reason,
         };
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| invalid("empty profile".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| invalid("empty profile".into()))?;
         let rest = header
             .strip_prefix("# mcdvfs profile: ")
             .ok_or_else(|| invalid("missing profile header".into()))?;
@@ -179,7 +189,10 @@ impl WorkloadProfile {
                 });
             }
             if regions.last().is_some_and(|&(prev, _)| start <= prev) && !regions.is_empty() {
-                return Err(invalid(format!("line {}: region starts must ascend", i + 2)));
+                return Err(invalid(format!(
+                    "line {}: region starts must ascend",
+                    i + 2
+                )));
             }
             regions.push((start, setting));
         }
@@ -231,8 +244,13 @@ impl Governor for ProfileGovernor {
     }
 
     fn decide(&mut self, next_sample: usize, _prev: Option<&Observation>) -> Decision {
-        // No runtime search at all: the profile is the search.
-        Decision::reuse(self.profile.setting_for(next_sample))
+        // No runtime search at all: the profile is the search. Profiled
+        // region starts are still control-region boundaries for the ledger.
+        Decision {
+            setting: self.profile.setting_for(next_sample),
+            settings_evaluated: 0,
+            region_start: self.profile.is_region_start(next_sample),
+        }
     }
 }
 
@@ -328,11 +346,8 @@ mod tests {
     fn profile_text_round_trips() {
         let train = characterize(1);
         let original = WorkloadProfile::from_characterization(&train, budget(), 0.05).unwrap();
-        let parsed = WorkloadProfile::from_profile_text(
-            &original.to_profile_text(),
-            train.grid(),
-        )
-        .unwrap();
+        let parsed =
+            WorkloadProfile::from_profile_text(&original.to_profile_text(), train.grid()).unwrap();
         assert_eq!(parsed, original);
     }
 

@@ -266,7 +266,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(InefficiencyBudget::bounded(1.3).unwrap().to_string(), "I=1.3");
+        assert_eq!(
+            InefficiencyBudget::bounded(1.3).unwrap().to_string(),
+            "I=1.3"
+        );
         assert_eq!(InefficiencyBudget::Unconstrained.to_string(), "I=∞");
         let i = Inefficiency::compute(Joules::new(1.234), Joules::new(1.0)).unwrap();
         assert_eq!(format!("{i:.1}"), "1.2");

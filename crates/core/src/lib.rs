@@ -23,8 +23,12 @@
 //!   runtime predictive tuner ([`governor`]);
 //! * an end-to-end **governed runner** that charges search and hardware
 //!   transition overheads and verifies budget compliance ([`GovernedRun`]);
-//! * analysis and report helpers used by the figure harness ([`analysis`],
-//!   [`report`]).
+//!   runs can stream a typed event ledger
+//!   ([`GovernedRun::execute_recorded`] with a
+//!   [`RunLedger`](mcdvfs_obs::RunLedger)) whose replay reproduces the
+//!   [`RunReport`] totals exactly ([`RunReport::verify_ledger`]);
+//! * analysis and report helpers used by the figure harness, including
+//!   JSON-lines and CSV ledger export ([`analysis`], [`report`]).
 //!
 //! # Examples
 //!

@@ -33,7 +33,10 @@ pub fn ed2p(m: &SampleMeasurement) -> f64 {
 /// Panics when `s` is out of range or `n` is not 1 or 2.
 #[must_use]
 pub fn edn_optimal_index(data: &CharacterizationGrid, s: usize, n: u32) -> usize {
-    assert!(n == 1 || n == 2, "only EDP (n=1) and ED2P (n=2) are defined");
+    assert!(
+        n == 1 || n == 2,
+        "only EDP (n=1) and ED2P (n=2) are defined"
+    );
     let metric = |m: &SampleMeasurement| match n {
         1 => edp(m),
         _ => ed2p(m),

@@ -311,22 +311,25 @@ mod tests {
         let finder = OptimalFinder::new(budget(1.3));
         let series = finder.series(&d);
         let trace = Benchmark::Milc.trace().window(0, 60);
-        let mem_heavy_avg: f64 = {
-            let v: Vec<f64> = series
-                .iter()
-                .filter(|c| trace.get(c.sample).unwrap().mpki > 10.0)
-                .map(|c| f64::from(c.setting.mem.mhz()))
-                .collect();
-            v.iter().sum::<f64>() / v.len().max(1) as f64
+        let avg_mem_mhz = |v: &[f64]| -> f64 {
+            // An empty phase set would make the comparison vacuous (the
+            // old `len().max(1)` silently averaged it to 0); the trace
+            // must actually contain both kinds of phase.
+            assert!(!v.is_empty(), "phase set must be non-empty");
+            v.iter().sum::<f64>() / v.len() as f64
         };
-        let cpu_heavy_avg: f64 = {
-            let v: Vec<f64> = series
-                .iter()
-                .filter(|c| trace.get(c.sample).unwrap().mpki < 5.0)
-                .map(|c| f64::from(c.setting.mem.mhz()))
-                .collect();
-            v.iter().sum::<f64>() / v.len().max(1) as f64
-        };
+        let mem_heavy: Vec<f64> = series
+            .iter()
+            .filter(|c| trace.get(c.sample).unwrap().mpki > 10.0)
+            .map(|c| f64::from(c.setting.mem.mhz()))
+            .collect();
+        let cpu_heavy: Vec<f64> = series
+            .iter()
+            .filter(|c| trace.get(c.sample).unwrap().mpki < 5.0)
+            .map(|c| f64::from(c.setting.mem.mhz()))
+            .collect();
+        let mem_heavy_avg = avg_mem_mhz(&mem_heavy);
+        let cpu_heavy_avg = avg_mem_mhz(&cpu_heavy);
         assert!(
             mem_heavy_avg > cpu_heavy_avg,
             "memory phases {mem_heavy_avg} MHz vs CPU phases {cpu_heavy_avg} MHz"

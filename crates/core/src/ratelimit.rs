@@ -192,9 +192,7 @@ impl RateLimiter {
                 let idle = self.idle_power * pause;
                 windows_waited += 1;
                 let net_gain = self.budget_per_window.value() - idle.value();
-                if (paused_this_sample && net_gain <= 0.0)
-                    || windows_waited > STARVATION_WINDOWS
-                {
+                if (paused_this_sample && net_gain <= 0.0) || windows_waited > STARVATION_WINDOWS {
                     return Err(Error::InvalidParameter {
                         name: "budget_per_window",
                         reason: format!(
@@ -249,7 +247,9 @@ mod tests {
             IDLE,
         )
         .unwrap();
-        let run = limiter.execute(&d, FreqSetting::from_mhz(800, 400)).unwrap();
+        let run = limiter
+            .execute(&d, FreqSetting::from_mhz(800, 400))
+            .unwrap();
         assert_eq!(run.pauses, 0);
         assert_eq!(run.paused_time, Seconds::ZERO);
         assert_eq!(run.idle_energy, Joules::ZERO);
@@ -265,7 +265,9 @@ mod tests {
         let avg_power = d.total_energy_at(idx) / d.total_time_at(idx);
         let window = Seconds::from_millis(10.0);
         let limiter = RateLimiter::new(avg_power * 0.6 * window, window, IDLE).unwrap();
-        let run = limiter.execute(&d, FreqSetting::from_mhz(800, 400)).unwrap();
+        let run = limiter
+            .execute(&d, FreqSetting::from_mhz(800, 400))
+            .unwrap();
         assert!(run.pauses > 0, "the limiter must kick in");
         assert!(run.total_time() > d.total_time_at(idx));
     }
@@ -300,7 +302,10 @@ mod tests {
             limited.total_time().value(),
             tuned.total_time().value()
         );
-        assert!(limited.idle_energy.value() > 0.0, "pauses burn energy for nothing");
+        assert!(
+            limited.idle_energy.value() > 0.0,
+            "pauses burn energy for nothing"
+        );
     }
 
     #[test]
@@ -310,7 +315,9 @@ mod tests {
         let avg_power = d.total_energy_at(idx) / d.total_time_at(idx);
         let window = Seconds::from_millis(5.0);
         let limiter = RateLimiter::new(avg_power * 0.7 * window, window, IDLE).unwrap();
-        let run = limiter.execute(&d, FreqSetting::from_mhz(1000, 800)).unwrap();
+        let run = limiter
+            .execute(&d, FreqSetting::from_mhz(1000, 800))
+            .unwrap();
         // Idle burn makes the limited run strictly less efficient than the
         // same setting unthrottled.
         let unthrottled = d.total_energy_at(idx).value() / d.total_emin().value();
@@ -328,7 +335,9 @@ mod tests {
             Watts::from_millis(150.0), // 150 µJ idle per 100 µJ window
         )
         .unwrap();
-        let err = limiter.execute(&d, FreqSetting::from_mhz(500, 400)).unwrap_err();
+        let err = limiter
+            .execute(&d, FreqSetting::from_mhz(500, 400))
+            .unwrap_err();
         assert!(matches!(err, Error::InvalidParameter { .. }));
     }
 
@@ -341,15 +350,16 @@ mod tests {
             Watts::ZERO,
         )
         .unwrap();
-        let err = limiter.execute(&d, FreqSetting::from_mhz(500, 400)).unwrap_err();
+        let err = limiter
+            .execute(&d, FreqSetting::from_mhz(500, 400))
+            .unwrap_err();
         assert!(err.to_string().contains("starves"));
     }
 
     #[test]
     fn off_grid_setting_rejected() {
         let d = data(Benchmark::Lbm, 3);
-        let limiter =
-            RateLimiter::new(Joules::new(1.0), Seconds::new(0.01), IDLE).unwrap();
+        let limiter = RateLimiter::new(Joules::new(1.0), Seconds::new(0.01), IDLE).unwrap();
         assert!(limiter
             .execute(&d, FreqSetting::from_mhz(123, 456))
             .is_err());
@@ -364,12 +374,8 @@ mod tests {
 
     #[test]
     fn average_power_cap_is_budget_over_window() {
-        let limiter = RateLimiter::new(
-            Joules::from_millis(5.0),
-            Seconds::from_millis(10.0),
-            IDLE,
-        )
-        .unwrap();
+        let limiter =
+            RateLimiter::new(Joules::from_millis(5.0), Seconds::from_millis(10.0), IDLE).unwrap();
         assert!((limiter.average_power_cap().value() - 0.5).abs() < 1e-12);
     }
 }

@@ -1,9 +1,14 @@
-//! Plain-text table and CSV emission for the figure harness.
+//! Plain-text table, CSV and run-ledger emission for the figure harness.
 //!
 //! The bench binaries print the same rows and series the paper's figures
 //! report and mirror them as CSV files under `results/` so plots can be
-//! regenerated with any external tool.
+//! regenerated with any external tool. Run ledgers recorded by
+//! [`GovernedRun::execute_recorded`](crate::GovernedRun::execute_recorded)
+//! export as JSON-lines ([`ledger_to_jsonl`]) or as a flat CSV table
+//! ([`ledger_table`]) — both dependency-free, both carrying the exact
+//! event quantities so external tooling can re-derive the run totals.
 
+use mcdvfs_obs::{Event, RunLedger};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -136,6 +141,186 @@ pub fn fmt(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
 }
 
+/// Renders one event as a single JSON object (no trailing newline).
+///
+/// Floats use Rust's shortest round-trip formatting, so parsing the field
+/// back yields the exact recorded `f64`.
+#[must_use]
+pub fn event_to_json(event: &Event) -> String {
+    let mut out = String::with_capacity(128);
+    let _ = write!(
+        out,
+        "{{\"event\":\"{}\",\"sample\":{}",
+        event.kind(),
+        event.sample()
+    );
+    match *event {
+        Event::SampleExecuted {
+            setting,
+            time,
+            energy,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"cpu_mhz\":{},\"mem_mhz\":{},\"time_s\":{},\"energy_j\":{}",
+                setting.cpu.mhz(),
+                setting.mem.mhz(),
+                time.value(),
+                energy.value()
+            );
+        }
+        Event::TuningSearch {
+            settings_evaluated,
+            latency,
+            energy,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"settings_evaluated\":{},\"latency_s\":{},\"energy_j\":{}",
+                settings_evaluated,
+                latency.value(),
+                energy.value()
+            );
+        }
+        Event::FrequencyTransition {
+            at,
+            from,
+            to,
+            latency,
+            energy,
+            cpu_changed,
+            mem_changed,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"at_s\":{},\"from_cpu_mhz\":{},\"from_mem_mhz\":{},\
+                 \"to_cpu_mhz\":{},\"to_mem_mhz\":{},\"latency_s\":{},\"energy_j\":{},\
+                 \"cpu_changed\":{cpu_changed},\"mem_changed\":{mem_changed}",
+                at.value(),
+                from.cpu.mhz(),
+                from.mem.mhz(),
+                to.cpu.mhz(),
+                to.mem.mhz(),
+                latency.value(),
+                energy.value()
+            );
+        }
+        Event::RegionBoundary { .. } => {}
+        Event::BudgetExceeded {
+            inefficiency,
+            budget,
+            ..
+        } => {
+            let _ = write!(out, ",\"inefficiency\":{inefficiency},\"budget\":{budget}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a ledger as JSON-lines: one event object per line, oldest
+/// first.
+#[must_use]
+pub fn ledger_to_jsonl(ledger: &RunLedger) -> String {
+    let mut out = String::new();
+    for e in ledger.events() {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the JSON-lines rendering of `ledger` to `path`, creating parent
+/// directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_ledger_jsonl(ledger: &RunLedger, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, ledger_to_jsonl(ledger))
+}
+
+/// Flattens a ledger into a [`Table`] (one row per event, blank cells for
+/// fields a variant does not carry), ready for
+/// [`Table::to_csv`]/[`Table::write_csv`].
+#[must_use]
+pub fn ledger_table(ledger: &RunLedger) -> Table {
+    let mut t = Table::new(vec![
+        "event",
+        "sample",
+        "at_s",
+        "from_cpu_mhz",
+        "from_mem_mhz",
+        "to_cpu_mhz",
+        "to_mem_mhz",
+        "settings_evaluated",
+        "time_s",
+        "energy_j",
+        "inefficiency",
+        "budget",
+    ]);
+    for e in ledger.events() {
+        let mut row = vec![e.kind().to_string(), e.sample().to_string()];
+        row.extend(std::iter::repeat_with(String::new).take(10));
+        match *e {
+            Event::SampleExecuted {
+                setting,
+                time,
+                energy,
+                ..
+            } => {
+                row[5] = setting.cpu.mhz().to_string();
+                row[6] = setting.mem.mhz().to_string();
+                row[8] = time.value().to_string();
+                row[9] = energy.value().to_string();
+            }
+            Event::TuningSearch {
+                settings_evaluated,
+                latency,
+                energy,
+                ..
+            } => {
+                row[7] = settings_evaluated.to_string();
+                row[8] = latency.value().to_string();
+                row[9] = energy.value().to_string();
+            }
+            Event::FrequencyTransition {
+                at,
+                from,
+                to,
+                latency,
+                energy,
+                ..
+            } => {
+                row[2] = at.value().to_string();
+                row[3] = from.cpu.mhz().to_string();
+                row[4] = from.mem.mhz().to_string();
+                row[5] = to.cpu.mhz().to_string();
+                row[6] = to.mem.mhz().to_string();
+                row[8] = latency.value().to_string();
+                row[9] = energy.value().to_string();
+            }
+            Event::RegionBoundary { .. } => {}
+            Event::BudgetExceeded {
+                inefficiency,
+                budget,
+                ..
+            } => {
+                row[10] = inefficiency.to_string();
+                row[11] = budget.to_string();
+            }
+        }
+        t.row(row);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +389,104 @@ mod tests {
     fn fmt_digits() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(2.0, 0), "2");
+    }
+
+    fn ledger() -> RunLedger {
+        use mcdvfs_obs::Recorder as _;
+        use mcdvfs_types::{FreqSetting, Joules, Seconds};
+        let mut l = RunLedger::unbounded();
+        l.record(Event::RegionBoundary { sample: 0 });
+        l.record(Event::TuningSearch {
+            sample: 0,
+            settings_evaluated: 70,
+            latency: Seconds::from_micros(470.0),
+            energy: Joules::from_micros(28.0),
+        });
+        l.record(Event::FrequencyTransition {
+            sample: 0,
+            at: Seconds::ZERO,
+            from: FreqSetting::from_mhz(1000, 800),
+            to: FreqSetting::from_mhz(500, 400),
+            latency: Seconds::from_micros(30.0),
+            energy: Joules::from_micros(10.0),
+            cpu_changed: true,
+            mem_changed: true,
+        });
+        l.record(Event::SampleExecuted {
+            sample: 0,
+            setting: FreqSetting::from_mhz(500, 400),
+            time: Seconds::from_millis(1.0),
+            energy: Joules::from_millis(4.0),
+        });
+        l.record(Event::BudgetExceeded {
+            sample: 0,
+            inefficiency: 1.31,
+            budget: 1.3,
+        });
+        l
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_event() {
+        let text = ledger_to_jsonl(&ledger());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"event\":\""));
+            assert!(line.contains("\"sample\":0"));
+        }
+        assert!(lines[1].contains("\"settings_evaluated\":70"));
+        assert!(lines[2].contains("\"from_cpu_mhz\":1000"));
+        assert!(lines[2].contains("\"cpu_changed\":true"));
+        assert!(lines[4].contains("\"budget\":1.3"));
+    }
+
+    #[test]
+    fn json_floats_round_trip_exactly() {
+        use mcdvfs_types::{Joules, Seconds};
+        let time = Seconds::from_micros(470.0);
+        let energy = Joules::from_micros(28.0);
+        let json = event_to_json(&Event::TuningSearch {
+            sample: 3,
+            settings_evaluated: 70,
+            latency: time,
+            energy,
+        });
+        let field = |name: &str| -> f64 {
+            let start = json.find(name).unwrap() + name.len() + 2;
+            json[start..]
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(field("\"latency_s\"").to_bits(), time.value().to_bits());
+        assert_eq!(field("\"energy_j\"").to_bits(), energy.value().to_bits());
+    }
+
+    #[test]
+    fn ledger_csv_is_rectangular() {
+        let t = ledger_table(&ledger());
+        assert_eq!(t.len(), 5);
+        let csv = t.to_csv();
+        let width = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), width, "{line}");
+        }
+        assert!(csv.contains("region_boundary"));
+        assert!(csv.contains("frequency_transition"));
+    }
+
+    #[test]
+    fn write_ledger_jsonl_creates_directories() {
+        let dir = std::env::temp_dir().join("mcdvfs-ledger-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/run.jsonl");
+        write_ledger_jsonl(&ledger(), &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read.lines().count(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,9 +11,16 @@
 //! The resulting [`RunReport`] exposes end-to-end time/energy with and
 //! without the overheads, achieved inefficiency, and transition counts —
 //! everything Figures 8, 10 and 11 summarize.
+//!
+//! Runs can additionally stream a structured ledger of typed events
+//! ([`GovernedRun::execute_recorded`]): every search, hardware transition,
+//! region boundary and executed sample, carrying the exact charged
+//! quantities. [`RunReport::verify_ledger`] cross-checks that replaying
+//! the ledger reproduces the report's totals bit-for-bit.
 
 use crate::governor::{Governor, Observation};
 use crate::tuning::{TuningCost, TuningCostModel};
+use mcdvfs_obs::{Event, NullRecorder, Recorder, RunLedger};
 use mcdvfs_sim::{CharacterizationGrid, DvfsController, TransitionModel};
 use mcdvfs_types::{FreqSetting, Joules, Seconds};
 use mcdvfs_workloads::SampleTrace;
@@ -88,6 +95,79 @@ impl RunReport {
     pub fn energy_savings_vs(&self, reference: &RunReport) -> f64 {
         1.0 - self.total_energy() / reference.total_energy()
     }
+
+    /// Cross-checks this report against the ledger recorded alongside it:
+    /// replaying the events must reproduce every total *exactly* —
+    /// bit-identical times and energies, equal counts.
+    ///
+    /// This is the observability layer's integrity invariant: events carry
+    /// the same `f64` quantities the runner accumulated, in the same
+    /// order, so any disagreement means instrumentation drifted from the
+    /// accounting it observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch, or of dropped events
+    /// (a lossy ledger cannot be replayed into full totals).
+    pub fn verify_ledger(&self, ledger: &RunLedger) -> std::result::Result<(), String> {
+        if !ledger.is_complete() {
+            return Err(format!(
+                "ledger dropped {} events; replay needs a complete ledger",
+                ledger.dropped()
+            ));
+        }
+        let t = ledger.replay();
+        let check = |name: &str, got: f64, want: f64| -> std::result::Result<(), String> {
+            if got.to_bits() == want.to_bits() {
+                Ok(())
+            } else {
+                Err(format!("{name}: replay {got:e} != report {want:e}"))
+            }
+        };
+        check("work_time", t.work_time.value(), self.work_time.value())?;
+        check(
+            "work_energy",
+            t.work_energy.value(),
+            self.work_energy.value(),
+        )?;
+        check(
+            "tuning_time",
+            t.tuning_time.value(),
+            self.tuning_time.value(),
+        )?;
+        check(
+            "tuning_energy",
+            t.tuning_energy.value(),
+            self.tuning_energy.value(),
+        )?;
+        check(
+            "transition_time",
+            t.transition_time.value(),
+            self.transition_time.value(),
+        )?;
+        check(
+            "transition_energy",
+            t.transition_energy.value(),
+            self.transition_energy.value(),
+        )?;
+        let counts = [
+            (
+                "samples",
+                t.samples as u64,
+                self.sample_settings.len() as u64,
+            ),
+            ("searches", t.searches, self.searches),
+            ("transitions", t.transitions, self.transitions),
+            ("cpu_transitions", t.cpu_transitions, self.cpu_transitions),
+            ("mem_transitions", t.mem_transitions, self.mem_transitions),
+        ];
+        for (name, got, want) in counts {
+            if got != want {
+                return Err(format!("{name}: replay {got} != report {want}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Replay engine charging tuning and transition overheads.
@@ -95,6 +175,7 @@ impl RunReport {
 pub struct GovernedRun {
     tuning: TuningCostModel,
     transitions: TransitionModel,
+    budget_alert: Option<f64>,
 }
 
 impl GovernedRun {
@@ -104,7 +185,25 @@ impl GovernedRun {
         Self {
             tuning,
             transitions,
+            budget_alert: None,
         }
+    }
+
+    /// Arms a budget alert: when the running work inefficiency first
+    /// exceeds `budget`, a
+    /// [`BudgetExceeded`](Event::BudgetExceeded) event is emitted to the
+    /// recorder (at most once per run). The alert never changes the run's
+    /// results — it only observes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget < 1.0` (inefficiency is at least 1 by
+    /// definition).
+    #[must_use]
+    pub fn with_budget_alert(mut self, budget: f64) -> Self {
+        assert!(budget >= 1.0, "inefficiency budgets are at least 1");
+        self.budget_alert = Some(budget);
+        self
     }
 
     /// A runner with all overheads disabled (Figure 11's "no tuning
@@ -118,7 +217,10 @@ impl GovernedRun {
     /// tuning overhead" arm).
     #[must_use]
     pub fn with_paper_overheads() -> Self {
-        Self::new(TuningCostModel::paper_calibrated(), TransitionModel::mobile_soc())
+        Self::new(
+            TuningCostModel::paper_calibrated(),
+            TransitionModel::mobile_soc(),
+        )
     }
 
     /// Replays `trace` (already characterized into `data`) under
@@ -134,6 +236,32 @@ impl GovernedRun {
         data: &CharacterizationGrid,
         trace: &SampleTrace,
         governor: &mut dyn Governor,
+    ) -> RunReport {
+        self.execute_recorded(data, trace, governor, &mut NullRecorder)
+    }
+
+    /// As [`execute`](Self::execute), additionally streaming typed
+    /// [`Event`]s to `recorder` — region boundaries, tuning searches,
+    /// hardware transitions, executed samples, and (when armed via
+    /// [`with_budget_alert`](Self::with_budget_alert)) budget crossings.
+    ///
+    /// Recording never perturbs the run: `execute` is literally this
+    /// method with a [`NullRecorder`], so results are bit-identical with
+    /// recording on or off. Events carry the exact charged quantities in
+    /// accumulation order, making
+    /// [`RunReport::verify_ledger`] an exact cross-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` and `data` disagree on sample count, or when the
+    /// governor returns an off-grid setting.
+    #[must_use]
+    pub fn execute_recorded(
+        &self,
+        data: &CharacterizationGrid,
+        trace: &SampleTrace,
+        governor: &mut dyn Governor,
+        recorder: &mut dyn Recorder,
     ) -> RunReport {
         assert_eq!(
             trace.len(),
@@ -158,18 +286,32 @@ impl GovernedRun {
             total_emin: data.total_emin(),
         };
 
+        let recording = recorder.enabled();
+        let mut emin_so_far = Joules::ZERO;
+        let mut budget_alerted = false;
         let mut prev: Option<Observation> = None;
         for s in 0..trace.len() {
             let decision = governor.decide(s, prev.as_ref());
+            if recording && decision.region_start {
+                recorder.record(Event::RegionBoundary { sample: s });
+            }
             if decision.settings_evaluated > 0 {
                 report.searches += 1;
                 let TuningCost { latency, energy } =
                     self.tuning.search_cost(decision.settings_evaluated);
                 report.tuning_time += latency;
                 report.tuning_energy += energy;
+                if recording {
+                    recorder.record(Event::TuningSearch {
+                        sample: s,
+                        settings_evaluated: decision.settings_evaluated,
+                        latency,
+                        energy,
+                    });
+                }
             }
             let cost = controller
-                .request(decision.setting)
+                .request_recorded(decision.setting, s, recorder)
                 .expect("governor returned an off-grid setting");
             report.transition_time += cost.latency;
             report.transition_energy += cost.energy;
@@ -180,6 +322,26 @@ impl GovernedRun {
             report.work_time += m.time;
             report.work_energy += m.energy();
             report.sample_settings.push(decision.setting);
+            if recording {
+                recorder.record(Event::SampleExecuted {
+                    sample: s,
+                    setting: decision.setting,
+                    time: m.time,
+                    energy: m.energy(),
+                });
+            }
+            if let Some(budget) = self.budget_alert {
+                emin_so_far += data.sample_emin(s);
+                let inefficiency = report.work_energy.value() / emin_so_far.value();
+                if recording && !budget_alerted && inefficiency > budget {
+                    recorder.record(Event::BudgetExceeded {
+                        sample: s,
+                        inefficiency,
+                        budget,
+                    });
+                    budget_alerted = true;
+                }
+            }
             controller.advance(m.time);
             prev = Some(Observation {
                 sample: s,
@@ -338,6 +500,81 @@ mod tests {
         assert!(r.total_inefficiency() >= r.work_inefficiency());
         assert_eq!(r.sample_settings.len(), 10);
         assert!(r.searches > 0);
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_bit_for_bit() {
+        let (data, trace) = setup(Benchmark::Milc, 20);
+        let runner = GovernedRun::with_paper_overheads();
+        let mut g1 = OracleOptimalGovernor::new(Arc::clone(&data), budget(1.3));
+        let mut g2 = OracleOptimalGovernor::new(Arc::clone(&data), budget(1.3));
+        let plain = runner.execute(&data, &trace, &mut g1);
+        let mut ledger = RunLedger::unbounded();
+        let recorded = runner.execute_recorded(&data, &trace, &mut g2, &mut ledger);
+        assert_eq!(plain, recorded, "recording must not perturb the run");
+        recorded
+            .verify_ledger(&ledger)
+            .expect("replay reproduces totals");
+    }
+
+    #[test]
+    fn ledger_region_lengths_cover_the_trace() {
+        let (data, trace) = setup(Benchmark::Gcc, 30);
+        let mut g = OracleClusterGovernor::new(Arc::clone(&data), budget(1.3), 0.05).unwrap();
+        let mut ledger = RunLedger::unbounded();
+        let report =
+            GovernedRun::without_overheads().execute_recorded(&data, &trace, &mut g, &mut ledger);
+        let lengths = ledger.region_lengths();
+        assert_eq!(lengths.iter().sum::<usize>(), 30);
+        assert_eq!(
+            lengths.len() as u64,
+            report.searches,
+            "one search per region"
+        );
+    }
+
+    #[test]
+    fn budget_alert_fires_once_and_changes_nothing() {
+        let (data, trace) = setup(Benchmark::Milc, 20);
+        // Performance pins both domains at max: energy-oblivious, so a
+        // tight alert budget must trip.
+        let plain = {
+            let mut g = PerformanceGovernor::new(data.grid());
+            GovernedRun::without_overheads().execute(&data, &trace, &mut g)
+        };
+        let mut g = PerformanceGovernor::new(data.grid());
+        let mut ledger = RunLedger::unbounded();
+        let alerting = GovernedRun::without_overheads()
+            .with_budget_alert(1.01)
+            .execute_recorded(&data, &trace, &mut g, &mut ledger);
+        assert_eq!(plain, alerting, "the alert only observes");
+        assert_eq!(ledger.replay().budget_alerts, 1, "emitted exactly once");
+        let fired = ledger.events().any(|e| {
+            matches!(e, mcdvfs_obs::Event::BudgetExceeded { inefficiency, budget, .. }
+                if *inefficiency > *budget)
+        });
+        assert!(fired);
+    }
+
+    #[test]
+    fn lossy_ledger_fails_verification() {
+        let (data, trace) = setup(Benchmark::Gobmk, 12);
+        let mut g = OracleOptimalGovernor::new(Arc::clone(&data), budget(1.3));
+        let mut ledger = RunLedger::with_capacity(4);
+        let report = GovernedRun::with_paper_overheads().execute_recorded(
+            &data,
+            &trace,
+            &mut g,
+            &mut ledger,
+        );
+        let err = report.verify_ledger(&ledger).unwrap_err();
+        assert!(err.contains("dropped"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unity_budget_alert_panics() {
+        let _ = GovernedRun::without_overheads().with_budget_alert(0.5);
     }
 
     #[test]

@@ -37,10 +37,13 @@ impl StableRegion {
         self.end - self.start
     }
 
-    /// Regions are never empty by construction.
+    /// `true` when the region spans no samples. Construction guarantees
+    /// `start < end`, so this is `false` for every region produced by
+    /// [`stable_regions`] — but the answer comes from the data, not from
+    /// that assumption.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     /// All settings common to every sample of the region, ascending.
@@ -52,7 +55,9 @@ impl StableRegion {
     /// The representative setting resolved against `data`'s grid.
     #[must_use]
     pub fn chosen_setting(&self, data: &CharacterizationGrid) -> FreqSetting {
-        data.grid().get(self.chosen_index).expect("chosen index on grid")
+        data.grid()
+            .get(self.chosen_index)
+            .expect("chosen index on grid")
     }
 
     /// `true` when `sample` falls inside the region.
@@ -166,6 +171,7 @@ fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
 }
 
 fn close_region(start: usize, end: usize, available: Vec<usize>) -> StableRegion {
+    debug_assert!(start < end, "regions must span at least one sample");
     // Grid indices are ascending in (cpu, mem) lexicographic order, so the
     // largest index is the paper's highest-CPU-then-memory choice.
     let chosen_index = *available.last().expect("region has at least one setting");
@@ -202,6 +208,23 @@ mod tests {
     }
 
     #[test]
+    fn regions_are_never_empty() {
+        let (_, c) = clusters_for(Benchmark::Gobmk, 30, 1.3, 0.01);
+        for r in stable_regions(&c) {
+            assert!(!r.is_empty());
+        }
+        // And the answer is honest, not hard-coded: a degenerate region
+        // reports itself empty.
+        let degenerate = StableRegion {
+            start: 3,
+            end: 3,
+            chosen_index: 0,
+            available: vec![0],
+        };
+        assert!(degenerate.is_empty());
+    }
+
+    #[test]
     fn regions_partition_the_trace() {
         let (_, c) = clusters_for(Benchmark::Gobmk, 30, 1.3, 0.01);
         let regions = stable_regions(&c);
@@ -217,9 +240,9 @@ mod tests {
     fn chosen_setting_is_in_every_member_cluster() {
         let (_, c) = clusters_for(Benchmark::Gcc, 40, 1.3, 0.03);
         for r in stable_regions(&c) {
-            for s in r.start..r.end {
+            for (s, cluster) in c.iter().enumerate().take(r.end).skip(r.start) {
                 assert!(
-                    c[s].contains_index(r.chosen_index),
+                    cluster.contains_index(r.chosen_index),
                     "region {}..{} chose {} not in cluster of sample {s}",
                     r.start,
                     r.end,
@@ -235,8 +258,8 @@ mod tests {
         let (_, c) = clusters_for(Benchmark::Milc, 30, 1.3, 0.05);
         for r in stable_regions(&c) {
             for &idx in r.available_indices() {
-                for s in r.start..r.end {
-                    assert!(c[s].contains_index(idx));
+                for cluster in &c[r.start..r.end] {
+                    assert!(cluster.contains_index(idx));
                 }
             }
         }

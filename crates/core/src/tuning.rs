@@ -115,7 +115,10 @@ mod tests {
             (450.0..=550.0).contains(&total_us),
             "total tuning latency {total_us} µs"
         );
-        assert!((25.0..=45.0).contains(&total_uj), "total tuning energy {total_uj} µJ");
+        assert!(
+            (25.0..=45.0).contains(&total_uj),
+            "total tuning energy {total_uj} µJ"
+        );
     }
 
     #[test]

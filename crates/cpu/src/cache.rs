@@ -76,7 +76,9 @@ impl CacheConfig {
         let ok = self.line_bytes.is_power_of_two()
             && self.line_bytes > 0
             && self.ways > 0
-            && self.size_bytes % (self.line_bytes * u64::from(self.ways)) == 0
+            && self
+                .size_bytes
+                .is_multiple_of(self.line_bytes * u64::from(self.ways))
             && self.sets() > 0
             && self.sets().is_power_of_two();
         if ok {
@@ -376,7 +378,10 @@ mod tests {
         let misses = h.run_trace(trace.clone());
         assert_eq!(misses, 128);
         let misses2 = h.run_trace(trace);
-        assert_eq!(misses2, 0, "second pass hits in L2 (128 x 4KB-strided lines fit)");
+        assert_eq!(
+            misses2, 0,
+            "second pass hits in L2 (128 x 4KB-strided lines fit)"
+        );
     }
 
     #[test]

@@ -209,12 +209,7 @@ mod tests {
 
     #[test]
     fn small_stream_fits_in_l2() {
-        let p = characterize(
-            Kernel::Stream {
-                bytes: 1024 * 1024,
-            },
-            200,
-        );
+        let p = characterize(Kernel::Stream { bytes: 1024 * 1024 }, 200);
         assert!(
             p.characteristics.mpki < 1.0,
             "1 MB stream fits L2, mpki {}",
@@ -231,7 +226,10 @@ mod tests {
             100,
         );
         assert!(p.characteristics.mpki > 5.0);
-        assert!((p.characteristics.mlp - 1.0).abs() < 1e-12, "chase serializes");
+        assert!(
+            (p.characteristics.mlp - 1.0).abs() < 1e-12,
+            "chase serializes"
+        );
         assert!(p.characteristics.row_hit_rate < 0.2);
     }
 

@@ -240,9 +240,7 @@ mod tests {
         let chars = SampleCharacteristics::new(1.2, 5.0);
         let e = m.execute(&chars, CpuFreq::from_mhz(600), LAT);
         assert!((e.total_cycles() - (e.core_cycles + e.stall_cycles)).abs() < 1e-9);
-        assert!(
-            (e.time.value() - e.total_cycles() / CpuFreq::from_mhz(600).hz()).abs() < 1e-15
-        );
+        assert!((e.time.value() - e.total_cycles() / CpuFreq::from_mhz(600).hz()).abs() < 1e-15);
     }
 
     #[test]

@@ -270,12 +270,9 @@ mod tests {
             CpuFreq::from_mhz(1000)
         )
         .is_err());
-        assert!(CpuPowerModel::new(
-            Watts::ZERO,
-            Watts::ZERO,
-            Watts::ZERO,
-            CpuFreq::from_mhz(0)
-        )
-        .is_err());
+        assert!(
+            CpuPowerModel::new(Watts::ZERO, Watts::ZERO, Watts::ZERO, CpuFreq::from_mhz(0))
+                .is_err()
+        );
     }
 }

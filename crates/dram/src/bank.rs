@@ -200,14 +200,20 @@ impl Bank {
             }
             BankState::Active { .. } => {
                 self.conflicts += 1;
-                let t = self.issue(Command::Precharge, now).expect("active bank accepts PRE");
-                let t = self.issue(Command::Activate { row }, t).expect("idle bank accepts ACT");
+                let t = self
+                    .issue(Command::Precharge, now)
+                    .expect("active bank accepts PRE");
+                let t = self
+                    .issue(Command::Activate { row }, t)
+                    .expect("idle bank accepts ACT");
                 let done = self.issue(column, t).expect("active bank accepts column");
                 (done, false)
             }
             BankState::Idle => {
                 self.misses += 1;
-                let t = self.issue(Command::Activate { row }, now).expect("idle bank accepts ACT");
+                let t = self
+                    .issue(Command::Activate { row }, now)
+                    .expect("idle bank accepts ACT");
                 let done = self.issue(column, t).expect("active bank accepts column");
                 (done, false)
             }
@@ -232,7 +238,10 @@ mod tests {
         assert_eq!(act_done, t.trcd_cycles(f));
         // Read issued immediately still waits for tRCD internally.
         let rd_done = b.issue(Command::Read, 0).unwrap();
-        assert_eq!(rd_done, t.trcd_cycles(f) + t.cas_cycles(f) + t.burst_cycles());
+        assert_eq!(
+            rd_done,
+            t.trcd_cycles(f) + t.cas_cycles(f) + t.burst_cycles()
+        );
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl MemoryController {
     #[must_use]
     pub fn lpddr3(freq: MemFreq) -> Self {
         let timings = LpddrTimings::micron_lpddr3();
-        let banks = (0..timings.banks).map(|_| Bank::new(&timings, freq)).collect();
+        let banks = (0..timings.banks)
+            .map(|_| Bank::new(&timings, freq))
+            .collect();
         let next_refresh = freq.cycles_in_ns(timings.trefi_ns);
         Self {
             timings,
@@ -259,7 +261,11 @@ impl MemoryController {
             .map(|r| r.request.arrival_cycle)
             .min()
             .expect("nonempty");
-        let last_done = results.iter().map(|r| r.done_cycle).max().expect("nonempty");
+        let last_done = results
+            .iter()
+            .map(|r| r.done_cycle)
+            .max()
+            .expect("nonempty");
         let span_s = (last_done - first_arrival) as f64 * tck * 1e-9;
         let hits = results.iter().filter(|r| r.row_hit).count() as f64;
         ControllerStats {
@@ -323,7 +329,11 @@ mod tests {
         let mut ctrl = MemoryController::lpddr3(f);
         let results = ctrl.run(&random_stream(512, 50));
         let stats = MemoryController::stats(&results, f, ctrl.refreshes());
-        assert!(stats.row_hit_rate < 0.2, "random hit rate {}", stats.row_hit_rate);
+        assert!(
+            stats.row_hit_rate < 0.2,
+            "random hit rate {}",
+            stats.row_hit_rate
+        );
     }
 
     #[test]
@@ -345,7 +355,10 @@ mod tests {
         let f = MemFreq::from_mhz(400);
         let mut ctrl = MemoryController::lpddr3(f);
         for r in ctrl.run(&random_stream(200, 10)) {
-            assert!(r.start_cycle >= r.request.arrival_cycle || r.start_cycle + 64 > r.request.arrival_cycle);
+            assert!(
+                r.start_cycle >= r.request.arrival_cycle
+                    || r.start_cycle + 64 > r.request.arrival_cycle
+            );
             assert!(r.done_cycle > r.request.arrival_cycle);
         }
     }
@@ -507,10 +520,7 @@ mod tests {
             .collect();
         let reads: Vec<Request> = writes
             .iter()
-            .map(|r| Request {
-                write: false,
-                ..*r
-            })
+            .map(|r| Request { write: false, ..*r })
             .collect();
         let mut a = MemoryController::lpddr3(f);
         let sa = MemoryController::stats(&a.run(&writes), f, a.refreshes());

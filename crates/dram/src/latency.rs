@@ -73,7 +73,8 @@ impl LatencyModel {
     /// Effective (achievable) bandwidth at `freq`, bytes/second.
     #[must_use]
     pub fn effective_bandwidth(&self, freq: MemFreq) -> f64 {
-        self.timings.peak_bandwidth(freq) * self.bandwidth_efficiency
+        self.timings.peak_bandwidth(freq)
+            * self.bandwidth_efficiency
             * (1.0 - self.timings.refresh_overhead())
     }
 
@@ -97,9 +98,8 @@ impl LatencyModel {
         // M/D/1 mean wait: W = ρ·S / (2(1-ρ)), with S the mean service time
         // (one line transfer) and ρ clamped below saturation.
         let rho = rho.min(self.max_utilization);
-        let service_ns = mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64
-            / self.effective_bandwidth(freq)
-            * 1e9;
+        let service_ns =
+            mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64 / self.effective_bandwidth(freq) * 1e9;
         let wait = rho * service_ns / (2.0 * (1.0 - rho));
         base + wait
     }
@@ -205,6 +205,9 @@ mod tests {
         let rho_slow = m.utilization(MemFreq::from_mhz(200), demand, 1.0);
         let rho_fast = m.utilization(MemFreq::from_mhz(800), demand, 1.0);
         assert!(rho_slow > rho_fast);
-        assert!((rho_slow - m.max_utilization()).abs() < 1e-9, "200 MHz is saturated");
+        assert!(
+            (rho_slow - m.max_utilization()).abs() < 1e-9,
+            "200 MHz is saturated"
+        );
     }
 }

@@ -177,7 +177,9 @@ impl DramPowerModel {
     #[must_use]
     pub fn burst_energy(&self, freq: MemFreq, write: bool) -> Joules {
         let idd4 = if write { self.idd4w } else { self.idd4r };
-        let above_standby = self.scale_current(idd4, freq).minus(self.scale_current(self.idd3n, freq));
+        let above_standby = self
+            .scale_current(idd4, freq)
+            .minus(self.scale_current(self.idd3n, freq));
         above_standby.power(self.vdd1, self.vdd2) * Seconds::from_nanos(self.timings.burst_ns(freq))
     }
 
@@ -185,7 +187,9 @@ impl DramPowerModel {
     /// every tREFI.
     #[must_use]
     pub fn refresh_power(&self, freq: MemFreq) -> Watts {
-        let above = self.scale_current(self.idd5, freq).minus(self.scale_current(self.idd2n, freq));
+        let above = self
+            .scale_current(self.idd5, freq)
+            .minus(self.scale_current(self.idd2n, freq));
         above.power(self.vdd1, self.vdd2) * self.timings.refresh_overhead()
     }
 
@@ -207,8 +211,9 @@ impl DramPowerModel {
     ) -> DramEnergyBreakdown {
         debug_assert!((0.0..=1.0).contains(&row_hit_rate));
         debug_assert!((0.0..=1.0).contains(&write_frac));
-        let bursts_per_access =
-            (mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64 / self.timings.bytes_per_burst() as f64).ceil();
+        let bursts_per_access = (mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64
+            / self.timings.bytes_per_burst() as f64)
+            .ceil();
         let n = accesses as f64;
         let activations = n * (1.0 - row_hit_rate);
         let read_bursts = n * bursts_per_access * (1.0 - write_frac);

@@ -171,10 +171,7 @@ impl PowerDownPolicy {
             return model.background_power(freq, 1.0);
         }
         assert!(!gaps.is_empty(), "idle time needs an idle-gap distribution");
-        let idle_energy: Joules = gaps
-            .iter()
-            .map(|&g| self.idle_energy(model, freq, g))
-            .sum();
+        let idle_energy: Joules = gaps.iter().map(|&g| self.idle_energy(model, freq, g)).sum();
         let idle_time: Seconds = gaps.iter().copied().sum();
         let idle_power = idle_energy / idle_time;
         let busy_power = model.background_power(freq, 1.0);

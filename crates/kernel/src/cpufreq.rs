@@ -27,10 +27,32 @@ pub(crate) struct CpufreqState {
 }
 
 impl CpufreqState {
+    /// Largest step ≤ `khz` (or the lowest step when `khz` is below all).
+    fn snap_floor(&self, khz: u64) -> u64 {
+        *self
+            .steps_khz
+            .iter()
+            .rev()
+            .find(|&&s| s <= khz)
+            .unwrap_or_else(|| self.steps_khz.first().expect("grid is never empty"))
+    }
+
+    /// Smallest step ≥ `khz` (or the highest step when `khz` is above all).
+    fn snap_ceil(&self, khz: u64) -> u64 {
+        *self
+            .steps_khz
+            .iter()
+            .find(|&&s| s >= khz)
+            .unwrap_or_else(|| self.steps_khz.last().expect("grid is never empty"))
+    }
+
     fn clamp_snap(&self, khz: u64) -> u64 {
         let lo = self.min_khz;
         let hi = self.max_khz;
         let clamped = khz.clamp(lo, hi);
+        // Bounds are snapped onto steps at write time (floor for min, ceil
+        // for max), so `lo` itself is always a supported step and the
+        // filter below can never come up empty.
         *self
             .steps_khz
             .iter()
@@ -73,7 +95,10 @@ impl CpufreqPolicy {
     /// state on these platforms).
     #[must_use]
     pub fn new(grid: FrequencyGrid) -> Self {
-        let steps_khz: Vec<u64> = grid.cpu_freqs().map(|f| u64::from(f.mhz()) * 1000).collect();
+        let steps_khz: Vec<u64> = grid
+            .cpu_freqs()
+            .map(|f| u64::from(f.mhz()) * 1000)
+            .collect();
         let state = CpufreqState {
             min_khz: *steps_khz.first().expect("grid is never empty"),
             max_khz: *steps_khz.last().expect("grid is never empty"),
@@ -109,9 +134,13 @@ impl CpufreqPolicy {
                 if khz > s.max_khz {
                     return Err(format!("min {khz} above max {}", s.max_khz));
                 }
-                s.min_khz = khz;
+                // Snap down onto the grid so [min, max] always brackets at
+                // least one supported step (Linux keeps the raw value, but
+                // then resolves targets against the table; our model snaps
+                // eagerly so every later lookup is total).
+                s.min_khz = s.snap_floor(khz);
                 s.apply_governor();
-                Ok(khz.to_string())
+                Ok(s.min_khz.to_string())
             },
         );
         dir.attr_rw(
@@ -125,9 +154,10 @@ impl CpufreqPolicy {
                 if khz < s.min_khz {
                     return Err(format!("max {khz} below min {}", s.min_khz));
                 }
-                s.max_khz = khz;
+                // Snap up onto the grid; see scaling_min_freq.
+                s.max_khz = s.snap_ceil(khz);
                 s.apply_governor();
-                Ok(khz.to_string())
+                Ok(s.max_khz.to_string())
             },
         );
         dir.attr_rw(

@@ -27,8 +27,30 @@ pub(crate) struct DevfreqState {
 }
 
 impl DevfreqState {
+    /// Largest step ≤ `hz` (or the lowest step when `hz` is below all).
+    fn snap_floor(&self, hz: u64) -> u64 {
+        *self
+            .steps_hz
+            .iter()
+            .rev()
+            .find(|&&s| s <= hz)
+            .unwrap_or_else(|| self.steps_hz.first().expect("grid is never empty"))
+    }
+
+    /// Smallest step ≥ `hz` (or the highest step when `hz` is above all).
+    fn snap_ceil(&self, hz: u64) -> u64 {
+        *self
+            .steps_hz
+            .iter()
+            .find(|&&s| s >= hz)
+            .unwrap_or_else(|| self.steps_hz.last().expect("grid is never empty"))
+    }
+
     fn clamp_snap(&self, hz: u64) -> u64 {
         let clamped = hz.clamp(self.min_hz, self.max_hz);
+        // Bounds are snapped onto steps at write time (floor for min, ceil
+        // for max), so `min_hz` itself is always a supported step and the
+        // filter below can never come up empty.
         *self
             .steps_hz
             .iter()
@@ -103,9 +125,11 @@ impl DevfreqDevice {
                 if hz > s.max_hz {
                     return Err(format!("min {hz} above max {}", s.max_hz));
                 }
-                s.min_hz = hz;
+                // Snap down onto the grid so [min, max] always brackets at
+                // least one supported step.
+                s.min_hz = s.snap_floor(hz);
                 s.apply_governor();
-                Ok(hz.to_string())
+                Ok(s.min_hz.to_string())
             },
         );
         dir.attr_rw(
@@ -119,9 +143,10 @@ impl DevfreqDevice {
                 if hz < s.min_hz {
                     return Err(format!("max {hz} below min {}", s.min_hz));
                 }
-                s.max_hz = hz;
+                // Snap up onto the grid; see min_freq.
+                s.max_hz = s.snap_ceil(hz);
                 s.apply_governor();
-                Ok(hz.to_string())
+                Ok(s.max_hz.to_string())
             },
         );
         dir.attr_rw(

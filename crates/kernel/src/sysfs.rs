@@ -143,9 +143,12 @@ impl<S> SysfsDir<S> {
     ///
     /// [`SysfsError::NoEntry`] for unknown names.
     pub fn read(&self, name: &str) -> Result<String, SysfsError> {
-        let attr = self.attributes.get(name).ok_or_else(|| SysfsError::NoEntry {
-            path: name.to_string(),
-        })?;
+        let attr = self
+            .attributes
+            .get(name)
+            .ok_or_else(|| SysfsError::NoEntry {
+                path: name.to_string(),
+            })?;
         Ok((attr.read)(&self.state))
     }
 
@@ -157,20 +160,23 @@ impl<S> SysfsDir<S> {
     /// [`SysfsError::NoEntry`], [`SysfsError::PermissionDenied`] or
     /// [`SysfsError::InvalidValue`].
     pub fn write(&mut self, name: &str, value: &str) -> Result<(), SysfsError> {
-        let attr = self.attributes.get(name).ok_or_else(|| SysfsError::NoEntry {
-            path: name.to_string(),
-        })?;
+        let attr = self
+            .attributes
+            .get(name)
+            .ok_or_else(|| SysfsError::NoEntry {
+                path: name.to_string(),
+            })?;
         let Some(write) = &attr.write else {
             return Err(SysfsError::PermissionDenied {
                 path: name.to_string(),
             });
         };
-        write(&mut self.state, value).map(|_| ()).map_err(|reason| {
-            SysfsError::InvalidValue {
+        write(&mut self.state, value)
+            .map(|_| ())
+            .map_err(|reason| SysfsError::InvalidValue {
                 path: name.to_string(),
                 reason,
-            }
-        })
+            })
     }
 
     /// Lists attribute names, sorted.
@@ -225,7 +231,10 @@ mod tests {
     fn unknown_attribute_is_enoent() {
         let mut d = dir();
         assert!(matches!(d.read("nope"), Err(SysfsError::NoEntry { .. })));
-        assert!(matches!(d.write("nope", "1"), Err(SysfsError::NoEntry { .. })));
+        assert!(matches!(
+            d.write("nope", "1"),
+            Err(SysfsError::NoEntry { .. })
+        ));
     }
 
     #[test]

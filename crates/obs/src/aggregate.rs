@@ -1,0 +1,463 @@
+//! Aggregation queries over a [`RunLedger`].
+
+use crate::event::Event;
+use crate::ledger::RunLedger;
+use mcdvfs_types::{Joules, Seconds};
+
+/// Totals reconstructed by replaying a ledger, field-for-field comparable
+/// with the runner's report.
+///
+/// Replay sums each quantity in event order, which is the order the runner
+/// accumulated it, so on a complete ledger every `f64` here is
+/// *bit-identical* to its report counterpart — not merely close.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplayTotals {
+    /// Samples executed.
+    pub samples: usize,
+    /// Sum of per-sample execution times.
+    pub work_time: Seconds,
+    /// Sum of per-sample energies.
+    pub work_energy: Joules,
+    /// Number of tuning searches.
+    pub searches: u64,
+    /// Total search latency.
+    pub tuning_time: Seconds,
+    /// Total search energy.
+    pub tuning_energy: Joules,
+    /// Number of hardware transitions (either domain).
+    pub transitions: u64,
+    /// CPU-domain changes.
+    pub cpu_transitions: u64,
+    /// Memory-domain changes.
+    pub mem_transitions: u64,
+    /// Total hardware transition latency.
+    pub transition_time: Seconds,
+    /// Total hardware transition energy.
+    pub transition_energy: Joules,
+    /// Budget-exceeded alerts seen.
+    pub budget_alerts: u64,
+}
+
+/// Per-domain transition counts (the paper's Figure 8 quantities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainTransitionCounts {
+    /// Joint transitions: a change to either domain counts once.
+    pub joint: u64,
+    /// CPU-domain changes.
+    pub cpu: u64,
+    /// Memory-domain changes.
+    pub mem: u64,
+}
+
+/// Where the tuning overhead went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchBreakdown {
+    /// Number of searches performed.
+    pub searches: u64,
+    /// Total candidate settings evaluated across all searches.
+    pub settings_evaluated: u64,
+    /// Fewest settings one search evaluated (0 when no searches ran).
+    pub min_evaluated: u64,
+    /// Most settings one search evaluated.
+    pub max_evaluated: u64,
+    /// Total search latency.
+    pub latency: Seconds,
+    /// Total search energy.
+    pub energy: Joules,
+}
+
+impl SearchBreakdown {
+    /// Mean settings evaluated per search (0 when no searches ran).
+    #[must_use]
+    pub fn mean_evaluated(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.settings_evaluated as f64 / self.searches as f64
+        }
+    }
+}
+
+/// A fixed-edge histogram over `f64` samples.
+///
+/// Bucket `i` counts values in `[edges[i], edges[i + 1])`; values below
+/// the first edge or at/above the last are counted separately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `edges` (ascending, at least two).
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two edges are given or they do not ascend
+    /// strictly.
+    #[must_use]
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "a histogram needs at least one bucket");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must ascend strictly"
+        );
+        let buckets = edges.len() - 1;
+        Self {
+            edges,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        if value < self.edges[0] {
+            self.underflow += 1;
+        } else if value >= *self.edges.last().expect("at least two edges") {
+            self.overflow += 1;
+        } else {
+            // partition_point: first edge strictly greater than value.
+            let i = self.edges.partition_point(|&e| e <= value);
+            self.counts[i - 1] += 1;
+        }
+    }
+
+    /// The bucket edges.
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (`edges().len() - 1` entries).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the first edge.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last edge.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+impl RunLedger {
+    /// Replays every retained event into run totals.
+    ///
+    /// On a [complete](Self::is_complete) ledger the result matches the
+    /// originating run report exactly; with drops it only covers the
+    /// retained suffix.
+    #[must_use]
+    pub fn replay(&self) -> ReplayTotals {
+        let mut t = ReplayTotals::default();
+        for e in self.events() {
+            match *e {
+                Event::SampleExecuted { time, energy, .. } => {
+                    t.samples += 1;
+                    t.work_time += time;
+                    t.work_energy += energy;
+                }
+                Event::TuningSearch {
+                    latency, energy, ..
+                } => {
+                    t.searches += 1;
+                    t.tuning_time += latency;
+                    t.tuning_energy += energy;
+                }
+                Event::FrequencyTransition {
+                    latency,
+                    energy,
+                    cpu_changed,
+                    mem_changed,
+                    ..
+                } => {
+                    t.transitions += 1;
+                    t.cpu_transitions += u64::from(cpu_changed);
+                    t.mem_transitions += u64::from(mem_changed);
+                    t.transition_time += latency;
+                    t.transition_energy += energy;
+                }
+                Event::RegionBoundary { .. } => {}
+                Event::BudgetExceeded { .. } => t.budget_alerts += 1,
+            }
+        }
+        t
+    }
+
+    /// Per-domain transition counts over the retained events.
+    #[must_use]
+    pub fn domain_transition_counts(&self) -> DomainTransitionCounts {
+        let mut c = DomainTransitionCounts::default();
+        for e in self.events() {
+            if let Event::FrequencyTransition {
+                cpu_changed,
+                mem_changed,
+                ..
+            } = *e
+            {
+                c.joint += 1;
+                c.cpu += u64::from(cpu_changed);
+                c.mem += u64::from(mem_changed);
+            }
+        }
+        c
+    }
+
+    /// Where the tuning overhead went, over the retained events.
+    #[must_use]
+    pub fn search_breakdown(&self) -> SearchBreakdown {
+        let mut b = SearchBreakdown {
+            min_evaluated: u64::MAX,
+            ..SearchBreakdown::default()
+        };
+        for e in self.events() {
+            if let Event::TuningSearch {
+                settings_evaluated,
+                latency,
+                energy,
+                ..
+            } = *e
+            {
+                let n = settings_evaluated as u64;
+                b.searches += 1;
+                b.settings_evaluated += n;
+                b.min_evaluated = b.min_evaluated.min(n);
+                b.max_evaluated = b.max_evaluated.max(n);
+                b.latency += latency;
+                b.energy += energy;
+            }
+        }
+        if b.searches == 0 {
+            b.min_evaluated = 0;
+        }
+        b
+    }
+
+    /// Seconds between consecutive hardware transitions, in occurrence
+    /// order (controller-clock timestamps).
+    #[must_use]
+    pub fn transition_interarrivals(&self) -> Vec<f64> {
+        let times: Vec<f64> = self
+            .events()
+            .filter_map(|e| match *e {
+                Event::FrequencyTransition { at, .. } => Some(at.value()),
+                _ => None,
+            })
+            .collect();
+        times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Histogram of transition inter-arrival times over `edges` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid edges; see [`Histogram::new`].
+    #[must_use]
+    pub fn interarrival_histogram(&self, edges: Vec<f64>) -> Histogram {
+        let mut h = Histogram::new(edges);
+        for dt in self.transition_interarrivals() {
+            h.add(dt);
+        }
+        h
+    }
+
+    /// Region lengths in samples, from the recorded boundaries.
+    ///
+    /// Sample 0 is an implicit boundary (governors that never search still
+    /// have one region); the final region extends to the last executed
+    /// sample. Returns an empty vector when no samples were recorded.
+    #[must_use]
+    pub fn region_lengths(&self) -> Vec<usize> {
+        let n_samples = self
+            .events()
+            .filter(|e| matches!(e, Event::SampleExecuted { .. }))
+            .count();
+        if n_samples == 0 {
+            return Vec::new();
+        }
+        let mut starts: Vec<usize> = self
+            .events()
+            .filter_map(|e| match *e {
+                Event::RegionBoundary { sample } => Some(sample),
+                _ => None,
+            })
+            .collect();
+        if starts.first() != Some(&0) {
+            starts.insert(0, 0);
+        }
+        starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .chain(std::iter::once(
+                n_samples - starts.last().copied().unwrap_or(0),
+            ))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use mcdvfs_types::FreqSetting;
+
+    fn sample(s: usize, ms: f64, mj: f64) -> Event {
+        Event::SampleExecuted {
+            sample: s,
+            setting: FreqSetting::from_mhz(500, 400),
+            time: Seconds::from_millis(ms),
+            energy: Joules::from_millis(mj),
+        }
+    }
+
+    fn transition(s: usize, at_ms: f64, cpu: bool, mem: bool) -> Event {
+        Event::FrequencyTransition {
+            sample: s,
+            at: Seconds::from_millis(at_ms),
+            from: FreqSetting::from_mhz(1000, 800),
+            to: FreqSetting::from_mhz(500, 400),
+            latency: Seconds::from_micros(30.0),
+            energy: Joules::from_micros(10.0),
+            cpu_changed: cpu,
+            mem_changed: mem,
+        }
+    }
+
+    #[test]
+    fn replay_sums_each_category() {
+        let mut l = RunLedger::unbounded();
+        l.record(Event::RegionBoundary { sample: 0 });
+        l.record(Event::TuningSearch {
+            sample: 0,
+            settings_evaluated: 70,
+            latency: Seconds::from_micros(470.0),
+            energy: Joules::from_micros(28.0),
+        });
+        l.record(transition(0, 0.0, true, true));
+        l.record(sample(0, 1.0, 4.0));
+        l.record(sample(1, 2.0, 5.0));
+        let t = l.replay();
+        assert_eq!(t.samples, 2);
+        assert_eq!(t.searches, 1);
+        assert_eq!(t.transitions, 1);
+        assert_eq!(t.cpu_transitions, 1);
+        assert_eq!(t.mem_transitions, 1);
+        assert_eq!(
+            t.work_time,
+            Seconds::from_millis(1.0) + Seconds::from_millis(2.0)
+        );
+        assert_eq!(
+            t.work_energy,
+            Joules::from_millis(4.0) + Joules::from_millis(5.0)
+        );
+        assert_eq!(t.budget_alerts, 0);
+    }
+
+    #[test]
+    fn domain_counts_split_by_changed_flags() {
+        let mut l = RunLedger::unbounded();
+        l.record(transition(0, 0.0, true, false));
+        l.record(transition(1, 1.0, false, true));
+        l.record(transition(2, 2.0, true, true));
+        let c = l.domain_transition_counts();
+        assert_eq!(c.joint, 3);
+        assert_eq!(c.cpu, 2);
+        assert_eq!(c.mem, 2);
+    }
+
+    #[test]
+    fn search_breakdown_tracks_extremes() {
+        let mut l = RunLedger::unbounded();
+        for n in [70usize, 4, 12] {
+            l.record(Event::TuningSearch {
+                sample: 0,
+                settings_evaluated: n,
+                latency: Seconds::from_micros(n as f64),
+                energy: Joules::from_micros(n as f64 * 0.1),
+            });
+        }
+        let b = l.search_breakdown();
+        assert_eq!(b.searches, 3);
+        assert_eq!(b.settings_evaluated, 86);
+        assert_eq!(b.min_evaluated, 4);
+        assert_eq!(b.max_evaluated, 70);
+        assert!((b.mean_evaluated() - 86.0 / 3.0).abs() < 1e-12);
+        let empty = RunLedger::unbounded().search_breakdown();
+        assert_eq!(empty.min_evaluated, 0);
+        assert_eq!(empty.mean_evaluated(), 0.0);
+    }
+
+    #[test]
+    fn interarrivals_use_controller_timestamps() {
+        let mut l = RunLedger::unbounded();
+        l.record(transition(0, 0.0, true, true));
+        l.record(transition(3, 5.0, true, true));
+        l.record(transition(7, 6.0, true, true));
+        let gaps = l.transition_interarrivals();
+        assert_eq!(gaps.len(), 2);
+        assert!((gaps[0] - 5e-3).abs() < 1e-12);
+        assert!((gaps[1] - 1e-3).abs() < 1e-12);
+        let h = l.interarrival_histogram(vec![0.0, 2e-3, 10e-3]);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0]);
+        h.add(-0.5); // underflow
+        h.add(0.0); // first bucket (inclusive lower edge)
+        h.add(0.99);
+        h.add(1.0); // second bucket
+        h.add(2.0); // overflow (exclusive upper edge)
+        assert_eq!(h.counts(), &[2, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn region_lengths_partition_the_samples() {
+        let mut l = RunLedger::unbounded();
+        l.record(Event::RegionBoundary { sample: 0 });
+        for s in 0..10 {
+            if s == 4 || s == 7 {
+                l.record(Event::RegionBoundary { sample: s });
+            }
+            l.record(sample(s, 1.0, 1.0));
+        }
+        assert_eq!(l.region_lengths(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn region_lengths_add_implicit_start() {
+        let mut l = RunLedger::unbounded();
+        for s in 0..6 {
+            l.record(sample(s, 1.0, 1.0));
+        }
+        assert_eq!(l.region_lengths(), vec![6], "one implicit region");
+        assert!(RunLedger::unbounded().region_lengths().is_empty());
+    }
+}

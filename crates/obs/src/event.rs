@@ -1,0 +1,173 @@
+//! The typed event vocabulary of a governed run.
+
+use mcdvfs_types::{FreqSetting, Joules, Seconds};
+
+/// One observable occurrence during a governed run.
+///
+/// Events are `Copy` and carry the *exact* quantities the runner
+/// accumulated into its report, so a complete event stream can be replayed
+/// into bit-identical totals (see
+/// [`RunLedger::replay`](crate::RunLedger::replay)). Emission order follows
+/// accumulation order: per sample, first the optional region boundary, then
+/// the optional tuning search, then the optional hardware transition, then
+/// the sample execution itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A sample finished executing at a setting.
+    SampleExecuted {
+        /// Trace index of the sample.
+        sample: usize,
+        /// Setting the sample ran at.
+        setting: FreqSetting,
+        /// Execution time charged to the run's work total.
+        time: Seconds,
+        /// Energy charged to the run's work total.
+        energy: Joules,
+    },
+    /// The governor performed a setting search before a sample.
+    TuningSearch {
+        /// Sample the search decided for.
+        sample: usize,
+        /// Number of candidate settings evaluated.
+        settings_evaluated: usize,
+        /// Search latency charged to the run's tuning total.
+        latency: Seconds,
+        /// Search energy charged to the run's tuning total.
+        energy: Joules,
+    },
+    /// The hardware actually changed frequency (same-setting requests emit
+    /// nothing).
+    FrequencyTransition {
+        /// Sample about to run at the new setting.
+        sample: usize,
+        /// Simulated time of the request, from the controller clock.
+        at: Seconds,
+        /// Setting before the change.
+        from: FreqSetting,
+        /// Setting after the change.
+        to: FreqSetting,
+        /// Hardware latency charged to the run's transition total.
+        latency: Seconds,
+        /// Hardware energy charged to the run's transition total.
+        energy: Joules,
+        /// Whether the CPU domain changed.
+        cpu_changed: bool,
+        /// Whether the memory domain changed.
+        mem_changed: bool,
+    },
+    /// The governor opened a new control region (e.g. crossed a
+    /// stable-region boundary or invalidated its previous plan). The first
+    /// sample of a run is an implicit boundary whether or not the governor
+    /// marks it.
+    RegionBoundary {
+        /// First sample of the new region.
+        sample: usize,
+    },
+    /// The run's achieved inefficiency first exceeded the configured alert
+    /// budget (emitted at most once per run).
+    BudgetExceeded {
+        /// Sample after which the budget was first exceeded.
+        sample: usize,
+        /// Achieved work inefficiency over samples `0..=sample`.
+        inefficiency: f64,
+        /// The alert budget that was crossed.
+        budget: f64,
+    },
+}
+
+impl Event {
+    /// The trace sample the event is associated with.
+    #[must_use]
+    pub fn sample(&self) -> usize {
+        match *self {
+            Self::SampleExecuted { sample, .. }
+            | Self::TuningSearch { sample, .. }
+            | Self::FrequencyTransition { sample, .. }
+            | Self::RegionBoundary { sample }
+            | Self::BudgetExceeded { sample, .. } => sample,
+        }
+    }
+
+    /// A short machine-readable name for the event kind (used by the
+    /// exporters).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::SampleExecuted { .. } => "sample_executed",
+            Self::TuningSearch { .. } => "tuning_search",
+            Self::FrequencyTransition { .. } => "frequency_transition",
+            Self::RegionBoundary { .. } => "region_boundary",
+            Self::BudgetExceeded { .. } => "budget_exceeded",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_accessor_covers_every_variant() {
+        let s = FreqSetting::from_mhz(500, 400);
+        let events = [
+            Event::SampleExecuted {
+                sample: 1,
+                setting: s,
+                time: Seconds::ZERO,
+                energy: Joules::ZERO,
+            },
+            Event::TuningSearch {
+                sample: 2,
+                settings_evaluated: 70,
+                latency: Seconds::ZERO,
+                energy: Joules::ZERO,
+            },
+            Event::FrequencyTransition {
+                sample: 3,
+                at: Seconds::ZERO,
+                from: s,
+                to: s,
+                latency: Seconds::ZERO,
+                energy: Joules::ZERO,
+                cpu_changed: true,
+                mem_changed: false,
+            },
+            Event::RegionBoundary { sample: 4 },
+            Event::BudgetExceeded {
+                sample: 5,
+                inefficiency: 1.4,
+                budget: 1.3,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.sample(), i + 1);
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let s = FreqSetting::from_mhz(500, 400);
+        let kinds = [
+            Event::RegionBoundary { sample: 0 }.kind(),
+            Event::SampleExecuted {
+                sample: 0,
+                setting: s,
+                time: Seconds::ZERO,
+                energy: Joules::ZERO,
+            }
+            .kind(),
+            Event::BudgetExceeded {
+                sample: 0,
+                inefficiency: 1.0,
+                budget: 1.0,
+            }
+            .kind(),
+        ];
+        assert_eq!(kinds.len(), {
+            let mut k = kinds.to_vec();
+            k.sort_unstable();
+            k.dedup();
+            k.len()
+        });
+    }
+}

@@ -1,0 +1,171 @@
+//! The bounded ring-buffer event ledger.
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+use std::collections::VecDeque;
+
+/// A recorder that retains events in order, bounded by a ring buffer.
+///
+/// When the buffer is full the *oldest* event is evicted so the ledger
+/// always holds the newest history; evictions are counted in
+/// [`dropped`](Self::dropped). An unbounded ledger never drops, which is
+/// what the exact-replay cross-check requires.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_obs::{Event, Recorder, RunLedger};
+///
+/// let mut ledger = RunLedger::with_capacity(2);
+/// for sample in 0..5 {
+///     ledger.record(Event::RegionBoundary { sample });
+/// }
+/// assert_eq!(ledger.len(), 2);
+/// assert_eq!(ledger.dropped(), 3);
+/// // The newest two events survive.
+/// let kept: Vec<usize> = ledger.events().map(Event::sample).collect();
+/// assert_eq!(kept, vec![3, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunLedger {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RunLedger {
+    /// A ledger that never evicts. Required for
+    /// [`replay`](Self::replay)-based cross-checks, where a dropped event
+    /// would falsify the totals.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            events: VecDeque::new(),
+            capacity: usize::MAX,
+            dropped: 0,
+        }
+    }
+
+    /// A ledger retaining at most `capacity` events, evicting the oldest
+    /// on overflow. Storage is allocated once, up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity ledger records nothing");
+        Self {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The retention bound (`usize::MAX` for unbounded ledgers).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` when every recorded event is still retained — the
+    /// precondition for exact replay.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Discards all retained events and resets the dropped counter.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Recorder for RunLedger {
+    fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_ledger_keeps_everything() {
+        let mut l = RunLedger::unbounded();
+        for sample in 0..1000 {
+            l.record(Event::RegionBoundary { sample });
+        }
+        assert_eq!(l.len(), 1000);
+        assert_eq!(l.dropped(), 0);
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_first() {
+        let mut l = RunLedger::with_capacity(3);
+        for sample in 0..7 {
+            l.record(Event::RegionBoundary { sample });
+        }
+        let kept: Vec<usize> = l.events().map(Event::sample).collect();
+        assert_eq!(kept, vec![4, 5, 6]);
+        assert_eq!(l.dropped(), 4);
+        assert!(!l.is_complete());
+    }
+
+    #[test]
+    fn bounded_ledger_never_reallocates() {
+        let mut l = RunLedger::with_capacity(8);
+        let cap_before = l.events.capacity();
+        for sample in 0..100 {
+            l.record(Event::RegionBoundary { sample });
+        }
+        assert_eq!(l.events.capacity(), cap_before, "ring must stay in place");
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut l = RunLedger::with_capacity(1);
+        l.record(Event::RegionBoundary { sample: 0 });
+        l.record(Event::RegionBoundary { sample: 1 });
+        assert_eq!(l.dropped(), 1);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = RunLedger::with_capacity(0);
+    }
+}

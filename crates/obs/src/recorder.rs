@@ -1,0 +1,67 @@
+//! The recorder sink trait and the zero-cost default.
+
+use crate::event::Event;
+
+/// A sink for governed-run [`Event`]s.
+///
+/// Instrumented code must gate event construction on [`enabled`]
+/// (`if recorder.enabled() { recorder.record(...) }`) so a disabled
+/// recorder costs one branch per hook and nothing else — no event is
+/// built, nothing is written, nothing allocates.
+///
+/// [`enabled`]: Recorder::enabled
+pub trait Recorder {
+    /// Accepts one event. Implementations must not panic on overflow;
+    /// bounded sinks drop and count instead (see
+    /// [`RunLedger`](crate::RunLedger)).
+    fn record(&mut self, event: Event);
+
+    /// Whether this recorder wants events at all. Hot paths skip their
+    /// instrumentation entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The always-disabled recorder: drops everything, reports itself
+/// disabled, holds no storage.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_obs::{NullRecorder, Recorder};
+///
+/// let rec = NullRecorder;
+/// assert!(!rec.enabled());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_zero_sized() {
+        let mut rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.record(Event::RegionBoundary { sample: 0 });
+        assert_eq!(std::mem::size_of::<NullRecorder>(), 0);
+    }
+
+    #[test]
+    fn null_recorder_works_as_trait_object() {
+        let mut rec = NullRecorder;
+        let dyn_rec: &mut dyn Recorder = &mut rec;
+        assert!(!dyn_rec.enabled());
+        dyn_rec.record(Event::RegionBoundary { sample: 1 });
+    }
+}

@@ -8,9 +8,7 @@
 //! exactly as the paper emphasizes.
 
 use crate::system::System;
-use mcdvfs_types::{
-    Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement, Seconds,
-};
+use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement, Seconds};
 use mcdvfs_workloads::SampleTrace;
 
 /// A complete measurement matrix for one workload on one platform grid.
@@ -313,9 +311,7 @@ mod tests {
     #[test]
     fn longest_time_is_at_the_slowest_corner() {
         let d = data();
-        let slowest_idx = small_grid()
-            .index_of(small_grid().min_setting())
-            .unwrap();
+        let slowest_idx = small_grid().index_of(small_grid().min_setting()).unwrap();
         assert_eq!(d.longest_total_time(), d.total_time_at(slowest_idx));
     }
 
@@ -323,7 +319,9 @@ mod tests {
     fn measurement_at_validates_grid_membership() {
         let d = data();
         assert!(d.measurement_at(0, FreqSetting::from_mhz(400, 400)).is_ok());
-        assert!(d.measurement_at(0, FreqSetting::from_mhz(450, 400)).is_err());
+        assert!(d
+            .measurement_at(0, FreqSetting::from_mhz(450, 400))
+            .is_err());
     }
 
     #[test]
@@ -363,10 +361,6 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_trace_panics() {
         let t = Benchmark::Bzip2.trace().window(0, 0);
-        let _ = CharacterizationGrid::characterize(
-            &System::galaxy_nexus_class(),
-            &t,
-            small_grid(),
-        );
+        let _ = CharacterizationGrid::characterize(&System::galaxy_nexus_class(), &t, small_grid());
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::kernel::EventQueue;
 use crate::transition::{TransitionCost, TransitionModel};
+use mcdvfs_obs::{Event, Recorder};
 use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Joules, Result, Seconds};
 
 /// Record of one completed transition.
@@ -61,7 +62,10 @@ impl DvfsController {
     /// setting it does not support.
     #[must_use]
     pub fn new(grid: FrequencyGrid, initial: FreqSetting, model: TransitionModel) -> Self {
-        assert!(grid.contains(initial), "initial setting {initial} is off-grid");
+        assert!(
+            grid.contains(initial),
+            "initial setting {initial} is off-grid"
+        );
         Self {
             grid,
             current: initial,
@@ -129,6 +133,42 @@ impl DvfsController {
             cost,
         });
         self.current = target;
+        Ok(cost)
+    }
+
+    /// As [`request`](Self::request), additionally emitting a
+    /// [`FrequencyTransition`](Event::FrequencyTransition) event to
+    /// `recorder` when the hardware actually changes (same-setting requests
+    /// stay silent). `sample` tags the event with the trace index about to
+    /// run. The event carries the exact cost charged to the caller and the
+    /// controller-clock timestamp, so replaying a ledger reproduces the
+    /// controller's accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SettingOffGrid`] when `target` is not on the grid.
+    pub fn request_recorded(
+        &mut self,
+        target: FreqSetting,
+        sample: usize,
+        recorder: &mut dyn Recorder,
+    ) -> Result<TransitionCost> {
+        let from = self.current;
+        let cost = self.request(target)?;
+        if target != from && recorder.enabled() {
+            let (cpu_changed, mem_changed) = from.domain_changes(target);
+            let at = self.history.last().expect("request just recorded").at;
+            recorder.record(Event::FrequencyTransition {
+                sample,
+                at,
+                from,
+                to: target,
+                latency: cost.latency,
+                energy: cost.energy,
+                cpu_changed,
+                mem_changed,
+            });
+        }
         Ok(cost)
     }
 
@@ -243,6 +283,42 @@ mod tests {
         assert!((rec.at.value() - 5e-3).abs() < 1e-12);
         assert_eq!(rec.from, FreqSetting::from_mhz(1000, 800));
         assert_eq!(rec.to, FreqSetting::from_mhz(500, 400));
+    }
+
+    #[test]
+    fn recorded_requests_emit_only_real_transitions() {
+        use mcdvfs_obs::RunLedger;
+        let mut c = ctrl();
+        let mut ledger = RunLedger::unbounded();
+        c.advance(Seconds::from_millis(2.0));
+        c.request_recorded(c.current(), 0, &mut ledger).unwrap(); // same setting
+        c.request_recorded(FreqSetting::from_mhz(500, 800), 1, &mut ledger)
+            .unwrap();
+        assert_eq!(ledger.len(), 1, "free requests stay silent");
+        match *ledger.events().next().unwrap() {
+            Event::FrequencyTransition {
+                sample,
+                at,
+                from,
+                to,
+                cpu_changed,
+                mem_changed,
+                ..
+            } => {
+                assert_eq!(sample, 1);
+                assert!((at.value() - 2e-3).abs() < 1e-12);
+                assert_eq!(from, FreqSetting::from_mhz(1000, 800));
+                assert_eq!(to, FreqSetting::from_mhz(500, 800));
+                assert!(cpu_changed);
+                assert!(!mem_changed);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // A disabled recorder costs nothing and records nothing.
+        let mut null = mcdvfs_obs::NullRecorder;
+        c.request_recorded(FreqSetting::from_mhz(600, 600), 2, &mut null)
+            .unwrap();
+        assert_eq!(c.transition_count(), 2);
     }
 
     #[test]

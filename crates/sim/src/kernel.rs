@@ -105,7 +105,11 @@ impl<T> EventQueue<T> {
     /// is monotone; events cannot be scheduled in the past.
     pub fn schedule(&mut self, at: f64, payload: T) {
         assert!(!at.is_nan(), "event time must not be NaN");
-        assert!(at >= self.now, "cannot schedule in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past ({at} < {})",
+            self.now
+        );
         self.heap.push(Scheduled {
             at,
             seq: self.next_seq,

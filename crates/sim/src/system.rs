@@ -116,10 +116,7 @@ impl System {
         if self.noise == 0.0 {
             return 1.0;
         }
-        let mut z = chars
-            .base_cpi
-            .to_bits()
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let mut z = chars.base_cpi.to_bits().wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ chars.mpki.to_bits().rotate_left(17)
             ^ (u64::from(setting.cpu.mhz()) << 32)
             ^ u64::from(setting.mem.mhz())
@@ -172,7 +169,8 @@ impl System {
             self.perf.execute(
                 chars,
                 setting.cpu,
-                self.latency.avg_latency_ns(setting.mem, chars.row_hit_rate, 0.0),
+                self.latency
+                    .avg_latency_ns(setting.mem, chars.row_hit_rate, 0.0),
             )
         } else {
             // Bisect the fixed point of T = core + stall(ρ(T)).
@@ -229,7 +227,9 @@ impl System {
             busy,
             time_exact,
         );
-        let rho = self.latency.utilization(setting.mem, bytes, time_exact.value());
+        let rho = self
+            .latency
+            .utilization(setting.mem, bytes, time_exact.value());
         let mem_energy = self
             .dram_power
             .energy(
@@ -375,7 +375,9 @@ mod tests {
         let s = sys();
         let m = s.simulate_sample(&mem_bound(), FreqSetting::from_mhz(1000, 200));
         let bytes = mem_bound().dram_bytes() as f64;
-        let floor = bytes / s.latency_model().effective_bandwidth(mcdvfs_types::MemFreq::from_mhz(200));
+        let floor = bytes
+            / s.latency_model()
+                .effective_bandwidth(mcdvfs_types::MemFreq::from_mhz(200));
         assert!(m.time.value() >= floor * 0.999);
     }
 
@@ -401,12 +403,17 @@ mod tests {
         let setting = FreqSetting::from_mhz(900, 300);
         let m = s.simulate_sample(&chars, setting);
         let bytes = chars.dram_bytes() as f64;
-        let rho = s.latency_model().utilization(setting.mem, bytes, m.time.value());
+        let rho = s
+            .latency_model()
+            .utilization(setting.mem, bytes, m.time.value());
         let lat = s
             .latency_model()
             .avg_latency_ns(setting.mem, chars.row_hit_rate, rho);
         let re = CorePerfModel::a15_like().execute(&chars, setting.cpu, lat);
-        let t_model = re.time.value().max(bytes / s.latency_model().effective_bandwidth(setting.mem));
+        let t_model = re
+            .time
+            .value()
+            .max(bytes / s.latency_model().effective_bandwidth(setting.mem));
         assert!(
             (t_model - m.time.value()).abs() / m.time.value() < 1e-6,
             "fixed point drift: {} vs {}",

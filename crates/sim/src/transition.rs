@@ -112,28 +112,40 @@ mod tests {
 
     #[test]
     fn cpu_only_change_costs_cpu_domain() {
-        let c = m().cost(FreqSetting::from_mhz(700, 600), FreqSetting::from_mhz(800, 600));
+        let c = m().cost(
+            FreqSetting::from_mhz(700, 600),
+            FreqSetting::from_mhz(800, 600),
+        );
         assert_eq!(c.latency, m().cpu_latency);
         assert_eq!(c.energy, m().cpu_energy);
     }
 
     #[test]
     fn mem_only_change_costs_mem_domain() {
-        let c = m().cost(FreqSetting::from_mhz(700, 600), FreqSetting::from_mhz(700, 400));
+        let c = m().cost(
+            FreqSetting::from_mhz(700, 600),
+            FreqSetting::from_mhz(700, 400),
+        );
         assert_eq!(c.latency, m().mem_latency);
         assert_eq!(c.energy, m().mem_energy);
     }
 
     #[test]
     fn joint_change_parallelizes_latency_and_sums_energy() {
-        let c = m().cost(FreqSetting::from_mhz(700, 600), FreqSetting::from_mhz(100, 200));
+        let c = m().cost(
+            FreqSetting::from_mhz(700, 600),
+            FreqSetting::from_mhz(100, 200),
+        );
         assert_eq!(c.latency, m().cpu_latency.max(m().mem_latency));
         assert_eq!(c.energy, m().cpu_energy + m().mem_energy);
     }
 
     #[test]
     fn latency_is_tens_of_microseconds() {
-        let c = m().cost(FreqSetting::from_mhz(100, 200), FreqSetting::from_mhz(1000, 800));
+        let c = m().cost(
+            FreqSetting::from_mhz(100, 200),
+            FreqSetting::from_mhz(1000, 800),
+        );
         let us = c.latency.as_micros();
         assert!((10.0..100.0).contains(&us), "latency {us} µs");
     }
@@ -141,7 +153,10 @@ mod tests {
     #[test]
     fn free_model_is_free() {
         let f = TransitionModel::free();
-        let c = f.cost(FreqSetting::from_mhz(100, 200), FreqSetting::from_mhz(1000, 800));
+        let c = f.cost(
+            FreqSetting::from_mhz(100, 200),
+            FreqSetting::from_mhz(1000, 800),
+        );
         assert_eq!(c, TransitionCost::ZERO);
     }
 }

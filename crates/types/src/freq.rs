@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn setting_ordering_matches_tie_break_rule() {
         // Highest CPU first, then highest memory.
-        let mut settings = vec![
+        let mut settings = [
             FreqSetting::from_mhz(900, 800),
             FreqSetting::from_mhz(1000, 200),
             FreqSetting::from_mhz(900, 200),
@@ -209,10 +209,22 @@ mod tests {
     #[test]
     fn domain_changes_reports_each_domain() {
         let a = FreqSetting::from_mhz(500, 400);
-        assert_eq!(a.domain_changes(FreqSetting::from_mhz(500, 400)), (false, false));
-        assert_eq!(a.domain_changes(FreqSetting::from_mhz(600, 400)), (true, false));
-        assert_eq!(a.domain_changes(FreqSetting::from_mhz(500, 600)), (false, true));
-        assert_eq!(a.domain_changes(FreqSetting::from_mhz(600, 600)), (true, true));
+        assert_eq!(
+            a.domain_changes(FreqSetting::from_mhz(500, 400)),
+            (false, false)
+        );
+        assert_eq!(
+            a.domain_changes(FreqSetting::from_mhz(600, 400)),
+            (true, false)
+        );
+        assert_eq!(
+            a.domain_changes(FreqSetting::from_mhz(500, 600)),
+            (false, true)
+        );
+        assert_eq!(
+            a.domain_changes(FreqSetting::from_mhz(600, 600)),
+            (true, true)
+        );
         assert!(a.differs_from(FreqSetting::from_mhz(600, 400)));
         assert!(!a.differs_from(a));
     }

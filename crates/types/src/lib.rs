@@ -36,12 +36,14 @@
 mod error;
 mod freq;
 mod grid;
+mod rng;
 mod sample;
 mod units;
 
 pub use error::{Error, Result};
 pub use freq::{CpuFreq, FreqSetting, MemFreq};
 pub use grid::{FrequencyGrid, Settings};
+pub use rng::SplitMix64;
 pub use sample::{
     SampleCharacteristics, SampleMeasurement, BYTES_PER_DRAM_ACCESS, INSTRUCTIONS_PER_SAMPLE,
 };

@@ -1,0 +1,152 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace must build without network access, so instead of pulling
+//! in the `rand` crate the few places that need randomness (workload
+//! jitter, randomized tests) share this SplitMix64 generator. SplitMix64
+//! passes BigCrush, needs one `u64` of state, and — crucially for the
+//! reproduction — makes every consumer's stream a pure function of its
+//! seed, so traces and tests are bit-reproducible across runs and
+//! platforms.
+
+/// SplitMix64 generator (Steele, Lea & Flood; the seeding generator of
+/// `java.util.SplittableRandom`).
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// let x = a.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (or exactly `lo` when `lo == hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "invalid range"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        // Multiply-shift bounding; bias is negligible for the small ranges
+        // used here (≪ 2^32).
+        let span = (hi - lo) as u64;
+        lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as usize
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(SplitMix64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = SplitMix64::new(2);
+        for _ in 0..10_000 {
+            let x = r.range_f64(-0.25, 0.25);
+            assert!((-0.25..0.25).contains(&x));
+        }
+        assert_eq!(r.range_f64(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn range_usize_covers_the_range() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.range_usize(0, 5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = SplitMix64::new(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = SplitMix64::new(0).range_f64(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_usize_range_panics() {
+        let _ = SplitMix64::new(0).range_usize(3, 3);
+    }
+}

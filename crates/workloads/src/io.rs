@@ -31,7 +31,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -62,7 +66,12 @@ pub fn trace_to_text(trace: &SampleTrace) -> String {
         let _ = writeln!(
             out,
             "{:.6} {:.6} {:.6} {:.6} {:.6} {:.6} {:.6}",
-            s.base_cpi, s.mpki, s.write_frac, s.row_hit_rate, s.mlp, s.stall_exposure,
+            s.base_cpi,
+            s.mpki,
+            s.write_frac,
+            s.row_hit_rate,
+            s.mlp,
+            s.stall_exposure,
             s.activity_factor
         );
     }

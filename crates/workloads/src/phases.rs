@@ -7,9 +7,7 @@
 //! seeded multiplicative jitter so consecutive samples are realistic but
 //! reproducible.
 
-use mcdvfs_types::SampleCharacteristics;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcdvfs_types::{SampleCharacteristics, SplitMix64};
 
 /// How CPI and MPKI evolve across the samples of one phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,15 +182,15 @@ impl PhaseScript {
     #[must_use]
     pub fn render(&self, seed: u64, jitter: f64) -> Vec<SampleCharacteristics> {
         assert!((0.0..0.2).contains(&jitter), "jitter must be in [0, 0.2)");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut out = Vec::with_capacity(self.len());
         for phase in &self.phases {
             for i in 0..phase.samples {
                 let mut c = phase.sample(i);
                 if jitter > 0.0 {
                     let mpki_jitter = jitter * Self::MPKI_JITTER_RATIO;
-                    c.base_cpi *= 1.0 + rng.gen_range(-jitter..=jitter);
-                    c.mpki = (c.mpki * (1.0 + rng.gen_range(-mpki_jitter..=mpki_jitter))).max(0.0);
+                    c.base_cpi *= 1.0 + rng.range_f64(-jitter, jitter);
+                    c.mpki = (c.mpki * (1.0 + rng.range_f64(-mpki_jitter, mpki_jitter))).max(0.0);
                 }
                 debug_assert!(c.is_valid(), "rendered sample must stay valid: {c:?}");
                 out.push(c);
@@ -331,6 +329,9 @@ mod tests {
             },
         )]);
         let s = script.render(1, 0.0);
-        assert!((s[0].base_cpi - 1.0).abs() < 1e-12, "ramp starts at baseline");
+        assert!(
+            (s[0].base_cpi - 1.0).abs() < 1e-12,
+            "ramp starts at baseline"
+        );
     }
 }

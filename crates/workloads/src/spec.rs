@@ -133,7 +133,7 @@ impl Benchmark {
 
     /// Deterministic per-benchmark seed for trace rendering.
     fn seed(&self) -> u64 {
-        0xD5F5 ^ (Benchmark::all().iter().position(|b| b == self).unwrap() as u64 + 1) * 0x9E37
+        0xD5F5 ^ ((Benchmark::all().iter().position(|b| b == self).unwrap() as u64 + 1) * 0x9E37)
     }
 
     /// The benchmark's phase script.
@@ -369,7 +369,9 @@ impl std::str::FromStr for Benchmark {
         Benchmark::all()
             .into_iter()
             .find(|b| b.name() == needle || (needle == "libquantum" && *b == Benchmark::Libquantum))
-            .ok_or(ParseBenchmarkError { name: s.to_string() })
+            .ok_or(ParseBenchmarkError {
+                name: s.to_string(),
+            })
     }
 }
 
@@ -393,10 +395,18 @@ mod tests {
 
     #[test]
     fn trace_lengths_match_figures() {
-        assert_eq!(Benchmark::Gobmk.trace().len(), 50, "fig 3/4 span 50 samples");
+        assert_eq!(
+            Benchmark::Gobmk.trace().len(),
+            50,
+            "fig 3/4 span 50 samples"
+        );
         assert_eq!(Benchmark::Lbm.trace().len(), 160, "fig 6 spans 160 samples");
         assert_eq!(Benchmark::Gcc.trace().len(), 200, "fig 7 spans 200 samples");
-        assert_eq!(Benchmark::Milc.trace().len(), 175, "fig 5 spans >170 samples");
+        assert_eq!(
+            Benchmark::Milc.trace().len(),
+            175,
+            "fig 5 spans >170 samples"
+        );
         assert_eq!(Benchmark::Bzip2.trace().len(), 40);
     }
 
@@ -429,7 +439,11 @@ mod tests {
     fn lbm_is_memory_bound_and_steady() {
         let stats = Benchmark::Lbm.trace().stats();
         assert!(stats.mpki_mean > 15.0, "lbm mpki {}", stats.mpki_mean);
-        assert!(stats.mpki_cv() < 0.15, "lbm must be steady, cv {}", stats.mpki_cv());
+        assert!(
+            stats.mpki_cv() < 0.15,
+            "lbm must be steady, cv {}",
+            stats.mpki_cv()
+        );
     }
 
     #[test]
@@ -491,7 +505,10 @@ mod tests {
             let parsed: Benchmark = b.name().parse().unwrap();
             assert_eq!(parsed, b);
         }
-        assert_eq!("libquantum".parse::<Benchmark>().unwrap(), Benchmark::Libquantum);
+        assert_eq!(
+            "libquantum".parse::<Benchmark>().unwrap(),
+            Benchmark::Libquantum
+        );
         assert_eq!(" GOBMK ".parse::<Benchmark>().unwrap(), Benchmark::Gobmk);
         let err = "doom".parse::<Benchmark>().unwrap_err();
         assert!(err.to_string().contains("doom"));

@@ -41,9 +41,10 @@ impl TraceStats {
         let mpki: Vec<f64> = samples.iter().map(|s| s.mpki).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
         let minmax = |v: &[f64]| {
-            v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-                (lo.min(x), hi.max(x))
-            })
+            v.iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                })
         };
         let (cpi_min, cpi_max) = minmax(&cpi);
         let (mpki_min, mpki_max) = minmax(&mpki);

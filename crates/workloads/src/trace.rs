@@ -102,7 +102,10 @@ impl SampleTrace {
     /// Panics when the range is out of bounds or inverted.
     #[must_use]
     pub fn window(&self, start: usize, end: usize) -> SampleTrace {
-        assert!(start <= end && end <= self.samples.len(), "window out of range");
+        assert!(
+            start <= end && end <= self.samples.len(),
+            "window out of range"
+        );
         SampleTrace {
             name: self.name.clone(),
             samples: self.samples[start..end].to_vec(),

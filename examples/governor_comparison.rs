@@ -53,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let mut table = Table::new(vec![
-        "governor", "time_ms", "energy_mJ", "inefficiency", "searches", "transitions",
+        "governor",
+        "time_ms",
+        "energy_mJ",
+        "inefficiency",
+        "searches",
+        "transitions",
     ]);
     for governor in &mut governors {
         let report = runner.execute(&data, &trace, governor.as_mut());
@@ -66,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.transitions.to_string(),
         ]);
     }
-    println!("milc, {} samples, budget {budget}, paper overheads:\n", trace.len());
+    println!(
+        "milc, {} samples, budget {budget}, paper overheads:\n",
+        trace.len()
+    );
     println!("{}", table.to_text());
     println!(
         "notes: `performance`/`ondemand` burn far past the budget; `powersave` is\n\

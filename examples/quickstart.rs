@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use mcdvfs_core::{cluster_series, stable_regions, Inefficiency, InefficiencyBudget, OptimalFinder};
+use mcdvfs_core::{
+    cluster_series, stable_regions, Inefficiency, InefficiencyBudget, OptimalFinder,
+};
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::{FreqSetting, FrequencyGrid};
 use mcdvfs_workloads::Benchmark;

@@ -1,0 +1,110 @@
+//! Scenario: auditing a governed run with the observability ledger.
+//!
+//! Runs the cluster tuner over gobmk with paper-calibrated overheads while
+//! a [`RunLedger`] records every event the runner and the frequency
+//! controller emit: tuning searches, hardware frequency transitions,
+//! per-sample work, and stable-region boundaries. The ledger is then
+//!
+//! 1. verified — replaying it must reproduce the run report's time,
+//!    energy, search and transition totals *bit for bit*;
+//! 2. aggregated — per-domain transition counts, search-cost breakdown,
+//!    transition inter-arrival histogram and region-length distribution;
+//! 3. exported — JSON-lines and CSV under `results/`.
+//!
+//! ```text
+//! cargo run --example run_ledger
+//! ```
+
+use mcdvfs_core::governor::OracleClusterGovernor;
+use mcdvfs_core::report::{fmt, ledger_table, write_ledger_jsonl};
+use mcdvfs_core::{GovernedRun, InefficiencyBudget};
+use mcdvfs_obs::RunLedger;
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Benchmark;
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::galaxy_nexus_class();
+    let trace = Benchmark::Gobmk.trace();
+    let data = Arc::new(CharacterizationGrid::characterize(
+        &system,
+        &trace,
+        FrequencyGrid::coarse(),
+    ));
+    let budget = InefficiencyBudget::bounded(1.3)?;
+    let mut governor = OracleClusterGovernor::new(Arc::clone(&data), budget, 0.05)?;
+
+    // Record the run. `execute` is literally `execute_recorded` with a
+    // no-op recorder, so attaching a ledger cannot change the results.
+    let runner = GovernedRun::with_paper_overheads().with_budget_alert(1.3);
+    let mut ledger = RunLedger::unbounded();
+    let report = runner.execute_recorded(&data, &trace, &mut governor, &mut ledger);
+
+    // The cross-check invariant: replaying the event stream reproduces the
+    // report's totals exactly (f64 bit equality, not epsilon equality).
+    report.verify_ledger(&ledger)?;
+    println!(
+        "ledger verified: {} events replay into the run report exactly\n",
+        ledger.len()
+    );
+
+    println!(
+        "{} on gobmk: {:.1} ms, {:.1} mJ, inefficiency {:.3}\n",
+        report.governor,
+        report.total_time().as_micros() / 1e3,
+        report.total_energy().as_millis(),
+        report.total_inefficiency()
+    );
+
+    let counts = ledger.domain_transition_counts();
+    println!(
+        "transitions: {} joint ({} touched CPU, {} touched memory)",
+        counts.joint, counts.cpu, counts.mem
+    );
+
+    let search = ledger.search_breakdown();
+    println!(
+        "searches: {} totalling {:.1} ms / {:.1} mJ, {:.1} settings evaluated on average",
+        search.searches,
+        search.latency.as_micros() / 1e3,
+        search.energy.as_millis(),
+        search.mean_evaluated()
+    );
+
+    let lengths = ledger.region_lengths();
+    let longest = lengths.iter().copied().max().unwrap_or(0);
+    println!(
+        "stable regions: {} covering {} samples (longest: {longest})",
+        lengths.len(),
+        lengths.iter().sum::<usize>()
+    );
+
+    // Inter-arrival histogram: how much breathing room does the hardware
+    // get between consecutive frequency transitions?
+    let edges = [0.0, 0.005, 0.01, 0.02, 0.05, 0.1];
+    let hist = ledger.interarrival_histogram(edges.to_vec());
+    println!("\ntime between transitions:");
+    for (i, count) in hist.counts().iter().enumerate() {
+        println!(
+            "  [{:>5} ms, {:>5} ms): {}",
+            fmt(edges[i] * 1e3, 1),
+            fmt(edges[i + 1] * 1e3, 1),
+            count
+        );
+    }
+    println!(
+        "  >= {} ms: {}",
+        fmt(edges[edges.len() - 1] * 1e3, 1),
+        hist.overflow()
+    );
+
+    // Export the full event stream for offline analysis.
+    let jsonl = Path::new("results/run_ledger_gobmk.jsonl");
+    let csv = Path::new("results/run_ledger_gobmk.csv");
+    write_ledger_jsonl(&ledger, jsonl)?;
+    ledger_table(&ledger).write_csv(csv)?;
+    println!("\nwrote {} and {}", jsonl.display(), csv.display());
+    Ok(())
+}

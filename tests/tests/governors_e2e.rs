@@ -65,7 +65,12 @@ fn every_governor_produces_a_consistent_report() {
     let runner = GovernedRun::with_paper_overheads();
     for governor in &mut governors {
         let report = runner.execute(&data, &trace, governor.as_mut());
-        assert_eq!(report.sample_settings.len(), trace.len(), "{}", report.governor);
+        assert_eq!(
+            report.sample_settings.len(),
+            trace.len(),
+            "{}",
+            report.governor
+        );
         assert!(report.work_time.value() > 0.0);
         assert!(report.work_energy.value() > 0.0);
         assert!(report.total_time() >= report.work_time);
@@ -152,13 +157,9 @@ fn efficient_region_choice_saves_energy_within_threshold() {
     let runner = GovernedRun::without_overheads();
     let mut fast = OracleClusterGovernor::new(Arc::clone(&data), b, 0.05).unwrap();
     let fast_report = runner.execute(&data, &trace, &mut fast);
-    let mut efficient = OracleClusterGovernor::with_choice(
-        Arc::clone(&data),
-        b,
-        0.05,
-        RegionChoice::LowestEnergy,
-    )
-    .unwrap();
+    let mut efficient =
+        OracleClusterGovernor::with_choice(Arc::clone(&data), b, 0.05, RegionChoice::LowestEnergy)
+            .unwrap();
     let efficient_report = runner.execute(&data, &trace, &mut efficient);
     assert!(efficient_report.work_energy <= fast_report.work_energy);
     // The bounded loss: the efficient choice is within the 5% threshold of

@@ -1,148 +1,147 @@
 //! Property-based invariants over randomized workloads, grids and budgets.
+//!
+//! Seeded [`SplitMix64`] case generators replace the external `proptest`
+//! dependency (the build must work offline): each property loops over a
+//! fixed number of independently generated cases, and every assertion
+//! message carries the case seed so a failure reproduces exactly.
 
 use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget, OptimalFinder};
 use mcdvfs_sim::{CharacterizationGrid, System};
-use mcdvfs_types::{FreqSetting, FrequencyGrid, SampleCharacteristics};
+use mcdvfs_types::{FreqSetting, FrequencyGrid, SampleCharacteristics, SplitMix64};
 use mcdvfs_workloads::{Phase, PhaseScript, SampleTrace};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// Random but valid sample characteristics.
-fn arb_chars() -> impl Strategy<Value = SampleCharacteristics> {
-    (
-        0.4f64..2.5,   // base_cpi
-        0.0f64..35.0,  // mpki
-        0.0f64..1.0,   // write_frac
-        0.05f64..0.95, // row_hit_rate
-        1.0f64..4.0,   // mlp
-        0.1f64..1.0,   // stall_exposure
-        0.2f64..1.0,   // activity_factor
-    )
-        .prop_map(|(cpi, mpki, wf, rh, mlp, se, af)| SampleCharacteristics {
-            base_cpi: cpi,
-            mpki,
-            write_frac: wf,
-            row_hit_rate: rh,
-            mlp,
-            stall_exposure: se,
-            activity_factor: af,
-        })
+fn arb_chars(rng: &mut SplitMix64) -> SampleCharacteristics {
+    SampleCharacteristics {
+        base_cpi: rng.range_f64(0.4, 2.5),
+        mpki: rng.range_f64(0.0, 35.0),
+        write_frac: rng.range_f64(0.0, 1.0),
+        row_hit_rate: rng.range_f64(0.05, 0.95),
+        mlp: rng.range_f64(1.0, 4.0),
+        stall_exposure: rng.range_f64(0.1, 1.0),
+        activity_factor: rng.range_f64(0.2, 1.0),
+    }
 }
 
-/// Short random traces keep the grid characterization fast under proptest.
-fn arb_trace() -> impl Strategy<Value = SampleTrace> {
-    proptest::collection::vec(arb_chars(), 2..6)
-        .prop_map(|samples| SampleTrace::new("prop", samples))
+/// Short random traces keep the grid characterization fast.
+fn arb_trace(rng: &mut SplitMix64) -> SampleTrace {
+    let n = rng.range_usize(2, 6);
+    let samples = (0..n).map(|_| arb_chars(rng)).collect();
+    SampleTrace::new("prop", samples)
 }
 
 /// A small random sub-grid of the platform's range.
-fn arb_grid() -> impl Strategy<Value = FrequencyGrid> {
-    (1u32..=4, 1u32..=3).prop_map(|(csteps, msteps)| {
-        FrequencyGrid::new(
-            200,
-            200 + 200 * csteps,
-            200,
-            200,
-            200 + 200 * msteps,
-            200,
-        )
+fn arb_grid(rng: &mut SplitMix64) -> FrequencyGrid {
+    let csteps = rng.range_usize(1, 5) as u32;
+    let msteps = rng.range_usize(1, 4) as u32;
+    FrequencyGrid::new(200, 200 + 200 * csteps, 200, 200, 200 + 200 * msteps, 200)
         .expect("valid sub-grid")
-    })
 }
 
 fn characterize(trace: &SampleTrace, grid: FrequencyGrid) -> CharacterizationGrid {
     CharacterizationGrid::characterize(&System::galaxy_nexus_class(), trace, grid)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Inefficiency is ≥ 1 for every sample at every setting.
-    #[test]
-    fn inefficiency_is_at_least_one(trace in arb_trace(), grid in arb_grid()) {
-        let data = characterize(&trace, grid);
+/// Inefficiency is ≥ 1 for every sample at every setting.
+#[test]
+fn inefficiency_is_at_least_one() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA11C_E000 ^ case);
+        let data = characterize(&arb_trace(&mut rng), arb_grid(&mut rng));
         for s in 0..data.n_samples() {
             let emin = data.sample_emin(s);
             for m in data.sample_row(s) {
-                prop_assert!(m.energy() / emin >= 1.0 - 1e-12);
+                assert!(m.energy() / emin >= 1.0 - 1e-12, "case {case}");
             }
         }
     }
+}
 
-    /// The optimal choice dominates every feasible setting (within the
-    /// tie tolerance) and respects the budget (within noise tolerance).
-    #[test]
-    fn optimal_dominates_feasible(
-        trace in arb_trace(),
-        grid in arb_grid(),
-        budget_v in 1.0f64..2.0,
-    ) {
-        let data = characterize(&trace, grid);
+/// The optimal choice dominates every feasible setting (within the tie
+/// tolerance) and respects the budget (within noise tolerance).
+#[test]
+fn optimal_dominates_feasible() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB0B0_0000 ^ case);
+        let data = characterize(&arb_trace(&mut rng), arb_grid(&mut rng));
+        let budget_v = rng.range_f64(1.0, 2.0);
         let budget = InefficiencyBudget::bounded(budget_v).unwrap();
         let finder = OptimalFinder::new(budget);
         for s in 0..data.n_samples() {
             let choice = finder.find(&data, s);
-            prop_assert!(
+            assert!(
                 choice.inefficiency.value()
-                    <= budget_v * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9
+                    <= budget_v * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9,
+                "case {case} sample {s}"
             );
             for i in finder.feasible(&data, s) {
                 let t = data.measurement(s, i).time.value();
-                prop_assert!(choice.time.value() <= t * (1.0 + 0.005) + 1e-15);
+                assert!(
+                    choice.time.value() <= t * (1.0 + 0.005) + 1e-15,
+                    "case {case} sample {s}"
+                );
             }
         }
     }
+}
 
-    /// Clusters contain their optimal; members respect budget and
-    /// threshold; larger thresholds produce supersets.
-    #[test]
-    fn cluster_invariants(
-        trace in arb_trace(),
-        grid in arb_grid(),
-        budget_v in 1.0f64..1.8,
-    ) {
-        let data = characterize(&trace, grid);
+/// Clusters contain their optimal; members respect budget and threshold;
+/// larger thresholds produce supersets.
+#[test]
+fn cluster_invariants() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC105_7E25 ^ case);
+        let data = characterize(&arb_trace(&mut rng), arb_grid(&mut rng));
+        let budget_v = rng.range_f64(1.0, 1.8);
         let budget = InefficiencyBudget::bounded(budget_v).unwrap();
         let tight = cluster_series(&data, budget, 0.01).unwrap();
         let loose = cluster_series(&data, budget, 0.05).unwrap();
         for (a, b) in tight.iter().zip(&loose) {
-            prop_assert!(a.contains_index(a.optimal.index));
-            prop_assert!(b.len() >= a.len());
+            assert!(a.contains_index(a.optimal.index), "case {case}");
+            assert!(b.len() >= a.len(), "case {case}");
             for &i in a.member_indices() {
-                prop_assert!(b.contains_index(i));
-                let loss = 1.0 - a.optimal.time.value()
-                    / data.measurement(a.sample, i).time.value();
-                prop_assert!(loss <= 0.01 + 1e-9);
+                assert!(b.contains_index(i), "case {case}");
+                let loss =
+                    1.0 - a.optimal.time.value() / data.measurement(a.sample, i).time.value();
+                assert!(loss <= 0.01 + 1e-9, "case {case}: loss {loss}");
             }
         }
     }
+}
 
-    /// Stable regions partition the trace, and every region's chosen
-    /// setting is in every covered sample's cluster.
-    #[test]
-    fn stable_regions_partition_and_cover(
-        trace in arb_trace(),
-        grid in arb_grid(),
-    ) {
-        let data = characterize(&trace, grid);
+/// Stable regions partition the trace, and every region's chosen setting
+/// is in every covered sample's cluster.
+#[test]
+fn stable_regions_partition_and_cover() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57AB_1E00 ^ case);
+        let data = characterize(&arb_trace(&mut rng), arb_grid(&mut rng));
         let budget = InefficiencyBudget::bounded(1.3).unwrap();
         let clusters = cluster_series(&data, budget, 0.03).unwrap();
         let regions = stable_regions(&clusters);
-        prop_assert_eq!(regions[0].start, 0);
-        prop_assert_eq!(regions.last().unwrap().end, data.n_samples());
+        assert_eq!(regions[0].start, 0, "case {case}");
+        assert_eq!(regions.last().unwrap().end, data.n_samples(), "case {case}");
         for w in regions.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start, "case {case}");
         }
         for r in &regions {
-            for s in r.start..r.end {
-                prop_assert!(clusters[s].contains_index(r.chosen_index));
+            assert!(!r.is_empty(), "case {case}: empty region");
+            for c in &clusters[r.start..r.end] {
+                assert!(c.contains_index(r.chosen_index), "case {case}");
             }
         }
     }
+}
 
-    /// Execution time is monotone non-increasing in each frequency domain
-    /// separately.
-    #[test]
-    fn time_monotone_in_each_domain(chars in arb_chars()) {
+/// Execution time is monotone non-increasing in each frequency domain
+/// separately.
+#[test]
+fn time_monotone_in_each_domain() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x7131_3131 ^ case);
+        let chars = arb_chars(&mut rng);
         let system = System::galaxy_nexus_class().with_measurement_noise(0.0);
         let mut prev = f64::INFINITY;
         for cpu in (100..=1000).step_by(100) {
@@ -150,7 +149,7 @@ proptest! {
                 .simulate_sample(&chars, FreqSetting::from_mhz(cpu, 400))
                 .time
                 .value();
-            prop_assert!(t <= prev * (1.0 + 1e-12));
+            assert!(t <= prev * (1.0 + 1e-12), "case {case} cpu {cpu}");
             prev = t;
         }
         let mut prev = f64::INFINITY;
@@ -159,34 +158,43 @@ proptest! {
                 .simulate_sample(&chars, FreqSetting::from_mhz(800, mem))
                 .time
                 .value();
-            prop_assert!(t <= prev * (1.0 + 1e-12));
+            assert!(t <= prev * (1.0 + 1e-12), "case {case} mem {mem}");
             prev = t;
         }
     }
+}
 
-    /// Loosening the budget never slows the optimal choice down.
-    #[test]
-    fn budget_monotonicity(trace in arb_trace(), grid in arb_grid()) {
-        let data = characterize(&trace, grid);
+/// Loosening the budget never slows the optimal choice down.
+#[test]
+fn budget_monotonicity() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB4D6_E700 ^ case);
+        let data = characterize(&arb_trace(&mut rng), arb_grid(&mut rng));
         for s in 0..data.n_samples() {
             let mut prev = f64::INFINITY;
             for budget_v in [1.0, 1.2, 1.4, 1.8] {
                 let budget = InefficiencyBudget::bounded(budget_v).unwrap();
                 let t = OptimalFinder::new(budget).find(&data, s).time.value();
-                prop_assert!(t <= prev * (1.0 + 0.006), "sample {}", s);
+                assert!(t <= prev * (1.0 + 0.006), "case {case} sample {s}");
                 prev = t;
             }
         }
     }
+}
 
-    /// Phase scripts always render valid characteristics at any seed.
-    #[test]
-    fn rendered_scripts_are_valid(seed in any::<u64>(), jitter in 0.0f64..0.1) {
-        let script = PhaseScript::new(vec![
-            Phase::constant(SampleCharacteristics::new(1.0, 8.0), 5),
-        ]);
+/// Phase scripts always render valid characteristics at any seed.
+#[test]
+fn rendered_scripts_are_valid() {
+    for case in 0..256 {
+        let mut rng = SplitMix64::new(0x5C21_B700 ^ case);
+        let seed = rng.next_u64();
+        let jitter = rng.range_f64(0.0, 0.1);
+        let script = PhaseScript::new(vec![Phase::constant(
+            SampleCharacteristics::new(1.0, 8.0),
+            5,
+        )]);
         for s in script.render(seed, jitter) {
-            prop_assert!(s.is_valid());
+            assert!(s.is_valid(), "case {case} seed {seed} jitter {jitter}");
         }
     }
 }

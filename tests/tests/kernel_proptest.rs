@@ -1,53 +1,73 @@
 //! Property tests for the kernel-interface shim: arbitrary userspace
 //! behaviour must never crash the stack or drive the hardware off-grid.
+//!
+//! Seeded [`SplitMix64`] case generators replace the external `proptest`
+//! dependency (the build must work offline); failures print the case seed
+//! for exact reproduction.
 
 use mcdvfs_kernel::KernelShim;
-use mcdvfs_types::FrequencyGrid;
-use proptest::prelude::*;
+use mcdvfs_types::{FrequencyGrid, SplitMix64};
 
 /// Arbitrary attribute paths, mixing valid and invalid ones.
-fn arb_path() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("cpufreq/scaling_governor".to_string()),
-        Just("cpufreq/scaling_setspeed".to_string()),
-        Just("cpufreq/scaling_min_freq".to_string()),
-        Just("cpufreq/scaling_max_freq".to_string()),
-        Just("cpufreq/scaling_cur_freq".to_string()),
-        Just("devfreq/governor".to_string()),
-        Just("devfreq/userspace/set_freq".to_string()),
-        Just("devfreq/min_freq".to_string()),
-        Just("devfreq/max_freq".to_string()),
-        "[a-z/_]{1,24}",
-    ]
+fn arb_path(rng: &mut SplitMix64) -> String {
+    const KNOWN: [&str; 9] = [
+        "cpufreq/scaling_governor",
+        "cpufreq/scaling_setspeed",
+        "cpufreq/scaling_min_freq",
+        "cpufreq/scaling_max_freq",
+        "cpufreq/scaling_cur_freq",
+        "devfreq/governor",
+        "devfreq/userspace/set_freq",
+        "devfreq/min_freq",
+        "devfreq/max_freq",
+    ];
+    if rng.chance(0.9) {
+        KNOWN[rng.range_usize(0, KNOWN.len())].to_string()
+    } else {
+        // Random noise path over [a-z/_]{1,24}.
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz/_";
+        let len = rng.range_usize(1, 25);
+        (0..len)
+            .map(|_| ALPHABET[rng.range_usize(0, ALPHABET.len())] as char)
+            .collect()
+    }
 }
 
 /// Arbitrary written values: governor names, plausible frequencies, noise.
-fn arb_value() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("performance".to_string()),
-        Just("powersave".to_string()),
-        Just("userspace".to_string()),
-        Just("ondemand".to_string()),
-        (1u64..2_000_000_000).prop_map(|n| n.to_string()),
-        "[ -~]{0,16}",
-    ]
+fn arb_value(rng: &mut SplitMix64) -> String {
+    match rng.range_usize(0, 6) {
+        0 => "performance".to_string(),
+        1 => "powersave".to_string(),
+        2 => "userspace".to_string(),
+        3 => "ondemand".to_string(),
+        4 => (1 + rng.next_u64() % 2_000_000_000).to_string(),
+        _ => {
+            // Printable ASCII noise of length 0..=16.
+            let len = rng.range_usize(0, 17);
+            (0..len)
+                .map(|_| (b' ' + rng.range_usize(0, 95) as u8) as char)
+                .collect()
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_ops(rng: &mut SplitMix64) -> Vec<(String, String)> {
+    let n = rng.range_usize(1, 40);
+    (0..n).map(|_| (arb_path(rng), arb_value(rng))).collect()
+}
 
-    /// Whatever userspace throws at the shim, the hardware setting stays
-    /// on the platform grid and reads never panic.
-    #[test]
-    fn shim_survives_arbitrary_userspace(
-        ops in proptest::collection::vec((arb_path(), arb_value()), 1..40)
-    ) {
+/// Whatever userspace throws at the shim, the hardware setting stays on
+/// the platform grid and reads never panic.
+#[test]
+fn shim_survives_arbitrary_userspace() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x5EED_0001 ^ case);
         let grid = FrequencyGrid::coarse();
         let mut shim = KernelShim::new(grid);
-        for (path, value) in &ops {
+        for (path, value) in &arb_ops(&mut rng) {
             let _ = shim.write(path, value); // errors are fine, panics are not
             let _ = shim.read(path);
-            prop_assert!(grid.contains(shim.controller().current()));
+            assert!(grid.contains(shim.controller().current()), "case {case}");
         }
         // Canonical attributes stay readable and parseable afterwards.
         let cur: u64 = shim
@@ -55,41 +75,68 @@ proptest! {
             .unwrap()
             .parse()
             .expect("cur_freq is numeric");
-        prop_assert!((100_000..=1_000_000).contains(&cur));
+        assert!((100_000..=1_000_000).contains(&cur), "case {case}");
     }
+}
 
-    /// Bounds invariants hold under any write sequence: min ≤ cur ≤ max on
-    /// both domains.
-    #[test]
-    fn bounds_always_bracket_the_target(
-        ops in proptest::collection::vec((arb_path(), arb_value()), 1..40)
-    ) {
+/// Bounds invariants hold under any write sequence: min ≤ cur ≤ max on
+/// both domains.
+#[test]
+fn bounds_always_bracket_the_target() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x5EED_0002 ^ case);
         let mut shim = KernelShim::new(FrequencyGrid::coarse());
-        for (path, value) in &ops {
+        for (path, value) in &arb_ops(&mut rng) {
             let _ = shim.write(path, value);
-            let min: u64 = shim.read("cpufreq/scaling_min_freq").unwrap().parse().unwrap();
-            let max: u64 = shim.read("cpufreq/scaling_max_freq").unwrap().parse().unwrap();
-            let cur: u64 = shim.read("cpufreq/scaling_cur_freq").unwrap().parse().unwrap();
-            prop_assert!(min <= max, "cpufreq bounds inverted");
-            prop_assert!((min..=max).contains(&cur), "cpufreq target escaped bounds");
+            let min: u64 = shim
+                .read("cpufreq/scaling_min_freq")
+                .unwrap()
+                .parse()
+                .unwrap();
+            let max: u64 = shim
+                .read("cpufreq/scaling_max_freq")
+                .unwrap()
+                .parse()
+                .unwrap();
+            let cur: u64 = shim
+                .read("cpufreq/scaling_cur_freq")
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(min <= max, "case {case}: cpufreq bounds inverted");
+            assert!(
+                (min..=max).contains(&cur),
+                "case {case}: cpufreq target escaped bounds"
+            );
             let min: u64 = shim.read("devfreq/min_freq").unwrap().parse().unwrap();
             let max: u64 = shim.read("devfreq/max_freq").unwrap().parse().unwrap();
             let cur: u64 = shim.read("devfreq/cur_freq").unwrap().parse().unwrap();
-            prop_assert!(min <= max, "devfreq bounds inverted");
-            prop_assert!((min..=max).contains(&cur), "devfreq target escaped bounds");
+            assert!(min <= max, "case {case}: devfreq bounds inverted");
+            assert!(
+                (min..=max).contains(&cur),
+                "case {case}: devfreq target escaped bounds"
+            );
         }
     }
+}
 
-    /// Transition counting only moves on *effective* changes: replaying the
-    /// same write twice never double-counts.
-    #[test]
-    fn idempotent_writes_do_not_transition(freq_mhz in 1u32..1200) {
+/// Transition counting only moves on *effective* changes: replaying the
+/// same write twice never double-counts.
+#[test]
+fn idempotent_writes_do_not_transition() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x5EED_0003 ^ case);
+        let freq_mhz = 1 + rng.range_usize(0, 1199) as u64;
         let mut shim = KernelShim::new(FrequencyGrid::coarse());
         shim.write("cpufreq/scaling_governor", "userspace").unwrap();
-        let khz = format!("{}", u64::from(freq_mhz) * 1000);
+        let khz = format!("{}", freq_mhz * 1000);
         let _ = shim.write("cpufreq/scaling_setspeed", &khz);
         let after_first = shim.controller().transition_count();
         let _ = shim.write("cpufreq/scaling_setspeed", &khz);
-        prop_assert_eq!(shim.controller().transition_count(), after_first);
+        assert_eq!(
+            shim.controller().transition_count(),
+            after_first,
+            "case {case}"
+        );
     }
 }

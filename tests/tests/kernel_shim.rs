@@ -55,7 +55,8 @@ fn pinned_run_reproduces_fixed_setting_totals() {
     shim.write("cpufreq/scaling_governor", "userspace").unwrap();
     shim.write("cpufreq/scaling_setspeed", "600000").unwrap();
     shim.write("devfreq/governor", "userspace").unwrap();
-    shim.write("devfreq/userspace/set_freq", "400000000").unwrap();
+    shim.write("devfreq/userspace/set_freq", "400000000")
+        .unwrap();
 
     let pinned = shim.controller().current();
     assert_eq!(pinned, FreqSetting::from_mhz(600, 400));
@@ -87,7 +88,8 @@ fn thermal_cap_scenario() {
 fn sysfs_changes_bill_transition_costs() {
     let mut shim = KernelShim::new(FrequencyGrid::coarse());
     shim.write("cpufreq/scaling_governor", "powersave").unwrap();
-    shim.write("cpufreq/scaling_governor", "performance").unwrap();
+    shim.write("cpufreq/scaling_governor", "performance")
+        .unwrap();
     let transitions = shim.controller().transition_count();
     assert_eq!(transitions, 2);
     let latency = shim.controller().total_transition_latency();

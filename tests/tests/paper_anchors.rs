@@ -67,8 +67,7 @@ fn imax_band_holds_across_featured_benchmarks() {
         let emin = data.min_total_energy();
         let imax = (0..data.n_settings())
             .map(|i| data.total_energy_at(i) / emin)
-            .fold(0.0f64, f64::max)
-            ;
+            .fold(0.0f64, f64::max);
         assert!(
             (1.5..2.4).contains(&imax),
             "{b}: Imax {imax} outside the observed band"
@@ -82,8 +81,14 @@ fn imax_band_holds_across_featured_benchmarks() {
 #[test]
 fn bzip2_memory_insensitivity_anchor() {
     let (data, _) = characterized(Benchmark::Bzip2);
-    let slow_mem = data.grid().index_of(FreqSetting::from_mhz(1000, 200)).expect("on grid");
-    let fast_mem = data.grid().index_of(FreqSetting::from_mhz(1000, 800)).expect("on grid");
+    let slow_mem = data
+        .grid()
+        .index_of(FreqSetting::from_mhz(1000, 200))
+        .expect("on grid");
+    let fast_mem = data
+        .grid()
+        .index_of(FreqSetting::from_mhz(1000, 800))
+        .expect("on grid");
     let loss = data.total_time_at(slow_mem) / data.total_time_at(fast_mem) - 1.0;
     assert!(loss < 0.03, "bzip2 memory sensitivity {loss} exceeds 3%");
     let saving = 1.0 - data.total_energy_at(slow_mem) / data.total_energy_at(fast_mem);
@@ -183,6 +188,12 @@ fn tuning_overhead_calibration() {
     );
     let total_us = search.latency.as_micros() + transition.latency.as_micros();
     let total_uj = search.energy.as_micros() + transition.energy.as_micros();
-    assert!((400.0..600.0).contains(&total_us), "tuning latency {total_us} µs");
-    assert!((20.0..45.0).contains(&total_uj), "tuning energy {total_uj} µJ");
+    assert!(
+        (400.0..600.0).contains(&total_us),
+        "tuning latency {total_us} µs"
+    );
+    assert!(
+        (20.0..45.0).contains(&total_uj),
+        "tuning energy {total_uj} µJ"
+    );
 }
