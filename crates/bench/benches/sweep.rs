@@ -1,0 +1,134 @@
+//! Before/after wall-clock benches for the flat-arena, bitset, and sweep
+//! refactor of the analysis pipeline.
+//!
+//! Each kernel is timed in its legacy `Vec`-based reference form
+//! ([`mcdvfs_core::legacy`]) and its current bitset/arena form on the
+//! coarse (70-setting) and fine (496-setting) grids, then the full
+//! budget × threshold grid is derived both the old way (every point
+//! re-derives its optimal series sequentially) and through
+//! [`SweepEngine`]. Timings and speedups land in
+//! `results/BENCH_sweep.json`.
+//!
+//! Set `MCDVFS_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny
+//! windows, coarse grid only): timings are informational there; the run
+//! only has to complete without panicking.
+
+use mcdvfs_bench::quickbench::{BenchReport, QuickBench};
+use mcdvfs_bench::{results_dir, PAPER_BUDGETS, PAPER_THRESHOLDS};
+use mcdvfs_core::legacy;
+use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget, OptimalFinder, SweepEngine};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Benchmark;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn main() {
+    let smoke = std::env::var_os("MCDVFS_BENCH_SMOKE").is_some();
+    let qb = if smoke {
+        QuickBench::smoke()
+    } else {
+        QuickBench::new()
+    };
+    let system = System::galaxy_nexus_class();
+    let trace = if smoke {
+        Benchmark::Gobmk.trace().window(0, 10)
+    } else {
+        Benchmark::Gobmk.trace()
+    };
+    let grids: &[(&str, FrequencyGrid)] = if smoke {
+        &[("coarse", FrequencyGrid::coarse())]
+    } else {
+        &[
+            ("coarse", FrequencyGrid::coarse()),
+            ("fine", FrequencyGrid::fine()),
+        ]
+    };
+
+    let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
+    let budgets: Vec<InefficiencyBudget> = PAPER_BUDGETS
+        .iter()
+        .map(|&v| InefficiencyBudget::bounded(v).expect("valid budget"))
+        .collect();
+
+    println!(
+        "sweep bench: {} samples, {} worker threads{}",
+        trace.len(),
+        CharacterizationGrid::default_threads(),
+        if smoke { ", SMOKE windows" } else { "" },
+    );
+    let mut report = BenchReport::new("mcdvfs-bench/sweep-v1");
+
+    for &(label, grid) in grids {
+        let seq = qb.bench(&format!("characterize/{label}/sequential"), || {
+            black_box(CharacterizationGrid::characterize(&system, &trace, grid))
+        });
+        let par = qb.bench(&format!("characterize/{label}/parallel_auto"), || {
+            black_box(CharacterizationGrid::characterize_auto(
+                &system, &trace, grid,
+            ))
+        });
+        report.compare(&format!("characterize/{label}"), seq, par);
+
+        let data = Arc::new(CharacterizationGrid::characterize_auto(
+            &system, &trace, grid,
+        ));
+        let finder = OptimalFinder::new(budget);
+
+        let base = qb.bench(&format!("optimal_series/{label}/legacy_vec"), || {
+            black_box(legacy::series(&finder, &data))
+        });
+        let opt = qb.bench(&format!("optimal_series/{label}/bitset"), || {
+            black_box(finder.series(&data))
+        });
+        report.compare(&format!("optimal_series/{label}"), base, opt);
+
+        let base = qb.bench(&format!("clusters/{label}/legacy_vec"), || {
+            black_box(legacy::cluster_members(&data, budget, 0.05).expect("valid threshold"))
+        });
+        let opt = qb.bench(&format!("clusters/{label}/bitset"), || {
+            black_box(cluster_series(&data, budget, 0.05).expect("valid threshold"))
+        });
+        report.compare(&format!("clusters/{label}"), base, opt);
+
+        let members = legacy::cluster_members(&data, budget, 0.05).expect("valid threshold");
+        let clusters = cluster_series(&data, budget, 0.05).expect("valid threshold");
+        let base = qb.bench(&format!("stable_regions/{label}/legacy_vec"), || {
+            black_box(legacy::stable_regions(&members))
+        });
+        let opt = qb.bench(&format!("stable_regions/{label}/bitset"), || {
+            black_box(stable_regions(&clusters))
+        });
+        report.compare(&format!("stable_regions/{label}"), base, opt);
+
+        // The full budget x threshold grid, the old way (every point
+        // stands alone: its optimal series is derived for the figure AND
+        // re-derived inside cluster_series) vs the engine (one series per
+        // budget, points fanned over workers).
+        let base = qb.bench(&format!("sweep_grid/{label}/per_point_sequential"), || {
+            let mut out = Vec::new();
+            for &b in &budgets {
+                for &thr in &PAPER_THRESHOLDS {
+                    let optimal = OptimalFinder::new(b).series(&data);
+                    let clusters = cluster_series(&data, b, thr).expect("valid threshold");
+                    let regions = stable_regions(&clusters);
+                    out.push((optimal, clusters, regions));
+                }
+            }
+            black_box(out)
+        });
+        let engine = SweepEngine::new(Arc::clone(&data));
+        let opt = qb.bench(&format!("sweep_grid/{label}/engine"), || {
+            black_box(
+                engine
+                    .sweep(&budgets, &PAPER_THRESHOLDS)
+                    .expect("valid thresholds"),
+            )
+        });
+        report.compare(&format!("sweep_grid/{label}"), base, opt);
+    }
+
+    let path = results_dir().join("BENCH_sweep.json");
+    report.write_json(&path).expect("write bench report");
+    println!("[json written to {}]", path.display());
+}

@@ -8,16 +8,42 @@
 //! EDP-/ED²P-optimal point lands at a *different* inefficiency per
 //! workload, so no EDP target expresses "spend at most X% extra energy",
 //! while an inefficiency budget means the same thing everywhere.
+//!
+//! The benchmarks are independent, so they fan out across workers (each
+//! worker characterizes its own benchmark sequentially to avoid nested
+//! thread pools); rows stay in suite order.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, emit, platform};
 use mcdvfs_core::metrics::edn_optimal_inefficiencies;
 use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_core::sweep::fan_out;
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
     banner(
         "Ablation: EDP as a constraint",
         "inefficiency reached by EDP/ED2P-optimal tuning per workload",
+    );
+
+    let benchmarks = Benchmark::featured();
+    let stats = fan_out(
+        &benchmarks,
+        CharacterizationGrid::default_threads(),
+        |&benchmark| {
+            let data = CharacterizationGrid::characterize(
+                &platform(),
+                &benchmark.trace(),
+                FrequencyGrid::coarse(),
+            );
+            let edp = edn_optimal_inefficiencies(&data, 1);
+            let ed2p = edn_optimal_inefficiencies(&data, 2);
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+            (mean(&edp), min(&edp), max(&edp), mean(&ed2p))
+        },
     );
 
     let mut t = Table::new(vec![
@@ -28,20 +54,14 @@ fn main() {
         "ed2p_opt_mean_I",
     ]);
     let mut means = Vec::new();
-    for benchmark in Benchmark::featured() {
-        let (data, _) = characterize(benchmark);
-        let edp = edn_optimal_inefficiencies(&data, 1);
-        let ed2p = edn_optimal_inefficiencies(&data, 2);
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
-        means.push(mean(&edp));
+    for (benchmark, (edp_mean, edp_min, edp_max, ed2p_mean)) in benchmarks.iter().zip(&stats) {
+        means.push(*edp_mean);
         t.row(vec![
             benchmark.name().to_string(),
-            fmt(mean(&edp), 3),
-            fmt(min(&edp), 3),
-            fmt(max(&edp), 3),
-            fmt(mean(&ed2p), 3),
+            fmt(*edp_mean, 3),
+            fmt(*edp_min, 3),
+            fmt(*edp_max, 3),
+            fmt(*ed2p_mean, 3),
         ]);
     }
     emit(&t, "ablation_edp");

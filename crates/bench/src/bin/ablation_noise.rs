@@ -5,12 +5,16 @@
 //! respond (bzip2 at the loose 1.6 budget, the paper's Figure 9(b) case).
 //! Clusters are robust to noise; exact tracking is not — the core argument
 //! for tolerating a small performance loss.
+//!
+//! Each noise level characterizes on all available cores and derives the
+//! optimal series and clusters through a [`SweepEngine`] (the series is
+//! shared, not recomputed for the cluster pass).
 
 use mcdvfs_bench::{banner, emit};
 use mcdvfs_core::report::Table;
 use mcdvfs_core::transitions::{count_cluster_transitions, count_optimal_transitions};
-use mcdvfs_core::{cluster_series, InefficiencyBudget, OptimalFinder};
-use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_core::{InefficiencyBudget, SweepEngine};
+use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
 
@@ -29,13 +33,12 @@ fn main() {
     ]);
     for noise in [0.0, 0.002, 0.004, 0.01] {
         let system = System::galaxy_nexus_class().with_measurement_noise(noise);
-        let data = CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());
-        let optimal = OptimalFinder::new(budget).series(&data);
-        let clusters = cluster_series(&data, budget, 0.05).expect("valid threshold");
+        let engine = SweepEngine::characterize(&system, &trace, FrequencyGrid::coarse());
+        let outcome = &engine.sweep(&[budget], &[0.05]).expect("valid threshold")[0];
         t.row(vec![
             format!("{:.1}", noise * 100.0),
-            count_optimal_transitions(&optimal).to_string(),
-            count_cluster_transitions(&clusters).to_string(),
+            count_optimal_transitions(&outcome.optimal).to_string(),
+            count_cluster_transitions(&outcome.clusters).to_string(),
         ]);
     }
     emit(&t, "ablation_noise");

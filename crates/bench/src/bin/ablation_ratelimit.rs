@@ -8,13 +8,18 @@
 //! because "rate limiting approaches waste energy as \[the\] energy budget
 //! is specified for a given amount of time interval and doesn't require a
 //! specific amount of work to be done within that budget."
+//!
+//! The benchmarks are independent, so they fan out across workers (each
+//! characterizing sequentially to avoid nested thread pools); rows stay
+//! in suite order.
 
-use mcdvfs_bench::{banner, characterize, emit};
-use mcdvfs_core::governor::OracleOptimalGovernor;
+use mcdvfs_bench::{banner, emit, platform};
 use mcdvfs_core::ratelimit::RateLimiter;
 use mcdvfs_core::report::{fmt, Table};
-use mcdvfs_core::{GovernedRun, InefficiencyBudget};
-use mcdvfs_types::{Seconds, Watts};
+use mcdvfs_core::sweep::fan_out;
+use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{FrequencyGrid, Seconds, Watts};
 use mcdvfs_workloads::Benchmark;
 use std::sync::Arc;
 
@@ -29,6 +34,42 @@ fn main() {
     let idle_power = Watts::from_millis(150.0); // screen-off phone idle
     let window = Seconds::from_millis(10.0);
 
+    let benchmarks = Benchmark::featured();
+    let rows = fan_out(
+        &benchmarks,
+        CharacterizationGrid::default_threads(),
+        |&benchmark| {
+            let trace = benchmark.trace();
+            let data = Arc::new(CharacterizationGrid::characterize(
+                &platform(),
+                &trace,
+                FrequencyGrid::coarse(),
+            ));
+            let engine = SweepEngine::with_threads(Arc::clone(&data), 1);
+            let tuned = engine
+                .governed_reports(&runner, &trace, &[budget])
+                .pop()
+                .expect("one budget, one report");
+
+            let cap = tuned.total_energy() / tuned.total_time();
+            let limiter =
+                RateLimiter::new(cap * window, window, idle_power).expect("valid limiter");
+            let limited = limiter
+                .execute(&data, data.grid().max_setting())
+                .expect("limiter completes");
+
+            vec![
+                benchmark.name().to_string(),
+                fmt(tuned.total_time().as_micros() / 1e3, 1),
+                fmt(limited.total_time().as_micros() / 1e3, 1),
+                fmt(limited.total_time() / tuned.total_time(), 2),
+                fmt(tuned.work_inefficiency(), 3),
+                fmt(limited.inefficiency(&data), 3),
+                limited.pauses.to_string(),
+            ]
+        },
+    );
+
     let mut t = Table::new(vec![
         "benchmark",
         "tuned_time_ms",
@@ -38,26 +79,8 @@ fn main() {
         "limited_I",
         "pauses",
     ]);
-    for benchmark in Benchmark::featured() {
-        let (data, trace) = characterize(benchmark);
-        let mut governor = OracleOptimalGovernor::new(Arc::clone(&data), budget);
-        let tuned = runner.execute(&data, &trace, &mut governor);
-
-        let cap = tuned.total_energy() / tuned.total_time();
-        let limiter = RateLimiter::new(cap * window, window, idle_power).expect("valid limiter");
-        let limited = limiter
-            .execute(&data, data.grid().max_setting())
-            .expect("limiter completes");
-
-        t.row(vec![
-            benchmark.name().to_string(),
-            fmt(tuned.total_time().as_micros() / 1e3, 1),
-            fmt(limited.total_time().as_micros() / 1e3, 1),
-            fmt(limited.total_time() / tuned.total_time(), 2),
-            fmt(tuned.work_inefficiency(), 3),
-            fmt(limited.inefficiency(&data), 3),
-            limited.pauses.to_string(),
-        ]);
+    for row in rows {
+        t.row(row);
     }
     emit(&t, "ablation_ratelimit");
     println!(

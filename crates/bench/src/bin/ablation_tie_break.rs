@@ -6,11 +6,14 @@
 //! transitions exact optimal tracking makes: with no tolerance, noise flips
 //! the argmin constantly; widening the band suppresses the flapping until
 //! it plateaus at the phase-change floor.
+//!
+//! Per benchmark, the eight (budget × tolerance) series derive in parallel
+//! from one shared characterization via [`SweepEngine::optimal_sweep`].
 
 use mcdvfs_bench::{banner, characterize, emit};
 use mcdvfs_core::report::Table;
 use mcdvfs_core::transitions::count_optimal_transitions;
-use mcdvfs_core::{InefficiencyBudget, OptimalFinder};
+use mcdvfs_core::{InefficiencyBudget, OptimalFinder, SweepEngine};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
@@ -19,6 +22,7 @@ fn main() {
         "optimal-tracking transitions vs tie tolerance (I=1.3 and 1.6)",
     );
 
+    let budget_values = [1.3, 1.6];
     let tolerances = [0.0, 0.0025, 0.005, 0.02];
     let mut t = Table::new(vec![
         "benchmark",
@@ -30,15 +34,25 @@ fn main() {
     ]);
     for benchmark in Benchmark::featured() {
         let (data, _) = characterize(benchmark);
-        for budget_v in [1.3, 1.6] {
-            let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
+        let engine = SweepEngine::new(data);
+        // Budget-major finder grid, mirroring the table's row layout.
+        let finders: Vec<OptimalFinder> = budget_values
+            .iter()
+            .flat_map(|&v| {
+                let budget = InefficiencyBudget::bounded(v).expect("valid budget");
+                tolerances
+                    .iter()
+                    .map(move |&tol| OptimalFinder::new(budget).with_tie_tolerance(tol))
+            })
+            .collect();
+        let series = engine.optimal_sweep(&finders);
+        for (&budget_v, chunk) in budget_values.iter().zip(series.chunks(tolerances.len())) {
             let mut cells = vec![benchmark.name().to_string(), budget_v.to_string()];
-            for tol in tolerances {
-                let series = OptimalFinder::new(budget)
-                    .with_tie_tolerance(tol)
-                    .series(&data);
-                cells.push(count_optimal_transitions(&series).to_string());
-            }
+            cells.extend(
+                chunk
+                    .iter()
+                    .map(|s| count_optimal_transitions(s).to_string()),
+            );
             t.row(cells);
         }
     }

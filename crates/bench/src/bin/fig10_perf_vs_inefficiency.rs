@@ -4,13 +4,15 @@
 //! its own I=1.0 run. Performance improves monotonically as the budget
 //! loosens, by a workload-dependent amount, and the achieved inefficiency
 //! always stays within the budget (the paper's compliance verification).
+//!
+//! Each benchmark's five budget points share one characterization and one
+//! optimal-plan derivation per budget through [`SweepEngine`], instead of
+//! re-searching the grid live at every sample of every run.
 
 use mcdvfs_bench::{banner, characterize, emit};
-use mcdvfs_core::governor::OracleOptimalGovernor;
 use mcdvfs_core::report::{fmt, Table};
-use mcdvfs_core::{GovernedRun, InefficiencyBudget};
+use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
 use mcdvfs_workloads::Benchmark;
-use std::sync::Arc;
 
 fn main() {
     banner(
@@ -18,7 +20,11 @@ fn main() {
         "normalized execution time vs inefficiency budget",
     );
 
-    let budgets = [1.0, 1.1, 1.2, 1.3, 1.6];
+    let budget_values = [1.0, 1.1, 1.2, 1.3, 1.6];
+    let budgets: Vec<InefficiencyBudget> = budget_values
+        .iter()
+        .map(|&v| InefficiencyBudget::bounded(v).expect("valid budget"))
+        .collect();
     let runner = GovernedRun::without_overheads();
 
     let mut t = Table::new(vec![
@@ -30,20 +36,16 @@ fn main() {
     let mut all_compliant = true;
     for benchmark in Benchmark::featured() {
         let (data, trace) = characterize(benchmark);
-        let mut baseline = None;
-        for budget_v in budgets {
-            let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
-            let mut governor = OracleOptimalGovernor::new(Arc::clone(&data), budget);
-            let report = runner.execute(&data, &trace, &mut governor);
-            let time = report.total_time().value();
-            let base = *baseline.get_or_insert(time);
+        let reports = SweepEngine::new(data).governed_reports(&runner, &trace, &budgets);
+        let base = reports[0].total_time().value();
+        for (&budget_v, report) in budget_values.iter().zip(&reports) {
             let achieved = report.work_inefficiency();
             all_compliant &=
                 achieved <= budget_v * (1.0 + InefficiencyBudget::NOISE_TOLERANCE) + 1e-9;
             t.row(vec![
                 benchmark.name().to_string(),
                 budget_v.to_string(),
-                fmt(time / base, 3),
+                fmt(report.total_time().value() / base, 3),
                 fmt(achieved, 3),
             ]);
         }

@@ -5,15 +5,15 @@
 //! Finer steps offer more (and better) choices, so the average number of
 //! samples one setting can serve decreases, while the performance gain
 //! with free tuning stays below 1%.
+//!
+//! Per grid, one [`SweepEngine`] derives the optimal series once and
+//! shares it between the cluster/region statistics and the governed run.
 
 use mcdvfs_bench::{banner, characterize_on, emit};
-use mcdvfs_core::governor::OracleOptimalGovernor;
 use mcdvfs_core::report::{fmt, Table};
-use mcdvfs_core::transitions::region_lengths;
-use mcdvfs_core::{cluster_series, stable_regions, GovernedRun, InefficiencyBudget};
+use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
-use std::sync::Arc;
 
 fn main() {
     banner(
@@ -38,21 +38,16 @@ fn main() {
         ("fine", FrequencyGrid::fine()),
     ] {
         let (data, trace) = characterize_on(Benchmark::Gobmk, grid);
-        let clusters = cluster_series(&data, budget, 0.01).expect("valid threshold");
-        let regions = stable_regions(&clusters);
-        let lengths = region_lengths(&regions);
-        let mean_len = lengths.iter().sum::<usize>() as f64 / lengths.len() as f64;
-        let mean_cluster =
-            clusters.iter().map(|c| c.len() as f64).sum::<f64>() / clusters.len() as f64;
-        let mut governor = OracleOptimalGovernor::new(Arc::clone(&data), budget);
-        let report = runner.execute(&data, &trace, &mut governor);
+        let engine = SweepEngine::new(data);
+        let outcome = &engine.sweep(&[budget], &[0.01]).expect("valid threshold")[0];
+        let report = &engine.governed_reports(&runner, &trace, &[budget])[0];
         times.push(report.total_time().value());
         t.row(vec![
             label.to_string(),
             grid.len().to_string(),
-            fmt(mean_cluster, 1),
-            regions.len().to_string(),
-            fmt(mean_len, 2),
+            fmt(outcome.mean_cluster_size(), 1),
+            outcome.regions.len().to_string(),
+            fmt(outcome.mean_region_len(), 2),
             fmt(report.total_time().value(), 4),
         ]);
     }

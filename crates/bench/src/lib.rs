@@ -61,12 +61,10 @@ pub fn characterize_on(
     grid: FrequencyGrid,
 ) -> (Arc<CharacterizationGrid>, SampleTrace) {
     let trace = benchmark.trace();
-    let threads = std::thread::available_parallelism().map_or(4, usize::from);
-    let data = Arc::new(CharacterizationGrid::characterize_parallel(
+    let data = Arc::new(CharacterizationGrid::characterize_auto(
         &platform(),
         &trace,
         grid,
-        threads,
     ));
     (data, trace)
 }

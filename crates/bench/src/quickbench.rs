@@ -92,6 +92,127 @@ impl QuickBench {
     }
 }
 
+/// A named baseline-vs-optimized timing pair.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What is being compared (e.g. `optimal_series/fine`).
+    pub name: String,
+    /// Mean per-iteration time of the reference implementation.
+    pub baseline: Duration,
+    /// Mean per-iteration time of the optimized implementation.
+    pub optimized: Duration,
+}
+
+impl Comparison {
+    /// Baseline time divided by optimized time (`> 1` = faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline.as_secs_f64() / self.optimized.as_secs_f64()
+    }
+}
+
+/// Collects [`QuickBench`] results into a machine-readable JSON report —
+/// standalone timings plus before/after comparisons — so perf claims land
+/// in `results/` next to the figure CSVs instead of only in scrollback.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    schema: String,
+    entries: Vec<(String, Duration)>,
+    comparisons: Vec<Comparison>,
+}
+
+impl BenchReport {
+    /// Creates an empty report tagged with `schema`
+    /// (e.g. `mcdvfs-bench/sweep-v1`).
+    #[must_use]
+    pub fn new(schema: &str) -> Self {
+        Self {
+            schema: schema.to_string(),
+            entries: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Records a standalone timing.
+    pub fn entry(&mut self, name: &str, mean: Duration) {
+        self.entries.push((name.to_string(), mean));
+    }
+
+    /// Records a baseline-vs-optimized pair and prints the speedup.
+    pub fn compare(&mut self, name: &str, baseline: Duration, optimized: Duration) {
+        let c = Comparison {
+            name: name.to_string(),
+            baseline,
+            optimized,
+        };
+        println!(
+            "{:<44} {:>6.2}x  ({} -> {})",
+            format!("speedup/{name}"),
+            c.speedup(),
+            fmt_duration(baseline),
+            fmt_duration(optimized),
+        );
+        self.comparisons.push(c);
+    }
+
+    /// The recorded comparisons, in insertion order.
+    #[must_use]
+    pub fn comparisons(&self) -> &[Comparison] {
+        &self.comparisons
+    }
+
+    /// Serializes the report (hand-rolled: the workspace builds offline,
+    /// without serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", escape(&self.schema)));
+        out.push_str("  \"entries\": [\n");
+        for (i, (name, mean)) in self.entries.iter().enumerate() {
+            let sep = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {}}}{sep}\n",
+                escape(name),
+                mean.as_nanos()
+            ));
+        }
+        out.push_str("  ],\n  \"comparisons\": [\n");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            let sep = if i + 1 < self.comparisons.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"baseline_ns\": {}, \"optimized_ns\": {}, \
+                 \"speedup\": {:.3}}}{sep}\n",
+                escape(&c.name),
+                c.baseline.as_nanos(),
+                c.optimized.as_nanos(),
+                c.speedup()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Human formatting with an adaptive unit (ns/µs/ms/s).
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -115,12 +236,33 @@ mod tests {
         let qb = QuickBench::smoke();
         let mean = qb.bench("spin", || {
             let mut acc = 0u64;
-            for i in 0..100u64 {
+            for i in 0..std::hint::black_box(100u64) {
                 acc = acc.wrapping_add(i * i);
             }
-            acc
+            std::hint::black_box(acc)
         });
         assert!(mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn report_serializes_entries_and_comparisons() {
+        let mut r = BenchReport::new("mcdvfs-bench/test-v1");
+        r.entry("alpha", Duration::from_nanos(1500));
+        r.compare("beta", Duration::from_micros(10), Duration::from_micros(2));
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"mcdvfs-bench/test-v1\""));
+        assert!(json.contains("\"name\": \"alpha\", \"mean_ns\": 1500"));
+        assert!(json.contains("\"baseline_ns\": 10000, \"optimized_ns\": 2000"));
+        assert!(json.contains("\"speedup\": 5.000"));
+        assert_eq!(r.comparisons().len(), 1);
+        assert!((r.comparisons()[0].speedup() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_escapes_quotes_in_names() {
+        let mut r = BenchReport::new("s");
+        r.entry("has \"quotes\"", Duration::from_nanos(1));
+        assert!(r.to_json().contains("has \\\"quotes\\\""));
     }
 
     #[test]

@@ -9,11 +9,16 @@
 //! A speedup within `threshold` of optimal means
 //! `speedup ≥ speedup_opt · (1 − threshold)`, i.e.
 //! `time ≤ time_opt / (1 − threshold)`.
+//!
+//! Membership is held as a [`SettingSet`] bitset (the representation the
+//! stable-region intersection scan consumes word-by-word), with the
+//! ascending index `Vec` the figure output layers use derived from it at
+//! construction.
 
 use crate::inefficiency::InefficiencyBudget;
 use crate::optimal::{OptimalChoice, OptimalFinder};
 use mcdvfs_sim::CharacterizationGrid;
-use mcdvfs_types::{Error, FreqSetting, Result};
+use mcdvfs_types::{Error, FreqSetting, Result, SettingSet};
 
 /// The performance cluster of one sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +29,10 @@ pub struct PerformanceCluster {
     pub optimal: OptimalChoice,
     /// Cluster threshold used (e.g. `0.05` for 5%).
     pub threshold: f64,
-    /// Flat grid indices of every member, ascending (always contains
-    /// `optimal.index`).
+    /// Membership bitset (always contains `optimal.index`).
+    members_set: SettingSet,
+    /// Flat grid indices of every member, ascending — derived from
+    /// `members_set`.
     members: Vec<usize>,
 }
 
@@ -36,22 +43,32 @@ impl PerformanceCluster {
         &self.members
     }
 
+    /// Membership as a bitset — the representation the stable-region
+    /// running intersection ANDs against.
+    #[must_use]
+    pub fn member_set(&self) -> &SettingSet {
+        &self.members_set
+    }
+
     /// Number of member settings.
     #[must_use]
     pub fn len(&self) -> usize {
         self.members.len()
     }
 
-    /// A cluster always contains at least its optimal setting.
+    /// `true` when the cluster has no members. Construction guarantees the
+    /// optimal setting is always a member, so this is `false` for every
+    /// cluster produced by [`cluster_series`] — but the answer comes from
+    /// the data, not from that assumption.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.members.is_empty()
     }
 
     /// `true` when setting index `idx` is in the cluster.
     #[must_use]
     pub fn contains_index(&self, idx: usize) -> bool {
-        self.members.binary_search(&idx).is_ok()
+        self.members_set.contains(idx)
     }
 
     /// Member settings resolved against `data`'s grid.
@@ -64,24 +81,32 @@ impl PerformanceCluster {
     }
 
     /// Range of member CPU frequencies `(min, max)` in MHz, resolved
-    /// against `data`'s grid.
+    /// against `data`'s grid in one allocation-free pass.
     #[must_use]
     pub fn cpu_range_mhz(&self, data: &CharacterizationGrid) -> (u32, u32) {
-        let mhz: Vec<u32> = self.settings(data).iter().map(|s| s.cpu.mhz()).collect();
-        (
-            *mhz.iter().min().expect("cluster never empty"),
-            *mhz.iter().max().expect("cluster never empty"),
-        )
+        self.mhz_range(data, |s| s.cpu.mhz())
     }
 
-    /// Range of member memory frequencies `(min, max)` in MHz.
+    /// Range of member memory frequencies `(min, max)` in MHz, resolved
+    /// against `data`'s grid in one allocation-free pass.
     #[must_use]
     pub fn mem_range_mhz(&self, data: &CharacterizationGrid) -> (u32, u32) {
-        let mhz: Vec<u32> = self.settings(data).iter().map(|s| s.mem.mhz()).collect();
-        (
-            *mhz.iter().min().expect("cluster never empty"),
-            *mhz.iter().max().expect("cluster never empty"),
-        )
+        self.mhz_range(data, |s| s.mem.mhz())
+    }
+
+    fn mhz_range(
+        &self,
+        data: &CharacterizationGrid,
+        mhz: impl Fn(FreqSetting) -> u32,
+    ) -> (u32, u32) {
+        assert!(!self.members.is_empty(), "cluster never empty");
+        let (mut lo, mut hi) = (u32::MAX, u32::MIN);
+        for &i in &self.members {
+            let f = mhz(data.grid().get(i).expect("member on grid"));
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        (lo, hi)
     }
 }
 
@@ -123,34 +148,74 @@ pub fn cluster_series(
     budget: InefficiencyBudget,
     threshold: f64,
 ) -> Result<Vec<PerformanceCluster>> {
+    let finder = OptimalFinder::new(budget);
+    let optimal = finder.series(data);
+    cluster_series_with_optimal(data, &finder, &optimal, threshold)
+}
+
+/// As [`cluster_series`], but anchored on an already-computed optimal
+/// series — the sweep engine's shared path, so sweeping several cluster
+/// thresholds at one budget derives the optimal settings once instead of
+/// once per threshold.
+///
+/// `optimal` must be `finder`'s series over `data` (one choice per sample,
+/// in order); results are then bit-identical to [`cluster_series`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `threshold` is outside
+/// `[0, 0.5]`.
+///
+/// # Panics
+///
+/// Panics when `optimal` is not a per-sample series over `data`.
+pub fn cluster_series_with_optimal(
+    data: &CharacterizationGrid,
+    finder: &OptimalFinder,
+    optimal: &[OptimalChoice],
+    threshold: f64,
+) -> Result<Vec<PerformanceCluster>> {
     if !(0.0..=0.5).contains(&threshold) {
         return Err(Error::InvalidParameter {
             name: "threshold",
             reason: format!("cluster threshold must be in [0, 0.5], got {threshold}"),
         });
     }
-    let finder = OptimalFinder::new(budget);
+    assert_eq!(
+        optimal.len(),
+        data.n_samples(),
+        "optimal series must cover every sample"
+    );
     let mut out = Vec::with_capacity(data.n_samples());
-    for s in 0..data.n_samples() {
-        let optimal = finder.find(data, s);
+    for (s, &optimal) in optimal.iter().enumerate() {
+        assert_eq!(optimal.sample, s, "optimal series must be in sample order");
         let row = data.sample_row(s);
-        let time_cap = optimal.time.value() / (1.0 - threshold);
-        let mut members: Vec<usize> = finder
-            .feasible(data, s)
-            .into_iter()
-            .filter(|&i| row[i].time.value() <= time_cap * (1.0 + 1e-12))
-            .collect();
-        if !members.contains(&optimal.index) {
-            // The optimal index is always within the cap, but guard against
-            // floating-point edge cases.
-            members.push(optimal.index);
+        let emin = data.sample_emin(s);
+        let cap = optimal.time.value() / (1.0 - threshold) * (1.0 + 1e-12);
+        // One pass over the row builds both representations: feasibility
+        // and the time cap are checked together, so the legacy filter's
+        // intermediate feasible list never materializes.
+        let mut members_set = SettingSet::empty(data.n_settings());
+        let mut members = Vec::new();
+        for (i, m) in row.iter().enumerate() {
+            if finder.budget().admits_value(m.energy() / emin) && m.time.value() <= cap {
+                members_set.insert(i);
+                members.push(i);
+            }
         }
-        members.sort_unstable();
+        // The optimal index is always within the cap, but guard against
+        // floating-point edge cases.
+        if !members_set.contains(optimal.index) {
+            members_set.insert(optimal.index);
+            let pos = members.partition_point(|&i| i < optimal.index);
+            members.insert(pos, optimal.index);
+        }
         out.push(PerformanceCluster {
             sample: s,
             optimal,
             threshold,
             members,
+            members_set,
         });
     }
     Ok(out)
@@ -211,6 +276,11 @@ mod tests {
         for (a, b) in c1.iter().zip(&c5) {
             assert!(b.len() >= a.len(), "sample {}", a.sample);
             // 1% members are a subset of 5% members.
+            assert!(
+                a.member_set().is_subset(b.member_set()),
+                "sample {}",
+                a.sample
+            );
             for &i in a.member_indices() {
                 assert!(b.contains_index(i), "sample {} member {i}", a.sample);
             }
@@ -263,6 +333,23 @@ mod tests {
     }
 
     #[test]
+    fn ranges_match_the_naive_settings_scan() {
+        let d = data(Benchmark::Gobmk, 8);
+        for c in cluster_series(&d, budget(1.3), 0.05).unwrap() {
+            let cpu: Vec<u32> = c.settings(&d).iter().map(|s| s.cpu.mhz()).collect();
+            let mem: Vec<u32> = c.settings(&d).iter().map(|s| s.mem.mhz()).collect();
+            assert_eq!(
+                c.cpu_range_mhz(&d),
+                (*cpu.iter().min().unwrap(), *cpu.iter().max().unwrap())
+            );
+            assert_eq!(
+                c.mem_range_mhz(&d),
+                (*mem.iter().min().unwrap(), *mem.iter().max().unwrap())
+            );
+        }
+    }
+
+    #[test]
     fn invalid_threshold_rejected() {
         let d = data(Benchmark::Gobmk, 3);
         assert!(cluster_series(&d, budget(1.3), -0.01).is_err());
@@ -289,6 +376,19 @@ mod tests {
         for c in cluster_series(&d, budget(1.3), 0.05).unwrap() {
             let m = c.member_indices();
             assert!(m.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(c.member_set().count(), m.len());
+        }
+    }
+
+    #[test]
+    fn shared_optimal_path_is_bit_identical() {
+        let d = data(Benchmark::Milc, 12);
+        let finder = OptimalFinder::new(budget(1.3));
+        let optimal = finder.series(&d);
+        for thr in [0.01, 0.03, 0.05] {
+            let direct = cluster_series(&d, budget(1.3), thr).unwrap();
+            let shared = cluster_series_with_optimal(&d, &finder, &optimal, thr).unwrap();
+            assert_eq!(direct, shared, "threshold {thr}");
         }
     }
 }

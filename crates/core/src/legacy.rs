@@ -1,0 +1,227 @@
+//! Reference `Vec`-based implementations of the analysis kernels.
+//!
+//! These are the pre-bitset algorithms — per-sample feasible filtering
+//! into `Vec<usize>`, cluster membership as sorted index vectors, and the
+//! stable-region scan as sorted-`Vec` merge intersection — preserved
+//! verbatim as executable specifications. The equivalence test suite
+//! asserts the [`SettingSet`](mcdvfs_types::SettingSet)-backed hot paths
+//! produce bit-identical results, and the `sweep` wall-clock bench times
+//! both so the speedup is measured, not assumed.
+//!
+//! Nothing here is deprecated-but-load-bearing: production paths never
+//! call into this module.
+
+use crate::inefficiency::{Inefficiency, InefficiencyBudget};
+use crate::optimal::{OptimalChoice, OptimalFinder};
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{Error, Result};
+
+/// A stable region as the reference scan reports it: plain indices, no
+/// bitsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegacyRegion {
+    /// First sample (inclusive).
+    pub start: usize,
+    /// One past the last sample (exclusive).
+    pub end: usize,
+    /// Highest-CPU-then-memory surviving setting.
+    pub chosen_index: usize,
+    /// All surviving settings, ascending.
+    pub available: Vec<usize>,
+}
+
+/// Reference feasible filter: scan the row, collect in-budget indices.
+#[must_use]
+pub fn feasible(finder: &OptimalFinder, data: &CharacterizationGrid, s: usize) -> Vec<usize> {
+    let emin = data.sample_emin(s);
+    data.sample_row(s)
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| finder.budget().admits_value(m.energy() / emin))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Reference optimal choice for one sample: `Vec` feasible set, fold for
+/// the best time, `max_by_key` over the grid settings for the tie-break.
+///
+/// # Panics
+///
+/// Panics when `s` is out of range.
+#[must_use]
+pub fn find(finder: &OptimalFinder, data: &CharacterizationGrid, s: usize) -> OptimalChoice {
+    if finder.budget() == InefficiencyBudget::Unconstrained {
+        let index = data.n_settings() - 1;
+        let m = data.measurement(s, index);
+        return OptimalChoice {
+            sample: s,
+            index,
+            setting: data.grid().max_setting(),
+            time: m.time,
+            energy: m.energy(),
+            inefficiency: Inefficiency::compute(m.energy(), data.sample_emin(s))
+                .expect("grid energies are positive"),
+        };
+    }
+    let feasible = feasible(finder, data, s);
+    let row = data.sample_row(s);
+    let best_time = feasible
+        .iter()
+        .map(|&i| row[i].time.value())
+        .fold(f64::INFINITY, f64::min);
+    let index = feasible
+        .iter()
+        .copied()
+        .filter(|&i| row[i].time.value() <= best_time * (1.0 + finder.tie_tolerance()))
+        .max_by_key(|&i| data.grid().get(i).expect("feasible index on grid"))
+        .expect("at least the best-time setting qualifies");
+    let m = &row[index];
+    OptimalChoice {
+        sample: s,
+        index,
+        setting: data.grid().get(index).expect("index on grid"),
+        time: m.time,
+        energy: m.energy(),
+        inefficiency: Inefficiency::compute(m.energy(), data.sample_emin(s))
+            .expect("grid energies are positive"),
+    }
+}
+
+/// Reference optimal series: [`find`] per sample.
+#[must_use]
+pub fn series(finder: &OptimalFinder, data: &CharacterizationGrid) -> Vec<OptimalChoice> {
+    (0..data.n_samples())
+        .map(|s| find(finder, data, s))
+        .collect()
+}
+
+/// Reference cluster membership: per sample, the optimal choice plus every
+/// feasible setting within the time cap, as a sorted `Vec` (the paper's
+/// two-pass algorithm over `Vec` sets).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `threshold` is outside
+/// `[0, 0.5]`.
+pub fn cluster_members(
+    data: &CharacterizationGrid,
+    budget: InefficiencyBudget,
+    threshold: f64,
+) -> Result<Vec<Vec<usize>>> {
+    if !(0.0..=0.5).contains(&threshold) {
+        return Err(Error::InvalidParameter {
+            name: "threshold",
+            reason: format!("cluster threshold must be in [0, 0.5], got {threshold}"),
+        });
+    }
+    let finder = OptimalFinder::new(budget);
+    let mut out = Vec::with_capacity(data.n_samples());
+    for s in 0..data.n_samples() {
+        let optimal = find(&finder, data, s);
+        let row = data.sample_row(s);
+        let time_cap = optimal.time.value() / (1.0 - threshold);
+        let mut members: Vec<usize> = feasible(&finder, data, s)
+            .into_iter()
+            .filter(|&i| row[i].time.value() <= time_cap * (1.0 + 1e-12))
+            .collect();
+        if !members.contains(&optimal.index) {
+            members.push(optimal.index);
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    Ok(out)
+}
+
+/// Reference stable-region scan over per-sample member `Vec`s, using
+/// sorted-merge intersection.
+#[must_use]
+pub fn stable_regions(members: &[Vec<usize>]) -> Vec<LegacyRegion> {
+    let mut regions = Vec::new();
+    if members.is_empty() {
+        return regions;
+    }
+    let close = |start: usize, end: usize, available: Vec<usize>| -> LegacyRegion {
+        let chosen_index = *available.last().expect("region has at least one setting");
+        LegacyRegion {
+            start,
+            end,
+            chosen_index,
+            available,
+        }
+    };
+    let mut start = 0usize;
+    let mut available: Vec<usize> = members[0].clone();
+    for (s, cluster) in members.iter().enumerate().skip(1) {
+        let next = intersect_sorted(&available, cluster);
+        if next.is_empty() {
+            regions.push(close(start, s, available));
+            start = s;
+            available = cluster.clone();
+        } else {
+            available = next;
+        }
+    }
+    regions.push(close(start, members.len(), available));
+    regions
+}
+
+/// Intersection of two ascending index slices by sorted merge.
+#[must_use]
+pub fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+    use mcdvfs_workloads::Benchmark;
+
+    fn data(n: usize) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &Benchmark::Gobmk.trace().window(0, n),
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<usize>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn legacy_regions_partition_the_trace() {
+        let d = data(20);
+        let members = cluster_members(&d, InefficiencyBudget::bounded(1.3).unwrap(), 0.01).unwrap();
+        let regions = stable_regions(&members);
+        assert_eq!(regions[0].start, 0);
+        assert_eq!(regions.last().unwrap().end, 20);
+        assert_eq!(regions.iter().map(|r| r.end - r.start).sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn legacy_threshold_validation_matches_production() {
+        let d = data(3);
+        let budget = InefficiencyBudget::bounded(1.3).unwrap();
+        assert!(cluster_members(&d, budget, -0.01).is_err());
+        assert!(cluster_members(&d, budget, 0.51).is_err());
+    }
+}

@@ -66,6 +66,7 @@ mod clusters;
 pub mod emin;
 pub mod governor;
 mod inefficiency;
+pub mod legacy;
 pub mod metrics;
 mod optimal;
 pub mod ratelimit;
@@ -73,13 +74,15 @@ pub mod report;
 mod runner;
 mod speedup;
 mod stable;
+pub mod sweep;
 pub mod transitions;
 mod tuning;
 
-pub use clusters::{cluster_series, PerformanceCluster};
+pub use clusters::{cluster_series, cluster_series_with_optimal, PerformanceCluster};
 pub use inefficiency::{imax, Inefficiency, InefficiencyBudget};
 pub use optimal::{OptimalChoice, OptimalFinder};
 pub use runner::{GovernedRun, RunReport};
 pub use speedup::{speedup_of, Speedup};
 pub use stable::{stable_regions, StableRegion};
+pub use sweep::{SweepEngine, SweepOutcome, SweepPoint};
 pub use tuning::{TuningCost, TuningCostModel};

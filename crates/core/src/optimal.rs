@@ -13,7 +13,7 @@
 
 use crate::inefficiency::{Inefficiency, InefficiencyBudget};
 use mcdvfs_sim::CharacterizationGrid;
-use mcdvfs_types::{FreqSetting, Joules, Seconds};
+use mcdvfs_types::{FreqSetting, Joules, Seconds, SettingSet};
 
 /// The optimal choice for one sample under one budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,18 +97,36 @@ impl OptimalFinder {
         self.budget
     }
 
-    /// Grid indices of all settings within budget for sample `s`.
+    /// The configured tie tolerance (the paper's 0.5% unless overridden).
+    #[must_use]
+    pub fn tie_tolerance(&self) -> f64 {
+        self.tie_tolerance
+    }
+
+    /// The within-budget settings for sample `s` as a bitset — the hot
+    /// representation every downstream pass (clusters, stable regions)
+    /// operates on.
+    ///
+    /// Never empty: the `Emin` setting always has inefficiency 1.
+    #[must_use]
+    pub fn feasible_set(&self, data: &CharacterizationGrid, s: usize) -> SettingSet {
+        let emin = data.sample_emin(s);
+        let mut set = SettingSet::empty(data.n_settings());
+        for (i, m) in data.sample_row(s).iter().enumerate() {
+            if self.budget.admits_value(m.energy() / emin) {
+                set.insert(i);
+            }
+        }
+        set
+    }
+
+    /// Grid indices of all settings within budget for sample `s`,
+    /// ascending — derived from [`Self::feasible_set`].
     ///
     /// Never empty: the `Emin` setting always has inefficiency 1.
     #[must_use]
     pub fn feasible(&self, data: &CharacterizationGrid, s: usize) -> Vec<usize> {
-        let emin = data.sample_emin(s);
-        data.sample_row(s)
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| self.budget.admits_value(m.energy() / emin))
-            .map(|(i, _)| i)
-            .collect()
+        self.feasible_set(data, s).to_vec()
     }
 
     /// Finds the optimal setting for sample `s`.
@@ -136,20 +154,29 @@ impl OptimalFinder {
                     .expect("grid energies are positive"),
             };
         }
-        let feasible = self.feasible(data, s);
-        debug_assert!(!feasible.is_empty(), "Emin setting is always feasible");
+        // One pass builds the feasible set and folds the best time (same
+        // accumulation order as a separate fold, so bit-identical).
+        let emin = data.sample_emin(s);
         let row = data.sample_row(s);
-        let best_time = feasible
-            .iter()
-            .map(|&i| row[i].time.value())
-            .fold(f64::INFINITY, f64::min);
+        let mut feasible = SettingSet::empty(data.n_settings());
+        let mut best_time = f64::INFINITY;
+        for (i, m) in row.iter().enumerate() {
+            if self.budget.admits_value(m.energy() / emin) {
+                feasible.insert(i);
+                best_time = f64::min(best_time, m.time.value());
+            }
+        }
+        debug_assert!(!feasible.is_empty(), "Emin setting is always feasible");
         // All settings whose performance is within the noise band of the
-        // best; pick the highest (cpu, mem) among them.
+        // best; pick the highest (cpu, mem) among them. Grid indices
+        // ascend lexicographically in (cpu, mem), so that is the highest
+        // qualifying index — found from the top, where it usually sits
+        // within a probe or two.
+        let noise_band = best_time * (1.0 + self.tie_tolerance);
         let index = feasible
             .iter()
-            .copied()
-            .filter(|&i| row[i].time.value() <= best_time * (1.0 + self.tie_tolerance))
-            .max_by_key(|&i| data.grid().get(i).expect("feasible index on grid"))
+            .rev()
+            .find(|&i| row[i].time.value() <= noise_band)
             .expect("at least the best-time setting qualifies");
         let m = &row[index];
         OptimalChoice {
@@ -348,6 +375,23 @@ mod tests {
                 .map(|i| d.measurement(s, i).time.value())
                 .fold(f64::INFINITY, f64::min);
             assert_eq!(c.time.value(), best);
+        }
+    }
+
+    #[test]
+    fn feasible_vec_mirrors_feasible_set() {
+        let d = data(Benchmark::Milc, 8);
+        for b in [budget(1.0), budget(1.3), InefficiencyBudget::Unconstrained] {
+            let finder = OptimalFinder::new(b);
+            for s in 0..d.n_samples() {
+                let set = finder.feasible_set(&d, s);
+                let vec = finder.feasible(&d, s);
+                assert_eq!(set.to_vec(), vec);
+                assert_eq!(set.count(), vec.len());
+                for &i in &vec {
+                    assert!(set.contains(i));
+                }
+            }
         }
     }
 

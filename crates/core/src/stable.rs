@@ -10,10 +10,14 @@
 //! choosing, from the settings that survived, the one with the highest CPU
 //! and then memory frequency — and start a new region at the current
 //! sample.
+//!
+//! The running intersection is a [`SettingSet`] word-AND (eight `u64` ANDs
+//! on the fine grid) rather than a sorted-`Vec` merge, with the per-region
+//! index `Vec` derived once when a region closes.
 
 use crate::clusters::PerformanceCluster;
 use mcdvfs_sim::CharacterizationGrid;
-use mcdvfs_types::FreqSetting;
+use mcdvfs_types::{FreqSetting, SettingSet};
 
 /// One stable region: a maximal run of samples sharing a common setting.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +29,10 @@ pub struct StableRegion {
     /// Flat grid index of the chosen representative setting (highest CPU,
     /// then memory, among the surviving common settings).
     pub chosen_index: usize,
+    /// Settings common to every sample in the region, as a bitset.
+    available_set: SettingSet,
     /// Flat grid indices of *all* settings common to every sample in the
-    /// region, ascending.
+    /// region, ascending — derived from `available_set`.
     available: Vec<usize>,
 }
 
@@ -50,6 +56,12 @@ impl StableRegion {
     #[must_use]
     pub fn available_indices(&self) -> &[usize] {
         &self.available
+    }
+
+    /// The region's common settings as a bitset.
+    #[must_use]
+    pub fn available_set(&self) -> &SettingSet {
+        &self.available_set
     }
 
     /// The representative setting resolved against `data`'s grid.
@@ -137,13 +149,13 @@ pub fn stable_regions(clusters: &[PerformanceCluster]) -> Vec<StableRegion> {
     }
 
     let mut start = 0usize;
-    let mut available: Vec<usize> = clusters[0].member_indices().to_vec();
+    let mut available = *clusters[0].member_set();
     for (s, cluster) in clusters.iter().enumerate().skip(1) {
-        let next: Vec<usize> = intersect_sorted(&available, cluster.member_indices());
+        let next = available.intersection(cluster.member_set());
         if next.is_empty() {
             regions.push(close_region(start, s, available));
             start = s;
-            available = cluster.member_indices().to_vec();
+            available = *cluster.member_set();
         } else {
             available = next;
         }
@@ -152,34 +164,19 @@ pub fn stable_regions(clusters: &[PerformanceCluster]) -> Vec<StableRegion> {
     regions
 }
 
-/// Intersection of two ascending index slices.
-fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
-fn close_region(start: usize, end: usize, available: Vec<usize>) -> StableRegion {
+fn close_region(start: usize, end: usize, available: SettingSet) -> StableRegion {
     debug_assert!(start < end, "regions must span at least one sample");
     // Grid indices are ascending in (cpu, mem) lexicographic order, so the
-    // largest index is the paper's highest-CPU-then-memory choice.
-    let chosen_index = *available.last().expect("region has at least one setting");
+    // highest set bit is the paper's highest-CPU-then-memory choice.
+    let chosen_index = available
+        .max_index()
+        .expect("region has at least one setting");
     StableRegion {
         start,
         end,
         chosen_index,
-        available,
+        available: available.to_vec(),
+        available_set: available,
     }
 }
 
@@ -219,6 +216,7 @@ mod tests {
             start: 3,
             end: 3,
             chosen_index: 0,
+            available_set: SettingSet::from_indices(70, [0]),
             available: vec![0],
         };
         assert!(degenerate.is_empty());
@@ -257,10 +255,16 @@ mod tests {
     fn every_available_setting_is_common_to_the_region() {
         let (_, c) = clusters_for(Benchmark::Milc, 30, 1.3, 0.05);
         for r in stable_regions(&c) {
+            assert_eq!(r.available_set().to_vec(), r.available_indices());
             for &idx in r.available_indices() {
                 for cluster in &c[r.start..r.end] {
                     assert!(cluster.contains_index(idx));
                 }
+            }
+            // Equivalently, the available set is a subset of every member
+            // cluster in the region.
+            for cluster in &c[r.start..r.end] {
+                assert!(r.available_set().is_subset(cluster.member_set()));
             }
         }
     }
@@ -272,7 +276,7 @@ mod tests {
         let regions = stable_regions(&c);
         for r in &regions {
             if r.end < c.len() {
-                let extended = intersect_sorted(r.available_indices(), c[r.end].member_indices());
+                let extended = r.available_set().intersection(c[r.end].member_set());
                 assert!(
                     extended.is_empty(),
                     "region {}..{} could have been extended",
@@ -332,12 +336,5 @@ mod tests {
         let regions = stable_regions(&c);
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].len(), 1);
-    }
-
-    #[test]
-    fn intersect_sorted_basics() {
-        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
-        assert_eq!(intersect_sorted(&[], &[1]), Vec::<usize>::new());
-        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<usize>::new());
     }
 }

@@ -1,0 +1,403 @@
+//! Parallel analysis sweeps over one characterization.
+//!
+//! The paper's evaluation repeats the same derivation — optimal series,
+//! performance clusters, stable regions — across a grid of inefficiency
+//! budgets and cluster thresholds (Figures 4–12). Rederiving the optimal
+//! series for every `(budget, threshold)` point is wasted work: the series
+//! depends only on the budget, and each point is independent of the
+//! others.
+//!
+//! [`SweepEngine`] characterizes **once**, computes each budget's optimal
+//! series **once**, and fans the point grid out over scoped worker threads
+//! (the same contiguous-chunk pattern as
+//! [`CharacterizationGrid::characterize_parallel`]). Results come back in
+//! deterministic budget-major order and are bit-identical to running the
+//! sequential single-point pipeline at every grid point — the equivalence
+//! suite asserts exactly that.
+
+use crate::clusters::{cluster_series_with_optimal, PerformanceCluster};
+use crate::governor::{Decision, Governor, Observation};
+use crate::inefficiency::InefficiencyBudget;
+use crate::optimal::{OptimalChoice, OptimalFinder};
+use crate::runner::{GovernedRun, RunReport};
+use crate::stable::{stable_regions, StableRegion};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::{Error, FrequencyGrid, Result};
+use mcdvfs_workloads::SampleTrace;
+use std::sync::Arc;
+
+/// Runs `f` over every job on up to `threads` scoped workers, returning
+/// results in job order.
+///
+/// Jobs are split into contiguous chunks (one per worker), so the output
+/// order — and therefore everything derived from it — is independent of
+/// the thread count. With one thread (or one job) no threads are spawned.
+///
+/// # Panics
+///
+/// Panics when `threads` is zero, or when a worker panics.
+pub fn fan_out<T, R>(jobs: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    assert!(threads >= 1, "fan_out needs at least one worker");
+    if threads == 1 || jobs.len() <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let chunk = jobs.len().div_ceil(threads.min(jobs.len()));
+    let mut out = Vec::with_capacity(jobs.len());
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    out
+}
+
+/// One point of a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Inefficiency budget of this point.
+    pub budget: InefficiencyBudget,
+    /// Cluster threshold of this point (e.g. `0.05` for 5%).
+    pub threshold: f64,
+}
+
+/// Everything the analysis pipeline derives at one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The grid point this outcome belongs to.
+    pub point: SweepPoint,
+    /// The budget's optimal series — shared (not recomputed) across every
+    /// threshold swept at the same budget.
+    pub optimal: Arc<Vec<OptimalChoice>>,
+    /// Per-sample performance clusters at this point.
+    pub clusters: Vec<PerformanceCluster>,
+    /// Stable regions of the cluster series.
+    pub regions: Vec<StableRegion>,
+}
+
+impl SweepOutcome {
+    /// Mean cluster size in settings.
+    #[must_use]
+    pub fn mean_cluster_size(&self) -> f64 {
+        self.clusters.iter().map(|c| c.len() as f64).sum::<f64>() / self.clusters.len() as f64
+    }
+
+    /// Mean stable-region length in samples.
+    #[must_use]
+    pub fn mean_region_len(&self) -> f64 {
+        self.regions.iter().map(|r| r.len() as f64).sum::<f64>() / self.regions.len() as f64
+    }
+}
+
+/// Characterize-once, analyze-many driver for budget × threshold grids.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_core::{InefficiencyBudget, SweepEngine};
+/// use mcdvfs_sim::System;
+/// use mcdvfs_types::FrequencyGrid;
+/// use mcdvfs_workloads::Benchmark;
+///
+/// let engine = SweepEngine::characterize(
+///     &System::galaxy_nexus_class(),
+///     &Benchmark::Gobmk.trace().window(0, 20),
+///     FrequencyGrid::coarse(),
+/// );
+/// let budgets = [
+///     InefficiencyBudget::bounded(1.0).unwrap(),
+///     InefficiencyBudget::bounded(1.3).unwrap(),
+/// ];
+/// let outcomes = engine.sweep(&budgets, &[0.01, 0.05]).unwrap();
+/// assert_eq!(outcomes.len(), 4); // budget-major: (1.0,1%), (1.0,5%), ...
+/// assert!(outcomes.iter().all(|o| !o.regions.is_empty()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    data: Arc<CharacterizationGrid>,
+    threads: usize,
+}
+
+impl SweepEngine {
+    /// Wraps an existing characterization, sizing the worker pool from
+    /// [`CharacterizationGrid::default_threads`].
+    #[must_use]
+    pub fn new(data: Arc<CharacterizationGrid>) -> Self {
+        Self::with_threads(data, CharacterizationGrid::default_threads())
+    }
+
+    /// Wraps an existing characterization with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    #[must_use]
+    pub fn with_threads(data: Arc<CharacterizationGrid>, threads: usize) -> Self {
+        assert!(threads >= 1, "sweep engine needs at least one worker");
+        Self { data, threads }
+    }
+
+    /// Characterizes `trace` on `grid` (parallel, auto-sized) and wraps
+    /// the result.
+    #[must_use]
+    pub fn characterize(system: &System, trace: &SampleTrace, grid: FrequencyGrid) -> Self {
+        Self::new(Arc::new(CharacterizationGrid::characterize_auto(
+            system, trace, grid,
+        )))
+    }
+
+    /// The shared characterization the sweeps read.
+    #[must_use]
+    pub fn data(&self) -> &Arc<CharacterizationGrid> {
+        &self.data
+    }
+
+    /// Worker-pool size.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Optimal series for each finder, in input order, computed in
+    /// parallel. Finders may differ in budget, tie tolerance, or both
+    /// (the tie-break ablation sweeps tolerance at fixed budgets).
+    #[must_use]
+    pub fn optimal_sweep(&self, finders: &[OptimalFinder]) -> Vec<Vec<OptimalChoice>> {
+        fan_out(finders, self.threads, |f| f.series(&self.data))
+    }
+
+    /// Derives optimal series, clusters and stable regions at every
+    /// `(budget, threshold)` grid point, in budget-major order (all
+    /// thresholds of `budgets[0]`, then `budgets[1]`, …).
+    ///
+    /// Each budget's optimal series is computed once and shared across its
+    /// thresholds; the points themselves run on the worker pool. Results
+    /// are bit-identical to the sequential
+    /// [`cluster_series`](crate::cluster_series) /
+    /// [`stable_regions`] pipeline at every point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when any threshold is outside
+    /// `[0, 0.5]` — checked up front, before any work is spawned.
+    pub fn sweep(
+        &self,
+        budgets: &[InefficiencyBudget],
+        thresholds: &[f64],
+    ) -> Result<Vec<SweepOutcome>> {
+        for &thr in thresholds {
+            if !(0.0..=0.5).contains(&thr) {
+                return Err(Error::InvalidParameter {
+                    name: "threshold",
+                    reason: format!("cluster threshold must be in [0, 0.5], got {thr}"),
+                });
+            }
+        }
+        let finders: Vec<OptimalFinder> = budgets.iter().map(|&b| OptimalFinder::new(b)).collect();
+        let optimal: Vec<Arc<Vec<OptimalChoice>>> = self
+            .optimal_sweep(&finders)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let jobs: Vec<(usize, f64)> = (0..budgets.len())
+            .flat_map(|bi| thresholds.iter().map(move |&thr| (bi, thr)))
+            .collect();
+        Ok(fan_out(&jobs, self.threads, |&(bi, thr)| {
+            let clusters = cluster_series_with_optimal(&self.data, &finders[bi], &optimal[bi], thr)
+                .expect("thresholds validated above");
+            let regions = stable_regions(&clusters);
+            SweepOutcome {
+                point: SweepPoint {
+                    budget: budgets[bi],
+                    threshold: thr,
+                },
+                optimal: Arc::clone(&optimal[bi]),
+                clusters,
+                regions,
+            }
+        }))
+    }
+
+    /// Governed oracle-optimal runs for each budget, in input order,
+    /// executed on the worker pool.
+    ///
+    /// Each budget's plan (its optimal series) is derived once and then
+    /// replayed through `runner`; the replay makes the same
+    /// full-grid-search decisions as
+    /// [`OracleOptimalGovernor`](crate::governor::OracleOptimalGovernor)
+    /// and carries the same governor name, so the [`RunReport`]s are
+    /// equal to executing that governor directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` and the engine's characterization disagree on
+    /// sample count.
+    #[must_use]
+    pub fn governed_reports(
+        &self,
+        runner: &GovernedRun,
+        trace: &SampleTrace,
+        budgets: &[InefficiencyBudget],
+    ) -> Vec<RunReport> {
+        let finders: Vec<OptimalFinder> = budgets.iter().map(|&b| OptimalFinder::new(b)).collect();
+        let plans = self.optimal_sweep(&finders);
+        let jobs: Vec<(InefficiencyBudget, Vec<OptimalChoice>)> =
+            budgets.iter().copied().zip(plans).collect();
+        fan_out(&jobs, self.threads, |(budget, plan)| {
+            let mut governor = PlanGovernor {
+                name: format!("oracle-optimal({budget})"),
+                plan,
+                n_settings: self.data.n_settings(),
+            };
+            runner.execute(&self.data, trace, &mut governor)
+        })
+    }
+}
+
+/// Replays a precomputed optimal plan, reporting the same name and search
+/// charges as the oracle governor that would have derived it live.
+struct PlanGovernor<'a> {
+    name: String,
+    plan: &'a [OptimalChoice],
+    n_settings: usize,
+}
+
+impl Governor for PlanGovernor<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, next_sample: usize, _prev: Option<&Observation>) -> Decision {
+        let choice = &self.plan[next_sample.min(self.plan.len() - 1)];
+        // The oracle searches the full grid every sample; the replay
+        // charges identically.
+        Decision::searched(choice.setting, self.n_settings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::cluster_series;
+    use crate::governor::OracleOptimalGovernor;
+    use mcdvfs_workloads::Benchmark;
+
+    fn engine(n: usize) -> (SweepEngine, SampleTrace) {
+        let trace = Benchmark::Gobmk.trace().window(0, n);
+        let e = SweepEngine::characterize(
+            &System::galaxy_nexus_class(),
+            &trace,
+            FrequencyGrid::coarse(),
+        );
+        (e, trace)
+    }
+
+    fn budget(v: f64) -> InefficiencyBudget {
+        InefficiencyBudget::bounded(v).unwrap()
+    }
+
+    #[test]
+    fn fan_out_preserves_job_order_at_any_width() {
+        let jobs: Vec<usize> = (0..23).collect();
+        let expect: Vec<usize> = jobs.iter().map(|j| j * j).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(fan_out(&jobs, threads, |&j| j * j), expect, "{threads}");
+        }
+        assert!(fan_out(&Vec::<usize>::new(), 4, |&j: &usize| j).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn fan_out_rejects_zero_threads() {
+        let _ = fan_out(&[1], 0, |&j: &i32| j);
+    }
+
+    #[test]
+    fn sweep_matches_the_sequential_pipeline_bit_for_bit() {
+        let (e, _) = engine(25);
+        let budgets = [budget(1.0), budget(1.3), InefficiencyBudget::Unconstrained];
+        let thresholds = [0.01, 0.05];
+        let outcomes = e.sweep(&budgets, &thresholds).unwrap();
+        assert_eq!(outcomes.len(), budgets.len() * thresholds.len());
+        let mut i = 0;
+        for &b in &budgets {
+            let series = OptimalFinder::new(b).series(e.data());
+            for &thr in &thresholds {
+                let o = &outcomes[i];
+                assert_eq!(o.point.budget, b, "budget-major order");
+                assert_eq!(o.point.threshold, thr);
+                assert_eq!(*o.optimal.as_ref(), series);
+                let clusters = cluster_series(e.data(), b, thr).unwrap();
+                assert_eq!(o.clusters, clusters);
+                assert_eq!(o.regions, stable_regions(&clusters));
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_shares_one_optimal_series_per_budget() {
+        let (e, _) = engine(10);
+        let outcomes = e.sweep(&[budget(1.3)], &[0.01, 0.03, 0.05]).unwrap();
+        assert!(outcomes
+            .windows(2)
+            .all(|w| Arc::ptr_eq(&w[0].optimal, &w[1].optimal)));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_thresholds_before_working() {
+        let (e, _) = engine(5);
+        assert!(e.sweep(&[budget(1.3)], &[0.01, 0.9]).is_err());
+        assert!(e.sweep(&[budget(1.3)], &[-0.01]).is_err());
+    }
+
+    #[test]
+    fn optimal_sweep_matches_per_finder_series() {
+        let (e, _) = engine(15);
+        let finders = [
+            OptimalFinder::new(budget(1.3)),
+            OptimalFinder::new(budget(1.3)).with_tie_tolerance(0.0),
+            OptimalFinder::new(budget(1.6)),
+        ];
+        let swept = e.optimal_sweep(&finders);
+        for (f, s) in finders.iter().zip(&swept) {
+            assert_eq!(*s, f.series(e.data()));
+        }
+    }
+
+    #[test]
+    fn governed_reports_equal_the_live_oracle_governor() {
+        let (e, trace) = engine(20);
+        let budgets = [budget(1.0), budget(1.3), budget(1.6)];
+        for runner in [
+            GovernedRun::without_overheads(),
+            GovernedRun::with_paper_overheads(),
+        ] {
+            let swept = e.governed_reports(&runner, &trace, &budgets);
+            for (&b, got) in budgets.iter().zip(&swept) {
+                let mut live = OracleOptimalGovernor::new(Arc::clone(e.data()), b);
+                let want = runner.execute(e.data(), &trace, &mut live);
+                assert_eq!(*got, want, "budget {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_means_are_consistent() {
+        let (e, _) = engine(30);
+        let o = &e.sweep(&[budget(1.3)], &[0.05]).unwrap()[0];
+        assert!(o.mean_cluster_size() >= 1.0);
+        let total: usize = o.regions.iter().map(StableRegion::len).sum();
+        assert_eq!(total, 30);
+        let mean = o.mean_region_len();
+        assert!((mean - 30.0 / o.regions.len() as f64).abs() < 1e-12);
+    }
+}

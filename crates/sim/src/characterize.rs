@@ -6,6 +6,14 @@
 //! same data: a dense `(sample × setting)` matrix of
 //! [`SampleMeasurement`]s, *measured* (simulated) rather than predicted,
 //! exactly as the paper emphasizes.
+//!
+//! The matrix lives in one contiguous row-major arena (sample-major,
+//! setting minor), so a sample row is a plain slice of the arena and a
+//! full-matrix scan is a single linear pass. Per-sample `Emin` and
+//! per-setting time/energy column totals are computed once at
+//! construction; the repeated-sweep analyses (optimal series, clusters,
+//! stable regions, Figures 2–12) hit cached values instead of rescanning
+//! the matrix.
 
 use crate::system::System;
 use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement, Seconds};
@@ -14,7 +22,8 @@ use mcdvfs_workloads::SampleTrace;
 /// A complete measurement matrix for one workload on one platform grid.
 ///
 /// Row `s` holds sample `s` measured at every grid setting, indexed by the
-/// grid's flat setting index.
+/// grid's flat setting index. Rows are stored back to back in one
+/// contiguous arena.
 ///
 /// # Examples
 ///
@@ -40,10 +49,17 @@ use mcdvfs_workloads::SampleTrace;
 pub struct CharacterizationGrid {
     name: String,
     grid: FrequencyGrid,
-    /// `measurements[sample][setting_index]`.
-    measurements: Vec<Vec<SampleMeasurement>>,
+    /// Number of settings per row (the arena's stride).
+    n_settings: usize,
+    /// Row-major arena: sample `s` at setting `idx` lives at
+    /// `arena[s * n_settings + idx]`.
+    arena: Vec<SampleMeasurement>,
     /// Cached per-sample minimum energy (row minimum).
     emin: Vec<Joules>,
+    /// Cached per-setting total execution time (column sum).
+    col_time: Vec<Seconds>,
+    /// Cached per-setting total energy (column sum).
+    col_energy: Vec<Joules>,
 }
 
 impl CharacterizationGrid {
@@ -57,16 +73,13 @@ impl CharacterizationGrid {
     pub fn characterize(system: &System, trace: &SampleTrace, grid: FrequencyGrid) -> Self {
         assert!(!trace.is_empty(), "cannot characterize an empty trace");
         let settings: Vec<FreqSetting> = grid.settings().collect();
-        let measurements: Vec<Vec<SampleMeasurement>> = trace
-            .iter()
-            .map(|chars| {
-                settings
-                    .iter()
-                    .map(|&s| system.simulate_sample(chars, s))
-                    .collect()
-            })
-            .collect();
-        Self::from_measurements(trace.name(), grid, measurements)
+        let mut arena = Vec::with_capacity(trace.len() * settings.len());
+        for chars in trace.iter() {
+            for &s in &settings {
+                arena.push(system.simulate_sample(chars, s));
+            }
+        }
+        Self::from_arena(trace.name(), grid, settings.len(), arena)
     }
 
     /// As [`Self::characterize`], fanned out over `threads` OS threads
@@ -88,49 +101,81 @@ impl CharacterizationGrid {
         let settings: Vec<FreqSetting> = grid.settings().collect();
         let samples = trace.samples();
         let chunk = samples.len().div_ceil(threads);
-        let mut measurements: Vec<Vec<SampleMeasurement>> = Vec::with_capacity(samples.len());
+        let width = settings.len();
+        let mut arena: Vec<SampleMeasurement> = Vec::with_capacity(samples.len() * width);
         std::thread::scope(|scope| {
             let handles: Vec<_> = samples
                 .chunks(chunk)
                 .map(|part| {
                     let settings = &settings;
                     scope.spawn(move || {
-                        part.iter()
-                            .map(|chars| {
-                                settings
-                                    .iter()
-                                    .map(|&s| system.simulate_sample(chars, s))
-                                    .collect::<Vec<_>>()
-                            })
-                            .collect::<Vec<_>>()
+                        let mut rows = Vec::with_capacity(part.len() * width);
+                        for chars in part {
+                            for &s in settings.iter() {
+                                rows.push(system.simulate_sample(chars, s));
+                            }
+                        }
+                        rows
                     })
                 })
                 .collect();
             for handle in handles {
-                measurements.extend(handle.join().expect("worker thread panicked"));
+                arena.extend(handle.join().expect("worker thread panicked"));
             }
         });
-        Self::from_measurements(trace.name(), grid, measurements)
+        Self::from_arena(trace.name(), grid, width, arena)
     }
 
-    fn from_measurements(
+    /// As [`Self::characterize_parallel`] with the thread count defaulted
+    /// from [`Self::default_threads`] — the constructor the figure and
+    /// sweep harnesses use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn characterize_auto(system: &System, trace: &SampleTrace, grid: FrequencyGrid) -> Self {
+        Self::characterize_parallel(system, trace, grid, Self::default_threads())
+    }
+
+    /// Default worker-thread count: the machine's available parallelism,
+    /// falling back to one thread when it cannot be queried.
+    #[must_use]
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+
+    fn from_arena(
         name: &str,
         grid: FrequencyGrid,
-        measurements: Vec<Vec<SampleMeasurement>>,
+        n_settings: usize,
+        arena: Vec<SampleMeasurement>,
     ) -> Self {
-        let emin = measurements
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|m| m.energy())
-                    .fold(Joules::new(f64::INFINITY), Joules::min)
-            })
-            .collect();
+        debug_assert!(n_settings > 0 && arena.len().is_multiple_of(n_settings));
+        // One linear pass fills every cache: row minima (Emin) and column
+        // totals accumulated in sample order, so the cached sums are
+        // bit-identical to summing rows on demand.
+        let n_samples = arena.len() / n_settings;
+        let mut emin = Vec::with_capacity(n_samples);
+        let mut col_time = vec![Seconds::ZERO; n_settings];
+        let mut col_energy = vec![Joules::ZERO; n_settings];
+        for row in arena.chunks_exact(n_settings) {
+            let mut row_min = Joules::new(f64::INFINITY);
+            for (idx, m) in row.iter().enumerate() {
+                row_min = row_min.min(m.energy());
+                col_time[idx] += m.time;
+                col_energy[idx] += m.energy();
+            }
+            emin.push(row_min);
+        }
         Self {
             name: name.to_string(),
             grid,
-            measurements,
+            n_settings,
+            arena,
             emin,
+            col_time,
+            col_energy,
         }
     }
 
@@ -149,13 +194,13 @@ impl CharacterizationGrid {
     /// Number of samples (matrix rows).
     #[must_use]
     pub fn n_samples(&self) -> usize {
-        self.measurements.len()
+        self.emin.len()
     }
 
     /// Number of settings (matrix columns).
     #[must_use]
     pub fn n_settings(&self) -> usize {
-        self.grid.len()
+        self.n_settings
     }
 
     /// Total instructions represented (samples × 10 M).
@@ -164,20 +209,21 @@ impl CharacterizationGrid {
         self.n_samples() as u64 * mcdvfs_types::INSTRUCTIONS_PER_SAMPLE
     }
 
-    /// All measurements of sample `s`, indexed by setting.
+    /// All measurements of sample `s`, indexed by setting — a contiguous
+    /// slice of the arena.
     ///
     /// # Panics
     ///
     /// Panics when `s` is out of range.
     #[must_use]
     pub fn sample_row(&self, s: usize) -> &[SampleMeasurement] {
-        &self.measurements[s]
+        &self.arena[s * self.n_settings..(s + 1) * self.n_settings]
     }
 
     /// Measurement of sample `s` at flat setting index `idx`.
     #[must_use]
     pub fn measurement(&self, s: usize, idx: usize) -> &SampleMeasurement {
-        &self.measurements[s][idx]
+        &self.sample_row(s)[idx]
     }
 
     /// Measurement of sample `s` at `setting`.
@@ -206,24 +252,27 @@ impl CharacterizationGrid {
         self.emin.iter().copied().sum()
     }
 
-    /// Total execution time when the whole trace runs at one fixed setting.
+    /// Total execution time when the whole trace runs at one fixed setting
+    /// (cached column sum).
     #[must_use]
     pub fn total_time_at(&self, idx: usize) -> Seconds {
-        self.measurements.iter().map(|row| row[idx].time).sum()
+        self.col_time[idx]
     }
 
-    /// Total energy when the whole trace runs at one fixed setting.
+    /// Total energy when the whole trace runs at one fixed setting (cached
+    /// column sum).
     #[must_use]
     pub fn total_energy_at(&self, idx: usize) -> Joules {
-        self.measurements.iter().map(|row| row[idx].energy()).sum()
+        self.col_energy[idx]
     }
 
     /// The longest fixed-setting execution time — the paper's speedup
     /// baseline (speedup 1.0).
     #[must_use]
     pub fn longest_total_time(&self) -> Seconds {
-        (0..self.n_settings())
-            .map(|i| self.total_time_at(i))
+        self.col_time
+            .iter()
+            .copied()
             .fold(Seconds::ZERO, Seconds::max)
     }
 
@@ -231,8 +280,9 @@ impl CharacterizationGrid {
     /// Figure 2 whole-run inefficiency.
     #[must_use]
     pub fn min_total_energy(&self) -> Joules {
-        (0..self.n_settings())
-            .map(|i| self.total_energy_at(i))
+        self.col_energy
+            .iter()
+            .copied()
             .fold(Joules::new(f64::INFINITY), Joules::min)
     }
 }
@@ -309,6 +359,27 @@ mod tests {
     }
 
     #[test]
+    fn cached_column_totals_match_on_demand_sums_exactly() {
+        // The caches must be bit-identical to summing each column in
+        // sample order, which is what the pre-arena implementation did.
+        let d = data();
+        for idx in 0..d.n_settings() {
+            let time: Seconds = (0..d.n_samples()).map(|s| d.measurement(s, idx).time).sum();
+            let energy: Joules = (0..d.n_samples())
+                .map(|s| d.measurement(s, idx).energy())
+                .sum();
+            assert_eq!(
+                d.total_time_at(idx).value().to_bits(),
+                time.value().to_bits()
+            );
+            assert_eq!(
+                d.total_energy_at(idx).value().to_bits(),
+                energy.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn longest_time_is_at_the_slowest_corner() {
         let d = data();
         let slowest_idx = small_grid().index_of(small_grid().min_setting()).unwrap();
@@ -344,6 +415,13 @@ mod tests {
                 CharacterizationGrid::characterize_parallel(&system, &trace, grid, threads);
             assert_eq!(parallel, sequential, "{threads} threads");
         }
+        let auto = CharacterizationGrid::characterize_auto(&system, &trace, grid);
+        assert_eq!(auto, sequential, "auto thread count");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(CharacterizationGrid::default_threads() >= 1);
     }
 
     #[test]
@@ -362,5 +440,12 @@ mod tests {
     fn empty_trace_panics() {
         let t = Benchmark::Bzip2.trace().window(0, 0);
         let _ = CharacterizationGrid::characterize(&System::galaxy_nexus_class(), &t, small_grid());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_sample_row_panics() {
+        let d = data();
+        let _ = d.sample_row(d.n_samples());
     }
 }

@@ -1,0 +1,440 @@
+//! A fixed-word bitset over grid setting indices.
+//!
+//! The paper's largest search space is the fine grid's 496 settings, so
+//! every set of settings the analysis pipeline manipulates — feasible
+//! sets, performance-cluster memberships, stable-region intersections —
+//! fits in eight 64-bit words. [`SettingSet`] stores exactly that:
+//! membership tests, intersections and emptiness checks become one to
+//! eight word operations instead of sorted-`Vec` merges.
+
+use std::fmt;
+
+/// Number of 64-bit words backing a [`SettingSet`].
+const WORDS: usize = 8;
+
+/// A set of flat grid setting indices, backed by `8 × u64` (512 bits —
+/// enough for the fine grid's 496 settings with headroom).
+///
+/// Every set carries the size of its universe (the grid's setting count);
+/// operations combining two sets require equal universes, which catches
+/// cross-grid index mixups at the first opportunity.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::SettingSet;
+///
+/// let mut a = SettingSet::empty(70);
+/// a.insert(3);
+/// a.insert(69);
+/// let b = SettingSet::from_indices(70, [2, 3, 68, 69]);
+/// let both = a.intersection(&b);
+/// assert_eq!(both.to_vec(), vec![3, 69]);
+/// assert_eq!(both.max_index(), Some(69));
+/// assert!(!both.is_empty());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SettingSet {
+    /// Universe size: valid indices are `0..len`.
+    len: usize,
+    words: [u64; WORDS],
+}
+
+impl SettingSet {
+    /// Largest universe a `SettingSet` can represent.
+    pub const MAX_LEN: usize = WORDS * 64;
+
+    /// Creates an empty set over a universe of `len` settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` exceeds [`Self::MAX_LEN`].
+    #[must_use]
+    pub fn empty(len: usize) -> Self {
+        assert!(
+            len <= Self::MAX_LEN,
+            "SettingSet supports at most {} settings, got {len}",
+            Self::MAX_LEN
+        );
+        Self {
+            len,
+            words: [0; WORDS],
+        }
+    }
+
+    /// Creates the full set `{0, 1, …, len-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` exceeds [`Self::MAX_LEN`].
+    #[must_use]
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for w in 0..len / 64 {
+            s.words[w] = u64::MAX;
+        }
+        if !len.is_multiple_of(64) {
+            s.words[len / 64] = (1u64 << (len % 64)) - 1;
+        }
+        s
+    }
+
+    /// Creates a set over `len` settings from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` exceeds [`Self::MAX_LEN`] or any index is `>= len`.
+    #[must_use]
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Size of the universe (the grid's setting count, *not* the number of
+    /// members — see [`Self::count`]).
+    #[must_use]
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Adds index `i` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} outside universe of {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes index `i` from the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the universe.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} outside universe of {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// `true` when index `i` is a member. Out-of-universe indices are
+    /// simply not members.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of members (population count).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; WORDS]
+    }
+
+    /// Word-AND intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universes differ (sets index different grids).
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.len, other.len,
+            "cannot intersect sets over different universes"
+        );
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        out
+    }
+
+    /// In-place word-AND intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universes differ.
+    pub fn intersect_with(&mut self, other: &Self) {
+        *self = self.intersection(other);
+    }
+
+    /// Word-OR union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universes differ.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.len, other.len,
+            "cannot union sets over different universes"
+        );
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        out
+    }
+
+    /// `true` when every member of `self` is a member of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the universes differ.
+    #[must_use]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        assert_eq!(
+            self.len, other.len,
+            "cannot compare sets over different universes"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Smallest member, if any.
+    #[must_use]
+    pub fn min_index(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest member, if any — for grid-ordered universes this is the
+    /// paper's highest-CPU-then-memory choice, since flat grid indices
+    /// ascend lexicographically in `(cpu, mem)`.
+    #[must_use]
+    pub fn max_index(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate().rev() {
+            if word != 0 {
+                return Some(w * 64 + 63 - word.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the members in ascending order.
+    #[must_use]
+    pub fn iter(&self) -> SettingSetIter {
+        SettingSetIter {
+            words: self.words,
+            word: 0,
+        }
+    }
+
+    /// Members as an ascending `Vec` — the representation the figure
+    /// output layers consume.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for SettingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SettingSet({}/{}: ", self.count(), self.len)?;
+        f.debug_set().entries(self.iter()).finish()?;
+        write!(f, ")")
+    }
+}
+
+impl std::ops::BitAnd for SettingSet {
+    type Output = Self;
+
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersection(&rhs)
+    }
+}
+
+impl std::ops::BitOr for SettingSet {
+    type Output = Self;
+
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(&rhs)
+    }
+}
+
+/// Ascending member iterator produced by [`SettingSet::iter`].
+#[derive(Debug, Clone)]
+pub struct SettingSetIter {
+    words: [u64; WORDS],
+    word: usize,
+}
+
+impl Iterator for SettingSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word < WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.words[self.word] &= w - 1; // clear lowest set bit
+                return Some(self.word * 64 + bit);
+            }
+            self.word += 1;
+        }
+        None
+    }
+}
+
+impl DoubleEndedIterator for SettingSetIter {
+    fn next_back(&mut self) -> Option<usize> {
+        // Both ends consume from the same bit pool, so they meet exactly
+        // once every member has been yielded. Scanning all eight words is
+        // cheaper than maintaining a second cursor.
+        for wi in (self.word..WORDS).rev() {
+            let w = self.words[wi];
+            if w != 0 {
+                let bit = 63 - w.leading_zeros() as usize;
+                self.words[wi] &= !(1u64 << bit);
+                return Some(wi * 64 + bit);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = SettingSet::empty(496);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.to_vec(), Vec::<usize>::new());
+        assert_eq!(s.min_index(), None);
+        assert_eq!(s.max_index(), None);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn full_set_covers_the_universe() {
+        for len in [1, 63, 64, 65, 70, 127, 128, 496, 512] {
+            let s = SettingSet::full(len);
+            assert_eq!(s.count(), len, "len {len}");
+            assert_eq!(s.min_index(), Some(0));
+            assert_eq!(s.max_index(), Some(len - 1));
+            assert!(!s.contains(len), "index len must not be a member");
+            assert_eq!(s.to_vec(), (0..len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains_round_trip() {
+        let mut s = SettingSet::empty(70);
+        for i in [0, 1, 63, 64, 69] {
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.count(), 5);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.to_vec(), vec![0, 1, 63, 69]);
+        // Re-inserting is idempotent.
+        s.insert(0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn intersection_matches_sorted_merge() {
+        let a = SettingSet::from_indices(496, [1, 3, 5, 64, 128, 400, 495]);
+        let b = SettingSet::from_indices(496, [2, 3, 5, 64, 129, 400]);
+        let i = a.intersection(&b);
+        assert_eq!(i.to_vec(), vec![3, 5, 64, 400]);
+        assert_eq!((a & b).to_vec(), i.to_vec());
+        let mut c = a;
+        c.intersect_with(&b);
+        assert_eq!(c, i);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = SettingSet::from_indices(70, [1, 2]);
+        let b = SettingSet::from_indices(70, [2, 3]);
+        assert_eq!((a | b).to_vec(), vec![1, 2, 3]);
+        assert!(a.is_subset(&(a | b)));
+        assert!(!a.is_subset(&b));
+        assert!(SettingSet::empty(70).is_subset(&a));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let s = SettingSet::from_indices(512, [7, 200, 511]);
+        assert_eq!(s.min_index(), Some(7));
+        assert_eq!(s.max_index(), Some(511));
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let v = vec![0, 9, 63, 64, 65, 300, 495];
+        let s = SettingSet::from_indices(496, v.clone());
+        assert_eq!(s.iter().collect::<Vec<_>>(), v);
+    }
+
+    #[test]
+    fn iter_reverses_and_mixes_both_ends() {
+        let v = vec![0, 9, 63, 64, 65, 300, 495];
+        let s = SettingSet::from_indices(496, v.clone());
+        let mut rev: Vec<usize> = s.iter().rev().collect();
+        rev.reverse();
+        assert_eq!(rev, v);
+        // Alternating front/back yields each member exactly once.
+        let mut it = s.iter();
+        assert_eq!(it.next(), Some(0));
+        assert_eq!(it.next_back(), Some(495));
+        assert_eq!(it.next_back(), Some(300));
+        assert_eq!(it.next(), Some(9));
+        assert_eq!(it.next(), Some(63));
+        assert_eq!(it.next_back(), Some(65));
+        assert_eq!(it.next(), Some(64));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+        // rev().find == filter().last for the tie-break's access pattern
+        // (the `last` spelling is the legacy forward-scan being pinned).
+        #[allow(clippy::double_ended_iterator_last)]
+        let legacy = s.iter().filter(|&i| i < 100).last();
+        assert_eq!(s.iter().rev().find(|&i| i < 100), Some(65));
+        assert_eq!(legacy, Some(65));
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s = SettingSet::from_indices(70, [4, 10]);
+        let d = format!("{s:?}");
+        assert!(d.contains('4') && d.contains("10"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_universe_panics() {
+        let _ = SettingSet::empty(513);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_insert_panics() {
+        let mut s = SettingSet::empty(70);
+        s.insert(70);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn cross_universe_intersection_panics() {
+        let _ = SettingSet::empty(70).intersection(&SettingSet::empty(496));
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod error;
 mod freq;
 mod grid;
@@ -40,6 +41,7 @@ mod rng;
 mod sample;
 mod units;
 
+pub use bitset::{SettingSet, SettingSetIter};
 pub use error::{Error, Result};
 pub use freq::{CpuFreq, FreqSetting, MemFreq};
 pub use grid::{FrequencyGrid, Settings};

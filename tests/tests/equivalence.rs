@@ -1,0 +1,235 @@
+//! Bit-identity of the bitset/arena/sweep fast paths against the legacy
+//! `Vec`-based reference implementations.
+//!
+//! The flat-arena characterization, `SettingSet` feasible/cluster/region
+//! kernels, and the parallel `SweepEngine` are pure refactors: every
+//! number they produce must equal the reference pipeline's *to the bit*
+//! (`f64` equality below is exact — the derived `PartialEq` on the result
+//! types compares raw values, and times/energies are additionally checked
+//! through `to_bits`). Coverage spans two grids, two benchmarks, budgets
+//! from exact-Emin to unconstrained, and both cluster thresholds the
+//! figures use.
+
+use mcdvfs_core::governor::OracleOptimalGovernor;
+use mcdvfs_core::{
+    cluster_series, legacy, stable_regions, GovernedRun, InefficiencyBudget, OptimalFinder,
+    SweepEngine,
+};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::{Benchmark, SampleTrace};
+use std::sync::Arc;
+
+const BUDGET_VALUES: [f64; 3] = [1.0, 1.1, 1.5];
+const THRESHOLDS: [f64; 2] = [0.01, 0.05];
+
+/// The (grid, benchmark, window) cases every check runs over: the paper's
+/// coarse 70-setting grid on a CPU-lean benchmark and the fine
+/// 496-setting grid (which exercises all eight bitset words) on a
+/// memory-heavy one.
+fn cases() -> Vec<(Arc<CharacterizationGrid>, SampleTrace)> {
+    let system = System::galaxy_nexus_class();
+    [
+        (Benchmark::Gobmk, FrequencyGrid::coarse(), 50),
+        (Benchmark::Milc, FrequencyGrid::fine(), 30),
+    ]
+    .into_iter()
+    .map(|(b, grid, n)| {
+        let trace = b.trace().window(0, n);
+        let data = Arc::new(CharacterizationGrid::characterize_auto(
+            &system, &trace, grid,
+        ));
+        (data, trace)
+    })
+    .collect()
+}
+
+fn budgets() -> Vec<InefficiencyBudget> {
+    let mut v: Vec<InefficiencyBudget> = BUDGET_VALUES
+        .iter()
+        .map(|&b| InefficiencyBudget::bounded(b).expect("valid budget"))
+        .collect();
+    v.push(InefficiencyBudget::Unconstrained);
+    v
+}
+
+#[test]
+fn feasible_sets_match_the_reference_filter() {
+    for (data, _) in cases() {
+        for budget in budgets() {
+            let finder = OptimalFinder::new(budget);
+            for s in 0..data.n_samples() {
+                let set = finder.feasible_set(&data, s);
+                let reference = legacy::feasible(&finder, &data, s);
+                assert_eq!(set.to_vec(), reference);
+                assert_eq!(finder.feasible(&data, s), reference);
+                assert_eq!(set.count(), reference.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_series_is_bit_identical_to_the_reference() {
+    for (data, _) in cases() {
+        for budget in budgets() {
+            let finder = OptimalFinder::new(budget);
+            let fast = finder.series(&data);
+            let reference = legacy::series(&finder, &data);
+            assert_eq!(fast, reference, "budget {budget}");
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.time.value().to_bits(), r.time.value().to_bits());
+                assert_eq!(f.energy.value().to_bits(), r.energy.value().to_bits());
+                assert_eq!(
+                    f.inefficiency.value().to_bits(),
+                    r.inefficiency.value().to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tie_tolerance_sweep_matches_the_reference_tie_break() {
+    // The bitset tie-break replaced `max_by_key` over `FreqSetting` with
+    // "highest qualifying index"; zero and wide tolerances stress both
+    // the unique-argmin and the many-ties regimes.
+    for (data, _) in cases() {
+        for tol in [0.0, 0.005, 0.02] {
+            let finder = OptimalFinder::new(InefficiencyBudget::bounded(1.5).unwrap())
+                .with_tie_tolerance(tol);
+            assert_eq!(
+                finder.series(&data),
+                legacy::series(&finder, &data),
+                "tolerance {tol}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_membership_is_identical_to_the_reference() {
+    for (data, _) in cases() {
+        for budget in budgets() {
+            for thr in THRESHOLDS {
+                let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
+                let reference =
+                    legacy::cluster_members(&data, budget, thr).expect("valid threshold");
+                assert_eq!(clusters.len(), reference.len());
+                for (c, members) in clusters.iter().zip(&reference) {
+                    assert_eq!(c.member_indices(), members.as_slice(), "budget {budget}");
+                    assert_eq!(c.member_set().to_vec(), *members);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stable_regions_match_the_sorted_merge_reference() {
+    for (data, _) in cases() {
+        for budget in budgets() {
+            for thr in THRESHOLDS {
+                let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
+                let regions = stable_regions(&clusters);
+                let members = legacy::cluster_members(&data, budget, thr).expect("valid threshold");
+                let reference = legacy::stable_regions(&members);
+                assert_eq!(regions.len(), reference.len(), "budget {budget} thr {thr}");
+                for (r, l) in regions.iter().zip(&reference) {
+                    assert_eq!((r.start, r.end), (l.start, l.end));
+                    assert_eq!(r.chosen_index, l.chosen_index);
+                    assert_eq!(r.available_indices(), l.available.as_slice());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_engine_equals_the_sequential_pipeline_at_every_point() {
+    for (data, _) in cases() {
+        let engine = SweepEngine::new(Arc::clone(&data));
+        let all_budgets = budgets();
+        let outcomes = engine
+            .sweep(&all_budgets, &THRESHOLDS)
+            .expect("valid thresholds");
+        let mut i = 0;
+        for &budget in &all_budgets {
+            let series = OptimalFinder::new(budget).series(&data);
+            for &thr in &THRESHOLDS {
+                let o = &outcomes[i];
+                assert_eq!(o.point.budget, budget);
+                assert_eq!(o.point.threshold, thr);
+                assert_eq!(*o.optimal.as_ref(), series);
+                let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
+                assert_eq!(o.clusters, clusters);
+                assert_eq!(o.regions, stable_regions(&clusters));
+                i += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn governed_sweep_reports_equal_live_oracle_runs() {
+    for (data, trace) in cases() {
+        let engine = SweepEngine::new(Arc::clone(&data));
+        let bounded: Vec<InefficiencyBudget> = BUDGET_VALUES
+            .iter()
+            .map(|&b| InefficiencyBudget::bounded(b).unwrap())
+            .collect();
+        for runner in [
+            GovernedRun::without_overheads(),
+            GovernedRun::with_paper_overheads(),
+        ] {
+            let swept = engine.governed_reports(&runner, &trace, &bounded);
+            for (&budget, replayed) in bounded.iter().zip(&swept) {
+                let mut live = OracleOptimalGovernor::new(Arc::clone(&data), budget);
+                let want = runner.execute(&data, &trace, &mut live);
+                // RunReport's derived PartialEq covers every accumulated
+                // f64 and the governor name string.
+                assert_eq!(*replayed, want, "budget {budget}");
+                assert_eq!(
+                    replayed.total_time().value().to_bits(),
+                    want.total_time().value().to_bits()
+                );
+                assert_eq!(
+                    replayed.total_energy().value().to_bits(),
+                    want.total_energy().value().to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_characterization_agree_on_both_grids() {
+    let system = System::galaxy_nexus_class();
+    for (b, grid, n) in [
+        (Benchmark::Gobmk, FrequencyGrid::coarse(), 40),
+        (Benchmark::Milc, FrequencyGrid::fine(), 20),
+    ] {
+        let trace = b.trace().window(0, n);
+        let seq = CharacterizationGrid::characterize(&system, &trace, grid);
+        for threads in [1, 3, 8] {
+            let par = CharacterizationGrid::characterize_parallel(&system, &trace, grid, threads);
+            for s in 0..seq.n_samples() {
+                assert_eq!(seq.sample_row(s), par.sample_row(s), "{threads} threads");
+                assert_eq!(
+                    seq.sample_emin(s).value().to_bits(),
+                    par.sample_emin(s).value().to_bits()
+                );
+            }
+            for i in 0..seq.n_settings() {
+                assert_eq!(
+                    seq.total_time_at(i).value().to_bits(),
+                    par.total_time_at(i).value().to_bits()
+                );
+                assert_eq!(
+                    seq.total_energy_at(i).value().to_bits(),
+                    par.total_energy_at(i).value().to_bits()
+                );
+            }
+        }
+    }
+}
