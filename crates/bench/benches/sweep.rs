@@ -57,7 +57,7 @@ fn main() {
         CharacterizationGrid::default_threads(),
         if smoke { ", SMOKE windows" } else { "" },
     );
-    let mut report = BenchReport::new("mcdvfs-bench/sweep-v1");
+    let mut report = BenchReport::new("mcdvfs-bench/sweep-v2");
 
     for &(label, grid) in grids {
         let seq = qb.bench(&format!("characterize/{label}/sequential"), || {

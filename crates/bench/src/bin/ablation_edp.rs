@@ -13,10 +13,10 @@
 //! worker characterizes its own benchmark sequentially to avoid nested
 //! thread pools); rows stay in suite order.
 
-use mcdvfs_bench::{banner, emit, platform};
+use mcdvfs_bench::{banner, emit_artifact, platform, Harness};
 use mcdvfs_core::metrics::edn_optimal_inefficiencies;
 use mcdvfs_core::report::{fmt, Table};
-use mcdvfs_core::sweep::fan_out;
+use mcdvfs_core::sweep::fan_out_profiled;
 use mcdvfs_sim::CharacterizationGrid;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
@@ -27,11 +27,17 @@ fn main() {
         "inefficiency reached by EDP/ED2P-optimal tuning per workload",
     );
 
+    let mut harness = Harness::new("ablation_edp");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
     let benchmarks = Benchmark::featured();
-    let stats = fan_out(
+    let stats = fan_out_profiled(
         &benchmarks,
         CharacterizationGrid::default_threads(),
-        |&benchmark| {
+        harness.profiler(),
+        0,
+        "edp",
+        |&benchmark, _| {
             let data = CharacterizationGrid::characterize(
                 &platform(),
                 &benchmark.trace(),
@@ -64,7 +70,7 @@ fn main() {
             fmt(*ed2p_mean, 3),
         ]);
     }
-    emit(&t, "ablation_edp");
+    emit_artifact(&harness, &t, "ablation_edp");
 
     let spread = means.iter().copied().fold(0.0f64, f64::max)
         - means.iter().copied().fold(f64::INFINITY, f64::min);
@@ -73,4 +79,5 @@ fn main() {
          suite — the same \"metric target\" buys a different energy premium per app,\n\
          which is exactly why the paper introduces the inefficiency budget instead."
     );
+    harness.finish();
 }

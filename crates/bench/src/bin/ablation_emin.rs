@@ -4,7 +4,7 @@
 //! learning predictor on scan count (the expensive part the tuning-overhead
 //! model charges for) and prediction error.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::emin::{BruteForceEmin, EminEstimator, LearningEmin, LookupTableEmin};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_workloads::Benchmark;
@@ -15,6 +15,9 @@ fn main() {
         "grid scans and error per strategy (brute force / lookup / learning)",
     );
 
+    let mut harness = Harness::new("ablation_emin");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
     let mut t = Table::new(vec![
         "benchmark",
         "samples",
@@ -25,7 +28,7 @@ fn main() {
         "learning_error_%",
     ]);
     for benchmark in Benchmark::featured() {
-        let (data, _) = characterize(benchmark);
+        let (data, _) = characterize_for(&harness, benchmark);
         let mut brute = BruteForceEmin::new();
         let mut lookup = LookupTableEmin::new();
         let mut learning = LearningEmin::new(0.3);
@@ -50,9 +53,10 @@ fn main() {
             fmt(learning.validation_error(&data) * 100.0, 2),
         ]);
     }
-    emit(&t, "ablation_emin");
+    emit_artifact(&harness, &t, "ablation_emin");
     println!(
         "brute force scans every sample; the lookup table scans each distinct sample once;\n\
          the learning predictor scans once per phase signature and predicts the rest."
     );
+    harness.finish();
 }

@@ -10,13 +10,14 @@
 //! optimal series and clusters through a [`SweepEngine`] (the series is
 //! shared, not recomputed for the cluster pass).
 
-use mcdvfs_bench::{banner, emit};
+use mcdvfs_bench::{banner, emit_artifact, Harness};
 use mcdvfs_core::report::Table;
 use mcdvfs_core::transitions::{count_cluster_transitions, count_optimal_transitions};
 use mcdvfs_core::{InefficiencyBudget, SweepEngine};
 use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
+use std::sync::Arc;
 
 fn main() {
     banner(
@@ -24,6 +25,12 @@ fn main() {
         "transitions vs noise amplitude (bzip2, I=1.6, threshold 5%)",
     );
 
+    let mut harness = Harness::new("ablation_noise");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmark", "bzip2");
+    harness.note("budget", "1.6");
+    harness.note("threshold", "0.05");
+    harness.note("noise", "0.0,0.002,0.004,0.01");
     let budget = InefficiencyBudget::bounded(1.6).expect("valid budget");
     let trace = Benchmark::Bzip2.trace();
     let mut t = Table::new(vec![
@@ -33,7 +40,8 @@ fn main() {
     ]);
     for noise in [0.0, 0.002, 0.004, 0.01] {
         let system = System::galaxy_nexus_class().with_measurement_noise(noise);
-        let engine = SweepEngine::characterize(&system, &trace, FrequencyGrid::coarse());
+        let engine = SweepEngine::characterize(&system, &trace, FrequencyGrid::coarse())
+            .with_profiler(Arc::clone(harness.profiler()));
         let outcome = &engine.sweep(&[budget], &[0.05]).expect("valid threshold")[0];
         t.row(vec![
             format!("{:.1}", noise * 100.0),
@@ -41,5 +49,6 @@ fn main() {
             count_cluster_transitions(&outcome.clusters).to_string(),
         ]);
     }
-    emit(&t, "ablation_noise");
+    emit_artifact(&harness, &t, "ablation_noise");
+    harness.finish();
 }

@@ -13,10 +13,10 @@
 //! characterizing sequentially to avoid nested thread pools); rows stay
 //! in suite order.
 
-use mcdvfs_bench::{banner, emit, platform};
+use mcdvfs_bench::{banner, emit_artifact, platform, Harness};
 use mcdvfs_core::ratelimit::RateLimiter;
 use mcdvfs_core::report::{fmt, Table};
-use mcdvfs_core::sweep::fan_out;
+use mcdvfs_core::sweep::fan_out_profiled;
 use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
 use mcdvfs_sim::CharacterizationGrid;
 use mcdvfs_types::{FrequencyGrid, Seconds, Watts};
@@ -34,11 +34,18 @@ fn main() {
     let idle_power = Watts::from_millis(150.0); // screen-off phone idle
     let window = Seconds::from_millis(10.0);
 
+    let mut harness = Harness::new("ablation_ratelimit");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
+    harness.note("budget", "1.2");
     let benchmarks = Benchmark::featured();
-    let rows = fan_out(
+    let rows = fan_out_profiled(
         &benchmarks,
         CharacterizationGrid::default_threads(),
-        |&benchmark| {
+        harness.profiler(),
+        0,
+        "ratelimit",
+        |&benchmark, _| {
             let trace = benchmark.trace();
             let data = Arc::new(CharacterizationGrid::characterize(
                 &platform(),
@@ -82,10 +89,11 @@ fn main() {
     for row in rows {
         t.row(row);
     }
-    emit(&t, "ablation_ratelimit");
+    emit_artifact(&harness, &t, "ablation_ratelimit");
     println!(
         "the limiter pauses at window boundaries and burns idle energy achieving\n\
          nothing; the inefficiency budget mandates the same work under the same\n\
          energy and finishes sooner at lower inefficiency."
     );
+    harness.finish();
 }

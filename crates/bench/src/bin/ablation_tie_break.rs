@@ -10,11 +10,12 @@
 //! Per benchmark, the eight (budget × tolerance) series derive in parallel
 //! from one shared characterization via [`SweepEngine::optimal_sweep`].
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::report::Table;
 use mcdvfs_core::transitions::count_optimal_transitions;
 use mcdvfs_core::{InefficiencyBudget, OptimalFinder, SweepEngine};
 use mcdvfs_workloads::Benchmark;
+use std::sync::Arc;
 
 fn main() {
     banner(
@@ -22,6 +23,11 @@ fn main() {
         "optimal-tracking transitions vs tie tolerance (I=1.3 and 1.6)",
     );
 
+    let mut harness = Harness::new("ablation_tie_break");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
+    harness.note("budgets", "1.3,1.6");
+    harness.note("tolerances", "0.0,0.0025,0.005,0.02");
     let budget_values = [1.3, 1.6];
     let tolerances = [0.0, 0.0025, 0.005, 0.02];
     let mut t = Table::new(vec![
@@ -33,8 +39,8 @@ fn main() {
         "tol_2%",
     ]);
     for benchmark in Benchmark::featured() {
-        let (data, _) = characterize(benchmark);
-        let engine = SweepEngine::new(data);
+        let (data, _) = characterize_for(&harness, benchmark);
+        let engine = SweepEngine::new(data).with_profiler(Arc::clone(harness.profiler()));
         // Budget-major finder grid, mirroring the table's row layout.
         let finders: Vec<OptimalFinder> = budget_values
             .iter()
@@ -56,6 +62,7 @@ fn main() {
             t.row(cells);
         }
     }
-    emit(&t, "ablation_tie_break");
+    emit_artifact(&harness, &t, "ablation_tie_break");
     println!("the paper's 0.5% tolerance suppresses most noise-induced transitions");
+    harness.finish();
 }

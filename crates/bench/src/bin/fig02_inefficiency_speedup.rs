@@ -8,7 +8,7 @@
 //! wastes energy ("running slower ≠ running efficiently") and forcing the
 //! full budget can degrade performance.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_types::FreqSetting;
 use mcdvfs_workloads::Benchmark;
@@ -18,9 +18,12 @@ fn main() {
         "Figure 2",
         "inefficiency vs speedup over all 70 settings (bzip2, gobmk, milc)",
     );
+    let mut harness = Harness::new("fig02_inefficiency_speedup");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "bzip2,gobmk,milc");
 
     for benchmark in [Benchmark::Bzip2, Benchmark::Gobmk, Benchmark::Milc] {
-        let (data, _) = characterize(benchmark);
+        let (data, _) = characterize_for(&harness, benchmark);
         let grid = data.grid();
         let longest = data.longest_total_time();
         let emin = data.min_total_energy();
@@ -56,7 +59,11 @@ fn main() {
         }
         println!("speedup/inefficiency matrix:");
         println!("{}", matrix.to_text());
-        emit(&t, &format!("fig02_{}", benchmark.name().replace('.', "")));
+        emit_artifact(
+            &harness,
+            &t,
+            &format!("fig02_{}", benchmark.name().replace('.', "")),
+        );
 
         // Paper's headline observations.
         let corner = grid
@@ -76,4 +83,5 @@ fn main() {
         );
         println!();
     }
+    harness.finish();
 }

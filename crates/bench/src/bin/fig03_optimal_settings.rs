@@ -7,7 +7,7 @@
 //! samples get high memory frequency and lower CPU frequency; the
 //! unconstrained budget pins both domains at maximum.
 
-use mcdvfs_bench::{banner, characterize, emit, freq_sparkline};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, freq_sparkline, Harness};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::{InefficiencyBudget, OptimalFinder};
 use mcdvfs_workloads::Benchmark;
@@ -18,7 +18,11 @@ fn main() {
         "optimal settings for gobmk across inefficiencies",
     );
 
-    let (data, trace) = characterize(Benchmark::Gobmk);
+    let mut harness = Harness::new("fig03_optimal_settings");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmark", "gobmk");
+    harness.note("budgets", "1.0,1.3,1.6,inf");
+    let (data, trace) = characterize_for(&harness, Benchmark::Gobmk);
     let budgets: Vec<(String, InefficiencyBudget)> = vec![
         ("1".into(), InefficiencyBudget::bounded(1.0).unwrap()),
         ("1.3".into(), InefficiencyBudget::bounded(1.3).unwrap()),
@@ -44,7 +48,7 @@ fn main() {
         }
         t.row(cells);
     }
-    emit(&t, "fig03_optimal_settings_gobmk");
+    emit_artifact(&harness, &t, "fig03_optimal_settings_gobmk");
 
     println!("per-budget frequency traces (one glyph per sample, low→high):");
     for ((label, _), serie) in budgets.iter().zip(&series) {
@@ -67,4 +71,5 @@ fn main() {
             serie.len()
         );
     }
+    harness.finish();
 }

@@ -5,10 +5,12 @@
 //! shaded regions the paper plots). Larger thresholds widen the bands and
 //! lengthen stable regions; the budget's effect is workload dependent.
 
-use mcdvfs_bench::{banner, clusters_figure};
+use mcdvfs_bench::{banner, clusters_figure, Harness};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
     banner("Figure 4", "performance clusters for gobmk");
-    clusters_figure(Benchmark::Gobmk, "fig04_clusters_gobmk");
+    let mut harness = Harness::new("fig04_clusters_gobmk");
+    clusters_figure(&mut harness, Benchmark::Gobmk, "fig04_clusters_gobmk");
+    harness.finish();
 }

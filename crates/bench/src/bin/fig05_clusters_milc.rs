@@ -6,10 +6,12 @@
 //! covers a wide range of memory settings, because memory frequency barely
 //! affects its performance.
 
-use mcdvfs_bench::{banner, clusters_figure};
+use mcdvfs_bench::{banner, clusters_figure, Harness};
 use mcdvfs_workloads::Benchmark;
 
 fn main() {
     banner("Figure 5", "performance clusters for milc");
-    clusters_figure(Benchmark::Milc, "fig05_clusters_milc");
+    let mut harness = Harness::new("fig05_clusters_milc");
+    clusters_figure(&mut harness, Benchmark::Milc, "fig05_clusters_milc");
+    harness.finish();
 }

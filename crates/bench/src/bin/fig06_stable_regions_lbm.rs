@@ -5,7 +5,7 @@
 //! transition markers between them: within a region both CPU and memory
 //! frequencies stay constant.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::report::Table;
 use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 use mcdvfs_workloads::Benchmark;
@@ -16,7 +16,12 @@ fn main() {
         "stable regions and transitions for lbm (I=1.3, threshold 5%)",
     );
 
-    let (data, _) = characterize(Benchmark::Lbm);
+    let mut harness = Harness::new("fig06_stable_regions_lbm");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmark", "lbm");
+    harness.note("budget", "1.3");
+    harness.note("threshold", "0.05");
+    let (data, _) = characterize_for(&harness, Benchmark::Lbm);
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
     let clusters = cluster_series(&data, budget, 0.05).expect("valid threshold");
     let regions = stable_regions(&clusters);
@@ -42,7 +47,7 @@ fn main() {
             r.available_indices().len().to_string(),
         ]);
     }
-    emit(&t, "fig06_stable_regions_lbm");
+    emit_artifact(&harness, &t, "fig06_stable_regions_lbm");
 
     println!(
         "{} regions over {} samples -> {} transitions (dashed markers in the paper's plot)",
@@ -60,4 +65,5 @@ fn main() {
         })
         .collect();
     println!("transition marks: {marks}");
+    harness.finish();
 }

@@ -5,7 +5,7 @@
 //! unconstrained budget the system runs at the maximum setting throughout,
 //! so no transitions remain regardless of threshold.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::report::Table;
 use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 use mcdvfs_workloads::Benchmark;
@@ -16,6 +16,11 @@ fn main() {
         "stable regions of gcc and lbm across budgets and thresholds",
     );
 
+    let mut harness = Harness::new("fig07_stable_regions_gcc_lbm");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "gcc,lbm");
+    harness.note("budgets", "1.0,1.3,inf");
+    harness.note("thresholds", "0.03,0.05");
     let budgets: Vec<(&str, InefficiencyBudget)> = vec![
         ("1", InefficiencyBudget::bounded(1.0).expect("valid")),
         ("1.3", InefficiencyBudget::bounded(1.3).expect("valid")),
@@ -31,7 +36,7 @@ fn main() {
         "mean_region_len",
     ]);
     for benchmark in [Benchmark::Gcc, Benchmark::Lbm] {
-        let (data, _) = characterize(benchmark);
+        let (data, _) = characterize_for(&harness, benchmark);
         for (label, budget) in &budgets {
             for thr in [0.03, 0.05] {
                 let clusters = cluster_series(&data, *budget, thr).expect("valid threshold");
@@ -49,5 +54,6 @@ fn main() {
             }
         }
     }
-    emit(&t, "fig07_stable_regions_gcc_lbm");
+    emit_artifact(&harness, &t, "fig07_stable_regions_gcc_lbm");
+    harness.finish();
 }

@@ -6,7 +6,9 @@
 //! increase in cluster threshold. The amount of change varies with
 //! benchmark and inefficiency budget."
 
-use mcdvfs_bench::{banner, characterize, emit, PAPER_BUDGETS, PAPER_THRESHOLDS};
+use mcdvfs_bench::{
+    banner, characterize_for, emit_artifact, Harness, PAPER_BUDGETS, PAPER_THRESHOLDS,
+};
 use mcdvfs_core::governor::{OracleClusterGovernor, OracleOptimalGovernor};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::transitions::{
@@ -23,6 +25,12 @@ fn main() {
         "transitions per billion instructions (optimal vs 1%/3%/5% clusters)",
     );
 
+    let mut harness = Harness::new("fig08_transition_counts");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
+    harness.note("budgets", "1.0,1.3,1.6");
+    harness.note("thresholds", "0.01,0.03,0.05");
+
     let mut t = Table::new(vec![
         "benchmark",
         "budget",
@@ -32,7 +40,7 @@ fn main() {
         "thr_5%",
     ]);
     for benchmark in Benchmark::featured() {
-        let (data, _) = characterize(benchmark);
+        let (data, _) = characterize_for(&harness, benchmark);
         let n = data.n_samples();
         for budget_v in PAPER_BUDGETS {
             let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
@@ -55,7 +63,7 @@ fn main() {
             t.row(cells);
         }
     }
-    emit(&t, "fig08_transition_counts");
+    emit_artifact(&harness, &t, "fig08_transition_counts");
     println!(
         "note: the paper reports this figure for budgets 1.0, 1.3 and 1.6;\n\
          columns are transitions per billion instructions."
@@ -76,7 +84,7 @@ fn main() {
         "median_gap_ms",
     ]);
     for benchmark in Benchmark::featured() {
-        let (data, trace) = characterize(benchmark);
+        let (data, trace) = characterize_for(&harness, benchmark);
         let mut governors: Vec<Box<dyn mcdvfs_core::governor::Governor>> = vec![
             Box::new(OracleOptimalGovernor::new(Arc::clone(&data), budget)),
             Box::new(
@@ -107,5 +115,6 @@ fn main() {
         }
     }
     println!("--- governed-run ledger: per-domain transitions (budget 1.3) ---");
-    emit(&lt, "fig08_transition_counts_governed");
+    emit_artifact(&harness, &lt, "fig08_transition_counts_governed");
+    harness.finish();
 }

@@ -5,15 +5,15 @@
 //! budget a single region covers the whole benchmark; (c) all featured
 //! benchmarks at budget 1.3.
 
-use mcdvfs_bench::{banner, characterize, emit, PAPER_THRESHOLDS};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness, PAPER_THRESHOLDS};
 use mcdvfs_core::analysis::BoxStats;
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::transitions::region_lengths;
 use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 use mcdvfs_workloads::Benchmark;
 
-fn region_stats(benchmark: Benchmark, budget_v: f64, thr: f64) -> BoxStats {
-    let (data, _) = characterize(benchmark);
+fn region_stats(harness: &Harness, benchmark: Benchmark, budget_v: f64, thr: f64) -> BoxStats {
+    let (data, _) = characterize_for(harness, benchmark);
     let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
     let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
     BoxStats::of_lengths(&region_lengths(&stable_regions(&clusters)))
@@ -39,6 +39,11 @@ fn main() {
         "distribution of stable-region lengths (box statistics)",
     );
 
+    let mut harness = Harness::new("fig09_region_lengths");
+    harness.note("grid", "coarse-70");
+    harness.note("budgets", "1.0,1.2,1.4,1.6 (panels a/b); 1.3 (panel c)");
+    harness.note("thresholds", "0.01,0.03,0.05");
+
     // Panels (a) and (b): gobmk and bzip2 across budgets.
     for benchmark in [Benchmark::Gobmk, Benchmark::Bzip2] {
         let mut t = Table::new(vec![
@@ -54,7 +59,7 @@ fn main() {
         ]);
         for budget_v in [1.0, 1.2, 1.4, 1.6] {
             for thr in PAPER_THRESHOLDS {
-                let s = region_stats(benchmark, budget_v, thr);
+                let s = region_stats(&harness, benchmark, budget_v, thr);
                 stats_row(
                     &mut t,
                     &[budget_v.to_string(), format!("{}", (thr * 100.0) as u32)],
@@ -63,7 +68,8 @@ fn main() {
             }
         }
         println!("--- panel: {benchmark} ---");
-        emit(
+        emit_artifact(
+            &harness,
             &t,
             &format!("fig09_region_lengths_{}", benchmark.name().replace('.', "")),
         );
@@ -83,7 +89,7 @@ fn main() {
     ]);
     for benchmark in Benchmark::featured() {
         for thr in PAPER_THRESHOLDS {
-            let s = region_stats(benchmark, 1.3, thr);
+            let s = region_stats(&harness, benchmark, 1.3, thr);
             stats_row(
                 &mut t,
                 &[
@@ -95,5 +101,6 @@ fn main() {
         }
     }
     println!("--- panel: all benchmarks at I=1.3 ---");
-    emit(&t, "fig09_region_lengths_all");
+    emit_artifact(&harness, &t, "fig09_region_lengths_all");
+    harness.finish();
 }

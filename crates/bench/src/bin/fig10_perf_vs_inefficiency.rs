@@ -9,10 +9,11 @@
 //! optimal-plan derivation per budget through [`SweepEngine`], instead of
 //! re-searching the grid live at every sample of every run.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
 use mcdvfs_workloads::Benchmark;
+use std::sync::Arc;
 
 fn main() {
     banner(
@@ -20,6 +21,10 @@ fn main() {
         "normalized execution time vs inefficiency budget",
     );
 
+    let mut harness = Harness::new("fig10_perf_vs_inefficiency");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
+    harness.note("budgets", "1.0,1.1,1.2,1.3,1.6");
     let budget_values = [1.0, 1.1, 1.2, 1.3, 1.6];
     let budgets: Vec<InefficiencyBudget> = budget_values
         .iter()
@@ -35,8 +40,10 @@ fn main() {
     ]);
     let mut all_compliant = true;
     for benchmark in Benchmark::featured() {
-        let (data, trace) = characterize(benchmark);
-        let reports = SweepEngine::new(data).governed_reports(&runner, &trace, &budgets);
+        let (data, trace) = characterize_for(&harness, benchmark);
+        let reports = SweepEngine::new(data)
+            .with_profiler(Arc::clone(harness.profiler()))
+            .governed_reports(&runner, &trace, &budgets);
         let base = reports[0].total_time().value();
         for (&budget_v, report) in budget_values.iter().zip(&reports) {
             let achieved = report.work_inefficiency();
@@ -50,7 +57,7 @@ fn main() {
             ]);
         }
     }
-    emit(&t, "fig10_perf_vs_inefficiency");
+    emit_artifact(&harness, &t, "fig10_perf_vs_inefficiency");
     println!(
         "budget compliance across all runs: {}",
         if all_compliant {
@@ -59,4 +66,5 @@ fn main() {
             "VIOLATED"
         }
     );
+    harness.finish();
 }

@@ -9,7 +9,7 @@
 //! energy improve *further* because the cluster tuner searches and
 //! transitions far less often.
 
-use mcdvfs_bench::{banner, characterize, emit, PAPER_THRESHOLDS};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness, PAPER_THRESHOLDS};
 use mcdvfs_core::governor::{OracleClusterGovernor, OracleOptimalGovernor, RegionChoice};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::{GovernedRun, InefficiencyBudget};
@@ -23,6 +23,11 @@ fn main() {
         "energy-performance trade-offs at I=1.3, with and without tuning overhead",
     );
 
+    let mut harness = Harness::new("fig11_tradeoffs_overhead");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "featured");
+    harness.note("budget", "1.3");
+    harness.note("thresholds", "0.01,0.03,0.05");
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
     for (label, runner, csv) in [
         (
@@ -47,7 +52,7 @@ fn main() {
             "overhead_time_%",
         ]);
         for benchmark in Benchmark::featured() {
-            let (data, trace) = characterize(benchmark);
+            let (data, trace) = characterize_for(&harness, benchmark);
             let mut tracker = OracleOptimalGovernor::new(Arc::clone(&data), budget);
             let reference = runner.execute(&data, &trace, &mut tracker);
             for thr in PAPER_THRESHOLDS {
@@ -83,11 +88,12 @@ fn main() {
             }
         }
         println!("--- {label} ---");
-        emit(&t, csv);
+        emit_artifact(&harness, &t, csv);
     }
     println!(
         "positive energy_savings = cluster tuner consumed less than exact tracking;\n\
          perf_degradation is bounded by the threshold in (a) and shrinks (or goes\n\
          negative) in (b) as avoided search/transition overhead pays back."
     );
+    harness.finish();
 }

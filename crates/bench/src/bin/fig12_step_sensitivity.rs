@@ -9,11 +9,12 @@
 //! Per grid, one [`SweepEngine`] derives the optimal series once and
 //! shares it between the cluster/region statistics and the governed run.
 
-use mcdvfs_bench::{banner, characterize_on, emit};
+use mcdvfs_bench::{banner, characterize_on_for, emit_artifact, Harness};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
+use std::sync::Arc;
 
 fn main() {
     banner(
@@ -21,6 +22,11 @@ fn main() {
         "performance clusters at two frequency step sizes (gobmk, I=1.3, 1%)",
     );
 
+    let mut harness = Harness::new("fig12_step_sensitivity");
+    harness.note("grids", "coarse-70,fine-496");
+    harness.note("benchmark", "gobmk");
+    harness.note("budget", "1.3");
+    harness.note("threshold", "0.01");
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
     let runner = GovernedRun::without_overheads();
 
@@ -37,8 +43,8 @@ fn main() {
         ("coarse", FrequencyGrid::coarse()),
         ("fine", FrequencyGrid::fine()),
     ] {
-        let (data, trace) = characterize_on(Benchmark::Gobmk, grid);
-        let engine = SweepEngine::new(data);
+        let (data, trace) = characterize_on_for(&harness, Benchmark::Gobmk, grid);
+        let engine = SweepEngine::new(data).with_profiler(Arc::clone(harness.profiler()));
         let outcome = &engine.sweep(&[budget], &[0.01]).expect("valid threshold")[0];
         let report = &engine.governed_reports(&runner, &trace, &[budget])[0];
         times.push(report.total_time().value());
@@ -51,11 +57,12 @@ fn main() {
             fmt(report.total_time().value(), 4),
         ]);
     }
-    emit(&t, "fig12_step_sensitivity");
+    emit_artifact(&harness, &t, "fig12_step_sensitivity");
 
     let improvement = (times[0] - times[1]) / times[0] * 100.0;
     println!(
         "performance improvement from 70 -> 496 settings with free tuning: {improvement:.2}% \
          (paper: < 1%)"
     );
+    harness.finish();
 }

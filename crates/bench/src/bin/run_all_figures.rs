@@ -3,12 +3,22 @@
 //!
 //! ```text
 //! cargo run -p mcdvfs-bench --bin run_all_figures --release
+//! cargo run -p mcdvfs-bench --bin run_all_figures --release -- --profile
 //! ```
+//!
+//! With `--profile` every child binary runs with its pipeline profiler
+//! enabled (via the `MCDVFS_PROFILE` environment variable), each records
+//! per-phase timings into `results/MANIFEST.json`, and this driver closes
+//! with a suite-wide flame-style summary plus a manifest audit: every
+//! `results/*.csv` must be covered by a manifest entry whose checksum and
+//! size match the file on disk. Audit failures exit nonzero.
 
+use mcdvfs_bench::{results_dir, Manifest, PROFILE_ENV};
+use mcdvfs_obs::fmt_ns;
 use std::process::Command;
 
 /// Every experiment binary, in paper order.
-const BINARIES: [&str; 19] = [
+const BINARIES: [&str; 20] = [
     "tab01_system_config",
     "fig01_system_stack",
     "fig02_inefficiency_speedup",
@@ -28,15 +38,21 @@ const BINARIES: [&str; 19] = [
     "ablation_emin",
     "ablation_edp",
     "ablation_ratelimit",
+    "run_ledger",
 ];
 
 fn main() {
+    let profile = std::env::args().skip(1).any(|a| a == "--profile");
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("binaries live in a directory");
     let mut failures = Vec::new();
     for name in BINARIES {
         println!("\n::::: {name} :::::");
-        let status = Command::new(bin_dir.join(name))
+        let mut cmd = Command::new(bin_dir.join(name));
+        if profile {
+            cmd.env(PROFILE_ENV, "1");
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("could not launch {name}: {e}"));
         if !status.success() {
@@ -48,5 +64,70 @@ fn main() {
     } else {
         eprintln!("\nFAILED: {failures:?}");
         std::process::exit(1);
+    }
+    if profile && !audit_manifest() {
+        std::process::exit(1);
+    }
+}
+
+/// Print the suite-wide per-phase timing summary from the manifest and
+/// check that it covers every CSV in `results/`. Returns false on any
+/// audit problem.
+fn audit_manifest() -> bool {
+    let dir = results_dir();
+    let manifest = match Manifest::load(&Manifest::default_path()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("could not load manifest: {e}");
+            return false;
+        }
+    };
+
+    println!("\n::::: suite profile :::::");
+    for producer in BINARIES {
+        // One binary may emit several artifacts; the phase tree is the
+        // producer's whole run, so print it once per producer.
+        let Some(entry) = manifest
+            .artifacts
+            .iter()
+            .find(|a| a.producer == producer && !a.phases.is_empty())
+        else {
+            continue;
+        };
+        let total: u64 = entry
+            .phases
+            .iter()
+            .filter(|p| p.depth == 0)
+            .map(|p| p.wall_ns)
+            .sum();
+        println!("{producer} ({} threads, {})", entry.threads, fmt_ns(total));
+        for phase in &entry.phases {
+            let bar_ns = if total > 0 { phase.wall_ns } else { 0 };
+            let bar = "#".repeat(((bar_ns * 20) / total.max(1)) as usize);
+            println!(
+                "  {:indent$}{:<24} {:>10} x{:<5} {bar}",
+                "",
+                phase.path.rsplit('/').next().unwrap_or(&phase.path),
+                fmt_ns(phase.wall_ns),
+                phase.count,
+                indent = phase.depth * 2,
+            );
+        }
+    }
+
+    let problems = manifest.validate(&dir);
+    if problems.is_empty() {
+        println!(
+            "\nmanifest OK: {} artifacts cover every CSV in {}",
+            manifest.artifacts.len(),
+            dir.display()
+        );
+        true
+    } else {
+        eprintln!("\nmanifest audit FAILED:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        false
     }
 }

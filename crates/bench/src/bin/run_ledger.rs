@@ -9,12 +9,14 @@
 //!    energy, search and transition totals *bit for bit*;
 //! 2. aggregated — per-domain transition counts, search-cost breakdown,
 //!    transition inter-arrival histogram and region-length distribution;
-//! 3. exported — JSON-lines and CSV under `results/`.
+//! 3. exported — JSON-lines and CSV under `results/`, both recorded in
+//!    the provenance manifest.
 //!
 //! ```text
-//! cargo run --example run_ledger
+//! cargo run -p mcdvfs-bench --bin run_ledger
 //! ```
 
+use mcdvfs_bench::{results_dir, Harness};
 use mcdvfs_core::governor::OracleClusterGovernor;
 use mcdvfs_core::report::{fmt, ledger_table, write_ledger_jsonl};
 use mcdvfs_core::{GovernedRun, InefficiencyBudget};
@@ -22,10 +24,15 @@ use mcdvfs_obs::RunLedger;
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::Benchmark;
-use std::path::Path;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut harness = Harness::new("run_ledger");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmark", "gobmk");
+    harness.note("budget", "1.3");
+    harness.note("threshold", "0.05");
+
     let system = System::galaxy_nexus_class();
     let trace = Benchmark::Gobmk.trace();
     let data = Arc::new(CharacterizationGrid::characterize(
@@ -101,10 +108,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Export the full event stream for offline analysis.
-    let jsonl = Path::new("results/run_ledger_gobmk.jsonl");
-    let csv = Path::new("results/run_ledger_gobmk.csv");
-    write_ledger_jsonl(&ledger, jsonl)?;
-    ledger_table(&ledger).write_csv(csv)?;
+    let jsonl = results_dir().join("run_ledger_gobmk.jsonl");
+    let csv = results_dir().join("run_ledger_gobmk.csv");
+    write_ledger_jsonl(&ledger, &jsonl)?;
+    ledger_table(&ledger).write_csv(&csv)?;
+    harness.record_file(&jsonl);
+    harness.record_file(&csv);
     println!("\nwrote {} and {}", jsonl.display(), csv.display());
+    harness.finish();
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! energy-optimal setting, and optimal-tracking transitions under the
 //! mid budget.
 
-use mcdvfs_bench::{banner, characterize, emit};
+use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::transitions::{count_optimal_transitions, per_billion_instructions};
 use mcdvfs_core::{imax, InefficiencyBudget, OptimalFinder};
@@ -20,6 +20,10 @@ fn main() {
         "all 21 modelled benchmarks on the 70-setting grid",
     );
 
+    let mut harness = Harness::new("suite_overview");
+    harness.note("grid", "coarse-70");
+    harness.note("benchmarks", "all-21");
+    harness.note("budget", "1.3");
     let budget = InefficiencyBudget::bounded(1.3).expect("valid budget");
     let mut t = Table::new(vec![
         "benchmark",
@@ -33,7 +37,7 @@ fn main() {
         "opt_trans_per_1e9@1.3",
     ]);
     for benchmark in Benchmark::all() {
-        let (data, trace) = characterize(benchmark);
+        let (data, trace) = characterize_for(&harness, benchmark);
         let stats = trace.stats();
         let emin_idx = (0..data.n_settings())
             .min_by(|&a, &b| {
@@ -60,11 +64,12 @@ fn main() {
             ),
         ]);
     }
-    emit(&t, "suite_overview");
+    emit_artifact(&harness, &t, "suite_overview");
     println!(
         "whole-run Emin sits near (300 MHz, 200 MHz) across the suite — at 300 MHz\n\
          CPU the memory system is rarely the bottleneck — with the streaming\n\
          members (libquantum, lbm) pulling their Emin memory frequency up; phase-\n\
          heavy members (gobmk, omnetpp, leslie3d) dominate the transition column."
     );
+    harness.finish();
 }

@@ -3,7 +3,7 @@
 //! The paper has no numbered tables; this binary emits its Section III
 //! platform description as a table so the configuration is auditable.
 
-use mcdvfs_bench::{banner, emit};
+use mcdvfs_bench::{banner, emit_artifact, Harness};
 use mcdvfs_core::report::Table;
 use mcdvfs_dram::LpddrTimings;
 use mcdvfs_types::{CpuFreq, FrequencyGrid, MemFreq};
@@ -92,5 +92,8 @@ fn main() {
         "12 INT + 9 FP SPEC CPU2006-like synthetic traces".into(),
     );
 
-    emit(&t, "tab01_system_config");
+    let mut harness = Harness::new("tab01_system_config");
+    harness.note("grids", "coarse-70,fine-496");
+    emit_artifact(&harness, &t, "tab01_system_config");
+    harness.finish();
 }

@@ -17,7 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod provenance;
 pub mod quickbench;
+
+pub use provenance::{
+    checksum_string, fnv1a64, ArtifactEntry, Harness, Json, Manifest, PROFILE_ENV,
+};
 
 use mcdvfs_core::report::Table;
 use mcdvfs_sim::{CharacterizationGrid, System};
@@ -69,6 +74,35 @@ pub fn characterize_on(
     (data, trace)
 }
 
+/// [`characterize`] with the harness profiler attached, so figure profiles
+/// show the characterization phase alongside the sweep phases. The
+/// characterization itself is bit-identical to the unprofiled one.
+#[must_use]
+pub fn characterize_for(
+    harness: &Harness,
+    benchmark: Benchmark,
+) -> (Arc<CharacterizationGrid>, SampleTrace) {
+    characterize_on_for(harness, benchmark, FrequencyGrid::coarse())
+}
+
+/// [`characterize_on`] with the harness profiler attached.
+#[must_use]
+pub fn characterize_on_for(
+    harness: &Harness,
+    benchmark: Benchmark,
+    grid: FrequencyGrid,
+) -> (Arc<CharacterizationGrid>, SampleTrace) {
+    let trace = benchmark.trace();
+    let data = Arc::new(CharacterizationGrid::characterize_profiled(
+        &platform(),
+        &trace,
+        grid,
+        CharacterizationGrid::default_threads(),
+        harness.profiler(),
+    ));
+    (data, trace)
+}
+
 /// Prints the standard experiment banner.
 pub fn banner(figure: &str, caption: &str) {
     println!("==============================================================");
@@ -77,8 +111,17 @@ pub fn banner(figure: &str, caption: &str) {
     println!("==============================================================");
 }
 
+/// Prints one table through `harness`, mirroring it to
+/// `results/<name>.csv` and recording the artifact's provenance in
+/// `results/MANIFEST.json` — see [`Harness::emit_artifact`]. This is how
+/// every figure/ablation binary writes its outputs.
+pub fn emit_artifact(harness: &Harness, table: &Table, name: &str) {
+    harness.emit_artifact(table, name);
+}
+
 /// Prints a table and mirrors it to `results/<name>.csv`, reporting the
-/// path written.
+/// path written. Prefer [`emit_artifact`], which additionally records the
+/// artifact in the provenance manifest.
 pub fn emit(table: &Table, name: &str) {
     println!("{}", table.to_text());
     let path = results_dir().join(format!("{name}.csv"));
@@ -90,12 +133,17 @@ pub fn emit(table: &Table, name: &str) {
 }
 
 /// Shared driver for the Figure 4/5 cluster plots: per-sample cluster
-/// frequency bands at budgets {1.0, 1.3} x thresholds {1%, 5%}, printed and
-/// mirrored to CSV under `csv_prefix`.
-pub fn clusters_figure(benchmark: Benchmark, csv_prefix: &str) {
+/// frequency bands at budgets {1.0, 1.3} x thresholds {1%, 5%}, printed,
+/// mirrored to CSV under `csv_prefix`, and recorded in the provenance
+/// manifest through `harness`.
+pub fn clusters_figure(harness: &mut Harness, benchmark: Benchmark, csv_prefix: &str) {
     use mcdvfs_core::{cluster_series, stable_regions, InefficiencyBudget};
 
-    let (data, _) = characterize(benchmark);
+    harness.note("benchmark", benchmark.name());
+    harness.note("grid", "coarse-70");
+    harness.note("budgets", "1.0,1.3");
+    harness.note("thresholds", "0.01,0.05");
+    let (data, _) = characterize_for(harness, benchmark);
     for (budget_v, thr) in [(1.0, 0.01), (1.0, 0.05), (1.3, 0.01), (1.3, 0.05)] {
         let budget = InefficiencyBudget::bounded(budget_v).expect("valid budget");
         let clusters = cluster_series(&data, budget, thr).expect("valid threshold");
@@ -124,7 +172,8 @@ pub fn clusters_figure(benchmark: Benchmark, csv_prefix: &str) {
             regions.len(),
             clusters.iter().map(|c| c.len() as f64).sum::<f64>() / clusters.len() as f64,
         );
-        emit(
+        emit_artifact(
+            harness,
             &t,
             &format!(
                 "{csv_prefix}_i{}_thr{}",

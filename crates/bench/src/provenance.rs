@@ -1,0 +1,848 @@
+//! Provenance for results artifacts: checksummed manifest entries plus the
+//! per-binary [`Harness`] that writes them.
+//!
+//! Every figure/table binary routes its outputs through a [`Harness`]
+//! ([`Harness::emit_artifact`] for tables, [`Harness::record_file`] for
+//! anything else), which mirrors the artifact under `results/` *and*
+//! upserts one entry into `results/MANIFEST.json`:
+//!
+//! * the artifact path and size, with an [`fnv1a64`] content checksum —
+//!   dependency-free and stable across platforms;
+//! * the producing binary and its configuration notes (grid, budgets,
+//!   thresholds, benchmarks — whatever the binary [`Harness::note`]s);
+//! * the worker-thread count of the producing run;
+//! * the per-phase wall-time breakdown captured from the harness
+//!   [`Profiler`] at emit time (empty unless profiling was on).
+//!
+//! The manifest is *observational*: artifact bytes are identical with or
+//! without it, and `run_all_figures --profile` uses
+//! [`Manifest::validate`] to fail the suite when any `results/*.csv`
+//! lacks an entry or drifted from its recorded checksum.
+//!
+//! Everything here is hand-rolled ([`Json`] included) because the
+//! workspace builds offline with no serialization dependencies.
+
+use crate::results_dir;
+use mcdvfs_core::report::Table;
+use mcdvfs_obs::{PhaseTotal, Profiler};
+use mcdvfs_sim::CharacterizationGrid;
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// 64-bit FNV-1a hash of `bytes` — the manifest's content checksum.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_bench::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes
+        .iter()
+        .fold(BASIS, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+}
+
+/// Renders a checksum the way the manifest stores it.
+#[must_use]
+pub fn checksum_string(bytes: &[u8]) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(bytes))
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (the workspace has no serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, nothing
+    /// else).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax
+    /// error.
+    pub fn parse(text: &str) -> std::result::Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on objects (first match), `None` elsewhere.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and `\n` line ends — the
+    /// on-disk manifest format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_value(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Json,
+) -> std::result::Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> std::result::Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let ch = rest.chars().next().expect("non-empty by match");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn render_value(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&inner);
+                render_value(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, val)) in members.iter().enumerate() {
+                out.push_str(&inner);
+                render_string(key, out);
+                out.push_str(": ");
+                render_value(val, indent + 1, out);
+                out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One artifact's provenance record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactEntry {
+    /// Artifact file name, relative to the results directory.
+    pub path: String,
+    /// Size in bytes at record time.
+    pub bytes: u64,
+    /// Content checksum, `"fnv1a64:<16 hex digits>"`.
+    pub checksum: String,
+    /// Binary that produced the artifact.
+    pub producer: String,
+    /// Worker-thread count of the producing run.
+    pub threads: usize,
+    /// Producer configuration notes (grid, budgets, thresholds, …).
+    pub config: BTreeMap<String, String>,
+    /// Per-phase wall-time breakdown of the producing run (empty unless
+    /// it ran with profiling on).
+    pub phases: Vec<PhaseTotal>,
+}
+
+impl ArtifactEntry {
+    fn to_json(&self) -> Json {
+        let config = Json::Obj(
+            self.config
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        );
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("path".to_string(), Json::Str(p.path.clone())),
+                        ("depth".to_string(), Json::Num(p.depth as f64)),
+                        ("wall_ns".to_string(), Json::Num(p.wall_ns as f64)),
+                        ("count".to_string(), Json::Num(p.count as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("path".to_string(), Json::Str(self.path.clone())),
+            ("bytes".to_string(), Json::Num(self.bytes as f64)),
+            ("checksum".to_string(), Json::Str(self.checksum.clone())),
+            ("producer".to_string(), Json::Str(self.producer.clone())),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+            ("config".to_string(), config),
+            ("phases".to_string(), phases),
+        ])
+    }
+
+    fn from_json(value: &Json) -> std::result::Result<Self, String> {
+        let text = |key: &str| -> std::result::Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("artifact entry missing string '{key}'"))
+        };
+        let num = |key: &str| -> std::result::Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("artifact entry missing number '{key}'"))
+        };
+        let mut config = BTreeMap::new();
+        if let Some(Json::Obj(members)) = value.get("config") {
+            for (k, v) in members {
+                config.insert(
+                    k.clone(),
+                    v.as_str().map(str::to_string).unwrap_or_default(),
+                );
+            }
+        }
+        let mut phases = Vec::new();
+        if let Some(items) = value.get("phases").and_then(Json::as_arr) {
+            for item in items {
+                phases.push(PhaseTotal {
+                    path: item
+                        .get("path")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    depth: item.get("depth").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                    wall_ns: item.get("wall_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    count: item.get("count").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                });
+            }
+        }
+        Ok(Self {
+            path: text("path")?,
+            bytes: num("bytes")? as u64,
+            checksum: text("checksum")?,
+            producer: text("producer")?,
+            threads: num("threads")? as usize,
+            config,
+            phases,
+        })
+    }
+}
+
+/// The on-disk provenance manifest: `results/MANIFEST.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// All recorded artifacts, sorted by path.
+    pub artifacts: Vec<ArtifactEntry>,
+}
+
+impl Manifest {
+    /// Schema tag of the on-disk format.
+    pub const SCHEMA: &'static str = "mcdvfs/manifest-v1";
+
+    /// File name of the manifest inside the results directory.
+    pub const FILE_NAME: &'static str = "MANIFEST.json";
+
+    /// Path of the manifest under the active [`results_dir`].
+    #[must_use]
+    pub fn default_path() -> PathBuf {
+        results_dir().join(Self::FILE_NAME)
+    }
+
+    /// Loads a manifest; a missing file is an empty manifest.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than "not found", or a file that is not a valid
+    /// `mcdvfs/manifest-v1` document.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Self::default()),
+            Err(e) => return Err(e),
+        };
+        Self::from_text(&text).map_err(io::Error::other)
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or schema problem.
+    pub fn from_text(text: &str) -> std::result::Result<Self, String> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(Self::SCHEMA) => {}
+            other => return Err(format!("unsupported manifest schema {other:?}")),
+        }
+        let mut artifacts = Vec::new();
+        for item in doc.get("artifacts").and_then(Json::as_arr).unwrap_or(&[]) {
+            artifacts.push(ArtifactEntry::from_json(item)?);
+        }
+        artifacts.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Self { artifacts })
+    }
+
+    /// Record for `path` (a results-relative file name), if any.
+    #[must_use]
+    pub fn entry(&self, path: &str) -> Option<&ArtifactEntry> {
+        self.artifacts.iter().find(|a| a.path == path)
+    }
+
+    /// Inserts or replaces the record for `entry.path`, keeping the list
+    /// sorted by path.
+    pub fn upsert(&mut self, entry: ArtifactEntry) {
+        match self.artifacts.binary_search_by(|a| a.path.cmp(&entry.path)) {
+            Ok(i) => self.artifacts[i] = entry,
+            Err(i) => self.artifacts.insert(i, entry),
+        }
+    }
+
+    /// Serializes to the on-disk document.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(Self::SCHEMA.to_string())),
+            (
+                "artifacts".to_string(),
+                Json::Arr(self.artifacts.iter().map(ArtifactEntry::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Writes the manifest, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Cross-checks the manifest against the artifacts in `dir`.
+    ///
+    /// Reported problems: a `*.csv` in `dir` with no manifest entry, an
+    /// entry whose file is missing, and an entry whose checksum or size no
+    /// longer matches the file. An empty return means the manifest covers
+    /// the directory exactly.
+    #[must_use]
+    pub fn validate(&self, dir: &Path) -> Vec<String> {
+        let mut problems = Vec::new();
+        for entry in &self.artifacts {
+            let file = dir.join(&entry.path);
+            match std::fs::read(&file) {
+                Err(_) => problems.push(format!("{}: recorded but missing on disk", entry.path)),
+                Ok(bytes) => {
+                    if checksum_string(&bytes) != entry.checksum {
+                        problems.push(format!(
+                            "{}: checksum mismatch (recorded {}, found {})",
+                            entry.path,
+                            entry.checksum,
+                            checksum_string(&bytes)
+                        ));
+                    } else if bytes.len() as u64 != entry.bytes {
+                        problems.push(format!(
+                            "{}: size mismatch (recorded {}, found {})",
+                            entry.path,
+                            entry.bytes,
+                            bytes.len()
+                        ));
+                    }
+                }
+            }
+        }
+        let mut csvs: Vec<String> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .filter(|name| name.ends_with(".csv"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        csvs.sort();
+        for name in csvs {
+            if self.entry(&name).is_none() {
+                problems.push(format!(
+                    "{name}: present in results but not in the manifest"
+                ));
+            }
+        }
+        problems
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// Environment variable that turns figure-binary profiling on (any value
+/// but `0`). `run_all_figures --profile` sets it for every child.
+pub const PROFILE_ENV: &str = "MCDVFS_PROFILE";
+
+/// Per-binary provenance and profiling harness.
+///
+/// Construct one at the top of a figure binary, [`note`](Self::note) the
+/// run configuration, route every output through
+/// [`emit_artifact`](Self::emit_artifact) /
+/// [`record_file`](Self::record_file), and call
+/// [`finish`](Self::finish) last (prints the phase summary when profiling
+/// is on).
+#[derive(Debug)]
+pub struct Harness {
+    producer: String,
+    profiler: Arc<Profiler>,
+    config: BTreeMap<String, String>,
+    threads: usize,
+}
+
+impl Harness {
+    /// A harness for the named producing binary. Profiling is enabled
+    /// when [`PROFILE_ENV`] is set (to anything but `0`).
+    #[must_use]
+    pub fn new(producer: &str) -> Self {
+        let on = std::env::var(PROFILE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+        Self {
+            producer: producer.to_string(),
+            profiler: Arc::new(if on {
+                Profiler::enabled()
+            } else {
+                Profiler::disabled()
+            }),
+            config: BTreeMap::new(),
+            threads: CharacterizationGrid::default_threads(),
+        }
+    }
+
+    /// The harness profiler — attach it to a
+    /// [`SweepEngine`](mcdvfs_core::SweepEngine) or open spans on it
+    /// directly.
+    #[must_use]
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// Records one configuration note carried into every artifact entry
+    /// this harness writes ("grid" = "coarse-70", "budgets" =
+    /// "1.0,1.3,1.6", …).
+    pub fn note(&mut self, key: &str, value: impl Display) {
+        self.config.insert(key.to_string(), value.to_string());
+    }
+
+    /// Prints `table` and mirrors it to `results/<name>.csv` (exactly like
+    /// [`emit`](crate::emit)), then records the artifact in the manifest.
+    pub fn emit_artifact(&self, table: &Table, name: &str) {
+        println!("{}", table.to_text());
+        let dir = results_dir();
+        let file = format!("{name}.csv");
+        let path = dir.join(&file);
+        let csv = table.to_csv();
+        let write = || -> io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, &csv)
+        };
+        match write() {
+            Ok(()) => {
+                println!("[csv written to {}]", path.display());
+                self.record(&file, csv.as_bytes());
+            }
+            Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
+        }
+        println!();
+    }
+
+    /// Records an already-written artifact (JSONL ledgers, bench JSON, …)
+    /// in the manifest. `path` must live inside the results directory.
+    pub fn record_file(&self, path: &Path) {
+        let Some(file) = path.file_name().and_then(|n| n.to_str()) else {
+            eprintln!(
+                "[warning: cannot record unnamed artifact {}]",
+                path.display()
+            );
+            return;
+        };
+        match std::fs::read(path) {
+            Ok(bytes) => self.record(file, &bytes),
+            Err(e) => eprintln!("[warning: could not record {}: {e}]", path.display()),
+        }
+    }
+
+    fn record(&self, file: &str, bytes: &[u8]) {
+        let entry = ArtifactEntry {
+            path: file.to_string(),
+            bytes: bytes.len() as u64,
+            checksum: checksum_string(bytes),
+            producer: self.producer.clone(),
+            threads: self.threads,
+            config: self.config.clone(),
+            phases: self.profiler.phase_totals(),
+        };
+        let manifest_path = Manifest::default_path();
+        let result = Manifest::load(&manifest_path).and_then(|mut m| {
+            m.upsert(entry);
+            m.write(&manifest_path)
+        });
+        if let Err(e) = result {
+            eprintln!(
+                "[warning: could not update {}: {e}]",
+                manifest_path.display()
+            );
+        }
+    }
+
+    /// Prints the per-phase profile summary when profiling is on. Call
+    /// once, after the last artifact.
+    pub fn finish(&self) {
+        if self.profiler.is_enabled() {
+            println!("--- profile: {} ---", self.producer);
+            print!("{}", self.profiler.render_summary());
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(checksum_string(b""), "fnv1a64:cbf29ce484222325");
+    }
+
+    #[test]
+    fn json_round_trips_the_manifest_shapes() {
+        let text = r#"{"schema": "x", "artifacts": [{"path": "a.csv", "bytes": 12,
+            "nested": {"k": [1, 2.5, -3e2, true, false, null]},
+            "esc": "line\nbreak \"quoted\" A"}]}"#;
+        let doc = Json::parse(text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("x"));
+        let entry = &doc.get("artifacts").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(entry.get("bytes").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(
+            entry.get("esc").and_then(Json::as_str),
+            Some("line\nbreak \"quoted\" A")
+        );
+        // Render → parse is the identity on the value.
+        let rendered = doc.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "\"open", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn manifest_upserts_sorted_and_round_trips() {
+        let entry = |path: &str, producer: &str| ArtifactEntry {
+            path: path.to_string(),
+            bytes: 3,
+            checksum: checksum_string(b"abc"),
+            producer: producer.to_string(),
+            threads: 4,
+            config: BTreeMap::from([("grid".to_string(), "coarse-70".to_string())]),
+            phases: vec![PhaseTotal {
+                path: "sweep".to_string(),
+                depth: 0,
+                wall_ns: 123,
+                count: 1,
+            }],
+        };
+        let mut m = Manifest::default();
+        m.upsert(entry("b.csv", "bin_b"));
+        m.upsert(entry("a.csv", "bin_a"));
+        m.upsert(entry("b.csv", "bin_b2"));
+        assert_eq!(m.artifacts.len(), 2);
+        assert_eq!(m.artifacts[0].path, "a.csv");
+        assert_eq!(m.entry("b.csv").unwrap().producer, "bin_b2");
+
+        let parsed = Manifest::from_text(&m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.entry("a.csv").unwrap().phases[0].wall_ns, 123);
+        assert_eq!(
+            parsed.entry("a.csv").unwrap().config.get("grid").unwrap(),
+            "coarse-70"
+        );
+    }
+
+    #[test]
+    fn manifest_rejects_unknown_schema() {
+        assert!(Manifest::from_text(r#"{"schema": "other", "artifacts": []}"#).is_err());
+    }
+
+    #[test]
+    fn validate_reports_uncovered_missing_and_drifted() {
+        let dir = std::env::temp_dir().join(format!("mcdvfs_manifest_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("covered.csv"), b"x,y\n1,2\n").unwrap();
+        std::fs::write(dir.join("orphan.csv"), b"a\n").unwrap();
+        std::fs::write(dir.join("drifted.csv"), b"new contents\n").unwrap();
+
+        let entry = |path: &str, bytes: &[u8]| ArtifactEntry {
+            path: path.to_string(),
+            bytes: bytes.len() as u64,
+            checksum: checksum_string(bytes),
+            producer: "test".to_string(),
+            threads: 1,
+            config: BTreeMap::new(),
+            phases: Vec::new(),
+        };
+        let mut m = Manifest::default();
+        m.upsert(entry("covered.csv", b"x,y\n1,2\n"));
+        m.upsert(entry("drifted.csv", b"old contents\n"));
+        m.upsert(entry("gone.csv", b"whatever"));
+
+        let problems = m.validate(&dir);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("orphan.csv")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("drifted.csv") && p.contains("checksum")));
+        assert!(problems.iter().any(|p| p.contains("gone.csv")));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! The workspace builds offline, so the Criterion dependency was replaced
 //! with this minimal runner: each bench warms up briefly, sizes an
-//! iteration batch to the measurement window, and reports min/mean/max
-//! per-iteration time. The `benches/*.rs` targets declare
+//! iteration batch to the measurement window, folds every batch's
+//! per-iteration time into an observability [`Histogram`], and reports
+//! min/mean/p50/p95/max. The `benches/*.rs` targets declare
 //! `harness = false` and drive it from a plain `main`.
 //!
 //! # Examples
@@ -12,11 +13,44 @@
 //! use mcdvfs_bench::quickbench::QuickBench;
 //!
 //! let qb = QuickBench::smoke(); // tiny windows, for tests/doctests
-//! qb.bench("noop", || std::hint::black_box(1 + 1));
+//! let stats = qb.bench("noop", || std::hint::black_box(1 + 1));
+//! assert!(stats.p50 <= stats.max);
 //! ```
 
+use mcdvfs_obs::{duration_edges_ns, Histogram};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Per-iteration timing statistics for one benchmarked kernel.
+///
+/// Mean and max are exact over the batch samples; the percentiles are
+/// interpolated from the half-decade duration histogram the samples were
+/// folded into ([`duration_edges_ns`]), clamped to the observed range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchStats {
+    /// Mean per-iteration time across all measurement batches.
+    pub mean: Duration,
+    /// Median per-iteration time.
+    pub p50: Duration,
+    /// 95th-percentile per-iteration time — the tail the mean hides.
+    pub p95: Duration,
+    /// Slowest batch's per-iteration time.
+    pub max: Duration,
+}
+
+impl BenchStats {
+    /// Condenses a per-iteration duration histogram; `None` when empty.
+    #[must_use]
+    pub fn from_histogram(hist: &Histogram) -> Option<Self> {
+        let ns = |v: f64| Duration::from_nanos(v.max(0.0).round() as u64);
+        Some(Self {
+            mean: ns(hist.mean()?),
+            p50: ns(hist.percentile(0.5)?),
+            p95: ns(hist.percentile(0.95)?),
+            max: ns(hist.max_value()?),
+        })
+    }
+}
 
 /// Wall-clock bench runner with fixed warm-up and measurement windows.
 #[derive(Debug, Clone)]
@@ -52,9 +86,9 @@ impl QuickBench {
 
     /// Runs `f` repeatedly and prints per-iteration statistics.
     ///
-    /// Returns the mean per-iteration time so callers (and tests) can make
-    /// assertions about it.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
+    /// Returns the full [`BenchStats`] so callers (and tests) can make
+    /// assertions about the distribution, not just the mean.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> BenchStats {
         // Warm-up, also yielding a first per-iteration estimate.
         let warm_start = Instant::now();
         let mut warm_iters: u32 = 0;
@@ -68,27 +102,27 @@ impl QuickBench {
         let per_batch = (self.measure.as_nanos() / 20).max(1);
         let batch: u32 = (per_batch / est.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
 
-        let mut samples: Vec<Duration> = Vec::new();
+        let mut hist = Histogram::new(duration_edges_ns());
+        let mut batches: u64 = 0;
         let run_start = Instant::now();
-        while run_start.elapsed() < self.measure || samples.is_empty() {
+        while run_start.elapsed() < self.measure || batches == 0 {
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            samples.push(t0.elapsed() / batch);
+            hist.add((t0.elapsed() / batch).as_nanos() as f64);
+            batches += 1;
         }
 
-        let min = samples.iter().min().copied().unwrap_or_default();
-        let max = samples.iter().max().copied().unwrap_or_default();
-        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let stats = BenchStats::from_histogram(&hist).expect("at least one batch ran");
         println!(
-            "{name:<44} min {:>12}  mean {:>12}  max {:>12}  ({} batches x {batch} iters)",
-            fmt_duration(min),
-            fmt_duration(mean),
-            fmt_duration(max),
-            samples.len(),
+            "{name:<44} mean {:>11}  p50 {:>11}  p95 {:>11}  max {:>11}  ({batches} batches x {batch} iters)",
+            fmt_duration(stats.mean),
+            fmt_duration(stats.p50),
+            fmt_duration(stats.p95),
+            fmt_duration(stats.max),
         );
-        mean
+        stats
     }
 }
 
@@ -97,17 +131,17 @@ impl QuickBench {
 pub struct Comparison {
     /// What is being compared (e.g. `optimal_series/fine`).
     pub name: String,
-    /// Mean per-iteration time of the reference implementation.
-    pub baseline: Duration,
-    /// Mean per-iteration time of the optimized implementation.
-    pub optimized: Duration,
+    /// Per-iteration statistics of the reference implementation.
+    pub baseline: BenchStats,
+    /// Per-iteration statistics of the optimized implementation.
+    pub optimized: BenchStats,
 }
 
 impl Comparison {
-    /// Baseline time divided by optimized time (`> 1` = faster).
+    /// Baseline mean divided by optimized mean (`> 1` = faster).
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        self.baseline.as_secs_f64() / self.optimized.as_secs_f64()
+        self.baseline.mean.as_secs_f64() / self.optimized.mean.as_secs_f64()
     }
 }
 
@@ -117,13 +151,13 @@ impl Comparison {
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
     schema: String,
-    entries: Vec<(String, Duration)>,
+    entries: Vec<(String, BenchStats)>,
     comparisons: Vec<Comparison>,
 }
 
 impl BenchReport {
     /// Creates an empty report tagged with `schema`
-    /// (e.g. `mcdvfs-bench/sweep-v1`).
+    /// (e.g. `mcdvfs-bench/sweep-v2`).
     #[must_use]
     pub fn new(schema: &str) -> Self {
         Self {
@@ -134,12 +168,12 @@ impl BenchReport {
     }
 
     /// Records a standalone timing.
-    pub fn entry(&mut self, name: &str, mean: Duration) {
-        self.entries.push((name.to_string(), mean));
+    pub fn entry(&mut self, name: &str, stats: BenchStats) {
+        self.entries.push((name.to_string(), stats));
     }
 
     /// Records a baseline-vs-optimized pair and prints the speedup.
-    pub fn compare(&mut self, name: &str, baseline: Duration, optimized: Duration) {
+    pub fn compare(&mut self, name: &str, baseline: BenchStats, optimized: BenchStats) {
         let c = Comparison {
             name: name.to_string(),
             baseline,
@@ -149,8 +183,8 @@ impl BenchReport {
             "{:<44} {:>6.2}x  ({} -> {})",
             format!("speedup/{name}"),
             c.speedup(),
-            fmt_duration(baseline),
-            fmt_duration(optimized),
+            fmt_duration(baseline.mean),
+            fmt_duration(optimized.mean),
         );
         self.comparisons.push(c);
     }
@@ -165,15 +199,24 @@ impl BenchReport {
     /// without serde).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let stats_json = |s: &BenchStats| {
+            format!(
+                "{{\"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}",
+                s.mean.as_nanos(),
+                s.p50.as_nanos(),
+                s.p95.as_nanos(),
+                s.max.as_nanos()
+            )
+        };
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema\": \"{}\",\n", escape(&self.schema)));
         out.push_str("  \"entries\": [\n");
-        for (i, (name, mean)) in self.entries.iter().enumerate() {
+        for (i, (name, stats)) in self.entries.iter().enumerate() {
             let sep = if i + 1 < self.entries.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"mean_ns\": {}}}{sep}\n",
+                "    {{\"name\": \"{}\", \"stats\": {}}}{sep}\n",
                 escape(name),
-                mean.as_nanos()
+                stats_json(stats)
             ));
         }
         out.push_str("  ],\n  \"comparisons\": [\n");
@@ -184,11 +227,11 @@ impl BenchReport {
                 ""
             };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"baseline_ns\": {}, \"optimized_ns\": {}, \
+                "    {{\"name\": \"{}\", \"baseline\": {}, \"optimized\": {}, \
                  \"speedup\": {:.3}}}{sep}\n",
                 escape(&c.name),
-                c.baseline.as_nanos(),
-                c.optimized.as_nanos(),
+                stats_json(&c.baseline),
+                stats_json(&c.optimized),
                 c.speedup()
             ));
         }
@@ -231,28 +274,66 @@ fn fmt_duration(d: Duration) -> String {
 mod tests {
     use super::*;
 
+    fn stats(mean_ns: u64) -> BenchStats {
+        let d = Duration::from_nanos(mean_ns);
+        BenchStats {
+            mean: d,
+            p50: d,
+            p95: d,
+            max: d,
+        }
+    }
+
     #[test]
-    fn bench_returns_positive_mean() {
+    fn bench_returns_ordered_stats() {
         let qb = QuickBench::smoke();
-        let mean = qb.bench("spin", || {
+        let s = qb.bench("spin", || {
             let mut acc = 0u64;
             for i in 0..std::hint::black_box(100u64) {
                 acc = acc.wrapping_add(i * i);
             }
             std::hint::black_box(acc)
         });
-        assert!(mean > Duration::ZERO);
+        assert!(s.mean > Duration::ZERO);
+        assert!(s.p50 <= s.max);
+        assert!(s.p95 <= s.max);
+        assert!(s.mean <= s.max);
+    }
+
+    #[test]
+    fn stats_from_histogram_summarize_the_distribution() {
+        let mut h = Histogram::new(duration_edges_ns());
+        for _ in 0..95 {
+            h.add(1_000.0);
+        }
+        for _ in 0..5 {
+            h.add(2_000_000.0);
+        }
+        let s = BenchStats::from_histogram(&h).expect("non-empty");
+        assert_eq!(s.max, Duration::from_nanos(2_000_000));
+        assert!(s.p50 < s.p95);
+        assert!(s.p95 <= s.max);
+        assert!(s.mean > s.p50, "the tail should drag the mean up");
+    }
+
+    #[test]
+    fn stats_from_empty_histogram_is_none() {
+        let h = Histogram::new(duration_edges_ns());
+        assert!(BenchStats::from_histogram(&h).is_none());
     }
 
     #[test]
     fn report_serializes_entries_and_comparisons() {
         let mut r = BenchReport::new("mcdvfs-bench/test-v1");
-        r.entry("alpha", Duration::from_nanos(1500));
-        r.compare("beta", Duration::from_micros(10), Duration::from_micros(2));
+        r.entry("alpha", stats(1500));
+        r.compare("beta", stats(10_000), stats(2_000));
         let json = r.to_json();
         assert!(json.contains("\"schema\": \"mcdvfs-bench/test-v1\""));
-        assert!(json.contains("\"name\": \"alpha\", \"mean_ns\": 1500"));
-        assert!(json.contains("\"baseline_ns\": 10000, \"optimized_ns\": 2000"));
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(json.contains("\"mean_ns\": 1500"));
+        assert!(json.contains("\"p95_ns\": 1500"));
+        assert!(json.contains("\"baseline\": {\"mean_ns\": 10000"));
+        assert!(json.contains("\"optimized\": {\"mean_ns\": 2000"));
         assert!(json.contains("\"speedup\": 5.000"));
         assert_eq!(r.comparisons().len(), 1);
         assert!((r.comparisons()[0].speedup() - 5.0).abs() < 1e-9);
@@ -261,7 +342,7 @@ mod tests {
     #[test]
     fn report_escapes_quotes_in_names() {
         let mut r = BenchReport::new("s");
-        r.entry("has \"quotes\"", Duration::from_nanos(1));
+        r.entry("has \"quotes\"", stats(1));
         assert!(r.to_json().contains("has \\\"quotes\\\""));
     }
 

@@ -21,40 +21,111 @@ use crate::inefficiency::InefficiencyBudget;
 use crate::optimal::{OptimalChoice, OptimalFinder};
 use crate::runner::{GovernedRun, RunReport};
 use crate::stable::{stable_regions, StableRegion};
+use mcdvfs_obs::{count_edges, MetricSet, Profiler, SpanId};
 use mcdvfs_sim::{CharacterizationGrid, System};
 use mcdvfs_types::{Error, FrequencyGrid, Result};
 use mcdvfs_workloads::SampleTrace;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Runs `f` over every job on up to `threads` scoped workers, returning
 /// results in job order.
 ///
 /// Jobs are split into contiguous chunks (one per worker), so the output
 /// order — and therefore everything derived from it — is independent of
-/// the thread count. With one thread (or one job) no threads are spawned.
+/// the thread count. `threads == 0` clamps to one worker; with one thread,
+/// one job, or no jobs at all, no scope is spawned.
 ///
 /// # Panics
 ///
-/// Panics when `threads` is zero, or when a worker panics.
+/// Panics when a worker panics.
 pub fn fan_out<T, R>(jobs: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R>
 where
     T: Sync,
     R: Send,
 {
-    assert!(threads >= 1, "fan_out needs at least one worker");
-    if threads == 1 || jobs.len() <= 1 {
-        return jobs.iter().map(f).collect();
+    fan_out_profiled(jobs, threads, Profiler::noop(), 0, "fan_out", |j, _| f(j))
+}
+
+/// [`fan_out`] with phase spans and per-worker metrics flowing into
+/// `profiler`.
+///
+/// Opens one `label` span under `parent` (`0` for a root), gives every
+/// worker a `worker` child span and a *private* [`MetricSet`] — `f` may
+/// observe into it freely without contending with other workers — and
+/// merges the per-worker sets into the profiler in worker order after the
+/// scoped joins. On top of whatever `f` records, each worker contributes
+/// `{label}.jobs` (counter), `{label}.worker_jobs` (count histogram whose
+/// [`imbalance`](MetricSet::imbalance) is the queue-balance signal) and
+/// `{label}.worker_busy_ns` (duration histogram).
+///
+/// Results are bit-identical to [`fan_out`]: the instrumentation never
+/// touches job results, and a disabled profiler reduces every hook to a
+/// branch.
+///
+/// # Panics
+///
+/// Panics when a worker panics.
+pub fn fan_out_profiled<T, R>(
+    jobs: &[T],
+    threads: usize,
+    profiler: &Profiler,
+    parent: SpanId,
+    label: &'static str,
+    f: impl Fn(&T, &mut MetricSet) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.max(1);
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let phase = profiler.span_under(parent, label);
+    let phase_id = phase.id();
+    let run_chunk = |part: &[T], metrics: &mut MetricSet| -> Vec<R> {
+        let started = profiler.is_enabled().then(Instant::now);
+        let out: Vec<R> = part.iter().map(|j| f(j, metrics)).collect();
+        if let Some(t0) = started {
+            metrics.incr(&format!("{label}.jobs"), part.len() as u64);
+            metrics.observe(
+                &format!("{label}.worker_jobs"),
+                part.len() as f64,
+                count_edges,
+            );
+            metrics.observe_duration_ns(
+                &format!("{label}.worker_busy_ns"),
+                t0.elapsed().as_nanos() as f64,
+            );
+        }
+        out
+    };
+    if threads == 1 || jobs.len() == 1 {
+        let mut metrics = MetricSet::new();
+        let out = run_chunk(jobs, &mut metrics);
+        profiler.absorb(metrics);
+        return out;
     }
     let chunk = jobs.len().div_ceil(threads.min(jobs.len()));
     let mut out = Vec::with_capacity(jobs.len());
     std::thread::scope(|scope| {
-        let f = &f;
+        let run_chunk = &run_chunk;
         let handles: Vec<_> = jobs
             .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                scope.spawn(move || {
+                    let _worker = profiler.span_under(phase_id, "worker");
+                    let mut metrics = MetricSet::new();
+                    let rows = run_chunk(c, &mut metrics);
+                    (rows, metrics)
+                })
+            })
             .collect();
         for h in handles {
-            out.extend(h.join().expect("sweep worker panicked"));
+            let (rows, metrics) = h.join().expect("sweep worker panicked");
+            out.extend(rows);
+            profiler.absorb(metrics);
         }
     });
     out
@@ -124,6 +195,7 @@ impl SweepOutcome {
 pub struct SweepEngine {
     data: Arc<CharacterizationGrid>,
     threads: usize,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl SweepEngine {
@@ -142,7 +214,26 @@ impl SweepEngine {
     #[must_use]
     pub fn with_threads(data: Arc<CharacterizationGrid>, threads: usize) -> Self {
         assert!(threads >= 1, "sweep engine needs at least one worker");
-        Self { data, threads }
+        Self {
+            data,
+            threads,
+            profiler: None,
+        }
+    }
+
+    /// Attaches a profiler: every sweep method records phase spans,
+    /// per-worker sample counts and queue-imbalance histograms into it.
+    /// Outputs stay bit-identical — the profiler only observes.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The attached profiler, or the process-wide no-op one.
+    #[must_use]
+    pub fn profiler(&self) -> &Profiler {
+        self.profiler.as_deref().unwrap_or(Profiler::noop())
     }
 
     /// Characterizes `trace` on `grid` (parallel, auto-sized) and wraps
@@ -171,7 +262,22 @@ impl SweepEngine {
     /// (the tie-break ablation sweeps tolerance at fixed budgets).
     #[must_use]
     pub fn optimal_sweep(&self, finders: &[OptimalFinder]) -> Vec<Vec<OptimalChoice>> {
-        fan_out(finders, self.threads, |f| f.series(&self.data))
+        self.optimal_under(0, finders)
+    }
+
+    /// [`Self::optimal_sweep`] with the phase span parented under
+    /// `parent`, so callers that already opened a root span (`sweep`,
+    /// `governed_reports`) nest the optimal phase inside it.
+    fn optimal_under(&self, parent: SpanId, finders: &[OptimalFinder]) -> Vec<Vec<OptimalChoice>> {
+        let p = self.profiler();
+        fan_out_profiled(finders, self.threads, p, parent, "optimal", |f, m| {
+            let t0 = p.is_enabled().then(Instant::now);
+            let series = f.series(&self.data);
+            if let Some(t0) = t0 {
+                m.observe_duration_ns("optimal.series_ns", t0.elapsed().as_nanos() as f64);
+            }
+            series
+        })
     }
 
     /// Derives optimal series, clusters and stable regions at every
@@ -201,29 +307,45 @@ impl SweepEngine {
                 });
             }
         }
+        let p = self.profiler();
+        let root = p.span("sweep");
         let finders: Vec<OptimalFinder> = budgets.iter().map(|&b| OptimalFinder::new(b)).collect();
         let optimal: Vec<Arc<Vec<OptimalChoice>>> = self
-            .optimal_sweep(&finders)
+            .optimal_under(root.id(), &finders)
             .into_iter()
             .map(Arc::new)
             .collect();
         let jobs: Vec<(usize, f64)> = (0..budgets.len())
             .flat_map(|bi| thresholds.iter().map(move |&thr| (bi, thr)))
             .collect();
-        Ok(fan_out(&jobs, self.threads, |&(bi, thr)| {
-            let clusters = cluster_series_with_optimal(&self.data, &finders[bi], &optimal[bi], thr)
-                .expect("thresholds validated above");
-            let regions = stable_regions(&clusters);
-            SweepOutcome {
-                point: SweepPoint {
-                    budget: budgets[bi],
-                    threshold: thr,
-                },
-                optimal: Arc::clone(&optimal[bi]),
-                clusters,
-                regions,
-            }
-        }))
+        Ok(fan_out_profiled(
+            &jobs,
+            self.threads,
+            p,
+            root.id(),
+            "points",
+            |&(bi, thr), m| {
+                let t0 = p.is_enabled().then(Instant::now);
+                let clusters =
+                    cluster_series_with_optimal(&self.data, &finders[bi], &optimal[bi], thr)
+                        .expect("thresholds validated above");
+                let t1 = p.is_enabled().then(Instant::now);
+                let regions = stable_regions(&clusters);
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    m.observe_duration_ns("points.cluster_ns", (t1 - t0).as_nanos() as f64);
+                    m.observe_duration_ns("points.regions_ns", t1.elapsed().as_nanos() as f64);
+                }
+                SweepOutcome {
+                    point: SweepPoint {
+                        budget: budgets[bi],
+                        threshold: thr,
+                    },
+                    optimal: Arc::clone(&optimal[bi]),
+                    clusters,
+                    regions,
+                }
+            },
+        ))
     }
 
     /// Governed oracle-optimal runs for each budget, in input order,
@@ -247,18 +369,32 @@ impl SweepEngine {
         trace: &SampleTrace,
         budgets: &[InefficiencyBudget],
     ) -> Vec<RunReport> {
+        let p = self.profiler();
+        let root = p.span("governed_reports");
         let finders: Vec<OptimalFinder> = budgets.iter().map(|&b| OptimalFinder::new(b)).collect();
-        let plans = self.optimal_sweep(&finders);
+        let plans = self.optimal_under(root.id(), &finders);
         let jobs: Vec<(InefficiencyBudget, Vec<OptimalChoice>)> =
             budgets.iter().copied().zip(plans).collect();
-        fan_out(&jobs, self.threads, |(budget, plan)| {
-            let mut governor = PlanGovernor {
-                name: format!("oracle-optimal({budget})"),
-                plan,
-                n_settings: self.data.n_settings(),
-            };
-            runner.execute(&self.data, trace, &mut governor)
-        })
+        fan_out_profiled(
+            &jobs,
+            self.threads,
+            p,
+            root.id(),
+            "runs",
+            |(budget, plan), m| {
+                let t0 = p.is_enabled().then(Instant::now);
+                let mut governor = PlanGovernor {
+                    name: format!("oracle-optimal({budget})"),
+                    plan,
+                    n_settings: self.data.n_settings(),
+                };
+                let report = runner.execute(&self.data, trace, &mut governor);
+                if let Some(t0) = t0 {
+                    m.observe_duration_ns("runs.execute_ns", t0.elapsed().as_nanos() as f64);
+                }
+                report
+            },
+        )
     }
 }
 
@@ -288,6 +424,7 @@ mod tests {
     use super::*;
     use crate::clusters::cluster_series;
     use crate::governor::OracleOptimalGovernor;
+    use mcdvfs_obs::Histogram;
     use mcdvfs_workloads::Benchmark;
 
     fn engine(n: usize) -> (SweepEngine, SampleTrace) {
@@ -311,13 +448,54 @@ mod tests {
         for threads in [1, 2, 3, 8, 64] {
             assert_eq!(fan_out(&jobs, threads, |&j| j * j), expect, "{threads}");
         }
-        assert!(fan_out(&Vec::<usize>::new(), 4, |&j: &usize| j).is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn fan_out_rejects_zero_threads() {
-        let _ = fan_out(&[1], 0, |&j: &i32| j);
+    fn fan_out_clamps_zero_threads_to_one() {
+        assert_eq!(fan_out(&[1, 2, 3], 0, |&j: &i32| j * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fan_out_on_empty_jobs_spawns_nothing() {
+        // Empty input short-circuits before any scope (or span) exists —
+        // even at a width that would otherwise chunk by zero.
+        let p = Profiler::enabled();
+        let out = fan_out_profiled(&Vec::<usize>::new(), 8, &p, 0, "empty", |&j, _| j);
+        assert!(out.is_empty());
+        assert!(p.spans().is_empty(), "no phase span for an empty fan-out");
+        assert!(p.metrics().is_empty());
+        assert!(fan_out(&Vec::<usize>::new(), 0, |&j: &usize| j).is_empty());
+    }
+
+    #[test]
+    fn fan_out_profiled_matches_fan_out_and_aggregates_workers() {
+        let jobs: Vec<u64> = (0..17).collect();
+        let expect = fan_out(&jobs, 4, |&j| j + 1);
+        let p = Profiler::enabled();
+        let got = fan_out_profiled(&jobs, 4, &p, 0, "grid", |&j, m| {
+            m.incr("grid.touched", 1);
+            j + 1
+        });
+        assert_eq!(got, expect);
+
+        let spans = p.spans();
+        let phase = spans.iter().find(|s| s.name == "grid").expect("phase span");
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 4, "17 jobs in chunks of 5 = 4 workers");
+        assert!(workers.iter().all(|w| w.parent == phase.id));
+
+        let m = p.metrics();
+        assert_eq!(m.counter("grid.touched"), 17, "per-job user metric");
+        assert_eq!(m.counter("grid.jobs"), 17);
+        let per_worker = m.histogram("grid.worker_jobs").expect("job histogram");
+        assert_eq!(per_worker.total(), 4);
+        assert_eq!(per_worker.min_value(), Some(2.0), "last chunk holds 2");
+        assert_eq!(per_worker.max_value(), Some(5.0));
+        assert!(m.imbalance("grid.worker_jobs").unwrap() > 1.0);
+        assert_eq!(
+            m.histogram("grid.worker_busy_ns").map(Histogram::total),
+            Some(4)
+        );
     }
 
     #[test]
@@ -388,6 +566,43 @@ mod tests {
                 assert_eq!(*got, want, "budget {b}");
             }
         }
+    }
+
+    #[test]
+    fn profiled_sweep_is_bit_identical_and_builds_the_phase_tree() {
+        let (e, _) = engine(20);
+        let budgets = [budget(1.0), budget(1.3)];
+        let thresholds = [0.01, 0.05];
+        let plain = e.sweep(&budgets, &thresholds).unwrap();
+
+        let profiler = Arc::new(Profiler::enabled());
+        let profiled = e
+            .clone()
+            .with_profiler(Arc::clone(&profiler))
+            .sweep(&budgets, &thresholds)
+            .unwrap();
+        assert_eq!(profiled, plain, "profiling must not change outcomes");
+
+        let paths: Vec<String> = profiler
+            .phase_totals()
+            .into_iter()
+            .map(|t| t.path)
+            .collect();
+        assert!(paths.contains(&"sweep".to_string()));
+        assert!(paths.contains(&"sweep/optimal".to_string()));
+        assert!(paths.contains(&"sweep/points".to_string()));
+
+        let m = profiler.metrics();
+        assert_eq!(m.counter("points.jobs"), 4);
+        assert_eq!(m.counter("optimal.jobs"), 2);
+        assert_eq!(
+            m.histogram("points.cluster_ns").map(Histogram::total),
+            Some(4)
+        );
+        assert_eq!(
+            m.histogram("points.regions_ns").map(Histogram::total),
+            Some(4)
+        );
     }
 
     #[test]

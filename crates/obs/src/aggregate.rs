@@ -2,7 +2,7 @@
 
 use crate::event::Event;
 use crate::ledger::RunLedger;
-use mcdvfs_types::{Joules, Seconds};
+use mcdvfs_types::{Error, Joules, Result, Seconds};
 
 /// Totals reconstructed by replaying a ledger, field-for-field comparable
 /// with the runner's report.
@@ -36,6 +36,10 @@ pub struct ReplayTotals {
     pub transition_energy: Joules,
     /// Budget-exceeded alerts seen.
     pub budget_alerts: u64,
+    /// Events the ledger evicted before replay — `0` on a complete
+    /// ledger. Non-zero means every other field only covers the retained
+    /// suffix of the run.
+    pub dropped: u64,
 }
 
 /// Per-domain transition counts (the paper's Figure 8 quantities).
@@ -81,13 +85,20 @@ impl SearchBreakdown {
 /// A fixed-edge histogram over `f64` samples.
 ///
 /// Bucket `i` counts values in `[edges[i], edges[i + 1])`; values below
-/// the first edge or at/above the last are counted separately.
+/// the first edge or at/above the last are counted separately. Alongside
+/// the buckets the histogram tracks the exact sum, minimum and maximum of
+/// everything observed, so [`mean`](Self::mean) is exact and
+/// [`percentile`](Self::percentile) estimates are clamped to the observed
+/// range even when a bucket saturates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    sum: f64,
+    min_seen: f64,
+    max_seen: f64,
 }
 
 impl Histogram {
@@ -110,11 +121,17 @@ impl Histogram {
             counts: vec![0; buckets],
             underflow: 0,
             overflow: 0,
+            sum: 0.0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
         }
     }
 
     /// Adds one observation.
     pub fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
         if value < self.edges[0] {
             self.underflow += 1;
         } else if value >= *self.edges.last().expect("at least two edges") {
@@ -155,17 +172,114 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum::<u64>() + self.underflow + self.overflow
     }
+
+    /// Smallest observed value; `None` when empty.
+    #[must_use]
+    pub fn min_value(&self) -> Option<f64> {
+        (self.total() > 0).then_some(self.min_seen)
+    }
+
+    /// Largest observed value; `None` when empty.
+    #[must_use]
+    pub fn max_value(&self) -> Option<f64> {
+        (self.total() > 0).then_some(self.max_seen)
+    }
+
+    /// Exact mean of every observation; `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.total();
+        (n > 0).then(|| self.sum / n as f64)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), interpolated linearly
+    /// within the containing bucket and clamped to the observed
+    /// `[min, max]` range. Returns `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        // 1-based rank of the requested observation.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = self.underflow;
+        if rank <= cum {
+            return Some(self.min_seen);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 && rank <= cum + c {
+                let lo = self.edges[i];
+                let hi = self.edges[i + 1];
+                let frac = (rank - cum) as f64 / c as f64;
+                let v = lo + (hi - lo) * frac;
+                return Some(v.clamp(self.min_seen, self.max_seen));
+            }
+            cum += c;
+        }
+        Some(self.max_seen)
+    }
+
+    /// Folds another histogram into this one: counts add bucket-wise and
+    /// the exact sum/min/max combine. This is the join-time aggregation
+    /// step for per-worker duration histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms were built over different edges.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "cannot merge histograms with different edges"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
 }
 
 impl RunLedger {
-    /// Replays every retained event into run totals.
+    /// Replays the retained events into run totals, refusing to pretend a
+    /// lossy ledger is the whole run.
     ///
     /// On a [complete](Self::is_complete) ledger the result matches the
-    /// originating run report exactly; with drops it only covers the
-    /// retained suffix.
+    /// originating run report exactly, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IncompleteLedger`] when the ring has evicted
+    /// events — the totals of the surviving suffix are still available
+    /// through [`replay_partial`](Self::replay_partial), which labels them
+    /// as partial instead of silently under-counting.
+    pub fn replay(&self) -> Result<ReplayTotals> {
+        if !self.is_complete() {
+            return Err(Error::IncompleteLedger {
+                dropped: self.dropped(),
+            });
+        }
+        Ok(self.replay_partial())
+    }
+
+    /// Replays every *retained* event into run totals, whether or not the
+    /// ledger dropped events. [`ReplayTotals::dropped`] carries the
+    /// eviction count so downstream consumers can see how much of the run
+    /// the totals cover.
     #[must_use]
-    pub fn replay(&self) -> ReplayTotals {
-        let mut t = ReplayTotals::default();
+    pub fn replay_partial(&self) -> ReplayTotals {
+        let mut t = ReplayTotals {
+            dropped: self.dropped(),
+            ..ReplayTotals::default()
+        };
         for e in self.events() {
             match *e {
                 Event::SampleExecuted { time, energy, .. } => {
@@ -352,7 +466,8 @@ mod tests {
         l.record(transition(0, 0.0, true, true));
         l.record(sample(0, 1.0, 4.0));
         l.record(sample(1, 2.0, 5.0));
-        let t = l.replay();
+        let t = l.replay().expect("complete ledger replays");
+        assert_eq!(t.dropped, 0);
         assert_eq!(t.samples, 2);
         assert_eq!(t.searches, 1);
         assert_eq!(t.transitions, 1);
@@ -367,6 +482,21 @@ mod tests {
             Joules::from_millis(4.0) + Joules::from_millis(5.0)
         );
         assert_eq!(t.budget_alerts, 0);
+    }
+
+    #[test]
+    fn lossy_ledger_refuses_exact_replay_but_offers_partial() {
+        let mut l = RunLedger::with_capacity(2);
+        for s in 0..5 {
+            l.record(sample(s, 1.0, 1.0));
+        }
+        match l.replay() {
+            Err(Error::IncompleteLedger { dropped }) => assert_eq!(dropped, 3),
+            other => panic!("expected IncompleteLedger, got {other:?}"),
+        }
+        let partial = l.replay_partial();
+        assert_eq!(partial.dropped, 3);
+        assert_eq!(partial.samples, 2, "only the retained suffix");
     }
 
     #[test]
@@ -436,6 +566,79 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn histogram_rejects_unsorted_edges() {
         let _ = Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::new(vec![0.0, 1.0, 2.0]);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(1.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min_value(), None);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_out_of_range_quantiles() {
+        let _ = Histogram::new(vec![0.0, 1.0]).percentile(1.5);
+    }
+
+    #[test]
+    fn single_bucket_saturation_stays_within_observed_range() {
+        // Every observation lands in one bucket: percentiles must
+        // interpolate inside it and never escape [min, max].
+        let mut h = Histogram::new(vec![0.0, 10.0]);
+        for _ in 0..1000 {
+            h.add(4.0);
+        }
+        h.add(4.5);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            let p = h.percentile(q).unwrap();
+            assert!((4.0..=4.5).contains(&p), "p{q} = {p} escaped [4.0, 4.5]");
+        }
+        assert_eq!(h.min_value(), Some(4.0));
+        assert_eq!(h.max_value(), Some(4.5));
+        let mean = h.mean().unwrap();
+        assert!((mean - (4.0 * 1000.0 + 4.5) / 1001.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_cover_under_and_overflow() {
+        let mut h = Histogram::new(vec![0.0, 1.0]);
+        h.add(-5.0); // underflow
+        h.add(0.5);
+        h.add(9.0); // overflow
+        assert_eq!(h.percentile(0.0), Some(-5.0), "p0 is the minimum");
+        assert_eq!(h.percentile(1.0), Some(9.0), "p100 is the maximum");
+        let mid = h.percentile(0.5).unwrap();
+        assert!((0.0..=1.0).contains(&mid));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_exact_statistics() {
+        let mut a = Histogram::new(vec![0.0, 1.0, 2.0]);
+        let mut b = Histogram::new(vec![0.0, 1.0, 2.0]);
+        a.add(0.5);
+        a.add(1.5);
+        b.add(0.25);
+        b.add(2.5); // overflow
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.min_value(), Some(0.25));
+        assert_eq!(a.max_value(), Some(2.5));
+        assert!((a.mean().unwrap() - (0.5 + 1.5 + 0.25 + 2.5) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different edges")]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = Histogram::new(vec![0.0, 1.0]);
+        a.merge(&Histogram::new(vec![0.0, 2.0]));
     }
 
     #[test]

@@ -24,7 +24,21 @@
 //! the *exact* `f64` quantities the runner accumulated, in the same order,
 //! so replaying a complete ledger reproduces the run report's totals
 //! bit-for-bit — any disagreement means instrumentation drifted from the
-//! accounting it observes.
+//! accounting it observes. A ledger that dropped events refuses the exact
+//! replay ([`Error::IncompleteLedger`](mcdvfs_types::Error)) instead of
+//! silently under-counting.
+//!
+//! Beyond per-run events, the crate carries the *pipeline* observability
+//! layer used by the analysis stack:
+//!
+//! * [`Span`]/[`TraceSink`]/[`TraceBuffer`] — hierarchical phase spans
+//!   with enter/exit timestamps, parent links and thread ids, gated
+//!   exactly like [`Recorder`];
+//! * [`MetricSet`] — single-owner counters, gauges and duration
+//!   [`Histogram`]s that worker threads build privately and the spawning
+//!   thread merges at join time (lock-free by ownership);
+//! * [`Profiler`] — the bundle instrumented code takes by reference, with
+//!   flame-style [phase summaries](Profiler::render_summary).
 //!
 //! # Examples
 //!
@@ -39,7 +53,7 @@
 //!     time: Seconds::from_millis(1.0),
 //!     energy: Joules::from_millis(4.0),
 //! });
-//! let totals = ledger.replay();
+//! let totals = ledger.replay().expect("complete ledger");
 //! assert_eq!(totals.samples, 1);
 //! assert_eq!(totals.work_time, Seconds::from_millis(1.0));
 //! ```
@@ -50,9 +64,15 @@
 mod aggregate;
 mod event;
 mod ledger;
+mod metrics;
+mod profiler;
 mod recorder;
+mod trace;
 
 pub use aggregate::{DomainTransitionCounts, Histogram, ReplayTotals, SearchBreakdown};
 pub use event::Event;
 pub use ledger::RunLedger;
+pub use metrics::{count_edges, duration_edges_ns, MetricSet};
+pub use profiler::{fmt_ns, phase_totals_of, PhaseTotal, Profiler};
 pub use recorder::{NullRecorder, Recorder};
+pub use trace::{thread_ordinal, NullTraceSink, Span, SpanId, SpanRecord, TraceBuffer, TraceSink};

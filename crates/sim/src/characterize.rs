@@ -16,8 +16,10 @@
 //! the matrix.
 
 use crate::system::System;
+use mcdvfs_obs::{count_edges, MetricSet, Profiler};
 use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement, Seconds};
 use mcdvfs_workloads::SampleTrace;
+use std::time::Instant;
 
 /// A complete measurement matrix for one workload on one platform grid.
 ///
@@ -96,8 +98,34 @@ impl CharacterizationGrid {
         grid: FrequencyGrid,
         threads: usize,
     ) -> Self {
+        Self::characterize_profiled(system, trace, grid, threads, Profiler::noop())
+    }
+
+    /// As [`Self::characterize_parallel`], with phase spans and per-worker
+    /// metrics flowing into `profiler`.
+    ///
+    /// The instrumentation is purely observational: each worker opens one
+    /// `characterize/worker` span and builds a private [`MetricSet`]
+    /// (rows simulated, busy nanoseconds) that the spawning thread merges
+    /// after the scoped joins, so the measurement arena — and everything
+    /// derived from it — is bit-identical with profiling on or off, at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `threads` is zero.
+    #[must_use]
+    pub fn characterize_profiled(
+        system: &System,
+        trace: &SampleTrace,
+        grid: FrequencyGrid,
+        threads: usize,
+        profiler: &Profiler,
+    ) -> Self {
         assert!(!trace.is_empty(), "cannot characterize an empty trace");
         assert!(threads > 0, "need at least one thread");
+        let phase = profiler.span("characterize");
+        let phase_id = phase.id();
         let settings: Vec<FreqSetting> = grid.settings().collect();
         let samples = trace.samples();
         let chunk = samples.len().div_ceil(threads);
@@ -109,20 +137,38 @@ impl CharacterizationGrid {
                 .map(|part| {
                     let settings = &settings;
                     scope.spawn(move || {
+                        let _worker = profiler.span_under(phase_id, "worker");
+                        let started = profiler.is_enabled().then(Instant::now);
                         let mut rows = Vec::with_capacity(part.len() * width);
                         for chars in part {
                             for &s in settings.iter() {
                                 rows.push(system.simulate_sample(chars, s));
                             }
                         }
-                        rows
+                        let mut metrics = MetricSet::new();
+                        if let Some(t0) = started {
+                            metrics.incr("characterize.samples", part.len() as u64);
+                            metrics.observe(
+                                "characterize.worker_rows",
+                                (part.len() * settings.len()) as f64,
+                                count_edges,
+                            );
+                            metrics.observe_duration_ns(
+                                "characterize.worker_busy_ns",
+                                t0.elapsed().as_nanos() as f64,
+                            );
+                        }
+                        (rows, metrics)
                     })
                 })
                 .collect();
             for handle in handles {
-                arena.extend(handle.join().expect("worker thread panicked"));
+                let (rows, metrics) = handle.join().expect("worker thread panicked");
+                arena.extend(rows);
+                profiler.absorb(metrics);
             }
         });
+        drop(phase);
         Self::from_arena(trace.name(), grid, width, arena)
     }
 

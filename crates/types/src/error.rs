@@ -32,6 +32,12 @@ pub enum Error {
         /// What was unexpectedly empty.
         what: &'static str,
     },
+    /// An event ledger lost events to ring-buffer eviction, so an exact
+    /// replay of its totals is impossible.
+    IncompleteLedger {
+        /// Number of events evicted from the ring.
+        dropped: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -45,6 +51,12 @@ impl fmt::Display for Error {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             Error::Empty { what } => write!(f, "{what} is empty"),
+            Error::IncompleteLedger { dropped } => {
+                write!(
+                    f,
+                    "ledger dropped {dropped} events; exact replay is impossible"
+                )
+            }
         }
     }
 }
@@ -69,6 +81,7 @@ mod tests {
                 reason: "must be >= 1".into(),
             },
             Error::Empty { what: "trace" },
+            Error::IncompleteLedger { dropped: 3 },
         ];
         for e in cases {
             let s = e.to_string();

@@ -1,0 +1,172 @@
+//! Tracing is purely observational: running the characterization → sweep
+//! pipeline with the profiler enabled must not change a single byte of
+//! any exported artifact, at any thread count. These tests pin that
+//! contract, exercise join-time metric aggregation across ≥4 workers,
+//! and round-trip a provenance manifest against files on disk.
+
+use mcdvfs_bench::{checksum_string, ArtifactEntry, Manifest};
+use mcdvfs_core::report::Table;
+use mcdvfs_core::sweep::fan_out_profiled;
+use mcdvfs_core::{InefficiencyBudget, SweepEngine};
+use mcdvfs_obs::Profiler;
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Benchmark;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const BUDGETS: [f64; 2] = [1.1, 1.3];
+const THRESHOLDS: [f64; 2] = [0.01, 0.05];
+
+/// Runs the full pipeline at `threads` workers under `profiler` and
+/// renders every result to bytes: a figure-style CSV plus an exhaustive
+/// `Debug` dump (shortest-round-trip floats, so any drift shows).
+fn pipeline_bytes(threads: usize, profiler: Option<&Arc<Profiler>>) -> (String, String) {
+    let system = System::galaxy_nexus_class();
+    let trace = Benchmark::Gobmk.trace();
+    let data = Arc::new(CharacterizationGrid::characterize_profiled(
+        &system,
+        &trace,
+        FrequencyGrid::coarse(),
+        threads,
+        profiler.map_or(Profiler::noop(), Arc::as_ref),
+    ));
+    let budgets: Vec<InefficiencyBudget> = BUDGETS
+        .iter()
+        .map(|&v| InefficiencyBudget::bounded(v).expect("valid budget"))
+        .collect();
+    let mut engine = SweepEngine::with_threads(Arc::clone(&data), threads);
+    if let Some(p) = profiler {
+        engine = engine.with_profiler(Arc::clone(p));
+    }
+    let outcomes = engine.sweep(&budgets, &THRESHOLDS).expect("valid sweep");
+
+    let mut table = Table::new(vec!["budget", "threshold", "clusters", "regions"]);
+    for outcome in &outcomes {
+        table.row(vec![
+            format!("{:?}", outcome.point.budget),
+            format!("{:?}", outcome.point.threshold),
+            outcome.clusters.len().to_string(),
+            outcome.regions.len().to_string(),
+        ]);
+    }
+
+    let mut dump = String::new();
+    for s in 0..data.n_samples() {
+        dump.push_str(&format!("{:?}\n", data.sample_row(s)));
+    }
+    for outcome in &outcomes {
+        dump.push_str(&format!(
+            "{:?} {:?} {:?}\n",
+            outcome.optimal, outcome.clusters, outcome.regions
+        ));
+    }
+    (table.to_csv(), dump)
+}
+
+#[test]
+fn profiling_changes_no_byte_at_any_thread_count() {
+    let (baseline_csv, baseline_dump) = pipeline_bytes(1, None);
+    for threads in [1, 4] {
+        for profiled in [false, true] {
+            let profiler = profiled.then(|| Arc::new(Profiler::enabled()));
+            let (csv, dump) = pipeline_bytes(threads, profiler.as_ref());
+            assert_eq!(
+                csv, baseline_csv,
+                "CSV drifted at threads={threads} profiled={profiled}"
+            );
+            assert_eq!(
+                dump, baseline_dump,
+                "raw results drifted at threads={threads} profiled={profiled}"
+            );
+            if let Some(p) = profiler {
+                let paths: Vec<String> = p.phase_totals().iter().map(|t| t.path.clone()).collect();
+                for expected in ["characterize", "sweep", "sweep/optimal", "sweep/points"] {
+                    assert!(
+                        paths.iter().any(|p| p == expected),
+                        "missing {expected} phase in {paths:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_profiler_records_nothing() {
+    let profiler = Arc::new(Profiler::disabled());
+    let _ = pipeline_bytes(2, Some(&profiler));
+    assert!(profiler.spans().is_empty());
+    assert!(profiler.phase_totals().is_empty());
+}
+
+#[test]
+fn fan_out_metrics_aggregate_across_four_workers() {
+    let profiler = Profiler::enabled();
+    let jobs: Vec<u64> = (0..16).collect();
+    let doubled = fan_out_profiled(&jobs, 4, &profiler, 0, "grid", |&j, metrics| {
+        metrics.incr("grid.touched", 1);
+        j * 2
+    });
+    assert_eq!(doubled, jobs.iter().map(|j| j * 2).collect::<Vec<_>>());
+
+    let metrics = profiler.metrics();
+    assert_eq!(metrics.counter("grid.touched"), 16);
+    assert_eq!(metrics.counter("grid.jobs"), 16);
+    let workers = metrics.histogram("grid.worker_jobs").expect("per-worker");
+    assert_eq!(workers.total(), 4, "one job-count observation per worker");
+    assert_eq!(workers.mean(), Some(4.0), "16 jobs over 4 workers");
+    let spans = profiler.spans();
+    let worker_spans = spans.iter().filter(|s| s.name == "worker").count();
+    assert_eq!(worker_spans, 4);
+    let phase = spans.iter().find(|s| s.name == "grid").expect("phase span");
+    assert!(spans
+        .iter()
+        .filter(|s| s.name == "worker")
+        .all(|s| s.parent == phase.id));
+}
+
+#[test]
+fn manifest_round_trips_and_validates_files_on_disk() {
+    let dir = std::env::temp_dir().join(format!("mcdvfs_manifest_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let body = b"sample,time\n0,1.5\n";
+    std::fs::write(dir.join("fig_test.csv"), body).expect("write artifact");
+
+    let mut manifest = Manifest::default();
+    manifest.upsert(ArtifactEntry {
+        path: "fig_test.csv".to_string(),
+        bytes: body.len() as u64,
+        checksum: checksum_string(body),
+        producer: "tracing_equivalence".to_string(),
+        threads: 1,
+        config: BTreeMap::from([("grid".to_string(), "coarse-70".to_string())]),
+        phases: Vec::new(),
+    });
+    assert!(
+        manifest.validate(&dir).is_empty(),
+        "fresh manifest must validate cleanly"
+    );
+
+    let reloaded = Manifest::from_text(&manifest.to_text()).expect("round trip");
+    assert_eq!(reloaded.artifacts.len(), 1);
+    assert_eq!(reloaded.artifacts[0], manifest.artifacts[0]);
+
+    // Drift the file; the checksum must catch it.
+    std::fs::write(dir.join("fig_test.csv"), b"sample,time\n0,9.9\n").expect("rewrite");
+    let problems = manifest.validate(&dir);
+    assert!(
+        problems.iter().any(|p| p.contains("checksum")),
+        "expected a checksum mismatch, got {problems:?}"
+    );
+
+    // An uncovered CSV is a manifest gap.
+    std::fs::write(dir.join("orphan.csv"), b"x\n").expect("write orphan");
+    let problems = manifest.validate(&dir);
+    assert!(
+        problems.iter().any(|p| p.contains("orphan.csv")),
+        "expected orphan coverage problem, got {problems:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
