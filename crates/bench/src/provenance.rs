@@ -19,8 +19,10 @@
 //! [`Manifest::validate`] to fail the suite when any `results/*.csv`
 //! lacks an entry or drifted from its recorded checksum.
 //!
-//! Everything here is hand-rolled ([`Json`] included) because the
-//! workspace builds offline with no serialization dependencies.
+//! Everything here is hand-rolled because the workspace builds offline
+//! with no serialization dependencies; the JSON value/parser and FNV-1a
+//! hashing live in `mcdvfs-types` ([`Json`], [`fnv1a64`]) so the serving
+//! layer shares them, and are re-exported here unchanged.
 
 use crate::results_dir;
 use mcdvfs_core::report::Table;
@@ -32,325 +34,12 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// 64-bit FNV-1a hash of `bytes` — the manifest's content checksum.
-///
-/// # Examples
-///
-/// ```
-/// use mcdvfs_bench::fnv1a64;
-///
-/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
-/// ```
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    bytes
-        .iter()
-        .fold(BASIS, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
-}
+pub use mcdvfs_types::{fnv1a64, Json};
 
 /// Renders a checksum the way the manifest stores it.
 #[must_use]
 pub fn checksum_string(bytes: &[u8]) -> String {
     format!("fnv1a64:{:016x}", fnv1a64(bytes))
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser (the workspace has no serde).
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value. Object member order is preserved.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number.
-    Num(f64),
-    /// A string (unescaped).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parses one JSON document (trailing whitespace allowed, nothing
-    /// else).
-    ///
-    /// # Errors
-    ///
-    /// Returns a message naming the byte offset of the first syntax
-    /// error.
-    pub fn parse(text: &str) -> std::result::Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Member lookup on objects (first match), `None` elsewhere.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    #[must_use]
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Serializes with 2-space indentation and `\n` line ends — the
-    /// on-disk manifest format.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        render_value(self, 0, &mut out);
-        out.push('\n');
-        out
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
-        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut members = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(members));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                members.push((key, parse_value(bytes, pos)?));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(members));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
-        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
-    }
-}
-
-fn parse_lit(
-    bytes: &[u8],
-    pos: &mut usize,
-    lit: &str,
-    value: Json,
-) -> std::result::Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> std::result::Result<String, String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Copy the full UTF-8 scalar starting here.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
-                let ch = rest.chars().next().expect("non-empty by match");
-                out.push(ch);
-                *pos += ch.len_utf8();
-            }
-        }
-    }
-}
-
-fn render_value(value: &Json, indent: usize, out: &mut String) {
-    let pad = "  ".repeat(indent);
-    let inner = "  ".repeat(indent + 1);
-    match value {
-        Json::Null => out.push_str("null"),
-        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Json::Num(n) => {
-            if n.fract() == 0.0 && n.abs() < 9e15 {
-                out.push_str(&format!("{}", *n as i64));
-            } else {
-                out.push_str(&format!("{n}"));
-            }
-        }
-        Json::Str(s) => render_string(s, out),
-        Json::Arr(items) => {
-            if items.is_empty() {
-                out.push_str("[]");
-                return;
-            }
-            out.push_str("[\n");
-            for (i, item) in items.iter().enumerate() {
-                out.push_str(&inner);
-                render_value(item, indent + 1, out);
-                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-            }
-            out.push_str(&pad);
-            out.push(']');
-        }
-        Json::Obj(members) => {
-            if members.is_empty() {
-                out.push_str("{}");
-                return;
-            }
-            out.push_str("{\n");
-            for (i, (key, val)) in members.iter().enumerate() {
-                out.push_str(&inner);
-                render_string(key, out);
-                out.push_str(": ");
-                render_value(val, indent + 1, out);
-                out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
-            }
-            out.push_str(&pad);
-            out.push('}');
-        }
-    }
-}
-
-fn render_string(s: &str, out: &mut String) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 // ---------------------------------------------------------------------------
@@ -747,31 +436,6 @@ mod tests {
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
         assert_eq!(checksum_string(b""), "fnv1a64:cbf29ce484222325");
-    }
-
-    #[test]
-    fn json_round_trips_the_manifest_shapes() {
-        let text = r#"{"schema": "x", "artifacts": [{"path": "a.csv", "bytes": 12,
-            "nested": {"k": [1, 2.5, -3e2, true, false, null]},
-            "esc": "line\nbreak \"quoted\" A"}]}"#;
-        let doc = Json::parse(text).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("x"));
-        let entry = &doc.get("artifacts").and_then(Json::as_arr).unwrap()[0];
-        assert_eq!(entry.get("bytes").and_then(Json::as_f64), Some(12.0));
-        assert_eq!(
-            entry.get("esc").and_then(Json::as_str),
-            Some("line\nbreak \"quoted\" A")
-        );
-        // Render → parse is the identity on the value.
-        let rendered = doc.render();
-        assert_eq!(Json::parse(&rendered).unwrap(), doc);
-    }
-
-    #[test]
-    fn json_rejects_malformed_documents() {
-        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "\"open", "1 2"] {
-            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
-        }
     }
 
     #[test]

@@ -265,6 +265,50 @@ impl SweepEngine {
         self.optimal_under(0, finders)
     }
 
+    /// Optimal series under one budget — the serving layer's
+    /// single-query entry point. Bit-identical to
+    /// [`OptimalFinder::series`] with the same budget, at any engine
+    /// thread count.
+    #[must_use]
+    pub fn optimal_series(&self, budget: InefficiencyBudget) -> Vec<OptimalChoice> {
+        self.optimal_sweep(&[OptimalFinder::new(budget)])
+            .pop()
+            .expect("one finder yields one series")
+    }
+
+    /// Per-sample clusters at one `(budget, threshold)` point, deriving
+    /// the optimal series once. Bit-identical to
+    /// [`cluster_series`](crate::cluster_series).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `threshold` is outside
+    /// `[0, 0.5]`.
+    pub fn cluster_detail(
+        &self,
+        budget: InefficiencyBudget,
+        threshold: f64,
+    ) -> Result<Vec<PerformanceCluster>> {
+        let finder = OptimalFinder::new(budget);
+        let optimal = self.optimal_series(budget);
+        cluster_series_with_optimal(&self.data, &finder, &optimal, threshold)
+    }
+
+    /// Stable regions at one `(budget, threshold)` point. Bit-identical
+    /// to [`stable_regions`] over [`Self::cluster_detail`]'s clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `threshold` is outside
+    /// `[0, 0.5]`.
+    pub fn stable_detail(
+        &self,
+        budget: InefficiencyBudget,
+        threshold: f64,
+    ) -> Result<Vec<StableRegion>> {
+        Ok(stable_regions(&self.cluster_detail(budget, threshold)?))
+    }
+
     /// [`Self::optimal_sweep`] with the phase span parented under
     /// `parent`, so callers that already opened a root span (`sweep`,
     /// `governed_reports`) nest the optimal phase inside it.

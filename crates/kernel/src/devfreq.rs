@@ -202,6 +202,12 @@ impl DevfreqDevice {
         self.dir.write(attr, value)
     }
 
+    /// Queues a fault for the next write to `attr` (see
+    /// [`SysfsDir::inject_fault`]).
+    pub fn inject_fault(&mut self, attr: &str, error: SysfsError) {
+        self.dir.inject_fault(attr, error);
+    }
+
     /// Attribute names, sorted.
     #[must_use]
     pub fn list(&self) -> Vec<&str> {

@@ -13,12 +13,21 @@ use crate::sysfs::SysfsError;
 use mcdvfs_sim::{DvfsController, TransitionModel};
 use mcdvfs_types::{FreqSetting, FrequencyGrid};
 
+/// Maximum write attempts before a transient error is surfaced: the
+/// first try plus three retries.
+const MAX_WRITE_ATTEMPTS: u32 = 4;
+
+/// Base of the bounded exponential backoff between retries (doubles per
+/// retry: 10 µs, 20 µs, 40 µs — far below any governed-run quantum).
+const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_micros(10);
+
 /// The assembled kernel-side stack.
 #[derive(Debug)]
 pub struct KernelShim {
     cpufreq: CpufreqPolicy,
     devfreq: DevfreqDevice,
     controller: DvfsController,
+    transient_retries: u64,
 }
 
 impl KernelShim {
@@ -36,6 +45,7 @@ impl KernelShim {
             cpufreq: CpufreqPolicy::new(grid),
             devfreq: DevfreqDevice::new(grid),
             controller: DvfsController::new(grid, grid.max_setting(), model),
+            transient_retries: 0,
         }
     }
 
@@ -57,22 +67,57 @@ impl KernelShim {
     /// Writes `path`, then propagates the drivers' targets to the
     /// hardware controller.
     ///
+    /// Transient errors (`EAGAIN`/`EINTR`) are retried up to three times
+    /// with a small bounded backoff — a momentarily busy clock framework
+    /// must not fail a whole governed run. Permanent errors surface
+    /// immediately.
+    ///
     /// # Errors
     ///
-    /// Propagates driver validation errors; the hardware is only touched
-    /// after a successful write.
+    /// Propagates driver validation errors, and a transient error that
+    /// survives every retry; the hardware is only touched after a
+    /// successful write.
     pub fn write(&mut self, path: &str, value: &str) -> Result<(), SysfsError> {
-        match path.split_once('/') {
-            Some(("cpufreq", attr)) => self.cpufreq.write(attr, value)?,
-            Some(("devfreq", rest)) => self.devfreq.write(rest, value)?,
-            _ => {
-                return Err(SysfsError::NoEntry {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let result = match path.split_once('/') {
+                Some(("cpufreq", attr)) => self.cpufreq.write(attr, value),
+                Some(("devfreq", rest)) => self.devfreq.write(rest, value),
+                _ => Err(SysfsError::NoEntry {
                     path: path.to_string(),
-                })
+                }),
+            };
+            match result {
+                Ok(()) => {
+                    self.apply();
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < MAX_WRITE_ATTEMPTS => {
+                    self.transient_retries += 1;
+                    std::thread::sleep(RETRY_BACKOFF * 2u32.pow(attempt - 1));
+                }
+                Err(e) => return Err(e),
             }
         }
-        self.apply();
-        Ok(())
+    }
+
+    /// Queues a fault for the next write through `path` (see
+    /// [`SysfsDir::inject_fault`](crate::SysfsDir::inject_fault));
+    /// unknown prefixes are ignored.
+    pub fn inject_fault(&mut self, path: &str, error: SysfsError) {
+        match path.split_once('/') {
+            Some(("cpufreq", attr)) => self.cpufreq.inject_fault(attr, error),
+            Some(("devfreq", rest)) => self.devfreq.inject_fault(rest, error),
+            _ => {}
+        }
+    }
+
+    /// How many transient write errors have been absorbed by retries over
+    /// the shim's lifetime.
+    #[must_use]
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
     }
 
     /// Pushes the drivers' current targets into the controller.
@@ -177,5 +222,51 @@ mod tests {
         let s = shim();
         assert_eq!(s.cpufreq().target().mhz(), 1000);
         assert_eq!(s.devfreq().target().mhz(), 800);
+    }
+
+    fn eagain(path: &str) -> SysfsError {
+        SysfsError::TryAgain { path: path.into() }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_the_write_lands() {
+        let mut s = shim();
+        s.write("cpufreq/scaling_governor", "userspace").unwrap();
+        // Two EAGAINs then an EINTR: three retries absorb all of them.
+        s.inject_fault("cpufreq/scaling_setspeed", eagain("scaling_setspeed"));
+        s.inject_fault("cpufreq/scaling_setspeed", eagain("scaling_setspeed"));
+        s.inject_fault(
+            "cpufreq/scaling_setspeed",
+            SysfsError::Interrupted {
+                path: "scaling_setspeed".into(),
+            },
+        );
+        s.write("cpufreq/scaling_setspeed", "500000").unwrap();
+        assert_eq!(s.controller().current().cpu.mhz(), 500);
+        assert_eq!(s.transient_retries(), 3);
+    }
+
+    #[test]
+    fn persistent_transient_errors_surface_and_spare_the_hardware() {
+        let mut s = shim();
+        let before = s.controller().transition_count();
+        for _ in 0..4 {
+            s.inject_fault("devfreq/governor", eagain("governor"));
+        }
+        let err = s.write("devfreq/governor", "powersave").unwrap_err();
+        assert!(err.is_transient());
+        // Three retries were burned; the fourth attempt's error surfaced.
+        assert_eq!(s.transient_retries(), 3);
+        assert_eq!(s.controller().transition_count(), before);
+        assert_eq!(s.devfreq().target().mhz(), 800);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let mut s = shim();
+        // EINVAL fires once; had it been retried the queue would drain
+        // and the second write here would need no unwrap_err.
+        assert!(s.write("cpufreq/scaling_setspeed", "500000").is_err());
+        assert_eq!(s.transient_retries(), 0);
     }
 }

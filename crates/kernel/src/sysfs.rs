@@ -3,9 +3,12 @@
 //! Mirrors the contract kernel policy code relies on: attributes are
 //! newline-terminated strings; writes are validated and answer `EINVAL`
 //! for malformed values or `EACCES` for read-only attributes; unknown
-//! paths answer `ENOENT`.
+//! paths answer `ENOENT`. Real sysfs stores can also answer `EAGAIN` or
+//! `EINTR` transiently (a busy clock framework, an interrupted syscall);
+//! [`SysfsDir::inject_fault`] queues such errors for the next writes so
+//! retry paths are testable deterministically.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Errors returned by the simulated sysfs, named after their errno
@@ -30,6 +33,29 @@ pub enum SysfsError {
         /// Why the value was rejected.
         reason: String,
     },
+    /// `EAGAIN`: the store was momentarily busy; retrying may succeed.
+    TryAgain {
+        /// The attribute written to.
+        path: String,
+    },
+    /// `EINTR`: the operation was interrupted before completing.
+    Interrupted {
+        /// The attribute written to.
+        path: String,
+    },
+}
+
+impl SysfsError {
+    /// `true` for errors a bounded retry is allowed to absorb
+    /// (`EAGAIN`/`EINTR`); validation and permission errors are
+    /// permanent.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SysfsError::TryAgain { .. } | SysfsError::Interrupted { .. }
+        )
+    }
 }
 
 impl fmt::Display for SysfsError {
@@ -42,6 +68,10 @@ impl fmt::Display for SysfsError {
             SysfsError::InvalidValue { path, reason } => {
                 write!(f, "invalid value for {path}: {reason}")
             }
+            SysfsError::TryAgain { path } => {
+                write!(f, "resource temporarily unavailable: {path}")
+            }
+            SysfsError::Interrupted { path } => write!(f, "interrupted: {path}"),
         }
     }
 }
@@ -85,6 +115,7 @@ struct Attribute<S> {
 pub struct SysfsDir<S> {
     state: S,
     attributes: BTreeMap<String, Attribute<S>>,
+    faults: BTreeMap<String, VecDeque<SysfsError>>,
 }
 
 impl<S: fmt::Debug> fmt::Debug for SysfsDir<S> {
@@ -103,7 +134,19 @@ impl<S> SysfsDir<S> {
         Self {
             state,
             attributes: BTreeMap::new(),
+            faults: BTreeMap::new(),
         }
+    }
+
+    /// Queues `error` for the next write to `name`; repeated calls build
+    /// a FIFO of faults, consumed one per write attempt before the real
+    /// handler runs. This is how tests exercise transient `EAGAIN` /
+    /// `EINTR` paths deterministically.
+    pub fn inject_fault(&mut self, name: &str, error: SysfsError) {
+        self.faults
+            .entry(name.to_string())
+            .or_default()
+            .push_back(error);
     }
 
     /// Registers a read-only attribute.
@@ -158,7 +201,8 @@ impl<S> SysfsDir<S> {
     /// # Errors
     ///
     /// [`SysfsError::NoEntry`], [`SysfsError::PermissionDenied`] or
-    /// [`SysfsError::InvalidValue`].
+    /// [`SysfsError::InvalidValue`]; any error queued by
+    /// [`Self::inject_fault`] is returned first (once per attempt).
     pub fn write(&mut self, name: &str, value: &str) -> Result<(), SysfsError> {
         let attr = self
             .attributes
@@ -166,6 +210,11 @@ impl<S> SysfsDir<S> {
             .ok_or_else(|| SysfsError::NoEntry {
                 path: name.to_string(),
             })?;
+        if let Some(queue) = self.faults.get_mut(name) {
+            if let Some(error) = queue.pop_front() {
+                return Err(error);
+            }
+        }
         let Some(write) = &attr.write else {
             return Err(SysfsError::PermissionDenied {
                 path: name.to_string(),
@@ -265,5 +314,50 @@ mod tests {
     fn errors_display_like_errnos() {
         let e = SysfsError::NoEntry { path: "x".into() };
         assert!(e.to_string().contains("no such attribute"));
+        let t = SysfsError::TryAgain { path: "x".into() };
+        assert!(t.to_string().contains("temporarily unavailable"));
+    }
+
+    #[test]
+    fn only_eagain_and_eintr_are_transient() {
+        let path = || "x".to_string();
+        assert!(SysfsError::TryAgain { path: path() }.is_transient());
+        assert!(SysfsError::Interrupted { path: path() }.is_transient());
+        assert!(!SysfsError::NoEntry { path: path() }.is_transient());
+        assert!(!SysfsError::PermissionDenied { path: path() }.is_transient());
+        assert!(!SysfsError::InvalidValue {
+            path: path(),
+            reason: "bad".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn injected_faults_fire_once_each_in_fifo_order() {
+        let mut d = dir();
+        d.inject_fault("set", SysfsError::TryAgain { path: "set".into() });
+        d.inject_fault("set", SysfsError::Interrupted { path: "set".into() });
+        assert!(matches!(
+            d.write("set", "1"),
+            Err(SysfsError::TryAgain { .. })
+        ));
+        assert!(matches!(
+            d.write("set", "1"),
+            Err(SysfsError::Interrupted { .. })
+        ));
+        // Queue drained: the write lands and state moves.
+        d.write("set", "9").unwrap();
+        assert_eq!(d.read("cur").unwrap(), "9");
+        // Unknown attributes still answer ENOENT before any fault fires.
+        d.inject_fault(
+            "nope",
+            SysfsError::TryAgain {
+                path: "nope".into(),
+            },
+        );
+        assert!(matches!(
+            d.write("nope", "1"),
+            Err(SysfsError::NoEntry { .. })
+        ));
     }
 }

@@ -1,0 +1,382 @@
+//! Load generator for the serving layer.
+//!
+//! Drives an in-process server over loopback in two phases:
+//!
+//! 1. **Steady** — N client threads issue a seeded query mix against a
+//!    generously provisioned server; asserts zero errors, zero shed
+//!    requests, and a warm cache (hit-rate > 0), and reports p50/p95/max
+//!    latency plus throughput.
+//! 2. **Overload** — a deliberately starved server (one worker, tiny
+//!    queue, artificial compute delay) under uncacheable unique-budget
+//!    queries; asserts the bounded queue sheds with typed `Overloaded`
+//!    replies and every request still gets *an* answer (no hangs).
+//!
+//! Results land in `results/BENCH_serve.json` and the run is recorded in
+//! `results/MANIFEST.json` through the provenance harness. Exits nonzero
+//! on any assertion failure.
+//!
+//! Usage: `loadgen [--smoke] [--clients N] [--requests N] [--workers N]
+//! [--seed N] [--mode open|closed]`
+
+use mcdvfs_bench::quickbench::{BenchReport, BenchStats};
+use mcdvfs_bench::{results_dir, Harness};
+use mcdvfs_core::{InefficiencyBudget, SweepEngine};
+use mcdvfs_obs::{duration_edges_ns, Histogram};
+use mcdvfs_serve::{Client, Request, Response, ServeState, Server, ServerConfig, ServerHandle};
+use mcdvfs_sim::System;
+use mcdvfs_types::{FrequencyGrid, SplitMix64};
+use mcdvfs_workloads::Benchmark;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Parsed command line.
+struct Args {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    seed: u64,
+    open_loop: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Args {
+            clients: 4,
+            requests: 200,
+            workers: 4,
+            seed: 0x5eed,
+            open_loop: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--smoke" => {
+                    args.clients = 2;
+                    args.requests = 40;
+                }
+                "--clients" => args.clients = parse_num(&value("--clients")?)?,
+                "--requests" => args.requests = parse_num(&value("--requests")?)?,
+                "--workers" => args.workers = parse_num(&value("--workers")?)?,
+                "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
+                "--mode" => {
+                    args.open_loop = match value("--mode")?.as_str() {
+                        "open" => true,
+                        "closed" => false,
+                        other => return Err(format!("unknown mode {other:?}")),
+                    }
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num(text: &str) -> Result<usize, String> {
+    text.parse().map_err(|_| format!("invalid number {text:?}"))
+}
+
+/// What one client thread observed.
+#[derive(Default)]
+struct ClientTally {
+    latency: Option<Histogram>,
+    ok: u64,
+    overloaded: u64,
+    errors: u64,
+}
+
+impl ClientTally {
+    fn absorb(&mut self, other: ClientTally) {
+        match (&mut self.latency, other.latency) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (mine @ None, theirs) => *mine = theirs,
+            _ => {}
+        }
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.errors += other.errors;
+    }
+}
+
+/// The steady-phase query mix, reproducible from one seed.
+fn pick_query(rng: &mut SplitMix64) -> Request {
+    let budgets = [
+        Some(1.0),
+        Some(1.1),
+        Some(1.3),
+        Some(1.6),
+        None, // unconstrained
+    ];
+    let budget = match budgets[rng.range_usize(0, budgets.len())] {
+        Some(b) => InefficiencyBudget::bounded(b).expect("mix budgets are valid"),
+        None => InefficiencyBudget::Unconstrained,
+    };
+    let thresholds = [0.01, 0.03, 0.05];
+    let threshold = thresholds[rng.range_usize(0, thresholds.len())];
+    match rng.range_usize(0, 6) {
+        0 | 1 => Request::OptimalSetting { budget },
+        2 => Request::Cluster { budget, threshold },
+        3 => Request::StableRegions { budget, threshold },
+        4 => Request::GovernedReplay {
+            governor: if rng.next_u64().is_multiple_of(2) {
+                "ideal"
+            } else {
+                "paper"
+            }
+            .to_string(),
+            budget,
+        },
+        _ => Request::Health,
+    }
+}
+
+fn run_clients(
+    addr: SocketAddr,
+    clients: usize,
+    make_requests: impl Fn(usize) -> Vec<Request> + Send + Sync,
+    interarrival: Option<Duration>,
+) -> ClientTally {
+    let make_requests = &make_requests;
+    let mut total = ClientTally::default();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally {
+                        latency: Some(Histogram::new(duration_edges_ns())),
+                        ..ClientTally::default()
+                    };
+                    let Ok(mut client) = Client::connect(addr) else {
+                        tally.errors += 1;
+                        return tally;
+                    };
+                    for request in make_requests(c) {
+                        if let Some(gap) = interarrival {
+                            thread::sleep(gap);
+                        }
+                        let t0 = Instant::now();
+                        match client.request(&request) {
+                            Ok(Response::Overloaded) => tally.overloaded += 1,
+                            Ok(Response::Error(_)) | Err(_) => tally.errors += 1,
+                            Ok(_) => {
+                                tally.ok += 1;
+                                if let Some(h) = &mut tally.latency {
+                                    h.add(t0.elapsed().as_nanos() as f64);
+                                }
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        for handle in handles {
+            total.absorb(handle.join().expect("client thread panicked"));
+        }
+    });
+    total
+}
+
+fn start_server(state: ServeState, config: ServerConfig) -> ServerHandle {
+    Server::start("127.0.0.1:0", state, config).expect("loopback bind")
+}
+
+fn build_state(samples: usize) -> ServeState {
+    let trace = Benchmark::Gobmk.trace().window(0, samples);
+    let engine = SweepEngine::characterize(
+        &System::galaxy_nexus_class(),
+        &trace,
+        FrequencyGrid::coarse(),
+    );
+    ServeState::new(engine, trace)
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+    let mut harness = Harness::new("loadgen");
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- Steady phase -----------------------------------------------------
+    let state = build_state(40).with_profiler(Arc::clone(harness.profiler()));
+    let server = start_server(
+        state,
+        ServerConfig {
+            workers: args.workers,
+            queue_bound: 128,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let seed = args.seed;
+    let per_client = args.requests;
+    let t0 = Instant::now();
+    let steady = run_clients(
+        addr,
+        args.clients,
+        |c| {
+            let mut rng = SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+            (0..per_client).map(|_| pick_query(&mut rng)).collect()
+        },
+        args.open_loop.then_some(Duration::from_millis(2)),
+    );
+    let elapsed = t0.elapsed();
+
+    // Stats over the live server, before shutdown.
+    let stats = Client::connect(addr)
+        .and_then(|mut c| c.request(&Request::Stats))
+        .ok();
+    let metrics = server.shutdown();
+
+    let issued = (args.clients * per_client) as u64;
+    let answered = steady.ok + steady.overloaded + steady.errors;
+    if answered != issued {
+        failures.push(format!("steady: {answered}/{issued} requests answered"));
+    }
+    if steady.errors > 0 {
+        failures.push(format!("steady: {} error replies", steady.errors));
+    }
+    if steady.overloaded > 0 {
+        failures.push(format!(
+            "steady: {} shed requests at default provisioning",
+            steady.overloaded
+        ));
+    }
+    let cache_hits = metrics.counter("cache.hit");
+    if cache_hits == 0 {
+        failures.push("steady: cache hit-rate is zero".to_string());
+    }
+    let Some(Response::Stats(wire_stats)) = stats else {
+        failures.push("steady: stats query failed".to_string());
+        std::process::exit(report(&mut harness, &failures, None, None, 0.0, &args));
+    };
+    if wire_stats.protocol_errors > 0 {
+        failures.push(format!(
+            "steady: server saw {} protocol errors",
+            wire_stats.protocol_errors
+        ));
+    }
+
+    let steady_stats = steady.latency.as_ref().and_then(BenchStats::from_histogram);
+    let throughput = steady.ok as f64 / elapsed.as_secs_f64();
+    let hit_rate = cache_hits as f64 / (cache_hits + metrics.counter("cache.miss")).max(1) as f64;
+    println!(
+        "steady: {} ok / {} issued over {:.2}s — {:.0} req/s, cache hit-rate {:.2}",
+        steady.ok,
+        issued,
+        elapsed.as_secs_f64(),
+        throughput,
+        hit_rate,
+    );
+
+    // ---- Overload phase ---------------------------------------------------
+    // One slow worker, a two-slot queue, and unique budgets per request so
+    // the cache cannot absorb the burst: the bounded queue must shed.
+    let overload_server = start_server(
+        build_state(10),
+        ServerConfig {
+            workers: 1,
+            queue_bound: 2,
+            compute_delay: Duration::from_millis(20),
+            ..ServerConfig::default()
+        },
+    );
+    let overload_addr = overload_server.addr();
+    let overload = run_clients(
+        overload_addr,
+        6,
+        |c| {
+            (0..30)
+                .map(|i| Request::OptimalSetting {
+                    budget: InefficiencyBudget::bounded(1.0 + (c * 1000 + i + 1) as f64 * 1e-7)
+                        .expect("overload budgets are valid"),
+                })
+                .collect()
+        },
+        None,
+    );
+    let overload_metrics = overload_server.shutdown();
+    let overload_issued = 6 * 30_u64;
+    let overload_answered = overload.ok + overload.overloaded + overload.errors;
+    if overload_answered != overload_issued {
+        failures.push(format!(
+            "overload: {overload_answered}/{overload_issued} requests answered (hang?)"
+        ));
+    }
+    if overload.errors > 0 {
+        failures.push(format!("overload: {} error replies", overload.errors));
+    }
+    if overload.overloaded == 0 {
+        failures.push("overload: queue never shed — backpressure untested".to_string());
+    }
+    println!(
+        "overload: {} ok, {} shed of {} issued (server counted {})",
+        overload.ok,
+        overload.overloaded,
+        overload_issued,
+        overload_metrics.counter("overloaded"),
+    );
+
+    let code = report(
+        &mut harness,
+        &failures,
+        steady_stats,
+        Some((steady.ok, steady.overloaded, overload.overloaded)),
+        throughput,
+        &args,
+    );
+    std::process::exit(code);
+}
+
+/// Writes the bench JSON, records provenance, prints failures; returns
+/// the process exit code.
+fn report(
+    harness: &mut Harness,
+    failures: &[String],
+    steady: Option<BenchStats>,
+    counts: Option<(u64, u64, u64)>,
+    throughput: f64,
+    args: &Args,
+) -> i32 {
+    let mut bench = BenchReport::new("mcdvfs/serve-loadgen-v1");
+    if let Some(stats) = steady {
+        bench.entry("steady.request_latency", stats);
+    }
+    let path = results_dir().join("BENCH_serve.json");
+    harness.note("clients", args.clients);
+    harness.note("requests_per_client", args.requests);
+    harness.note("workers", args.workers);
+    harness.note("seed", args.seed);
+    harness.note("mode", if args.open_loop { "open" } else { "closed" });
+    harness.note("throughput_rps", format!("{throughput:.0}"));
+    if let Some((ok, steady_shed, overload_shed)) = counts {
+        harness.note("steady_ok", ok);
+        harness.note("steady_shed", steady_shed);
+        harness.note("overload_shed", overload_shed);
+    }
+    match bench.write_json(&path) {
+        Ok(()) => {
+            println!("[bench written to {}]", path.display());
+            harness.record_file(&path);
+        }
+        Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
+    }
+    harness.finish();
+    if failures.is_empty() {
+        println!("loadgen: all assertions passed");
+        0
+    } else {
+        for failure in failures {
+            eprintln!("loadgen FAILURE: {failure}");
+        }
+        1
+    }
+}

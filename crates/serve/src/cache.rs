@@ -1,0 +1,194 @@
+//! Sharded LRU cache of fully encoded replies.
+//!
+//! The unit of caching is the *rendered* response string: a hit skips
+//! both the sweep computation and the JSON encode, and — because the
+//! cached bytes are exactly what the first computation framed — the
+//! cached path is trivially bit-identical to the computed path.
+//!
+//! Keys are small fixed-size tuples ([`CacheKey`]) rather than request
+//! strings: the characterization fingerprint pins *which data* answered,
+//! and the query parameters are folded in as exact IEEE-754 bits, so two
+//! budgets that render alike but differ in the last ulp occupy distinct
+//! entries. Shards each take an independent mutex so concurrent workers
+//! rarely contend; eviction is per-shard LRU by logical tick.
+
+use mcdvfs_types::Fnv1a64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Identity of one cacheable query against one characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`CharacterizationGrid::fingerprint`](mcdvfs_sim::CharacterizationGrid::fingerprint)
+    /// of the data that answers the query.
+    pub fingerprint: u64,
+    /// Query kind discriminator.
+    pub kind: u8,
+    /// Budget as IEEE-754 bits; `u64::MAX` (a NaN pattern no finite
+    /// budget produces) for an unconstrained budget.
+    pub budget_bits: u64,
+    /// Threshold as IEEE-754 bits; `0` when the query has none.
+    pub threshold_bits: u64,
+    /// FNV-1a of the governor name; `0` when the query has none.
+    pub governor_hash: u64,
+}
+
+impl CacheKey {
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = Fnv1a64::new();
+        h.write_u64(self.fingerprint);
+        h.write(&[self.kind]);
+        h.write_u64(self.budget_bits);
+        h.write_u64(self.threshold_bits);
+        h.write_u64(self.governor_hash);
+        (h.finish() % shards as u64) as usize
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<String>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A fixed-capacity response cache split into independently locked
+/// shards.
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl ShardedLru {
+    /// Creates a cache of roughly `capacity` entries split over
+    /// `shards` locks. Zero values are clamped to one.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = (capacity.max(1)).div_ceil(shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[key.shard_of(self.shards.len())]
+    }
+
+    /// Looks up a reply, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Stores a reply, evicting the shard's least-recently-used entry
+    /// when the shard is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<String>) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Total entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(kind: u8, budget: f64) -> CacheKey {
+        CacheKey {
+            fingerprint: 0xfeed,
+            kind,
+            budget_bits: budget.to_bits(),
+            threshold_bits: 0,
+            governor_hash: 0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_reply() {
+        let cache = ShardedLru::new(8, 2);
+        assert!(cache.get(&key(0, 1.3)).is_none());
+        cache.insert(key(0, 1.3), Arc::new("reply".to_string()));
+        assert_eq!(cache.get(&key(0, 1.3)).unwrap().as_str(), "reply");
+        // Same budget, different kind or fingerprint: distinct entries.
+        assert!(cache.get(&key(1, 1.3)).is_none());
+        let mut other = key(0, 1.3);
+        other.fingerprint = 0xbeef;
+        assert!(cache.get(&other).is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used_per_shard() {
+        // One shard so the LRU order is fully observable.
+        let cache = ShardedLru::new(2, 1);
+        cache.insert(key(0, 1.0), Arc::new("a".to_string()));
+        cache.insert(key(0, 1.1), Arc::new("b".to_string()));
+        // Touch `a`, then insert a third entry: `b` is the LRU victim.
+        assert!(cache.get(&key(0, 1.0)).is_some());
+        cache.insert(key(0, 1.2), Arc::new("c".to_string()));
+        assert!(cache.get(&key(0, 1.0)).is_some());
+        assert!(cache.get(&key(0, 1.1)).is_none());
+        assert!(cache.get(&key(0, 1.2)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn budgets_distinct_in_the_last_ulp_do_not_collide() {
+        let cache = ShardedLru::new(8, 4);
+        let a: f64 = 1.05;
+        let b = f64::from_bits(a.to_bits() + 1);
+        cache.insert(key(0, a), Arc::new("a".to_string()));
+        cache.insert(key(0, b), Arc::new("b".to_string()));
+        assert_eq!(cache.get(&key(0, a)).unwrap().as_str(), "a");
+        assert_eq!(cache.get(&key(0, b)).unwrap().as_str(), "b");
+    }
+}

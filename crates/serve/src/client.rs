@@ -1,0 +1,53 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests
+//! sequentially — the shape the load generator and the end-to-end tests
+//! need. Decoded replies reconstruct every `f64` bit-for-bit, so a client
+//! comparing against direct [`SweepEngine`](mcdvfs_core::SweepEngine)
+//! results can assert exact equality.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects, with generous socket deadlines so a dead server surfaces
+    /// as an error rather than a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a closed connection or an undecodable reply
+    /// maps to [`io::ErrorKind::InvalidData`] /
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,75 @@
+//! A governed-query service layer over the `mcdvfs` analysis pipeline.
+//!
+//! The paper's tuning-overhead argument (§5) is about amortizing repeated
+//! "best (CPU, mem) setting under inefficiency budget I" lookups; related
+//! online multi-domain DVFS systems (SysScale, CoScale-style QoS
+//! controllers) frame exactly that as a long-lived service answering
+//! per-interval queries. This crate is that serving layer for the
+//! reproduction: a std-only multi-threaded TCP server (no tokio/hyper —
+//! the workspace builds offline) exposing the
+//! [`SweepEngine`](mcdvfs_core::SweepEngine) as five queries over a
+//! length-prefixed JSON wire protocol:
+//!
+//! * `OptimalSetting {budget}` — per-sample optimal settings,
+//! * `Cluster {budget, threshold}` — performance-equivalent clusters,
+//! * `StableRegions {budget, threshold}` — maximal stable runs,
+//! * `GovernedReplay {governor, budget}` — overhead-charged replays,
+//! * `Stats` / `Health` — observability and liveness.
+//!
+//! Internals: a fixed worker pool fed by a bounded queue (full ⇒ typed
+//! `Overloaded` reply, never unbounded buffering), a sharded LRU cache of
+//! fully rendered replies keyed on the characterization fingerprint, and
+//! graceful drain-then-join shutdown. Replies are bit-identical to direct
+//! engine calls at any worker count because every `f64` crosses the wire
+//! in shortest-round-trip form.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mcdvfs_core::{InefficiencyBudget, SweepEngine};
+//! use mcdvfs_serve::{Client, Request, Response, ServeState, Server, ServerConfig};
+//! use mcdvfs_types::FrequencyGrid;
+//! use mcdvfs_workloads::Benchmark;
+//!
+//! let trace = Benchmark::Gobmk.trace().window(0, 8);
+//! let engine = SweepEngine::characterize(
+//!     &mcdvfs_sim::System::galaxy_nexus_class(),
+//!     &trace,
+//!     FrequencyGrid::coarse(),
+//! );
+//! let server = Server::start(
+//!     "127.0.0.1:0",
+//!     ServeState::new(engine, trace),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client
+//!     .request(&Request::OptimalSetting {
+//!         budget: InefficiencyBudget::bounded(1.3).unwrap(),
+//!     })
+//!     .unwrap();
+//! let Response::OptimalSetting(choices) = reply else {
+//!     panic!("unexpected reply");
+//! };
+//! assert_eq!(choices.len(), 8);
+//! let metrics = server.shutdown();
+//! assert_eq!(metrics.counter("requests.total"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+mod protocol;
+mod server;
+
+pub use cache::{CacheKey, ShardedLru};
+pub use client::Client;
+pub use protocol::{
+    read_frame, write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireRegion,
+    WireReport, WireStats, MAX_FRAME_BYTES,
+};
+pub use server::{ServeState, Server, ServerConfig, ServerHandle};

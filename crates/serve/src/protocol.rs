@@ -1,0 +1,817 @@
+//! The wire protocol: length-prefixed JSON-lines framing plus typed
+//! request/reply bodies.
+//!
+//! # Framing
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! <decimal byte length>\n
+//! <compact JSON document of exactly that many bytes>\n
+//! ```
+//!
+//! The length line bounds allocation before any payload byte is read
+//! ([`MAX_FRAME_BYTES`]); the trailing newline keeps frames greppable on
+//! the wire. Payloads are [`Json::render_compact`] documents, so every
+//! `f64` crosses the wire in shortest-round-trip form and decodes to the
+//! exact bits the server computed — replies are bit-identical to direct
+//! [`SweepEngine`](mcdvfs_core::SweepEngine) calls.
+//!
+//! # Bodies
+//!
+//! Requests carry a `"query"` discriminator, replies a `"reply"`
+//! discriminator. Budgets encode as a JSON number for
+//! [`InefficiencyBudget::Bounded`] and the string `"inf"` for
+//! [`InefficiencyBudget::Unconstrained`].
+
+use mcdvfs_core::InefficiencyBudget;
+use mcdvfs_types::Json;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one frame's payload size, enforced before allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one frame: decimal length line, payload, newline.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds cap", payload.len()),
+        ));
+    }
+    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one frame, blocking; `Ok(None)` on clean end-of-stream before
+/// any frame byte.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects malformed length lines, lengths over
+/// [`MAX_FRAME_BYTES`], truncated payloads, and missing frame
+/// terminators.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| bad_frame(format!("invalid frame length {header:?}")))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_frame(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut body = vec![0u8; len + 1];
+    r.read_exact(&mut body).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => bad_frame("truncated frame".to_string()),
+        _ => e,
+    })?;
+    if body.pop() != Some(b'\n') {
+        return Err(bad_frame("frame missing terminator".to_string()));
+    }
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| bad_frame("frame is not UTF-8".to_string()))
+}
+
+fn bad_frame(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// A query the server answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Per-sample optimal settings under an inefficiency budget.
+    OptimalSetting {
+        /// The inefficiency budget to optimize under.
+        budget: InefficiencyBudget,
+    },
+    /// Per-sample performance-equivalent clusters.
+    Cluster {
+        /// The inefficiency budget anchoring each cluster's optimal.
+        budget: InefficiencyBudget,
+        /// Cluster slowdown threshold (e.g. `0.05` for 5%).
+        threshold: f64,
+    },
+    /// Maximal runs of samples sharing a cluster member.
+    StableRegions {
+        /// The inefficiency budget anchoring the clusters.
+        budget: InefficiencyBudget,
+        /// Cluster slowdown threshold the regions are built from.
+        threshold: f64,
+    },
+    /// Replay the trace under a governed run and report its overheads.
+    GovernedReplay {
+        /// Overhead model: `"ideal"` (no overheads) or `"paper"`.
+        governor: String,
+        /// The inefficiency budget the oracle plan optimizes under.
+        budget: InefficiencyBudget,
+    },
+    /// Server metric snapshot.
+    Stats,
+    /// Liveness probe and characterization identity.
+    Health,
+}
+
+impl Request {
+    /// The wire discriminator, also used as the metric label.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::OptimalSetting { .. } => "optimal_setting",
+            Request::Cluster { .. } => "cluster",
+            Request::StableRegions { .. } => "stable_regions",
+            Request::GovernedReplay { .. } => "governed_replay",
+            Request::Stats => "stats",
+            Request::Health => "health",
+        }
+    }
+
+    /// Encodes to the compact wire form.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        self.to_json().render_compact()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members = vec![("query".to_string(), Json::Str(self.kind().to_string()))];
+        match self {
+            Request::OptimalSetting { budget } => {
+                members.push(("budget".to_string(), budget_to_json(*budget)));
+            }
+            Request::Cluster { budget, threshold }
+            | Request::StableRegions { budget, threshold } => {
+                members.push(("budget".to_string(), budget_to_json(*budget)));
+                members.push(("threshold".to_string(), Json::Num(*threshold)));
+            }
+            Request::GovernedReplay { governor, budget } => {
+                members.push(("governor".to_string(), Json::Str(governor.clone())));
+                members.push(("budget".to_string(), budget_to_json(*budget)));
+            }
+            Request::Stats | Request::Health => {}
+        }
+        Json::Obj(members)
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or shape problem.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        let doc = Json::parse(payload)?;
+        let query = doc
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or("request missing string 'query'")?;
+        let budget = || budget_from_json(doc.get("budget").ok_or("request missing 'budget'")?);
+        let threshold = || {
+            doc.get("threshold")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "request missing number 'threshold'".to_string())
+        };
+        match query {
+            "optimal_setting" => Ok(Request::OptimalSetting { budget: budget()? }),
+            "cluster" => Ok(Request::Cluster {
+                budget: budget()?,
+                threshold: threshold()?,
+            }),
+            "stable_regions" => Ok(Request::StableRegions {
+                budget: budget()?,
+                threshold: threshold()?,
+            }),
+            "governed_replay" => Ok(Request::GovernedReplay {
+                governor: doc
+                    .get("governor")
+                    .and_then(Json::as_str)
+                    .ok_or("request missing string 'governor'")?
+                    .to_string(),
+                budget: budget()?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
+            other => Err(format!("unknown query {other:?}")),
+        }
+    }
+}
+
+fn budget_to_json(budget: InefficiencyBudget) -> Json {
+    match budget.bound() {
+        Some(b) => Json::Num(b),
+        None => Json::Str("inf".to_string()),
+    }
+}
+
+fn budget_from_json(value: &Json) -> Result<InefficiencyBudget, String> {
+    match value {
+        Json::Str(s) if s == "inf" => Ok(InefficiencyBudget::Unconstrained),
+        Json::Num(n) => InefficiencyBudget::bounded(*n).map_err(|e| e.to_string()),
+        other => Err(format!("invalid budget {other:?}")),
+    }
+}
+
+/// One per-sample optimal choice on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireChoice {
+    /// Sample index within the trace.
+    pub sample: usize,
+    /// Flat grid index of the chosen setting.
+    pub index: usize,
+    /// Chosen CPU frequency in MHz.
+    pub cpu_mhz: u32,
+    /// Chosen memory frequency in MHz.
+    pub mem_mhz: u32,
+    /// Sample execution time at the chosen setting, seconds.
+    pub time_s: f64,
+    /// Sample energy at the chosen setting, joules.
+    pub energy_j: f64,
+    /// Sample inefficiency at the chosen setting.
+    pub inefficiency: f64,
+}
+
+/// One per-sample performance cluster on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCluster {
+    /// Sample index within the trace.
+    pub sample: usize,
+    /// Flat grid index of the anchoring optimal setting.
+    pub optimal_index: usize,
+    /// Member setting indices, ascending.
+    pub members: Vec<usize>,
+    /// Member CPU frequency range in MHz, `(lo, hi)`.
+    pub cpu_mhz: (u32, u32),
+    /// Member memory frequency range in MHz, `(lo, hi)`.
+    pub mem_mhz: (u32, u32),
+}
+
+/// One stable region on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRegion {
+    /// First sample of the region (inclusive).
+    pub start: usize,
+    /// One past the last sample (exclusive).
+    pub end: usize,
+    /// Flat grid index of the representative setting.
+    pub chosen_index: usize,
+    /// Representative CPU frequency in MHz.
+    pub cpu_mhz: u32,
+    /// Representative memory frequency in MHz.
+    pub mem_mhz: u32,
+    /// All settings common to every sample in the region, ascending.
+    pub available: Vec<usize>,
+}
+
+/// A governed-run report summary on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReport {
+    /// Governor name as the runner reported it.
+    pub governor: String,
+    /// Sum of per-sample execution times, seconds.
+    pub work_time_s: f64,
+    /// Sum of per-sample energies, joules.
+    pub work_energy_j: f64,
+    /// Total search latency charged, seconds.
+    pub tuning_time_s: f64,
+    /// Total search energy charged, joules.
+    pub tuning_energy_j: f64,
+    /// Total hardware transition latency charged, seconds.
+    pub transition_time_s: f64,
+    /// Total hardware transition energy charged, joules.
+    pub transition_energy_j: f64,
+    /// Joint frequency transitions performed.
+    pub transitions: u64,
+    /// CPU-domain changes.
+    pub cpu_transitions: u64,
+    /// Memory-domain changes.
+    pub mem_transitions: u64,
+    /// Tuning events that performed a search.
+    pub searches: u64,
+    /// Per-sample minimum-energy total, joules.
+    pub total_emin_j: f64,
+}
+
+/// The server metric snapshot a `Stats` query returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Requests decoded since startup (all kinds).
+    pub requests: u64,
+    /// Responses served from the cache.
+    pub cache_hits: u64,
+    /// Responses computed on a cache miss.
+    pub cache_misses: u64,
+    /// Requests shed with an `Overloaded` reply.
+    pub overloaded: u64,
+    /// Undecodable or over-long frames received.
+    pub protocol_errors: u64,
+    /// Deepest queue occupancy observed.
+    pub queue_depth_max: u64,
+    /// Full human-readable metric rendering.
+    pub rendered: String,
+}
+
+/// The liveness/identity reply to a `Health` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHealth {
+    /// Always `"ok"` from a live server.
+    pub status: String,
+    /// Workload name of the served characterization.
+    pub workload: String,
+    /// Sample count of the served characterization.
+    pub samples: usize,
+    /// Setting count of the served characterization.
+    pub settings: usize,
+    /// Characterization fingerprint, 16 hex digits.
+    pub fingerprint: String,
+    /// Worker threads answering compute queries.
+    pub workers: usize,
+}
+
+/// A reply the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::OptimalSetting`].
+    OptimalSetting(Vec<WireChoice>),
+    /// Answer to [`Request::Cluster`].
+    Cluster(Vec<WireCluster>),
+    /// Answer to [`Request::StableRegions`].
+    StableRegions(Vec<WireRegion>),
+    /// Answer to [`Request::GovernedReplay`].
+    GovernedReplay(WireReport),
+    /// Answer to [`Request::Stats`].
+    Stats(WireStats),
+    /// Answer to [`Request::Health`].
+    Health(WireHealth),
+    /// The bounded queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The request could not be decoded or computed.
+    Error(String),
+}
+
+impl Response {
+    /// The wire discriminator.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::OptimalSetting(_) => "optimal_setting",
+            Response::Cluster(_) => "cluster",
+            Response::StableRegions(_) => "stable_regions",
+            Response::GovernedReplay(_) => "governed_replay",
+            Response::Stats(_) => "stats",
+            Response::Health(_) => "health",
+            Response::Overloaded => "overloaded",
+            Response::Error(_) => "error",
+        }
+    }
+
+    /// Encodes to the compact wire form.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        self.to_json().render_compact()
+    }
+
+    fn to_json(&self) -> Json {
+        let tag = ("reply".to_string(), Json::Str(self.kind().to_string()));
+        match self {
+            Response::OptimalSetting(choices) => Json::Obj(vec![
+                tag,
+                (
+                    "choices".to_string(),
+                    Json::Arr(choices.iter().map(choice_to_json).collect()),
+                ),
+            ]),
+            Response::Cluster(clusters) => Json::Obj(vec![
+                tag,
+                (
+                    "clusters".to_string(),
+                    Json::Arr(clusters.iter().map(cluster_to_json).collect()),
+                ),
+            ]),
+            Response::StableRegions(regions) => Json::Obj(vec![
+                tag,
+                (
+                    "regions".to_string(),
+                    Json::Arr(regions.iter().map(region_to_json).collect()),
+                ),
+            ]),
+            Response::GovernedReplay(report) => {
+                Json::Obj(vec![tag, ("report".to_string(), report_to_json(report))])
+            }
+            Response::Stats(stats) => Json::Obj(vec![
+                tag,
+                ("requests".to_string(), num(stats.requests)),
+                ("cache_hits".to_string(), num(stats.cache_hits)),
+                ("cache_misses".to_string(), num(stats.cache_misses)),
+                ("overloaded".to_string(), num(stats.overloaded)),
+                ("protocol_errors".to_string(), num(stats.protocol_errors)),
+                ("queue_depth_max".to_string(), num(stats.queue_depth_max)),
+                ("rendered".to_string(), Json::Str(stats.rendered.clone())),
+            ]),
+            Response::Health(health) => Json::Obj(vec![
+                tag,
+                ("status".to_string(), Json::Str(health.status.clone())),
+                ("workload".to_string(), Json::Str(health.workload.clone())),
+                ("samples".to_string(), num(health.samples as u64)),
+                ("settings".to_string(), num(health.settings as u64)),
+                (
+                    "fingerprint".to_string(),
+                    Json::Str(health.fingerprint.clone()),
+                ),
+                ("workers".to_string(), num(health.workers as u64)),
+            ]),
+            Response::Overloaded => Json::Obj(vec![tag]),
+            Response::Error(message) => Json::Obj(vec![
+                tag,
+                ("message".to_string(), Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a reply payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or shape problem.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        let doc = Json::parse(payload)?;
+        let reply = doc
+            .get("reply")
+            .and_then(Json::as_str)
+            .ok_or("reply missing string 'reply'")?;
+        match reply {
+            "optimal_setting" => Ok(Response::OptimalSetting(arr_of(
+                &doc,
+                "choices",
+                choice_from_json,
+            )?)),
+            "cluster" => Ok(Response::Cluster(arr_of(
+                &doc,
+                "clusters",
+                cluster_from_json,
+            )?)),
+            "stable_regions" => Ok(Response::StableRegions(arr_of(
+                &doc,
+                "regions",
+                region_from_json,
+            )?)),
+            "governed_replay" => Ok(Response::GovernedReplay(report_from_json(
+                doc.get("report").ok_or("reply missing 'report'")?,
+            )?)),
+            "stats" => Ok(Response::Stats(WireStats {
+                requests: get_u64(&doc, "requests")?,
+                cache_hits: get_u64(&doc, "cache_hits")?,
+                cache_misses: get_u64(&doc, "cache_misses")?,
+                overloaded: get_u64(&doc, "overloaded")?,
+                protocol_errors: get_u64(&doc, "protocol_errors")?,
+                queue_depth_max: get_u64(&doc, "queue_depth_max")?,
+                rendered: get_str(&doc, "rendered")?,
+            })),
+            "health" => Ok(Response::Health(WireHealth {
+                status: get_str(&doc, "status")?,
+                workload: get_str(&doc, "workload")?,
+                samples: get_u64(&doc, "samples")? as usize,
+                settings: get_u64(&doc, "settings")? as usize,
+                fingerprint: get_str(&doc, "fingerprint")?,
+                workers: get_u64(&doc, "workers")? as usize,
+            })),
+            "overloaded" => Ok(Response::Overloaded),
+            "error" => Ok(Response::Error(get_str(&doc, "message")?)),
+            other => Err(format!("unknown reply {other:?}")),
+        }
+    }
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number '{key}'"))
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    get_f64(doc, key).map(|v| v as u64)
+}
+
+fn get_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string '{key}'"))
+}
+
+fn get_indices(doc: &Json, key: &str) -> Result<Vec<usize>, String> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array '{key}'"))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("non-numeric entry in '{key}'"))
+        })
+        .collect()
+}
+
+fn arr_of<T>(
+    doc: &Json,
+    key: &str,
+    decode: impl Fn(&Json) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("reply missing array '{key}'"))?
+        .iter()
+        .map(decode)
+        .collect()
+}
+
+fn choice_to_json(c: &WireChoice) -> Json {
+    Json::Obj(vec![
+        ("sample".to_string(), num(c.sample as u64)),
+        ("index".to_string(), num(c.index as u64)),
+        ("cpu_mhz".to_string(), num(u64::from(c.cpu_mhz))),
+        ("mem_mhz".to_string(), num(u64::from(c.mem_mhz))),
+        ("time_s".to_string(), Json::Num(c.time_s)),
+        ("energy_j".to_string(), Json::Num(c.energy_j)),
+        ("inefficiency".to_string(), Json::Num(c.inefficiency)),
+    ])
+}
+
+fn choice_from_json(doc: &Json) -> Result<WireChoice, String> {
+    Ok(WireChoice {
+        sample: get_u64(doc, "sample")? as usize,
+        index: get_u64(doc, "index")? as usize,
+        cpu_mhz: get_u64(doc, "cpu_mhz")? as u32,
+        mem_mhz: get_u64(doc, "mem_mhz")? as u32,
+        time_s: get_f64(doc, "time_s")?,
+        energy_j: get_f64(doc, "energy_j")?,
+        inefficiency: get_f64(doc, "inefficiency")?,
+    })
+}
+
+fn cluster_to_json(c: &WireCluster) -> Json {
+    Json::Obj(vec![
+        ("sample".to_string(), num(c.sample as u64)),
+        ("optimal_index".to_string(), num(c.optimal_index as u64)),
+        (
+            "members".to_string(),
+            Json::Arr(c.members.iter().map(|&i| num(i as u64)).collect()),
+        ),
+        (
+            "cpu_mhz".to_string(),
+            Json::Arr(vec![
+                num(u64::from(c.cpu_mhz.0)),
+                num(u64::from(c.cpu_mhz.1)),
+            ]),
+        ),
+        (
+            "mem_mhz".to_string(),
+            Json::Arr(vec![
+                num(u64::from(c.mem_mhz.0)),
+                num(u64::from(c.mem_mhz.1)),
+            ]),
+        ),
+    ])
+}
+
+fn cluster_from_json(doc: &Json) -> Result<WireCluster, String> {
+    let range = |key: &str| -> Result<(u32, u32), String> {
+        let pair = get_indices(doc, key)?;
+        match pair.as_slice() {
+            [lo, hi] => Ok((*lo as u32, *hi as u32)),
+            _ => Err(format!("'{key}' is not a [lo, hi] pair")),
+        }
+    };
+    Ok(WireCluster {
+        sample: get_u64(doc, "sample")? as usize,
+        optimal_index: get_u64(doc, "optimal_index")? as usize,
+        members: get_indices(doc, "members")?,
+        cpu_mhz: range("cpu_mhz")?,
+        mem_mhz: range("mem_mhz")?,
+    })
+}
+
+fn region_to_json(r: &WireRegion) -> Json {
+    Json::Obj(vec![
+        ("start".to_string(), num(r.start as u64)),
+        ("end".to_string(), num(r.end as u64)),
+        ("chosen_index".to_string(), num(r.chosen_index as u64)),
+        ("cpu_mhz".to_string(), num(u64::from(r.cpu_mhz))),
+        ("mem_mhz".to_string(), num(u64::from(r.mem_mhz))),
+        (
+            "available".to_string(),
+            Json::Arr(r.available.iter().map(|&i| num(i as u64)).collect()),
+        ),
+    ])
+}
+
+fn region_from_json(doc: &Json) -> Result<WireRegion, String> {
+    Ok(WireRegion {
+        start: get_u64(doc, "start")? as usize,
+        end: get_u64(doc, "end")? as usize,
+        chosen_index: get_u64(doc, "chosen_index")? as usize,
+        cpu_mhz: get_u64(doc, "cpu_mhz")? as u32,
+        mem_mhz: get_u64(doc, "mem_mhz")? as u32,
+        available: get_indices(doc, "available")?,
+    })
+}
+
+fn report_to_json(r: &WireReport) -> Json {
+    Json::Obj(vec![
+        ("governor".to_string(), Json::Str(r.governor.clone())),
+        ("work_time_s".to_string(), Json::Num(r.work_time_s)),
+        ("work_energy_j".to_string(), Json::Num(r.work_energy_j)),
+        ("tuning_time_s".to_string(), Json::Num(r.tuning_time_s)),
+        ("tuning_energy_j".to_string(), Json::Num(r.tuning_energy_j)),
+        (
+            "transition_time_s".to_string(),
+            Json::Num(r.transition_time_s),
+        ),
+        (
+            "transition_energy_j".to_string(),
+            Json::Num(r.transition_energy_j),
+        ),
+        ("transitions".to_string(), num(r.transitions)),
+        ("cpu_transitions".to_string(), num(r.cpu_transitions)),
+        ("mem_transitions".to_string(), num(r.mem_transitions)),
+        ("searches".to_string(), num(r.searches)),
+        ("total_emin_j".to_string(), Json::Num(r.total_emin_j)),
+    ])
+}
+
+fn report_from_json(doc: &Json) -> Result<WireReport, String> {
+    Ok(WireReport {
+        governor: get_str(doc, "governor")?,
+        work_time_s: get_f64(doc, "work_time_s")?,
+        work_energy_j: get_f64(doc, "work_energy_j")?,
+        tuning_time_s: get_f64(doc, "tuning_time_s")?,
+        tuning_energy_j: get_f64(doc, "tuning_energy_j")?,
+        transition_time_s: get_f64(doc, "transition_time_s")?,
+        transition_energy_j: get_f64(doc, "transition_energy_j")?,
+        transitions: get_u64(doc, "transitions")?,
+        cpu_transitions: get_u64(doc, "cpu_transitions")?,
+        mem_transitions: get_u64(doc, "mem_transitions")?,
+        searches: get_u64(doc, "searches")?,
+        total_emin_j: get_f64(doc, "total_emin_j")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, r#"{"query":"health"}"#).unwrap();
+        write_frame(&mut wire, "").unwrap();
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(r#"{"query":"health"}"#)
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn frames_reject_abuse() {
+        for bad in ["x\n", "-3\nabc\n", "1048577\n", "5\nab\n"] {
+            let mut r = BufReader::new(bad.as_bytes());
+            assert!(read_frame(&mut r).is_err(), "{bad:?} should fail");
+        }
+        // Length honest but terminator missing.
+        let mut r = BufReader::new(b"2\nabX".as_slice());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::OptimalSetting {
+                budget: InefficiencyBudget::bounded(1.3).unwrap(),
+            },
+            Request::Cluster {
+                budget: InefficiencyBudget::Unconstrained,
+                threshold: 0.05,
+            },
+            Request::StableRegions {
+                budget: InefficiencyBudget::bounded(1.1).unwrap(),
+                threshold: 0.01,
+            },
+            Request::GovernedReplay {
+                governor: "paper".to_string(),
+                budget: InefficiencyBudget::bounded(1.6).unwrap(),
+            },
+            Request::Stats,
+            Request::Health,
+        ];
+        for req in reqs {
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_for_bit() {
+        let resp = Response::OptimalSetting(vec![WireChoice {
+            sample: 3,
+            index: 41,
+            cpu_mhz: 900,
+            mem_mhz: 400,
+            time_s: 1.0 / 3.0,
+            energy_j: 0.1 + 0.2,
+            inefficiency: 1.05,
+        }]);
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        let Response::OptimalSetting(choices) = &decoded else {
+            panic!("wrong reply kind");
+        };
+        assert_eq!(choices[0].time_s.to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(choices[0].energy_j.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(decoded, resp);
+
+        let others = [
+            Response::Cluster(vec![WireCluster {
+                sample: 0,
+                optimal_index: 5,
+                members: vec![3, 5, 9],
+                cpu_mhz: (700, 1000),
+                mem_mhz: (200, 800),
+            }]),
+            Response::StableRegions(vec![WireRegion {
+                start: 0,
+                end: 7,
+                chosen_index: 12,
+                cpu_mhz: 1000,
+                mem_mhz: 600,
+                available: vec![2, 12],
+            }]),
+            Response::GovernedReplay(WireReport {
+                governor: "oracle-optimal(1.3)".to_string(),
+                work_time_s: 2.5,
+                work_energy_j: 1.25,
+                tuning_time_s: 0.001,
+                tuning_energy_j: 0.0005,
+                transition_time_s: 0.002,
+                transition_energy_j: 0.0001,
+                transitions: 17,
+                cpu_transitions: 11,
+                mem_transitions: 9,
+                searches: 30,
+                total_emin_j: 1.1,
+            }),
+            Response::Stats(WireStats {
+                requests: 100,
+                cache_hits: 40,
+                cache_misses: 60,
+                overloaded: 2,
+                protocol_errors: 1,
+                queue_depth_max: 7,
+                rendered: "counter requests.total 100\n".to_string(),
+            }),
+            Response::Health(WireHealth {
+                status: "ok".to_string(),
+                workload: "gobmk".to_string(),
+                samples: 30,
+                settings: 70,
+                fingerprint: "0123456789abcdef".to_string(),
+                workers: 4,
+            }),
+            Response::Overloaded,
+            Response::Error("bad request".to_string()),
+        ];
+        for resp in others {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn budgets_encode_bounded_and_unconstrained() {
+        let bounded = Request::OptimalSetting {
+            budget: InefficiencyBudget::bounded(1.3).unwrap(),
+        };
+        assert_eq!(
+            bounded.encode(),
+            r#"{"query":"optimal_setting","budget":1.3}"#
+        );
+        let unconstrained = Request::OptimalSetting {
+            budget: InefficiencyBudget::Unconstrained,
+        };
+        assert_eq!(
+            unconstrained.encode(),
+            r#"{"query":"optimal_setting","budget":"inf"}"#
+        );
+    }
+}

@@ -331,6 +331,34 @@ impl CharacterizationGrid {
             .copied()
             .fold(Joules::new(f64::INFINITY), Joules::min)
     }
+
+    /// A stable 64-bit content fingerprint of the characterization:
+    /// workload name, grid shape and settings, and every measurement's
+    /// exact IEEE-754 bits.
+    ///
+    /// Two grids fingerprint equal iff they would answer every query
+    /// identically, so the serving layer keys its response cache on this
+    /// value. FNV-1a over raw bits (not rendered decimals) means values
+    /// that print alike but differ in the last ulp still get distinct
+    /// fingerprints.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mcdvfs_types::Fnv1a64::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.n_samples() as u64);
+        h.write_u64(self.n_settings as u64);
+        for setting in self.grid.settings() {
+            h.write_u64(u64::from(setting.cpu.mhz()));
+            h.write_u64(u64::from(setting.mem.mhz()));
+        }
+        for m in &self.arena {
+            h.write_f64(m.time.value());
+            h.write_f64(m.cpu_energy.value());
+            h.write_f64(m.mem_energy.value());
+            h.write_f64(m.cpi);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +410,32 @@ mod tests {
             assert_eq!(emin, actual);
             assert!(emin.value() > 0.0);
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let d = data();
+        // Deterministic: recharacterizing the same inputs reproduces it.
+        assert_eq!(d.fingerprint(), data().fingerprint());
+        // Sensitive to the trace window, the grid, and the workload.
+        let other_window = CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &Benchmark::Gobmk.trace().window(0, 11),
+            small_grid(),
+        );
+        assert_ne!(d.fingerprint(), other_window.fingerprint());
+        let other_grid = CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &Benchmark::Gobmk.trace().window(0, 10),
+            FrequencyGrid::coarse(),
+        );
+        assert_ne!(d.fingerprint(), other_grid.fingerprint());
+        let other_workload = CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            &Benchmark::Mcf.trace().window(0, 10),
+            small_grid(),
+        );
+        assert_ne!(d.fingerprint(), other_workload.fingerprint());
     }
 
     #[test]

@@ -437,4 +437,61 @@ mod tests {
     fn cross_universe_intersection_panics() {
         let _ = SettingSet::empty(70).intersection(&SettingSet::empty(496));
     }
+
+    /// Property: after any seeded random insert/remove sequence, an
+    /// interleaved `next`/`next_back` walk agrees with the sorted-Vec
+    /// view — front draws consume it ascending from the left, back draws
+    /// descending from the right, and the two never overlap.
+    #[test]
+    fn interleaved_double_ended_iteration_matches_sorted_vec_model() {
+        let mut rng = crate::SplitMix64::new(0x5e77_1a65_d0e2_17e3);
+        let universes = [1usize, 2, 63, 64, 65, 70, 127, 128, 496, 512];
+        for case in 0..1500u64 {
+            let len = universes[rng.range_usize(0, universes.len())];
+            let mut set = SettingSet::empty(len);
+            let mut model: Vec<bool> = vec![false; len];
+            for _ in 0..rng.range_usize(0, 3 * len + 1) {
+                let i = rng.range_usize(0, len);
+                if rng.next_u64().is_multiple_of(3) {
+                    set.remove(i);
+                    model[i] = false;
+                } else {
+                    set.insert(i);
+                    model[i] = true;
+                }
+            }
+            let sorted: Vec<usize> = (0..len).filter(|&i| model[i]).collect();
+            assert_eq!(set.to_vec(), sorted, "case {case}: to_vec drifted");
+            assert_eq!(set.count(), sorted.len(), "case {case}: count drifted");
+
+            // Interleave draws from both ends, direction chosen by the
+            // rng, and check each draw against the deque model.
+            let mut iter = set.iter();
+            let mut front = 0usize;
+            let mut back = sorted.len();
+            loop {
+                let from_front = rng.next_u64().is_multiple_of(2);
+                let (drawn, expected) = if from_front {
+                    (iter.next(), (front < back).then(|| sorted[front]))
+                } else {
+                    (iter.next_back(), (front < back).then(|| sorted[back - 1]))
+                };
+                assert_eq!(
+                    drawn,
+                    expected,
+                    "case {case}: universe {len}, {} draw after {front} front / {} back",
+                    if from_front { "front" } else { "back" },
+                    sorted.len() - back,
+                );
+                match (drawn, from_front) {
+                    (Some(_), true) => front += 1,
+                    (Some(_), false) => back -= 1,
+                    (None, _) => break,
+                }
+            }
+            // Exhausted from both directions: every draw stays None.
+            assert_eq!(iter.next(), None);
+            assert_eq!(iter.next_back(), None);
+        }
+    }
 }

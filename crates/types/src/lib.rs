@@ -37,6 +37,8 @@ mod bitset;
 mod error;
 mod freq;
 mod grid;
+mod hash;
+mod json;
 mod rng;
 mod sample;
 mod units;
@@ -45,6 +47,8 @@ pub use bitset::{SettingSet, SettingSetIter};
 pub use error::{Error, Result};
 pub use freq::{CpuFreq, FreqSetting, MemFreq};
 pub use grid::{FrequencyGrid, Settings};
+pub use hash::{fnv1a64, Fnv1a64};
+pub use json::Json;
 pub use rng::SplitMix64;
 pub use sample::{
     SampleCharacteristics, SampleMeasurement, BYTES_PER_DRAM_ACCESS, INSTRUCTIONS_PER_SAMPLE,

@@ -1,0 +1,261 @@
+//! End-to-end pinning of the serving layer against direct engine calls.
+//!
+//! The serving contract is that a reply read off the socket is
+//! bit-identical to what the same `SweepEngine` query returns in-process
+//! — regardless of worker count and regardless of whether the reply came
+//! from a compute worker or the response cache. These tests hold that
+//! contract at 1 and 4 workers, exercise the cached second hit of every
+//! query, and check the overload path sheds instead of stalling.
+
+use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
+use mcdvfs_serve::{Client, Request, Response, ServeState, Server, ServerConfig};
+use mcdvfs_sim::System;
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::{Benchmark, SampleTrace};
+
+const BUDGET: f64 = 1.3;
+const THRESHOLD: f64 = 0.05;
+
+fn trace() -> SampleTrace {
+    Benchmark::Gobmk.trace().window(0, 10)
+}
+
+fn engine() -> SweepEngine {
+    SweepEngine::characterize(
+        &System::galaxy_nexus_class(),
+        &trace(),
+        FrequencyGrid::coarse(),
+    )
+}
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sends `request` twice and asserts both replies decode equal — the
+/// first answer comes from a compute worker, the second from the cache.
+fn ask_twice(client: &mut Client, request: &Request) -> Response {
+    let first = client.request(request).expect("first reply");
+    let second = client.request(request).expect("cached reply");
+    assert_eq!(first, second, "cached reply diverged for {request:?}");
+    first
+}
+
+#[test]
+fn socket_replies_are_bit_identical_to_direct_engine_calls() {
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let reference = engine();
+    let expect_choices = reference.optimal_series(budget);
+    let expect_clusters = reference.cluster_detail(budget, THRESHOLD).unwrap();
+    let expect_regions = reference.stable_detail(budget, THRESHOLD).unwrap();
+    let expect_report = reference
+        .governed_reports(&GovernedRun::with_paper_overheads(), &trace(), &[budget])
+        .pop()
+        .unwrap();
+    let data = reference.data();
+
+    for workers in [1usize, 4] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServeState::new(engine(), trace()),
+            config(workers),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let reply = ask_twice(&mut client, &Request::OptimalSetting { budget });
+        let Response::OptimalSetting(choices) = reply else {
+            panic!("wrong reply kind at {workers} workers");
+        };
+        assert_eq!(choices.len(), expect_choices.len());
+        for (wire, direct) in choices.iter().zip(&expect_choices) {
+            assert_eq!(wire.sample, direct.sample);
+            assert_eq!(wire.index, direct.index);
+            assert_eq!(wire.cpu_mhz, direct.setting.cpu.mhz());
+            assert_eq!(wire.mem_mhz, direct.setting.mem.mhz());
+            assert_eq!(wire.time_s.to_bits(), direct.time.value().to_bits());
+            assert_eq!(wire.energy_j.to_bits(), direct.energy.value().to_bits());
+            assert_eq!(
+                wire.inefficiency.to_bits(),
+                direct.inefficiency.value().to_bits()
+            );
+        }
+
+        let reply = ask_twice(
+            &mut client,
+            &Request::Cluster {
+                budget,
+                threshold: THRESHOLD,
+            },
+        );
+        let Response::Cluster(clusters) = reply else {
+            panic!("wrong reply kind at {workers} workers");
+        };
+        assert_eq!(clusters.len(), expect_clusters.len());
+        for (wire, direct) in clusters.iter().zip(&expect_clusters) {
+            assert_eq!(wire.sample, direct.sample);
+            assert_eq!(wire.optimal_index, direct.optimal.index);
+            assert_eq!(wire.members, direct.member_indices().to_vec());
+            assert_eq!(wire.cpu_mhz, direct.cpu_range_mhz(data));
+            assert_eq!(wire.mem_mhz, direct.mem_range_mhz(data));
+        }
+
+        let reply = ask_twice(
+            &mut client,
+            &Request::StableRegions {
+                budget,
+                threshold: THRESHOLD,
+            },
+        );
+        let Response::StableRegions(regions) = reply else {
+            panic!("wrong reply kind at {workers} workers");
+        };
+        assert_eq!(regions.len(), expect_regions.len());
+        for (wire, direct) in regions.iter().zip(&expect_regions) {
+            assert_eq!(wire.start, direct.start);
+            assert_eq!(wire.end, direct.end);
+            assert_eq!(wire.chosen_index, direct.chosen_index);
+            assert_eq!(wire.available, direct.available_indices().to_vec());
+            let chosen = direct.chosen_setting(data);
+            assert_eq!(wire.cpu_mhz, chosen.cpu.mhz());
+            assert_eq!(wire.mem_mhz, chosen.mem.mhz());
+        }
+
+        let reply = ask_twice(
+            &mut client,
+            &Request::GovernedReplay {
+                governor: "paper".to_string(),
+                budget,
+            },
+        );
+        let Response::GovernedReplay(report) = reply else {
+            panic!("wrong reply kind at {workers} workers");
+        };
+        assert_eq!(report.governor, expect_report.governor);
+        assert_eq!(
+            report.work_time_s.to_bits(),
+            expect_report.work_time.value().to_bits()
+        );
+        assert_eq!(
+            report.work_energy_j.to_bits(),
+            expect_report.work_energy.value().to_bits()
+        );
+        assert_eq!(
+            report.tuning_energy_j.to_bits(),
+            expect_report.tuning_energy.value().to_bits()
+        );
+        assert_eq!(
+            report.transition_energy_j.to_bits(),
+            expect_report.transition_energy.value().to_bits()
+        );
+        assert_eq!(report.transitions, expect_report.transitions);
+        assert_eq!(report.searches, expect_report.searches);
+        assert_eq!(
+            report.total_emin_j.to_bits(),
+            expect_report.total_emin.value().to_bits()
+        );
+
+        let metrics = server.shutdown();
+        // 8 compute requests: 4 distinct queries, each answered once by a
+        // worker and once from the cache.
+        assert_eq!(metrics.counter("requests.total"), 8);
+        assert_eq!(metrics.counter("cache.miss"), 4);
+        assert_eq!(metrics.counter("cache.hit"), 4);
+        assert_eq!(metrics.counter("overloaded"), 0);
+        assert_eq!(metrics.counter("protocol.errors"), 0);
+    }
+}
+
+#[test]
+fn health_reports_the_served_characterization() {
+    let reference = engine();
+    let fingerprint = format!("{:016x}", reference.data().fingerprint());
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(2)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let Response::Health(health) = client.request(&Request::Health).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.workload, reference.data().name());
+    assert_eq!(health.samples, reference.data().n_samples());
+    assert_eq!(health.settings, reference.data().n_settings());
+    assert_eq!(health.fingerprint, fingerprint);
+    assert_eq!(health.workers, 2);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn malformed_requests_answer_typed_errors_and_count() {
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(1)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // An unknown governor is decodable but uncomputable: typed error.
+    let reply = client
+        .request(&Request::GovernedReplay {
+            governor: "ondemand".to_string(),
+            budget: InefficiencyBudget::Unconstrained,
+        })
+        .unwrap();
+    assert!(matches!(reply, Response::Error(_)), "got {reply:?}");
+    // The server stays healthy afterwards.
+    let reply = client.request(&Request::Health).unwrap();
+    assert!(matches!(reply, Response::Health(_)));
+    let metrics = server.shutdown();
+    assert_eq!(metrics.counter("requests.total"), 2);
+    // Errors are never cached.
+    assert_eq!(metrics.counter("cache.hit"), 0);
+}
+
+#[test]
+fn full_queue_sheds_with_overloaded_instead_of_stalling() {
+    // One slow worker and a two-slot queue: concurrent clients with
+    // distinct budgets (the cache cannot absorb them) must overflow it.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeState::new(engine(), trace()),
+        ServerConfig {
+            workers: 1,
+            queue_bound: 2,
+            compute_delay: std::time::Duration::from_millis(25),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let counts: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6u64)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut answered = 0u64;
+                    let mut shed = 0u64;
+                    for i in 0..10u64 {
+                        let budget = 1.0 + (c * 1000 + i + 1) as f64 * 1e-6;
+                        let reply = client
+                            .request(&Request::OptimalSetting {
+                                budget: InefficiencyBudget::bounded(budget).unwrap(),
+                            })
+                            .unwrap();
+                        match reply {
+                            Response::OptimalSetting(_) => answered += 1,
+                            Response::Overloaded => shed += 1,
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                    (answered, shed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let answered: u64 = counts.iter().map(|(a, _)| a).sum();
+    let shed: u64 = counts.iter().map(|(_, s)| s).sum();
+    assert_eq!(answered + shed, 60, "every request got exactly one reply");
+    assert!(shed > 0, "load never overflowed the two-slot queue");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.counter("overloaded"), shed);
+}
