@@ -310,7 +310,19 @@ fn accept_loop(
                 let shared = Arc::clone(shared);
                 let tx = job_tx.clone();
                 let handle = thread::spawn(move || connection_loop(stream, &shared, &tx));
-                conns.lock().expect("connection list poisoned").push(handle);
+                let mut conns = conns.lock().expect("connection list poisoned");
+                // Reap finished connection threads so a long-running
+                // server does not accumulate JoinHandles for every
+                // connection it ever accepted.
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].is_finished() {
+                        let _ = conns.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                conns.push(handle);
             }
             Err(_) => {
                 if shared.stopping() {

@@ -9,8 +9,11 @@
 //! line ends), so moving the code here changed no bytes.
 //!
 //! Numbers render with Rust's shortest-round-trip `f64` formatting:
-//! `parse(render(x))` reproduces `x` bit-for-bit, which is what lets the
-//! serving layer promise bit-identical replies across the wire.
+//! `parse(render(x))` reproduces `x` bit-for-bit (including `-0.0`),
+//! which is what lets the serving layer promise bit-identical replies
+//! across the wire. Non-finite values have no JSON form and render as
+//! `null`. Container nesting is capped so untrusted network frames
+//! cannot overflow the parser's stack.
 
 /// A parsed JSON value. Object member order is preserved.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +43,7 @@ impl Json {
     pub fn parse(text: &str) -> std::result::Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -110,7 +113,17 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+/// Maximum container nesting accepted by the parser. The parser recurses
+/// once per nested `[`/`{`, and the serve crate feeds it untrusted frames
+/// up to 1 MiB — without a cap, ~100k open brackets overflow the reader
+/// thread's stack and abort the process. 128 levels is far beyond any
+/// document the workspace produces.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> std::result::Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting exceeds {MAX_DEPTH} levels at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -127,7 +140,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, Strin
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -155,7 +168,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> std::result::Result<Json, Strin
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                members.push((key, parse_value(bytes, pos)?));
+                members.push((key, parse_value(bytes, pos, depth + 1)?));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -225,14 +238,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> std::result::Result<String, St
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        let ch = if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: JSON encodes astral code
+                            // points as a \uD8xx\uDCxx pair, so the low
+                            // half must follow immediately.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(format!("lone high surrogate at byte {pos}"));
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(format!("lone high surrogate at byte {pos}"));
+                            }
+                            *pos += 6;
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined).expect("surrogate pair combines to scalar")
+                        } else if (0xDC00..=0xDFFF).contains(&code) {
+                            return Err(format!("lone low surrogate at byte {pos}"));
+                        } else {
+                            char::from_u32(code).expect("non-surrogate BMP code point is a scalar")
+                        };
+                        out.push(ch);
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -250,8 +279,24 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> std::result::Result<String, St
     }
 }
 
+/// Reads four hex digits starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> std::result::Result<u32, String> {
+    bytes
+        .get(at..at + 4)
+        .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("bad \\u escape at byte {at}"))
+}
+
 fn render_number(n: f64, out: &mut String) {
-    if n.fract() == 0.0 && n.abs() < 9e15 {
+    if !n.is_finite() {
+        // JSON has no representation for NaN/±inf; render `null` rather
+        // than emit `inf`/`NaN` tokens the parser itself would reject.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // The integer path would collapse -0.0 to "0", losing the sign
+        // bit; -0.0 takes the shortest-round-trip path ("-0") instead.
         out.push_str(&format!("{}", n as i64));
     } else {
         out.push_str(&format!("{n}"));
@@ -372,6 +417,49 @@ mod tests {
     fn json_rejects_malformed_documents() {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "\"open", "1 2"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // An adversarial single frame of open brackets must come back as
+        // a parse error, not abort the process.
+        let hostile = "[".repeat(100_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting"), "unexpected error: {err}");
+        // Nesting at the cap still parses.
+        let deep = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&deep).is_ok());
+        assert!(Json::parse(&format!("[{deep}]")).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_code_points() {
+        let doc = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(doc.as_str(), Some("\u{1f600}"));
+        // Astral characters round-trip through render (emitted raw).
+        assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
+        for lone in [
+            r#""\ud83d""#,       // high surrogate at end of string
+            r#""\ud83dx""#,      // high surrogate followed by a plain char
+            "\"\\ud83d\\u0041\"", // high surrogate followed by a BMP escape
+            r#""\ude00""#,       // lone low surrogate
+        ] {
+            assert!(Json::parse(lone).is_err(), "{lone} should fail");
+        }
+    }
+
+    #[test]
+    fn negative_zero_and_non_finite_numbers() {
+        // -0.0 keeps its sign bit through a round trip.
+        let rendered = Json::Num(-0.0).render_compact();
+        assert_eq!(rendered, "-0");
+        let back = Json::parse(&rendered).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Non-finite values render as valid JSON (`null`), never as the
+        // `inf`/`NaN` tokens the parser rejects.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(v).render_compact(), "null");
         }
     }
 

@@ -211,6 +211,34 @@ fn malformed_requests_answer_typed_errors_and_count() {
 }
 
 #[test]
+fn hostile_deep_nesting_frame_gets_an_error_not_a_crash() {
+    // Regression: a single frame of ~100k open brackets used to overflow
+    // the reader thread's stack via unbounded parser recursion and abort
+    // the whole process. It must come back as a typed error with the
+    // server still serving.
+    use mcdvfs_serve::{read_frame, write_frame};
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(1)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let hostile = "[".repeat(100_000);
+    write_frame(&mut stream, &hostile).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let reply = read_frame(&mut reader).unwrap().expect("a reply frame");
+    assert!(
+        reply.contains("error") && reply.contains("nesting"),
+        "expected a nesting error, got: {reply}"
+    );
+    drop(reader);
+    drop(stream);
+    // The process survived and new connections still work.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client.request(&Request::Health).unwrap();
+    assert!(matches!(reply, Response::Health(_)));
+    let metrics = server.shutdown();
+    assert!(metrics.counter("protocol.errors") >= 1);
+}
+
+#[test]
 fn full_queue_sheds_with_overloaded_instead_of_stalling() {
     // One slow worker and a two-slot queue: concurrent clients with
     // distinct budgets (the cache cannot absorb them) must overflow it.
