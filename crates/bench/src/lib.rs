@@ -38,10 +38,20 @@ pub const PAPER_BUDGETS: [f64; 3] = [1.0, 1.3, 1.6];
 pub const PAPER_THRESHOLDS: [f64; 3] = [0.01, 0.03, 0.05];
 
 /// Directory that CSV mirrors of the printed data land in.
+///
+/// `cargo test`/`cargo bench` run their binaries with the *package* root
+/// as cwd while `cargo run` keeps the caller's, so a bare relative
+/// `results` would scatter artifacts depending on the entry point.
+/// Anchor on the workspace root instead; `MCDVFS_RESULTS` overrides.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("MCDVFS_RESULTS")
-        .map(PathBuf::from)
+    if let Some(dir) = std::env::var_os("MCDVFS_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(|workspace| workspace.join("results"))
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 

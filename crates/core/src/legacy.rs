@@ -13,8 +13,9 @@
 
 use crate::inefficiency::{Inefficiency, InefficiencyBudget};
 use crate::optimal::{OptimalChoice, OptimalFinder};
-use mcdvfs_sim::CharacterizationGrid;
-use mcdvfs_types::{Error, Result};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Result};
+use mcdvfs_workloads::SampleTrace;
 
 /// A stable region as the reference scan reports it: plain indices, no
 /// bitsets.
@@ -28,6 +29,33 @@ pub struct LegacyRegion {
     pub chosen_index: usize,
     /// All surviving settings, ascending.
     pub available: Vec<usize>,
+}
+
+/// Reference characterization: one [`System::simulate_sample`] call per
+/// `(sample, setting)` cell, row-major — the pre-`EvalPlan` loop the
+/// compiled path in [`CharacterizationGrid::characterize`] replaced. The
+/// equivalence suite asserts the plan-compiled path (and incremental
+/// [`CharacterizationGrid::recharacterize`] updates) reproduce this
+/// bit-for-bit, and the `sweep` bench times both.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+#[must_use]
+pub fn characterize(
+    system: &System,
+    trace: &SampleTrace,
+    grid: FrequencyGrid,
+) -> CharacterizationGrid {
+    assert!(!trace.is_empty(), "cannot characterize an empty trace");
+    let settings: Vec<FreqSetting> = grid.settings().collect();
+    let mut arena = Vec::with_capacity(trace.len() * settings.len());
+    for chars in trace.iter() {
+        for &s in &settings {
+            arena.push(system.simulate_sample(chars, s));
+        }
+    }
+    CharacterizationGrid::from_measurements(trace.name(), grid, settings.len(), arena)
 }
 
 /// Reference feasible filter: scan the row, collect in-budget indices.
@@ -198,6 +226,17 @@ mod tests {
             &Benchmark::Gobmk.trace().window(0, n),
             FrequencyGrid::coarse(),
         )
+    }
+
+    #[test]
+    fn legacy_characterize_matches_production_bit_for_bit() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 8);
+        let reference = characterize(&system, &trace, FrequencyGrid::coarse());
+        let production =
+            CharacterizationGrid::characterize(&system, &trace, FrequencyGrid::coarse());
+        assert_eq!(reference, production);
+        assert_eq!(reference.fingerprint(), production.fingerprint());
     }
 
     #[test]

@@ -251,6 +251,23 @@ impl SweepEngine {
         &self.data
     }
 
+    /// Incrementally re-characterizes the dirty samples in place (see
+    /// [`CharacterizationGrid::recharacterize`]), so a warm engine picks
+    /// up a few changed samples without re-simulating the whole grid.
+    ///
+    /// If the characterization is shared (other `Arc` holders exist —
+    /// e.g. engine clones or in-flight queries), it is cloned first and
+    /// only this engine's copy is updated; exclusive holders are updated
+    /// without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` and the characterization disagree on sample
+    /// count, or when a dirty index is out of range.
+    pub fn recharacterize(&mut self, system: &System, trace: &SampleTrace, dirty: &[usize]) {
+        Arc::make_mut(&mut self.data).recharacterize(system, trace, dirty);
+    }
+
     /// Worker-pool size.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -579,6 +596,27 @@ mod tests {
         let (e, _) = engine(5);
         assert!(e.sweep(&[budget(1.3)], &[0.01, 0.9]).is_err());
         assert!(e.sweep(&[budget(1.3)], &[-0.01]).is_err());
+    }
+
+    #[test]
+    fn recharacterize_matches_a_fresh_engine_and_leaves_shared_views_alone() {
+        let system = System::galaxy_nexus_class();
+        let (mut e, trace) = engine(12);
+        let shared = Arc::clone(e.data());
+        let before = shared.fingerprint();
+
+        let mut samples = trace.samples().to_vec();
+        samples[3].mpki *= 2.0;
+        samples[8].base_cpi += 0.3;
+        let updated = SampleTrace::new(trace.name(), samples);
+        e.recharacterize(&system, &updated, &[3, 8]);
+
+        // The outstanding holder kept the pre-update view (copy-on-write)...
+        assert_eq!(shared.fingerprint(), before);
+        // ...while the engine matches a from-scratch characterization.
+        let fresh = SweepEngine::characterize(&system, &updated, FrequencyGrid::coarse());
+        assert_eq!(e.data().as_ref(), fresh.data().as_ref());
+        assert_eq!(e.data().fingerprint(), fresh.data().fingerprint());
     }
 
     #[test]

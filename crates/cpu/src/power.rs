@@ -173,6 +173,15 @@ impl CpuPowerModel {
     pub fn reference_freq(&self) -> CpuFreq {
         self.f_ref
     }
+
+    /// Peak dynamic power (at `V = Vmax`, `f = f_ref`, activity 1, busy 1) —
+    /// the coefficient of the `af · busy · V² · f` term, exposed so callers
+    /// evaluating many samples at one operating point can hoist the
+    /// frequency-dependent factors and scale this coefficient per sample.
+    #[must_use]
+    pub fn peak_dynamic(&self) -> Watts {
+        self.peak_dynamic
+    }
 }
 
 #[cfg(test)]

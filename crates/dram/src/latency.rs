@@ -78,6 +78,30 @@ impl LatencyModel {
             * (1.0 - self.timings.refresh_overhead())
     }
 
+    /// Fixed controller + interconnect overhead, ns.
+    #[must_use]
+    pub fn ctrl_overhead_ns(&self) -> f64 {
+        self.ctrl_overhead_ns
+    }
+
+    /// Average row-*miss* latency at `freq`: the conflict-fraction-weighted
+    /// mix of closed-bank misses and open-row conflicts. This is the
+    /// `t_row_miss_mix(f)` term of the latency formula, exposed so callers
+    /// that evaluate many samples at one frequency can hoist it.
+    #[must_use]
+    pub fn miss_mix_ns(&self, freq: MemFreq) -> f64 {
+        let t = &self.timings;
+        t.row_miss_ns(freq) * (1.0 - self.conflict_fraction)
+            + t.row_conflict_ns(freq) * self.conflict_fraction
+    }
+
+    /// Mean service time of one cache-line transfer at `freq`, ns — the `S`
+    /// of the M/D/1 queueing term, exposed for per-frequency hoisting.
+    #[must_use]
+    pub fn service_time_ns(&self, freq: MemFreq) -> f64 {
+        mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64 / self.effective_bandwidth(freq) * 1e9
+    }
+
     /// Average access latency in ns at `freq`, for a stream with the given
     /// row-buffer hit rate and channel utilization `rho ∈ [0, 1]`.
     ///
@@ -89,18 +113,14 @@ impl LatencyModel {
     pub fn avg_latency_ns(&self, freq: MemFreq, row_hit_rate: f64, rho: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&row_hit_rate));
         debug_assert!(rho >= 0.0);
-        let t = &self.timings;
-        let hit = t.row_hit_ns(freq);
-        let miss = t.row_miss_ns(freq) * (1.0 - self.conflict_fraction)
-            + t.row_conflict_ns(freq) * self.conflict_fraction;
+        let hit = self.timings.row_hit_ns(freq);
+        let miss = self.miss_mix_ns(freq);
         let base = self.ctrl_overhead_ns + row_hit_rate * hit + (1.0 - row_hit_rate) * miss;
 
         // M/D/1 mean wait: W = ρ·S / (2(1-ρ)), with S the mean service time
         // (one line transfer) and ρ clamped below saturation.
         let rho = rho.min(self.max_utilization);
-        let service_ns =
-            mcdvfs_types::BYTES_PER_DRAM_ACCESS as f64 / self.effective_bandwidth(freq) * 1e9;
-        let wait = rho * service_ns / (2.0 * (1.0 - rho));
+        let wait = rho * self.service_time_ns(freq) / (2.0 * (1.0 - rho));
         base + wait
     }
 

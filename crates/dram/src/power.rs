@@ -156,13 +156,30 @@ impl DramPowerModel {
     #[must_use]
     pub fn background_power(&self, freq: MemFreq, active_fraction: f64) -> Watts {
         debug_assert!((0.0..=1.0).contains(&active_fraction));
-        let idd2n = self.scale_current(self.idd2n, freq);
-        let idd3n = self.scale_current(self.idd3n, freq);
+        let (idd2n, idd3n) = self.standby_currents(freq);
         let blended = IddCurrents::new(
             idd2n.vdd1_ma + (idd3n.vdd1_ma - idd2n.vdd1_ma) * active_fraction,
             idd2n.vdd2_ma + (idd3n.vdd2_ma - idd2n.vdd2_ma) * active_fraction,
         );
-        blended.power(self.vdd1, self.vdd2)
+        self.rail_power(blended)
+    }
+
+    /// The frequency-scaled standby currents `(IDD2N, IDD3N)` at `freq` —
+    /// the two endpoints [`Self::background_power`] blends by bank-active
+    /// fraction, exposed so callers evaluating many intervals at one
+    /// frequency can hoist the scaling and blend per interval.
+    #[must_use]
+    pub fn standby_currents(&self, freq: MemFreq) -> (IddCurrents, IddCurrents) {
+        (
+            self.scale_current(self.idd2n, freq),
+            self.scale_current(self.idd3n, freq),
+        )
+    }
+
+    /// Power drawn by `currents` at this model's rail voltages.
+    #[must_use]
+    pub fn rail_power(&self, currents: IddCurrents) -> Watts {
+        currents.power(self.vdd1, self.vdd2)
     }
 
     /// Energy of one row activate + precharge pair (IDD0 over tRC above the

@@ -43,6 +43,19 @@ impl CacheKey {
         h.write_u64(self.governor_hash);
         (h.finish() % shards as u64) as usize
     }
+
+    /// Total order on key bits, used only to break eviction ties
+    /// deterministically — `HashMap` iteration order must never decide
+    /// which entry dies.
+    fn tie_bits(&self) -> (u64, u8, u64, u64, u64) {
+        (
+            self.fingerprint,
+            self.kind,
+            self.budget_bits,
+            self.threshold_bits,
+            self.governor_hash,
+        )
+    }
 }
 
 #[derive(Debug)]
@@ -74,11 +87,15 @@ pub struct ShardedLru {
 
 impl ShardedLru {
     /// Creates a cache of roughly `capacity` entries split over
-    /// `shards` locks. Zero values are clamped to one.
+    /// `shards` locks. Zero values are clamped to one, and the shard
+    /// count is clamped to `capacity` so a small cache never
+    /// over-provisions (`div_ceil` would otherwise round every shard up
+    /// to one entry — a 4-entry cache over 8 shards would hold 8).
     #[must_use]
     pub fn new(capacity: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
-        let capacity_per_shard = (capacity.max(1)).div_ceil(shards);
+        let capacity = capacity.max(1);
+        let shards = shards.max(1).min(capacity);
+        let capacity_per_shard = capacity.div_ceil(shards);
         Self {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             capacity_per_shard,
@@ -89,13 +106,15 @@ impl ShardedLru {
         &self.shards[key.shard_of(self.shards.len())]
     }
 
-    /// Looks up a reply, refreshing its recency on a hit.
+    /// Looks up a reply, refreshing its recency on a hit. A miss leaves
+    /// the shard's recency tick untouched, so a stream of misses cannot
+    /// age out resident entries' relative order.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        let tick = shard.touch();
+        let shard = &mut *self.shard(key).lock().expect("cache shard poisoned");
         let entry = shard.map.get_mut(key)?;
-        entry.last_used = tick;
+        shard.tick += 1;
+        entry.last_used = shard.tick;
         Some(Arc::clone(&entry.value))
     }
 
@@ -105,10 +124,13 @@ impl ShardedLru {
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         let tick = shard.touch();
         if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
+            // `last_used` ties are real (entries inserted back-to-back
+            // with no intervening hits), so break them on key bits —
+            // never on HashMap iteration order, which varies run to run.
             if let Some(oldest) = shard
                 .map
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(k, e)| (e.last_used, k.tie_bits()))
                 .map(|(k, _)| *k)
             {
                 shard.map.remove(&oldest);
@@ -179,6 +201,69 @@ mod tests {
         assert!(cache.get(&key(0, 1.1)).is_none());
         assert!(cache.get(&key(0, 1.2)).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn tied_recency_evicts_by_key_bits_not_hashmap_order() {
+        let cache = ShardedLru::new(3, 1);
+        cache.insert(key(0, 1.0), Arc::new("a".to_string()));
+        cache.insert(key(0, 1.1), Arc::new("b".to_string()));
+        cache.insert(key(0, 1.2), Arc::new("c".to_string()));
+        // Flatten every entry onto one tick so the eviction scan sees a
+        // genuine three-way tie, then insert a fourth entry. The victim
+        // must be chosen by key bits (smallest budget_bits here — the
+        // keys agree on every other field), not by whichever entry
+        // HashMap iteration happened to visit first this run.
+        {
+            let mut shard = cache.shards[0].lock().unwrap();
+            for e in shard.map.values_mut() {
+                e.last_used = 7;
+            }
+        }
+        cache.insert(key(0, 1.3), Arc::new("d".to_string()));
+        assert!(cache.get(&key(0, 1.0)).is_none(), "smallest key bits dies");
+        assert!(cache.get(&key(0, 1.1)).is_some());
+        assert!(cache.get(&key(0, 1.2)).is_some());
+        assert!(cache.get(&key(0, 1.3)).is_some());
+    }
+
+    #[test]
+    fn a_miss_does_not_advance_the_recency_tick() {
+        let cache = ShardedLru::new(2, 1);
+        cache.insert(key(0, 1.0), Arc::new("a".to_string()));
+        let before = cache.shards[0].lock().unwrap().tick;
+        assert!(cache.get(&key(0, 9.9)).is_none());
+        assert!(cache.get(&key(1, 9.9)).is_none());
+        assert_eq!(
+            cache.shards[0].lock().unwrap().tick,
+            before,
+            "misses must not age resident entries"
+        );
+        assert!(cache.get(&key(0, 1.0)).is_some(), "hits still tick");
+        assert_eq!(cache.shards[0].lock().unwrap().tick, before + 1);
+    }
+
+    #[test]
+    fn small_capacity_clamps_shard_count_instead_of_over_provisioning() {
+        // A 4-entry cache over 8 shards must hold 4 entries, not 8
+        // (div_ceil would otherwise give every shard one slot).
+        let cache = ShardedLru::new(4, 8);
+        for i in 0..32 {
+            cache.insert(key(0, 1.0 + f64::from(i)), Arc::new(i.to_string()));
+        }
+        assert!(
+            cache.len() <= 4,
+            "capacity 4 must bound residency, got {}",
+            cache.len()
+        );
+        // Degenerate corners stay usable.
+        let one = ShardedLru::new(1, 16);
+        one.insert(key(0, 1.0), Arc::new("a".to_string()));
+        one.insert(key(0, 2.0), Arc::new("b".to_string()));
+        assert_eq!(one.len(), 1);
+        let zero = ShardedLru::new(0, 0);
+        zero.insert(key(0, 1.0), Arc::new("a".to_string()));
+        assert_eq!(zero.len(), 1);
     }
 
     #[test]

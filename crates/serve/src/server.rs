@@ -34,6 +34,7 @@ use crate::protocol::{
 };
 use mcdvfs_core::{GovernedRun, RunReport, SweepEngine};
 use mcdvfs_obs::{MetricSet, Profiler};
+use mcdvfs_sim::System;
 use mcdvfs_types::fnv1a64;
 use mcdvfs_workloads::SampleTrace;
 use std::io::{self, BufRead, BufReader};
@@ -138,6 +139,28 @@ impl ServeState {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Applies an incremental characterization update for the `dirty`
+    /// sample indices (see [`SweepEngine::recharacterize`]), replaces the
+    /// replay trace with `trace`, and refreshes the served fingerprint.
+    ///
+    /// Only the dirty rows are re-simulated, and the new fingerprint
+    /// folds the grid's cached per-row hashes — a warm state picks up a
+    /// few changed samples without recomputing over the whole arena.
+    /// [`Server::start`] takes the state by value, so this runs before a
+    /// (re)start, blue-green style: a running server's replies — and its
+    /// cache entries, which key on the fingerprint — stay pinned to the
+    /// characterization they were computed against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` and the characterization disagree on sample
+    /// count, or when a dirty index is out of range.
+    pub fn recharacterize(&mut self, system: &System, trace: SampleTrace, dirty: &[usize]) {
+        self.engine.recharacterize(system, &trace, dirty);
+        self.trace = trace;
+        self.fingerprint = self.engine.data().fingerprint();
     }
 }
 
@@ -515,7 +538,18 @@ fn handle_request(
         }
         _ => {}
     }
-    let key = cache_key(shared.state.fingerprint, &request).expect("compute queries have keys");
+    // Every variant that falls through the inline match above has a
+    // cache key today; if dispatch and `cache_key` ever disagree (a new
+    // request kind wired into one but not the other), a typed reply is
+    // the right failure mode — not a thread panic.
+    let Some(key) = cache_key(shared.state.fingerprint, &request) else {
+        record(&shared.reader_metrics, |m| m.incr("internal.errors", 1));
+        return Response::Error(format!(
+            "internal error: no cache key for {:?} dispatch",
+            request.kind()
+        ))
+        .encode();
+    };
     if let Some(hit) = shared.cache.get(&key) {
         record(&shared.reader_metrics, |m| m.incr("cache.hit", 1));
         return String::clone(&hit);
@@ -718,5 +752,63 @@ fn wire_report(r: &RunReport) -> WireReport {
         mem_transitions: r.mem_transitions,
         searches: r.searches,
         total_emin_j: r.total_emin.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_core::InefficiencyBudget;
+
+    #[test]
+    fn every_compute_kind_has_a_cache_key_and_inline_kinds_have_none() {
+        let b = InefficiencyBudget::bounded(1.3).unwrap();
+        let compute = [
+            Request::OptimalSetting { budget: b },
+            Request::Cluster {
+                budget: b,
+                threshold: 0.05,
+            },
+            Request::StableRegions {
+                budget: b,
+                threshold: 0.05,
+            },
+            Request::GovernedReplay {
+                governor: "paper".to_string(),
+                budget: b,
+            },
+        ];
+        let mut kinds = std::collections::HashSet::new();
+        for request in &compute {
+            let key = cache_key(0xfeed, request)
+                .unwrap_or_else(|| panic!("{} must be cacheable", request.kind()));
+            assert_eq!(key.fingerprint, 0xfeed);
+            assert!(kinds.insert(key.kind), "kind discriminants must differ");
+        }
+        // Inline-answered kinds carry no key; dispatch must never send
+        // them to the compute path (the keyless fallback replies with a
+        // typed internal error rather than panicking if it ever does).
+        assert!(cache_key(0xfeed, &Request::Stats).is_none());
+        assert!(cache_key(0xfeed, &Request::Health).is_none());
+    }
+
+    #[test]
+    fn unconstrained_budget_key_cannot_collide_with_a_finite_one() {
+        let finite = cache_key(
+            1,
+            &Request::OptimalSetting {
+                budget: InefficiencyBudget::bounded(1.3).unwrap(),
+            },
+        )
+        .unwrap();
+        let unconstrained = cache_key(
+            1,
+            &Request::OptimalSetting {
+                budget: InefficiencyBudget::Unconstrained,
+            },
+        )
+        .unwrap();
+        assert_eq!(unconstrained.budget_bits, u64::MAX);
+        assert_ne!(finite.budget_bits, unconstrained.budget_bits);
     }
 }

@@ -15,9 +15,13 @@
 //! stable regions, Figures 2–12) hit cached values instead of rescanning
 //! the matrix.
 
+use crate::plan::EvalPlan;
 use crate::system::System;
 use mcdvfs_obs::{count_edges, MetricSet, Profiler};
-use mcdvfs_types::{Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement, Seconds};
+use mcdvfs_types::{
+    hash_measurements, Error, FreqSetting, FrequencyGrid, Joules, Result, SampleMeasurement,
+    Seconds,
+};
 use mcdvfs_workloads::SampleTrace;
 use std::time::Instant;
 
@@ -62,6 +66,10 @@ pub struct CharacterizationGrid {
     col_time: Vec<Seconds>,
     /// Cached per-setting total energy (column sum).
     col_energy: Vec<Joules>,
+    /// Cached per-row content hash ([`hash_measurements`] of each row);
+    /// [`Self::fingerprint`] folds these, so an incremental update only
+    /// rehashes the rows it rewrote.
+    row_hashes: Vec<u64>,
 }
 
 impl CharacterizationGrid {
@@ -74,14 +82,12 @@ impl CharacterizationGrid {
     #[must_use]
     pub fn characterize(system: &System, trace: &SampleTrace, grid: FrequencyGrid) -> Self {
         assert!(!trace.is_empty(), "cannot characterize an empty trace");
-        let settings: Vec<FreqSetting> = grid.settings().collect();
-        let mut arena = Vec::with_capacity(trace.len() * settings.len());
+        let plan = EvalPlan::compile(system, grid);
+        let mut arena = Vec::with_capacity(trace.len() * plan.n_settings());
         for chars in trace.iter() {
-            for &s in &settings {
-                arena.push(system.simulate_sample(chars, s));
-            }
+            plan.eval_row_into(chars, &mut arena);
         }
-        Self::from_arena(trace.name(), grid, settings.len(), arena)
+        Self::from_arena(trace.name(), grid, plan.n_settings(), arena)
     }
 
     /// As [`Self::characterize`], fanned out over `threads` OS threads
@@ -126,31 +132,29 @@ impl CharacterizationGrid {
         assert!(threads > 0, "need at least one thread");
         let phase = profiler.span("characterize");
         let phase_id = phase.id();
-        let settings: Vec<FreqSetting> = grid.settings().collect();
+        let plan = EvalPlan::compile(system, grid);
         let samples = trace.samples();
         let chunk = samples.len().div_ceil(threads);
-        let width = settings.len();
+        let width = plan.n_settings();
         let mut arena: Vec<SampleMeasurement> = Vec::with_capacity(samples.len() * width);
         std::thread::scope(|scope| {
             let handles: Vec<_> = samples
                 .chunks(chunk)
                 .map(|part| {
-                    let settings = &settings;
+                    let plan = &plan;
                     scope.spawn(move || {
                         let _worker = profiler.span_under(phase_id, "worker");
                         let started = profiler.is_enabled().then(Instant::now);
                         let mut rows = Vec::with_capacity(part.len() * width);
                         for chars in part {
-                            for &s in settings.iter() {
-                                rows.push(system.simulate_sample(chars, s));
-                            }
+                            plan.eval_row_into(chars, &mut rows);
                         }
                         let mut metrics = MetricSet::new();
                         if let Some(t0) = started {
                             metrics.incr("characterize.samples", part.len() as u64);
                             metrics.observe(
                                 "characterize.worker_rows",
-                                (part.len() * settings.len()) as f64,
+                                (part.len() * width) as f64,
                                 count_edges,
                             );
                             metrics.observe_duration_ns(
@@ -191,6 +195,32 @@ impl CharacterizationGrid {
         std::thread::available_parallelism().map_or(1, usize::from)
     }
 
+    /// Builds a grid directly from a row-major measurement arena — the
+    /// constructor reference implementations (see `mcdvfs_core::legacy`)
+    /// use to produce a grid without going through the compiled
+    /// [`EvalPlan`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_settings` is zero, `arena` is empty, its length is
+    /// not a multiple of `n_settings`, or `n_settings` differs from the
+    /// grid's size.
+    #[must_use]
+    pub fn from_measurements(
+        name: &str,
+        grid: FrequencyGrid,
+        n_settings: usize,
+        arena: Vec<SampleMeasurement>,
+    ) -> Self {
+        assert!(n_settings > 0, "need at least one setting");
+        assert_eq!(n_settings, grid.len(), "arena stride must match the grid");
+        assert!(
+            !arena.is_empty() && arena.len().is_multiple_of(n_settings),
+            "arena must hold whole rows"
+        );
+        Self::from_arena(name, grid, n_settings, arena)
+    }
+
     fn from_arena(
         name: &str,
         grid: FrequencyGrid,
@@ -198,11 +228,13 @@ impl CharacterizationGrid {
         arena: Vec<SampleMeasurement>,
     ) -> Self {
         debug_assert!(n_settings > 0 && arena.len().is_multiple_of(n_settings));
-        // One linear pass fills every cache: row minima (Emin) and column
-        // totals accumulated in sample order, so the cached sums are
-        // bit-identical to summing rows on demand.
+        // One linear pass fills every cache: row minima (Emin), column
+        // totals accumulated in sample order (so the cached sums are
+        // bit-identical to summing rows on demand), and per-row content
+        // hashes for the incremental fingerprint.
         let n_samples = arena.len() / n_settings;
         let mut emin = Vec::with_capacity(n_samples);
+        let mut row_hashes = Vec::with_capacity(n_samples);
         let mut col_time = vec![Seconds::ZERO; n_settings];
         let mut col_energy = vec![Joules::ZERO; n_settings];
         for row in arena.chunks_exact(n_settings) {
@@ -213,6 +245,7 @@ impl CharacterizationGrid {
                 col_energy[idx] += m.energy();
             }
             emin.push(row_min);
+            row_hashes.push(hash_measurements(row));
         }
         Self {
             name: name.to_string(),
@@ -222,6 +255,69 @@ impl CharacterizationGrid {
             emin,
             col_time,
             col_energy,
+            row_hashes,
+        }
+    }
+
+    /// Incrementally re-characterizes the samples listed in `dirty` after
+    /// their characteristics changed, leaving every other row's
+    /// measurements untouched.
+    ///
+    /// `trace` is the *updated* trace (same length and workload as the one
+    /// originally characterized). Each dirty row is re-simulated through a
+    /// freshly compiled [`EvalPlan`] — bit-identical to what a full
+    /// recharacterization of the updated trace would produce for that row
+    /// — and its cached `Emin` and content hash are refreshed. The
+    /// per-setting column totals are then rebuilt in one linear pass in
+    /// sample order: floating-point sums are order-sensitive, so
+    /// re-accumulating (rather than delta-adjusting) is what keeps the
+    /// cached totals bit-identical to a full recompute. That pass touches
+    /// only already-materialized measurements, so its cost is microseconds
+    /// against the milliseconds-per-row simulation it avoids.
+    ///
+    /// Duplicate indices in `dirty` are evaluated once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` has a different number of samples than the
+    /// grid, or when a dirty index is out of range.
+    pub fn recharacterize(&mut self, system: &System, trace: &SampleTrace, dirty: &[usize]) {
+        assert_eq!(
+            trace.len(),
+            self.n_samples(),
+            "updated trace must match the characterized sample count"
+        );
+        if dirty.is_empty() {
+            return;
+        }
+        let plan = EvalPlan::compile(system, self.grid);
+        debug_assert_eq!(plan.n_settings(), self.n_settings);
+        let mut seen = vec![false; self.n_samples()];
+        for &s in dirty {
+            assert!(s < seen.len(), "dirty sample index {s} out of range");
+            if std::mem::replace(&mut seen[s], true) {
+                continue;
+            }
+            let row = &mut self.arena[s * self.n_settings..(s + 1) * self.n_settings];
+            plan.eval_row_slice(&trace.samples()[s], row);
+            let mut row_min = Joules::new(f64::INFINITY);
+            for m in row.iter() {
+                row_min = row_min.min(m.energy());
+            }
+            self.emin[s] = row_min;
+            self.row_hashes[s] = hash_measurements(row);
+        }
+        for t in &mut self.col_time {
+            *t = Seconds::ZERO;
+        }
+        for e in &mut self.col_energy {
+            *e = Joules::ZERO;
+        }
+        for row in self.arena.chunks_exact(self.n_settings) {
+            for (idx, m) in row.iter().enumerate() {
+                self.col_time[idx] += m.time;
+                self.col_energy[idx] += m.energy();
+            }
         }
     }
 
@@ -341,6 +437,11 @@ impl CharacterizationGrid {
     /// value. FNV-1a over raw bits (not rendered decimals) means values
     /// that print alike but differ in the last ulp still get distinct
     /// fingerprints.
+    ///
+    /// The fingerprint folds the cached per-row hashes rather than
+    /// re-reading the arena, so after [`Self::recharacterize`] updates a
+    /// few rows, refreshing it costs `O(rows)` hash folds instead of a
+    /// full `O(rows × settings)` measurement scan.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = mcdvfs_types::Fnv1a64::new();
@@ -351,11 +452,8 @@ impl CharacterizationGrid {
             h.write_u64(u64::from(setting.cpu.mhz()));
             h.write_u64(u64::from(setting.mem.mhz()));
         }
-        for m in &self.arena {
-            h.write_f64(m.time.value());
-            h.write_f64(m.cpu_energy.value());
-            h.write_f64(m.mem_energy.value());
-            h.write_f64(m.cpi);
+        for &row_hash in &self.row_hashes {
+            h.write_u64(row_hash);
         }
         h.finish()
     }
@@ -547,5 +645,98 @@ mod tests {
     fn out_of_range_sample_row_panics() {
         let d = data();
         let _ = d.sample_row(d.n_samples());
+    }
+
+    #[test]
+    fn from_measurements_reproduces_characterize() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 5);
+        let grid = small_grid();
+        let settings: Vec<FreqSetting> = grid.settings().collect();
+        let mut arena = Vec::new();
+        for chars in trace.iter() {
+            for &s in &settings {
+                arena.push(system.simulate_sample(chars, s));
+            }
+        }
+        let raw =
+            CharacterizationGrid::from_measurements(trace.name(), grid, settings.len(), arena);
+        let planned = CharacterizationGrid::characterize(&system, &trace, grid);
+        assert_eq!(raw, planned);
+        assert_eq!(raw.fingerprint(), planned.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must match")]
+    fn from_measurements_rejects_wrong_stride() {
+        let m = data().sample_row(0).to_vec();
+        let _ = CharacterizationGrid::from_measurements("x", small_grid(), m.len() - 1, m);
+    }
+
+    #[test]
+    fn recharacterize_matches_full_recompute_bitwise() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 10);
+        let grid = small_grid();
+        let mut incremental = CharacterizationGrid::characterize(&system, &trace, grid);
+        let mut samples = trace.samples().to_vec();
+        samples[1].mpki *= 1.5;
+        samples[4].base_cpi += 0.2;
+        samples[7].row_hit_rate = 0.3;
+        let updated = mcdvfs_workloads::SampleTrace::new(trace.name(), samples);
+        // A duplicate dirty index must be harmless.
+        incremental.recharacterize(&system, &updated, &[1, 4, 7, 4]);
+        let full = CharacterizationGrid::characterize(&system, &updated, grid);
+        assert_eq!(incremental, full);
+        assert_eq!(incremental.fingerprint(), full.fingerprint());
+        for s in 0..full.n_samples() {
+            assert_eq!(
+                incremental.sample_emin(s).value().to_bits(),
+                full.sample_emin(s).value().to_bits()
+            );
+        }
+        for idx in 0..full.n_settings() {
+            assert_eq!(
+                incremental.total_time_at(idx).value().to_bits(),
+                full.total_time_at(idx).value().to_bits()
+            );
+            assert_eq!(
+                incremental.total_energy_at(idx).value().to_bits(),
+                full.total_energy_at(idx).value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn recharacterize_with_no_dirty_rows_is_a_no_op() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 6);
+        let mut d = CharacterizationGrid::characterize(&system, &trace, small_grid());
+        let before = d.fingerprint();
+        d.recharacterize(&system, &trace, &[]);
+        assert_eq!(d.fingerprint(), before);
+        assert_eq!(
+            d,
+            CharacterizationGrid::characterize(&system, &trace, small_grid())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recharacterize_rejects_out_of_range_index() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 4);
+        let mut d = CharacterizationGrid::characterize(&system, &trace, small_grid());
+        d.recharacterize(&system, &trace, &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count")]
+    fn recharacterize_rejects_mismatched_trace() {
+        let system = System::galaxy_nexus_class();
+        let trace = Benchmark::Gobmk.trace().window(0, 4);
+        let mut d = CharacterizationGrid::characterize(&system, &trace, small_grid());
+        let shorter = Benchmark::Gobmk.trace().window(0, 3);
+        d.recharacterize(&system, &shorter, &[0]);
     }
 }

@@ -37,11 +37,13 @@
 mod characterize;
 mod clock;
 mod kernel;
+mod plan;
 mod system;
 mod transition;
 
 pub use characterize::CharacterizationGrid;
 pub use clock::{DvfsController, TransitionRecord};
 pub use kernel::EventQueue;
+pub use plan::EvalPlan;
 pub use system::System;
 pub use transition::{TransitionCost, TransitionModel};

@@ -112,7 +112,12 @@ impl System {
     /// Deterministic noise factor `1 ± noise` derived from the sample
     /// characteristics and the setting, so each (sample, setting) pair
     /// reads the same value on every simulation.
-    fn noise_factor(&self, chars: &SampleCharacteristics, setting: FreqSetting, salt: u64) -> f64 {
+    pub(crate) fn noise_factor(
+        &self,
+        chars: &SampleCharacteristics,
+        setting: FreqSetting,
+        salt: u64,
+    ) -> f64 {
         if self.noise == 0.0 {
             return 1.0;
         }
@@ -139,6 +144,21 @@ impl System {
     #[must_use]
     pub fn vf_curve(&self) -> &VfCurve {
         &self.vf
+    }
+
+    /// The core performance model in use (for plan compilation).
+    pub(crate) fn perf_model(&self) -> &CorePerfModel {
+        &self.perf
+    }
+
+    /// The CPU power model in use (for plan compilation).
+    pub(crate) fn cpu_power_model(&self) -> &CpuPowerModel {
+        &self.cpu_power
+    }
+
+    /// The DRAM power model in use (for plan compilation).
+    pub(crate) fn dram_power_model(&self) -> &DramPowerModel {
+        &self.dram_power
     }
 
     /// Executes one sample at `setting`, returning the measurement a

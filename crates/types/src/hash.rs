@@ -80,6 +80,40 @@ impl Fnv1a64 {
     }
 }
 
+/// Content hash of a run of [`SampleMeasurement`]s: every field's exact
+/// IEEE-754 bits, in storage order.
+///
+/// This is the per-row unit of the characterization fingerprint. Hashing
+/// rows independently lets an incremental update (a few dirty rows of a
+/// large arena) refresh only the affected row hashes and re-fold the
+/// cached values, instead of re-reading every measurement.
+///
+/// # Examples
+///
+/// ```
+/// use mcdvfs_types::{hash_measurements, Joules, SampleMeasurement, Seconds};
+///
+/// let row = [SampleMeasurement {
+///     time: Seconds::from_millis(12.0),
+///     cpu_energy: Joules::from_millis(8.0),
+///     mem_energy: Joules::from_millis(2.0),
+///     cpi: 1.2,
+/// }];
+/// assert_eq!(hash_measurements(&row), hash_measurements(&row));
+/// assert_ne!(hash_measurements(&row), hash_measurements(&[]));
+/// ```
+#[must_use]
+pub fn hash_measurements(measurements: &[crate::SampleMeasurement]) -> u64 {
+    let mut h = Fnv1a64::new();
+    for m in measurements {
+        h.write_f64(m.time.value());
+        h.write_f64(m.cpu_energy.value());
+        h.write_f64(m.mem_energy.value());
+        h.write_f64(m.cpi);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

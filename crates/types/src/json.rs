@@ -440,10 +440,10 @@ mod tests {
         // Astral characters round-trip through render (emitted raw).
         assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
         for lone in [
-            r#""\ud83d""#,       // high surrogate at end of string
-            r#""\ud83dx""#,      // high surrogate followed by a plain char
+            r#""\ud83d""#,        // high surrogate at end of string
+            r#""\ud83dx""#,       // high surrogate followed by a plain char
             "\"\\ud83d\\u0041\"", // high surrogate followed by a BMP escape
-            r#""\ude00""#,       // lone low surrogate
+            r#""\ude00""#,        // lone low surrogate
         ] {
             assert!(Json::parse(lone).is_err(), "{lone} should fail");
         }

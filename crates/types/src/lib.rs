@@ -47,7 +47,7 @@ pub use bitset::{SettingSet, SettingSetIter};
 pub use error::{Error, Result};
 pub use freq::{CpuFreq, FreqSetting, MemFreq};
 pub use grid::{FrequencyGrid, Settings};
-pub use hash::{fnv1a64, Fnv1a64};
+pub use hash::{fnv1a64, hash_measurements, Fnv1a64};
 pub use json::Json;
 pub use rng::SplitMix64;
 pub use sample::{

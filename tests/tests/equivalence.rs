@@ -16,7 +16,7 @@ use mcdvfs_core::{
     SweepEngine,
 };
 use mcdvfs_sim::{CharacterizationGrid, System};
-use mcdvfs_types::FrequencyGrid;
+use mcdvfs_types::{FrequencyGrid, SplitMix64};
 use mcdvfs_workloads::{Benchmark, SampleTrace};
 use std::sync::Arc;
 
@@ -196,6 +196,104 @@ fn governed_sweep_reports_equal_live_oracle_runs() {
                 assert_eq!(
                     replayed.total_energy().value().to_bits(),
                     want.total_energy().value().to_bits()
+                );
+            }
+        }
+    }
+}
+
+/// Asserts two characterizations are equal to the bit: every arena row,
+/// every cached Emin, every cached column total, and the fingerprint.
+fn assert_grids_bit_identical(got: &CharacterizationGrid, want: &CharacterizationGrid, ctx: &str) {
+    assert_eq!(got, want, "{ctx}");
+    assert_eq!(got.fingerprint(), want.fingerprint(), "{ctx}");
+    for s in 0..want.n_samples() {
+        for (g, w) in got.sample_row(s).iter().zip(want.sample_row(s)) {
+            assert_eq!(g.time.value().to_bits(), w.time.value().to_bits(), "{ctx}");
+            assert_eq!(
+                g.cpu_energy.value().to_bits(),
+                w.cpu_energy.value().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                g.mem_energy.value().to_bits(),
+                w.mem_energy.value().to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(g.cpi.to_bits(), w.cpi.to_bits(), "{ctx}");
+        }
+        assert_eq!(
+            got.sample_emin(s).value().to_bits(),
+            want.sample_emin(s).value().to_bits(),
+            "{ctx}"
+        );
+    }
+    for i in 0..want.n_settings() {
+        assert_eq!(
+            got.total_time_at(i).value().to_bits(),
+            want.total_time_at(i).value().to_bits(),
+            "{ctx}"
+        );
+        assert_eq!(
+            got.total_energy_at(i).value().to_bits(),
+            want.total_energy_at(i).value().to_bits(),
+            "{ctx}"
+        );
+    }
+}
+
+#[test]
+fn plan_and_incremental_updates_pin_to_the_legacy_per_cell_loop() {
+    // Seeded property loop: the `EvalPlan`-compiled characterization and
+    // a chain of `recharacterize` delta updates over random dirty subsets
+    // must stay bit-identical to the legacy per-cell `simulate_sample`
+    // loop recomputed from scratch — on both grids, at 1 and 4 threads.
+    let system = System::galaxy_nexus_class();
+    let mut rng = SplitMix64::new(0x5eed_cafe_f00d_0006);
+    for (b, grid, n) in [
+        (Benchmark::Gobmk, FrequencyGrid::coarse(), 24),
+        (Benchmark::Milc, FrequencyGrid::fine(), 10),
+    ] {
+        let trace = b.trace().window(0, n);
+        for threads in [1usize, 4] {
+            let mut incremental = if threads == 1 {
+                CharacterizationGrid::characterize(&system, &trace, grid)
+            } else {
+                CharacterizationGrid::characterize_parallel(&system, &trace, grid, threads)
+            };
+            let ctx = format!("{b:?} {threads} threads, full");
+            assert_grids_bit_identical(
+                &incremental,
+                &legacy::characterize(&system, &trace, grid),
+                &ctx,
+            );
+
+            let mut samples = trace.samples().to_vec();
+            for round in 0..3 {
+                // Dirty a random ~1/4 subset (at least one sample) with
+                // random perturbations that stay in each field's domain.
+                let mut dirty: Vec<usize> = (0..n).filter(|_| rng.chance(0.25)).collect();
+                if dirty.is_empty() {
+                    dirty.push(rng.range_usize(0, n));
+                }
+                for &s in &dirty {
+                    samples[s].base_cpi *= rng.range_f64(0.8, 1.25);
+                    samples[s].mpki *= rng.range_f64(0.5, 2.0);
+                    samples[s].row_hit_rate = rng.range_f64(0.05, 0.95);
+                    samples[s].write_frac = rng.range_f64(0.0, 0.5);
+                    samples[s].mlp = rng.range_f64(1.0, 8.0);
+                }
+                // Duplicates in the dirty list must be harmless.
+                if rng.chance(0.5) {
+                    dirty.push(dirty[0]);
+                }
+                let updated = SampleTrace::new(trace.name(), samples.clone());
+                incremental.recharacterize(&system, &updated, &dirty);
+                let ctx = format!("{b:?} {threads} threads, round {round}");
+                assert_grids_bit_identical(
+                    &incremental,
+                    &legacy::characterize(&system, &updated, grid),
+                    &ctx,
                 );
             }
         }

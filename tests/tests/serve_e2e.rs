@@ -189,6 +189,83 @@ fn health_reports_the_served_characterization() {
 }
 
 #[test]
+fn recharacterized_state_serves_updated_data_under_a_fresh_fingerprint() {
+    let system = System::galaxy_nexus_class();
+    let base = trace();
+    let mut samples = base.samples().to_vec();
+    samples[2].mpki *= 1.5;
+    samples[7].base_cpi += 0.25;
+    let updated = SampleTrace::new(base.name(), samples);
+
+    // Delta-update a warm state: only rows 2 and 7 are re-simulated, and
+    // the fingerprint refresh folds cached row hashes.
+    let mut state = ServeState::new(engine(), base);
+    let stale = state.fingerprint();
+    state.recharacterize(&system, updated.clone(), &[2, 7]);
+    assert_ne!(state.fingerprint(), stale, "served identity must change");
+
+    // The delta-updated state is indistinguishable from a from-scratch
+    // characterization of the updated trace — fingerprint and replies.
+    let fresh = SweepEngine::characterize(&system, &updated, FrequencyGrid::coarse());
+    assert_eq!(state.fingerprint(), fresh.data().fingerprint());
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let expect = fresh.optimal_series(budget);
+
+    let server = Server::start("127.0.0.1:0", state, config(2)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let Response::Health(health) = client.request(&Request::Health).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(
+        health.fingerprint,
+        format!("{:016x}", fresh.data().fingerprint())
+    );
+    let reply = ask_twice(&mut client, &Request::OptimalSetting { budget });
+    let Response::OptimalSetting(choices) = reply else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(choices.len(), expect.len());
+    for (wire, direct) in choices.iter().zip(&expect) {
+        assert_eq!(wire.index, direct.index);
+        assert_eq!(wire.time_s.to_bits(), direct.time.value().to_bits());
+        assert_eq!(wire.energy_j.to_bits(), direct.energy.value().to_bits());
+    }
+    let _ = server.shutdown();
+}
+
+#[test]
+fn inline_kinds_never_reach_the_compute_path() {
+    // Stats and Health answer in the reader thread: no cache traffic, no
+    // queueing, and in particular no trip through the keyless-dispatch
+    // fallback (the `internal.errors` counter stays untouched — it only
+    // moves when a compute request reaches dispatch without a cache key,
+    // which used to panic the serving thread instead of replying).
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(1)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..3 {
+        assert!(matches!(
+            client.request(&Request::Health).unwrap(),
+            Response::Health(_)
+        ));
+        assert!(matches!(
+            client.request(&Request::Stats).unwrap(),
+            Response::Stats(_)
+        ));
+    }
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    assert!(matches!(
+        client.request(&Request::OptimalSetting { budget }).unwrap(),
+        Response::OptimalSetting(_)
+    ));
+    let metrics = server.shutdown();
+    assert_eq!(metrics.counter("requests.total"), 7);
+    assert_eq!(metrics.counter("internal.errors"), 0);
+    assert_eq!(metrics.counter("cache.miss"), 1, "only the compute query");
+    assert_eq!(metrics.counter("cache.hit"), 0);
+}
+
+#[test]
 fn malformed_requests_answer_typed_errors_and_count() {
     let server =
         Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(1)).unwrap();
