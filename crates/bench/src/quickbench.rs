@@ -151,6 +151,7 @@ impl Comparison {
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
     schema: String,
+    meta: Vec<(String, f64)>,
     entries: Vec<(String, BenchStats)>,
     comparisons: Vec<Comparison>,
 }
@@ -162,6 +163,7 @@ impl BenchReport {
     pub fn new(schema: &str) -> Self {
         Self {
             schema: schema.to_string(),
+            meta: Vec::new(),
             entries: Vec::new(),
             comparisons: Vec::new(),
         }
@@ -170,6 +172,17 @@ impl BenchReport {
     /// Records a standalone timing.
     pub fn entry(&mut self, name: &str, stats: BenchStats) {
         self.entries.push((name.to_string(), stats));
+    }
+
+    /// Records a numeric side fact (connection counts, throughput in
+    /// req/s, derived ratios) the latency rows cannot carry. Rendered as
+    /// a top-level `"meta"` object; last write per key wins.
+    pub fn note(&mut self, key: &str, value: f64) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_string(), value));
+        }
     }
 
     /// Records a baseline-vs-optimized pair and prints the speedup.
@@ -210,6 +223,20 @@ impl BenchReport {
         };
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema\": \"{}\",\n", escape(&self.schema)));
+        if !self.meta.is_empty() {
+            out.push_str("  \"meta\": {");
+            for (i, (key, value)) in self.meta.iter().enumerate() {
+                let sep = if i + 1 < self.meta.len() { ", " } else { "" };
+                // Whole numbers render without a fraction so counts stay
+                // greppable; ratios keep three decimals.
+                if (value.fract() == 0.0) && value.abs() < 1e15 {
+                    out.push_str(&format!("\"{}\": {}{sep}", escape(key), *value as i64));
+                } else {
+                    out.push_str(&format!("\"{}\": {value:.3}{sep}", escape(key)));
+                }
+            }
+            out.push_str("},\n");
+        }
         out.push_str("  \"entries\": [\n");
         for (i, (name, stats)) in self.entries.iter().enumerate() {
             let sep = if i + 1 < self.entries.len() { "," } else { "" };

@@ -245,6 +245,32 @@ impl SweepEngine {
         )))
     }
 
+    /// [`Self::characterize`] with an explicit query-time worker count.
+    ///
+    /// The characterization itself still runs parallel and auto-sized
+    /// (it is a one-off build cost and bit-identical at any width); only
+    /// the per-query fan-out width is pinned. A multi-tenant server
+    /// building one engine per workload shard uses `threads == 1` so N
+    /// shards do not each spawn a full core-count worker set — replies
+    /// stay bit-identical because every sweep entry point is
+    /// thread-count-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    #[must_use]
+    pub fn characterize_with_threads(
+        system: &System,
+        trace: &SampleTrace,
+        grid: FrequencyGrid,
+        threads: usize,
+    ) -> Self {
+        Self::with_threads(
+            Arc::new(CharacterizationGrid::characterize_auto(system, trace, grid)),
+            threads,
+        )
+    }
+
     /// The shared characterization the sweeps read.
     #[must_use]
     pub fn data(&self) -> &Arc<CharacterizationGrid> {

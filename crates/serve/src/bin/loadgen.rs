@@ -1,73 +1,114 @@
 //! Load generator for the serving layer.
 //!
-//! Drives an in-process server over loopback in two phases:
+//! Drives in-process servers over loopback in four phases:
 //!
-//! 1. **Steady** — N client threads issue a seeded query mix against a
-//!    generously provisioned server; asserts zero errors, zero shed
-//!    requests, and a warm cache (hit-rate > 0), and reports p50/p95/max
-//!    latency plus throughput.
-//! 2. **Overload** — a deliberately starved server (one worker, tiny
+//! 1. **Steady (closed loop)** — client threads each hold a
+//!    [`ClientPool`] of many connections and round-robin a seeded query
+//!    mix across ≥4 workload tenants, so the reactor sustains a
+//!    four-digit population of concurrent (mostly idle) sockets; asserts
+//!    zero errors, zero shed requests, zero protocol errors, a warm
+//!    cache, and all four engine shards resident.
+//! 2. **Steady (open loop)** — the same server under paced arrivals,
+//!    reported as its own latency row.
+//! 3. **Overload** — a deliberately starved server (one worker, tiny
 //!    queue, artificial compute delay) under uncacheable unique-budget
 //!    queries; asserts the bounded queue sheds with typed `Overloaded`
 //!    replies and every request still gets *an* answer (no hangs).
+//! 4. **Mixed-tenant scaling** — the same uncacheable load with a fixed
+//!    per-request compute cost, once against a single-engine server and
+//!    once spread over four tenant shards (one worker each); asserts the
+//!    sharded layout clears ≥2x the single-engine throughput, since the
+//!    four shard workers overlap delays one queue must serialize.
 //!
-//! Results land in `results/BENCH_serve.json` and the run is recorded in
-//! `results/MANIFEST.json` through the provenance harness. Exits nonzero
-//! on any assertion failure.
+//! Results land in `results/BENCH_serve.json` (schema `mcdvfs/serve-v2`)
+//! and the run is recorded in `results/MANIFEST.json` through the
+//! provenance harness. `--smoke` runs every phase scaled down and, like
+//! the sweep bench, validates the *committed* report (schema, required
+//! rows, the 2x mixed-tenant comparison, and the steady p95 floor)
+//! instead of overwriting it. Exits nonzero on any assertion failure.
 //!
-//! Usage: `loadgen [--smoke] [--clients N] [--requests N] [--workers N]
-//! [--seed N] [--mode open|closed]`
+//! Usage: `loadgen [--smoke] [--clients N] [--conns N] [--requests N]
+//! [--workers N] [--seed N]`
 
 use mcdvfs_bench::quickbench::{BenchReport, BenchStats};
-use mcdvfs_bench::{results_dir, Harness};
+use mcdvfs_bench::{results_dir, Harness, Json};
 use mcdvfs_core::{InefficiencyBudget, SweepEngine};
 use mcdvfs_obs::{duration_edges_ns, Histogram};
-use mcdvfs_serve::{Client, Request, Response, ServeState, Server, ServerConfig, ServerHandle};
+use mcdvfs_serve::{
+    Client, ClientPool, Request, Response, ServeState, Server, ServerConfig, ServerHandle,
+    TenantSpec, WireStats,
+};
 use mcdvfs_sim::System;
 use mcdvfs_types::{FrequencyGrid, SplitMix64};
 use mcdvfs_workloads::Benchmark;
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// Report schema written by a full run and required by the smoke gate.
+const SCHEMA: &str = "mcdvfs/serve-v2";
+
+/// Latency rows a committed report must carry.
+const REQUIRED_ENTRIES: [&str; 5] = [
+    "steady.request_latency",
+    "steady_open.request_latency",
+    "overload.request_latency",
+    "mixed_tenant.request_latency",
+    "baseline_single_engine.request_latency",
+];
+
+/// The committed mixed-tenant speedup row and its floor.
+const REQUIRED_COMPARISON: &str = "mixed_tenant_vs_single_engine";
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Steady-phase connection floor the committed report must demonstrate.
+const MIN_STEADY_CONNECTIONS: f64 = 1000.0;
+
+/// Committed steady-phase p95 ceiling (ns). The recorded full run sits
+/// well under this; a report regressing past it fails the smoke gate.
+const STEADY_P95_FLOOR_NS: f64 = 50_000_000.0;
+
+/// Tenants the steady and mixed phases spread across; `None` is the
+/// default (gobmk) engine, the rest resolve lazily built shards.
+const TENANTS: [Option<&str>; 4] = [None, Some("bzip2"), Some("gcc"), Some("perlbench")];
+
 /// Parsed command line.
 struct Args {
+    smoke: bool,
     clients: usize,
+    conns: usize,
     requests: usize,
     workers: usize,
     seed: u64,
-    open_loop: bool,
 }
 
 impl Args {
     fn parse() -> Result<Self, String> {
         let mut args = Args {
-            clients: 4,
+            smoke: false,
+            clients: 16,
+            conns: 64,
             requests: 200,
             workers: 4,
             seed: 0x5eed,
-            open_loop: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--smoke" => {
-                    args.clients = 2;
+                    args.smoke = true;
+                    args.clients = 4;
+                    args.conns = 8;
                     args.requests = 40;
                 }
                 "--clients" => args.clients = parse_num(&value("--clients")?)?,
+                "--conns" => args.conns = parse_num(&value("--conns")?)?,
                 "--requests" => args.requests = parse_num(&value("--requests")?)?,
                 "--workers" => args.workers = parse_num(&value("--workers")?)?,
                 "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
-                "--mode" => {
-                    args.open_loop = match value("--mode")?.as_str() {
-                        "open" => true,
-                        "closed" => false,
-                        other => return Err(format!("unknown mode {other:?}")),
-                    }
-                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -98,6 +139,10 @@ impl ClientTally {
         self.ok += other.ok;
         self.overloaded += other.overloaded;
         self.errors += other.errors;
+    }
+
+    fn stats(&self) -> Option<BenchStats> {
+        self.latency.as_ref().and_then(BenchStats::from_histogram)
     }
 }
 
@@ -133,32 +178,43 @@ fn pick_query(rng: &mut SplitMix64) -> Request {
     }
 }
 
-fn run_clients(
+/// Runs `threads` client threads, each holding a pool of
+/// `conns_per_thread` connections round-robined over its request list.
+/// All pools connect before the barrier releases, so every socket is
+/// concurrently open for the whole timed window; the returned duration
+/// covers requests only, not connection setup.
+fn run_pools(
     addr: SocketAddr,
-    clients: usize,
-    make_requests: impl Fn(usize) -> Vec<Request> + Send + Sync,
+    threads: usize,
+    conns_per_thread: usize,
     interarrival: Option<Duration>,
-) -> ClientTally {
-    let make_requests = &make_requests;
+    make_requests: impl Fn(usize) -> Vec<(Option<&'static str>, Request)> + Send + Sync,
+) -> (ClientTally, Duration) {
+    let barrier = Barrier::new(threads + 1);
     let mut total = ClientTally::default();
+    let mut elapsed = Duration::ZERO;
     thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
+        let barrier = &barrier;
+        let make_requests = &make_requests;
+        let handles: Vec<_> = (0..threads)
             .map(|c| {
                 scope.spawn(move || {
                     let mut tally = ClientTally {
                         latency: Some(Histogram::new(duration_edges_ns())),
                         ..ClientTally::default()
                     };
-                    let Ok(mut client) = Client::connect(addr) else {
+                    let pool = ClientPool::connect(addr, conns_per_thread).ok();
+                    barrier.wait();
+                    let Some(mut pool) = pool else {
                         tally.errors += 1;
                         return tally;
                     };
-                    for request in make_requests(c) {
+                    for (workload, request) in make_requests(c) {
                         if let Some(gap) = interarrival {
                             thread::sleep(gap);
                         }
                         let t0 = Instant::now();
-                        match client.request(&request) {
+                        match pool.request_for(workload, &request) {
                             Ok(Response::Overloaded) => tally.overloaded += 1,
                             Ok(Response::Error(_)) | Err(_) => tally.errors += 1,
                             Ok(_) => {
@@ -173,25 +229,80 @@ fn run_clients(
                 })
             })
             .collect();
+        barrier.wait();
+        let t0 = Instant::now();
         for handle in handles {
             total.absorb(handle.join().expect("client thread panicked"));
         }
+        elapsed = t0.elapsed();
     });
-    total
+    (total, elapsed)
 }
 
 fn start_server(state: ServeState, config: ServerConfig) -> ServerHandle {
     Server::start("127.0.0.1:0", state, config).expect("loopback bind")
 }
 
-fn build_state(samples: usize) -> ServeState {
+/// Default gobmk engine plus (optionally) the three named tenant specs.
+fn build_state(samples: usize, with_tenants: bool) -> ServeState {
     let trace = Benchmark::Gobmk.trace().window(0, samples);
-    let engine = SweepEngine::characterize(
-        &System::galaxy_nexus_class(),
-        &trace,
-        FrequencyGrid::coarse(),
-    );
-    ServeState::new(engine, trace)
+    let system = System::galaxy_nexus_class();
+    let engine = SweepEngine::characterize(&system, &trace, FrequencyGrid::coarse());
+    let mut state = ServeState::new(engine, trace);
+    if with_tenants {
+        for (name, benchmark) in [
+            ("bzip2", Benchmark::Bzip2),
+            ("gcc", Benchmark::Gcc),
+            ("perlbench", Benchmark::Perlbench),
+        ] {
+            state = state.with_tenant(
+                name,
+                TenantSpec::new(
+                    system.clone(),
+                    benchmark.trace().window(0, samples),
+                    FrequencyGrid::coarse(),
+                ),
+            );
+        }
+    }
+    state
+}
+
+/// Builds every tenant's shard before a timed window so lazy
+/// characterization cost never pollutes latency histograms.
+fn warm_tenants(addr: SocketAddr) -> WireStats {
+    let mut client = Client::connect(addr).expect("warmup connect");
+    for tenant in TENANTS {
+        let reply = client.request_for(tenant, &Request::Health);
+        assert!(
+            matches!(reply, Ok(Response::Health(_))),
+            "warmup health for {tenant:?} failed: {reply:?}"
+        );
+    }
+    match client.request(&Request::Stats) {
+        Ok(Response::Stats(stats)) => stats,
+        other => panic!("warmup stats failed: {other:?}"),
+    }
+}
+
+/// Uncacheable per-thread request list: every budget is unique, so the
+/// reply cache cannot absorb any of the load.
+fn unique_budget_requests(
+    tenant: Option<&'static str>,
+    thread: usize,
+    count: usize,
+) -> Vec<(Option<&'static str>, Request)> {
+    (0..count)
+        .map(|i| {
+            let budget = 1.0 + (thread * 10_000 + i + 1) as f64 * 1e-7;
+            (
+                tenant,
+                Request::OptimalSetting {
+                    budget: InefficiencyBudget::bounded(budget).expect("budgets are valid"),
+                },
+            )
+        })
+        .collect()
 }
 
 fn main() {
@@ -204,31 +315,54 @@ fn main() {
     };
     let mut harness = Harness::new("loadgen");
     let mut failures: Vec<String> = Vec::new();
+    let mut bench = BenchReport::new(SCHEMA);
 
-    // ---- Steady phase -----------------------------------------------------
-    let state = build_state(40).with_profiler(Arc::clone(harness.profiler()));
+    // ---- Phases 1+2: steady closed + open loop, mixed tenants ------------
+    let steady_connections = args.clients * args.conns;
+    let state = build_state(40, true).with_profiler(Arc::clone(harness.profiler()));
     let server = start_server(
         state,
         ServerConfig {
             workers: args.workers,
-            queue_bound: 128,
+            queue_bound: 256,
             ..ServerConfig::default()
         },
     );
     let addr = server.addr();
+    let warm = warm_tenants(addr);
+    if warm.engines != TENANTS.len() as u64 {
+        failures.push(format!(
+            "steady: {} engine shards resident after warmup, expected {}",
+            warm.engines,
+            TENANTS.len()
+        ));
+    }
     let seed = args.seed;
-    let per_client = args.requests;
-    let t0 = Instant::now();
-    let steady = run_clients(
+    let per_thread = args.requests;
+    let (steady, steady_elapsed) = run_pools(addr, args.clients, args.conns, None, |c| {
+        let mut rng = SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+        (0..per_thread)
+            .map(|i| (TENANTS[(c + i) % TENANTS.len()], pick_query(&mut rng)))
+            .collect()
+    });
+    let steady_issued = (args.clients * per_thread) as u64;
+    let steady_rps = steady.ok as f64 / steady_elapsed.as_secs_f64().max(1e-9);
+
+    let open_per_thread = (per_thread / 4).max(1);
+    let (steady_open, open_elapsed) = run_pools(
         addr,
         args.clients,
+        args.conns.min(16),
+        Some(Duration::from_millis(2)),
         |c| {
-            let mut rng = SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
-            (0..per_client).map(|_| pick_query(&mut rng)).collect()
+            let mut rng = SplitMix64::new(seed ^ 0xa5a5 ^ (c as u64).wrapping_mul(0x9e37_79b9));
+            (0..open_per_thread)
+                .map(|i| (TENANTS[(c + i) % TENANTS.len()], pick_query(&mut rng)))
+                .collect()
         },
-        args.open_loop.then_some(Duration::from_millis(2)),
     );
-    let elapsed = t0.elapsed();
+    let open_issued = (args.clients * open_per_thread) as u64;
+    let open_rps = steady_open.ok as f64 / open_elapsed.as_secs_f64().max(1e-9);
 
     // Stats over the live server, before shutdown.
     let stats = Client::connect(addr)
@@ -236,52 +370,79 @@ fn main() {
         .ok();
     let metrics = server.shutdown();
 
-    let issued = (args.clients * per_client) as u64;
-    let answered = steady.ok + steady.overloaded + steady.errors;
-    if answered != issued {
-        failures.push(format!("steady: {answered}/{issued} requests answered"));
-    }
-    if steady.errors > 0 {
-        failures.push(format!("steady: {} error replies", steady.errors));
-    }
-    if steady.overloaded > 0 {
-        failures.push(format!(
-            "steady: {} shed requests at default provisioning",
-            steady.overloaded
-        ));
+    for (phase, tally, issued) in [
+        ("steady", &steady, steady_issued),
+        ("steady_open", &steady_open, open_issued),
+    ] {
+        let answered = tally.ok + tally.overloaded + tally.errors;
+        if answered != issued {
+            failures.push(format!("{phase}: {answered}/{issued} requests answered"));
+        }
+        if tally.errors > 0 {
+            failures.push(format!("{phase}: {} error replies", tally.errors));
+        }
+        if tally.overloaded > 0 {
+            failures.push(format!(
+                "{phase}: {} shed requests at default provisioning",
+                tally.overloaded
+            ));
+        }
     }
     let cache_hits = metrics.counter("cache.hit");
     if cache_hits == 0 {
         failures.push("steady: cache hit-rate is zero".to_string());
     }
-    let Some(Response::Stats(wire_stats)) = stats else {
-        failures.push("steady: stats query failed".to_string());
-        std::process::exit(report(&mut harness, &failures, None, None, 0.0, &args));
-    };
-    if wire_stats.protocol_errors > 0 {
+    if metrics.counter("connections.idle_closed") > 0 {
+        failures.push("steady: live connections were reaped as idle".to_string());
+    }
+    if metrics.counter("connections.accepted") < steady_connections as u64 {
         failures.push(format!(
-            "steady: server saw {} protocol errors",
-            wire_stats.protocol_errors
+            "steady: accepted {} connections, expected >= {steady_connections}",
+            metrics.counter("connections.accepted")
         ));
     }
-
-    let steady_stats = steady.latency.as_ref().and_then(BenchStats::from_histogram);
-    let throughput = steady.ok as f64 / elapsed.as_secs_f64();
+    match stats {
+        Some(Response::Stats(wire)) => {
+            if wire.protocol_errors > 0 {
+                failures.push(format!(
+                    "steady: server saw {} protocol errors",
+                    wire.protocol_errors
+                ));
+            }
+            if wire.engines != TENANTS.len() as u64 {
+                failures.push(format!(
+                    "steady: {} engine shards resident, expected {}",
+                    wire.engines,
+                    TENANTS.len()
+                ));
+            }
+        }
+        _ => failures.push("steady: stats query failed".to_string()),
+    }
     let hit_rate = cache_hits as f64 / (cache_hits + metrics.counter("cache.miss")).max(1) as f64;
     println!(
-        "steady: {} ok / {} issued over {:.2}s — {:.0} req/s, cache hit-rate {:.2}",
+        "steady: {} ok / {} issued over {:.2}s across {} connections — {:.0} req/s, \
+         cache hit-rate {:.2}",
         steady.ok,
-        issued,
-        elapsed.as_secs_f64(),
-        throughput,
+        steady_issued,
+        steady_elapsed.as_secs_f64(),
+        steady_connections,
+        steady_rps,
         hit_rate,
     );
+    println!(
+        "steady_open: {} ok / {} issued over {:.2}s — {:.0} req/s",
+        steady_open.ok,
+        open_issued,
+        open_elapsed.as_secs_f64(),
+        open_rps,
+    );
 
-    // ---- Overload phase ---------------------------------------------------
+    // ---- Phase 3: overload ------------------------------------------------
     // One slow worker, a two-slot queue, and unique budgets per request so
     // the cache cannot absorb the burst: the bounded queue must shed.
     let overload_server = start_server(
-        build_state(10),
+        build_state(10, false),
         ServerConfig {
             workers: 1,
             queue_bound: 2,
@@ -289,20 +450,9 @@ fn main() {
             ..ServerConfig::default()
         },
     );
-    let overload_addr = overload_server.addr();
-    let overload = run_clients(
-        overload_addr,
-        6,
-        |c| {
-            (0..30)
-                .map(|i| Request::OptimalSetting {
-                    budget: InefficiencyBudget::bounded(1.0 + (c * 1000 + i + 1) as f64 * 1e-7)
-                        .expect("overload budgets are valid"),
-                })
-                .collect()
-        },
-        None,
-    );
+    let (overload, _) = run_pools(overload_server.addr(), 6, 1, None, |c| {
+        unique_budget_requests(None, c, 30)
+    });
     let overload_metrics = overload_server.shutdown();
     let overload_issued = 6 * 30_u64;
     let overload_answered = overload.ok + overload.overloaded + overload.errors;
@@ -325,58 +475,196 @@ fn main() {
         overload_metrics.counter("overloaded"),
     );
 
-    let code = report(
-        &mut harness,
-        &failures,
-        steady_stats,
-        Some((steady.ok, steady.overloaded, overload.overloaded)),
-        throughput,
-        &args,
-    );
-    std::process::exit(code);
-}
+    // ---- Phase 4: mixed-tenant scaling vs single engine -------------------
+    // A fixed compute delay makes per-request cost identical in both
+    // layouts; with one worker per shard, four shards overlap four delays
+    // the single-engine queue must serialize. Unique budgets defeat the
+    // cache, the load shape is the same, so the throughput ratio isolates
+    // the sharding win.
+    let scale_requests = if args.smoke { 10 } else { 40 };
+    let scale_threads = 8;
+    let scale_config = ServerConfig {
+        workers: 1,
+        queue_bound: 256,
+        compute_delay: Duration::from_millis(3),
+        ..ServerConfig::default()
+    };
 
-/// Writes the bench JSON, records provenance, prints failures; returns
-/// the process exit code.
-fn report(
-    harness: &mut Harness,
-    failures: &[String],
-    steady: Option<BenchStats>,
-    counts: Option<(u64, u64, u64)>,
-    throughput: f64,
-    args: &Args,
-) -> i32 {
-    let mut bench = BenchReport::new("mcdvfs/serve-loadgen-v1");
-    if let Some(stats) = steady {
-        bench.entry("steady.request_latency", stats);
+    let baseline_server = start_server(build_state(10, false), scale_config.clone());
+    let (baseline, baseline_elapsed) =
+        run_pools(baseline_server.addr(), scale_threads, 1, None, |c| {
+            unique_budget_requests(None, c, scale_requests)
+        });
+    let _ = baseline_server.shutdown();
+    let baseline_rps = baseline.ok as f64 / baseline_elapsed.as_secs_f64().max(1e-9);
+
+    let mixed_server = start_server(build_state(10, true), scale_config);
+    let mixed_addr = mixed_server.addr();
+    let mixed_warm = warm_tenants(mixed_addr);
+    let (mixed, mixed_elapsed) = run_pools(mixed_addr, scale_threads, 1, None, |c| {
+        unique_budget_requests(TENANTS[c % TENANTS.len()], c, scale_requests)
+    });
+    let _ = mixed_server.shutdown();
+    let mixed_rps = mixed.ok as f64 / mixed_elapsed.as_secs_f64().max(1e-9);
+
+    let scale_issued = (scale_threads * scale_requests) as u64;
+    for (phase, tally) in [("baseline", &baseline), ("mixed_tenant", &mixed)] {
+        let answered = tally.ok + tally.overloaded + tally.errors;
+        if answered != scale_issued || tally.ok != scale_issued {
+            failures.push(format!(
+                "{phase}: {} ok / {} overloaded / {} errors of {scale_issued} issued",
+                tally.ok, tally.overloaded, tally.errors
+            ));
+        }
     }
+    if mixed_warm.engines != TENANTS.len() as u64 {
+        failures.push(format!(
+            "mixed_tenant: {} shards resident, expected {}",
+            mixed_warm.engines,
+            TENANTS.len()
+        ));
+    }
+    let speedup = mixed_rps / baseline_rps.max(1e-9);
+    println!(
+        "mixed_tenant: {mixed_rps:.0} req/s over {} shards vs {baseline_rps:.0} req/s single \
+         engine — {speedup:.2}x",
+        TENANTS.len(),
+    );
+    if speedup < SPEEDUP_FLOOR {
+        failures.push(format!(
+            "mixed_tenant: {speedup:.2}x over single engine, need >= {SPEEDUP_FLOOR}x"
+        ));
+    }
+
+    // ---- Report -----------------------------------------------------------
+    for (name, tally) in [
+        ("steady.request_latency", &steady),
+        ("steady_open.request_latency", &steady_open),
+        ("overload.request_latency", &overload),
+        ("mixed_tenant.request_latency", &mixed),
+        ("baseline_single_engine.request_latency", &baseline),
+    ] {
+        match tally.stats() {
+            Some(stats) => bench.entry(name, stats),
+            None => failures.push(format!("{name}: no latency samples")),
+        }
+    }
+    if let (Some(base), Some(opt)) = (baseline.stats(), mixed.stats()) {
+        bench.compare(REQUIRED_COMPARISON, base, opt);
+    }
+    bench.note("steady_connections", steady_connections as f64);
+    bench.note("steady_throughput_rps", steady_rps);
+    bench.note("steady_open_throughput_rps", open_rps);
+    bench.note("baseline_throughput_rps", baseline_rps);
+    bench.note("mixed_tenant_throughput_rps", mixed_rps);
+    bench.note("mixed_tenant_shards", TENANTS.len() as f64);
+    bench.note("mixed_tenant_speedup", speedup);
+
     let path = results_dir().join("BENCH_serve.json");
     harness.note("clients", args.clients);
+    harness.note("conns_per_client", args.conns);
     harness.note("requests_per_client", args.requests);
     harness.note("workers", args.workers);
     harness.note("seed", args.seed);
-    harness.note("mode", if args.open_loop { "open" } else { "closed" });
-    harness.note("throughput_rps", format!("{throughput:.0}"));
-    if let Some((ok, steady_shed, overload_shed)) = counts {
-        harness.note("steady_ok", ok);
-        harness.note("steady_shed", steady_shed);
-        harness.note("overload_shed", overload_shed);
-    }
-    match bench.write_json(&path) {
-        Ok(()) => {
-            println!("[bench written to {}]", path.display());
-            harness.record_file(&path);
+    harness.note("steady_connections", steady_connections);
+    harness.note("throughput_rps", format!("{steady_rps:.0}"));
+    harness.note("mixed_tenant_speedup", format!("{speedup:.2}"));
+    if args.smoke {
+        // A smoke window would clobber the committed full-run numbers;
+        // validate the committed report and gate on it instead.
+        validate_committed(&path, &mut failures);
+    } else {
+        match bench.write_json(&path) {
+            Ok(()) => {
+                println!("[bench written to {}]", path.display());
+                harness.record_file(&path);
+            }
+            Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
         }
-        Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
     }
     harness.finish();
+
     if failures.is_empty() {
         println!("loadgen: all assertions passed");
-        0
-    } else {
-        for failure in failures {
-            eprintln!("loadgen FAILURE: {failure}");
+        std::process::exit(0);
+    }
+    for failure in &failures {
+        eprintln!("loadgen FAILURE: {failure}");
+    }
+    std::process::exit(1);
+}
+
+/// The CI smoke gate over the committed report: `serve-v2` schema, every
+/// phase row present, the mixed-tenant comparison at ≥2x, a demonstrated
+/// four-digit steady connection count, and a steady p95 under the floor.
+fn validate_committed(path: &Path, failures: &mut Vec<String>) {
+    let doc = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(&text))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            failures.push(format!("cannot read {}: {e}", path.display()));
+            return;
         }
-        1
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => failures.push(format!(
+            "{}: schema {other:?}, expected {SCHEMA:?}",
+            path.display()
+        )),
+    }
+    let entries = doc.get("entries").and_then(Json::as_arr).unwrap_or(&[]);
+    for required in REQUIRED_ENTRIES {
+        let row = entries
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(required));
+        let Some(row) = row else {
+            failures.push(format!("committed report lacks a {required:?} row"));
+            continue;
+        };
+        let p95 = row
+            .get("stats")
+            .and_then(|s| s.get("p95_ns"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::INFINITY);
+        println!("recorded {required:<40} p95 {:>9.3} ms", p95 / 1e6);
+        if required == "steady.request_latency" && p95 > STEADY_P95_FLOOR_NS {
+            failures.push(format!(
+                "committed steady p95 {:.1} ms exceeds the {:.1} ms floor",
+                p95 / 1e6,
+                STEADY_P95_FLOOR_NS / 1e6
+            ));
+        }
+    }
+    let comparisons = doc.get("comparisons").and_then(Json::as_arr).unwrap_or(&[]);
+    match comparisons
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some(REQUIRED_COMPARISON))
+    {
+        None => failures.push(format!(
+            "committed report lacks the {REQUIRED_COMPARISON:?} comparison"
+        )),
+        Some(row) => {
+            let speedup = row.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+            println!("recorded {REQUIRED_COMPARISON:<40} {speedup:>6.2}x");
+            if speedup < SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "committed mixed-tenant speedup {speedup:.2}x is below {SPEEDUP_FLOOR}x"
+                ));
+            }
+        }
+    }
+    let connections = doc
+        .get("meta")
+        .and_then(|m| m.get("steady_connections"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if connections < MIN_STEADY_CONNECTIONS {
+        failures.push(format!(
+            "committed report demonstrates {connections} steady connections, \
+             need >= {MIN_STEADY_CONNECTIONS}"
+        ));
     }
 }

@@ -1,14 +1,17 @@
-//! A minimal blocking client for the wire protocol.
+//! Blocking clients for the wire protocol.
 //!
 //! One [`Client`] wraps one TCP connection and issues requests
-//! sequentially — the shape the load generator and the end-to-end tests
-//! need. Decoded replies reconstruct every `f64` bit-for-bit, so a client
-//! comparing against direct [`SweepEngine`](mcdvfs_core::SweepEngine)
-//! results can assert exact equality.
+//! sequentially — the shape the end-to-end tests need. [`ClientPool`]
+//! holds many connections to one server and round-robins requests across
+//! them, so the load generator and multi-tenant tests drive hundreds of
+//! concurrent sockets without duplicating framing code. Decoded replies
+//! reconstruct every `f64` bit-for-bit, so a client comparing against
+//! direct [`SweepEngine`](mcdvfs_core::SweepEngine) results can assert
+//! exact equality.
 
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use std::io::{self, BufReader};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A blocking connection to one server.
@@ -29,6 +32,9 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        // Request/reply frames are latency-bound single packets; leaving
+        // Nagle on costs a delayed-ACK round trip per exchange.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
@@ -36,7 +42,7 @@ impl Client {
         })
     }
 
-    /// Sends one request and blocks for its reply.
+    /// Sends one request to the default tenant and blocks for its reply.
     ///
     /// # Errors
     ///
@@ -44,10 +50,92 @@ impl Client {
     /// maps to [`io::ErrorKind::InvalidData`] /
     /// [`io::ErrorKind::UnexpectedEof`].
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.writer, &request.encode())?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+        self.exchange(&request.encode())
+    }
+
+    /// Sends one request addressed to a named tenant (`None` targets the
+    /// default engine) and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`request`](Self::request).
+    pub fn request_for(
+        &mut self,
+        workload: Option<&str>,
+        request: &Request,
+    ) -> io::Result<Response> {
+        self.exchange(&request.encode_for(workload))
+    }
+
+    fn exchange(&mut self, payload: &str) -> io::Result<Response> {
+        write_frame(&mut self.writer, payload)?;
+        let reply = read_frame(&mut self.reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
-        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Response::decode(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// N blocking connections to one server, used round-robin.
+///
+/// Every connection stays open for the pool's lifetime — the natural way
+/// to hold a large population of mostly idle sockets against the reactor
+/// while spreading a request stream across all of them.
+#[derive(Debug)]
+pub struct ClientPool {
+    clients: Vec<Client>,
+    next: usize,
+}
+
+impl ClientPool {
+    /// Opens `connections` sockets to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first connection failure; sockets opened before the
+    /// failure are closed by drop.
+    pub fn connect(addr: SocketAddr, connections: usize) -> io::Result<Self> {
+        let clients = (0..connections.max(1))
+            .map(|_| Client::connect(addr))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self { clients, next: 0 })
+    }
+
+    /// Open connections in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the pool holds no connections (it never does — `connect`
+    /// clamps to at least one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Sends one request on the next connection in round-robin order.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::request`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.request_for(None, request)
+    }
+
+    /// Round-robin [`Client::request_for`]: addresses a named tenant
+    /// (`None` targets the default engine).
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::request`].
+    pub fn request_for(
+        &mut self,
+        workload: Option<&str>,
+        request: &Request,
+    ) -> io::Result<Response> {
+        let idx = self.next;
+        self.next = (self.next + 1) % self.clients.len();
+        self.clients[idx].request_for(workload, request)
     }
 }

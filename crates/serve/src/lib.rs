@@ -16,12 +16,18 @@
 //! * `GovernedReplay {governor, budget}` — overhead-charged replays,
 //! * `Stats` / `Health` — observability and liveness.
 //!
-//! Internals: a fixed worker pool fed by a bounded queue (full ⇒ typed
-//! `Overloaded` reply, never unbounded buffering), a sharded LRU cache of
-//! fully rendered replies keyed on the characterization fingerprint, and
-//! graceful drain-then-join shutdown. Replies are bit-identical to direct
-//! engine calls at any worker count because every `f64` crosses the wire
-//! in shortest-round-trip form.
+//! Internals: a single event-driven reactor thread owns every connection
+//! (nonblocking accept + poll loop — idle sockets cost zero threads),
+//! and compute requests route by workload name to a map of per-tenant
+//! engine shards. Each shard has its own fixed worker slice fed by a
+//! bounded queue (full ⇒ typed `Overloaded` reply, never unbounded
+//! buffering) and its own sharded LRU cache of fully rendered replies
+//! keyed on the characterization fingerprint; shards beyond the resident
+//! ceiling are evicted least-recently-used and rebuilt lazily from their
+//! [`TenantSpec`]. Shutdown drains in flight replies, then joins the
+//! reactor and every worker. Replies are bit-identical to direct engine
+//! calls at any worker or shard count because every `f64` crosses the
+//! wire in shortest-round-trip form.
 //!
 //! # Quick start
 //!
@@ -64,12 +70,15 @@
 mod cache;
 mod client;
 mod protocol;
+mod reactor;
 mod server;
+mod shard;
 
 pub use cache::{CacheKey, ShardedLru};
-pub use client::Client;
+pub use client::{Client, ClientPool};
 pub use protocol::{
     read_frame, write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireRegion,
-    WireReport, WireStats, MAX_FRAME_BYTES,
+    WireReport, WireShard, WireStats, MAX_FRAME_BYTES,
 };
 pub use server::{ServeState, Server, ServerConfig, ServerHandle};
+pub use shard::TenantSpec;

@@ -33,6 +33,11 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
 /// Writes one frame: decimal length line, payload, newline.
 ///
+/// The frame is assembled into one buffer and issued as a single write:
+/// three separate small writes would interleave with Nagle's algorithm
+/// and the peer's delayed ACK into tens of milliseconds of stall per
+/// frame on an otherwise idle connection.
+///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects payloads over [`MAX_FRAME_BYTES`].
@@ -43,9 +48,12 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
             format!("frame of {} bytes exceeds cap", payload.len()),
         ));
     }
-    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
-    w.write_all(payload.as_bytes())?;
-    w.write_all(b"\n")?;
+    let mut frame = Vec::with_capacity(payload.len() + 16);
+    frame.extend_from_slice(payload.len().to_string().as_bytes());
+    frame.push(b'\n');
+    frame.extend_from_slice(payload.as_bytes());
+    frame.push(b'\n');
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -135,10 +143,22 @@ impl Request {
         }
     }
 
-    /// Encodes to the compact wire form.
+    /// Encodes to the compact wire form, addressed to the server's
+    /// default tenant.
     #[must_use]
     pub fn encode(&self) -> String {
-        self.to_json().render_compact()
+        self.encode_for(None)
+    }
+
+    /// Encodes to the compact wire form, addressed to `workload`'s
+    /// engine shard (`None` = the default tenant).
+    #[must_use]
+    pub fn encode_for(&self, workload: Option<&str>) -> String {
+        let mut doc = self.to_json();
+        if let (Some(name), Json::Obj(members)) = (workload, &mut doc) {
+            members.push(("workload".to_string(), Json::Str(name.to_string())));
+        }
+        doc.render_compact()
     }
 
     fn to_json(&self) -> Json {
@@ -161,13 +181,38 @@ impl Request {
         Json::Obj(members)
     }
 
-    /// Decodes a request payload.
+    /// Decodes a request payload, ignoring any tenant address.
     ///
     /// # Errors
     ///
     /// Returns a message describing the first syntax or shape problem.
     pub fn decode(payload: &str) -> Result<Self, String> {
         let doc = Json::parse(payload)?;
+        Self::from_doc(&doc)
+    }
+
+    /// Decodes a request payload together with its optional `workload`
+    /// tenant address — the server-side entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or shape problem,
+    /// including a non-string `workload` member.
+    pub fn decode_envelope(payload: &str) -> Result<(Self, Option<String>), String> {
+        let doc = Json::parse(payload)?;
+        let workload = match doc.get("workload") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_str()
+                    .ok_or("request 'workload' must be a string")?
+                    .to_string(),
+            ),
+        };
+        Ok((Self::from_doc(&doc)?, workload))
+    }
+
+    fn from_doc(doc: &Json) -> Result<Self, String> {
         let query = doc
             .get("query")
             .and_then(Json::as_str)
@@ -298,6 +343,25 @@ pub struct WireReport {
     pub total_emin_j: f64,
 }
 
+/// One live engine shard's metrics inside a [`WireStats`] reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShard {
+    /// Tenant (workload) name the shard serves.
+    pub workload: String,
+    /// Characterization fingerprint, 16 hex digits.
+    pub fingerprint: String,
+    /// Requests routed to this shard since it was built.
+    pub requests: u64,
+    /// Replies this shard served from its cache.
+    pub cache_hits: u64,
+    /// Replies this shard computed on a cache miss.
+    pub cache_misses: u64,
+    /// Jobs currently waiting in this shard's bounded queue.
+    pub queue_depth: u64,
+    /// `true` for the default tenant, which is never evicted.
+    pub pinned: bool,
+}
+
 /// The server metric snapshot a `Stats` query returns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireStats {
@@ -311,8 +375,14 @@ pub struct WireStats {
     pub overloaded: u64,
     /// Undecodable or over-long frames received.
     pub protocol_errors: u64,
-    /// Deepest queue occupancy observed.
+    /// Deepest queue occupancy observed across all shards.
     pub queue_depth_max: u64,
+    /// Engine shards currently resident.
+    pub engines: u64,
+    /// Shards evicted (and left to lazily rebuild) since startup.
+    pub evictions: u64,
+    /// Per-shard metrics, sorted by workload name.
+    pub shards: Vec<WireShard>,
     /// Full human-readable metric rendering.
     pub rendered: String,
 }
@@ -412,6 +482,12 @@ impl Response {
                 ("overloaded".to_string(), num(stats.overloaded)),
                 ("protocol_errors".to_string(), num(stats.protocol_errors)),
                 ("queue_depth_max".to_string(), num(stats.queue_depth_max)),
+                ("engines".to_string(), num(stats.engines)),
+                ("evictions".to_string(), num(stats.evictions)),
+                (
+                    "shards".to_string(),
+                    Json::Arr(stats.shards.iter().map(shard_to_json).collect()),
+                ),
                 ("rendered".to_string(), Json::Str(stats.rendered.clone())),
             ]),
             Response::Health(health) => Json::Obj(vec![
@@ -471,6 +547,9 @@ impl Response {
                 overloaded: get_u64(&doc, "overloaded")?,
                 protocol_errors: get_u64(&doc, "protocol_errors")?,
                 queue_depth_max: get_u64(&doc, "queue_depth_max")?,
+                engines: get_u64(&doc, "engines")?,
+                evictions: get_u64(&doc, "evictions")?,
+                shards: arr_of(&doc, "shards", shard_from_json)?,
                 rendered: get_str(&doc, "rendered")?,
             })),
             "health" => Ok(Response::Health(WireHealth {
@@ -623,6 +702,30 @@ fn region_from_json(doc: &Json) -> Result<WireRegion, String> {
         cpu_mhz: get_u64(doc, "cpu_mhz")? as u32,
         mem_mhz: get_u64(doc, "mem_mhz")? as u32,
         available: get_indices(doc, "available")?,
+    })
+}
+
+fn shard_to_json(s: &WireShard) -> Json {
+    Json::Obj(vec![
+        ("workload".to_string(), Json::Str(s.workload.clone())),
+        ("fingerprint".to_string(), Json::Str(s.fingerprint.clone())),
+        ("requests".to_string(), num(s.requests)),
+        ("cache_hits".to_string(), num(s.cache_hits)),
+        ("cache_misses".to_string(), num(s.cache_misses)),
+        ("queue_depth".to_string(), num(s.queue_depth)),
+        ("pinned".to_string(), Json::Bool(s.pinned)),
+    ])
+}
+
+fn shard_from_json(doc: &Json) -> Result<WireShard, String> {
+    Ok(WireShard {
+        workload: get_str(doc, "workload")?,
+        fingerprint: get_str(doc, "fingerprint")?,
+        requests: get_u64(doc, "requests")?,
+        cache_hits: get_u64(doc, "cache_hits")?,
+        cache_misses: get_u64(doc, "cache_misses")?,
+        queue_depth: get_u64(doc, "queue_depth")?,
+        pinned: matches!(doc.get("pinned"), Some(Json::Bool(true))),
     })
 }
 
@@ -779,6 +882,28 @@ mod tests {
                 overloaded: 2,
                 protocol_errors: 1,
                 queue_depth_max: 7,
+                engines: 2,
+                evictions: 3,
+                shards: vec![
+                    WireShard {
+                        workload: "bzip2".to_string(),
+                        fingerprint: "00000000deadbeef".to_string(),
+                        requests: 31,
+                        cache_hits: 11,
+                        cache_misses: 20,
+                        queue_depth: 1,
+                        pinned: false,
+                    },
+                    WireShard {
+                        workload: "gobmk".to_string(),
+                        fingerprint: "0123456789abcdef".to_string(),
+                        requests: 69,
+                        cache_hits: 29,
+                        cache_misses: 40,
+                        queue_depth: 0,
+                        pinned: true,
+                    },
+                ],
                 rendered: "counter requests.total 100\n".to_string(),
             }),
             Response::Health(WireHealth {
@@ -795,6 +920,32 @@ mod tests {
         for resp in others {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn workload_envelopes_round_trip_and_default_to_none() {
+        let request = Request::Cluster {
+            budget: InefficiencyBudget::bounded(1.2).unwrap(),
+            threshold: 0.03,
+        };
+        // Addressed form carries the tenant; bare form does not.
+        let addressed = request.encode_for(Some("bzip2"));
+        assert!(addressed.contains(r#""workload":"bzip2""#));
+        let (decoded, workload) = Request::decode_envelope(&addressed).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(workload.as_deref(), Some("bzip2"));
+
+        let bare = request.encode();
+        assert!(!bare.contains("workload"));
+        let (decoded, workload) = Request::decode_envelope(&bare).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(workload, None);
+
+        // Request::decode tolerates (and ignores) the address.
+        assert_eq!(Request::decode(&addressed).unwrap(), request);
+
+        // A non-string workload is a typed decode error, not a panic.
+        assert!(Request::decode_envelope(r#"{"query":"health","workload":7}"#).is_err());
     }
 
     #[test]

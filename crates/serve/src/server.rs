@@ -1,77 +1,79 @@
-//! The multi-threaded TCP server.
+//! Server assembly: configuration, served state, and lifecycle.
 //!
 //! # Architecture
 //!
-//! One acceptor thread hands each connection to its own reader thread.
-//! Reader threads decode frames, answer `Health`/`Stats` and cache hits
-//! inline, and push everything else onto a **bounded** MPSC queue feeding
-//! a fixed pool of compute workers. A full queue sheds the request with a
-//! typed [`Response::Overloaded`] reply — the client always gets an
-//! answer, never an unbounded wait.
+//! One reactor thread ([`reactor`](crate::reactor)) owns the listener
+//! and every connection: nonblocking accept, per-connection read/write
+//! buffers, idle/write/reply deadlines, frame parsing, and all inline
+//! answers (health, stats, cache hits, typed errors, shed replies).
+//! Compute requests route by workload to a [`ShardMap`] of per-tenant
+//! engines ([`shard`](crate::shard)) — each shard has its own bounded
+//! job queue, worker slice, and reply LRU, so tenants never serialize on
+//! one another. A full shard queue sheds the request with a typed
+//! [`Response::Overloaded`](crate::Response::Overloaded) reply — the
+//! client always gets an answer, never an unbounded wait.
 //!
 //! # Shutdown
 //!
-//! [`ServerHandle::shutdown`] sets the stop flag, wakes the acceptor with
-//! a loopback connect, then joins acceptor → connections → workers. The
-//! join order drains in-flight work: a connection finishes (and replies
-//! to) its current request before exiting, workers keep consuming until
-//! every queue sender is gone, and only then do they observe disconnect
-//! and stop. Per-worker [`MetricSet`]s merge into one at join, which is
-//! absorbed into the profiler and returned.
+//! [`ServerHandle::shutdown`] sets the stop flag; the reactor stops
+//! accepting, drains in-flight replies (bounded by the reply timeout),
+//! flushes write buffers, and exits. Dropping the shard map disconnects
+//! every job queue; workers finish what was already accepted and exit.
+//! Merged metrics (reactor slot plus every shard's worker slots, live
+//! and evicted) are absorbed into the profiler and returned.
 //!
 //! # Observability
 //!
-//! Request phases trace as profiler spans (`decode` in the reader,
-//! `dispatch`/`compute`/`encode` in the worker). Counters, the
+//! Request phases trace as profiler spans (`decode` in the reactor,
+//! `dispatch`/`compute`/`encode` in the workers). Counters, the
 //! queue-depth max gauge, and latency histograms accumulate per worker
-//! slot plus one shared reader-side set; `Stats` renders a merged
-//! snapshot at any moment.
+//! slot plus one reactor-side set; `Stats` renders a merged snapshot at
+//! any moment, plus per-shard rows (requests, cache hits/misses, queue
+//! depth, pinning).
 
-use crate::cache::{CacheKey, ShardedLru};
-use crate::protocol::{
-    write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireRegion, WireReport,
-    WireStats, MAX_FRAME_BYTES,
-};
-use mcdvfs_core::{GovernedRun, RunReport, SweepEngine};
+use crate::cache::CacheKey;
+use crate::reactor::{self, Ctx};
+use crate::shard::{Completion, ShardMap, TenantSpec};
+use mcdvfs_core::SweepEngine;
 use mcdvfs_obs::{MetricSet, Profiler};
 use mcdvfs_sim::System;
 use mcdvfs_types::fnv1a64;
 use mcdvfs_workloads::SampleTrace;
-use std::io::{self, BufRead, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// How often blocked reads wake to check the stop flag and idle deadline.
-const POLL_SLICE: Duration = Duration::from_millis(100);
-
-/// How long an idle worker waits for work before re-checking for
-/// disconnect.
-const WORKER_POLL: Duration = Duration::from_millis(5);
+use crate::protocol::Request;
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Compute worker threads.
+    /// Compute worker threads per shard.
     pub workers: usize,
-    /// Bounded queue capacity; a full queue sheds with `Overloaded`.
+    /// Bounded per-shard queue capacity; a full queue sheds with
+    /// `Overloaded`.
     pub queue_bound: usize,
-    /// Response cache capacity in entries.
+    /// Response cache capacity in entries, per shard.
     pub cache_capacity: usize,
-    /// Independently locked cache shards.
+    /// Independently locked cache shards (within one engine shard's LRU).
     pub cache_shards: usize,
+    /// Resident engine-shard ceiling; exceeding it evicts the
+    /// least-recently-used unpinned shard (the default tenant is pinned).
+    pub max_shards: usize,
     /// Close a connection after this long without receiving a byte.
     pub idle_timeout: Duration,
-    /// Per-connection socket write deadline.
+    /// Per-connection write-progress deadline.
     pub write_timeout: Duration,
-    /// How long a reader waits for its compute reply before erroring.
+    /// How long a connection waits for its compute reply before erroring.
     pub reply_timeout: Duration,
     /// Artificial per-request compute sleep — zero in production; the
-    /// load generator's overload phase raises it to make queue pressure
-    /// deterministic.
+    /// load generator raises it to make queue pressure and shard-level
+    /// parallelism deterministic.
     pub compute_delay: Duration,
 }
 
@@ -82,6 +84,7 @@ impl Default for ServerConfig {
             queue_bound: 64,
             cache_capacity: 256,
             cache_shards: 8,
+            max_shards: 8,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
             reply_timeout: Duration::from_secs(30),
@@ -90,12 +93,14 @@ impl Default for ServerConfig {
     }
 }
 
-/// The data a server answers queries against.
+/// The data a server answers queries against: one default engine plus
+/// lazily characterized named tenants.
 #[derive(Debug)]
 pub struct ServeState {
     engine: SweepEngine,
     trace: SampleTrace,
     fingerprint: u64,
+    tenants: HashMap<String, TenantSpec>,
     profiler: Arc<Profiler>,
 }
 
@@ -118,8 +123,19 @@ impl ServeState {
             engine,
             trace,
             fingerprint,
+            tenants: HashMap::new(),
             profiler: Arc::new(Profiler::disabled()),
         }
+    }
+
+    /// Registers a named tenant whose engine is characterized on first
+    /// request (and re-characterized after an eviction). Requests address
+    /// it with the top-level `"workload"` envelope member; requests
+    /// without one go to the default engine.
+    #[must_use]
+    pub fn with_tenant(mut self, name: impl Into<String>, spec: TenantSpec) -> Self {
+        self.tenants.insert(name.into(), spec);
+        self
     }
 
     /// Routes request-phase spans and merged metrics into `profiler`.
@@ -129,13 +145,13 @@ impl ServeState {
         self
     }
 
-    /// The served engine.
+    /// The default served engine.
     #[must_use]
     pub fn engine(&self) -> &SweepEngine {
         &self.engine
     }
 
-    /// Fingerprint of the served characterization.
+    /// Fingerprint of the default served characterization.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
@@ -164,52 +180,14 @@ impl ServeState {
     }
 }
 
-/// One queued compute request.
-struct Job {
-    request: Request,
-    key: CacheKey,
-    enqueued: Instant,
-    reply: SyncSender<Arc<String>>,
-}
-
-/// State shared by every server thread.
-struct Shared {
-    state: ServeState,
-    config: ServerConfig,
-    cache: ShardedLru,
-    shutdown: AtomicBool,
-    queue_depth: AtomicUsize,
-    worker_metrics: Vec<Mutex<MetricSet>>,
-    reader_metrics: Mutex<MetricSet>,
-}
-
-impl Shared {
-    /// Merges every slot into one snapshot — the `Stats` reply body and
-    /// the shutdown return value.
-    fn snapshot(&self) -> MetricSet {
-        let mut merged = self
-            .reader_metrics
-            .lock()
-            .expect("reader metrics poisoned")
-            .clone();
-        for slot in &self.worker_metrics {
-            merged.merge(&slot.lock().expect("worker metrics poisoned"));
-        }
-        merged
-    }
-
-    fn stopping(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed)
-    }
-}
-
 /// The server entry point; [`start`](Server::start) returns a handle.
 #[derive(Debug)]
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port), spawns the worker
-    /// pool and acceptor, and returns the running server's handle.
+    /// Binds `addr` (use port 0 for an ephemeral port), builds the
+    /// default tenant's shard, spawns the reactor, and returns the
+    /// running server's handle.
     ///
     /// # Errors
     ///
@@ -220,41 +198,42 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let workers = config.workers.max(1);
-        let shared = Arc::new(Shared {
-            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            shutdown: AtomicBool::new(false),
-            queue_depth: AtomicUsize::new(0),
-            worker_metrics: (0..workers).map(|_| Mutex::new(MetricSet::new())).collect(),
-            reader_metrics: Mutex::new(MetricSet::new()),
-            state,
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+        let profiler = Arc::clone(&state.profiler);
+        let map = Arc::new(ShardMap::new(
+            state.engine,
+            state.trace,
+            state.tenants,
+            completion_tx,
+            config.workers,
+            config.queue_bound,
+            config.cache_capacity,
+            config.cache_shards,
+            config.max_shards,
+            config.compute_delay,
+            Arc::clone(&profiler),
+        ));
+        let metrics = Arc::new(Mutex::new(MetricSet::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Ctx {
+            map: Arc::clone(&map),
+            metrics: Arc::clone(&metrics),
+            profiler: Arc::clone(&profiler),
             config,
-        });
-
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.config.queue_bound.max(1));
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|slot| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&job_rx);
-                thread::spawn(move || worker_loop(&shared, &rx, slot))
-            })
-            .collect();
-
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            thread::spawn(move || accept_loop(&listener, &shared, &job_tx, &conns))
         };
-
+        let reactor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || reactor::run(listener, completion_rx, ctx, shutdown))
+        };
         Ok(ServerHandle {
             addr: local,
-            shared,
-            accept: Some(accept),
-            workers: worker_handles,
-            conns,
+            map,
+            metrics,
+            profiler,
+            shutdown,
+            reactor: Some(reactor),
         })
     }
 }
@@ -264,19 +243,11 @@ impl Server {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
-}
-
-impl std::fmt::Debug for Shared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("config", &self.config)
-            .field("queue_depth", &self.queue_depth)
-            .finish_non_exhaustive()
-    }
+    map: Arc<ShardMap>,
+    metrics: Arc<Mutex<MetricSet>>,
+    profiler: Arc<Profiler>,
+    shutdown: Arc<AtomicBool>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -289,306 +260,46 @@ impl ServerHandle {
     /// A merged metric snapshot of the running server.
     #[must_use]
     pub fn metrics(&self) -> MetricSet {
-        self.shared.snapshot()
+        let mut merged = self
+            .metrics
+            .lock()
+            .expect("reactor metrics poisoned")
+            .clone();
+        self.map.merge_metrics(&mut merged);
+        merged
     }
 
-    /// Stops accepting, drains in-flight requests, joins every thread,
-    /// and returns the merged per-worker metrics (also absorbed into the
-    /// state's profiler).
+    /// Stops accepting, drains in-flight requests, joins the reactor and
+    /// every shard worker, and returns the merged metrics (also absorbed
+    /// into the state's profiler).
     #[must_use]
     pub fn shutdown(mut self) -> MetricSet {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().expect("connection list poisoned"));
-        for conn in conns {
-            let _ = conn.join();
-        }
-        // Every queue sender is gone now; workers drain what remains and
-        // observe the disconnect.
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        let merged = self.shared.snapshot();
-        self.shared.state.profiler.absorb(merged.clone());
+        // The reactor is gone, so no new jobs can be queued; dropping
+        // every shard handle disconnects the queues and the workers
+        // drain what remains before exiting.
+        self.map.shutdown();
+        let merged = self.metrics();
+        self.profiler.absorb(merged.clone());
         merged
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    job_tx: &SyncSender<Job>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.stopping() {
-                    return;
-                }
-                let shared = Arc::clone(shared);
-                let tx = job_tx.clone();
-                let handle = thread::spawn(move || connection_loop(stream, &shared, &tx));
-                let mut conns = conns.lock().expect("connection list poisoned");
-                // Reap finished connection threads so a long-running
-                // server does not accumulate JoinHandles for every
-                // connection it ever accepted.
-                let mut i = 0;
-                while i < conns.len() {
-                    if conns[i].is_finished() {
-                        let _ = conns.swap_remove(i).join();
-                    } else {
-                        i += 1;
-                    }
-                }
-                conns.push(handle);
-            }
-            Err(_) => {
-                if shared.stopping() {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<Job>) {
-    let _ = stream.set_read_timeout(Some(POLL_SLICE));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    loop {
-        if shared.stopping() {
-            return;
-        }
-        let payload = match read_frame_polled(&mut reader, shared) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Framing is broken; reply once and drop the connection.
-                record(&shared.reader_metrics, |m| m.incr("protocol.errors", 1));
-                let reply = Response::Error(e.to_string()).encode();
-                let _ = write_frame(&mut writer, &reply);
-                return;
-            }
-            Err(_) => return,
-        };
-        let started = Instant::now();
-        let reply = handle_request(&payload, started, shared, job_tx);
-        record(&shared.reader_metrics, |m| {
-            m.observe_duration_ns("latency.request_ns", started.elapsed().as_nanos() as f64);
-        });
-        if write_frame(&mut writer, &reply).is_err() {
-            return;
-        }
-    }
-}
-
-/// Reads one frame, waking every [`POLL_SLICE`] to honor shutdown and the
-/// idle deadline. Partial frames survive timeouts: bytes accumulate in a
-/// local buffer across poll ticks, never in a lossy intermediate.
-fn read_frame_polled(
-    reader: &mut BufReader<TcpStream>,
-    shared: &Shared,
-) -> io::Result<Option<String>> {
-    let mut acc: Vec<u8> = Vec::new();
-    // None while reading the length header; Some(n) while reading the
-    // n-byte body plus terminator.
-    let mut body_len: Option<usize> = None;
-    let mut last_byte = Instant::now();
-    loop {
-        if shared.stopping() {
-            return Ok(None);
-        }
-        if last_byte.elapsed() > shared.config.idle_timeout {
-            return Ok(None);
-        }
-        let available = match reader.fill_buf() {
-            Ok(buf) => buf,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        if available.is_empty() {
-            // Clean EOF only between frames.
-            return if acc.is_empty() && body_len.is_none() {
-                Ok(None)
-            } else {
-                Err(bad("truncated frame"))
-            };
-        }
-        last_byte = Instant::now();
-        match body_len {
-            None => {
-                let newline = available.iter().position(|&b| b == b'\n');
-                let take = newline.map_or(available.len(), |i| i + 1);
-                acc.extend_from_slice(&available[..take]);
-                reader.consume(take);
-                if acc.len() > 32 {
-                    return Err(bad("oversized frame header"));
-                }
-                if newline.is_some() {
-                    let header = std::str::from_utf8(&acc[..acc.len() - 1])
-                        .map_err(|_| bad("frame header is not UTF-8"))?;
-                    let len: usize = header
-                        .trim()
-                        .parse()
-                        .map_err(|_| bad("invalid frame length"))?;
-                    if len > MAX_FRAME_BYTES {
-                        return Err(bad("frame exceeds size cap"));
-                    }
-                    acc.clear();
-                    body_len = Some(len);
-                }
-            }
-            Some(len) => {
-                let want = len + 1 - acc.len();
-                let take = want.min(available.len());
-                acc.extend_from_slice(&available[..take]);
-                reader.consume(take);
-                if acc.len() == len + 1 {
-                    if acc.pop() != Some(b'\n') {
-                        return Err(bad("frame missing terminator"));
-                    }
-                    return String::from_utf8(acc)
-                        .map(Some)
-                        .map_err(|_| bad("frame is not UTF-8"));
-                }
-            }
-        }
-    }
-}
-
-fn bad(message: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
-}
-
-fn record(slot: &Mutex<MetricSet>, f: impl FnOnce(&mut MetricSet)) {
-    f(&mut slot.lock().expect("metric slot poisoned"));
-}
-
-/// Decodes and answers one request from a reader thread. Cache hits,
-/// `Stats`, `Health`, and shed requests reply inline; everything else
-/// round-trips through the worker queue.
-fn handle_request(
-    payload: &str,
-    started: Instant,
-    shared: &Arc<Shared>,
-    job_tx: &SyncSender<Job>,
-) -> String {
-    let p = &shared.state.profiler;
-    let request = {
-        let _span = p.span("decode");
-        Request::decode(payload)
-    };
-    let request = match request {
-        Ok(request) => request,
-        Err(message) => {
-            record(&shared.reader_metrics, |m| {
-                m.incr("protocol.errors", 1);
-            });
-            return Response::Error(message).encode();
-        }
-    };
-    record(&shared.reader_metrics, |m| {
-        m.incr("requests.total", 1);
-        m.incr(&format!("requests.{}", request.kind()), 1);
-    });
-    match &request {
-        Request::Health => {
-            let data = shared.state.engine.data();
-            return Response::Health(WireHealth {
-                status: "ok".to_string(),
-                workload: data.name().to_string(),
-                samples: data.n_samples(),
-                settings: data.n_settings(),
-                fingerprint: format!("{:016x}", shared.state.fingerprint),
-                workers: shared.worker_metrics.len(),
-            })
-            .encode();
-        }
-        Request::Stats => {
-            let snapshot = shared.snapshot();
-            let counter = |name: &str| snapshot.counter(name);
-            return Response::Stats(WireStats {
-                requests: counter("requests.total"),
-                cache_hits: counter("cache.hit"),
-                cache_misses: counter("cache.miss"),
-                overloaded: counter("overloaded"),
-                protocol_errors: counter("protocol.errors"),
-                queue_depth_max: snapshot.gauge("queue.depth_max").unwrap_or(0.0) as u64,
-                rendered: snapshot.render(),
-            })
-            .encode();
-        }
-        _ => {}
-    }
-    // Every variant that falls through the inline match above has a
-    // cache key today; if dispatch and `cache_key` ever disagree (a new
-    // request kind wired into one but not the other), a typed reply is
-    // the right failure mode — not a thread panic.
-    let Some(key) = cache_key(shared.state.fingerprint, &request) else {
-        record(&shared.reader_metrics, |m| m.incr("internal.errors", 1));
-        return Response::Error(format!(
-            "internal error: no cache key for {:?} dispatch",
-            request.kind()
-        ))
-        .encode();
-    };
-    if let Some(hit) = shared.cache.get(&key) {
-        record(&shared.reader_metrics, |m| m.incr("cache.hit", 1));
-        return String::clone(&hit);
-    }
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<Arc<String>>(1);
-    let job = Job {
-        request,
-        key,
-        enqueued: started,
-        reply: reply_tx,
-    };
-    // Count the slot before enqueueing so a fast worker's decrement can
-    // never race the increment below zero; undo on any failure to queue.
-    let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-    match job_tx.try_send(job) {
-        Ok(()) => {
-            record(&shared.reader_metrics, |m| {
-                m.gauge_max("queue.depth_max", depth as f64);
-            });
-        }
-        Err(TrySendError::Full(_)) => {
-            shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            record(&shared.reader_metrics, |m| m.incr("overloaded", 1));
-            return Response::Overloaded.encode();
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            return Response::Error("server is shutting down".to_string()).encode();
-        }
-    }
-    match reply_rx.recv_timeout(shared.config.reply_timeout) {
-        Ok(reply) => String::clone(&reply),
-        Err(_) => Response::Error("compute timed out".to_string()).encode(),
+impl std::fmt::Debug for ShardMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardMap")
+            .field("resident", &self.resident())
+            .field("evictions", &self.evictions())
+            .finish_non_exhaustive()
     }
 }
 
 /// Maps a compute request onto its cache identity; `None` for the
 /// uncacheable `Stats`/`Health`.
-fn cache_key(fingerprint: u64, request: &Request) -> Option<CacheKey> {
+pub(crate) fn cache_key(fingerprint: u64, request: &Request) -> Option<CacheKey> {
     let budget_bits =
         |budget: &mcdvfs_core::InefficiencyBudget| budget.bound().map_or(u64::MAX, f64::to_bits);
     let (kind, a, b, c) = match request {
@@ -609,150 +320,6 @@ fn cache_key(fingerprint: u64, request: &Request) -> Option<CacheKey> {
         threshold_bits: b,
         governor_hash: c,
     })
-}
-
-fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>, slot: usize) {
-    loop {
-        let job = {
-            let guard = rx.lock().expect("job queue poisoned");
-            match guard.recv_timeout(WORKER_POLL) {
-                Ok(job) => job,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return,
-            }
-        };
-        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let p = &shared.state.profiler;
-        let queued_ns = job.enqueued.elapsed().as_nanos() as f64;
-        {
-            let _span = p.span("dispatch");
-            record(&shared.worker_metrics[slot], |m| {
-                m.observe_duration_ns("latency.queue_ns", queued_ns);
-            });
-        }
-        if !shared.config.compute_delay.is_zero() {
-            thread::sleep(shared.config.compute_delay);
-        }
-        let t0 = Instant::now();
-        let response = {
-            let _span = p.span("compute");
-            compute(shared, &job.request)
-        };
-        let encoded = {
-            let _span = p.span("encode");
-            Arc::new(response.encode())
-        };
-        record(&shared.worker_metrics[slot], |m| {
-            m.observe_duration_ns("latency.compute_ns", t0.elapsed().as_nanos() as f64);
-            m.incr("cache.miss", 1);
-        });
-        // Errors are not cached: a later identical request may be valid
-        // context (e.g. after a config change) and they are cheap.
-        if !matches!(response, Response::Error(_)) {
-            shared.cache.insert(job.key, Arc::clone(&encoded));
-        }
-        // The reader may have timed out and gone; nothing to do then.
-        let _ = job.reply.send(encoded);
-    }
-}
-
-/// Runs one compute query against the engine. Every arm is a thin
-/// adapter over the deterministic `SweepEngine` entry points, so replies
-/// are bit-identical to direct calls at any worker count.
-fn compute(shared: &Shared, request: &Request) -> Response {
-    let engine = &shared.state.engine;
-    let data = engine.data();
-    match request {
-        Request::OptimalSetting { budget } => Response::OptimalSetting(
-            engine
-                .optimal_series(*budget)
-                .iter()
-                .map(|c| WireChoice {
-                    sample: c.sample,
-                    index: c.index,
-                    cpu_mhz: c.setting.cpu.mhz(),
-                    mem_mhz: c.setting.mem.mhz(),
-                    time_s: c.time.value(),
-                    energy_j: c.energy.value(),
-                    inefficiency: c.inefficiency.value(),
-                })
-                .collect(),
-        ),
-        Request::Cluster { budget, threshold } => {
-            match engine.cluster_detail(*budget, *threshold) {
-                Ok(clusters) => Response::Cluster(
-                    clusters
-                        .iter()
-                        .map(|c| WireCluster {
-                            sample: c.sample,
-                            optimal_index: c.optimal.index,
-                            members: c.member_indices().to_vec(),
-                            cpu_mhz: c.cpu_range_mhz(data),
-                            mem_mhz: c.mem_range_mhz(data),
-                        })
-                        .collect(),
-                ),
-                Err(e) => Response::Error(e.to_string()),
-            }
-        }
-        Request::StableRegions { budget, threshold } => {
-            match engine.stable_detail(*budget, *threshold) {
-                Ok(regions) => Response::StableRegions(
-                    regions
-                        .iter()
-                        .map(|r| {
-                            let chosen = r.chosen_setting(data);
-                            WireRegion {
-                                start: r.start,
-                                end: r.end,
-                                chosen_index: r.chosen_index,
-                                cpu_mhz: chosen.cpu.mhz(),
-                                mem_mhz: chosen.mem.mhz(),
-                                available: r.available_indices().to_vec(),
-                            }
-                        })
-                        .collect(),
-                ),
-                Err(e) => Response::Error(e.to_string()),
-            }
-        }
-        Request::GovernedReplay { governor, budget } => {
-            let runner = match governor.as_str() {
-                "ideal" => GovernedRun::without_overheads(),
-                "paper" => GovernedRun::with_paper_overheads(),
-                other => {
-                    return Response::Error(format!(
-                        "unknown governor {other:?}; expected \"ideal\" or \"paper\""
-                    ));
-                }
-            };
-            let report = engine
-                .governed_reports(&runner, &shared.state.trace, &[*budget])
-                .pop()
-                .expect("one budget yields one report");
-            Response::GovernedReplay(wire_report(&report))
-        }
-        Request::Stats | Request::Health => {
-            Response::Error("stats/health are answered inline".to_string())
-        }
-    }
-}
-
-fn wire_report(r: &RunReport) -> WireReport {
-    WireReport {
-        governor: r.governor.clone(),
-        work_time_s: r.work_time.value(),
-        work_energy_j: r.work_energy.value(),
-        tuning_time_s: r.tuning_time.value(),
-        tuning_energy_j: r.tuning_energy.value(),
-        transition_time_s: r.transition_time.value(),
-        transition_energy_j: r.transition_energy.value(),
-        transitions: r.transitions,
-        cpu_transitions: r.cpu_transitions,
-        mem_transitions: r.mem_transitions,
-        searches: r.searches,
-        total_emin_j: r.total_emin.value(),
-    }
 }
 
 #[cfg(test)]

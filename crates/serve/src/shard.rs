@@ -1,0 +1,572 @@
+//! Sharded multi-tenant engine layer.
+//!
+//! One [`ShardMap`] owns every engine the server answers queries from,
+//! keyed by characterization fingerprint
+//! ([`CharacterizationGrid::fingerprint`](mcdvfs_sim::CharacterizationGrid::fingerprint)).
+//! The default tenant's shard is built eagerly from the [`ServeState`]
+//! engine and pinned; every other tenant is a [`TenantSpec`] —
+//! `(System, SampleTrace, FrequencyGrid)` — whose shard is characterized
+//! lazily on first request and evicted least-recently-used when the
+//! resident count would exceed `max_shards`. An evicted tenant is not an
+//! error: its next request rebuilds the shard from the spec, and because
+//! characterization is deterministic the rebuilt shard carries the same
+//! fingerprint and serves bit-identical replies.
+//!
+//! Each shard owns its own bounded job queue, worker slice, and reply
+//! LRU, so tenants never serialize on one another: a slow governed
+//! replay for one workload cannot queue behind — or shed — another
+//! workload's traffic. Workers hold the *core* ([`ShardCore`]) but never
+//! the job sender; dropping a shard's [`ShardHandle`] (eviction or
+//! shutdown) disconnects the queue, the workers drain what was already
+//! accepted, deliver those completions, and exit. Worker join handles
+//! live in the map's reaper list and are joined at shutdown, never from
+//! the reactor tick.
+
+use crate::cache::{CacheKey, ShardedLru};
+use crate::protocol::{
+    Request, Response, WireChoice, WireCluster, WireRegion, WireReport, WireShard,
+};
+use mcdvfs_core::{GovernedRun, RunReport, SweepEngine};
+use mcdvfs_obs::{MetricSet, Profiler};
+use mcdvfs_sim::System;
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::SampleTrace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long an idle shard worker waits for work before re-checking for
+/// disconnect.
+const WORKER_POLL: Duration = Duration::from_millis(5);
+
+/// Identifies one reactor connection *instance*: slot id plus a
+/// generation that changes whenever the slot is reused or the request
+/// times out, so a late completion can never answer the wrong client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConnToken {
+    /// Slab slot index.
+    pub id: usize,
+    /// Monotonic generation the slot held when the job was dispatched.
+    pub gen: u64,
+}
+
+/// One queued compute request, owned by a shard worker until its reply
+/// is delivered back to the reactor.
+pub(crate) struct Job {
+    pub request: Request,
+    pub key: CacheKey,
+    pub conn: ConnToken,
+    pub enqueued: Instant,
+}
+
+/// A finished compute reply flowing back to the reactor's poll loop.
+pub(crate) struct Completion {
+    pub conn: ConnToken,
+    pub reply: Arc<String>,
+}
+
+/// Everything needed to lazily characterize one tenant's engine.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    system: System,
+    trace: SampleTrace,
+    grid: FrequencyGrid,
+}
+
+impl TenantSpec {
+    /// Bundles the inputs a shard build characterizes from.
+    #[must_use]
+    pub fn new(system: System, trace: SampleTrace, grid: FrequencyGrid) -> Self {
+        Self {
+            system,
+            trace,
+            grid,
+        }
+    }
+
+    /// Characterizes the spec into an engine. Query-time fan-out is
+    /// pinned to one thread — shard workers are the parallelism axis —
+    /// and replies stay bit-identical at any width.
+    fn build(&self) -> (SweepEngine, SampleTrace) {
+        let engine =
+            SweepEngine::characterize_with_threads(&self.system, &self.trace, self.grid, 1);
+        (engine, self.trace.clone())
+    }
+}
+
+/// The worker-visible part of one shard: engine, trace, cache, metrics.
+/// Deliberately excludes the job sender so worker threads holding the
+/// core cannot keep their own queue alive after eviction.
+pub(crate) struct ShardCore {
+    pub name: String,
+    pub fingerprint: u64,
+    pub engine: SweepEngine,
+    pub trace: SampleTrace,
+    pub cache: ShardedLru,
+    pub queue_depth: AtomicUsize,
+    pub requests: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub worker_metrics: Vec<Mutex<MetricSet>>,
+    profiler: Arc<Profiler>,
+    compute_delay: Duration,
+}
+
+impl ShardCore {
+    /// This shard's row in a `stats` reply.
+    pub fn wire_row(&self, pinned: bool) -> WireShard {
+        WireShard {
+            workload: self.name.clone(),
+            fingerprint: format!("{:016x}", self.fingerprint),
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
+            pinned,
+        }
+    }
+}
+
+/// Reactor-side handle to a live shard. Dropping it disconnects the job
+/// queue; the workers drain and exit on their own.
+pub(crate) struct ShardHandle {
+    pub core: Arc<ShardCore>,
+    pub job_tx: SyncSender<Job>,
+    pub last_used: u64,
+    pub pinned: bool,
+}
+
+/// What dispatching a job to a shard produced.
+pub(crate) enum Dispatch {
+    /// The job was queued; a [`Completion`] will arrive later.
+    Queued,
+    /// The bounded queue was full; reply `overloaded` inline.
+    Shed,
+    /// The queue is disconnected (shutdown); reply a typed error inline.
+    Gone,
+}
+
+/// All shards, the tenant registry, and the worker reaper list.
+pub(crate) struct ShardMap {
+    shards: Mutex<HashMap<u64, ShardHandle>>,
+    /// Tenant name → fingerprint, learned at first build and kept across
+    /// evictions (fingerprints are deterministic per spec).
+    names: Mutex<HashMap<String, u64>>,
+    specs: HashMap<String, TenantSpec>,
+    default_name: String,
+    /// Every core ever built — live or evicted — so merged metric
+    /// snapshots survive eviction.
+    cores: Mutex<Vec<Arc<ShardCore>>>,
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    completions: Sender<Completion>,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+    workers_per_shard: usize,
+    queue_bound: usize,
+    cache_capacity: usize,
+    cache_shards: usize,
+    max_shards: usize,
+    compute_delay: Duration,
+    profiler: Arc<Profiler>,
+}
+
+impl ShardMap {
+    /// Builds the map with the default tenant's shard resident and
+    /// pinned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        default_engine: SweepEngine,
+        default_trace: SampleTrace,
+        specs: HashMap<String, TenantSpec>,
+        completions: Sender<Completion>,
+        workers_per_shard: usize,
+        queue_bound: usize,
+        cache_capacity: usize,
+        cache_shards: usize,
+        max_shards: usize,
+        compute_delay: Duration,
+        profiler: Arc<Profiler>,
+    ) -> Self {
+        let default_name = default_engine.data().name().to_string();
+        let map = Self {
+            shards: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            specs,
+            default_name: default_name.clone(),
+            cores: Mutex::new(Vec::new()),
+            worker_handles: Mutex::new(Vec::new()),
+            completions,
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            workers_per_shard: workers_per_shard.max(1),
+            queue_bound,
+            cache_capacity,
+            cache_shards,
+            max_shards: max_shards.max(1),
+            compute_delay,
+            profiler,
+        };
+        map.install(&default_name, default_engine, default_trace, true);
+        map
+    }
+
+    /// Shards evicted since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Live shard count.
+    pub fn resident(&self) -> usize {
+        self.shards.lock().expect("shard map poisoned").len()
+    }
+
+    /// Resolves a tenant to its live shard, characterizing (and possibly
+    /// evicting) as needed. `None` addresses the default tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message for an unknown tenant.
+    pub fn resolve(
+        &self,
+        workload: Option<&str>,
+    ) -> Result<(Arc<ShardCore>, SyncSender<Job>), String> {
+        let name = workload.unwrap_or(&self.default_name);
+        let fingerprint = self
+            .names
+            .lock()
+            .expect("name map poisoned")
+            .get(name)
+            .copied();
+        if let Some(fp) = fingerprint {
+            let mut shards = self.shards.lock().expect("shard map poisoned");
+            if let Some(handle) = shards.get_mut(&fp) {
+                handle.last_used = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                return Ok((Arc::clone(&handle.core), handle.job_tx.clone()));
+            }
+        }
+        let Some(spec) = self.specs.get(name) else {
+            return Err(format!(
+                "unknown workload {name:?}; known tenants: {}",
+                self.known_tenants().join(", ")
+            ));
+        };
+        let t0 = Instant::now();
+        let (engine, trace) = spec.build();
+        let built_ns = t0.elapsed().as_nanos() as f64;
+        let fp = engine.data().fingerprint();
+        // Two tenants with bit-identical characterizations share a shard.
+        {
+            self.names
+                .lock()
+                .expect("name map poisoned")
+                .insert(name.to_string(), fp);
+            let mut shards = self.shards.lock().expect("shard map poisoned");
+            if let Some(handle) = shards.get_mut(&fp) {
+                handle.last_used = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                return Ok((Arc::clone(&handle.core), handle.job_tx.clone()));
+            }
+        }
+        let core = self.install(name, engine, trace, false);
+        record(&core.worker_metrics[0], |m| {
+            m.incr("shard.builds", 1);
+            m.observe_duration_ns("shard.build_ns", built_ns);
+        });
+        let tx = {
+            let shards = self.shards.lock().expect("shard map poisoned");
+            shards
+                .get(&core.fingerprint)
+                .expect("just-installed shard is resident")
+                .job_tx
+                .clone()
+        };
+        Ok((core, tx))
+    }
+
+    /// Sorted tenant names the server can route to.
+    fn known_tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.specs.keys().cloned().collect();
+        names.push(self.default_name.clone());
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Spawns a shard's workers and makes it resident, evicting the
+    /// least-recently-used unpinned shard when over capacity.
+    fn install(
+        &self,
+        name: &str,
+        engine: SweepEngine,
+        trace: SampleTrace,
+        pinned: bool,
+    ) -> Arc<ShardCore> {
+        let fingerprint = engine.data().fingerprint();
+        let core = Arc::new(ShardCore {
+            name: name.to_string(),
+            fingerprint,
+            engine,
+            trace,
+            cache: ShardedLru::new(self.cache_capacity, self.cache_shards),
+            queue_depth: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            worker_metrics: (0..self.workers_per_shard)
+                .map(|_| Mutex::new(MetricSet::new()))
+                .collect(),
+            profiler: Arc::clone(&self.profiler),
+            compute_delay: self.compute_delay,
+        });
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.queue_bound.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut handles = self.worker_handles.lock().expect("reaper list poisoned");
+        for slot in 0..self.workers_per_shard {
+            let core = Arc::clone(&core);
+            let rx = Arc::clone(&job_rx);
+            let completions = self.completions.clone();
+            handles.push(thread::spawn(move || {
+                worker_loop(&core, &rx, &completions, slot);
+            }));
+        }
+        drop(handles);
+
+        let mut shards = self.shards.lock().expect("shard map poisoned");
+        if shards.len() >= self.max_shards {
+            // Deterministic victim: stalest tick, fingerprint tie-break.
+            let victim = shards
+                .iter()
+                .filter(|(_, h)| !h.pinned)
+                .min_by_key(|(fp, h)| (h.last_used, **fp))
+                .map(|(fp, _)| *fp);
+            if let Some(fp) = victim {
+                shards.remove(&fp);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shards.insert(
+            fingerprint,
+            ShardHandle {
+                core: Arc::clone(&core),
+                job_tx,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                pinned,
+            },
+        );
+        drop(shards);
+        self.names
+            .lock()
+            .expect("name map poisoned")
+            .insert(name.to_string(), fingerprint);
+        self.cores
+            .lock()
+            .expect("core list poisoned")
+            .push(Arc::clone(&core));
+        core
+    }
+
+    /// Per-shard `stats` rows, sorted by workload name.
+    pub fn wire_rows(&self) -> Vec<WireShard> {
+        let shards = self.shards.lock().expect("shard map poisoned");
+        let mut rows: Vec<WireShard> = shards.values().map(|h| h.core.wire_row(h.pinned)).collect();
+        rows.sort_by(|a, b| a.workload.cmp(&b.workload));
+        rows
+    }
+
+    /// Merges every core's worker metric slots (live and evicted) into
+    /// `into`.
+    pub fn merge_metrics(&self, into: &mut MetricSet) {
+        for core in self.cores.lock().expect("core list poisoned").iter() {
+            for slot in &core.worker_metrics {
+                into.merge(&slot.lock().expect("worker metrics poisoned"));
+            }
+        }
+    }
+
+    /// Disconnects every queue and joins every worker ever spawned.
+    /// Called after the reactor has exited, so no new jobs can arrive.
+    pub fn shutdown(&self) {
+        self.shards.lock().expect("shard map poisoned").clear();
+        let handles =
+            std::mem::take(&mut *self.worker_handles.lock().expect("reaper list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Tries to queue a job on a shard, counting depth before the send so a
+/// fast worker's decrement can never race the increment below zero.
+pub(crate) fn try_dispatch(core: &ShardCore, tx: &SyncSender<Job>, job: Job) -> (Dispatch, usize) {
+    let depth = core.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    match tx.try_send(job) {
+        Ok(()) => (Dispatch::Queued, depth),
+        Err(TrySendError::Full(_)) => {
+            core.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            (Dispatch::Shed, depth)
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            core.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            (Dispatch::Gone, depth)
+        }
+    }
+}
+
+fn record(slot: &Mutex<MetricSet>, f: impl FnOnce(&mut MetricSet)) {
+    f(&mut slot.lock().expect("metric slot poisoned"));
+}
+
+fn worker_loop(
+    core: &Arc<ShardCore>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    completions: &Sender<Completion>,
+    slot: usize,
+) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("job queue poisoned");
+            match guard.recv_timeout(WORKER_POLL) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        core.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let p = &core.profiler;
+        let queued_ns = job.enqueued.elapsed().as_nanos() as f64;
+        {
+            let _span = p.span("dispatch");
+            record(&core.worker_metrics[slot], |m| {
+                m.observe_duration_ns("latency.queue_ns", queued_ns);
+            });
+        }
+        if !core.compute_delay.is_zero() {
+            thread::sleep(core.compute_delay);
+        }
+        let t0 = Instant::now();
+        let response = {
+            let _span = p.span("compute");
+            compute(core, &job.request)
+        };
+        let encoded = {
+            let _span = p.span("encode");
+            Arc::new(response.encode())
+        };
+        record(&core.worker_metrics[slot], |m| {
+            m.observe_duration_ns("latency.compute_ns", t0.elapsed().as_nanos() as f64);
+            m.incr("cache.miss", 1);
+        });
+        core.misses.fetch_add(1, Ordering::Relaxed);
+        // Errors are not cached: a later identical request may be valid
+        // context (e.g. after a config change) and they are cheap.
+        if !matches!(response, Response::Error(_)) {
+            core.cache.insert(job.key, Arc::clone(&encoded));
+        }
+        // The reactor may have closed the connection; nothing to do then.
+        let _ = completions.send(Completion {
+            conn: job.conn,
+            reply: encoded,
+        });
+    }
+}
+
+/// Runs one compute query against a shard's engine. Every arm is a thin
+/// adapter over the deterministic `SweepEngine` entry points, so replies
+/// are bit-identical to direct calls at any worker or shard count.
+fn compute(core: &ShardCore, request: &Request) -> Response {
+    let engine = &core.engine;
+    let data = engine.data();
+    match request {
+        Request::OptimalSetting { budget } => Response::OptimalSetting(
+            engine
+                .optimal_series(*budget)
+                .iter()
+                .map(|c| WireChoice {
+                    sample: c.sample,
+                    index: c.index,
+                    cpu_mhz: c.setting.cpu.mhz(),
+                    mem_mhz: c.setting.mem.mhz(),
+                    time_s: c.time.value(),
+                    energy_j: c.energy.value(),
+                    inefficiency: c.inefficiency.value(),
+                })
+                .collect(),
+        ),
+        Request::Cluster { budget, threshold } => {
+            match engine.cluster_detail(*budget, *threshold) {
+                Ok(clusters) => Response::Cluster(
+                    clusters
+                        .iter()
+                        .map(|c| WireCluster {
+                            sample: c.sample,
+                            optimal_index: c.optimal.index,
+                            members: c.member_indices().to_vec(),
+                            cpu_mhz: c.cpu_range_mhz(data),
+                            mem_mhz: c.mem_range_mhz(data),
+                        })
+                        .collect(),
+                ),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::StableRegions { budget, threshold } => {
+            match engine.stable_detail(*budget, *threshold) {
+                Ok(regions) => Response::StableRegions(
+                    regions
+                        .iter()
+                        .map(|r| {
+                            let chosen = r.chosen_setting(data);
+                            WireRegion {
+                                start: r.start,
+                                end: r.end,
+                                chosen_index: r.chosen_index,
+                                cpu_mhz: chosen.cpu.mhz(),
+                                mem_mhz: chosen.mem.mhz(),
+                                available: r.available_indices().to_vec(),
+                            }
+                        })
+                        .collect(),
+                ),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::GovernedReplay { governor, budget } => {
+            let runner = match governor.as_str() {
+                "ideal" => GovernedRun::without_overheads(),
+                "paper" => GovernedRun::with_paper_overheads(),
+                other => {
+                    return Response::Error(format!(
+                        "unknown governor {other:?}; expected \"ideal\" or \"paper\""
+                    ));
+                }
+            };
+            let report = engine
+                .governed_reports(&runner, &core.trace, &[*budget])
+                .pop()
+                .expect("one budget yields one report");
+            Response::GovernedReplay(wire_report(&report))
+        }
+        Request::Stats | Request::Health => {
+            Response::Error("stats/health are answered inline".to_string())
+        }
+    }
+}
+
+fn wire_report(r: &RunReport) -> WireReport {
+    WireReport {
+        governor: r.governor.clone(),
+        work_time_s: r.work_time.value(),
+        work_energy_j: r.work_energy.value(),
+        tuning_time_s: r.tuning_time.value(),
+        tuning_energy_j: r.tuning_energy.value(),
+        transition_time_s: r.transition_time.value(),
+        transition_energy_j: r.transition_energy.value(),
+        transitions: r.transitions,
+        cpu_transitions: r.cpu_transitions,
+        mem_transitions: r.mem_transitions,
+        searches: r.searches,
+        total_emin_j: r.total_emin.value(),
+    }
+}

@@ -8,7 +8,9 @@
 //! query, and check the overload path sheds instead of stalling.
 
 use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
-use mcdvfs_serve::{Client, Request, Response, ServeState, Server, ServerConfig};
+use mcdvfs_serve::{
+    Client, ClientPool, Request, Response, ServeState, Server, ServerConfig, TenantSpec,
+};
 use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::{Benchmark, SampleTrace};
@@ -363,4 +365,205 @@ fn full_queue_sheds_with_overloaded_instead_of_stalling() {
     assert!(shed > 0, "load never overflowed the two-slot queue");
     let metrics = server.shutdown();
     assert_eq!(metrics.counter("overloaded"), shed);
+}
+
+#[test]
+fn stats_expose_per_shard_rows_with_cache_and_queue_detail() {
+    let bzip2 = Benchmark::Bzip2.trace().window(0, 10);
+    let spec = TenantSpec::new(
+        System::galaxy_nexus_class(),
+        bzip2.clone(),
+        FrequencyGrid::coarse(),
+    );
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeState::new(engine(), trace()).with_tenant("bzip2", spec),
+        config(2),
+    )
+    .unwrap();
+    // The pool spreads requests across connections; per-shard totals are
+    // connection-independent.
+    let mut pool = ClientPool::connect(server.addr(), 4).unwrap();
+    assert_eq!(pool.len(), 4);
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    for workload in [None, None, Some("bzip2"), Some("bzip2")] {
+        let reply = pool
+            .request_for(workload, &Request::OptimalSetting { budget })
+            .unwrap();
+        assert!(
+            matches!(reply, Response::OptimalSetting(_)),
+            "got {reply:?}"
+        );
+    }
+    let Response::Stats(stats) = pool.request(&Request::Stats).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(stats.engines, 2, "default shard plus one lazy tenant");
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.shards.len(), 2);
+    let default_name = engine().data().name().to_string();
+    let by_name = |name: &str| {
+        stats
+            .shards
+            .iter()
+            .find(|s| s.workload == name)
+            .unwrap_or_else(|| panic!("no shard row for {name}"))
+    };
+    let default_row = by_name(&default_name);
+    let tenant_row = by_name("bzip2");
+    for (row, pinned) in [(default_row, true), (tenant_row, false)] {
+        assert_eq!(row.requests, 2, "{}: two routed queries", row.workload);
+        assert_eq!(
+            row.cache_misses, 1,
+            "{}: first query computes",
+            row.workload
+        );
+        assert_eq!(row.cache_hits, 1, "{}: second query hits", row.workload);
+        assert_eq!(row.queue_depth, 0, "{}: drained at rest", row.workload);
+        assert_eq!(row.pinned, pinned, "{}: pinning", row.workload);
+    }
+    assert_ne!(
+        default_row.fingerprint, tenant_row.fingerprint,
+        "distinct characterizations must shard separately"
+    );
+    let _ = server.shutdown();
+}
+
+#[test]
+fn slow_loris_connections_are_reaped_by_the_reactor_tick() {
+    use std::io::Read;
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeState::new(engine(), trace()),
+        ServerConfig {
+            workers: 1,
+            idle_timeout: std::time::Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // One connection never sends a byte; the other trickles a partial
+    // frame header and stalls. Neither costs a server thread, and both
+    // must be reaped by the idle deadline — enforced from the reactor
+    // tick, not from inside a blocking read.
+    let mut silent = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
+    std::io::Write::write_all(&mut stalled, b"12").unwrap();
+    for stream in [&silent, &stalled] {
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    // The server closed both: reads see EOF, not a reply frame.
+    let mut scratch = [0u8; 16];
+    assert_eq!(silent.read(&mut scratch).unwrap(), 0, "silent conn EOF");
+    assert_eq!(stalled.read(&mut scratch).unwrap(), 0, "stalled conn EOF");
+    // And it still serves new clients afterwards.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(matches!(
+        client.request(&Request::Health).unwrap(),
+        Response::Health(_)
+    ));
+    drop(client);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.counter("connections.idle_closed"), 2);
+    assert_eq!(metrics.counter("protocol.errors"), 0);
+}
+
+#[test]
+fn mixed_tenant_replies_stay_bit_identical_across_eviction_and_rebuild() {
+    let system = System::galaxy_nexus_class();
+    let bzip2_trace = Benchmark::Bzip2.trace().window(0, 10);
+    let gcc_trace = Benchmark::Gcc.trace().window(0, 10);
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+
+    // Direct per-grid references the served replies must match bit for
+    // bit, at any worker count and across shard eviction/rebuild.
+    let direct_bzip2 = SweepEngine::characterize(&system, &bzip2_trace, FrequencyGrid::coarse());
+    let direct_gcc = SweepEngine::characterize(&system, &gcc_trace, FrequencyGrid::coarse());
+    assert_ne!(
+        direct_bzip2.data().fingerprint(),
+        direct_gcc.data().fingerprint()
+    );
+
+    // max_shards = 2 with the pinned default resident means bzip2 and
+    // gcc can never be resident together: each resolve of the other
+    // evicts the one loaded before it.
+    let state = ServeState::new(engine(), trace())
+        .with_tenant(
+            "bzip2",
+            TenantSpec::new(system.clone(), bzip2_trace, FrequencyGrid::coarse()),
+        )
+        .with_tenant(
+            "gcc",
+            TenantSpec::new(system.clone(), gcc_trace, FrequencyGrid::coarse()),
+        );
+    let server = Server::start(
+        "127.0.0.1:0",
+        state,
+        ServerConfig {
+            workers: 2,
+            max_shards: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let pin = |reply: Response, reference: &SweepEngine, label: &str| {
+        let Response::OptimalSetting(choices) = reply else {
+            panic!("{label}: wrong reply kind");
+        };
+        let expect = reference.optimal_series(budget);
+        assert_eq!(choices.len(), expect.len(), "{label}: length");
+        for (wire, direct) in choices.iter().zip(&expect) {
+            assert_eq!(wire.sample, direct.sample, "{label}");
+            assert_eq!(wire.index, direct.index, "{label}");
+            assert_eq!(
+                wire.time_s.to_bits(),
+                direct.time.value().to_bits(),
+                "{label}: time bits"
+            );
+            assert_eq!(
+                wire.energy_j.to_bits(),
+                direct.energy.value().to_bits(),
+                "{label}: energy bits"
+            );
+            assert_eq!(
+                wire.inefficiency.to_bits(),
+                direct.inefficiency.value().to_bits(),
+                "{label}: inefficiency bits"
+            );
+        }
+    };
+
+    let query = Request::OptimalSetting { budget };
+    let reply = client.request_for(Some("bzip2"), &query).unwrap();
+    pin(reply, &direct_bzip2, "bzip2 first build");
+    // Resolving gcc exceeds max_shards and evicts bzip2 (gobmk is
+    // pinned).
+    let reply = client.request_for(Some("gcc"), &query).unwrap();
+    pin(reply, &direct_gcc, "gcc build evicting bzip2");
+    // bzip2 again: rebuilt from its spec (evicting gcc) with the same
+    // fingerprint and the same bits.
+    let reply = client.request_for(Some("bzip2"), &query).unwrap();
+    pin(reply, &direct_bzip2, "bzip2 rebuilt after eviction");
+
+    let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(stats.engines, 2, "pinned default + one tenant resident");
+    assert_eq!(stats.evictions, 2, "bzip2 evicted by gcc, gcc by bzip2");
+    let resident: Vec<&str> = stats.shards.iter().map(|s| s.workload.as_str()).collect();
+    assert!(resident.contains(&"bzip2"), "resident: {resident:?}");
+    assert!(!resident.contains(&"gcc"), "resident: {resident:?}");
+
+    // The default tenant was never disturbed.
+    let reply = client.request(&Request::Health).unwrap();
+    let Response::Health(health) = reply else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(health.workload, engine().data().name());
+    let _ = server.shutdown();
 }
