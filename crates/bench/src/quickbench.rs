@@ -152,6 +152,7 @@ impl Comparison {
 pub struct BenchReport {
     schema: String,
     meta: Vec<(String, f64)>,
+    sections: Vec<(String, Vec<(String, f64)>)>,
     entries: Vec<(String, BenchStats)>,
     comparisons: Vec<Comparison>,
 }
@@ -164,6 +165,7 @@ impl BenchReport {
         Self {
             schema: schema.to_string(),
             meta: Vec::new(),
+            sections: Vec::new(),
             entries: Vec::new(),
             comparisons: Vec::new(),
         }
@@ -182,6 +184,21 @@ impl BenchReport {
             slot.1 = value;
         } else {
             self.meta.push((key.to_string(), value));
+        }
+    }
+
+    /// Records a named group of numeric facts rendered as its own
+    /// top-level object (e.g. a `"telemetry"` cross-check block).
+    /// Re-recording a section name replaces the whole section.
+    pub fn section(&mut self, name: &str, entries: &[(&str, f64)]) {
+        let rows: Vec<(String, f64)> = entries
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect();
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = rows;
+        } else {
+            self.sections.push((name.to_string(), rows));
         }
     }
 
@@ -223,19 +240,32 @@ impl BenchReport {
         };
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema\": \"{}\",\n", escape(&self.schema)));
-        if !self.meta.is_empty() {
-            out.push_str("  \"meta\": {");
-            for (i, (key, value)) in self.meta.iter().enumerate() {
-                let sep = if i + 1 < self.meta.len() { ", " } else { "" };
-                // Whole numbers render without a fraction so counts stay
-                // greppable; ratios keep three decimals.
-                if (value.fract() == 0.0) && value.abs() < 1e15 {
-                    out.push_str(&format!("\"{}\": {}{sep}", escape(key), *value as i64));
-                } else {
-                    out.push_str(&format!("\"{}\": {value:.3}{sep}", escape(key)));
-                }
+        // Whole numbers render without a fraction so counts stay
+        // greppable; ratios keep three decimals.
+        let number = |value: f64| {
+            if (value.fract() == 0.0) && value.abs() < 1e15 {
+                format!("{}", value as i64)
+            } else {
+                format!("{value:.3}")
             }
-            out.push_str("},\n");
+        };
+        let flat_object = |rows: &[(String, f64)]| {
+            let mut body = String::new();
+            for (i, (key, value)) in rows.iter().enumerate() {
+                let sep = if i + 1 < rows.len() { ", " } else { "" };
+                body.push_str(&format!("\"{}\": {}{sep}", escape(key), number(*value)));
+            }
+            body
+        };
+        if !self.meta.is_empty() {
+            out.push_str(&format!("  \"meta\": {{{}}},\n", flat_object(&self.meta)));
+        }
+        for (name, rows) in &self.sections {
+            out.push_str(&format!(
+                "  \"{}\": {{{}}},\n",
+                escape(name),
+                flat_object(rows)
+            ));
         }
         out.push_str("  \"entries\": [\n");
         for (i, (name, stats)) in self.entries.iter().enumerate() {
@@ -364,6 +394,18 @@ mod tests {
         assert!(json.contains("\"speedup\": 5.000"));
         assert_eq!(r.comparisons().len(), 1);
         assert!((r.comparisons()[0].speedup() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_named_sections_and_replaces_on_rewrite() {
+        let mut r = BenchReport::new("s");
+        r.note("connections", 8.0);
+        r.section("telemetry", &[("server_total", 100.0), ("p95_ratio", 0.5)]);
+        r.section("telemetry", &[("server_total", 200.0)]);
+        let json = r.to_json();
+        assert!(json.contains("\"meta\": {\"connections\": 8}"));
+        assert!(json.contains("\"telemetry\": {\"server_total\": 200}"));
+        assert!(!json.contains("p95_ratio"), "rewrite replaces the section");
     }
 
     #[test]

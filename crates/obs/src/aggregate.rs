@@ -642,6 +642,37 @@ mod tests {
     }
 
     #[test]
+    fn quantile_relative_error_is_bounded_by_the_bucket_ratio() {
+        // The duration edges step by √10 per bucket. The estimator and
+        // the exact rank-q sample always land in the same bucket (they
+        // share the cumulative counts), so the estimate can miss by at
+        // most one bucket width: |est − exact| ≤ exact · (√10 − 1).
+        let bound = 10f64.sqrt() - 1.0;
+        let mut rng = mcdvfs_types::SplitMix64::new(0xF11E_57A7);
+        let mut h = Histogram::new(crate::metrics::duration_edges_ns());
+        let mut samples = Vec::new();
+        for _ in 0..10_000 {
+            // Log-uniform over [1 µs, 100 ms): exercises many buckets.
+            let v = 1e3 * 10f64.powf(rng.next_f64() * 5.0);
+            h.add(v);
+            samples.push(v);
+        }
+        samples.sort_by(f64::total_cmp);
+        for q in [0.01, 0.10, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = h.percentile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= bound,
+                "q={q}: estimate {est} vs exact {exact} (rel err {rel:.3} > {bound:.3})"
+            );
+        }
+        // The top extreme is exact: the estimate clamps to max_seen.
+        assert_eq!(h.percentile(1.0), Some(*samples.last().unwrap()));
+    }
+
+    #[test]
     fn region_lengths_partition_the_samples() {
         let mut l = RunLedger::unbounded();
         l.record(Event::RegionBoundary { sample: 0 });

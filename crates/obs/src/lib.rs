@@ -38,7 +38,13 @@
 //!   [`Histogram`]s that worker threads build privately and the spawning
 //!   thread merges at join time (lock-free by ownership);
 //! * [`Profiler`] — the bundle instrumented code takes by reference, with
-//!   flame-style [phase summaries](Profiler::render_summary).
+//!   flame-style [phase summaries](Profiler::render_summary);
+//! * [`FlightRecorder`]/[`RequestTrace`] — request-level flight records
+//!   with per-stage timestamps, kept in a bounded ring plus a
+//!   slow-request log, gated exactly like [`Recorder`];
+//! * [`WindowRing`] — a single-writer ring of 1-second telemetry
+//!   windows (throughput, shed/error counts, queue-depth max,
+//!   latency percentiles).
 //!
 //! # Examples
 //!
@@ -63,16 +69,20 @@
 
 mod aggregate;
 mod event;
+mod flight;
 mod ledger;
 mod metrics;
 mod profiler;
 mod recorder;
 mod trace;
+mod window;
 
 pub use aggregate::{DomainTransitionCounts, Histogram, ReplayTotals, SearchBreakdown};
 pub use event::Event;
+pub use flight::{FlightCounts, FlightRecorder, Outcome, RequestTrace, Stage};
 pub use ledger::RunLedger;
 pub use metrics::{count_edges, duration_edges_ns, MetricSet};
 pub use profiler::{fmt_ns, phase_totals_of, PhaseTotal, Profiler};
 pub use recorder::{NullRecorder, Recorder};
 pub use trace::{thread_ordinal, NullTraceSink, Span, SpanId, SpanRecord, TraceBuffer, TraceSink};
+pub use window::{Window, WindowClass, WindowRing};

@@ -255,6 +255,60 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_disjoint_histogram_names_keeps_both() {
+        let mut a = MetricSet::new();
+        a.observe_duration_ns("reactor.tick_ns", 1_000.0);
+        let mut b = MetricSet::new();
+        b.observe_duration_ns("stage.compute_ns", 2_000.0);
+        a.merge(&b);
+        assert_eq!(
+            a.histogram_names().collect::<Vec<_>>(),
+            vec!["reactor.tick_ns", "stage.compute_ns"]
+        );
+        assert_eq!(a.histogram("reactor.tick_ns").unwrap().total(), 1);
+        assert_eq!(a.histogram("stage.compute_ns").unwrap().total(), 1);
+        // `b` is untouched: merge reads, never moves.
+        assert_eq!(b.histogram("stage.compute_ns").unwrap().total(), 1);
+        assert!(b.histogram("reactor.tick_ns").is_none());
+    }
+
+    #[test]
+    fn merge_with_overlapping_histogram_names_folds_bucketwise() {
+        let mut a = MetricSet::new();
+        let mut b = MetricSet::new();
+        for v in [200.0, 5_000.0] {
+            a.observe_duration_ns("latency.request_ns", v);
+        }
+        for v in [800.0, 5_000.0, 2e9] {
+            b.observe_duration_ns("latency.request_ns", v);
+        }
+        a.merge(&b);
+        let h = a.histogram("latency.request_ns").unwrap();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.min_value(), Some(200.0));
+        assert_eq!(h.max_value(), Some(2e9));
+        let sum: f64 = 200.0 + 5_000.0 + 800.0 + 5_000.0 + 2e9;
+        assert!((h.mean().unwrap() - sum / 5.0).abs() < 1e-6);
+        // Merging a disjoint-then-overlapping mix in one call works
+        // too: counters and histograms are independent namespaces.
+        let mut c = MetricSet::new();
+        c.incr("latency.request_ns", 3); // counter, same name as the histogram
+        a.merge(&c);
+        assert_eq!(a.counter("latency.request_ns"), 3);
+        assert_eq!(a.histogram("latency.request_ns").unwrap().total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different edges")]
+    fn merge_with_overlapping_names_and_different_edges_panics() {
+        let mut a = MetricSet::new();
+        a.observe("n", 1.0, || vec![0.0, 1.0, 2.0]);
+        let mut b = MetricSet::new();
+        b.observe("n", 1.0, || vec![0.0, 10.0]);
+        a.merge(&b);
+    }
+
+    #[test]
     fn imbalance_is_max_over_mean() {
         let mut m = MetricSet::new();
         for busy in [100.0, 100.0, 100.0, 300.0] {

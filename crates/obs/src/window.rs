@@ -1,0 +1,223 @@
+//! Windowed telemetry: a ring of 1-second aggregation windows.
+//!
+//! A [`WindowRing`] turns a stream of per-request observations into a
+//! short time series: each elapsed second owns one [`Window`] carrying
+//! throughput, shed/error counts, the queue-depth high-water mark and
+//! a log-bucketed latency [`Histogram`] (p50/p95/max). Slots are
+//! addressed by `second % capacity`, so an observation landing in a
+//! stale slot resets it for the new second — old windows age out by
+//! wraparound with no timer thread and no allocation after startup.
+//!
+//! The ring is single-writer by design: in `mcdvfs-serve` it is owned
+//! by the reactor thread, which observes every reply it writes.
+//! Per-worker stage histograms take the other route — private
+//! [`MetricSet`](crate::MetricSet)s merged at join points — so neither
+//! path ever contends on a lock.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcdvfs_obs::{WindowClass, WindowRing};
+//!
+//! let mut ring = WindowRing::new(4);
+//! ring.observe(1_500_000_000, WindowClass::Ok, 250_000.0);
+//! ring.observe(1_900_000_000, WindowClass::Shed, 10_000.0);
+//! ring.observe_queue_depth(1_900_000_000, 7);
+//! let windows = ring.snapshot();
+//! assert_eq!(windows.len(), 1);
+//! assert_eq!(windows[0].requests, 2);
+//! assert_eq!(windows[0].shed, 1);
+//! assert_eq!(windows[0].queue_depth_max, 7);
+//! ```
+
+use crate::aggregate::Histogram;
+use crate::metrics::duration_edges_ns;
+
+/// Coarse classification of a served request for windowed counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowClass {
+    /// Served successfully (including cache hits).
+    Ok,
+    /// Answered with an error reply or abandoned by deadline.
+    Error,
+    /// Rejected by queue backpressure.
+    Shed,
+}
+
+/// One second's aggregated telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Which second this window covers, in whole seconds since the
+    /// observer's epoch.
+    pub second: u64,
+    /// Requests observed (`ok + errors + shed`).
+    pub requests: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// Error replies and deadline expiries.
+    pub errors: u64,
+    /// Backpressure rejections.
+    pub shed: u64,
+    /// Highest queue depth reported during the second.
+    pub queue_depth_max: u64,
+    latency: Histogram,
+}
+
+impl Window {
+    fn new(second: u64) -> Self {
+        Self {
+            second,
+            requests: 0,
+            ok: 0,
+            errors: 0,
+            shed: 0,
+            queue_depth_max: 0,
+            latency: Histogram::new(duration_edges_ns()),
+        }
+    }
+
+    /// The window's latency histogram (nanoseconds).
+    #[must_use]
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Median reply latency in nanoseconds; `None` with no samples.
+    #[must_use]
+    pub fn p50_ns(&self) -> Option<f64> {
+        self.latency.percentile(0.5)
+    }
+
+    /// 95th-percentile reply latency in nanoseconds.
+    #[must_use]
+    pub fn p95_ns(&self) -> Option<f64> {
+        self.latency.percentile(0.95)
+    }
+
+    /// Slowest reply in nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> Option<f64> {
+        self.latency.max_value()
+    }
+}
+
+/// A fixed-capacity ring of per-second [`Window`]s, addressed by
+/// `second % capacity` and reset lazily when a new second claims a
+/// slot.
+#[derive(Debug)]
+pub struct WindowRing {
+    slots: Vec<Option<Window>>,
+}
+
+impl WindowRing {
+    /// A ring retaining up to `seconds` windows (clamped to at least
+    /// two so the current and previous second never collide).
+    #[must_use]
+    pub fn new(seconds: usize) -> Self {
+        Self {
+            slots: (0..seconds.max(2)).map(|_| None).collect(),
+        }
+    }
+
+    /// How many seconds of history the ring can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn window_mut(&mut self, now_ns: u64) -> &mut Window {
+        let second = now_ns / 1_000_000_000;
+        let idx = (second % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        match slot {
+            Some(w) if w.second == second => {}
+            _ => *slot = Some(Window::new(second)),
+        }
+        slot.as_mut().expect("slot populated above")
+    }
+
+    /// Counts one served request of `class` with its reply latency.
+    pub fn observe(&mut self, now_ns: u64, class: WindowClass, latency_ns: f64) {
+        let w = self.window_mut(now_ns);
+        w.requests += 1;
+        match class {
+            WindowClass::Ok => w.ok += 1,
+            WindowClass::Error => w.errors += 1,
+            WindowClass::Shed => w.shed += 1,
+        }
+        w.latency.add(latency_ns);
+    }
+
+    /// Raises the current second's queue-depth high-water mark.
+    pub fn observe_queue_depth(&mut self, now_ns: u64, depth: u64) {
+        let w = self.window_mut(now_ns);
+        w.queue_depth_max = w.queue_depth_max.max(depth);
+    }
+
+    /// Every populated window, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Window> {
+        let mut windows: Vec<Window> = self.slots.iter().flatten().cloned().collect();
+        windows.sort_by_key(|w| w.second);
+        windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn observations_land_in_their_second() {
+        let mut ring = WindowRing::new(8);
+        ring.observe(SEC / 2, WindowClass::Ok, 100.0);
+        ring.observe(3 * SEC + 1, WindowClass::Error, 200.0);
+        ring.observe(3 * SEC + 2, WindowClass::Ok, 300.0);
+        let windows = ring.snapshot();
+        assert_eq!(windows.len(), 2);
+        assert_eq!((windows[0].second, windows[0].requests), (0, 1));
+        assert_eq!((windows[1].second, windows[1].requests), (3, 2));
+        assert_eq!(windows[1].errors, 1);
+        assert_eq!(windows[1].latency().total(), 2);
+    }
+
+    #[test]
+    fn wraparound_evicts_the_stale_second() {
+        let mut ring = WindowRing::new(4);
+        ring.observe(SEC, WindowClass::Ok, 100.0); // second 1 → slot 1
+        ring.observe(5 * SEC, WindowClass::Ok, 100.0); // second 5 → slot 1 again
+        let windows = ring.snapshot();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].second, 5);
+    }
+
+    #[test]
+    fn queue_depth_keeps_the_high_water_mark() {
+        let mut ring = WindowRing::new(4);
+        ring.observe_queue_depth(10, 3);
+        ring.observe_queue_depth(20, 9);
+        ring.observe_queue_depth(30, 4);
+        assert_eq!(ring.snapshot()[0].queue_depth_max, 9);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_window_latency_histogram() {
+        let mut ring = WindowRing::new(4);
+        for latency in [1_000.0, 2_000.0, 4_000.0, 1_000_000.0] {
+            ring.observe(0, WindowClass::Ok, latency);
+        }
+        let w = &ring.snapshot()[0];
+        assert_eq!(w.max_ns(), Some(1_000_000.0));
+        let p50 = w.p50_ns().unwrap();
+        assert!((1_000.0..=4_000.0).contains(&p50), "p50 was {p50}");
+        assert!(w.p95_ns().unwrap() <= 1_000_000.0);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_two() {
+        let ring = WindowRing::new(0);
+        assert_eq!(ring.capacity(), 2);
+    }
+}

@@ -20,12 +20,23 @@
 //!    sharded layout clears ≥2x the single-engine throughput, since the
 //!    four shard workers overlap delays one queue must serialize.
 //!
-//! Results land in `results/BENCH_serve.json` (schema `mcdvfs/serve-v2`)
-//! and the run is recorded in `results/MANIFEST.json` through the
-//! provenance harness. `--smoke` runs every phase scaled down and, like
-//! the sweep bench, validates the *committed* report (schema, required
-//! rows, the 2x mixed-tenant comparison, and the steady p95 floor)
-//! instead of overwriting it. Exits nonzero on any assertion failure.
+//! After the steady phases a **telemetry validation pass** cross-checks
+//! the server's own instrumentation against what the clients observed:
+//! the server-decoded request total must equal the client-issued total
+//! *exactly*, and the server-measured request p95 must not exceed the
+//! client-measured p95 (server samples exclude the network and client
+//! stack). The server's window series and flight records are exported
+//! as `results/SERVE_telemetry.jsonl` / `results/SERVE_traces.jsonl`.
+//!
+//! Results land in `results/BENCH_serve.json` (schema `mcdvfs/serve-v3`,
+//! with a top-level `"telemetry"` cross-check block) and every artifact
+//! is recorded in `results/MANIFEST.json` through the provenance
+//! harness. `--smoke` runs every phase scaled down and, like the sweep
+//! bench, validates the *committed* report (schema, required rows, the
+//! 2x mixed-tenant comparison, the steady p95 floor, and cross-check
+//! agreement in the committed telemetry block) instead of overwriting
+//! it — the cross-check itself still runs live in smoke. Exits nonzero
+//! on any assertion failure.
 //!
 //! Usage: `loadgen [--smoke] [--clients N] [--conns N] [--requests N]
 //! [--workers N] [--seed N]`
@@ -35,8 +46,8 @@ use mcdvfs_bench::{results_dir, Harness, Json};
 use mcdvfs_core::{InefficiencyBudget, SweepEngine};
 use mcdvfs_obs::{duration_edges_ns, Histogram};
 use mcdvfs_serve::{
-    Client, ClientPool, Request, Response, ServeState, Server, ServerConfig, ServerHandle,
-    TenantSpec, WireStats,
+    cross_check, Client, ClientPool, Request, Response, ServeState, Server, ServerConfig,
+    ServerHandle, TenantSpec, WireStats, WireTelemetry, WireTrace,
 };
 use mcdvfs_sim::System;
 use mcdvfs_types::{FrequencyGrid, SplitMix64};
@@ -48,7 +59,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// Report schema written by a full run and required by the smoke gate.
-const SCHEMA: &str = "mcdvfs/serve-v2";
+const SCHEMA: &str = "mcdvfs/serve-v3";
 
 /// Latency rows a committed report must carry.
 const REQUIRED_ENTRIES: [&str; 5] = [
@@ -364,10 +375,31 @@ fn main() {
     let open_issued = (args.clients * open_per_thread) as u64;
     let open_rps = steady_open.ok as f64 / open_elapsed.as_secs_f64().max(1e-9);
 
-    // Stats over the live server, before shutdown.
-    let stats = Client::connect(addr)
-        .and_then(|mut c| c.request(&Request::Stats))
-        .ok();
+    // ---- Telemetry validation pass ---------------------------------------
+    // One connection, fixed order, stats strictly last: by the time the
+    // stats reply is built its `requests` counter has seen every request
+    // this process issued — 5 warmup queries, both steady phases,
+    // telemetry, trace_dump, and the stats query itself.
+    let mut probe = Client::connect(addr).expect("telemetry connect");
+    let telemetry = match probe.request(&Request::Telemetry) {
+        Ok(Response::Telemetry(t)) => Some(t),
+        other => {
+            failures.push(format!("telemetry query failed: {other:?}"));
+            None
+        }
+    };
+    let traces = match probe.request(&Request::TraceDump {
+        limit: 256,
+        slow_only: false,
+    }) {
+        Ok(Response::TraceDump(t)) => Some(t),
+        other => {
+            failures.push(format!("trace_dump query failed: {other:?}"));
+            None
+        }
+    };
+    let stats = probe.request(&Request::Stats).ok();
+    drop(probe);
     let metrics = server.shutdown();
 
     for (phase, tally, issued) in [
@@ -401,7 +433,7 @@ fn main() {
             metrics.counter("connections.accepted")
         ));
     }
-    match stats {
+    match &stats {
         Some(Response::Stats(wire)) => {
             if wire.protocol_errors > 0 {
                 failures.push(format!(
@@ -418,6 +450,57 @@ fn main() {
             }
         }
         _ => failures.push("steady: stats query failed".to_string()),
+    }
+
+    // Server-vs-client cross-check: exact request-count agreement and a
+    // server p95 at or under the client p95 (server samples exclude the
+    // network and client stack). Runs in smoke and full runs alike.
+    let client_total = 5 + steady_issued + open_issued + 3;
+    let mut client_hist = Histogram::new(duration_edges_ns());
+    for phase in [&steady, &steady_open] {
+        if let Some(h) = &phase.latency {
+            client_hist.merge(h);
+        }
+    }
+    let client_p95_ns = client_hist.percentile(0.95).unwrap_or(f64::INFINITY);
+    let mut check = None;
+    match (&stats, &telemetry) {
+        (Some(Response::Stats(wire)), Some(tel)) => {
+            match cross_check(wire, tel, client_total, client_p95_ns) {
+                Ok(c) => {
+                    println!(
+                        "telemetry cross-check: server counted {} == client issued {}, \
+                         server p95 {:.3} ms <= client p95 {:.3} ms",
+                        c.server_total,
+                        c.client_total,
+                        c.server_p95_ns / 1e6,
+                        c.client_p95_ns / 1e6,
+                    );
+                    check = Some(c);
+                }
+                Err(e) => failures.push(format!("telemetry cross-check: {e}")),
+            }
+        }
+        _ => failures.push("telemetry cross-check skipped: missing replies".to_string()),
+    }
+    if let Some(tel) = &telemetry {
+        if !tel.enabled {
+            failures.push("telemetry: flight recorder reported disabled".to_string());
+        }
+        if tel.windows.is_empty() {
+            failures.push("telemetry: no 1-second windows recorded".to_string());
+        }
+    }
+    if let Some(traces) = &traces {
+        if traces.is_empty() {
+            failures.push("trace_dump returned no flight records".to_string());
+        }
+        for t in traces {
+            if !t.stages.windows(2).all(|w| w[0].t_ns <= w[1].t_ns) {
+                failures.push(format!("trace {} stage timestamps regress", t.id));
+                break;
+            }
+        }
     }
     let hit_rate = cache_hits as f64 / (cache_hits + metrics.counter("cache.miss")).max(1) as f64;
     println!(
@@ -559,6 +642,21 @@ fn main() {
     bench.note("mixed_tenant_throughput_rps", mixed_rps);
     bench.note("mixed_tenant_shards", TENANTS.len() as f64);
     bench.note("mixed_tenant_speedup", speedup);
+    if let (Some(c), Some(tel)) = (check, &telemetry) {
+        bench.section(
+            "telemetry",
+            &[
+                ("server_total", c.server_total as f64),
+                ("client_total", c.client_total as f64),
+                ("server_p95_ns", c.server_p95_ns),
+                ("client_p95_ns", c.client_p95_ns),
+                ("windows", tel.windows.len() as f64),
+                ("flight_recorded", tel.flight_recorded as f64),
+                ("flight_dropped", tel.flight_dropped as f64),
+                ("flight_slow", tel.flight_slow as f64),
+            ],
+        );
+    }
 
     let path = results_dir().join("BENCH_serve.json");
     harness.note("clients", args.clients);
@@ -581,6 +679,22 @@ fn main() {
             }
             Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
         }
+        // Raw telemetry artifacts ride along with the report and are
+        // provenance-recorded so the manifest pins what a reader sees.
+        if let Some(tel) = &telemetry {
+            let path = results_dir().join("SERVE_telemetry.jsonl");
+            match write_windows_jsonl(&path, tel) {
+                Ok(()) => harness.record_file(&path),
+                Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
+            }
+        }
+        if let Some(traces) = &traces {
+            let path = results_dir().join("SERVE_traces.jsonl");
+            match write_traces_jsonl(&path, traces) {
+                Ok(()) => harness.record_file(&path),
+                Err(e) => eprintln!("[warning: could not write {}: {e}]", path.display()),
+            }
+        }
     }
     harness.finish();
 
@@ -594,9 +708,56 @@ fn main() {
     std::process::exit(1);
 }
 
-/// The CI smoke gate over the committed report: `serve-v2` schema, every
+/// Writes the server's 1-second window series as one JSON object per
+/// line (the field names mirror the wire `telemetry` reply).
+fn write_windows_jsonl(path: &Path, tel: &WireTelemetry) -> std::io::Result<()> {
+    let mut out = String::new();
+    for w in &tel.windows {
+        out.push_str(&format!(
+            "{{\"second\": {}, \"requests\": {}, \"ok\": {}, \"errors\": {}, \"shed\": {}, \
+             \"queue_depth_max\": {}, \"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \"max_ns\": {:.0}}}\n",
+            w.second,
+            w.requests,
+            w.ok,
+            w.errors,
+            w.shed,
+            w.queue_depth_max,
+            w.p50_ns,
+            w.p95_ns,
+            w.max_ns
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+/// Writes the dumped flight records as one JSON object per line, stage
+/// timestamps in pipeline order.
+fn write_traces_jsonl(path: &Path, traces: &[WireTrace]) -> std::io::Result<()> {
+    let mut out = String::new();
+    for t in traces {
+        let stages: Vec<String> = t
+            .stages
+            .iter()
+            .map(|s| format!("{{\"stage\": \"{}\", \"t_ns\": {}}}", s.stage, s.t_ns))
+            .collect();
+        out.push_str(&format!(
+            "{{\"id\": {}, \"kind\": \"{}\", \"fingerprint\": \"{}\", \"outcome\": \"{}\", \
+             \"total_ns\": {}, \"stages\": [{}]}}\n",
+            t.id,
+            t.kind,
+            t.fingerprint,
+            t.outcome,
+            t.total_ns,
+            stages.join(", ")
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+/// The CI smoke gate over the committed report: `serve-v3` schema, every
 /// phase row present, the mixed-tenant comparison at ≥2x, a demonstrated
-/// four-digit steady connection count, and a steady p95 under the floor.
+/// four-digit steady connection count, a steady p95 under the floor, and
+/// a telemetry block whose recorded cross-check still agrees.
 fn validate_committed(path: &Path, failures: &mut Vec<String>) {
     let doc = match std::fs::read_to_string(path)
         .map_err(|e| e.to_string())
@@ -666,5 +827,33 @@ fn validate_committed(path: &Path, failures: &mut Vec<String>) {
             "committed report demonstrates {connections} steady connections, \
              need >= {MIN_STEADY_CONNECTIONS}"
         ));
+    }
+    match doc.get("telemetry") {
+        None => failures.push("committed report lacks the \"telemetry\" block".to_string()),
+        Some(block) => {
+            let get = |key: &str| block.get(key).and_then(Json::as_f64);
+            let server_total = get("server_total").unwrap_or(-1.0);
+            let client_total = get("client_total").unwrap_or(-2.0);
+            if server_total < 0.0 || server_total != client_total {
+                failures.push(format!(
+                    "committed telemetry block disagrees on totals: \
+                     server {server_total} vs client {client_total}"
+                ));
+            }
+            let server_p95 = get("server_p95_ns").unwrap_or(f64::INFINITY);
+            let client_p95 = get("client_p95_ns").unwrap_or(0.0);
+            if server_p95 > client_p95 {
+                failures.push(format!(
+                    "committed telemetry block disagrees on p95: server {server_p95:.0} ns \
+                     exceeds client {client_p95:.0} ns"
+                ));
+            }
+            println!(
+                "recorded telemetry cross-check: {server_total} requests, \
+                 server p95 {:.3} ms <= client p95 {:.3} ms",
+                server_p95 / 1e6,
+                client_p95 / 1e6
+            );
+        }
     }
 }

@@ -14,7 +14,9 @@
 //! * `Cluster {budget, threshold}` — performance-equivalent clusters,
 //! * `StableRegions {budget, threshold}` — maximal stable runs,
 //! * `GovernedReplay {governor, budget}` — overhead-charged replays,
-//! * `Stats` / `Health` — observability and liveness.
+//! * `Stats` / `Health` — observability and liveness,
+//! * `Telemetry` / `TraceDump {limit, slow_only}` — windowed telemetry
+//!   series, histogram summaries, and request-level flight records.
 //!
 //! Internals: a single event-driven reactor thread owns every connection
 //! (nonblocking accept + poll loop — idle sockets cost zero threads),
@@ -73,12 +75,15 @@ mod protocol;
 mod reactor;
 mod server;
 mod shard;
+mod telemetry;
 
 pub use cache::{CacheKey, ShardedLru};
 pub use client::{Client, ClientPool};
 pub use protocol::{
-    read_frame, write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireRegion,
-    WireReport, WireShard, WireStats, MAX_FRAME_BYTES,
+    read_frame, write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireHistogram,
+    WireRegion, WireReport, WireShard, WireStage, WireStats, WireTelemetry, WireTrace, WireWindow,
+    MAX_FRAME_BYTES,
 };
 pub use server::{ServeState, Server, ServerConfig, ServerHandle};
 pub use shard::TenantSpec;
+pub use telemetry::{cross_check, CrossCheck};

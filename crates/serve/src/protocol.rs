@@ -127,6 +127,16 @@ pub enum Request {
     Stats,
     /// Liveness probe and characterization identity.
     Health,
+    /// Windowed telemetry series plus histogram summaries.
+    Telemetry,
+    /// Recent flight records from the request-level flight recorder.
+    TraceDump {
+        /// Maximum records to return, newest last.
+        limit: usize,
+        /// Restrict to the slow-request log (flights over the server's
+        /// slow threshold).
+        slow_only: bool,
+    },
 }
 
 impl Request {
@@ -140,6 +150,8 @@ impl Request {
             Request::GovernedReplay { .. } => "governed_replay",
             Request::Stats => "stats",
             Request::Health => "health",
+            Request::Telemetry => "telemetry",
+            Request::TraceDump { .. } => "trace_dump",
         }
     }
 
@@ -176,7 +188,11 @@ impl Request {
                 members.push(("governor".to_string(), Json::Str(governor.clone())));
                 members.push(("budget".to_string(), budget_to_json(*budget)));
             }
-            Request::Stats | Request::Health => {}
+            Request::TraceDump { limit, slow_only } => {
+                members.push(("limit".to_string(), num(*limit as u64)));
+                members.push(("slow_only".to_string(), Json::Bool(*slow_only)));
+            }
+            Request::Stats | Request::Health | Request::Telemetry => {}
         }
         Json::Obj(members)
     }
@@ -243,6 +259,14 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
+            "telemetry" => Ok(Request::Telemetry),
+            "trace_dump" => Ok(Request::TraceDump {
+                limit: doc
+                    .get("limit")
+                    .and_then(Json::as_f64)
+                    .map_or(32, |n| n as usize),
+                slow_only: matches!(doc.get("slow_only"), Some(Json::Bool(true))),
+            }),
             other => Err(format!("unknown query {other:?}")),
         }
     }
@@ -383,8 +407,106 @@ pub struct WireStats {
     pub evictions: u64,
     /// Per-shard metrics, sorted by workload name.
     pub shards: Vec<WireShard>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Compute requests currently queued or running (live gauge, not a
+    /// lifetime counter).
+    pub requests_in_flight: u64,
     /// Full human-readable metric rendering.
     pub rendered: String,
+}
+
+/// Summary of one named latency histogram inside a telemetry reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHistogram {
+    /// Metric name (or shard workload name for per-shard summaries).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Estimated median in nanoseconds.
+    pub p50_ns: f64,
+    /// Estimated 95th percentile in nanoseconds.
+    pub p95_ns: f64,
+    /// Largest observation in nanoseconds.
+    pub max_ns: f64,
+}
+
+/// One 1-second telemetry window on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireWindow {
+    /// Whole seconds since the server's telemetry epoch.
+    pub second: u64,
+    /// Requests observed in the window.
+    pub requests: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// Error replies and deadline expiries.
+    pub errors: u64,
+    /// Backpressure rejections.
+    pub shed: u64,
+    /// Queue-depth high-water mark during the window.
+    pub queue_depth_max: u64,
+    /// Median reply latency in nanoseconds (`0` with no samples).
+    pub p50_ns: f64,
+    /// 95th-percentile reply latency in nanoseconds.
+    pub p95_ns: f64,
+    /// Slowest reply in nanoseconds.
+    pub max_ns: f64,
+}
+
+/// The windowed-series + histogram-summary reply to a `Telemetry` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTelemetry {
+    /// Whether the flight recorder / window ring are collecting. When
+    /// `false` the windows and flight counters are empty but histogram
+    /// summaries (always-on request metrics) still render.
+    pub enabled: bool,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Populated 1-second windows, oldest first.
+    pub windows: Vec<WireWindow>,
+    /// Summaries of every merged metric histogram, sorted by name.
+    pub histograms: Vec<WireHistogram>,
+    /// Per-shard compute-latency summaries (`name` is the workload).
+    pub shard_compute: Vec<WireHistogram>,
+    /// Flight records committed since startup.
+    pub flight_recorded: u64,
+    /// Flight records evicted from the bounded ring.
+    pub flight_dropped: u64,
+    /// Flights slower than the slow threshold.
+    pub flight_slow: u64,
+    /// The slow-log threshold in nanoseconds.
+    pub slow_threshold_ns: u64,
+}
+
+/// One stamped stage inside a [`WireTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStage {
+    /// Stage name (`accepted`, `frame_complete`, ... `write_flushed`).
+    pub stage: String,
+    /// Nanoseconds since the server's telemetry epoch.
+    pub t_ns: u64,
+}
+
+/// One request flight record on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrace {
+    /// Recorder-unique id.
+    pub id: u64,
+    /// Request kind label.
+    pub kind: String,
+    /// Owning tenant's fingerprint, 16 hex digits (all zeros for
+    /// global requests).
+    pub fingerprint: String,
+    /// Flight outcome (`ok`, `cache_hit`, `error`, `shed`,
+    /// `timed_out`).
+    pub outcome: String,
+    /// End-to-end nanoseconds (last stamp minus first).
+    pub total_ns: u64,
+    /// Stamped stages in pipeline order.
+    pub stages: Vec<WireStage>,
 }
 
 /// The liveness/identity reply to a `Health` query.
@@ -419,6 +541,10 @@ pub enum Response {
     Stats(WireStats),
     /// Answer to [`Request::Health`].
     Health(WireHealth),
+    /// Answer to [`Request::Telemetry`].
+    Telemetry(WireTelemetry),
+    /// Answer to [`Request::TraceDump`].
+    TraceDump(Vec<WireTrace>),
     /// The bounded queue was full; the request was shed, not queued.
     Overloaded,
     /// The request could not be decoded or computed.
@@ -436,6 +562,8 @@ impl Response {
             Response::GovernedReplay(_) => "governed_replay",
             Response::Stats(_) => "stats",
             Response::Health(_) => "health",
+            Response::Telemetry(_) => "telemetry",
+            Response::TraceDump(_) => "trace_dump",
             Response::Overloaded => "overloaded",
             Response::Error(_) => "error",
         }
@@ -488,6 +616,11 @@ impl Response {
                     "shards".to_string(),
                     Json::Arr(stats.shards.iter().map(shard_to_json).collect()),
                 ),
+                ("uptime_ms".to_string(), num(stats.uptime_ms)),
+                (
+                    "requests_in_flight".to_string(),
+                    num(stats.requests_in_flight),
+                ),
                 ("rendered".to_string(), Json::Str(stats.rendered.clone())),
             ]),
             Response::Health(health) => Json::Obj(vec![
@@ -501,6 +634,34 @@ impl Response {
                     Json::Str(health.fingerprint.clone()),
                 ),
                 ("workers".to_string(), num(health.workers as u64)),
+            ]),
+            Response::Telemetry(t) => Json::Obj(vec![
+                tag,
+                ("enabled".to_string(), Json::Bool(t.enabled)),
+                ("uptime_ms".to_string(), num(t.uptime_ms)),
+                (
+                    "windows".to_string(),
+                    Json::Arr(t.windows.iter().map(window_to_json).collect()),
+                ),
+                (
+                    "histograms".to_string(),
+                    Json::Arr(t.histograms.iter().map(histogram_to_json).collect()),
+                ),
+                (
+                    "shard_compute".to_string(),
+                    Json::Arr(t.shard_compute.iter().map(histogram_to_json).collect()),
+                ),
+                ("flight_recorded".to_string(), num(t.flight_recorded)),
+                ("flight_dropped".to_string(), num(t.flight_dropped)),
+                ("flight_slow".to_string(), num(t.flight_slow)),
+                ("slow_threshold_ns".to_string(), num(t.slow_threshold_ns)),
+            ]),
+            Response::TraceDump(records) => Json::Obj(vec![
+                tag,
+                (
+                    "records".to_string(),
+                    Json::Arr(records.iter().map(trace_to_json).collect()),
+                ),
             ]),
             Response::Overloaded => Json::Obj(vec![tag]),
             Response::Error(message) => Json::Obj(vec![
@@ -550,6 +711,8 @@ impl Response {
                 engines: get_u64(&doc, "engines")?,
                 evictions: get_u64(&doc, "evictions")?,
                 shards: arr_of(&doc, "shards", shard_from_json)?,
+                uptime_ms: get_u64(&doc, "uptime_ms")?,
+                requests_in_flight: get_u64(&doc, "requests_in_flight")?,
                 rendered: get_str(&doc, "rendered")?,
             })),
             "health" => Ok(Response::Health(WireHealth {
@@ -560,6 +723,22 @@ impl Response {
                 fingerprint: get_str(&doc, "fingerprint")?,
                 workers: get_u64(&doc, "workers")? as usize,
             })),
+            "telemetry" => Ok(Response::Telemetry(WireTelemetry {
+                enabled: matches!(doc.get("enabled"), Some(Json::Bool(true))),
+                uptime_ms: get_u64(&doc, "uptime_ms")?,
+                windows: arr_of(&doc, "windows", window_from_json)?,
+                histograms: arr_of(&doc, "histograms", histogram_from_json)?,
+                shard_compute: arr_of(&doc, "shard_compute", histogram_from_json)?,
+                flight_recorded: get_u64(&doc, "flight_recorded")?,
+                flight_dropped: get_u64(&doc, "flight_dropped")?,
+                flight_slow: get_u64(&doc, "flight_slow")?,
+                slow_threshold_ns: get_u64(&doc, "slow_threshold_ns")?,
+            })),
+            "trace_dump" => Ok(Response::TraceDump(arr_of(
+                &doc,
+                "records",
+                trace_from_json,
+            )?)),
             "overloaded" => Ok(Response::Overloaded),
             "error" => Ok(Response::Error(get_str(&doc, "message")?)),
             other => Err(format!("unknown reply {other:?}")),
@@ -729,6 +908,96 @@ fn shard_from_json(doc: &Json) -> Result<WireShard, String> {
     })
 }
 
+fn histogram_to_json(h: &WireHistogram) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(h.name.clone())),
+        ("count".to_string(), num(h.count)),
+        ("mean_ns".to_string(), Json::Num(h.mean_ns)),
+        ("p50_ns".to_string(), Json::Num(h.p50_ns)),
+        ("p95_ns".to_string(), Json::Num(h.p95_ns)),
+        ("max_ns".to_string(), Json::Num(h.max_ns)),
+    ])
+}
+
+fn histogram_from_json(doc: &Json) -> Result<WireHistogram, String> {
+    Ok(WireHistogram {
+        name: get_str(doc, "name")?,
+        count: get_u64(doc, "count")?,
+        mean_ns: get_f64(doc, "mean_ns")?,
+        p50_ns: get_f64(doc, "p50_ns")?,
+        p95_ns: get_f64(doc, "p95_ns")?,
+        max_ns: get_f64(doc, "max_ns")?,
+    })
+}
+
+fn window_to_json(w: &WireWindow) -> Json {
+    Json::Obj(vec![
+        ("second".to_string(), num(w.second)),
+        ("requests".to_string(), num(w.requests)),
+        ("ok".to_string(), num(w.ok)),
+        ("errors".to_string(), num(w.errors)),
+        ("shed".to_string(), num(w.shed)),
+        ("queue_depth_max".to_string(), num(w.queue_depth_max)),
+        ("p50_ns".to_string(), Json::Num(w.p50_ns)),
+        ("p95_ns".to_string(), Json::Num(w.p95_ns)),
+        ("max_ns".to_string(), Json::Num(w.max_ns)),
+    ])
+}
+
+fn window_from_json(doc: &Json) -> Result<WireWindow, String> {
+    Ok(WireWindow {
+        second: get_u64(doc, "second")?,
+        requests: get_u64(doc, "requests")?,
+        ok: get_u64(doc, "ok")?,
+        errors: get_u64(doc, "errors")?,
+        shed: get_u64(doc, "shed")?,
+        queue_depth_max: get_u64(doc, "queue_depth_max")?,
+        p50_ns: get_f64(doc, "p50_ns")?,
+        p95_ns: get_f64(doc, "p95_ns")?,
+        max_ns: get_f64(doc, "max_ns")?,
+    })
+}
+
+fn trace_to_json(t: &WireTrace) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), num(t.id)),
+        ("kind".to_string(), Json::Str(t.kind.clone())),
+        ("fingerprint".to_string(), Json::Str(t.fingerprint.clone())),
+        ("outcome".to_string(), Json::Str(t.outcome.clone())),
+        ("total_ns".to_string(), num(t.total_ns)),
+        (
+            "stages".to_string(),
+            Json::Arr(
+                t.stages
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("stage".to_string(), Json::Str(s.stage.clone())),
+                            ("t_ns".to_string(), num(s.t_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn trace_from_json(doc: &Json) -> Result<WireTrace, String> {
+    Ok(WireTrace {
+        id: get_u64(doc, "id")?,
+        kind: get_str(doc, "kind")?,
+        fingerprint: get_str(doc, "fingerprint")?,
+        outcome: get_str(doc, "outcome")?,
+        total_ns: get_u64(doc, "total_ns")?,
+        stages: arr_of(doc, "stages", |s| {
+            Ok(WireStage {
+                stage: get_str(s, "stage")?,
+                t_ns: get_u64(s, "t_ns")?,
+            })
+        })?,
+    })
+}
+
 fn report_to_json(r: &WireReport) -> Json {
     Json::Obj(vec![
         ("governor".to_string(), Json::Str(r.governor.clone())),
@@ -819,11 +1088,24 @@ mod tests {
             },
             Request::Stats,
             Request::Health,
+            Request::Telemetry,
+            Request::TraceDump {
+                limit: 16,
+                slow_only: true,
+            },
         ];
         for req in reqs {
             let decoded = Request::decode(&req.encode()).unwrap();
             assert_eq!(decoded, req);
         }
+        // Omitted trace_dump knobs take defaults instead of erroring.
+        assert_eq!(
+            Request::decode(r#"{"query":"trace_dump"}"#).unwrap(),
+            Request::TraceDump {
+                limit: 32,
+                slow_only: false,
+            }
+        );
     }
 
     #[test]
@@ -904,6 +1186,8 @@ mod tests {
                         pinned: true,
                     },
                 ],
+                uptime_ms: 120_500,
+                requests_in_flight: 3,
                 rendered: "counter requests.total 100\n".to_string(),
             }),
             Response::Health(WireHealth {
@@ -914,6 +1198,58 @@ mod tests {
                 fingerprint: "0123456789abcdef".to_string(),
                 workers: 4,
             }),
+            Response::Telemetry(WireTelemetry {
+                enabled: true,
+                uptime_ms: 4_250,
+                windows: vec![WireWindow {
+                    second: 3,
+                    requests: 120,
+                    ok: 117,
+                    errors: 1,
+                    shed: 2,
+                    queue_depth_max: 9,
+                    p50_ns: 420_000.0,
+                    p95_ns: 1.0 / 3.0 * 1e7,
+                    max_ns: 9_900_000.0,
+                }],
+                histograms: vec![WireHistogram {
+                    name: "latency.request_ns".to_string(),
+                    count: 120,
+                    mean_ns: 0.1 + 0.2,
+                    p50_ns: 420_000.0,
+                    p95_ns: 3_300_000.0,
+                    max_ns: 9_900_000.0,
+                }],
+                shard_compute: vec![WireHistogram {
+                    name: "gobmk".to_string(),
+                    count: 40,
+                    mean_ns: 250_000.0,
+                    p50_ns: 200_000.0,
+                    p95_ns: 800_000.0,
+                    max_ns: 900_000.0,
+                }],
+                flight_recorded: 120,
+                flight_dropped: 8,
+                flight_slow: 2,
+                slow_threshold_ns: 250_000_000,
+            }),
+            Response::TraceDump(vec![WireTrace {
+                id: 17,
+                kind: "optimal_setting".to_string(),
+                fingerprint: "0123456789abcdef".to_string(),
+                outcome: "ok".to_string(),
+                total_ns: 930,
+                stages: vec![
+                    WireStage {
+                        stage: "accepted".to_string(),
+                        t_ns: 100,
+                    },
+                    WireStage {
+                        stage: "write_flushed".to_string(),
+                        t_ns: 1030,
+                    },
+                ],
+            }]),
             Response::Overloaded,
             Response::Error("bad request".to_string()),
         ];

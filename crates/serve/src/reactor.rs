@@ -24,10 +24,11 @@
 //! a millisecond timeout — a finished compute wakes it instantly, and
 //! the timeout bounds how late it can notice new sockets or deadlines.
 
-use crate::protocol::{Request, Response, WireHealth, WireStats, MAX_FRAME_BYTES};
+use crate::protocol::{Request, Response, WireHealth, WireStats, WireTelemetry, MAX_FRAME_BYTES};
 use crate::server::{cache_key, ServerConfig};
 use crate::shard::{try_dispatch, Completion, ConnToken, Dispatch, Job, ShardMap};
-use mcdvfs_obs::{MetricSet, Profiler};
+use crate::telemetry::{histogram_summary, wire_trace, TelemetryCtx};
+use mcdvfs_obs::{count_edges, MetricSet, Outcome, Profiler, RequestTrace, Stage, WindowClass};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +50,7 @@ pub(crate) struct Ctx {
     pub map: Arc<ShardMap>,
     pub metrics: Arc<Mutex<MetricSet>>,
     pub profiler: Arc<Profiler>,
+    pub tel: TelemetryCtx,
     pub config: ServerConfig,
 }
 
@@ -82,6 +84,12 @@ struct Conn {
     /// Set while a compute request is queued or running; holds the
     /// request's arrival instant for the latency histogram.
     in_flight: Option<Instant>,
+    /// When the first byte of the frame being accumulated arrived —
+    /// the flight record's `accepted` stamp.
+    frame_started: Option<Instant>,
+    /// Flight records for replies sitting in `out`, committed once the
+    /// write buffer fully drains (the `write_flushed` stamp).
+    pending: Vec<RequestTrace>,
     last_byte: Instant,
     /// First instant a write returned `WouldBlock` with bytes pending.
     write_stall: Option<Instant>,
@@ -102,6 +110,8 @@ impl Conn {
             out_pos: 0,
             gen,
             in_flight: None,
+            frame_started: None,
+            pending: Vec::new(),
             last_byte: Instant::now(),
             write_stall: None,
             closing: false,
@@ -133,6 +143,7 @@ pub(crate) fn run(
     let mut drain_deadline: Option<Instant> = None;
 
     loop {
+        let tick_start = Instant::now();
         let mut did_work = false;
         let stopping = shutdown.load(Ordering::Relaxed);
 
@@ -144,10 +155,11 @@ pub(crate) fn run(
         }
 
         while let Ok(completion) = completions.try_recv() {
-            deliver(&mut conns, &ctx, &completion);
+            deliver(&mut conns, &ctx, completion);
             did_work = true;
         }
 
+        let scanned = conns.len();
         for (idx, slot) in conns.iter_mut().enumerate() {
             let Some(conn) = slot.as_mut() else {
                 continue;
@@ -158,9 +170,26 @@ pub(crate) fn run(
                 conn.dead = true;
             }
             if conn.dead {
+                // A dying connection's replies may never fully flush;
+                // commit their flight records without the final stamp.
+                for trace in conn.pending.drain(..) {
+                    ctx.tel.recorder.commit(trace);
+                }
                 *slot = None;
                 free.push(idx);
             }
+        }
+
+        // Satellite of the O(slots) scan follow-on: make the tick's own
+        // cost visible. Gated with telemetry so the off path stays
+        // lock-free on idle ticks.
+        if ctx.tel.recorder.is_enabled() {
+            ctx.record(|m| {
+                m.incr("reactor.ticks", 1);
+                m.incr("reactor.slots_scanned", scanned as u64);
+                m.observe("reactor.scan_slots", scanned as f64, count_edges);
+                m.observe_duration_ns("reactor.tick_ns", tick_start.elapsed().as_nanos() as f64);
+            });
         }
 
         if stopping {
@@ -173,7 +202,7 @@ pub(crate) fn run(
 
         if !did_work {
             match completions.recv_timeout(IDLE_WAIT) {
-                Ok(completion) => deliver(&mut conns, &ctx, &completion),
+                Ok(completion) => deliver(&mut conns, &ctx, completion),
                 Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {}
             }
         }
@@ -216,25 +245,50 @@ fn accept_ready(
 }
 
 /// Routes one compute completion to its (still-matching) connection.
-fn deliver(conns: &mut [Option<Conn>], ctx: &Ctx, completion: &Completion) {
-    let Some(conn) = conns.get_mut(completion.conn.id).and_then(Option::as_mut) else {
+/// Stale completions (slot freed or generation bumped by a reply
+/// timeout) still commit their flight record — marked timed out — so
+/// the recorder sees every request the workers actually finished.
+fn deliver(conns: &mut [Option<Conn>], ctx: &Ctx, completion: Completion) {
+    let live = conns
+        .get_mut(completion.conn.id)
+        .and_then(Option::as_mut)
+        .filter(|conn| conn.gen == completion.conn.gen);
+    let Some(conn) = live else {
+        if let Some(mut trace) = completion.trace {
+            trace.outcome = Outcome::TimedOut;
+            ctx.tel.recorder.commit(trace);
+        }
         return;
     };
-    if conn.gen != completion.conn.gen {
-        return;
-    }
     let Some(started) = conn.in_flight.take() else {
         return;
     };
     conn.push_frame(&completion.reply);
+    let latency_ns = started.elapsed().as_nanos() as f64;
     ctx.record(|m| {
-        m.observe_duration_ns("latency.request_ns", started.elapsed().as_nanos() as f64);
+        m.observe_duration_ns("latency.request_ns", latency_ns);
     });
+    ctx.tel.in_flight_add(-1);
+    ctx.tel
+        .observe_window(window_class(completion.outcome), latency_ns);
+    if let Some(trace) = completion.trace {
+        conn.pending.push(trace);
+    }
+}
+
+/// Maps a request outcome onto its windowed-telemetry class.
+fn window_class(outcome: Outcome) -> WindowClass {
+    match outcome {
+        Outcome::Ok | Outcome::CacheHit => WindowClass::Ok,
+        Outcome::Error | Outcome::TimedOut => WindowClass::Error,
+        Outcome::Shed => WindowClass::Shed,
+    }
 }
 
 /// One tick of one connection: flush, deadlines, read, parse, dispatch.
 fn service(conn: &mut Conn, idx: usize, ctx: &Ctx, next_gen: &mut u64) -> bool {
     let mut did_work = flush(conn);
+    commit_flushed(conn, ctx);
     if conn.dead {
         return did_work;
     }
@@ -253,9 +307,12 @@ fn service(conn: &mut Conn, idx: usize, ctx: &Ctx, next_gen: &mut u64) -> bool {
             *next_gen += 1;
             conn.gen = *next_gen;
             conn.push_frame(&Response::Error("compute timed out".to_string()).encode());
+            let latency_ns = started.elapsed().as_nanos() as f64;
             ctx.record(|m| {
-                m.observe_duration_ns("latency.request_ns", started.elapsed().as_nanos() as f64);
+                m.observe_duration_ns("latency.request_ns", latency_ns);
             });
+            ctx.tel.in_flight_add(-1);
+            ctx.tel.observe_window(WindowClass::Error, latency_ns);
             did_work = true;
         }
     } else if conn.last_byte.elapsed() > ctx.config.idle_timeout {
@@ -275,8 +332,14 @@ fn service(conn: &mut Conn, idx: usize, ctx: &Ctx, next_gen: &mut u64) -> bool {
     while conn.in_flight.is_none() && !conn.closing && !conn.dead {
         match parse_frame(&conn.buf) {
             Ok(Some((payload, consumed))) => {
+                // The frame is complete: its `accepted` stamp is when its
+                // first byte arrived. Any leftover bytes in the buffer
+                // belong to the *next* frame, whose first byte is already
+                // here — restart the clock for it now.
+                let accepted = conn.frame_started.take();
                 conn.buf.drain(..consumed);
-                handle_payload(conn, idx, &payload, ctx);
+                conn.frame_started = (!conn.buf.is_empty()).then(Instant::now);
+                handle_payload(conn, idx, &payload, ctx, accepted);
                 did_work = true;
             }
             Ok(None) => {
@@ -308,7 +371,22 @@ fn service(conn: &mut Conn, idx: usize, ctx: &Ctx, next_gen: &mut u64) -> bool {
     }
 
     did_work |= flush(conn);
+    commit_flushed(conn, ctx);
     did_work
+}
+
+/// Commits pending flight records once the write buffer has fully
+/// drained: that drain instant is every pending reply's
+/// `write_flushed` stamp.
+fn commit_flushed(conn: &mut Conn, ctx: &Ctx) {
+    if conn.pending.is_empty() || conn.out_pos < conn.out.len() {
+        return;
+    }
+    let flushed_ns = ctx.tel.recorder.now_ns();
+    for mut trace in conn.pending.drain(..) {
+        trace.stamp(Stage::WriteFlushed, flushed_ns);
+        ctx.tel.recorder.commit(trace);
+    }
 }
 
 /// Writes as much of the outbound buffer as the socket accepts.
@@ -359,6 +437,9 @@ fn fill(conn: &mut Conn) -> bool {
             Ok(n) => {
                 conn.buf.extend_from_slice(&scratch[..n]);
                 conn.last_byte = Instant::now();
+                if conn.frame_started.is_none() {
+                    conn.frame_started = Some(conn.last_byte);
+                }
                 read_any = true;
                 // One in-flight request per connection bounds how much a
                 // peer can usefully pipeline; stop slurping once we hold
@@ -411,11 +492,33 @@ fn parse_frame(buf: &[u8]) -> Result<Option<(String, usize)>, String> {
     Ok(Some((payload, need)))
 }
 
-/// Decodes and answers one request. Cache hits, `Stats`, `Health`, typed
-/// errors, and shed replies answer inline; everything else dispatches to
-/// the owning shard and marks the connection in flight.
-fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
+/// Decodes and answers one request. Cache hits, `Stats`, `Health`,
+/// `Telemetry`, `TraceDump`, typed errors, and shed replies answer
+/// inline; everything else dispatches to the owning shard and marks the
+/// connection in flight. When the flight recorder is on, a
+/// [`RequestTrace`] is born here and rides the same path the reply
+/// takes.
+fn handle_payload(
+    conn: &mut Conn,
+    idx: usize,
+    payload: &str,
+    ctx: &Ctx,
+    accepted: Option<Instant>,
+) {
     let started = Instant::now();
+    let rec = &ctx.tel.recorder;
+    let mut trace = if rec.is_enabled() {
+        // Born before decode so even malformed requests leave a record;
+        // the kind is corrected the moment decode succeeds.
+        let mut t = rec.begin("invalid");
+        if let Some(at) = accepted {
+            t.stamp(Stage::Accepted, rec.ns_of(at));
+        }
+        t.stamp(Stage::FrameComplete, rec.ns_of(started));
+        Some(t)
+    } else {
+        None
+    };
     let p = &ctx.profiler;
     let decoded = {
         let _span = p.span("decode");
@@ -425,10 +528,19 @@ fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
         Ok(decoded) => decoded,
         Err(message) => {
             ctx.record(|m| m.incr("protocol.errors", 1));
-            reply_inline(conn, ctx, started, &Response::Error(message).encode());
+            let reply = Response::Error(message).encode();
+            reply_inline(conn, ctx, started, &reply, Outcome::Error, trace);
             return;
         }
     };
+    if let Some(t) = trace.as_mut() {
+        t.kind = request.kind();
+        t.stamp(Stage::Decoded, rec.now_ns());
+        let decode_ns = started.elapsed().as_nanos() as f64;
+        ctx.record(|m| {
+            m.observe_duration_ns(&format!("stage.{}.decode_ns", request.kind()), decode_ns);
+        });
+    }
     ctx.record(|m| {
         m.incr("requests.total", 1);
         m.incr(&format!("requests.{}", request.kind()), 1);
@@ -448,10 +560,29 @@ fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
             engines: ctx.map.resident() as u64,
             evictions: ctx.map.evictions(),
             shards: ctx.map.wire_rows(),
+            uptime_ms: ctx.tel.uptime_ms(),
+            requests_in_flight: ctx.tel.in_flight.get(),
             rendered: snapshot.render(),
         })
         .encode();
-        reply_inline(conn, ctx, started, &reply);
+        reply_inline(conn, ctx, started, &reply, Outcome::Ok, trace);
+        return;
+    }
+
+    if matches!(request, Request::Telemetry) {
+        let reply = Response::Telemetry(build_telemetry(ctx)).encode();
+        reply_inline(conn, ctx, started, &reply, Outcome::Ok, trace);
+        return;
+    }
+
+    if let Request::TraceDump { limit, slow_only } = request {
+        let dump = rec
+            .recent(limit, slow_only)
+            .iter()
+            .map(wire_trace)
+            .collect();
+        let reply = Response::TraceDump(dump).encode();
+        reply_inline(conn, ctx, started, &reply, Outcome::Ok, trace);
         return;
     }
 
@@ -459,12 +590,16 @@ fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
         Ok(resolved) => resolved,
         Err(message) => {
             ctx.record(|m| m.incr("route.unknown_workload", 1));
-            reply_inline(conn, ctx, started, &Response::Error(message).encode());
+            let reply = Response::Error(message).encode();
+            reply_inline(conn, ctx, started, &reply, Outcome::Error, trace);
             return;
         }
     };
     core.requests
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if let Some(t) = trace.as_mut() {
+        t.fingerprint = core.fingerprint;
+    }
 
     if matches!(request, Request::Health) {
         let data = core.engine.data();
@@ -477,7 +612,7 @@ fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
             workers: ctx.config.workers.max(1),
         })
         .encode();
-        reply_inline(conn, ctx, started, &reply);
+        reply_inline(conn, ctx, started, &reply, Outcome::Ok, trace);
         return;
     }
 
@@ -492,16 +627,19 @@ fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
             request.kind()
         ))
         .encode();
-        reply_inline(conn, ctx, started, &reply);
+        reply_inline(conn, ctx, started, &reply, Outcome::Error, trace);
         return;
     };
     if let Some(hit) = core.cache.get(&key) {
         core.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         ctx.record(|m| m.incr("cache.hit", 1));
-        reply_inline(conn, ctx, started, &hit);
+        reply_inline(conn, ctx, started, &hit, Outcome::CacheHit, trace);
         return;
     }
 
+    if let Some(t) = trace.as_mut() {
+        t.stamp(Stage::Enqueued, rec.now_ns());
+    }
     let job = Job {
         request,
         key,
@@ -510,29 +648,115 @@ fn handle_payload(conn: &mut Conn, idx: usize, payload: &str, ctx: &Ctx) {
             gen: conn.gen,
         },
         enqueued: started,
+        trace,
     };
     match try_dispatch(&core, &job_tx, job) {
         (Dispatch::Queued, depth) => {
             ctx.record(|m| m.gauge_max("queue.depth_max", depth as f64));
+            ctx.tel.in_flight_add(1);
+            ctx.tel.observe_queue_depth(depth as u64);
             conn.in_flight = Some(started);
         }
-        (Dispatch::Shed, _) => {
+        (Dispatch::Shed(job), _) => {
             ctx.record(|m| m.incr("overloaded", 1));
-            reply_inline(conn, ctx, started, &Response::Overloaded.encode());
+            reply_inline(
+                conn,
+                ctx,
+                started,
+                &Response::Overloaded.encode(),
+                Outcome::Shed,
+                job.trace,
+            );
         }
-        (Dispatch::Gone, _) => {
+        (Dispatch::Gone(job), _) => {
             let reply = Response::Error("server is shutting down".to_string()).encode();
-            reply_inline(conn, ctx, started, &reply);
+            reply_inline(conn, ctx, started, &reply, Outcome::Error, job.trace);
         }
     }
 }
 
-/// Queues a reactor-produced reply and records its request latency.
-fn reply_inline(conn: &mut Conn, ctx: &Ctx, started: Instant, payload: &str) {
+/// Assembles the full telemetry reply on the reactor thread: merged
+/// histogram summaries, the window ring, per-shard compute latency, and
+/// the flight recorder's own accounting.
+fn build_telemetry(ctx: &Ctx) -> WireTelemetry {
+    let rec = &ctx.tel.recorder;
+    let snapshot = ctx.snapshot();
+    let histograms = snapshot
+        .histogram_names()
+        .map(|name| {
+            let h = snapshot.histogram(name).expect("name came from the set");
+            histogram_summary(name, h)
+        })
+        .collect();
+    let windows = ctx
+        .tel
+        .windows
+        .borrow()
+        .snapshot()
+        .iter()
+        .map(|w| crate::protocol::WireWindow {
+            second: w.second,
+            requests: w.requests,
+            ok: w.ok,
+            errors: w.errors,
+            shed: w.shed,
+            queue_depth_max: w.queue_depth_max,
+            p50_ns: w.p50_ns().unwrap_or(0.0),
+            p95_ns: w.p95_ns().unwrap_or(0.0),
+            max_ns: w.max_ns().unwrap_or(0.0),
+        })
+        .collect();
+    let shard_compute = ctx
+        .map
+        .shard_metric_rows()
+        .iter()
+        .filter_map(|(name, set)| {
+            set.histogram("latency.compute_ns")
+                .map(|h| histogram_summary(name, h))
+        })
+        .collect();
+    let counts = rec.counts();
+    WireTelemetry {
+        enabled: rec.is_enabled(),
+        uptime_ms: ctx.tel.uptime_ms(),
+        windows,
+        histograms,
+        shard_compute,
+        flight_recorded: counts.recorded,
+        flight_dropped: counts.dropped,
+        flight_slow: counts.slow,
+        // `u64::MAX` (the disabled sentinel) does not survive the f64
+        // wire; report 0 when the recorder is off.
+        slow_threshold_ns: if rec.is_enabled() {
+            rec.slow_threshold_ns()
+        } else {
+            0
+        },
+    }
+}
+
+/// Queues a reactor-produced reply, records its request latency, counts
+/// it into the current telemetry window, and parks its flight record
+/// (stamped `encoded` now) until the write buffer drains.
+fn reply_inline(
+    conn: &mut Conn,
+    ctx: &Ctx,
+    started: Instant,
+    payload: &str,
+    outcome: Outcome,
+    trace: Option<RequestTrace>,
+) {
     conn.push_frame(payload);
+    let latency_ns = started.elapsed().as_nanos() as f64;
     ctx.record(|m| {
-        m.observe_duration_ns("latency.request_ns", started.elapsed().as_nanos() as f64);
+        m.observe_duration_ns("latency.request_ns", latency_ns);
     });
+    ctx.tel.observe_window(window_class(outcome), latency_ns);
+    if let Some(mut t) = trace {
+        t.outcome = outcome;
+        t.stamp(Stage::Encoded, ctx.tel.recorder.now_ns());
+        conn.pending.push(t);
+    }
 }
 
 #[cfg(test)]

@@ -29,13 +29,21 @@
 //! queue-depth max gauge, and latency histograms accumulate per worker
 //! slot plus one reactor-side set; `Stats` renders a merged snapshot at
 //! any moment, plus per-shard rows (requests, cache hits/misses, queue
-//! depth, pinning).
+//! depth, pinning). With [`ServerConfig::telemetry`] on (the default),
+//! every request additionally carries a
+//! [`RequestTrace`](mcdvfs_obs::RequestTrace) stamped at each pipeline
+//! stage and committed to a bounded flight ring, and the reactor folds
+//! each reply into a ring of 1-second telemetry windows — both served
+//! over the wire by the `telemetry` and `trace_dump` queries. Telemetry
+//! off skips every trace allocation and window observation; replies are
+//! bit-identical either way.
 
 use crate::cache::CacheKey;
 use crate::reactor::{self, Ctx};
 use crate::shard::{Completion, ShardMap, TenantSpec};
+use crate::telemetry::TelemetryCtx;
 use mcdvfs_core::SweepEngine;
-use mcdvfs_obs::{MetricSet, Profiler};
+use mcdvfs_obs::{FlightRecorder, MetricSet, Profiler};
 use mcdvfs_sim::System;
 use mcdvfs_types::fnv1a64;
 use mcdvfs_workloads::SampleTrace;
@@ -75,6 +83,17 @@ pub struct ServerConfig {
     /// load generator raises it to make queue pressure and shard-level
     /// parallelism deterministic.
     pub compute_delay: Duration,
+    /// Collect flight records, stage histograms, and 1-second telemetry
+    /// windows. Off disables every trace allocation and window
+    /// observation (the zero-overhead path); replies are bit-identical
+    /// either way.
+    pub telemetry: bool,
+    /// Flight-recorder ring capacity (recent and slow rings each).
+    pub flight_capacity: usize,
+    /// Flights slower than this land in the slow-request log.
+    pub slow_threshold: Duration,
+    /// How many 1-second telemetry windows the ring retains.
+    pub window_seconds: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +108,10 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             reply_timeout: Duration::from_secs(30),
             compute_delay: Duration::ZERO,
+            telemetry: true,
+            flight_capacity: 512,
+            slow_threshold: Duration::from_millis(250),
+            window_seconds: 64,
         }
     }
 }
@@ -202,17 +225,18 @@ impl Server {
         let local = listener.local_addr()?;
         let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
         let profiler = Arc::clone(&state.profiler);
+        let recorder = Arc::new(if config.telemetry {
+            FlightRecorder::enabled(config.flight_capacity, config.slow_threshold)
+        } else {
+            FlightRecorder::disabled()
+        });
         let map = Arc::new(ShardMap::new(
             state.engine,
             state.trace,
             state.tenants,
             completion_tx,
-            config.workers,
-            config.queue_bound,
-            config.cache_capacity,
-            config.cache_shards,
-            config.max_shards,
-            config.compute_delay,
+            &config,
+            Arc::clone(&recorder),
             Arc::clone(&profiler),
         ));
         let metrics = Arc::new(Mutex::new(MetricSet::new()));
@@ -221,6 +245,7 @@ impl Server {
             map: Arc::clone(&map),
             metrics: Arc::clone(&metrics),
             profiler: Arc::clone(&profiler),
+            tel: TelemetryCtx::new(recorder, config.window_seconds),
             config,
         };
         let reactor = {
@@ -298,7 +323,7 @@ impl std::fmt::Debug for ShardMap {
 }
 
 /// Maps a compute request onto its cache identity; `None` for the
-/// uncacheable `Stats`/`Health`.
+/// uncacheable inline kinds (`Stats`/`Health`/`Telemetry`/`TraceDump`).
 pub(crate) fn cache_key(fingerprint: u64, request: &Request) -> Option<CacheKey> {
     let budget_bits =
         |budget: &mcdvfs_core::InefficiencyBudget| budget.bound().map_or(u64::MAX, f64::to_bits);
@@ -311,7 +336,9 @@ pub(crate) fn cache_key(fingerprint: u64, request: &Request) -> Option<CacheKey>
         Request::GovernedReplay { governor, budget } => {
             (3, budget_bits(budget), 0, fnv1a64(governor.as_bytes()))
         }
-        Request::Stats | Request::Health => return None,
+        Request::Stats | Request::Health | Request::Telemetry | Request::TraceDump { .. } => {
+            return None
+        }
     };
     Some(CacheKey {
         fingerprint,
@@ -357,6 +384,15 @@ mod tests {
         // typed internal error rather than panicking if it ever does).
         assert!(cache_key(0xfeed, &Request::Stats).is_none());
         assert!(cache_key(0xfeed, &Request::Health).is_none());
+        assert!(cache_key(0xfeed, &Request::Telemetry).is_none());
+        assert!(cache_key(
+            0xfeed,
+            &Request::TraceDump {
+                limit: 8,
+                slow_only: false,
+            }
+        )
+        .is_none());
     }
 
     #[test]

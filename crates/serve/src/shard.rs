@@ -26,8 +26,9 @@ use crate::cache::{CacheKey, ShardedLru};
 use crate::protocol::{
     Request, Response, WireChoice, WireCluster, WireRegion, WireReport, WireShard,
 };
+use crate::server::ServerConfig;
 use mcdvfs_core::{GovernedRun, RunReport, SweepEngine};
-use mcdvfs_obs::{MetricSet, Profiler};
+use mcdvfs_obs::{FlightRecorder, MetricSet, Outcome, Profiler, RequestTrace, Stage};
 use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::SampleTrace;
@@ -60,12 +61,21 @@ pub(crate) struct Job {
     pub key: CacheKey,
     pub conn: ConnToken,
     pub enqueued: Instant,
+    /// Flight record riding along with the request (`None` when
+    /// telemetry is off). The worker stamps dequeued/computed/encoded
+    /// and hauls it back on the [`Completion`].
+    pub trace: Option<RequestTrace>,
 }
 
 /// A finished compute reply flowing back to the reactor's poll loop.
 pub(crate) struct Completion {
     pub conn: ConnToken,
     pub reply: Arc<String>,
+    /// How the worker classified the reply (for window counting).
+    pub outcome: Outcome,
+    /// The job's flight record, stamped through `encoded`; the reactor
+    /// stamps `write_flushed` and commits it.
+    pub trace: Option<RequestTrace>,
 }
 
 /// Everything needed to lazily characterize one tenant's engine.
@@ -111,6 +121,9 @@ pub(crate) struct ShardCore {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
     pub worker_metrics: Vec<Mutex<MetricSet>>,
+    /// Shared timestamp base for flight-record stamps (workers never
+    /// commit — the reactor does, after the write flush).
+    recorder: Arc<FlightRecorder>,
     profiler: Arc<Profiler>,
     compute_delay: Duration,
 }
@@ -139,14 +152,15 @@ pub(crate) struct ShardHandle {
     pub pinned: bool,
 }
 
-/// What dispatching a job to a shard produced.
+/// What dispatching a job to a shard produced. The rejected variants
+/// hand the job back so the reactor can finish its flight record.
 pub(crate) enum Dispatch {
     /// The job was queued; a [`Completion`] will arrive later.
     Queued,
     /// The bounded queue was full; reply `overloaded` inline.
-    Shed,
+    Shed(Job),
     /// The queue is disconnected (shutdown); reply a typed error inline.
-    Gone,
+    Gone(Job),
 }
 
 /// All shards, the tenant registry, and the worker reaper list.
@@ -170,24 +184,20 @@ pub(crate) struct ShardMap {
     cache_shards: usize,
     max_shards: usize,
     compute_delay: Duration,
+    recorder: Arc<FlightRecorder>,
     profiler: Arc<Profiler>,
 }
 
 impl ShardMap {
     /// Builds the map with the default tenant's shard resident and
-    /// pinned.
-    #[allow(clippy::too_many_arguments)]
+    /// pinned, sized from `config`.
     pub fn new(
         default_engine: SweepEngine,
         default_trace: SampleTrace,
         specs: HashMap<String, TenantSpec>,
         completions: Sender<Completion>,
-        workers_per_shard: usize,
-        queue_bound: usize,
-        cache_capacity: usize,
-        cache_shards: usize,
-        max_shards: usize,
-        compute_delay: Duration,
+        config: &ServerConfig,
+        recorder: Arc<FlightRecorder>,
         profiler: Arc<Profiler>,
     ) -> Self {
         let default_name = default_engine.data().name().to_string();
@@ -201,12 +211,13 @@ impl ShardMap {
             completions,
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            workers_per_shard: workers_per_shard.max(1),
-            queue_bound,
-            cache_capacity,
-            cache_shards,
-            max_shards: max_shards.max(1),
-            compute_delay,
+            workers_per_shard: config.workers.max(1),
+            queue_bound: config.queue_bound,
+            cache_capacity: config.cache_capacity,
+            cache_shards: config.cache_shards,
+            max_shards: config.max_shards.max(1),
+            compute_delay: config.compute_delay,
+            recorder,
             profiler,
         };
         map.install(&default_name, default_engine, default_trace, true);
@@ -317,6 +328,7 @@ impl ShardMap {
             worker_metrics: (0..self.workers_per_shard)
                 .map(|_| Mutex::new(MetricSet::new()))
                 .collect(),
+            recorder: Arc::clone(&self.recorder),
             profiler: Arc::clone(&self.profiler),
             compute_delay: self.compute_delay,
         });
@@ -385,6 +397,23 @@ impl ShardMap {
         }
     }
 
+    /// Per-shard merged worker metrics, sorted by workload name — the
+    /// per-shard view a `telemetry` reply summarizes (the global merge
+    /// above flattens shard identity away).
+    pub fn shard_metric_rows(&self) -> Vec<(String, MetricSet)> {
+        // Keyed by name so an evicted-and-rebuilt shard folds into one
+        // row rather than duplicating its workload.
+        let mut rows: std::collections::BTreeMap<String, MetricSet> =
+            std::collections::BTreeMap::new();
+        for core in self.cores.lock().expect("core list poisoned").iter() {
+            let merged = rows.entry(core.name.clone()).or_default();
+            for slot in &core.worker_metrics {
+                merged.merge(&slot.lock().expect("worker metrics poisoned"));
+            }
+        }
+        rows.into_iter().collect()
+    }
+
     /// Disconnects every queue and joins every worker ever spawned.
     /// Called after the reactor has exited, so no new jobs can arrive.
     pub fn shutdown(&self) {
@@ -403,13 +432,13 @@ pub(crate) fn try_dispatch(core: &ShardCore, tx: &SyncSender<Job>, job: Job) -> 
     let depth = core.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
     match tx.try_send(job) {
         Ok(()) => (Dispatch::Queued, depth),
-        Err(TrySendError::Full(_)) => {
+        Err(TrySendError::Full(job)) => {
             core.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            (Dispatch::Shed, depth)
+            (Dispatch::Shed(job), depth)
         }
-        Err(TrySendError::Disconnected(_)) => {
+        Err(TrySendError::Disconnected(job)) => {
             core.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            (Dispatch::Gone, depth)
+            (Dispatch::Gone(job), depth)
         }
     }
 }
@@ -434,6 +463,10 @@ fn worker_loop(
             }
         };
         core.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let mut trace = job.trace;
+        if let Some(t) = trace.as_mut() {
+            t.stamp(Stage::Dequeued, core.recorder.now_ns());
+        }
         let p = &core.profiler;
         let queued_ns = job.enqueued.elapsed().as_nanos() as f64;
         {
@@ -450,14 +483,44 @@ fn worker_loop(
             let _span = p.span("compute");
             compute(core, &job.request)
         };
+        let computed_at = core.recorder.now_ns();
         let encoded = {
             let _span = p.span("encode");
             Arc::new(response.encode())
         };
+        let compute_ns = t0.elapsed().as_nanos() as f64;
         record(&core.worker_metrics[slot], |m| {
-            m.observe_duration_ns("latency.compute_ns", t0.elapsed().as_nanos() as f64);
+            m.observe_duration_ns("latency.compute_ns", compute_ns);
             m.incr("cache.miss", 1);
         });
+        let outcome = if matches!(response, Response::Error(_)) {
+            Outcome::Error
+        } else {
+            Outcome::Ok
+        };
+        if let Some(t) = trace.as_mut() {
+            let encoded_at = core.recorder.now_ns();
+            t.stamp(Stage::Computed, computed_at);
+            t.stamp(Stage::Encoded, encoded_at);
+            t.outcome = outcome;
+            // Per-(kind, stage) latency histograms, gated with the
+            // trace so the telemetry-off path records nothing extra.
+            let kind = job.request.kind();
+            let queue = t
+                .stage_ns(Stage::Dequeued)
+                .zip(t.stage_ns(Stage::Enqueued))
+                .map(|(d, e)| d.saturating_sub(e));
+            record(&core.worker_metrics[slot], |m| {
+                if let Some(queue_ns) = queue {
+                    m.observe_duration_ns(&format!("stage.{kind}.queue_ns"), queue_ns as f64);
+                }
+                m.observe_duration_ns(&format!("stage.{kind}.compute_ns"), compute_ns);
+                m.observe_duration_ns(
+                    &format!("stage.{kind}.encode_ns"),
+                    encoded_at.saturating_sub(computed_at) as f64,
+                );
+            });
+        }
         core.misses.fetch_add(1, Ordering::Relaxed);
         // Errors are not cached: a later identical request may be valid
         // context (e.g. after a config change) and they are cheap.
@@ -468,6 +531,8 @@ fn worker_loop(
         let _ = completions.send(Completion {
             conn: job.conn,
             reply: encoded,
+            outcome,
+            trace,
         });
     }
 }
@@ -548,8 +613,8 @@ fn compute(core: &ShardCore, request: &Request) -> Response {
                 .expect("one budget yields one report");
             Response::GovernedReplay(wire_report(&report))
         }
-        Request::Stats | Request::Health => {
-            Response::Error("stats/health are answered inline".to_string())
+        Request::Stats | Request::Health | Request::Telemetry | Request::TraceDump { .. } => {
+            Response::Error(format!("{} is answered inline", request.kind()))
         }
     }
 }

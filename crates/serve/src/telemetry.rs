@@ -1,0 +1,256 @@
+//! Server-side telemetry assembly and the client-side cross-check.
+//!
+//! The reactor thread owns all windowed state: [`TelemetryCtx`] bundles
+//! the flight recorder (shared with shard workers for timestamping), the
+//! single-writer [`WindowRing`], the live in-flight gauge, and the start
+//! instant behind `uptime_ms`. Everything here is assembled on the
+//! reactor thread, so the window ring needs no lock at all
+//! (`RefCell`) and the in-flight gauge is a plain `Cell`.
+//!
+//! [`cross_check`] is the validation pass `loadgen` and the e2e suite
+//! share: server-side telemetry must agree with what the client
+//! observed — total request counts match *exactly* (the server counts
+//! every decoded request, the client counts every request it issued),
+//! and the server-measured p95 must not exceed the client-measured p95
+//! (every server-side sample excludes the network and client stack
+//! that its client-side counterpart includes).
+
+use crate::protocol::{WireHistogram, WireStats, WireTelemetry, WireTrace};
+use mcdvfs_obs::{FlightRecorder, Histogram, RequestTrace, WindowClass, WindowRing};
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Reactor-owned telemetry state (plus the worker-shared recorder).
+pub(crate) struct TelemetryCtx {
+    /// Flight recorder; shard workers hold a clone for stamping.
+    pub recorder: Arc<FlightRecorder>,
+    /// Single-writer ring of 1-second windows.
+    pub windows: RefCell<WindowRing>,
+    /// Compute requests currently queued or running.
+    pub in_flight: Cell<u64>,
+    /// Server start instant, behind `uptime_ms`.
+    pub started: Instant,
+}
+
+impl TelemetryCtx {
+    pub fn new(recorder: Arc<FlightRecorder>, window_seconds: usize) -> Self {
+        Self {
+            recorder,
+            windows: RefCell::new(WindowRing::new(window_seconds)),
+            in_flight: Cell::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Counts one served reply into the current 1-second window.
+    /// No-op when telemetry is disabled — windows are part of the
+    /// zero-overhead gating contract.
+    pub fn observe_window(&self, class: WindowClass, latency_ns: f64) {
+        if self.recorder.is_enabled() {
+            self.windows
+                .borrow_mut()
+                .observe(self.recorder.now_ns(), class, latency_ns);
+        }
+    }
+
+    /// Raises the current window's queue-depth high-water mark.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        if self.recorder.is_enabled() {
+            self.windows
+                .borrow_mut()
+                .observe_queue_depth(self.recorder.now_ns(), depth);
+        }
+    }
+
+    pub fn in_flight_add(&self, delta: i64) {
+        let v = i64::try_from(self.in_flight.get()).unwrap_or(i64::MAX) + delta;
+        self.in_flight
+            .set(u64::try_from(v.max(0)).expect("non-negative"));
+    }
+}
+
+/// Summarizes one named histogram for the wire.
+pub(crate) fn histogram_summary(name: &str, h: &Histogram) -> WireHistogram {
+    WireHistogram {
+        name: name.to_string(),
+        count: h.total(),
+        mean_ns: h.mean().unwrap_or(0.0),
+        p50_ns: h.percentile(0.5).unwrap_or(0.0),
+        p95_ns: h.percentile(0.95).unwrap_or(0.0),
+        max_ns: h.max_value().unwrap_or(0.0),
+    }
+}
+
+/// Renders a flight record for the wire.
+pub(crate) fn wire_trace(t: &RequestTrace) -> WireTrace {
+    WireTrace {
+        id: t.id,
+        kind: t.kind.to_string(),
+        fingerprint: format!("{:016x}", t.fingerprint),
+        outcome: t.outcome.name().to_string(),
+        total_ns: t.total_ns(),
+        stages: t
+            .stages()
+            .map(|(stage, t_ns)| crate::protocol::WireStage {
+                stage: stage.name().to_string(),
+                t_ns,
+            })
+            .collect(),
+    }
+}
+
+/// The numbers a server/client telemetry cross-check compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossCheck {
+    /// Requests the server decoded (its `stats.requests` counter).
+    pub server_total: u64,
+    /// Requests the client issued (and got answers for).
+    pub client_total: u64,
+    /// Server-measured request p95, nanoseconds.
+    pub server_p95_ns: f64,
+    /// Client-measured request p95, nanoseconds.
+    pub client_p95_ns: f64,
+}
+
+/// Cross-checks server-side telemetry against client-observed counts:
+/// totals must match exactly, and the server-measured p95 (which
+/// excludes the network and the client stack) must not exceed the
+/// client-measured p95.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first disagreement —
+/// count drift, missing server histogram, or a server p95 above the
+/// client p95.
+pub fn cross_check(
+    stats: &WireStats,
+    telemetry: &WireTelemetry,
+    client_total: u64,
+    client_p95_ns: f64,
+) -> Result<CrossCheck, String> {
+    let server_total = stats.requests;
+    if server_total != client_total {
+        return Err(format!(
+            "request-count drift: server decoded {server_total}, client issued {client_total}"
+        ));
+    }
+    let server_p95_ns = telemetry
+        .histograms
+        .iter()
+        .find(|h| h.name == "latency.request_ns")
+        .map(|h| h.p95_ns)
+        .ok_or("server telemetry has no latency.request_ns histogram")?;
+    if server_p95_ns > client_p95_ns {
+        return Err(format!(
+            "server p95 {server_p95_ns:.0} ns exceeds client p95 {client_p95_ns:.0} ns"
+        ));
+    }
+    Ok(CrossCheck {
+        server_total,
+        client_total,
+        server_p95_ns,
+        client_p95_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdvfs_obs::{Outcome, Stage};
+    use std::time::Duration;
+
+    fn stats(requests: u64) -> WireStats {
+        WireStats {
+            requests,
+            cache_hits: 0,
+            cache_misses: 0,
+            overloaded: 0,
+            protocol_errors: 0,
+            queue_depth_max: 0,
+            engines: 1,
+            evictions: 0,
+            shards: Vec::new(),
+            uptime_ms: 10,
+            requests_in_flight: 0,
+            rendered: String::new(),
+        }
+    }
+
+    fn telemetry(p95: f64) -> WireTelemetry {
+        WireTelemetry {
+            enabled: true,
+            uptime_ms: 10,
+            windows: Vec::new(),
+            histograms: vec![WireHistogram {
+                name: "latency.request_ns".to_string(),
+                count: 8,
+                mean_ns: p95 / 2.0,
+                p50_ns: p95 / 2.0,
+                p95_ns: p95,
+                max_ns: p95 * 2.0,
+            }],
+            shard_compute: Vec::new(),
+            flight_recorded: 8,
+            flight_dropped: 0,
+            flight_slow: 0,
+            slow_threshold_ns: 250_000_000,
+        }
+    }
+
+    #[test]
+    fn cross_check_accepts_exact_totals_and_lower_server_p95() {
+        let check = cross_check(&stats(8), &telemetry(1_000.0), 8, 1_500.0).unwrap();
+        assert_eq!(check.server_total, 8);
+        assert_eq!(check.server_p95_ns, 1_000.0);
+    }
+
+    #[test]
+    fn cross_check_rejects_count_drift_and_inverted_p95() {
+        let err = cross_check(&stats(9), &telemetry(1_000.0), 8, 1_500.0).unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+        let err = cross_check(&stats(8), &telemetry(2_000.0), 8, 1_500.0).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        let mut missing = telemetry(1_000.0);
+        missing.histograms.clear();
+        let err = cross_check(&stats(8), &missing, 8, 1_500.0).unwrap_err();
+        assert!(err.contains("latency.request_ns"), "{err}");
+    }
+
+    #[test]
+    fn in_flight_gauge_saturates_at_zero() {
+        let ctx = TelemetryCtx::new(Arc::new(FlightRecorder::disabled()), 4);
+        ctx.in_flight_add(2);
+        ctx.in_flight_add(-1);
+        assert_eq!(ctx.in_flight.get(), 1);
+        ctx.in_flight_add(-5);
+        assert_eq!(ctx.in_flight.get(), 0);
+    }
+
+    #[test]
+    fn wire_trace_renders_stages_in_pipeline_order() {
+        let rec = FlightRecorder::enabled(4, Duration::from_secs(1));
+        let mut t = rec.begin("cluster");
+        t.fingerprint = 0xfeed;
+        t.outcome = Outcome::CacheHit;
+        t.stamp(Stage::Encoded, 40);
+        t.stamp(Stage::Accepted, 10);
+        let wire = wire_trace(&t);
+        assert_eq!(wire.kind, "cluster");
+        assert_eq!(wire.fingerprint, "000000000000feed");
+        assert_eq!(wire.outcome, "cache_hit");
+        assert_eq!(wire.total_ns, 30);
+        assert_eq!(
+            wire.stages
+                .iter()
+                .map(|s| s.stage.as_str())
+                .collect::<Vec<_>>(),
+            vec!["accepted", "encoded"]
+        );
+    }
+}

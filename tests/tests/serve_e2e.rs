@@ -8,8 +8,10 @@
 //! query, and check the overload path sheds instead of stalling.
 
 use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
+use mcdvfs_obs::{duration_edges_ns, Histogram};
 use mcdvfs_serve::{
-    Client, ClientPool, Request, Response, ServeState, Server, ServerConfig, TenantSpec,
+    cross_check, Client, ClientPool, Request, Response, ServeState, Server, ServerConfig,
+    TenantSpec,
 };
 use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
@@ -469,6 +471,179 @@ fn slow_loris_connections_are_reaped_by_the_reactor_tick() {
     let metrics = server.shutdown();
     assert_eq!(metrics.counter("connections.idle_closed"), 2);
     assert_eq!(metrics.counter("protocol.errors"), 0);
+}
+
+#[test]
+fn telemetry_gating_leaves_compute_replies_bit_identical() {
+    // The flight recorder's zero-overhead contract: with telemetry off,
+    // no trace is allocated and no window is observed, and either way
+    // every f64 that crosses the wire is bit-for-bit the same.
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let query = Request::OptimalSetting { budget };
+    let replay = Request::GovernedReplay {
+        governor: "paper".to_string(),
+        budget,
+    };
+    let mut replies = Vec::new();
+    for telemetry in [true, false] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServeState::new(engine(), trace()),
+            ServerConfig {
+                workers: 2,
+                telemetry,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let Response::OptimalSetting(choices) = client.request(&query).unwrap() else {
+            panic!("wrong reply kind (telemetry={telemetry})");
+        };
+        let Response::GovernedReplay(report) = client.request(&replay).unwrap() else {
+            panic!("wrong reply kind (telemetry={telemetry})");
+        };
+        let Response::Telemetry(tel) = client.request(&Request::Telemetry).unwrap() else {
+            panic!("wrong reply kind (telemetry={telemetry})");
+        };
+        assert_eq!(tel.enabled, telemetry);
+        let metrics = server.shutdown();
+        if telemetry {
+            assert!(tel.flight_recorded > 0, "recorder saw the requests");
+            assert!(metrics.counter("reactor.ticks") > 0, "tick metrics on");
+        } else {
+            assert_eq!(tel.flight_recorded, 0, "disabled recorder stays empty");
+            assert_eq!(tel.slow_threshold_ns, 0);
+            assert_eq!(metrics.counter("reactor.ticks"), 0, "tick metrics off");
+        }
+        replies.push((choices, report));
+    }
+    let (on_choices, on_report) = &replies[0];
+    let (off_choices, off_report) = &replies[1];
+    assert_eq!(on_choices.len(), off_choices.len());
+    for (on, off) in on_choices.iter().zip(off_choices) {
+        assert_eq!(on.sample, off.sample);
+        assert_eq!(on.index, off.index);
+        assert_eq!(on.time_s.to_bits(), off.time_s.to_bits());
+        assert_eq!(on.energy_j.to_bits(), off.energy_j.to_bits());
+        assert_eq!(on.inefficiency.to_bits(), off.inefficiency.to_bits());
+    }
+    assert_eq!(
+        on_report.work_time_s.to_bits(),
+        off_report.work_time_s.to_bits()
+    );
+    assert_eq!(
+        on_report.work_energy_j.to_bits(),
+        off_report.work_energy_j.to_bits()
+    );
+    assert_eq!(
+        on_report.total_emin_j.to_bits(),
+        off_report.total_emin_j.to_bits()
+    );
+    assert_eq!(on_report.transitions, off_report.transitions);
+}
+
+#[test]
+fn trace_dump_returns_monotone_stage_timelines_over_the_socket() {
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(2)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(matches!(
+        client.request(&Request::OptimalSetting { budget }).unwrap(),
+        Response::OptimalSetting(_)
+    ));
+    let Response::TraceDump(traces) = client
+        .request(&Request::TraceDump {
+            limit: 16,
+            slow_only: false,
+        })
+        .unwrap()
+    else {
+        panic!("wrong reply kind");
+    };
+    // The compute request took the full pipeline: all eight stages, in
+    // order, with non-decreasing timestamps.
+    let compute = traces
+        .iter()
+        .find(|t| t.kind == "optimal_setting")
+        .expect("a compute flight record");
+    assert_eq!(compute.outcome, "ok");
+    assert!(compute.total_ns > 0);
+    assert_eq!(
+        compute
+            .stages
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect::<Vec<_>>(),
+        vec![
+            "accepted",
+            "frame_complete",
+            "decoded",
+            "enqueued",
+            "dequeued",
+            "computed",
+            "encoded",
+            "write_flushed",
+        ]
+    );
+    for pair in compute.stages.windows(2) {
+        assert!(
+            pair[0].t_ns <= pair[1].t_ns,
+            "stage {} at {} ns regressed to {} at {} ns",
+            pair[0].stage,
+            pair[0].t_ns,
+            pair[1].stage,
+            pair[1].t_ns
+        );
+    }
+    let _ = server.shutdown();
+}
+
+#[test]
+fn steady_phase_cross_check_has_zero_count_drift() {
+    // The same validation pass loadgen runs: the server's decoded total
+    // equals the client's issued total exactly, and the server-side p95
+    // (no network, no client stack) sits at or under the client-side
+    // p95.
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(2)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut hist = Histogram::new(duration_edges_ns());
+    let mut issued = 0u64;
+    for i in 0..20u64 {
+        let budget = InefficiencyBudget::bounded(1.0 + (i + 1) as f64 * 1e-3).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            client.request(&Request::OptimalSetting { budget }).unwrap(),
+            Response::OptimalSetting(_)
+        ));
+        hist.add(t0.elapsed().as_nanos() as f64);
+        issued += 1;
+    }
+    let Response::Telemetry(tel) = client.request(&Request::Telemetry).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    issued += 1;
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    // Stats last: its own decode is the final increment of the counter
+    // the cross-check reads.
+    let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    issued += 1;
+    let client_p95 = hist.percentile(0.95).expect("client samples");
+    let check = cross_check(&stats, &tel, issued, client_p95).expect("cross-check holds");
+    assert_eq!(check.server_total, issued, "zero count drift");
+    assert!(check.server_p95_ns <= check.client_p95_ns);
+    assert_eq!(stats.requests_in_flight, 0, "drained at rest");
+    assert!(
+        stats.uptime_ms > tel.uptime_ms,
+        "uptime advances between queries ({} -> {})",
+        tel.uptime_ms,
+        stats.uptime_ms
+    );
+    let _ = server.shutdown();
 }
 
 #[test]
