@@ -15,7 +15,6 @@ use mcdvfs_core::transitions::{
     count_cluster_transitions, count_optimal_transitions, per_billion_instructions,
 };
 use mcdvfs_core::{cluster_series, GovernedRun, InefficiencyBudget, OptimalFinder};
-use mcdvfs_obs::RunLedger;
 use mcdvfs_workloads::Benchmark;
 use std::sync::Arc;
 
@@ -93,24 +92,14 @@ fn main() {
             ),
         ];
         for governor in &mut governors {
-            let mut ledger = RunLedger::unbounded();
-            let report = runner.execute_recorded(&data, &trace, governor.as_mut(), &mut ledger);
-            report
-                .verify_ledger(&ledger)
-                .expect("ledger replay must match the report exactly");
-            let counts = ledger.domain_transition_counts();
-            let mut gaps = ledger.transition_interarrivals();
-            gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
-            let median_ms = gaps
-                .get(gaps.len() / 2)
-                .map_or_else(|| "-".to_string(), |g| fmt(g * 1e3, 3));
+            let acc = runner.execute_accounted(&data, &trace, governor.as_mut());
             lt.row(vec![
                 benchmark.name().to_string(),
-                report.governor.clone(),
-                counts.joint.to_string(),
-                counts.cpu.to_string(),
-                counts.mem.to_string(),
-                median_ms,
+                acc.report.governor.clone(),
+                acc.joint_transitions.to_string(),
+                acc.cpu_domain_transitions.to_string(),
+                acc.mem_domain_transitions.to_string(),
+                acc.median_gap_ms_label(),
             ]);
         }
     }

@@ -13,7 +13,6 @@ use mcdvfs_bench::{banner, characterize_for, emit_artifact, Harness, PAPER_THRES
 use mcdvfs_core::governor::{OracleClusterGovernor, OracleOptimalGovernor, RegionChoice};
 use mcdvfs_core::report::{fmt, Table};
 use mcdvfs_core::{GovernedRun, InefficiencyBudget};
-use mcdvfs_obs::RunLedger;
 use mcdvfs_workloads::Benchmark;
 use std::sync::Arc;
 
@@ -66,24 +65,18 @@ fn main() {
                     RegionChoice::LowestEnergy,
                 )
                 .expect("valid threshold");
-                // Attach a run ledger so the overhead columns come from the
-                // observed event stream, cross-checked against the report.
-                let mut ledger = RunLedger::unbounded();
-                let report = runner.execute_recorded(&data, &trace, &mut governor, &mut ledger);
-                report
-                    .verify_ledger(&ledger)
-                    .expect("ledger replay must match the report exactly");
-                let search = ledger.search_breakdown();
-                let overhead_time = report.tuning_time.value() + report.transition_time.value();
+                // The overhead columns come from the ledger-verified
+                // event stream, via the shared accounting.
+                let acc = runner.execute_accounted(&data, &trace, &mut governor);
                 t.row(vec![
                     benchmark.name().to_string(),
                     format!("{}", (thr * 100.0) as u32),
-                    fmt(report.perf_degradation_vs(&reference) * 100.0, 2),
-                    fmt(report.energy_savings_vs(&reference) * 100.0, 2),
-                    report.searches.to_string(),
-                    report.transitions.to_string(),
-                    fmt(search.mean_evaluated(), 1),
-                    fmt(overhead_time / report.total_time().value() * 100.0, 3),
+                    fmt(acc.report.perf_degradation_vs(&reference) * 100.0, 2),
+                    fmt(acc.report.energy_savings_vs(&reference) * 100.0, 2),
+                    acc.report.searches.to_string(),
+                    acc.report.transitions.to_string(),
+                    fmt(acc.mean_search_evaluated, 1),
+                    fmt(acc.overhead_fraction * 100.0, 3),
                 ]);
             }
         }

@@ -1,0 +1,313 @@
+//! Policy evaluation: oracle-gap scorecards for every shipped online
+//! policy over every shipped scenario trace.
+//!
+//! Each scenario's workload is characterized on the coarse grid, the ideal
+//! oracle (exact optimal tracking, no overheads) is replayed as the
+//! reference, and every `mcdvfs-policy` policy is replayed through the
+//! governed runner *with* the paper-calibrated tuning/transition overheads.
+//! The resulting [`PolicyScorecard`]s land in two fig-style CSVs and in
+//! `results/BENCH_policy.json` (schema `mcdvfs/policy-v1`).
+//!
+//! `--smoke` (or `MCDVFS_BENCH_SMOKE=1`) re-runs the evaluation and
+//! *validates* the committed report instead of overwriting it: the schema
+//! must match, every policy × scenario row must be present, no policy may
+//! exceed the ideal oracle's energy by more than [`ENERGY_CEILING`], and
+//! `reactive` must transition less than `deadline` on the load-burst
+//! scenario. Any violation exits non-zero (the CI `policy-smoke` gate).
+
+use mcdvfs_bench::{banner, emit_artifact, platform, results_dir, Harness, Json};
+use mcdvfs_core::governor::OracleOptimalGovernor;
+use mcdvfs_core::report::{fmt, Table};
+use mcdvfs_core::{GovernedRun, InefficiencyBudget, PolicyScorecard};
+use mcdvfs_policy::{build_policy, PolicyGovernor, SHIPPED_POLICIES};
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Scenario;
+use std::sync::Arc;
+
+/// Inefficiency budget every replay runs under (the paper's middle value).
+const BUDGET: f64 = 1.3;
+
+/// CI-gated ceiling on `energy_vs_oracle`: no shipped policy may consume
+/// more than this multiple of the ideal oracle's energy on any shipped
+/// scenario. Documented in DESIGN.md §14.
+const ENERGY_CEILING: f64 = 1.5;
+
+/// Report schema tag (the "policy-v1" report).
+const SCHEMA: &str = "mcdvfs/policy-v1";
+
+struct Row {
+    scorecard: PolicyScorecard,
+    decisions: u64,
+    budget_exhaustions: u64,
+}
+
+/// Replays every shipped policy (plus the paper-overhead oracle, as a
+/// labelled baseline row) over every shipped scenario.
+fn evaluate() -> Vec<Row> {
+    let budget = InefficiencyBudget::bounded(BUDGET).expect("valid budget");
+    let ideal = GovernedRun::without_overheads();
+    let overheads = GovernedRun::with_paper_overheads();
+    let mut rows = Vec::new();
+    for scenario in Scenario::all() {
+        let data = Arc::new(CharacterizationGrid::characterize_auto(
+            &platform(),
+            scenario.trace(),
+            FrequencyGrid::coarse(),
+        ));
+        let reference = ideal.execute(
+            &data,
+            scenario.trace(),
+            &mut OracleOptimalGovernor::new(Arc::clone(&data), budget),
+        );
+        // The paper oracle under the same overheads the policies pay, so
+        // the table shows what perfect knowledge alone is worth.
+        let deadlines = PolicyGovernor::new(
+            build_policy("deadline").expect("shipped policy"),
+            &scenario,
+            &data,
+            budget,
+        )
+        .deadlines();
+        rows.push(Row {
+            scorecard: PolicyScorecard::score(
+                &overheads,
+                &data,
+                scenario.trace(),
+                &mut OracleOptimalGovernor::new(Arc::clone(&data), budget),
+                &deadlines,
+                scenario.name(),
+                &reference,
+            ),
+            decisions: scenario.len() as u64,
+            budget_exhaustions: 0,
+        });
+        for name in SHIPPED_POLICIES {
+            let mut governor = PolicyGovernor::new(
+                build_policy(name).expect("shipped policy"),
+                &scenario,
+                &data,
+                budget,
+            );
+            let scorecard = PolicyScorecard::score(
+                &overheads,
+                &data,
+                scenario.trace(),
+                &mut governor,
+                &deadlines,
+                scenario.name(),
+                &reference,
+            );
+            let counters = governor.counters();
+            rows.push(Row {
+                scorecard,
+                decisions: counters.decisions,
+                budget_exhaustions: counters.budget_exhaustions,
+            });
+        }
+    }
+    rows
+}
+
+/// Short policy label for report keys: strips the adapter's
+/// `policy-<name>@<scenario>` wrapping back to `<name>`.
+fn policy_label(row: &Row) -> String {
+    let name = &row.scorecard.policy;
+    name.strip_prefix("policy-")
+        .and_then(|rest| rest.strip_suffix(&format!("@{}", row.scorecard.scenario)))
+        .unwrap_or(name)
+        .to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke =
+        args.iter().any(|a| a == "--smoke") || std::env::var_os("MCDVFS_BENCH_SMOKE").is_some();
+    banner(
+        "Policy eval",
+        "online policies vs. the ideal oracle on the shipped scenarios",
+    );
+
+    let rows = evaluate();
+
+    let mut gaps = Table::new(vec![
+        "scenario",
+        "policy",
+        "energy_vs_emin",
+        "energy_vs_oracle",
+        "time_vs_oracle",
+        "deadline_misses",
+        "searches",
+        "decisions",
+        "budget_exhaustions",
+        "overhead_time_%",
+    ]);
+    let mut transitions = Table::new(vec![
+        "scenario",
+        "policy",
+        "joint",
+        "cpu",
+        "mem",
+        "median_gap_ms",
+    ]);
+    for row in &rows {
+        let sc = &row.scorecard;
+        let label = policy_label(row);
+        gaps.row(vec![
+            sc.scenario.clone(),
+            label.clone(),
+            fmt(sc.energy_vs_emin, 4),
+            fmt(sc.energy_vs_oracle, 4),
+            fmt(sc.time_vs_oracle, 4),
+            sc.deadline_misses.to_string(),
+            sc.searches.to_string(),
+            row.decisions.to_string(),
+            row.budget_exhaustions.to_string(),
+            fmt(sc.overhead_fraction * 100.0, 3),
+        ]);
+        transitions.row(vec![
+            sc.scenario.clone(),
+            label,
+            sc.transitions.to_string(),
+            sc.cpu_transitions.to_string(),
+            sc.mem_transitions.to_string(),
+            // Median gap between hardware transitions, fig08-style.
+            median_gap_label(sc),
+        ]);
+    }
+
+    let path = results_dir().join("BENCH_policy.json");
+    if smoke {
+        println!("{}", gaps.to_text());
+        println!("{}", transitions.to_text());
+        enforce_smoke_gate(&rows, &path);
+        return;
+    }
+
+    let mut harness = Harness::new("policy_eval");
+    harness.note("schema", SCHEMA);
+    harness.note("grid", "coarse-70");
+    harness.note("budget", BUDGET);
+    harness.note("scenarios", Scenario::NAMES.join(","));
+    harness.note("policies", SHIPPED_POLICIES.join(","));
+    harness.note("energy_ceiling", ENERGY_CEILING);
+    emit_artifact(&harness, &gaps, "policy_scorecards");
+    emit_artifact(&harness, &transitions, "policy_transitions");
+
+    let mut report = mcdvfs_bench::quickbench::BenchReport::new(SCHEMA);
+    report.note("budget", BUDGET);
+    report.note("energy_ceiling", ENERGY_CEILING);
+    report.note("policies", SHIPPED_POLICIES.len() as f64);
+    report.note("scenarios", Scenario::NAMES.len() as f64);
+    for row in &rows {
+        let sc = &row.scorecard;
+        report.section(
+            &format!("{}@{}", policy_label(row), sc.scenario),
+            &[
+                ("energy_vs_emin", sc.energy_vs_emin),
+                ("energy_vs_oracle", sc.energy_vs_oracle),
+                ("time_vs_oracle", sc.time_vs_oracle),
+                ("deadline_misses", sc.deadline_misses as f64),
+                ("transitions", sc.transitions as f64),
+                ("cpu_transitions", sc.cpu_transitions as f64),
+                ("mem_transitions", sc.mem_transitions as f64),
+                ("searches", sc.searches as f64),
+                ("decisions", row.decisions as f64),
+                ("budget_exhaustions", row.budget_exhaustions as f64),
+            ],
+        );
+    }
+    report.write_json(&path).expect("write policy report");
+    println!("[json written to {}]", path.display());
+    harness.record_file(&path);
+    harness.finish();
+    println!(
+        "gaps are relative to the ideal oracle (exact tracking, no overheads);\n\
+         the oracle row pays the same paper-calibrated overheads as the policies."
+    );
+}
+
+fn median_gap_label(sc: &PolicyScorecard) -> String {
+    sc.median_transition_gap
+        .map_or_else(|| "-".to_string(), |g| fmt(g * 1e3, 3))
+}
+
+/// The CI `policy-smoke` gate.
+fn enforce_smoke_gate(rows: &[Row], committed: &std::path::Path) {
+    let mut failures: Vec<String> = Vec::new();
+
+    // Live run: every policy must respect the energy ceiling, and reactive
+    // must transition less than deadline-driven on the load burst.
+    let mut burst_transitions = std::collections::BTreeMap::new();
+    for row in rows {
+        let sc = &row.scorecard;
+        let label = policy_label(row);
+        if SHIPPED_POLICIES.contains(&label.as_str()) && sc.energy_vs_oracle > ENERGY_CEILING {
+            failures.push(format!(
+                "{label}@{}: energy_vs_oracle {:.4} exceeds the {ENERGY_CEILING} ceiling",
+                sc.scenario, sc.energy_vs_oracle
+            ));
+        }
+        if sc.scenario == "load_burst" {
+            burst_transitions.insert(label, sc.transitions);
+        }
+    }
+    match (
+        burst_transitions.get("reactive"),
+        burst_transitions.get("deadline"),
+    ) {
+        (Some(r), Some(d)) if r < d => {
+            println!("load_burst transitions: reactive {r} < deadline {d}");
+        }
+        (Some(r), Some(d)) => failures.push(format!(
+            "reactive must transition less than deadline on load_burst ({r} >= {d})"
+        )),
+        _ => failures.push("load_burst rows missing from the live run".to_string()),
+    }
+
+    // Committed report: schema + one row per policy x scenario + ceiling.
+    match std::fs::read_to_string(committed)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(&text))
+    {
+        Ok(doc) => {
+            match doc.get("schema").and_then(Json::as_str) {
+                Some(SCHEMA) => {}
+                other => failures.push(format!(
+                    "{}: schema {other:?}, expected {SCHEMA:?}",
+                    committed.display()
+                )),
+            }
+            for policy in SHIPPED_POLICIES {
+                for scenario in Scenario::NAMES {
+                    let key = format!("{policy}@{scenario}");
+                    let Some(section) = doc.get(&key) else {
+                        failures.push(format!("committed report lacks the {key:?} row"));
+                        continue;
+                    };
+                    let gap = section
+                        .get("energy_vs_oracle")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(f64::INFINITY);
+                    println!("recorded {key:<28} energy_vs_oracle {gap:>7.3}");
+                    if gap > ENERGY_CEILING {
+                        failures.push(format!(
+                            "committed {key}: energy_vs_oracle {gap:.3} exceeds the \
+                             {ENERGY_CEILING} ceiling"
+                        ));
+                    }
+                }
+            }
+        }
+        Err(e) => failures.push(format!("cannot read {}: {e}", committed.display())),
+    }
+
+    if failures.is_empty() {
+        println!("[policy smoke gate passed; committed report left untouched]");
+    } else {
+        for f in &failures {
+            eprintln!("[policy smoke gate] {f}");
+        }
+        std::process::exit(1);
+    }
+}

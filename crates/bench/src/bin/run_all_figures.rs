@@ -18,7 +18,7 @@ use mcdvfs_obs::fmt_ns;
 use std::process::Command;
 
 /// Every experiment binary, in paper order.
-const BINARIES: [&str; 20] = [
+const BINARIES: [&str; 21] = [
     "tab01_system_config",
     "fig01_system_stack",
     "fig02_inefficiency_speedup",
@@ -39,6 +39,7 @@ const BINARIES: [&str; 20] = [
     "ablation_edp",
     "ablation_ratelimit",
     "run_ledger",
+    "policy_eval",
 ];
 
 fn main() {

@@ -72,6 +72,7 @@ mod optimal;
 pub mod ratelimit;
 pub mod report;
 mod runner;
+mod scorecard;
 mod speedup;
 mod stable;
 pub mod sweep;
@@ -81,7 +82,8 @@ mod tuning;
 pub use clusters::{cluster_series, cluster_series_with_optimal, PerformanceCluster};
 pub use inefficiency::{imax, Inefficiency, InefficiencyBudget};
 pub use optimal::{OptimalChoice, OptimalFinder};
-pub use runner::{GovernedRun, RunReport};
+pub use runner::{GovernedRun, RunAccounting, RunReport};
+pub use scorecard::PolicyScorecard;
 pub use speedup::{speedup_of, Speedup};
 pub use stable::{stable_regions, StableRegion};
 pub use sweep::{SweepEngine, SweepOutcome, SweepPoint};

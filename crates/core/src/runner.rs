@@ -350,6 +350,80 @@ impl GovernedRun {
         report.mem_transitions = controller.mem_transition_count();
         report
     }
+
+    /// Replays `trace` under `governor` with a [`RunLedger`] attached,
+    /// verifies the ledger replays into the report's totals exactly, and
+    /// condenses the ledger into the accounting the figure binaries and
+    /// policy scorecards share: per-domain transition counts, the median
+    /// gap between hardware transitions, the mean settings evaluated per
+    /// tuning search, and the overhead share of total runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` and `data` disagree on sample count, when the
+    /// governor returns an off-grid setting, or when the ledger fails to
+    /// replay into the report (an accounting bug by construction).
+    #[must_use]
+    pub fn execute_accounted(
+        &self,
+        data: &CharacterizationGrid,
+        trace: &SampleTrace,
+        governor: &mut dyn Governor,
+    ) -> RunAccounting {
+        let mut ledger = RunLedger::unbounded();
+        let report = self.execute_recorded(data, trace, governor, &mut ledger);
+        report
+            .verify_ledger(&ledger)
+            .expect("ledger replay must match the report exactly");
+        let counts = ledger.domain_transition_counts();
+        let mut gaps = ledger.transition_interarrivals();
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+        let median_transition_gap = gaps.get(gaps.len() / 2).copied();
+        let mean_search_evaluated = ledger.search_breakdown().mean_evaluated();
+        let overhead_fraction = (report.tuning_time.value() + report.transition_time.value())
+            / report.total_time().value();
+        RunAccounting {
+            report,
+            joint_transitions: counts.joint,
+            cpu_domain_transitions: counts.cpu,
+            mem_domain_transitions: counts.mem,
+            median_transition_gap,
+            mean_search_evaluated,
+            overhead_fraction,
+        }
+    }
+}
+
+/// Ledger-verified accounting for one governed run: the [`RunReport`] plus
+/// the transition/search statistics previously recomputed by hand in each
+/// figure binary. Produced by [`GovernedRun::execute_accounted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunAccounting {
+    /// The run report the ledger was verified against.
+    pub report: RunReport,
+    /// Hardware transitions where either domain changed (each counted once).
+    pub joint_transitions: u64,
+    /// CPU-domain frequency changes.
+    pub cpu_domain_transitions: u64,
+    /// Memory-domain frequency changes.
+    pub mem_domain_transitions: u64,
+    /// Median wall-clock gap between consecutive hardware transitions, in
+    /// seconds; `None` when fewer than two transitions occurred.
+    pub median_transition_gap: Option<f64>,
+    /// Mean candidate settings evaluated per tuning search.
+    pub mean_search_evaluated: f64,
+    /// Tuning-plus-transition time as a fraction of total runtime.
+    pub overhead_fraction: f64,
+}
+
+impl RunAccounting {
+    /// The median transition gap as the figures print it: milliseconds with
+    /// three decimals, or `"-"` when undefined.
+    #[must_use]
+    pub fn median_gap_ms_label(&self) -> String {
+        self.median_transition_gap
+            .map_or_else(|| "-".to_string(), |g| crate::report::fmt(g * 1e3, 3))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,318 @@
+//! The setting catalog: what a device knows about its own knobs.
+//!
+//! Policies never see a characterization grid; they see a
+//! [`SettingCatalog`] — the device's own frequency tables, one ascending
+//! axis per DVFS domain, with every cross-product setting addressed by a
+//! flat index. Nothing in the catalog (or in the [`Policy`] trait that
+//! consumes it) names CPU or memory: a domain is just an axis position, so
+//! the same policies run unchanged on an N-domain device.
+//!
+//! For the two-domain grids of this reproduction the flat index order
+//! matches [`FrequencyGrid`] exactly (first axis major), which is what lets
+//! the governor adapter map decisions back onto grid settings without a
+//! lookup table.
+//!
+//! [`Policy`]: crate::Policy
+
+use mcdvfs_types::FrequencyGrid;
+
+/// Per-domain frequency axes with flat mixed-radix setting indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettingCatalog {
+    /// Ascending frequency steps (MHz) per domain, outermost axis first.
+    axes: Vec<Vec<f64>>,
+}
+
+impl SettingCatalog {
+    /// Builds a catalog from explicit per-domain axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no axes, any axis is empty, or any axis is not
+    /// strictly ascending and positive.
+    #[must_use]
+    pub fn new(axes: Vec<Vec<f64>>) -> Self {
+        assert!(!axes.is_empty(), "a catalog needs at least one domain");
+        for (d, axis) in axes.iter().enumerate() {
+            assert!(!axis.is_empty(), "domain {d} has no frequency steps");
+            assert!(
+                axis.windows(2).all(|w| w[0] < w[1]) && axis[0] > 0.0,
+                "domain {d} steps must be positive and strictly ascending"
+            );
+        }
+        Self { axes }
+    }
+
+    /// Builds the catalog for a two-domain [`FrequencyGrid`]; flat indices
+    /// coincide with the grid's.
+    #[must_use]
+    pub fn from_grid(grid: &FrequencyGrid) -> Self {
+        Self::new(vec![
+            grid.cpu_freqs().map(|f| f64::from(f.mhz())).collect(),
+            grid.mem_freqs().map(|f| f64::from(f.mhz())).collect(),
+        ])
+    }
+
+    /// Number of DVFS domains.
+    #[must_use]
+    pub fn n_domains(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Number of settings (product of axis lengths).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(Vec::len).product()
+    }
+
+    /// Always `false`: construction rejects empty axes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of the all-minimum setting.
+    #[must_use]
+    pub fn slowest(&self) -> usize {
+        0
+    }
+
+    /// Flat index of the all-maximum setting.
+    #[must_use]
+    pub fn fastest(&self) -> usize {
+        self.len() - 1
+    }
+
+    /// Per-domain level indices of flat index `index` (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn levels_of(&self, index: usize) -> Vec<usize> {
+        assert!(index < self.len(), "setting index {index} out of bounds");
+        let mut rest = index;
+        let mut levels = vec![0usize; self.axes.len()];
+        for (d, axis) in self.axes.iter().enumerate().rev() {
+            levels[d] = rest % axis.len();
+            rest /= axis.len();
+        }
+        levels
+    }
+
+    /// Flat index of per-domain `levels` (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the level count or any level is out of bounds.
+    #[must_use]
+    pub fn index_of_levels(&self, levels: &[usize]) -> usize {
+        assert_eq!(levels.len(), self.axes.len(), "one level per domain");
+        let mut index = 0usize;
+        for (d, axis) in self.axes.iter().enumerate() {
+            assert!(levels[d] < axis.len(), "domain {d} level out of bounds");
+            index = index * axis.len() + levels[d];
+        }
+        index
+    }
+
+    /// Frequency (MHz) of `index` on `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` or `domain` is out of bounds.
+    #[must_use]
+    pub fn frequency_mhz(&self, index: usize, domain: usize) -> f64 {
+        self.axes[domain][self.levels_of(index)[domain]]
+    }
+
+    /// Mean over domains of the setting's frequency relative to that
+    /// domain's maximum, in `(0, 1]`; `1.0` exactly at [`Self::fastest`].
+    #[must_use]
+    pub fn speed_factor(&self, index: usize) -> f64 {
+        let levels = self.levels_of(index);
+        let sum: f64 = self
+            .axes
+            .iter()
+            .zip(&levels)
+            .map(|(axis, &l)| axis[l] / axis[axis.len() - 1])
+            .sum();
+        sum / self.axes.len() as f64
+    }
+
+    /// Predicted execution time at `to`, given `time` observed at `from`:
+    /// per-domain inverse-frequency scaling blended by `weights` (one per
+    /// domain, summing to ~1 — the observed per-domain sensitivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` does not have one entry per domain.
+    #[must_use]
+    pub fn scale_time(&self, time: f64, from: usize, to: usize, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.axes.len(), "one weight per domain");
+        let (from_l, to_l) = (self.levels_of(from), self.levels_of(to));
+        self.axes
+            .iter()
+            .enumerate()
+            .map(|(d, axis)| weights[d] * time * axis[from_l[d]] / axis[to_l[d]])
+            .sum()
+    }
+
+    /// Predicted energy at `to`, given `energy` observed at `from`:
+    /// per-domain quadratic frequency scaling (dynamic energy ∝ V²·f per
+    /// unit work ≈ f²) blended by `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` does not have one entry per domain.
+    #[must_use]
+    pub fn scale_energy(&self, energy: f64, from: usize, to: usize, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.axes.len(), "one weight per domain");
+        let (from_l, to_l) = (self.levels_of(from), self.levels_of(to));
+        self.axes
+            .iter()
+            .enumerate()
+            .map(|(d, axis)| {
+                let r = axis[to_l[d]] / axis[from_l[d]];
+                weights[d] * energy * r * r
+            })
+            .sum()
+    }
+
+    /// One hysteresis step from `from` toward `target`: every domain moves
+    /// at most one level toward the target's level.
+    #[must_use]
+    pub fn step_toward(&self, from: usize, target: usize) -> usize {
+        let (mut levels, target_l) = (self.levels_of(from), self.levels_of(target));
+        for (d, level) in levels.iter_mut().enumerate() {
+            *level = match (*level).cmp(&target_l[d]) {
+                std::cmp::Ordering::Less => *level + 1,
+                std::cmp::Ordering::Greater => *level - 1,
+                std::cmp::Ordering::Equal => *level,
+            };
+        }
+        self.index_of_levels(&levels)
+    }
+
+    /// The fastest setting whose every domain runs at no more than `frac`
+    /// of that domain's maximum frequency (`frac` clamped to `[0, 1]`);
+    /// domains with no step that low fall back to their minimum.
+    #[must_use]
+    pub fn index_at_fraction(&self, frac: f64) -> usize {
+        let frac = frac.clamp(0.0, 1.0);
+        let levels: Vec<usize> = self
+            .axes
+            .iter()
+            .map(|axis| {
+                let max = axis[axis.len() - 1];
+                axis.iter()
+                    .rposition(|&f| f / max <= frac + 1e-12)
+                    .unwrap_or(0)
+            })
+            .collect();
+        self.index_of_levels(&levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> SettingCatalog {
+        SettingCatalog::from_grid(&FrequencyGrid::coarse())
+    }
+
+    #[test]
+    fn indices_coincide_with_the_grid() {
+        let grid = FrequencyGrid::coarse();
+        let c = SettingCatalog::from_grid(&grid);
+        assert_eq!(c.len(), grid.len());
+        assert_eq!(c.n_domains(), 2);
+        for i in 0..grid.len() {
+            let s = grid.get(i).unwrap();
+            assert_eq!(c.frequency_mhz(i, 0), f64::from(s.cpu.mhz()), "cpu @ {i}");
+            assert_eq!(c.frequency_mhz(i, 1), f64::from(s.mem.mhz()), "mem @ {i}");
+        }
+        assert_eq!(grid.get(c.fastest()).unwrap(), grid.max_setting());
+        assert_eq!(grid.get(c.slowest()).unwrap(), grid.min_setting());
+    }
+
+    #[test]
+    fn levels_round_trip() {
+        let c = catalog();
+        for i in 0..c.len() {
+            assert_eq!(c.index_of_levels(&c.levels_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn speed_factor_is_one_only_at_fastest() {
+        let c = catalog();
+        assert!((c.speed_factor(c.fastest()) - 1.0).abs() < 1e-12);
+        for i in 0..c.len() - 1 {
+            assert!(c.speed_factor(i) < 1.0, "index {i}");
+        }
+    }
+
+    #[test]
+    fn scaling_is_identity_on_the_same_setting() {
+        let c = catalog();
+        let w = [0.6, 0.4];
+        for i in [0, 7, c.fastest()] {
+            assert!((c.scale_time(2.0, i, i, &w) - 2.0).abs() < 1e-12);
+            assert!((c.scale_energy(3.0, i, i, &w) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slower_settings_predict_longer_and_cheaper() {
+        let c = catalog();
+        let w = [0.5, 0.5];
+        let (fast, slow) = (c.fastest(), c.slowest());
+        assert!(c.scale_time(1.0, fast, slow, &w) > 1.0);
+        assert!(c.scale_energy(1.0, fast, slow, &w) < 1.0);
+    }
+
+    #[test]
+    fn step_toward_moves_one_level_per_domain() {
+        let c = catalog();
+        let from = c.fastest();
+        let target = c.slowest();
+        let next = c.step_toward(from, target);
+        let (fl, nl) = (c.levels_of(from), c.levels_of(next));
+        for d in 0..c.n_domains() {
+            assert_eq!(nl[d] + 1, fl[d], "domain {d} steps down by one");
+        }
+        assert_eq!(c.step_toward(from, from), from);
+    }
+
+    #[test]
+    fn index_at_fraction_hits_the_extremes() {
+        let c = catalog();
+        assert_eq!(c.index_at_fraction(0.0), c.slowest());
+        assert_eq!(c.index_at_fraction(1.0), c.fastest());
+        assert_eq!(c.index_at_fraction(-3.0), c.slowest());
+        assert_eq!(c.index_at_fraction(9.0), c.fastest());
+    }
+
+    #[test]
+    fn generalizes_to_three_domains() {
+        let c = SettingCatalog::new(vec![
+            vec![100.0, 200.0],
+            vec![50.0, 100.0, 150.0],
+            vec![10.0, 20.0],
+        ]);
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.n_domains(), 3);
+        for i in 0..c.len() {
+            assert_eq!(c.index_of_levels(&c.levels_of(i)), i);
+        }
+        assert_eq!(c.levels_of(c.fastest()), vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_axis_panics() {
+        let _ = SettingCatalog::new(vec![vec![200.0, 100.0]]);
+    }
+}

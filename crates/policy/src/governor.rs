@@ -1,0 +1,240 @@
+//! The environment adapter: runs a [`Policy`] as a core `Governor`.
+//!
+//! The adapter is the *device side* of the partial-information contract.
+//! It owns everything a policy is not allowed to see — the characterized
+//! trace (only to translate a scenario's deadline slacks into absolute
+//! deadlines and its budget into an energy envelope, exactly what a QoS
+//! layer supplies on real hardware), the frequency grid, and the previous
+//! interval's [`Observation`] — and narrows all of it into the
+//! [`StepContext`]/[`Feedback`] the [`Policy`] trait permits. The policy's
+//! flat index decisions map back onto grid settings one-to-one.
+
+use crate::catalog::SettingCatalog;
+use crate::policy::{Feedback, Policy, PolicyDecision, StepContext};
+use mcdvfs_core::governor::{Decision, Governor, Observation};
+use mcdvfs_core::InefficiencyBudget;
+use mcdvfs_sim::CharacterizationGrid;
+use mcdvfs_types::{fnv1a64, FreqSetting, FrequencyGrid, Seconds};
+use mcdvfs_workloads::Scenario;
+
+/// Decision counters accumulated across one policy replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyCounters {
+    /// Intervals decided.
+    pub decisions: u64,
+    /// Decisions where no setting fit the remaining energy envelope.
+    pub budget_exhaustions: u64,
+}
+
+/// Adapts a [`Policy`] to the [`Governor`] interface of the governed
+/// runner, so policies get the same ledger-verified accounting as oracles.
+pub struct PolicyGovernor {
+    policy: Box<dyn Policy>,
+    name: String,
+    grid: FrequencyGrid,
+    catalog: SettingCatalog,
+    contexts: Vec<StepContext>,
+    counters: PolicyCounters,
+}
+
+impl PolicyGovernor {
+    /// Builds the adapter for one replay of `policy` under `scenario` over
+    /// the characterized trace `data` with inefficiency budget `budget`.
+    ///
+    /// The scenario's per-interval deadline slack becomes an absolute
+    /// deadline (slack × the interval's time at the fastest setting); a
+    /// bounded budget becomes a flat per-interval energy allowance of
+    /// `budget × Emin / intervals`. Scenario context cycles when the trace
+    /// is longer than the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` has no samples.
+    #[must_use]
+    pub fn new(
+        policy: Box<dyn Policy>,
+        scenario: &Scenario,
+        data: &CharacterizationGrid,
+        budget: InefficiencyBudget,
+    ) -> Self {
+        let n = data.n_samples();
+        assert!(n > 0, "cannot replay a policy over an empty trace");
+        let grid = data.grid();
+        let fastest = grid.max_setting();
+        let allowance = budget
+            .bound()
+            .map_or(f64::INFINITY, |b| b * data.total_emin().value() / n as f64);
+        let contexts = (0..n)
+            .map(|s| {
+                let step = scenario.context(s);
+                let fast_time = data
+                    .measurement_at(s, fastest)
+                    .expect("maximum setting is on the grid")
+                    .time
+                    .value();
+                StepContext {
+                    battery_fraction: step.battery_fraction,
+                    temperature_c: step.temperature_c,
+                    load: step.load,
+                    deadline: step.deadline_slack * fast_time,
+                    energy_allowance: allowance,
+                }
+            })
+            .collect();
+        let name = format!("policy-{}@{}", policy.name(), scenario.name());
+        Self {
+            policy,
+            name,
+            grid,
+            catalog: SettingCatalog::from_grid(&grid),
+            contexts,
+            counters: PolicyCounters::default(),
+        }
+    }
+
+    /// The absolute per-interval deadlines this replay enforces (for
+    /// scorecard miss accounting).
+    #[must_use]
+    pub fn deadlines(&self) -> Vec<Seconds> {
+        self.contexts
+            .iter()
+            .map(|c| Seconds::new(c.deadline))
+            .collect()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> PolicyCounters {
+        self.counters
+    }
+
+    /// FNV-1a hash of the policy name — the cache key component serve uses
+    /// for `policy_replay` replies.
+    #[must_use]
+    pub fn policy_hash(&self) -> u64 {
+        fnv1a64(self.policy.name().as_bytes())
+    }
+
+    fn feedback_from(&self, prev: &Observation) -> Feedback {
+        let index = self
+            .grid
+            .index_of(prev.setting)
+            .expect("observed setting came from this grid");
+        let energy = prev.measurement.energy().value();
+        let n = self.catalog.n_domains();
+        let domain_weights = if energy > 0.0 {
+            // Rail-level attribution: the first axis is the CPU domain,
+            // the second the memory domain.
+            vec![
+                prev.measurement.cpu_energy.value() / energy,
+                prev.measurement.mem_energy.value() / energy,
+            ]
+        } else {
+            vec![1.0 / n as f64; n]
+        };
+        Feedback {
+            index,
+            time: prev.measurement.time.value(),
+            energy,
+            domain_weights,
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicyGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyGovernor")
+            .field("name", &self.name)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Governor for PolicyGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, next_sample: usize, prev: Option<&Observation>) -> Decision {
+        let feedback = prev.map(|o| self.feedback_from(o));
+        let ctx = self.contexts[next_sample];
+        let PolicyDecision {
+            index,
+            evaluated,
+            budget_exhausted,
+        } = self.policy.decide(&self.catalog, &ctx, feedback.as_ref());
+        self.counters.decisions += 1;
+        self.counters.budget_exhaustions += u64::from(budget_exhausted);
+        let setting: FreqSetting = self
+            .grid
+            .get(index)
+            .expect("policy returned an in-catalog index");
+        Decision {
+            setting,
+            settings_evaluated: evaluated,
+            region_start: evaluated > 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::build_policy;
+    use mcdvfs_core::GovernedRun;
+    use mcdvfs_sim::System;
+    use mcdvfs_types::FrequencyGrid;
+
+    fn characterized(scenario: &Scenario) -> CharacterizationGrid {
+        CharacterizationGrid::characterize(
+            &System::galaxy_nexus_class(),
+            scenario.trace(),
+            FrequencyGrid::coarse(),
+        )
+    }
+
+    #[test]
+    fn policies_replay_through_the_governed_runner() {
+        let scenario = Scenario::load_burst();
+        let data = characterized(&scenario);
+        let budget = InefficiencyBudget::bounded(1.3).unwrap();
+        for name in crate::SHIPPED_POLICIES {
+            let mut governor =
+                PolicyGovernor::new(build_policy(name).unwrap(), &scenario, &data, budget);
+            let report =
+                GovernedRun::with_paper_overheads().execute(&data, scenario.trace(), &mut governor);
+            assert_eq!(report.governor, format!("policy-{name}@load_burst"));
+            assert_eq!(report.sample_settings.len(), scenario.len());
+            let counters = governor.counters();
+            assert_eq!(counters.decisions, scenario.len() as u64);
+        }
+    }
+
+    #[test]
+    fn deadlines_align_with_the_trace_and_are_positive() {
+        let scenario = Scenario::battery_drain();
+        let data = characterized(&scenario);
+        let governor = PolicyGovernor::new(
+            build_policy("deadline").unwrap(),
+            &scenario,
+            &data,
+            InefficiencyBudget::bounded(1.3).unwrap(),
+        );
+        let deadlines = governor.deadlines();
+        assert_eq!(deadlines.len(), data.n_samples());
+        assert!(deadlines.iter().all(|d| d.value() > 0.0));
+    }
+
+    #[test]
+    fn policy_hash_is_the_fnv_of_the_policy_name() {
+        let scenario = Scenario::load_burst();
+        let data = characterized(&scenario);
+        let governor = PolicyGovernor::new(
+            build_policy("reactive").unwrap(),
+            &scenario,
+            &data,
+            InefficiencyBudget::Unconstrained,
+        );
+        assert_eq!(governor.policy_hash(), fnv1a64(b"reactive"));
+    }
+}

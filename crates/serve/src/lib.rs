@@ -14,6 +14,8 @@
 //! * `Cluster {budget, threshold}` — performance-equivalent clusters,
 //! * `StableRegions {budget, threshold}` — maximal stable runs,
 //! * `GovernedReplay {governor, budget}` — overhead-charged replays,
+//! * `PolicyReplay {policy, budget, scenario}` — online-policy replays
+//!   over a scenario's context stream, scored against the ideal oracle,
 //! * `Stats` / `Health` — observability and liveness,
 //! * `Telemetry` / `TraceDump {limit, slow_only}` — windowed telemetry
 //!   series, histogram summaries, and request-level flight records.
@@ -81,8 +83,8 @@ pub use cache::{CacheKey, ShardedLru};
 pub use client::{Client, ClientPool};
 pub use protocol::{
     read_frame, write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireHistogram,
-    WireRegion, WireReport, WireShard, WireStage, WireStats, WireTelemetry, WireTrace, WireWindow,
-    MAX_FRAME_BYTES,
+    WirePolicyCounters, WirePolicyReport, WireRegion, WireReport, WireShard, WireStage, WireStats,
+    WireTelemetry, WireTrace, WireWindow, MAX_FRAME_BYTES,
 };
 pub use server::{ServeState, Server, ServerConfig, ServerHandle};
 pub use shard::TenantSpec;

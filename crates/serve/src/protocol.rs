@@ -123,6 +123,16 @@ pub enum Request {
         /// The inefficiency budget the oracle plan optimizes under.
         budget: InefficiencyBudget,
     },
+    /// Replay the trace under an online policy over a scenario's context
+    /// stream and report its oracle-gap scorecard.
+    PolicyReplay {
+        /// Shipped policy name (`deadline`, `energy_budget`, `reactive`).
+        policy: String,
+        /// The inefficiency budget the energy envelope derives from.
+        budget: InefficiencyBudget,
+        /// Shipped scenario name whose context stream drives the policy.
+        scenario: String,
+    },
     /// Server metric snapshot.
     Stats,
     /// Liveness probe and characterization identity.
@@ -148,6 +158,7 @@ impl Request {
             Request::Cluster { .. } => "cluster",
             Request::StableRegions { .. } => "stable_regions",
             Request::GovernedReplay { .. } => "governed_replay",
+            Request::PolicyReplay { .. } => "policy_replay",
             Request::Stats => "stats",
             Request::Health => "health",
             Request::Telemetry => "telemetry",
@@ -187,6 +198,15 @@ impl Request {
             Request::GovernedReplay { governor, budget } => {
                 members.push(("governor".to_string(), Json::Str(governor.clone())));
                 members.push(("budget".to_string(), budget_to_json(*budget)));
+            }
+            Request::PolicyReplay {
+                policy,
+                budget,
+                scenario,
+            } => {
+                members.push(("policy".to_string(), Json::Str(policy.clone())));
+                members.push(("budget".to_string(), budget_to_json(*budget)));
+                members.push(("scenario".to_string(), Json::Str(scenario.clone())));
             }
             Request::TraceDump { limit, slow_only } => {
                 members.push(("limit".to_string(), num(*limit as u64)));
@@ -256,6 +276,19 @@ impl Request {
                     .ok_or("request missing string 'governor'")?
                     .to_string(),
                 budget: budget()?,
+            }),
+            "policy_replay" => Ok(Request::PolicyReplay {
+                policy: doc
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or("request missing string 'policy'")?
+                    .to_string(),
+                budget: budget()?,
+                scenario: doc
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .ok_or("request missing string 'scenario'")?
+                    .to_string(),
             }),
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
@@ -367,6 +400,43 @@ pub struct WireReport {
     pub total_emin_j: f64,
 }
 
+/// The oracle-gap scorecard a `PolicyReplay` query returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePolicyReport {
+    /// Shipped policy name the replay ran.
+    pub policy: String,
+    /// Shipped scenario whose context stream drove the policy.
+    pub scenario: String,
+    /// Policy decisions the engine made (one per interval).
+    pub decisions: u64,
+    /// Intervals whose execution time exceeded their deadline.
+    pub deadline_misses: u64,
+    /// Intervals where no setting fit the remaining energy envelope.
+    pub budget_exhaustions: u64,
+    /// Total energy over the per-sample minimum (≥ 1).
+    pub energy_vs_emin: f64,
+    /// Total energy over the ideal oracle's at the same budget.
+    pub energy_vs_oracle: f64,
+    /// Overhead-adjusted runtime over the ideal oracle's.
+    pub time_vs_oracle: f64,
+    /// Full governed-run report of the policy replay.
+    pub report: WireReport,
+}
+
+/// Policy-engine counters inside [`WireStats`] and [`WireTelemetry`]
+/// replies, aggregated over every shard's `policy_replay` computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WirePolicyCounters {
+    /// Policy decisions made across all replays.
+    pub decisions: u64,
+    /// Hardware transitions those decisions caused.
+    pub transitions: u64,
+    /// Intervals that missed their deadline.
+    pub deadline_misses: u64,
+    /// Intervals where no setting fit the energy envelope.
+    pub budget_exhaustions: u64,
+}
+
 /// One live engine shard's metrics inside a [`WireStats`] reply.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireShard {
@@ -407,6 +477,8 @@ pub struct WireStats {
     pub evictions: u64,
     /// Per-shard metrics, sorted by workload name.
     pub shards: Vec<WireShard>,
+    /// Aggregated policy-engine counters across all shards.
+    pub policy: WirePolicyCounters,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Compute requests currently queued or running (live gauge, not a
@@ -471,6 +543,8 @@ pub struct WireTelemetry {
     pub histograms: Vec<WireHistogram>,
     /// Per-shard compute-latency summaries (`name` is the workload).
     pub shard_compute: Vec<WireHistogram>,
+    /// Aggregated policy-engine counters across all shards.
+    pub policy: WirePolicyCounters,
     /// Flight records committed since startup.
     pub flight_recorded: u64,
     /// Flight records evicted from the bounded ring.
@@ -537,6 +611,8 @@ pub enum Response {
     StableRegions(Vec<WireRegion>),
     /// Answer to [`Request::GovernedReplay`].
     GovernedReplay(WireReport),
+    /// Answer to [`Request::PolicyReplay`].
+    PolicyReplay(WirePolicyReport),
     /// Answer to [`Request::Stats`].
     Stats(WireStats),
     /// Answer to [`Request::Health`].
@@ -560,6 +636,7 @@ impl Response {
             Response::Cluster(_) => "cluster",
             Response::StableRegions(_) => "stable_regions",
             Response::GovernedReplay(_) => "governed_replay",
+            Response::PolicyReplay(_) => "policy_replay",
             Response::Stats(_) => "stats",
             Response::Health(_) => "health",
             Response::Telemetry(_) => "telemetry",
@@ -602,6 +679,21 @@ impl Response {
             Response::GovernedReplay(report) => {
                 Json::Obj(vec![tag, ("report".to_string(), report_to_json(report))])
             }
+            Response::PolicyReplay(p) => Json::Obj(vec![
+                tag,
+                ("policy".to_string(), Json::Str(p.policy.clone())),
+                ("scenario".to_string(), Json::Str(p.scenario.clone())),
+                ("decisions".to_string(), num(p.decisions)),
+                ("deadline_misses".to_string(), num(p.deadline_misses)),
+                ("budget_exhaustions".to_string(), num(p.budget_exhaustions)),
+                ("energy_vs_emin".to_string(), Json::Num(p.energy_vs_emin)),
+                (
+                    "energy_vs_oracle".to_string(),
+                    Json::Num(p.energy_vs_oracle),
+                ),
+                ("time_vs_oracle".to_string(), Json::Num(p.time_vs_oracle)),
+                ("report".to_string(), report_to_json(&p.report)),
+            ]),
             Response::Stats(stats) => Json::Obj(vec![
                 tag,
                 ("requests".to_string(), num(stats.requests)),
@@ -616,6 +708,7 @@ impl Response {
                     "shards".to_string(),
                     Json::Arr(stats.shards.iter().map(shard_to_json).collect()),
                 ),
+                ("policy".to_string(), policy_counters_to_json(&stats.policy)),
                 ("uptime_ms".to_string(), num(stats.uptime_ms)),
                 (
                     "requests_in_flight".to_string(),
@@ -651,6 +744,7 @@ impl Response {
                     "shard_compute".to_string(),
                     Json::Arr(t.shard_compute.iter().map(histogram_to_json).collect()),
                 ),
+                ("policy".to_string(), policy_counters_to_json(&t.policy)),
                 ("flight_recorded".to_string(), num(t.flight_recorded)),
                 ("flight_dropped".to_string(), num(t.flight_dropped)),
                 ("flight_slow".to_string(), num(t.flight_slow)),
@@ -701,6 +795,17 @@ impl Response {
             "governed_replay" => Ok(Response::GovernedReplay(report_from_json(
                 doc.get("report").ok_or("reply missing 'report'")?,
             )?)),
+            "policy_replay" => Ok(Response::PolicyReplay(WirePolicyReport {
+                policy: get_str(&doc, "policy")?,
+                scenario: get_str(&doc, "scenario")?,
+                decisions: get_u64(&doc, "decisions")?,
+                deadline_misses: get_u64(&doc, "deadline_misses")?,
+                budget_exhaustions: get_u64(&doc, "budget_exhaustions")?,
+                energy_vs_emin: get_f64(&doc, "energy_vs_emin")?,
+                energy_vs_oracle: get_f64(&doc, "energy_vs_oracle")?,
+                time_vs_oracle: get_f64(&doc, "time_vs_oracle")?,
+                report: report_from_json(doc.get("report").ok_or("reply missing 'report'")?)?,
+            })),
             "stats" => Ok(Response::Stats(WireStats {
                 requests: get_u64(&doc, "requests")?,
                 cache_hits: get_u64(&doc, "cache_hits")?,
@@ -711,6 +816,7 @@ impl Response {
                 engines: get_u64(&doc, "engines")?,
                 evictions: get_u64(&doc, "evictions")?,
                 shards: arr_of(&doc, "shards", shard_from_json)?,
+                policy: policy_counters_from_json(&doc)?,
                 uptime_ms: get_u64(&doc, "uptime_ms")?,
                 requests_in_flight: get_u64(&doc, "requests_in_flight")?,
                 rendered: get_str(&doc, "rendered")?,
@@ -729,6 +835,7 @@ impl Response {
                 windows: arr_of(&doc, "windows", window_from_json)?,
                 histograms: arr_of(&doc, "histograms", histogram_from_json)?,
                 shard_compute: arr_of(&doc, "shard_compute", histogram_from_json)?,
+                policy: policy_counters_from_json(&doc)?,
                 flight_recorded: get_u64(&doc, "flight_recorded")?,
                 flight_dropped: get_u64(&doc, "flight_dropped")?,
                 flight_slow: get_u64(&doc, "flight_slow")?,
@@ -881,6 +988,25 @@ fn region_from_json(doc: &Json) -> Result<WireRegion, String> {
         cpu_mhz: get_u64(doc, "cpu_mhz")? as u32,
         mem_mhz: get_u64(doc, "mem_mhz")? as u32,
         available: get_indices(doc, "available")?,
+    })
+}
+
+fn policy_counters_to_json(p: &WirePolicyCounters) -> Json {
+    Json::Obj(vec![
+        ("decisions".to_string(), num(p.decisions)),
+        ("transitions".to_string(), num(p.transitions)),
+        ("deadline_misses".to_string(), num(p.deadline_misses)),
+        ("budget_exhaustions".to_string(), num(p.budget_exhaustions)),
+    ])
+}
+
+fn policy_counters_from_json(doc: &Json) -> Result<WirePolicyCounters, String> {
+    let p = doc.get("policy").ok_or("reply missing 'policy'")?;
+    Ok(WirePolicyCounters {
+        decisions: get_u64(p, "decisions")?,
+        transitions: get_u64(p, "transitions")?,
+        deadline_misses: get_u64(p, "deadline_misses")?,
+        budget_exhaustions: get_u64(p, "budget_exhaustions")?,
     })
 }
 
@@ -1086,6 +1212,11 @@ mod tests {
                 governor: "paper".to_string(),
                 budget: InefficiencyBudget::bounded(1.6).unwrap(),
             },
+            Request::PolicyReplay {
+                policy: "reactive".to_string(),
+                budget: InefficiencyBudget::bounded(1.3).unwrap(),
+                scenario: "load_burst".to_string(),
+            },
             Request::Stats,
             Request::Health,
             Request::Telemetry,
@@ -1157,6 +1288,30 @@ mod tests {
                 searches: 30,
                 total_emin_j: 1.1,
             }),
+            Response::PolicyReplay(WirePolicyReport {
+                policy: "reactive".to_string(),
+                scenario: "load_burst".to_string(),
+                decisions: 48,
+                deadline_misses: 3,
+                budget_exhaustions: 0,
+                energy_vs_emin: 1.0 / 3.0 + 1.0,
+                energy_vs_oracle: 0.1 + 0.2,
+                time_vs_oracle: 1.25,
+                report: WireReport {
+                    governor: "policy-reactive@load_burst".to_string(),
+                    work_time_s: 2.5,
+                    work_energy_j: 1.25,
+                    tuning_time_s: 0.001,
+                    tuning_energy_j: 0.0005,
+                    transition_time_s: 0.002,
+                    transition_energy_j: 0.0001,
+                    transitions: 15,
+                    cpu_transitions: 15,
+                    mem_transitions: 14,
+                    searches: 16,
+                    total_emin_j: 1.1,
+                },
+            }),
             Response::Stats(WireStats {
                 requests: 100,
                 cache_hits: 40,
@@ -1186,6 +1341,12 @@ mod tests {
                         pinned: true,
                     },
                 ],
+                policy: WirePolicyCounters {
+                    decisions: 96,
+                    transitions: 19,
+                    deadline_misses: 4,
+                    budget_exhaustions: 1,
+                },
                 uptime_ms: 120_500,
                 requests_in_flight: 3,
                 rendered: "counter requests.total 100\n".to_string(),
@@ -1228,6 +1389,7 @@ mod tests {
                     p95_ns: 800_000.0,
                     max_ns: 900_000.0,
                 }],
+                policy: WirePolicyCounters::default(),
                 flight_recorded: 120,
                 flight_dropped: 8,
                 flight_slow: 2,

@@ -560,6 +560,7 @@ fn handle_payload(
             engines: ctx.map.resident() as u64,
             evictions: ctx.map.evictions(),
             shards: ctx.map.wire_rows(),
+            policy: ctx.map.policy_counters(),
             uptime_ms: ctx.tel.uptime_ms(),
             requests_in_flight: ctx.tel.in_flight.get(),
             rendered: snapshot.render(),
@@ -722,6 +723,7 @@ fn build_telemetry(ctx: &Ctx) -> WireTelemetry {
         windows,
         histograms,
         shard_compute,
+        policy: ctx.map.policy_counters(),
         flight_recorded: counts.recorded,
         flight_dropped: counts.dropped,
         flight_slow: counts.slow,

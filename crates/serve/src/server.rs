@@ -336,6 +336,16 @@ pub(crate) fn cache_key(fingerprint: u64, request: &Request) -> Option<CacheKey>
         Request::GovernedReplay { governor, budget } => {
             (3, budget_bits(budget), 0, fnv1a64(governor.as_bytes()))
         }
+        Request::PolicyReplay {
+            policy,
+            budget,
+            scenario,
+        } => (
+            4,
+            budget_bits(budget),
+            fnv1a64(scenario.as_bytes()),
+            fnv1a64(policy.as_bytes()),
+        ),
         Request::Stats | Request::Health | Request::Telemetry | Request::TraceDump { .. } => {
             return None
         }
@@ -370,6 +380,11 @@ mod tests {
             Request::GovernedReplay {
                 governor: "paper".to_string(),
                 budget: b,
+            },
+            Request::PolicyReplay {
+                policy: "reactive".to_string(),
+                budget: b,
+                scenario: "load_burst".to_string(),
             },
         ];
         let mut kinds = std::collections::HashSet::new();

@@ -24,11 +24,13 @@
 
 use crate::cache::{CacheKey, ShardedLru};
 use crate::protocol::{
-    Request, Response, WireChoice, WireCluster, WireRegion, WireReport, WireShard,
+    Request, Response, WireChoice, WireCluster, WirePolicyCounters, WirePolicyReport, WireRegion,
+    WireReport, WireShard,
 };
 use crate::server::ServerConfig;
-use mcdvfs_core::{GovernedRun, RunReport, SweepEngine};
+use mcdvfs_core::{GovernedRun, PolicyScorecard, RunReport, SweepEngine};
 use mcdvfs_obs::{FlightRecorder, MetricSet, Outcome, Profiler, RequestTrace, Stage};
+use mcdvfs_policy::{build_policy, PolicyGovernor, SHIPPED_POLICIES};
 use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::SampleTrace;
@@ -120,6 +122,12 @@ pub(crate) struct ShardCore {
     pub requests: AtomicU64,
     pub hits: AtomicU64,
     pub misses: AtomicU64,
+    /// Policy-engine counters accumulated by `policy_replay` computes
+    /// (cache hits replay nothing, so they do not count).
+    pub policy_decisions: AtomicU64,
+    pub policy_transitions: AtomicU64,
+    pub policy_deadline_misses: AtomicU64,
+    pub policy_budget_exhaustions: AtomicU64,
     pub worker_metrics: Vec<Mutex<MetricSet>>,
     /// Shared timestamp base for flight-record stamps (workers never
     /// commit — the reactor does, after the write flush).
@@ -325,6 +333,10 @@ impl ShardMap {
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            policy_decisions: AtomicU64::new(0),
+            policy_transitions: AtomicU64::new(0),
+            policy_deadline_misses: AtomicU64::new(0),
+            policy_budget_exhaustions: AtomicU64::new(0),
             worker_metrics: (0..self.workers_per_shard)
                 .map(|_| Mutex::new(MetricSet::new()))
                 .collect(),
@@ -385,6 +397,19 @@ impl ShardMap {
         let mut rows: Vec<WireShard> = shards.values().map(|h| h.core.wire_row(h.pinned)).collect();
         rows.sort_by(|a, b| a.workload.cmp(&b.workload));
         rows
+    }
+
+    /// Sums every core's policy-engine counters (live and evicted, so
+    /// totals survive eviction like merged metrics do).
+    pub fn policy_counters(&self) -> WirePolicyCounters {
+        let mut total = WirePolicyCounters::default();
+        for core in self.cores.lock().expect("core list poisoned").iter() {
+            total.decisions += core.policy_decisions.load(Ordering::Relaxed);
+            total.transitions += core.policy_transitions.load(Ordering::Relaxed);
+            total.deadline_misses += core.policy_deadline_misses.load(Ordering::Relaxed);
+            total.budget_exhaustions += core.policy_budget_exhaustions.load(Ordering::Relaxed);
+        }
+        total
     }
 
     /// Merges every core's worker metric slots (live and evicted) into
@@ -612,6 +637,62 @@ fn compute(core: &ShardCore, request: &Request) -> Response {
                 .pop()
                 .expect("one budget yields one report");
             Response::GovernedReplay(wire_report(&report))
+        }
+        Request::PolicyReplay {
+            policy,
+            budget,
+            scenario,
+        } => {
+            let Some(policy_box) = build_policy(policy) else {
+                return Response::Error(format!(
+                    "unknown policy {policy:?}; shipped policies: {}",
+                    SHIPPED_POLICIES.join(", ")
+                ));
+            };
+            let Some(scenario) = mcdvfs_workloads::Scenario::by_name(scenario) else {
+                return Response::Error(format!(
+                    "unknown scenario {scenario:?}; shipped scenarios: {}",
+                    mcdvfs_workloads::Scenario::NAMES.join(", ")
+                ));
+            };
+            // Ideal-oracle reference at the same budget, over this
+            // tenant's own trace (the scenario's context stream cycles
+            // over it, so any tenant length works).
+            let reference = engine
+                .governed_reports(&GovernedRun::without_overheads(), &core.trace, &[*budget])
+                .pop()
+                .expect("one budget yields one report");
+            let mut governor = PolicyGovernor::new(policy_box, &scenario, data, *budget);
+            let deadlines = governor.deadlines();
+            let scorecard = PolicyScorecard::score(
+                &GovernedRun::with_paper_overheads(),
+                data,
+                &core.trace,
+                &mut governor,
+                &deadlines,
+                scenario.name(),
+                &reference,
+            );
+            let counters = governor.counters();
+            core.policy_decisions
+                .fetch_add(counters.decisions, Ordering::Relaxed);
+            core.policy_transitions
+                .fetch_add(scorecard.transitions, Ordering::Relaxed);
+            core.policy_deadline_misses
+                .fetch_add(scorecard.deadline_misses, Ordering::Relaxed);
+            core.policy_budget_exhaustions
+                .fetch_add(counters.budget_exhaustions, Ordering::Relaxed);
+            Response::PolicyReplay(WirePolicyReport {
+                policy: policy.clone(),
+                scenario: scorecard.scenario.clone(),
+                decisions: counters.decisions,
+                deadline_misses: scorecard.deadline_misses,
+                budget_exhaustions: counters.budget_exhaustions,
+                energy_vs_emin: scorecard.energy_vs_emin,
+                energy_vs_oracle: scorecard.energy_vs_oracle,
+                time_vs_oracle: scorecard.time_vs_oracle,
+                report: wire_report(&scorecard.report),
+            })
         }
         Request::Stats | Request::Health | Request::Telemetry | Request::TraceDump { .. } => {
             Response::Error(format!("{} is answered inline", request.kind()))

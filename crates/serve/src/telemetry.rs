@@ -176,6 +176,7 @@ mod tests {
             engines: 1,
             evictions: 0,
             shards: Vec::new(),
+            policy: crate::protocol::WirePolicyCounters::default(),
             uptime_ms: 10,
             requests_in_flight: 0,
             rendered: String::new(),
@@ -196,6 +197,7 @@ mod tests {
                 max_ns: p95 * 2.0,
             }],
             shard_compute: Vec::new(),
+            policy: crate::protocol::WirePolicyCounters::default(),
             flight_recorded: 8,
             flight_dropped: 0,
             flight_slow: 0,

@@ -31,12 +31,14 @@
 
 mod io;
 mod phases;
+mod scenario;
 mod spec;
 mod stats;
 mod trace;
 
 pub use io::{trace_from_text, trace_to_text, ParseTraceError};
 pub use phases::{Pattern, Phase, PhaseScript};
+pub use scenario::{Scenario, ScenarioStep};
 pub use spec::{Benchmark, ParseBenchmarkError};
 pub use stats::TraceStats;
 pub use trace::SampleTrace;

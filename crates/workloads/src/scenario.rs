@@ -1,0 +1,340 @@
+//! Device scenarios: a workload trace paired with per-interval context.
+//!
+//! Oracle governors replay a characterization grid with perfect knowledge;
+//! an *online* policy instead reacts to what the device can actually see at
+//! run time — remaining battery, die temperature, offered load, and the QoS
+//! deadline granted to each interval. A [`Scenario`] bundles a seeded
+//! synthetic workload ([`SampleTrace`]) with one [`ScenarioStep`] of that
+//! context per sample, so policy replays are deterministic end to end.
+//!
+//! Three seeded scenarios ship, one per stress axis:
+//!
+//! * [`Scenario::battery_drain`] — the battery ramps from full to nearly
+//!   empty while the working set grows; tests energy-envelope policies;
+//! * [`Scenario::thermal_throttle`] — a compute-heavy trace with a hot
+//!   mid-run temperature step; tests thermal clamping;
+//! * [`Scenario::load_burst`] — offered load alternates between idle and
+//!   bursts with tight burst deadlines; tests transition hysteresis.
+//!
+//! Deadlines are carried as *slack factors* rather than absolute seconds:
+//! the environment replaying a scenario multiplies the slack by the
+//! interval's execution time at the fastest setting, so the same scenario
+//! is meaningful over any characterized trace.
+
+use crate::phases::{Pattern, Phase, PhaseScript};
+use crate::trace::SampleTrace;
+use mcdvfs_types::SampleCharacteristics;
+
+/// Per-interval device context visible to an online policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioStep {
+    /// Remaining battery charge as a fraction of capacity, in `[0, 1]`.
+    pub battery_fraction: f64,
+    /// Die temperature in degrees Celsius.
+    pub temperature_c: f64,
+    /// Offered utilisation in `[0, 1]` — how busy the device is asked to be.
+    pub load: f64,
+    /// Deadline slack factor (≥ 1): the interval deadline is this multiple
+    /// of the interval's execution time at the fastest setting.
+    pub deadline_slack: f64,
+}
+
+impl ScenarioStep {
+    fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.battery_fraction)
+            && self.temperature_c.is_finite()
+            && (0.0..=1.0).contains(&self.load)
+            && self.deadline_slack.is_finite()
+            && self.deadline_slack >= 1.0
+    }
+}
+
+/// A seeded workload trace plus one [`ScenarioStep`] per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    trace: SampleTrace,
+    steps: Vec<ScenarioStep>,
+}
+
+/// Builds characteristics with every knob explicit (`write_frac` fixed at
+/// the suite-wide 0.3).
+fn chars(
+    cpi: f64,
+    mpki: f64,
+    mlp: f64,
+    row_hit: f64,
+    exposure: f64,
+    activity: f64,
+) -> SampleCharacteristics {
+    SampleCharacteristics {
+        base_cpi: cpi,
+        mpki,
+        write_frac: 0.3,
+        row_hit_rate: row_hit,
+        mlp,
+        stall_exposure: exposure,
+        activity_factor: activity,
+    }
+}
+
+impl Scenario {
+    /// Names of the shipped scenarios, in presentation order.
+    pub const NAMES: [&'static str; 3] = ["battery_drain", "thermal_throttle", "load_burst"];
+
+    /// Samples per shipped scenario.
+    pub const SAMPLES: usize = 48;
+
+    /// Builds a custom scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps` is empty, its length differs from the trace
+    /// length, or any step carries an out-of-range value.
+    #[must_use]
+    pub fn new(name: &str, trace: SampleTrace, steps: Vec<ScenarioStep>) -> Self {
+        assert!(!steps.is_empty(), "a scenario needs at least one step");
+        assert_eq!(
+            steps.len(),
+            trace.len(),
+            "scenario steps must align 1:1 with trace samples"
+        );
+        for (i, step) in steps.iter().enumerate() {
+            assert!(step.is_valid(), "invalid scenario step {i}: {step:?}");
+        }
+        Self {
+            name: name.to_string(),
+            trace,
+            steps,
+        }
+    }
+
+    /// Battery-drain ramp: charge falls linearly from full to 8% while the
+    /// workload's working set grows, warming the die as charge drops.
+    #[must_use]
+    pub fn battery_drain() -> Self {
+        let n = Self::SAMPLES;
+        let script = PhaseScript::new(vec![
+            Phase::constant(chars(0.9, 4.0, 2.0, 0.7, 0.6, 0.9), n / 3),
+            Phase::patterned(
+                chars(0.9, 4.0, 2.0, 0.7, 0.6, 0.9),
+                n - n / 3,
+                Pattern::Ramp {
+                    cpi_scale: 1.4,
+                    mpki_scale: 2.2,
+                },
+            ),
+        ]);
+        let trace = SampleTrace::new("battery_drain", script.render(0xBD01, 0.02));
+        let steps = (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                let battery = 1.0 - 0.92 * t;
+                ScenarioStep {
+                    battery_fraction: battery,
+                    temperature_c: 38.0 + 14.0 * (1.0 - battery),
+                    load: 0.55,
+                    deadline_slack: 2.0,
+                }
+            })
+            .collect();
+        Self::new("battery_drain", trace, steps)
+    }
+
+    /// Thermal-throttle step: a compute-heavy trace whose die temperature
+    /// steps from 48 °C to 86 °C for the middle stretch, then cools to 72 °C.
+    #[must_use]
+    pub fn thermal_throttle() -> Self {
+        let n = Self::SAMPLES;
+        let script = PhaseScript::new(vec![Phase::patterned(
+            chars(0.7, 1.5, 1.5, 0.8, 0.4, 1.0),
+            n,
+            Pattern::Alternate {
+                cpi_scale: 1.15,
+                mpki_scale: 1.5,
+                period: 4,
+            },
+        )]);
+        let trace = SampleTrace::new("thermal_throttle", script.render(0x7E01, 0.02));
+        let steps = (0..n)
+            .map(|i| {
+                let temperature_c = if i < n / 3 {
+                    48.0
+                } else if i < 3 * n / 4 {
+                    86.0
+                } else {
+                    72.0
+                };
+                ScenarioStep {
+                    battery_fraction: 0.9 - 0.004 * i as f64,
+                    temperature_c,
+                    load: 0.65,
+                    deadline_slack: 1.8,
+                }
+            })
+            .collect();
+        Self::new("thermal_throttle", trace, steps)
+    }
+
+    /// Load-burst: offered load alternates between near-idle and bursts
+    /// every six samples, with tight deadlines during the bursts. The
+    /// workload excursions coincide with the bursts.
+    #[must_use]
+    pub fn load_burst() -> Self {
+        let n = Self::SAMPLES;
+        const PERIOD: usize = 6;
+        let script = PhaseScript::new(vec![Phase::patterned(
+            chars(1.0, 6.0, 2.5, 0.65, 0.7, 0.85),
+            n,
+            Pattern::Alternate {
+                cpi_scale: 1.3,
+                mpki_scale: 2.5,
+                period: PERIOD,
+            },
+        )]);
+        let trace = SampleTrace::new("load_burst", script.render(0x10AD, 0.02));
+        let steps = (0..n)
+            .map(|i| {
+                let burst = (i / PERIOD) % 2 == 1;
+                let load = if burst { 0.95 } else { 0.25 };
+                ScenarioStep {
+                    battery_fraction: 0.7,
+                    temperature_c: 50.0 + 12.0 * load,
+                    load,
+                    deadline_slack: if burst { 1.35 } else { 2.5 },
+                }
+            })
+            .collect();
+        Self::new("load_burst", trace, steps)
+    }
+
+    /// Every shipped scenario, in [`Self::NAMES`] order.
+    #[must_use]
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Self::battery_drain(),
+            Self::thermal_throttle(),
+            Self::load_burst(),
+        ]
+    }
+
+    /// Builds a shipped scenario by name, or `None` for an unknown name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        match name {
+            "battery_drain" => Some(Self::battery_drain()),
+            "thermal_throttle" => Some(Self::thermal_throttle()),
+            "load_burst" => Some(Self::load_burst()),
+            _ => None,
+        }
+    }
+
+    /// Scenario name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenario's workload trace.
+    #[must_use]
+    pub fn trace(&self) -> &SampleTrace {
+        &self.trace
+    }
+
+    /// Context steps, one per trace sample.
+    #[must_use]
+    pub fn steps(&self) -> &[ScenarioStep] {
+        &self.steps
+    }
+
+    /// Number of samples (and steps).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Always `false`: [`Scenario::new`] rejects empty scenarios.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Context for interval `i`, cycling when the scenario is replayed over
+    /// a trace longer than itself.
+    #[must_use]
+    pub fn context(&self, i: usize) -> &ScenarioStep {
+        &self.steps[i % self.steps.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_scenarios_are_aligned_and_valid() {
+        for scenario in Scenario::all() {
+            assert_eq!(scenario.len(), Scenario::SAMPLES);
+            assert_eq!(scenario.trace().len(), scenario.len());
+            assert!(!scenario.is_empty());
+            for step in scenario.steps() {
+                assert!(step.is_valid(), "{}: {step:?}", scenario.name());
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_every_shipped_name() {
+        for name in Scenario::NAMES {
+            let s = Scenario::by_name(name).expect("shipped scenario");
+            assert_eq!(s.name(), name);
+        }
+        assert!(Scenario::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        assert_eq!(Scenario::battery_drain(), Scenario::battery_drain());
+        assert_eq!(Scenario::load_burst(), Scenario::load_burst());
+        assert_eq!(Scenario::thermal_throttle(), Scenario::thermal_throttle());
+    }
+
+    #[test]
+    fn battery_drain_ramps_down() {
+        let s = Scenario::battery_drain();
+        assert!(s.steps()[0].battery_fraction > 0.99);
+        let last = s.steps()[s.len() - 1].battery_fraction;
+        assert!((last - 0.08).abs() < 1e-9, "got {last}");
+    }
+
+    #[test]
+    fn thermal_throttle_steps_hot_then_cools() {
+        let s = Scenario::thermal_throttle();
+        assert!(s.steps()[0].temperature_c < 60.0);
+        assert!(s.steps()[s.len() / 2].temperature_c > 80.0);
+        assert!(s.steps()[s.len() - 1].temperature_c < 80.0);
+    }
+
+    #[test]
+    fn load_burst_alternates_load_and_slack() {
+        let s = Scenario::load_burst();
+        assert!(s.steps()[0].load < 0.5);
+        assert!(s.steps()[6].load > 0.9);
+        assert!(s.steps()[6].deadline_slack < s.steps()[0].deadline_slack);
+    }
+
+    #[test]
+    fn context_cycles_past_the_end() {
+        let s = Scenario::load_burst();
+        assert_eq!(s.context(s.len() + 3), s.context(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_steps_panic() {
+        let base = Scenario::load_burst();
+        let mut steps = base.steps().to_vec();
+        steps.pop();
+        let _ = Scenario::new("bad", base.trace().clone(), steps);
+    }
+}

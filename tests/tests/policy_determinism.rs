@@ -1,0 +1,83 @@
+//! Bit-exact determinism of every shipped online policy.
+//!
+//! Policies are pure functions of (catalog, context, feedback), and
+//! characterization is bit-identical at any thread count, so a policy
+//! replay must produce the same setting sequence and the same energy and
+//! time bits (`f64::to_bits`) on every run — across repeated runs of the
+//! same process and across characterization thread counts. These loops
+//! pin that for every shipped policy on every shipped scenario.
+
+use mcdvfs_core::{GovernedRun, InefficiencyBudget};
+use mcdvfs_policy::{build_policy, PolicyGovernor, SHIPPED_POLICIES};
+use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Scenario;
+
+const BUDGET: f64 = 1.3;
+
+/// The full observable outcome of one policy replay, with every float
+/// reduced to its bit pattern.
+#[derive(Debug, PartialEq, Eq)]
+struct ReplayPin {
+    settings: Vec<usize>,
+    energy_bits: u64,
+    time_bits: u64,
+    transitions: u64,
+    searches: u64,
+}
+
+fn replay(policy: &str, scenario: &Scenario, data: &CharacterizationGrid) -> ReplayPin {
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let mut governor = PolicyGovernor::new(build_policy(policy).unwrap(), scenario, data, budget);
+    let report = GovernedRun::with_paper_overheads().execute(data, scenario.trace(), &mut governor);
+    ReplayPin {
+        settings: report
+            .sample_settings
+            .iter()
+            .map(|s| data.grid().index_of(*s).unwrap())
+            .collect(),
+        energy_bits: report.total_energy().value().to_bits(),
+        time_bits: report.total_time().value().to_bits(),
+        transitions: report.transitions,
+        searches: report.searches,
+    }
+}
+
+#[test]
+fn policies_are_bit_identical_across_runs_and_thread_counts() {
+    let system = System::galaxy_nexus_class();
+    for scenario in Scenario::all() {
+        let sequential =
+            CharacterizationGrid::characterize(&system, scenario.trace(), FrequencyGrid::coarse());
+        let threaded = CharacterizationGrid::characterize_parallel(
+            &system,
+            scenario.trace(),
+            FrequencyGrid::coarse(),
+            4,
+        );
+        assert_eq!(
+            sequential.fingerprint(),
+            threaded.fingerprint(),
+            "characterization must not depend on thread count"
+        );
+        for policy in SHIPPED_POLICIES {
+            let baseline = replay(policy, &scenario, &sequential);
+            for run in 0..3 {
+                let repeat = replay(policy, &scenario, &sequential);
+                assert_eq!(
+                    baseline,
+                    repeat,
+                    "{policy}@{} diverged on repeat run {run}",
+                    scenario.name()
+                );
+            }
+            let cross = replay(policy, &scenario, &threaded);
+            assert_eq!(
+                baseline,
+                cross,
+                "{policy}@{} diverged across characterization thread counts",
+                scenario.name()
+            );
+        }
+    }
+}

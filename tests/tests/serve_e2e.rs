@@ -7,15 +7,16 @@
 //! contract at 1 and 4 workers, exercise the cached second hit of every
 //! query, and check the overload path sheds instead of stalling.
 
-use mcdvfs_core::{GovernedRun, InefficiencyBudget, SweepEngine};
+use mcdvfs_core::{GovernedRun, InefficiencyBudget, PolicyScorecard, SweepEngine};
 use mcdvfs_obs::{duration_edges_ns, Histogram};
+use mcdvfs_policy::{build_policy, PolicyGovernor};
 use mcdvfs_serve::{
     cross_check, Client, ClientPool, Request, Response, ServeState, Server, ServerConfig,
     TenantSpec,
 };
 use mcdvfs_sim::System;
 use mcdvfs_types::FrequencyGrid;
-use mcdvfs_workloads::{Benchmark, SampleTrace};
+use mcdvfs_workloads::{Benchmark, SampleTrace, Scenario};
 
 const BUDGET: f64 = 1.3;
 const THRESHOLD: f64 = 0.05;
@@ -60,6 +61,26 @@ fn socket_replies_are_bit_identical_to_direct_engine_calls() {
         .pop()
         .unwrap();
     let data = reference.data();
+    // Direct-engine-path policy replay, mirroring the shard's compute arm.
+    let expect_policy = {
+        let ideal = reference
+            .governed_reports(&GovernedRun::without_overheads(), &trace(), &[budget])
+            .pop()
+            .unwrap();
+        let scenario = Scenario::by_name("load_burst").unwrap();
+        let mut governor =
+            PolicyGovernor::new(build_policy("reactive").unwrap(), &scenario, data, budget);
+        let deadlines = governor.deadlines();
+        PolicyScorecard::score(
+            &GovernedRun::with_paper_overheads(),
+            data,
+            &trace(),
+            &mut governor,
+            &deadlines,
+            scenario.name(),
+            &ideal,
+        )
+    };
 
     for workers in [1usize, 4] {
         let server = Server::start(
@@ -162,15 +183,114 @@ fn socket_replies_are_bit_identical_to_direct_engine_calls() {
             expect_report.total_emin.value().to_bits()
         );
 
+        let reply = ask_twice(
+            &mut client,
+            &Request::PolicyReplay {
+                policy: "reactive".to_string(),
+                budget,
+                scenario: "load_burst".to_string(),
+            },
+        );
+        let Response::PolicyReplay(p) = reply else {
+            panic!("wrong reply kind at {workers} workers");
+        };
+        assert_eq!(p.policy, "reactive");
+        assert_eq!(p.scenario, "load_burst");
+        assert_eq!(p.decisions, trace().len() as u64);
+        assert_eq!(p.deadline_misses, expect_policy.deadline_misses);
+        assert_eq!(p.budget_exhaustions, 0);
+        assert_eq!(
+            p.energy_vs_emin.to_bits(),
+            expect_policy.energy_vs_emin.to_bits()
+        );
+        assert_eq!(
+            p.energy_vs_oracle.to_bits(),
+            expect_policy.energy_vs_oracle.to_bits()
+        );
+        assert_eq!(
+            p.time_vs_oracle.to_bits(),
+            expect_policy.time_vs_oracle.to_bits()
+        );
+        assert_eq!(p.report.governor, expect_policy.report.governor);
+        assert_eq!(
+            p.report.work_energy_j.to_bits(),
+            expect_policy.report.work_energy.value().to_bits()
+        );
+        assert_eq!(p.report.transitions, expect_policy.transitions);
+        assert_eq!(p.report.searches, expect_policy.searches);
+
         let metrics = server.shutdown();
-        // 8 compute requests: 4 distinct queries, each answered once by a
-        // worker and once from the cache.
-        assert_eq!(metrics.counter("requests.total"), 8);
-        assert_eq!(metrics.counter("cache.miss"), 4);
-        assert_eq!(metrics.counter("cache.hit"), 4);
+        // 10 compute requests: 5 distinct queries, each answered once by
+        // a worker and once from the cache.
+        assert_eq!(metrics.counter("requests.total"), 10);
+        assert_eq!(metrics.counter("cache.miss"), 5);
+        assert_eq!(metrics.counter("cache.hit"), 5);
         assert_eq!(metrics.counter("overloaded"), 0);
         assert_eq!(metrics.counter("protocol.errors"), 0);
     }
+}
+
+#[test]
+fn policy_counters_surface_in_stats_and_telemetry() {
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let server =
+        Server::start("127.0.0.1:0", ServeState::new(engine(), trace()), config(2)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let request = Request::PolicyReplay {
+        policy: "reactive".to_string(),
+        budget,
+        scenario: "load_burst".to_string(),
+    };
+    // Second (cached) hit replays nothing, so counters reflect exactly
+    // one compute.
+    let Response::PolicyReplay(p) = ask_twice(&mut client, &request) else {
+        panic!("wrong reply kind");
+    };
+    let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(stats.policy.decisions, p.decisions);
+    assert_eq!(stats.policy.transitions, p.report.transitions);
+    assert_eq!(stats.policy.deadline_misses, p.deadline_misses);
+    assert_eq!(stats.policy.budget_exhaustions, p.budget_exhaustions);
+    assert!(stats.policy.decisions > 0, "a replay made decisions");
+
+    let Response::Telemetry(telemetry) = client.request(&Request::Telemetry).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(telemetry.policy, stats.policy);
+
+    // Unknown policy / scenario names are typed errors (never cached,
+    // never counted).
+    let Response::Error(e) = client
+        .request(&Request::PolicyReplay {
+            policy: "nope".to_string(),
+            budget,
+            scenario: "load_burst".to_string(),
+        })
+        .unwrap()
+    else {
+        panic!("unknown policy must be a typed error");
+    };
+    assert!(e.contains("unknown policy"), "{e}");
+    let Response::Error(e) = client
+        .request(&Request::PolicyReplay {
+            policy: "reactive".to_string(),
+            budget,
+            scenario: "nope".to_string(),
+        })
+        .unwrap()
+    else {
+        panic!("unknown scenario must be a typed error");
+    };
+    assert!(e.contains("unknown scenario"), "{e}");
+    let Response::Stats(after) = client.request(&Request::Stats).unwrap() else {
+        panic!("wrong reply kind");
+    };
+    assert_eq!(after.policy, stats.policy, "errors must not count");
+
+    let _ = server.shutdown();
 }
 
 #[test]
