@@ -23,6 +23,7 @@ use crate::runner::{GovernedRun, RunReport};
 use crate::stable::{stable_regions, StableRegion};
 use mcdvfs_obs::{count_edges, MetricSet, Profiler, SpanId};
 use mcdvfs_sim::{CharacterizationGrid, System};
+use mcdvfs_store::SnapshotStore;
 use mcdvfs_types::{Error, FrequencyGrid, Result};
 use mcdvfs_workloads::SampleTrace;
 use std::sync::Arc;
@@ -275,6 +276,43 @@ impl SweepEngine {
     #[must_use]
     pub fn data(&self) -> &Arc<CharacterizationGrid> {
         &self.data
+    }
+
+    /// Warm-starts an engine from a persisted snapshot instead of paying
+    /// for characterization.
+    ///
+    /// Looks `fingerprint` up in `store`; on a hit, rehydrates the grid via
+    /// [`CharacterizationGrid::from_snapshot`] — the result answers every
+    /// sweep query bit-identically to an engine built by fresh
+    /// characterization of the same trace. Returns `Ok(None)` on a plain
+    /// miss (no snapshot file), so callers fall back to characterize (and
+    /// typically persist for the next cold start). The bytes read off disk
+    /// ride along for the caller's telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed [`mcdvfs_store::SnapshotError`] when a snapshot
+    /// file exists but is corrupt, truncated, or from another format
+    /// version — callers should treat that as a miss and recharacterize,
+    /// never serve from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn warm_start(
+        store: &SnapshotStore,
+        fingerprint: u64,
+        threads: usize,
+    ) -> std::result::Result<Option<(Self, u64)>, mcdvfs_store::SnapshotError> {
+        let Some(loaded) = store.load(fingerprint)? else {
+            return Ok(None);
+        };
+        let bytes_read = loaded.bytes_read;
+        let grid = CharacterizationGrid::from_snapshot(loaded.snapshot)?;
+        Ok(Some((
+            Self::with_threads(Arc::new(grid), threads),
+            bytes_read,
+        )))
     }
 
     /// Incrementally re-characterizes the dirty samples in place (see

@@ -1,0 +1,180 @@
+//! Offline snapshot baking for the serving fleet.
+//!
+//! Characterizes every registered tenant (the default gobmk engine plus
+//! the three named loadgen tenants) once, persists each grid as a
+//! content-addressed snapshot under `results/store/`, and records the
+//! first-touch index entries so a server pointed at the store
+//! warm-starts all four without paying characterization cost. This is
+//! the "bake once, ship many" half of the warm-start story: run
+//! `grid_bake` on a build machine, ship `results/store/` to serving
+//! nodes, and every cold process start becomes a snapshot load.
+//!
+//! Each bake round-trip-verifies its snapshot through
+//! [`SweepEngine::warm_start`] (decode + checksum + fingerprint
+//! re-derivation — bit-identical by construction), then runs the
+//! size-bounded GC with the freshly baked fingerprints and any
+//! manifest-pinned snapshots protected. A deterministic summary lands
+//! in `results/STORE_bake.json` and is recorded in
+//! `results/MANIFEST.json` with one `pin.<tenant>` config key per
+//! snapshot, which is exactly what [`mcdvfs_store::manifest_pins`]
+//! reads back to keep GC away from fleet-critical snapshots.
+//!
+//! ```text
+//! cargo run --release -p mcdvfs-serve --bin grid_bake            # full traces
+//! cargo run --release -p mcdvfs-serve --bin grid_bake -- --smoke # CI: temp store
+//! ```
+
+use mcdvfs_bench::{results_dir, Harness, Json};
+use mcdvfs_core::SweepEngine;
+use mcdvfs_serve::TenantSpec;
+use mcdvfs_sim::System;
+use mcdvfs_store::{manifest_pins, SnapshotStore};
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::Benchmark;
+
+/// Every tenant the serving layer registers: the default engine's
+/// workload plus the named tenants `loadgen` serves (`build_state`).
+const TENANTS: [(&str, Benchmark); 4] = [
+    ("gobmk", Benchmark::Gobmk),
+    ("bzip2", Benchmark::Bzip2),
+    ("gcc", Benchmark::Gcc),
+    ("perlbench", Benchmark::Perlbench),
+];
+
+/// GC budget for the baked store — generous next to the ~90 KiB a
+/// full-trace coarse-grid snapshot occupies, so a bake never evicts its
+/// own output, but bounded so abandoned fingerprints age out.
+const GC_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Samples per tenant in `--smoke` mode (full traces otherwise).
+const SMOKE_SAMPLES: usize = 32;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // --smoke bakes windowed traces into a throwaway store: it proves
+    // the bake → warm-start loop end to end without touching the
+    // committed results tree.
+    let store_dir = if smoke {
+        std::env::temp_dir().join(format!("mcdvfs-grid-bake-{}", std::process::id()))
+    } else {
+        SnapshotStore::default_dir()
+    };
+    let store = SnapshotStore::open(&store_dir)?;
+    println!(
+        "grid_bake: {} store at {}",
+        if smoke { "smoke" } else { "fleet" },
+        store.dir().display()
+    );
+
+    let system = System::galaxy_nexus_class();
+    let mut harness = Harness::new("grid_bake");
+    harness.note("grid", "coarse-70");
+    harness.note(
+        "tenants",
+        TENANTS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+
+    let mut baked: Vec<(&str, u64, u64, u64, usize)> = Vec::new();
+    for (name, benchmark) in TENANTS {
+        let trace = if smoke {
+            benchmark.trace().window(0, SMOKE_SAMPLES)
+        } else {
+            benchmark.trace()
+        };
+        let samples = trace.len();
+        let spec = TenantSpec::new(system.clone(), trace, FrequencyGrid::coarse());
+        let (fingerprint, bytes) = spec.bake(name, &store)?;
+
+        // Round-trip proof: the snapshot must load, checksum, and
+        // re-derive the identical fingerprint — the same path a warm
+        // server takes on first touch.
+        let (engine, _) = SweepEngine::warm_start(&store, fingerprint, 1)?
+            .ok_or_else(|| format!("{name}: baked snapshot not loadable"))?;
+        assert_eq!(
+            engine.data().fingerprint(),
+            fingerprint,
+            "{name}: warm-started grid drifted from its snapshot"
+        );
+        println!(
+            "baked {name:<10} {fingerprint:016x}  {samples:>5} samples x {} settings  {bytes:>7} bytes",
+            engine.data().n_settings(),
+        );
+        harness.note(&format!("pin.{name}"), format!("{fingerprint:016x}"));
+        baked.push((name, fingerprint, spec.spec_key(name), bytes, samples));
+    }
+
+    // GC: evict stale fingerprints oldest-first, never the snapshots
+    // just baked nor anything a live manifest entry pins.
+    let mut pinned: std::collections::HashSet<u64> =
+        baked.iter().map(|&(_, fp, _, _, _)| fp).collect();
+    if !smoke {
+        let manifest_path = results_dir().join("MANIFEST.json");
+        if let Ok(text) = std::fs::read_to_string(&manifest_path) {
+            pinned.extend(manifest_pins(&text));
+        }
+    }
+    let gc = store.gc(GC_MAX_BYTES, &pinned)?;
+    println!(
+        "gc: evicted {} snapshot(s), freed {} bytes, {} bytes resident",
+        gc.evicted.len(),
+        gc.bytes_freed,
+        gc.bytes_remaining
+    );
+
+    if smoke {
+        let _ = std::fs::remove_dir_all(&store_dir);
+        println!("grid_bake OK (smoke store removed)");
+        return Ok(());
+    }
+
+    // Deterministic summary artifact (no timestamps): same inputs,
+    // identical bytes. Snapshots themselves stay out of the manifest —
+    // they live under results/store/ and are pinned via config keys.
+    let tenants_json = Json::Arr(
+        baked
+            .iter()
+            .map(|&(name, fp, spec_key, bytes, samples)| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(name.to_string())),
+                    ("fingerprint".to_string(), Json::Str(format!("{fp:016x}"))),
+                    (
+                        "spec_key".to_string(),
+                        Json::Str(format!("{spec_key:016x}")),
+                    ),
+                    ("bytes".to_string(), Json::Num(bytes as f64)),
+                    ("samples".to_string(), Json::Num(samples as f64)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("mcdvfs/store-bake-v1".to_string()),
+        ),
+        ("store_dir".to_string(), Json::Str("store".to_string())),
+        ("tenants".to_string(), tenants_json),
+        (
+            "gc".to_string(),
+            Json::Obj(vec![
+                ("max_bytes".to_string(), Json::Num(GC_MAX_BYTES as f64)),
+                ("evicted".to_string(), Json::Num(gc.evicted.len() as f64)),
+                (
+                    "bytes_remaining".to_string(),
+                    Json::Num(gc.bytes_remaining as f64),
+                ),
+            ]),
+        ),
+    ]);
+    let report_path = results_dir().join("STORE_bake.json");
+    std::fs::write(&report_path, doc.render())?;
+    harness.record_file(&report_path);
+    println!("wrote {}", report_path.display());
+    harness.finish();
+    Ok(())
+}

@@ -20,6 +20,12 @@
 //!    sharded layout clears ≥2x the single-engine throughput, since the
 //!    four shard workers overlap delays one queue must serialize.
 //!
+//! 5. **Cold vs warm start** — two servers share a snapshot store: the
+//!    first characterizes its tenants on first touch (and persists), the
+//!    second warm-starts the same tenants from the snapshots; asserts the
+//!    warm first-request latency beats cold by the gated floor and that
+//!    the `store.hits`/`store.misses` counters account for every build.
+//!
 //! After the steady phases a **telemetry validation pass** cross-checks
 //! the server's own instrumentation against what the clients observed:
 //! the server-decoded request total must equal the client-issued total
@@ -28,13 +34,14 @@
 //! stack). The server's window series and flight records are exported
 //! as `results/SERVE_telemetry.jsonl` / `results/SERVE_traces.jsonl`.
 //!
-//! Results land in `results/BENCH_serve.json` (schema `mcdvfs/serve-v3`,
+//! Results land in `results/BENCH_serve.json` (schema `mcdvfs/serve-v4`,
 //! with a top-level `"telemetry"` cross-check block) and every artifact
 //! is recorded in `results/MANIFEST.json` through the provenance
 //! harness. `--smoke` runs every phase scaled down and, like the sweep
 //! bench, validates the *committed* report (schema, required rows, the
-//! 2x mixed-tenant comparison, the steady p95 floor, and cross-check
-//! agreement in the committed telemetry block) instead of overwriting
+//! 2x mixed-tenant comparison, the 3x warm-start comparison, the steady
+//! p95 floor, and cross-check agreement in the committed telemetry
+//! block) instead of overwriting
 //! it — the cross-check itself still runs live in smoke. Exits nonzero
 //! on any assertion failure.
 //!
@@ -59,20 +66,28 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// Report schema written by a full run and required by the smoke gate.
-const SCHEMA: &str = "mcdvfs/serve-v3";
+const SCHEMA: &str = "mcdvfs/serve-v4";
 
 /// Latency rows a committed report must carry.
-const REQUIRED_ENTRIES: [&str; 5] = [
+const REQUIRED_ENTRIES: [&str; 7] = [
     "steady.request_latency",
     "steady_open.request_latency",
     "overload.request_latency",
     "mixed_tenant.request_latency",
     "baseline_single_engine.request_latency",
+    "cold_start.first_request_latency",
+    "warm_start.first_request_latency",
 ];
 
 /// The committed mixed-tenant speedup row and its floor.
 const REQUIRED_COMPARISON: &str = "mixed_tenant_vs_single_engine";
 const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// The committed warm-start speedup row and its floor: a snapshot
+/// warm-start must answer a tenant's first request at least this much
+/// faster than characterize-on-first-touch.
+const COLD_WARM_COMPARISON: &str = "warm_start_vs_cold_start";
+const COLD_WARM_FLOOR: f64 = 3.0;
 
 /// Steady-phase connection floor the committed report must demonstrate.
 const MIN_STEADY_CONNECTIONS: f64 = 1000.0;
@@ -255,7 +270,12 @@ fn start_server(state: ServeState, config: ServerConfig) -> ServerHandle {
 }
 
 /// Default gobmk engine plus (optionally) the three named tenant specs.
-fn build_state(samples: usize, with_tenants: bool) -> ServeState {
+/// The default engine always characterizes on the coarse grid (it is
+/// built eagerly at server start, outside every timed window); `grid`
+/// sets the lazily characterized tenants' grid — the cold-start phase
+/// passes the fine 496-setting grid so first-touch characterization
+/// cost is large next to a snapshot load.
+fn build_state(samples: usize, with_tenants: bool, grid: FrequencyGrid) -> ServeState {
     let trace = Benchmark::Gobmk.trace().window(0, samples);
     let system = System::galaxy_nexus_class();
     let engine = SweepEngine::characterize(&system, &trace, FrequencyGrid::coarse());
@@ -268,11 +288,7 @@ fn build_state(samples: usize, with_tenants: bool) -> ServeState {
         ] {
             state = state.with_tenant(
                 name,
-                TenantSpec::new(
-                    system.clone(),
-                    benchmark.trace().window(0, samples),
-                    FrequencyGrid::coarse(),
-                ),
+                TenantSpec::new(system.clone(), benchmark.trace().window(0, samples), grid),
             );
         }
     }
@@ -316,6 +332,36 @@ fn unique_budget_requests(
         .collect()
 }
 
+/// Times the *first* request each named tenant answers on a fresh
+/// server — cold this is characterize-on-first-touch, warm it is a
+/// snapshot load — then fetches the server's stats for the store
+/// counters. Health is the lightest request that still forces the
+/// tenant's shard to resolve, so the latency isolates the build cost.
+fn first_touch_latency(addr: SocketAddr) -> (ClientTally, Option<WireStats>) {
+    let mut tally = ClientTally {
+        latency: Some(Histogram::new(duration_edges_ns())),
+        ..ClientTally::default()
+    };
+    let mut client = Client::connect(addr).expect("cold-start connect");
+    for tenant in TENANTS.iter().flatten() {
+        let t0 = Instant::now();
+        match client.request_for(Some(tenant), &Request::Health) {
+            Ok(Response::Health(_)) => {
+                tally.ok += 1;
+                if let Some(h) = &mut tally.latency {
+                    h.add(t0.elapsed().as_nanos() as f64);
+                }
+            }
+            _ => tally.errors += 1,
+        }
+    }
+    let stats = match client.request(&Request::Stats) {
+        Ok(Response::Stats(stats)) => Some(stats),
+        _ => None,
+    };
+    (tally, stats)
+}
+
 fn main() {
     let args = match Args::parse() {
         Ok(args) => args,
@@ -330,7 +376,8 @@ fn main() {
 
     // ---- Phases 1+2: steady closed + open loop, mixed tenants ------------
     let steady_connections = args.clients * args.conns;
-    let state = build_state(40, true).with_profiler(Arc::clone(harness.profiler()));
+    let state = build_state(40, true, FrequencyGrid::coarse())
+        .with_profiler(Arc::clone(harness.profiler()));
     let server = start_server(
         state,
         ServerConfig {
@@ -525,7 +572,7 @@ fn main() {
     // One slow worker, a two-slot queue, and unique budgets per request so
     // the cache cannot absorb the burst: the bounded queue must shed.
     let overload_server = start_server(
-        build_state(10, false),
+        build_state(10, false, FrequencyGrid::coarse()),
         ServerConfig {
             workers: 1,
             queue_bound: 2,
@@ -573,7 +620,10 @@ fn main() {
         ..ServerConfig::default()
     };
 
-    let baseline_server = start_server(build_state(10, false), scale_config.clone());
+    let baseline_server = start_server(
+        build_state(10, false, FrequencyGrid::coarse()),
+        scale_config.clone(),
+    );
     let (baseline, baseline_elapsed) =
         run_pools(baseline_server.addr(), scale_threads, 1, None, |c| {
             unique_budget_requests(None, c, scale_requests)
@@ -581,7 +631,7 @@ fn main() {
     let _ = baseline_server.shutdown();
     let baseline_rps = baseline.ok as f64 / baseline_elapsed.as_secs_f64().max(1e-9);
 
-    let mixed_server = start_server(build_state(10, true), scale_config);
+    let mixed_server = start_server(build_state(10, true, FrequencyGrid::coarse()), scale_config);
     let mixed_addr = mixed_server.addr();
     let mixed_warm = warm_tenants(mixed_addr);
     let (mixed, mixed_elapsed) = run_pools(mixed_addr, scale_threads, 1, None, |c| {
@@ -619,6 +669,88 @@ fn main() {
         ));
     }
 
+    // ---- Phase 5: cold vs warm start --------------------------------------
+    // Two servers share one snapshot store. The first pays
+    // characterize-on-first-touch for every named tenant and persists the
+    // grids; the second resolves the same tenants from the snapshots. The
+    // first-request latency ratio is the warm-start win, and the store
+    // counters must account for every build on both sides.
+    let tenant_count = (TENANTS.len() - 1) as u64;
+    // 40 samples is the longest window every tenant trace supports
+    // (bzip2 is the shortest at exactly 40) — the same size the steady
+    // phases serve.
+    let cold_samples = 40;
+    let store_dir =
+        std::env::temp_dir().join(format!("mcdvfs-loadgen-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let cold_config = ServerConfig {
+        snapshot_dir: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let cold_server = start_server(
+        build_state(cold_samples, true, FrequencyGrid::fine()),
+        cold_config.clone(),
+    );
+    let (cold, cold_wire) = first_touch_latency(cold_server.addr());
+    let _ = cold_server.shutdown();
+
+    let warm_server = start_server(
+        build_state(cold_samples, true, FrequencyGrid::fine()),
+        cold_config,
+    );
+    let (warm, warm_wire) = first_touch_latency(warm_server.addr());
+    let _ = warm_server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    for (phase, tally) in [("cold_start", &cold), ("warm_start", &warm)] {
+        if tally.errors > 0 || tally.ok != tenant_count {
+            failures.push(format!(
+                "{phase}: {} ok / {} errors of {tenant_count} first requests",
+                tally.ok, tally.errors
+            ));
+        }
+    }
+    let cold_store = cold_wire.as_ref().map(|w| w.store);
+    let warm_store = warm_wire.as_ref().map(|w| w.store);
+    match cold_store {
+        Some(s) if s.hits == 0 && s.misses >= tenant_count => {}
+        other => failures.push(format!(
+            "cold_start: store counters {other:?}, expected 0 hits and >= {tenant_count} misses"
+        )),
+    }
+    match warm_store {
+        Some(s) if s.hits == tenant_count && s.misses == 0 && s.bytes_read > 0 => {}
+        other => failures.push(format!(
+            "warm_start: store counters {other:?}, expected {tenant_count} hits, 0 misses, \
+             nonzero bytes_read"
+        )),
+    }
+    let (cold_stats, warm_stats) = (cold.stats(), warm.stats());
+    let cold_warm_speedup = match (&cold_stats, &warm_stats) {
+        (Some(c), Some(w)) => c.mean.as_secs_f64() / w.mean.as_secs_f64().max(1e-12),
+        _ => 0.0,
+    };
+    println!(
+        "cold_start: first request mean {:.3} ms cold vs {:.3} ms warm over {} tenants — {:.2}x \
+         ({} snapshot bytes read)",
+        cold_stats
+            .as_ref()
+            .map_or(0.0, |s| s.mean.as_secs_f64() * 1e3),
+        warm_stats
+            .as_ref()
+            .map_or(0.0, |s| s.mean.as_secs_f64() * 1e3),
+        tenant_count,
+        cold_warm_speedup,
+        warm_store.map_or(0, |s| s.bytes_read),
+    );
+    if cold_warm_speedup < COLD_WARM_FLOOR {
+        failures.push(format!(
+            "cold_start: warm start only {cold_warm_speedup:.2}x faster than cold, \
+             need >= {COLD_WARM_FLOOR}x"
+        ));
+    }
+
     // ---- Report -----------------------------------------------------------
     for (name, tally) in [
         ("steady.request_latency", &steady),
@@ -626,6 +758,8 @@ fn main() {
         ("overload.request_latency", &overload),
         ("mixed_tenant.request_latency", &mixed),
         ("baseline_single_engine.request_latency", &baseline),
+        ("cold_start.first_request_latency", &cold),
+        ("warm_start.first_request_latency", &warm),
     ] {
         match tally.stats() {
             Some(stats) => bench.entry(name, stats),
@@ -635,6 +769,29 @@ fn main() {
     if let (Some(base), Some(opt)) = (baseline.stats(), mixed.stats()) {
         bench.compare(REQUIRED_COMPARISON, base, opt);
     }
+    if let (Some(c), Some(w)) = (cold_stats, warm_stats) {
+        bench.compare(COLD_WARM_COMPARISON, c, w);
+    }
+    bench.section(
+        "cold_start",
+        &[
+            ("tenants", tenant_count as f64),
+            ("samples_per_tenant", cold_samples as f64),
+            ("speedup", cold_warm_speedup),
+            (
+                "cold_store_misses",
+                cold_store.map_or(-1.0, |s| s.misses as f64),
+            ),
+            (
+                "warm_store_hits",
+                warm_store.map_or(-1.0, |s| s.hits as f64),
+            ),
+            (
+                "warm_store_bytes_read",
+                warm_store.map_or(-1.0, |s| s.bytes_read as f64),
+            ),
+        ],
+    );
     bench.note("steady_connections", steady_connections as f64);
     bench.note("steady_throughput_rps", steady_rps);
     bench.note("steady_open_throughput_rps", open_rps);
@@ -667,6 +824,7 @@ fn main() {
     harness.note("steady_connections", steady_connections);
     harness.note("throughput_rps", format!("{steady_rps:.0}"));
     harness.note("mixed_tenant_speedup", format!("{speedup:.2}"));
+    harness.note("cold_warm_speedup", format!("{cold_warm_speedup:.2}"));
     if args.smoke {
         // A smoke window would clobber the committed full-run numbers;
         // validate the committed report and gate on it instead.
@@ -754,8 +912,9 @@ fn write_traces_jsonl(path: &Path, traces: &[WireTrace]) -> std::io::Result<()> 
     std::fs::write(path, out)
 }
 
-/// The CI smoke gate over the committed report: `serve-v3` schema, every
-/// phase row present, the mixed-tenant comparison at ≥2x, a demonstrated
+/// The CI smoke gate over the committed report: `serve-v4` schema, every
+/// phase row present, the mixed-tenant comparison at ≥2x, the warm-start
+/// comparison and `cold_start` block at ≥3x, a demonstrated
 /// four-digit steady connection count, a steady p95 under the floor, and
 /// a telemetry block whose recorded cross-check still agrees.
 fn validate_committed(path: &Path, failures: &mut Vec<String>) {
@@ -814,6 +973,39 @@ fn validate_committed(path: &Path, failures: &mut Vec<String>) {
                 failures.push(format!(
                     "committed mixed-tenant speedup {speedup:.2}x is below {SPEEDUP_FLOOR}x"
                 ));
+            }
+        }
+    }
+    match comparisons
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some(COLD_WARM_COMPARISON))
+    {
+        None => failures.push(format!(
+            "committed report lacks the {COLD_WARM_COMPARISON:?} comparison"
+        )),
+        Some(row) => {
+            let speedup = row.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+            println!("recorded {COLD_WARM_COMPARISON:<40} {speedup:>6.2}x");
+            if speedup < COLD_WARM_FLOOR {
+                failures.push(format!(
+                    "committed warm-start speedup {speedup:.2}x is below {COLD_WARM_FLOOR}x"
+                ));
+            }
+        }
+    }
+    match doc.get("cold_start") {
+        None => failures.push("committed report lacks the \"cold_start\" block".to_string()),
+        Some(block) => {
+            let get = |key: &str| block.get(key).and_then(Json::as_f64);
+            let hits = get("warm_store_hits").unwrap_or(-1.0);
+            let tenants = get("tenants").unwrap_or(f64::INFINITY);
+            if hits < tenants {
+                failures.push(format!(
+                    "committed cold_start block: {hits} warm store hits for {tenants} tenants"
+                ));
+            }
+            if get("speedup").unwrap_or(0.0) < COLD_WARM_FLOOR {
+                failures.push("committed cold_start speedup is below the floor".to_string());
             }
         }
     }

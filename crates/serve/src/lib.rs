@@ -84,7 +84,7 @@ pub use client::{Client, ClientPool};
 pub use protocol::{
     read_frame, write_frame, Request, Response, WireChoice, WireCluster, WireHealth, WireHistogram,
     WirePolicyCounters, WirePolicyReport, WireRegion, WireReport, WireShard, WireStage, WireStats,
-    WireTelemetry, WireTrace, WireWindow, MAX_FRAME_BYTES,
+    WireStoreCounters, WireTelemetry, WireTrace, WireWindow, MAX_FRAME_BYTES,
 };
 pub use server::{ServeState, Server, ServerConfig, ServerHandle};
 pub use shard::TenantSpec;

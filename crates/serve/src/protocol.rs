@@ -437,6 +437,20 @@ pub struct WirePolicyCounters {
     pub budget_exhaustions: u64,
 }
 
+/// Snapshot-store counters inside [`WireStats`] and [`WireTelemetry`]
+/// replies: how often lazy shard builds warm-started from a persisted
+/// characterization instead of recomputing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStoreCounters {
+    /// Shard builds satisfied from a snapshot.
+    pub hits: u64,
+    /// Warm-start attempts that fell back to characterization (absent,
+    /// corrupt, or mismatched snapshots all count here).
+    pub misses: u64,
+    /// Snapshot bytes read off disk for the hits.
+    pub bytes_read: u64,
+}
+
 /// One live engine shard's metrics inside a [`WireStats`] reply.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireShard {
@@ -479,6 +493,8 @@ pub struct WireStats {
     pub shards: Vec<WireShard>,
     /// Aggregated policy-engine counters across all shards.
     pub policy: WirePolicyCounters,
+    /// Snapshot-store warm-start counters.
+    pub store: WireStoreCounters,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Compute requests currently queued or running (live gauge, not a
@@ -545,6 +561,8 @@ pub struct WireTelemetry {
     pub shard_compute: Vec<WireHistogram>,
     /// Aggregated policy-engine counters across all shards.
     pub policy: WirePolicyCounters,
+    /// Snapshot-store warm-start counters.
+    pub store: WireStoreCounters,
     /// Flight records committed since startup.
     pub flight_recorded: u64,
     /// Flight records evicted from the bounded ring.
@@ -709,6 +727,7 @@ impl Response {
                     Json::Arr(stats.shards.iter().map(shard_to_json).collect()),
                 ),
                 ("policy".to_string(), policy_counters_to_json(&stats.policy)),
+                ("store".to_string(), store_counters_to_json(&stats.store)),
                 ("uptime_ms".to_string(), num(stats.uptime_ms)),
                 (
                     "requests_in_flight".to_string(),
@@ -745,6 +764,7 @@ impl Response {
                     Json::Arr(t.shard_compute.iter().map(histogram_to_json).collect()),
                 ),
                 ("policy".to_string(), policy_counters_to_json(&t.policy)),
+                ("store".to_string(), store_counters_to_json(&t.store)),
                 ("flight_recorded".to_string(), num(t.flight_recorded)),
                 ("flight_dropped".to_string(), num(t.flight_dropped)),
                 ("flight_slow".to_string(), num(t.flight_slow)),
@@ -817,6 +837,7 @@ impl Response {
                 evictions: get_u64(&doc, "evictions")?,
                 shards: arr_of(&doc, "shards", shard_from_json)?,
                 policy: policy_counters_from_json(&doc)?,
+                store: store_counters_from_json(&doc)?,
                 uptime_ms: get_u64(&doc, "uptime_ms")?,
                 requests_in_flight: get_u64(&doc, "requests_in_flight")?,
                 rendered: get_str(&doc, "rendered")?,
@@ -836,6 +857,7 @@ impl Response {
                 histograms: arr_of(&doc, "histograms", histogram_from_json)?,
                 shard_compute: arr_of(&doc, "shard_compute", histogram_from_json)?,
                 policy: policy_counters_from_json(&doc)?,
+                store: store_counters_from_json(&doc)?,
                 flight_recorded: get_u64(&doc, "flight_recorded")?,
                 flight_dropped: get_u64(&doc, "flight_dropped")?,
                 flight_slow: get_u64(&doc, "flight_slow")?,
@@ -1007,6 +1029,23 @@ fn policy_counters_from_json(doc: &Json) -> Result<WirePolicyCounters, String> {
         transitions: get_u64(p, "transitions")?,
         deadline_misses: get_u64(p, "deadline_misses")?,
         budget_exhaustions: get_u64(p, "budget_exhaustions")?,
+    })
+}
+
+fn store_counters_to_json(s: &WireStoreCounters) -> Json {
+    Json::Obj(vec![
+        ("hits".to_string(), num(s.hits)),
+        ("misses".to_string(), num(s.misses)),
+        ("bytes_read".to_string(), num(s.bytes_read)),
+    ])
+}
+
+fn store_counters_from_json(doc: &Json) -> Result<WireStoreCounters, String> {
+    let s = doc.get("store").ok_or("reply missing 'store'")?;
+    Ok(WireStoreCounters {
+        hits: get_u64(s, "hits")?,
+        misses: get_u64(s, "misses")?,
+        bytes_read: get_u64(s, "bytes_read")?,
     })
 }
 
@@ -1347,6 +1386,11 @@ mod tests {
                     deadline_misses: 4,
                     budget_exhaustions: 1,
                 },
+                store: WireStoreCounters {
+                    hits: 1,
+                    misses: 2,
+                    bytes_read: 35_712,
+                },
                 uptime_ms: 120_500,
                 requests_in_flight: 3,
                 rendered: "counter requests.total 100\n".to_string(),
@@ -1390,6 +1434,7 @@ mod tests {
                     max_ns: 900_000.0,
                 }],
                 policy: WirePolicyCounters::default(),
+                store: WireStoreCounters::default(),
                 flight_recorded: 120,
                 flight_dropped: 8,
                 flight_slow: 2,

@@ -561,6 +561,7 @@ fn handle_payload(
             evictions: ctx.map.evictions(),
             shards: ctx.map.wire_rows(),
             policy: ctx.map.policy_counters(),
+            store: ctx.map.store_counters(),
             uptime_ms: ctx.tel.uptime_ms(),
             requests_in_flight: ctx.tel.in_flight.get(),
             rendered: snapshot.render(),
@@ -724,6 +725,7 @@ fn build_telemetry(ctx: &Ctx) -> WireTelemetry {
         histograms,
         shard_compute,
         policy: ctx.map.policy_counters(),
+        store: ctx.map.store_counters(),
         flight_recorded: counts.recorded,
         flight_dropped: counts.dropped,
         flight_slow: counts.slow,

@@ -94,6 +94,11 @@ pub struct ServerConfig {
     pub slow_threshold: Duration,
     /// How many 1-second telemetry windows the ring retains.
     pub window_seconds: usize,
+    /// Snapshot-store directory for tenant warm-starts. When set, lazy
+    /// shard builds (first touch and rebuild-after-evict) try the store
+    /// before characterizing, and cold characterizations are persisted
+    /// back for the next process. `None` disables the store entirely.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +117,7 @@ impl Default for ServerConfig {
             flight_capacity: 512,
             slow_threshold: Duration::from_millis(250),
             window_seconds: 64,
+            snapshot_dir: None,
         }
     }
 }

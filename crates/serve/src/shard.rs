@@ -25,13 +25,14 @@
 use crate::cache::{CacheKey, ShardedLru};
 use crate::protocol::{
     Request, Response, WireChoice, WireCluster, WirePolicyCounters, WirePolicyReport, WireRegion,
-    WireReport, WireShard,
+    WireReport, WireShard, WireStoreCounters,
 };
 use crate::server::ServerConfig;
 use mcdvfs_core::{GovernedRun, PolicyScorecard, RunReport, SweepEngine};
 use mcdvfs_obs::{FlightRecorder, MetricSet, Outcome, Profiler, RequestTrace, Stage};
 use mcdvfs_policy::{build_policy, PolicyGovernor, SHIPPED_POLICIES};
 use mcdvfs_sim::System;
+use mcdvfs_store::SnapshotStore;
 use mcdvfs_types::FrequencyGrid;
 use mcdvfs_workloads::SampleTrace;
 use std::collections::HashMap;
@@ -106,6 +107,46 @@ impl TenantSpec {
         let engine =
             SweepEngine::characterize_with_threads(&self.system, &self.trace, self.grid, 1);
         (engine, self.trace.clone())
+    }
+
+    /// Deterministic key of the spec *inputs*, for the snapshot store's
+    /// first-touch index: a tenant's fingerprint is only known after
+    /// characterization, so the store maps this key to the fingerprint a
+    /// previous process learned. `Debug` of `f64` is the shortest
+    /// round-trippable rendering, so the key is stable across processes;
+    /// a stale or colliding entry merely degrades to a store miss.
+    pub fn spec_key(&self, name: &str) -> u64 {
+        let mut h = mcdvfs_types::Fnv1a64::new();
+        h.write(name.as_bytes());
+        h.write(format!("{:?}", self.system).as_bytes());
+        h.write(format!("{:?}", self.grid).as_bytes());
+        h.write_u64(self.trace.len() as u64);
+        for s in self.trace.iter() {
+            h.write(format!("{s:?}").as_bytes());
+        }
+        h.finish()
+    }
+
+    /// Characterizes the spec offline and persists the snapshot into
+    /// `store`, recording the first-touch index entry for `name` — the
+    /// `grid_bake` path. A server pointed at the same store afterwards
+    /// warm-starts `name` on first touch instead of characterizing.
+    ///
+    /// Returns the snapshot fingerprint and its encoded size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures as [`mcdvfs_store::SnapshotError`].
+    pub fn bake(
+        &self,
+        name: &str,
+        store: &SnapshotStore,
+    ) -> std::result::Result<(u64, u64), mcdvfs_store::SnapshotError> {
+        let (engine, _) = self.build();
+        let snapshot = engine.data().to_snapshot();
+        let bytes = store.persist(&snapshot)?;
+        store.record_spec(self.spec_key(name), snapshot.fingerprint)?;
+        Ok((snapshot.fingerprint, bytes))
     }
 }
 
@@ -194,6 +235,12 @@ pub(crate) struct ShardMap {
     compute_delay: Duration,
     recorder: Arc<FlightRecorder>,
     profiler: Arc<Profiler>,
+    /// Snapshot store for warm-starting lazy shard builds, when the
+    /// server was configured with a snapshot directory.
+    store: Option<SnapshotStore>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_bytes_read: AtomicU64,
 }
 
 impl ShardMap {
@@ -227,6 +274,13 @@ impl ShardMap {
             compute_delay: config.compute_delay,
             recorder,
             profiler,
+            store: config
+                .snapshot_dir
+                .as_ref()
+                .and_then(|dir| SnapshotStore::open(dir).ok()),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_bytes_read: AtomicU64::new(0),
         };
         map.install(&default_name, default_engine, default_trace, true);
         map
@@ -273,9 +327,30 @@ impl ShardMap {
             ));
         };
         let t0 = Instant::now();
-        let (engine, trace) = spec.build();
+        // Try the snapshot store before paying for characterization: on
+        // rebuild-after-evict the fingerprint is already known; on first
+        // touch the store's spec-key index may reveal it. Bit-identity is
+        // guaranteed by `from_snapshot`'s fingerprint re-check, so a
+        // warm-started shard serves the same bytes a cold build would.
+        let warm = self.warm_start(name, spec, fingerprint);
+        let warm_started = warm.is_some();
+        let (engine, trace) = match warm {
+            Some(engine) => (engine, spec.trace.clone()),
+            None => spec.build(),
+        };
         let built_ns = t0.elapsed().as_nanos() as f64;
         let fp = engine.data().fingerprint();
+        if !warm_started {
+            if let Some(store) = &self.store {
+                // Persist the cold build so the next process (or the next
+                // rebuild after eviction) warm-starts. Failures only cost
+                // the warm start; serving continues from the fresh build.
+                let snapshot = engine.data().to_snapshot();
+                if store.persist(&snapshot).is_ok() {
+                    let _ = store.record_spec(spec.spec_key(name), snapshot.fingerprint);
+                }
+            }
+        }
         // Two tenants with bit-identical characterizations share a shard.
         {
             self.names
@@ -292,6 +367,9 @@ impl ShardMap {
         record(&core.worker_metrics[0], |m| {
             m.incr("shard.builds", 1);
             m.observe_duration_ns("shard.build_ns", built_ns);
+            if warm_started {
+                m.incr("shard.warm_starts", 1);
+            }
         });
         let tx = {
             let shards = self.shards.lock().expect("shard map poisoned");
@@ -302,6 +380,57 @@ impl ShardMap {
                 .clone()
         };
         Ok((core, tx))
+    }
+
+    /// Tries to warm-start `name`'s engine from the snapshot store.
+    ///
+    /// `known_fp` is the fingerprint learned from a previous build of this
+    /// tenant (the rebuild-after-evict path); without one, the store's
+    /// spec-key index is consulted. Returns `None` — a store miss — when
+    /// the store is disabled, the snapshot is absent, corrupt, from
+    /// another format version, or names a different workload; the caller
+    /// then characterizes from the spec. Every attempt lands in the
+    /// `store.hits` / `store.misses` / `store.bytes_read` counters.
+    fn warm_start(
+        &self,
+        name: &str,
+        spec: &TenantSpec,
+        known_fp: Option<u64>,
+    ) -> Option<SweepEngine> {
+        let store = self.store.as_ref()?;
+        let miss = || {
+            self.store_misses.fetch_add(1, Ordering::Relaxed);
+        };
+        let fp = match known_fp.or_else(|| store.lookup_spec(spec.spec_key(name))) {
+            Some(fp) => fp,
+            None => {
+                miss();
+                return None;
+            }
+        };
+        match SweepEngine::warm_start(store, fp, 1) {
+            Ok(Some((engine, bytes_read))) if engine.data().name() == name => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                self.store_bytes_read
+                    .fetch_add(bytes_read, Ordering::Relaxed);
+                Some(engine)
+            }
+            // A snapshot for another workload under this key (stale index)
+            // or any typed decode failure degrades to characterization.
+            Ok(Some(_)) | Ok(None) | Err(_) => {
+                miss();
+                None
+            }
+        }
+    }
+
+    /// Snapshot-store counters for `stats`/`telemetry` replies.
+    pub fn store_counters(&self) -> WireStoreCounters {
+        WireStoreCounters {
+            hits: self.store_hits.load(Ordering::Relaxed),
+            misses: self.store_misses.load(Ordering::Relaxed),
+            bytes_read: self.store_bytes_read.load(Ordering::Relaxed),
+        }
     }
 
     /// Sorted tenant names the server can route to.

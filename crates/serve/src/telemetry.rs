@@ -177,6 +177,7 @@ mod tests {
             evictions: 0,
             shards: Vec::new(),
             policy: crate::protocol::WirePolicyCounters::default(),
+            store: crate::protocol::WireStoreCounters::default(),
             uptime_ms: 10,
             requests_in_flight: 0,
             rendered: String::new(),
@@ -198,6 +199,7 @@ mod tests {
             }],
             shard_compute: Vec::new(),
             policy: crate::protocol::WirePolicyCounters::default(),
+            store: crate::protocol::WireStoreCounters::default(),
             flight_recorded: 8,
             flight_dropped: 0,
             flight_slow: 0,

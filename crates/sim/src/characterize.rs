@@ -457,6 +457,65 @@ impl CharacterizationGrid {
         }
         h.finish()
     }
+
+    /// Freezes this characterization into a [`mcdvfs_store::Snapshot`] for
+    /// persistence. The snapshot carries the raw measurement arena plus the
+    /// current [`Self::fingerprint`]; [`Self::from_snapshot`] reconstructs a
+    /// grid that compares equal (bit-identical floats, identical caches).
+    #[must_use]
+    pub fn to_snapshot(&self) -> mcdvfs_store::Snapshot {
+        mcdvfs_store::Snapshot {
+            name: self.name.clone(),
+            grid: self.grid,
+            n_settings: self.n_settings,
+            fingerprint: self.fingerprint(),
+            arena: self.arena.clone(),
+        }
+    }
+
+    /// Reconstructs a characterization from a decoded snapshot.
+    ///
+    /// The arena is rehydrated through the same single-pass cache builder
+    /// fresh characterization uses, so the result is `==` to the grid that
+    /// produced the snapshot — every derived answer (optimal settings,
+    /// clusters, governed schedules) is bit-identical. The rebuilt grid's
+    /// fingerprint is re-derived and checked against the snapshot header, so
+    /// a snapshot whose contents drifted from its key is rejected rather
+    /// than silently served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mcdvfs_store::SnapshotError::Malformed`] when the dims are
+    /// inconsistent, or `FingerprintMismatch` when the rebuilt grid does not
+    /// hash to the snapshot's advertised fingerprint.
+    pub fn from_snapshot(
+        snapshot: mcdvfs_store::Snapshot,
+    ) -> std::result::Result<Self, mcdvfs_store::SnapshotError> {
+        let malformed = |reason: &str| mcdvfs_store::SnapshotError::Malformed {
+            reason: reason.to_string(),
+        };
+        if snapshot.n_settings == 0 || snapshot.n_settings != snapshot.grid.len() {
+            return Err(malformed("snapshot stride does not match its grid"));
+        }
+        if snapshot.arena.is_empty() || !snapshot.arena.len().is_multiple_of(snapshot.n_settings) {
+            return Err(malformed("snapshot arena does not hold whole rows"));
+        }
+        let fingerprint = snapshot.fingerprint;
+        let grid = Self::from_arena(
+            &snapshot.name,
+            snapshot.grid,
+            snapshot.n_settings,
+            snapshot.arena,
+        );
+        let computed = grid.fingerprint();
+        if computed != fingerprint {
+            return Err(mcdvfs_store::SnapshotError::FingerprintMismatch {
+                stored: fingerprint,
+                computed,
+            });
+        }
+        Ok(grid)
+    }
 }
 
 #[cfg(test)]
@@ -705,6 +764,48 @@ mod tests {
                 full.total_energy_at(idx).value().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let fresh = data();
+        let snap = fresh.to_snapshot();
+        assert_eq!(snap.fingerprint, fresh.fingerprint());
+        let bytes = snap.encode();
+        let decoded = mcdvfs_store::Snapshot::decode(&bytes).unwrap();
+        let rebuilt = CharacterizationGrid::from_snapshot(decoded).unwrap();
+        assert_eq!(rebuilt, fresh);
+        assert_eq!(rebuilt.fingerprint(), fresh.fingerprint());
+        for s in 0..fresh.n_samples() {
+            for idx in 0..fresh.n_settings() {
+                let (a, b) = (rebuilt.measurement(s, idx), fresh.measurement(s, idx));
+                assert_eq!(a.time.value().to_bits(), b.time.value().to_bits());
+                assert_eq!(a.cpi.to_bits(), b.cpi.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_snapshot_rejects_drifted_fingerprint() {
+        let mut snap = data().to_snapshot();
+        snap.fingerprint ^= 1;
+        assert!(matches!(
+            CharacterizationGrid::from_snapshot(snap),
+            Err(mcdvfs_store::SnapshotError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_snapshot_rejects_bad_dims_without_panicking() {
+        let mut snap = data().to_snapshot();
+        snap.arena.pop();
+        assert!(matches!(
+            CharacterizationGrid::from_snapshot(snap),
+            Err(mcdvfs_store::SnapshotError::Malformed { .. })
+        ));
+        let mut snap = data().to_snapshot();
+        snap.n_settings += 1;
+        assert!(CharacterizationGrid::from_snapshot(snap).is_err());
     }
 
     #[test]

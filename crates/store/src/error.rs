@@ -1,0 +1,131 @@
+//! Typed failure modes for snapshot decoding and store I/O.
+//!
+//! Every way a snapshot can be unusable — wrong file type, newer format,
+//! short read, flipped bit, contents that do not hash to the advertised
+//! fingerprint — maps to its own [`SnapshotError`] variant. Decoding never
+//! panics on untrusted bytes and never silently returns wrong data: the
+//! store either hands back a grid that is bit-identical to the one that was
+//! persisted, or an error naming exactly what disagreed.
+
+use std::fmt;
+use std::io;
+
+/// Why a snapshot could not be decoded or a store operation failed.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic {
+        /// The first bytes actually found (padded with zeros if short).
+        found: [u8; 4],
+    },
+    /// The format version is not one this build can decode.
+    UnsupportedVersion {
+        /// Version recorded in the header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// The byte stream ended before the declared contents did.
+    Truncated {
+        /// Bytes the decoder needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The trailing checksum does not match the bytes that precede it.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// The decoded payload does not hash to the fingerprint in the header.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the header.
+        stored: u64,
+        /// Fingerprint recomputed from the decoded contents.
+        computed: u64,
+    },
+    /// A header field is internally inconsistent (impossible dimensions,
+    /// invalid grid parameters, non-UTF-8 name).
+    Malformed {
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic {found:02x?}")
+            }
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads <= {supported})"
+            ),
+            Self::Truncated { needed, available } => write!(
+                f,
+                "truncated snapshot: needed {needed} bytes, only {available} available"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            Self::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "snapshot fingerprint mismatch: header says {stored:016x}, \
+                 contents hash to {computed:016x}"
+            ),
+            Self::Malformed { reason } => write!(f, "malformed snapshot: {reason}"),
+            Self::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_disagreement() {
+        let e = SnapshotError::ChecksumMismatch {
+            stored: 0xdead,
+            computed: 0xbeef,
+        };
+        let s = e.to_string();
+        assert!(s.contains("000000000000dead"), "{s}");
+        assert!(s.contains("000000000000beef"), "{s}");
+
+        let e = SnapshotError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"), "{e}");
+    }
+
+    #[test]
+    fn io_errors_chain_as_source() {
+        use std::error::Error as _;
+        let e = SnapshotError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(SnapshotError::BadMagic { found: [0; 4] }.source().is_none());
+    }
+}

@@ -1,0 +1,393 @@
+//! The versioned binary snapshot format.
+//!
+//! A snapshot freezes one characterization measurement arena — the
+//! `n_samples x n_settings` table of [`SampleMeasurement`]s that everything
+//! downstream (optimal settings, clusters, governed schedules) is derived
+//! from. The layout is little-endian throughout:
+//!
+//! ```text
+//! offset  size          field
+//! ------  ------------  ------------------------------------------------
+//!      0  4             magic  b"MCGS"
+//!      4  4             format version (u32)
+//!      8  8             grid fingerprint (u64)
+//!     16  8             n_samples (u64)
+//!     24  8             n_settings (u64)
+//!     32  24            grid params: cpu lo/hi/step, mem lo/hi/step (6xu32)
+//!     56  4             workload name length (u32)
+//!     60  name_len      workload name (UTF-8)
+//!      .  rows*cols*32  payload: per cell, f64::to_bits of
+//!                       time / cpu_energy / mem_energy / cpi
+//!   tail  8             Fnv1a64 checksum of every preceding byte
+//! ```
+//!
+//! Floats travel as raw [`f64::to_bits`] words, so an encode/decode
+//! round-trip is bit-identical — no text formatting, no rounding. The
+//! trailing checksum covers the entire file, and the header fingerprint is
+//! re-derived from the decoded contents, so a flipped bit anywhere is
+//! rejected with a typed [`SnapshotError`] rather than surfacing as subtly
+//! wrong energy numbers.
+
+use crate::error::SnapshotError;
+use mcdvfs_types::{hash_measurements, Fnv1a64, FrequencyGrid, Joules, SampleMeasurement, Seconds};
+
+/// Magic bytes identifying a grid snapshot file.
+pub const MAGIC: [u8; 4] = *b"MCGS";
+
+/// Newest snapshot format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size in bytes (everything before the workload name).
+const HEADER_FIXED: usize = 60;
+
+/// Encoded size of one measurement cell: four `f64` words.
+const CELL_BYTES: usize = 32;
+
+/// Size of the trailing checksum.
+const TRAILER: usize = 8;
+
+/// A decoded (or to-be-encoded) characterization snapshot.
+///
+/// This is the interchange value between the store and the simulator's
+/// `CharacterizationGrid`: the workload name, the frequency grid the arena
+/// was measured over, and the full measurement arena in sample-major,
+/// memory-frequency-fastest order — exactly the layout `from_measurements`
+/// expects back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Workload name the grid was characterized for.
+    pub name: String,
+    /// The frequency grid the arena's columns enumerate.
+    pub grid: FrequencyGrid,
+    /// Number of settings per sample row (always `grid.len()`).
+    pub n_settings: usize,
+    /// Content fingerprint of the grid, as `CharacterizationGrid::fingerprint`
+    /// computes it. This is the store key.
+    pub fingerprint: u64,
+    /// The measurement arena: `n_samples * n_settings` cells, sample-major.
+    pub arena: Vec<SampleMeasurement>,
+}
+
+impl Snapshot {
+    /// Number of workload samples in the arena.
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.arena.len().checked_div(self.n_settings).unwrap_or(0)
+    }
+
+    /// Recomputes the content fingerprint from the snapshot's own fields,
+    /// using the same FNV-1a fold as `CharacterizationGrid::fingerprint`:
+    /// name, dims, every grid setting's MHz pair, then each sample row's
+    /// [`hash_measurements`] digest.
+    #[must_use]
+    pub fn compute_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.n_samples() as u64);
+        h.write_u64(self.n_settings as u64);
+        for setting in self.grid.settings() {
+            h.write_u64(u64::from(setting.cpu.mhz()));
+            h.write_u64(u64::from(setting.mem.mhz()));
+        }
+        for row in self.arena.chunks_exact(self.n_settings) {
+            h.write_u64(hash_measurements(row));
+        }
+        h.finish()
+    }
+
+    /// Serializes the snapshot to the versioned binary format.
+    ///
+    /// The output always decodes back to an equal `Snapshot` (bit-identical
+    /// floats) and carries a trailing checksum over everything before it.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let cells = self.arena.len();
+        let mut out = Vec::with_capacity(HEADER_FIXED + self.name.len() + cells * CELL_BYTES + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.n_samples() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.n_settings as u64).to_le_bytes());
+        let (clo, chi, cstep) = self.grid.cpu_range_mhz();
+        let (mlo, mhi, mstep) = self.grid.mem_range_mhz();
+        for v in [clo, chi, cstep, mlo, mhi, mstep] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        for m in &self.arena {
+            out.extend_from_slice(&m.time.value().to_bits().to_le_bytes());
+            out.extend_from_slice(&m.cpu_energy.value().to_bits().to_le_bytes());
+            out.extend_from_slice(&m.mem_energy.value().to_bits().to_le_bytes());
+            out.extend_from_slice(&m.cpi.to_le_bytes());
+        }
+        let checksum = mcdvfs_types::fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a snapshot from bytes, validating magic, version, declared
+    /// sizes, trailing checksum, and finally that the decoded contents hash
+    /// back to the header fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SnapshotError`] variant naming the first disagreement;
+    /// never panics on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 4];
+        let head = bytes.len().min(4);
+        magic[..head].copy_from_slice(&bytes[..head]);
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        if bytes.len() < HEADER_FIXED {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_FIXED,
+                available: bytes.len(),
+            });
+        }
+        let version = read_u32(bytes, 4);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let fingerprint = read_u64(bytes, 8);
+        let n_samples = usize::try_from(read_u64(bytes, 16)).map_err(|_| malformed("n_samples"))?;
+        let n_settings =
+            usize::try_from(read_u64(bytes, 24)).map_err(|_| malformed("n_settings"))?;
+        let mut params = [0u32; 6];
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = read_u32(bytes, 32 + 4 * i);
+        }
+        let name_len = read_u32(bytes, 56) as usize;
+
+        let cells = n_samples
+            .checked_mul(n_settings)
+            .ok_or_else(|| malformed("arena dimensions overflow"))?;
+        let total = HEADER_FIXED
+            .checked_add(name_len)
+            .and_then(|v| cells.checked_mul(CELL_BYTES).and_then(|p| v.checked_add(p)))
+            .and_then(|v| v.checked_add(TRAILER))
+            .ok_or_else(|| malformed("declared size overflows"))?;
+        if bytes.len() < total {
+            return Err(SnapshotError::Truncated {
+                needed: total,
+                available: bytes.len(),
+            });
+        }
+        if bytes.len() > total {
+            return Err(malformed(&format!(
+                "{} trailing bytes after declared contents",
+                bytes.len() - total
+            )));
+        }
+
+        let stored = read_u64(bytes, total - TRAILER);
+        let computed = mcdvfs_types::fnv1a64(&bytes[..total - TRAILER]);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let name = std::str::from_utf8(&bytes[HEADER_FIXED..HEADER_FIXED + name_len])
+            .map_err(|_| malformed("name is not UTF-8"))?
+            .to_string();
+        let [clo, chi, cstep, mlo, mhi, mstep] = params;
+        let grid = FrequencyGrid::new(clo, chi, cstep, mlo, mhi, mstep)
+            .map_err(|e| malformed(&format!("grid parameters rejected: {e}")))?;
+        if grid.len() != n_settings {
+            return Err(malformed(&format!(
+                "n_settings {} does not match grid ({} settings)",
+                n_settings,
+                grid.len()
+            )));
+        }
+        if n_samples == 0 {
+            return Err(malformed("snapshot has zero samples"));
+        }
+
+        let mut arena = Vec::with_capacity(cells);
+        let mut off = HEADER_FIXED + name_len;
+        for _ in 0..cells {
+            arena.push(SampleMeasurement {
+                time: Seconds::new(f64::from_bits(read_u64(bytes, off))),
+                cpu_energy: Joules::new(f64::from_bits(read_u64(bytes, off + 8))),
+                mem_energy: Joules::new(f64::from_bits(read_u64(bytes, off + 16))),
+                cpi: f64::from_bits(read_u64(bytes, off + 24)),
+            });
+            off += CELL_BYTES;
+        }
+
+        let snapshot = Self {
+            name,
+            grid,
+            n_settings,
+            fingerprint,
+            arena,
+        };
+        let recomputed = snapshot.compute_fingerprint();
+        if recomputed != fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: fingerprint,
+                computed: recomputed,
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("bounds checked"))
+}
+
+fn malformed(reason: &str) -> SnapshotError {
+    SnapshotError::Malformed {
+        reason: reason.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_snapshot() -> Snapshot {
+        let grid = FrequencyGrid::new(100, 300, 100, 200, 400, 200).unwrap();
+        let n_settings = grid.len();
+        let n_samples = 3;
+        let mut arena = Vec::new();
+        for s in 0..n_samples {
+            for c in 0..n_settings {
+                let k = (s * n_settings + c) as f64;
+                arena.push(SampleMeasurement {
+                    time: Seconds::new(1e-3 + k * 1e-5),
+                    cpu_energy: Joules::new(2e-3 + k * 1e-6),
+                    mem_energy: Joules::new(5e-4 + k * 1e-7),
+                    cpi: 1.0 + k * 0.01,
+                });
+            }
+        }
+        let mut snap = Snapshot {
+            name: "unit".to_string(),
+            grid,
+            n_settings,
+            fingerprint: 0,
+            arena,
+        };
+        snap.fingerprint = snap.compute_fingerprint();
+        snap
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        for (a, b) in back.arena.iter().zip(&snap.arena) {
+            assert_eq!(a.time.value().to_bits(), b.time.value().to_bits());
+            assert_eq!(
+                a.cpu_energy.value().to_bits(),
+                b.cpu_energy.value().to_bits()
+            );
+            assert_eq!(
+                a.mem_energy.value().to_bits(),
+                b.mem_energy.value().to_bits()
+            );
+            assert_eq!(a.cpi.to_bits(), b.cpi.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = sample_snapshot().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Snapshot::decode(&bad).is_err(),
+                "flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_length_is_rejected() {
+        let bytes = sample_snapshot().encode();
+        for len in 0..bytes.len() {
+            assert!(
+                Snapshot::decode(&bytes[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample_snapshot().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Snapshot::decode(b"MC"),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_typed() {
+        let mut bytes = sample_snapshot().encode();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        // Re-seal the checksum so only the version disagrees.
+        let n = bytes.len();
+        let checksum = mcdvfs_types::fnv1a64(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn payload_flip_is_checksum_mismatch() {
+        let bytes = sample_snapshot().encode();
+        let mut bad = bytes.clone();
+        let payload_at = HEADER_FIXED + "unit".len() + 7;
+        bad[payload_at] ^= 0x80;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resealed_wrong_fingerprint_is_fingerprint_mismatch() {
+        let snap = sample_snapshot();
+        let mut bytes = snap.encode();
+        bytes[8..16].copy_from_slice(&(snap.fingerprint ^ 1).to_le_bytes());
+        let n = bytes.len();
+        let checksum = mcdvfs_types::fnv1a64(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_snapshot().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+}

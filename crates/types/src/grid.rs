@@ -137,6 +137,22 @@ impl FrequencyGrid {
         self.mem.len()
     }
 
+    /// The CPU range parameters as `(lo_mhz, hi_mhz, step_mhz)`.
+    ///
+    /// Feeding both tuples back through [`FrequencyGrid::new`] reconstructs
+    /// an identical grid (`Eq` and `Hash` cover the raw parameters), which is
+    /// what snapshot serialization relies on.
+    #[must_use]
+    pub fn cpu_range_mhz(&self) -> (u32, u32, u32) {
+        (self.cpu.lo, self.cpu.hi, self.cpu.step)
+    }
+
+    /// The memory range parameters as `(lo_mhz, hi_mhz, step_mhz)`.
+    #[must_use]
+    pub fn mem_range_mhz(&self) -> (u32, u32, u32) {
+        (self.mem.lo, self.mem.hi, self.mem.step)
+    }
+
     /// The lowest-frequency setting on the grid.
     #[must_use]
     pub fn min_setting(&self) -> FreqSetting {
@@ -382,6 +398,22 @@ mod tests {
         let g = FrequencyGrid::coarse();
         let s = g.to_string();
         assert!(s.contains("70 settings"), "{s}");
+    }
+
+    #[test]
+    fn range_params_round_trip_through_new() {
+        for grid in [
+            FrequencyGrid::coarse(),
+            FrequencyGrid::fine(),
+            FrequencyGrid::new(300, 900, 150, 200, 600, 200).unwrap(),
+        ] {
+            let (clo, chi, cstep) = grid.cpu_range_mhz();
+            let (mlo, mhi, mstep) = grid.mem_range_mhz();
+            let rebuilt = FrequencyGrid::new(clo, chi, cstep, mlo, mhi, mstep).unwrap();
+            assert_eq!(rebuilt, grid);
+        }
+        assert_eq!(FrequencyGrid::coarse().cpu_range_mhz(), (100, 1000, 100));
+        assert_eq!(FrequencyGrid::coarse().mem_range_mhz(), (200, 800, 100));
     }
 
     #[test]

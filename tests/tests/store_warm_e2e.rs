@@ -1,0 +1,234 @@
+//! Warm-start bit-identity: a shard restored from a snapshot must be
+//! indistinguishable on the wire from one characterized in-process.
+//!
+//! Two servers share one snapshot directory. The first (cold) process
+//! characterizes its tenants on first touch and persists each grid; the
+//! second (warm) process warm-starts every tenant from those snapshots.
+//! Both must answer `optimal_setting` and `cluster` byte-identically
+//! (`f64::to_bits`, not epsilon) to a direct [`SweepEngine`] over the
+//! same inputs — and the same holds when shard pressure evicts a warm
+//! tenant and it is rebuilt from the store instead of recharacterized.
+
+use mcdvfs_core::{InefficiencyBudget, SweepEngine};
+use mcdvfs_serve::{
+    Client, Request, Response, ServeState, Server, ServerConfig, TenantSpec, WireStats,
+};
+use mcdvfs_sim::System;
+use mcdvfs_types::FrequencyGrid;
+use mcdvfs_workloads::{Benchmark, SampleTrace};
+use std::path::PathBuf;
+
+const BUDGET: f64 = 1.3;
+const THRESHOLD: f64 = 0.05;
+const SAMPLES: usize = 10;
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mcdvfs-warm-e2e-{tag}-{}", std::process::id()))
+}
+
+fn gobmk_trace() -> SampleTrace {
+    Benchmark::Gobmk.trace().window(0, SAMPLES)
+}
+
+fn gobmk_engine() -> SweepEngine {
+    SweepEngine::characterize(
+        &System::galaxy_nexus_class(),
+        &gobmk_trace(),
+        FrequencyGrid::coarse(),
+    )
+}
+
+fn tenant_state(system: &System) -> ServeState {
+    let mut state = ServeState::new(gobmk_engine(), gobmk_trace());
+    for (name, benchmark) in [("bzip2", Benchmark::Bzip2), ("gcc", Benchmark::Gcc)] {
+        state = state.with_tenant(
+            name,
+            TenantSpec::new(
+                system.clone(),
+                benchmark.trace().window(0, SAMPLES),
+                FrequencyGrid::coarse(),
+            ),
+        );
+    }
+    state
+}
+
+fn stats(client: &mut Client) -> WireStats {
+    match client.request(&Request::Stats) {
+        Ok(Response::Stats(stats)) => stats,
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+/// Pins an `optimal_setting` reply to a direct engine, bit for bit.
+fn pin_optimal(reply: &Response, reference: &SweepEngine, label: &str) {
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let Response::OptimalSetting(choices) = reply else {
+        panic!("{label}: wrong reply kind");
+    };
+    let expect = reference.optimal_series(budget);
+    assert_eq!(choices.len(), expect.len(), "{label}: length");
+    for (wire, direct) in choices.iter().zip(&expect) {
+        assert_eq!(wire.sample, direct.sample, "{label}");
+        assert_eq!(wire.index, direct.index, "{label}");
+        assert_eq!(wire.cpu_mhz, direct.setting.cpu.mhz(), "{label}");
+        assert_eq!(wire.mem_mhz, direct.setting.mem.mhz(), "{label}");
+        assert_eq!(
+            wire.time_s.to_bits(),
+            direct.time.value().to_bits(),
+            "{label}: time bits"
+        );
+        assert_eq!(
+            wire.energy_j.to_bits(),
+            direct.energy.value().to_bits(),
+            "{label}: energy bits"
+        );
+        assert_eq!(
+            wire.inefficiency.to_bits(),
+            direct.inefficiency.value().to_bits(),
+            "{label}: inefficiency bits"
+        );
+    }
+}
+
+/// Pins a `cluster` reply to a direct engine, bit for bit.
+fn pin_cluster(reply: &Response, reference: &SweepEngine, label: &str) {
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let Response::Cluster(clusters) = reply else {
+        panic!("{label}: wrong reply kind");
+    };
+    let expect = reference.cluster_detail(budget, THRESHOLD).unwrap();
+    let data = reference.data();
+    assert_eq!(clusters.len(), expect.len(), "{label}: length");
+    for (wire, direct) in clusters.iter().zip(&expect) {
+        assert_eq!(wire.sample, direct.sample, "{label}");
+        assert_eq!(wire.optimal_index, direct.optimal.index, "{label}: anchor");
+        assert_eq!(wire.members, direct.member_indices(), "{label}: members");
+        assert_eq!(wire.cpu_mhz, direct.cpu_range_mhz(data), "{label}: cpu");
+        assert_eq!(wire.mem_mhz, direct.mem_range_mhz(data), "{label}: mem");
+    }
+}
+
+#[test]
+fn warm_started_shards_answer_bit_identically_to_cold_ones() {
+    let system = System::galaxy_nexus_class();
+    let dir = temp_store("coldwarm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let optimal = Request::OptimalSetting { budget };
+    let cluster = Request::Cluster {
+        budget,
+        threshold: THRESHOLD,
+    };
+
+    // Direct references both processes must match bit for bit.
+    let direct: Vec<(&str, SweepEngine)> = [("bzip2", Benchmark::Bzip2), ("gcc", Benchmark::Gcc)]
+        .into_iter()
+        .map(|(name, b)| {
+            let trace = b.trace().window(0, SAMPLES);
+            (
+                name,
+                SweepEngine::characterize(&system, &trace, FrequencyGrid::coarse()),
+            )
+        })
+        .collect();
+
+    let config = || ServerConfig {
+        workers: 2,
+        snapshot_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Cold process: first touch characterizes and persists.
+    let mut cold_replies = Vec::new();
+    let cold = Server::start("127.0.0.1:0", tenant_state(&system), config()).unwrap();
+    let mut client = Client::connect(cold.addr()).unwrap();
+    for (name, reference) in &direct {
+        let opt = client.request_for(Some(name), &optimal).unwrap();
+        pin_optimal(&opt, reference, &format!("cold {name} optimal"));
+        let clu = client.request_for(Some(name), &cluster).unwrap();
+        pin_cluster(&clu, reference, &format!("cold {name} cluster"));
+        cold_replies.push((opt, clu));
+    }
+    let cold_stats = stats(&mut client);
+    assert_eq!(cold_stats.store.hits, 0, "empty store cannot hit");
+    assert_eq!(cold_stats.store.misses, 2, "one miss per tenant");
+    drop(client);
+    let _ = cold.shutdown();
+
+    // Warm process: every tenant restores from the cold run's snapshots.
+    let warm = Server::start("127.0.0.1:0", tenant_state(&system), config()).unwrap();
+    let mut client = Client::connect(warm.addr()).unwrap();
+    for ((name, reference), (cold_opt, cold_clu)) in direct.iter().zip(&cold_replies) {
+        let opt = client.request_for(Some(name), &optimal).unwrap();
+        pin_optimal(&opt, reference, &format!("warm {name} optimal"));
+        assert_eq!(opt, *cold_opt, "warm {name} optimal != cold reply");
+        let clu = client.request_for(Some(name), &cluster).unwrap();
+        pin_cluster(&clu, reference, &format!("warm {name} cluster"));
+        assert_eq!(clu, *cold_clu, "warm {name} cluster != cold reply");
+    }
+    let warm_stats = stats(&mut client);
+    assert_eq!(warm_stats.store.hits, 2, "one warm start per tenant");
+    assert_eq!(warm_stats.store.misses, 0, "nothing recharacterized");
+    assert!(warm_stats.store.bytes_read > 0, "snapshots were read");
+    drop(client);
+    let _ = warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evicted_shards_rebuild_from_the_store_bit_identically() {
+    let system = System::galaxy_nexus_class();
+    let dir = temp_store("evict");
+    let _ = std::fs::remove_dir_all(&dir);
+    let budget = InefficiencyBudget::bounded(BUDGET).unwrap();
+    let query = Request::OptimalSetting { budget };
+
+    let direct_bzip2 = SweepEngine::characterize(
+        &system,
+        &Benchmark::Bzip2.trace().window(0, SAMPLES),
+        FrequencyGrid::coarse(),
+    );
+    let direct_gcc = SweepEngine::characterize(
+        &system,
+        &Benchmark::Gcc.trace().window(0, SAMPLES),
+        FrequencyGrid::coarse(),
+    );
+
+    // max_shards = 2 with the pinned default resident: bzip2 and gcc
+    // can never be resident together, so every alternation evicts.
+    let server = Server::start(
+        "127.0.0.1:0",
+        tenant_state(&system),
+        ServerConfig {
+            workers: 2,
+            max_shards: 2,
+            snapshot_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // First touches miss the empty store, characterize, persist.
+    let reply = client.request_for(Some("bzip2"), &query).unwrap();
+    pin_optimal(&reply, &direct_bzip2, "bzip2 cold build");
+    let reply = client.request_for(Some("gcc"), &query).unwrap();
+    pin_optimal(&reply, &direct_gcc, "gcc cold build (evicts bzip2)");
+
+    // Rebuilds after eviction warm-start from the store — and still
+    // answer the exact same bits as the direct engines.
+    let reply = client.request_for(Some("bzip2"), &query).unwrap();
+    pin_optimal(&reply, &direct_bzip2, "bzip2 warm rebuild");
+    let reply = client.request_for(Some("gcc"), &query).unwrap();
+    pin_optimal(&reply, &direct_gcc, "gcc warm rebuild");
+
+    let stats = stats(&mut client);
+    assert_eq!(stats.evictions, 3, "every alternation evicted");
+    assert_eq!(stats.store.misses, 2, "only the first touches missed");
+    assert_eq!(stats.store.hits, 2, "both rebuilds warm-started");
+    assert!(stats.store.bytes_read > 0, "snapshots were read");
+    drop(client);
+    let _ = server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
